@@ -1,0 +1,71 @@
+//! A text-mode stand-in for the VGV GUI (paper §3.1, Fig 4): read a
+//! binary trace file and print the time-line display and statistics pane.
+//!
+//! ```console
+//! $ vgv run.vgvt [--width N] [--per-thread] [--top N] [--exclude-suspensions]
+//! ```
+
+use dynprof_analysis::{read_trace, render, trace_volume, Profile, ProfileOptions, TimelineOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut width = 96usize;
+    let mut per_thread = false;
+    let mut top = 20usize;
+    let mut exclude = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--width" => {
+                i += 1;
+                width = args[i].parse().expect("width");
+            }
+            "--per-thread" => per_thread = true,
+            "--top" => {
+                i += 1;
+                top = args[i].parse().expect("top");
+            }
+            "--exclude-suspensions" => exclude = true,
+            other if path.is_none() => path = Some(other.to_string()),
+            other => {
+                eprintln!("vgv: unexpected argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(path) = path else {
+        eprintln!("usage: vgv <trace.vgvt> [--width N] [--per-thread] [--top N] [--exclude-suspensions]");
+        std::process::exit(2);
+    };
+    let trace = match read_trace(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("vgv: {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", render(&trace, TimelineOptions { width, per_thread }));
+    let v = trace_volume(&trace, 24);
+    println!(
+        "\n{} events, {} modelled bytes, {:.1} KB/s aggregate",
+        trace.events.len(),
+        v.bytes,
+        v.bytes_per_second / 1024.0
+    );
+    let comm = dynprof_analysis::CommStats::from_trace(&trace);
+    let matrix = comm.render_matrix();
+    if !matrix.is_empty() {
+        println!("\n-- communication --");
+        print!("{matrix}");
+    }
+    println!("\n-- statistics (top {top}) --");
+    let profile = Profile::from_trace_opts(
+        &trace,
+        ProfileOptions {
+            exclude_suspensions: exclude,
+        },
+    );
+    print!("{}", profile.render_top(top));
+}

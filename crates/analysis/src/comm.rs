@@ -1,0 +1,144 @@
+//! Communication statistics from MPI trace events — the VGV GUI's
+//! message-statistics views.
+
+use std::collections::BTreeMap;
+
+use dynprof_sim::SimTime;
+use dynprof_vt::{op_from_code, Event, Trace};
+
+/// Point-to-point traffic between rank pairs, plus per-rank MPI time.
+#[derive(Clone, Debug, Default)]
+pub struct CommStats {
+    /// `(sender, receiver)` → total bytes (from the send side's events).
+    pub bytes: BTreeMap<(u32, u32), u64>,
+    /// `(sender, receiver)` → message count.
+    pub messages: BTreeMap<(u32, u32), u64>,
+    /// Per-rank total time inside MPI calls.
+    pub mpi_time: BTreeMap<u32, SimTime>,
+    /// Per-rank count of collective operations.
+    pub collectives: BTreeMap<u32, u64>,
+}
+
+impl CommStats {
+    /// Compute the statistics from a trace's `MpiCall` events.
+    pub fn from_trace(trace: &Trace) -> CommStats {
+        let mut out = CommStats::default();
+        for ev in &trace.events {
+            if let Event::MpiCall {
+                t,
+                t_end,
+                rank,
+                op,
+                peer,
+                bytes,
+            } = *ev
+            {
+                *out.mpi_time.entry(rank).or_insert(SimTime::ZERO) +=
+                    t_end.saturating_sub(t);
+                match op_from_code(op) {
+                    Some(dynprof_mpi::MpiOp::Send) if peer >= 0 => {
+                        *out.bytes.entry((rank, peer as u32)).or_insert(0) += bytes;
+                        *out.messages.entry((rank, peer as u32)).or_insert(0) += 1;
+                    }
+                    Some(
+                        dynprof_mpi::MpiOp::Barrier
+                        | dynprof_mpi::MpiOp::Bcast
+                        | dynprof_mpi::MpiOp::Reduce
+                        | dynprof_mpi::MpiOp::Allreduce
+                        | dynprof_mpi::MpiOp::Gather
+                        | dynprof_mpi::MpiOp::Allgather
+                        | dynprof_mpi::MpiOp::Alltoall
+                        | dynprof_mpi::MpiOp::Scan,
+                    ) => {
+                        *out.collectives.entry(rank).or_insert(0) += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        out
+    }
+
+    /// Render the rank×rank byte matrix as text (empty string if no
+    /// point-to-point traffic was traced).
+    pub fn render_matrix(&self) -> String {
+        let ranks: Vec<u32> = {
+            let mut r: Vec<u32> = self
+                .bytes
+                .keys()
+                .flat_map(|&(a, b)| [a, b])
+                .collect();
+            r.sort_unstable();
+            r.dedup();
+            r
+        };
+        if ranks.is_empty() {
+            return String::new();
+        }
+        let mut out = String::from("bytes sent (row = sender, col = receiver)\n");
+        out.push_str("        ");
+        for &c in &ranks {
+            out.push_str(&format!("{c:>12}"));
+        }
+        out.push('\n');
+        for &r in &ranks {
+            out.push_str(&format!("rank {r:>3}"));
+            for &c in &ranks {
+                let v = self.bytes.get(&(r, c)).copied().unwrap_or(0);
+                out.push_str(&format!("{v:>12}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynprof_sim::SimTime;
+
+    fn us(v: u64) -> SimTime {
+        SimTime::from_micros(v)
+    }
+
+    fn trace_with_traffic() -> Trace {
+        Trace {
+            program: "t".into(),
+            functions: vec![],
+            events: vec![
+                Event::MpiCall { t: us(0), t_end: us(5), rank: 0, op: 2, peer: 1, bytes: 100 },
+                Event::MpiCall { t: us(5), t_end: us(9), rank: 0, op: 2, peer: 1, bytes: 50 },
+                Event::MpiCall { t: us(0), t_end: us(9), rank: 1, op: 3, peer: 0, bytes: 150 },
+                Event::MpiCall { t: us(10), t_end: us(20), rank: 0, op: 4, peer: -1, bytes: 0 },
+                Event::MpiCall { t: us(10), t_end: us(20), rank: 1, op: 4, peer: -1, bytes: 0 },
+            ],
+        }
+    }
+
+    #[test]
+    fn sends_accumulate_by_pair() {
+        let s = CommStats::from_trace(&trace_with_traffic());
+        assert_eq!(s.bytes[&(0, 1)], 150);
+        assert_eq!(s.messages[&(0, 1)], 2);
+        assert!(!s.bytes.contains_key(&(1, 0)), "recv side not double-counted");
+    }
+
+    #[test]
+    fn mpi_time_and_collectives_counted() {
+        let s = CommStats::from_trace(&trace_with_traffic());
+        assert_eq!(s.mpi_time[&0], us(19));
+        assert_eq!(s.mpi_time[&1], us(19));
+        assert_eq!(s.collectives[&0], 1);
+        assert_eq!(s.collectives[&1], 1);
+    }
+
+    #[test]
+    fn matrix_renders_senders_and_receivers() {
+        let s = CommStats::from_trace(&trace_with_traffic());
+        let m = s.render_matrix();
+        assert!(m.contains("rank   0"));
+        assert!(m.contains("150"));
+        assert_eq!(CommStats::default().render_matrix(), "");
+    }
+}

@@ -1,0 +1,23 @@
+//! # dynprof-analysis — postmortem trace analysis
+//!
+//! The VGV GUI's analysis layer, reimplemented as a library (paper §3.1,
+//! Fig 4): read a binary trace file, compute per-function profiles with
+//! inclusive/exclusive time and load-imbalance metrics, measure trace
+//! volume (the paper's motivating "2 MB/s per processor" problem), and
+//! render the main time-line display — MPI processes and OpenMP threads
+//! as horizontal bars, with wiggle glyphs over parallel regions — as
+//! ASCII art.
+
+#![warn(missing_docs)]
+
+mod comm;
+mod profile;
+mod timeline;
+mod tracefile;
+
+pub use comm::CommStats;
+pub use profile::{
+    suspension_windows, trace_volume, FuncProfile, Profile, ProfileOptions, TraceVolume,
+};
+pub use timeline::{render, TimelineOptions};
+pub use tracefile::{read_trace, write_trace};

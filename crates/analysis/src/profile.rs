@@ -1,0 +1,418 @@
+//! Postmortem profiles from traces.
+//!
+//! The VGV GUI's statistics views, recomputed from the trace file:
+//! per-function inclusive/exclusive time and call counts, per rank and
+//! aggregated, plus the load-imbalance metrics instrumentation exists to
+//! expose (paper §1).
+
+use std::collections::BTreeMap;
+
+use dynprof_sim::SimTime;
+use dynprof_vt::{Event, Trace, VtFuncId};
+
+/// Aggregated statistics of one function on one rank.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FuncProfile {
+    /// Completed calls.
+    pub count: u64,
+    /// Inclusive time.
+    pub incl: SimTime,
+    /// Exclusive time.
+    pub excl: SimTime,
+}
+
+/// Profile computation options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProfileOptions {
+    /// Disregard instrumenter-initiated suspension periods when computing
+    /// function times — the paper's §5.1 requirement: "analysis tools
+    /// would need to be modified to likewise disregard these periods of
+    /// inactivity when calculating the aggregate runtime of functions."
+    pub exclude_suspensions: bool,
+}
+
+/// A full profile computed from a [`Trace`].
+#[derive(Clone, Debug, Default)]
+pub struct Profile {
+    /// `(rank, func)` → statistics.
+    pub per_rank: BTreeMap<(u32, VtFuncId), FuncProfile>,
+    /// Function names (from the trace dictionary).
+    pub functions: Vec<String>,
+    /// Ranks seen.
+    pub ranks: Vec<u32>,
+}
+
+impl Profile {
+    /// Compute the profile by replaying the trace's per-(rank, thread)
+    /// call stacks. `FuncBatch` events contribute their aggregate span.
+    pub fn from_trace(trace: &Trace) -> Profile {
+        Profile::from_trace_opts(trace, ProfileOptions::default())
+    }
+
+    /// As [`Profile::from_trace`], with options.
+    pub fn from_trace_opts(trace: &Trace, opts: ProfileOptions) -> Profile {
+        let suspensions = if opts.exclude_suspensions {
+            suspension_windows(trace)
+        } else {
+            BTreeMap::new()
+        };
+        let discount = |rank: u32, a: SimTime, b: SimTime| -> SimTime {
+            match suspensions.get(&rank) {
+                Some(ws) => overlap_with(a, b, ws),
+                None => SimTime::ZERO,
+            }
+        };
+        let mut per_rank: BTreeMap<(u32, VtFuncId), FuncProfile> = BTreeMap::new();
+        // Open frames per (rank, thread): (func, t0, child_time).
+        type FrameStacks = BTreeMap<(u32, u16), Vec<(VtFuncId, SimTime, SimTime)>>;
+        let mut stacks: FrameStacks = BTreeMap::new();
+        let mut ranks: Vec<u32> = Vec::new();
+        for ev in &trace.events {
+            let rank = ev.rank();
+            if !ranks.contains(&rank) {
+                ranks.push(rank);
+            }
+            match *ev {
+                Event::FuncEnter {
+                    t, rank, thread, func,
+                } => {
+                    stacks
+                        .entry((rank, thread))
+                        .or_default()
+                        .push((func, t, SimTime::ZERO));
+                }
+                Event::FuncExit {
+                    t, rank, thread, func,
+                } => {
+                    let stack = stacks.entry((rank, thread)).or_default();
+                    if let Some((f, t0, child)) = stack.pop() {
+                        debug_assert_eq!(f, func, "trace stack mismatch");
+                        let span = t.saturating_sub(t0).saturating_sub(discount(rank, t0, t));
+                        let e = per_rank.entry((rank, func)).or_default();
+                        e.count += 1;
+                        e.incl += span;
+                        e.excl += span.saturating_sub(child);
+                        if let Some(parent) = stack.last_mut() {
+                            parent.2 += span;
+                        }
+                    }
+                }
+                Event::FuncBatch {
+                    t,
+                    rank,
+                    thread,
+                    func,
+                    count,
+                    span,
+                } => {
+                    let span = span.saturating_sub(discount(rank, t, t + span));
+                    let e = per_rank.entry((rank, func)).or_default();
+                    e.count += count;
+                    e.incl += span;
+                    e.excl += span;
+                    if let Some(parent) = stacks.entry((rank, thread)).or_default().last_mut() {
+                        parent.2 += span;
+                    }
+                }
+                _ => {}
+            }
+        }
+        ranks.sort_unstable();
+        Profile {
+            per_rank,
+            functions: trace.functions.clone(),
+            ranks,
+        }
+    }
+
+    /// Function name lookup.
+    pub fn name(&self, f: VtFuncId) -> &str {
+        self.functions
+            .get(f.0 as usize)
+            .map(String::as_str)
+            .unwrap_or("<unknown>")
+    }
+
+    /// Aggregate a function's statistics across ranks.
+    pub fn aggregate(&self, f: VtFuncId) -> FuncProfile {
+        let mut total = FuncProfile::default();
+        for ((_, func), p) in &self.per_rank {
+            if *func == f {
+                total.count += p.count;
+                total.incl += p.incl;
+                total.excl += p.excl;
+            }
+        }
+        total
+    }
+
+    /// All functions with any recorded activity, by descending aggregate
+    /// inclusive time.
+    pub fn hot_functions(&self) -> Vec<(VtFuncId, FuncProfile)> {
+        let mut by_func: BTreeMap<VtFuncId, FuncProfile> = BTreeMap::new();
+        for ((_, func), p) in &self.per_rank {
+            let e = by_func.entry(*func).or_default();
+            e.count += p.count;
+            e.incl += p.incl;
+            e.excl += p.excl;
+        }
+        let mut v: Vec<_> = by_func.into_iter().collect();
+        v.sort_by(|a, b| b.1.incl.cmp(&a.1.incl).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Load imbalance of `f` across ranks: `max(incl) / mean(incl)`
+    /// (1.0 = perfectly balanced; 0.0 if never called).
+    pub fn imbalance(&self, f: VtFuncId) -> f64 {
+        let per: Vec<f64> = self
+            .ranks
+            .iter()
+            .map(|r| {
+                self.per_rank
+                    .get(&(*r, f))
+                    .map_or(0.0, |p| p.incl.as_secs_f64())
+            })
+            .collect();
+        if per.is_empty() {
+            return 0.0;
+        }
+        let mean = per.iter().sum::<f64>() / per.len() as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        per.iter().cloned().fold(0.0, f64::max) / mean
+    }
+
+    /// Render the top-`n` functions as a text table (the GUI's statistics
+    /// pane).
+    pub fn render_top(&self, n: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<40} {:>12} {:>14} {:>14} {:>8}\n",
+            "function", "calls", "incl", "excl", "imbal"
+        ));
+        for (f, p) in self.hot_functions().into_iter().take(n) {
+            out.push_str(&format!(
+                "{:<40} {:>12} {:>14} {:>14} {:>8.2}\n",
+                self.name(f),
+                p.count,
+                p.incl.to_string(),
+                p.excl.to_string(),
+                self.imbalance(f)
+            ));
+        }
+        out
+    }
+}
+
+/// Per-rank instrumenter-suspension windows found in a trace.
+pub fn suspension_windows(trace: &Trace) -> BTreeMap<u32, Vec<(SimTime, SimTime)>> {
+    let mut out: BTreeMap<u32, Vec<(SimTime, SimTime)>> = BTreeMap::new();
+    for ev in &trace.events {
+        if let Event::Suspended { t, t_end, rank } = *ev {
+            out.entry(rank).or_default().push((t, t_end));
+        }
+    }
+    for ws in out.values_mut() {
+        ws.sort_unstable();
+    }
+    out
+}
+
+/// Total overlap of `[a, b]` with the (sorted, disjoint) windows.
+fn overlap_with(a: SimTime, b: SimTime, windows: &[(SimTime, SimTime)]) -> SimTime {
+    let mut total = SimTime::ZERO;
+    for &(w0, w1) in windows {
+        if w0 >= b {
+            break;
+        }
+        let lo = a.max(w0);
+        let hi = b.min(w1);
+        if hi > lo {
+            total += hi - lo;
+        }
+    }
+    total
+}
+
+/// Trace volume statistics: the paper's motivating data-rate numbers
+/// ("performance data gathering has been estimated to grow at ~2 MB/s").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceVolume {
+    /// Modelled bytes in the trace.
+    pub bytes: u64,
+    /// Trace duration (first to last event).
+    pub duration: SimTime,
+    /// Bytes per second of execution, across all ranks.
+    pub bytes_per_second: f64,
+}
+
+/// Compute trace-volume statistics (with `event_bytes` per plain event).
+pub fn trace_volume(trace: &Trace, event_bytes: usize) -> TraceVolume {
+    let bytes = trace.modelled_bytes(event_bytes);
+    let duration = match (trace.events.first(), trace.events.last()) {
+        (Some(a), Some(b)) => b.time().saturating_sub(a.time()),
+        _ => SimTime::ZERO,
+    };
+    let secs = duration.as_secs_f64();
+    TraceVolume {
+        bytes,
+        duration,
+        bytes_per_second: if secs > 0.0 { bytes as f64 / secs } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_trace() -> Trace {
+        let us = SimTime::from_micros;
+        Trace {
+            program: "toy".into(),
+            functions: vec!["main".into(), "work".into()],
+            events: vec![
+                Event::FuncEnter { t: us(0), rank: 0, thread: 0, func: VtFuncId(0) },
+                Event::FuncEnter { t: us(10), rank: 0, thread: 0, func: VtFuncId(1) },
+                Event::FuncExit { t: us(40), rank: 0, thread: 0, func: VtFuncId(1) },
+                Event::FuncExit { t: us(50), rank: 0, thread: 0, func: VtFuncId(0) },
+                Event::FuncEnter { t: us(0), rank: 1, thread: 0, func: VtFuncId(0) },
+                Event::FuncBatch {
+                    t: us(5),
+                    rank: 1,
+                    thread: 0,
+                    func: VtFuncId(1),
+                    count: 100,
+                    span: us(60),
+                },
+                Event::FuncExit { t: us(70), rank: 1, thread: 0, func: VtFuncId(0) },
+            ],
+        }
+    }
+
+    #[test]
+    fn nested_calls_split_incl_excl() {
+        let p = Profile::from_trace(&toy_trace());
+        let main0 = p.per_rank[&(0, VtFuncId(0))];
+        let work0 = p.per_rank[&(0, VtFuncId(1))];
+        assert_eq!(main0.count, 1);
+        assert_eq!(main0.incl, SimTime::from_micros(50));
+        assert_eq!(main0.excl, SimTime::from_micros(20));
+        assert_eq!(work0.incl, SimTime::from_micros(30));
+        assert_eq!(work0.excl, SimTime::from_micros(30));
+    }
+
+    #[test]
+    fn batches_count_fully_and_charge_parents() {
+        let p = Profile::from_trace(&toy_trace());
+        let work1 = p.per_rank[&(1, VtFuncId(1))];
+        assert_eq!(work1.count, 100);
+        assert_eq!(work1.incl, SimTime::from_micros(60));
+        let main1 = p.per_rank[&(1, VtFuncId(0))];
+        assert_eq!(main1.excl, SimTime::from_micros(10));
+    }
+
+    #[test]
+    fn hot_functions_sorted_by_inclusive() {
+        let p = Profile::from_trace(&toy_trace());
+        let hot = p.hot_functions();
+        assert_eq!(p.name(hot[0].0), "main"); // 50+70us total
+        assert_eq!(hot[0].1.count, 2);
+    }
+
+    #[test]
+    fn imbalance_detects_skew() {
+        let p = Profile::from_trace(&toy_trace());
+        // work: rank0 30us, rank1 60us -> max/mean = 60/45.
+        let f = VtFuncId(1);
+        assert!((p.imbalance(f) - 60.0 / 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn volume_counts_batches() {
+        let v = trace_volume(&toy_trace(), 24);
+        // 6 plain events + batch of 100 pairs.
+        assert_eq!(v.bytes, 6 * 24 + 200 * 24);
+        assert_eq!(v.duration, SimTime::from_micros(70));
+        assert!(v.bytes_per_second > 0.0);
+    }
+
+    #[test]
+    fn suspension_exclusion_discounts_overlap() {
+        // work: 0..100us with a 20..50us suspension inside.
+        let us = SimTime::from_micros;
+        let trace = Trace {
+            program: "t".into(),
+            functions: vec!["work".into()],
+            events: vec![
+                Event::FuncEnter { t: us(0), rank: 0, thread: 0, func: VtFuncId(0) },
+                Event::Suspended { t: us(20), t_end: us(50), rank: 0 },
+                Event::FuncExit { t: us(100), rank: 0, thread: 0, func: VtFuncId(0) },
+            ],
+        };
+        let plain = Profile::from_trace(&trace);
+        assert_eq!(plain.per_rank[&(0, VtFuncId(0))].incl, us(100));
+        let fair = Profile::from_trace_opts(
+            &trace,
+            ProfileOptions { exclude_suspensions: true },
+        );
+        assert_eq!(fair.per_rank[&(0, VtFuncId(0))].incl, us(70));
+        // Windows are reported per rank.
+        let ws = suspension_windows(&trace);
+        assert_eq!(ws[&0], vec![(us(20), us(50))]);
+    }
+
+    #[test]
+    fn suspension_exclusion_clips_partial_overlap() {
+        let us = SimTime::from_micros;
+        let trace = Trace {
+            program: "t".into(),
+            functions: vec!["w".into()],
+            events: vec![
+                // Batch spanning 10..40; suspension 30..60 overlaps 10us.
+                Event::Suspended { t: us(30), t_end: us(60), rank: 0 },
+                Event::FuncBatch {
+                    t: us(10),
+                    rank: 0,
+                    thread: 0,
+                    func: VtFuncId(0),
+                    count: 5,
+                    span: us(30),
+                },
+            ],
+        };
+        let fair = Profile::from_trace_opts(
+            &trace,
+            ProfileOptions { exclude_suspensions: true },
+        );
+        assert_eq!(fair.per_rank[&(0, VtFuncId(0))].incl, us(20));
+        // Other ranks are unaffected.
+        let trace2 = Trace {
+            events: trace
+                .events
+                .iter()
+                .cloned()
+                .map(|e| match e {
+                    Event::FuncBatch { t, thread, func, count, span, .. } => Event::FuncBatch {
+                        t, rank: 1, thread, func, count, span,
+                    },
+                    other => other,
+                })
+                .collect(),
+            ..trace.clone()
+        };
+        let fair2 = Profile::from_trace_opts(
+            &trace2,
+            ProfileOptions { exclude_suspensions: true },
+        );
+        assert_eq!(fair2.per_rank[&(1, VtFuncId(0))].incl, us(30));
+    }
+
+    #[test]
+    fn render_top_mentions_functions() {
+        let p = Profile::from_trace(&toy_trace());
+        let s = p.render_top(5);
+        assert!(s.contains("main"));
+        assert!(s.contains("work"));
+    }
+}

@@ -1,0 +1,264 @@
+//! An ASCII rendering of the VGV main time-line display (paper Fig 4).
+//!
+//! "In the main time-line display, MPI processes and OpenMP threads are
+//! shown as horizontal bars. A wiggle glyph is superimposed on these bars
+//! to represent OpenMP parallel regions."
+//!
+//! Each rank gets one row; time is bucketed into columns. Bucket glyphs,
+//! by precedence: `M` while inside an MPI call, `~` while any OpenMP
+//! parallel region is active (the wiggle), `#` while inside an
+//! instrumented function, `.` otherwise-idle trace time, ` ` before the
+//! rank's first event. Optional per-thread rows expand the wiggle into
+//! the individual team members.
+
+use dynprof_sim::SimTime;
+use dynprof_vt::{Event, Trace};
+
+/// Timeline rendering options.
+#[derive(Clone, Copy, Debug)]
+pub struct TimelineOptions {
+    /// Number of time buckets (columns).
+    pub width: usize,
+    /// Also render one row per OpenMP thread.
+    pub per_thread: bool,
+}
+
+impl Default for TimelineOptions {
+    fn default() -> Self {
+        TimelineOptions {
+            width: 72,
+            per_thread: false,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, PartialOrd)]
+enum Glyph {
+    Blank = 0,
+    Idle = 1,
+    Func = 2,
+    Wiggle = 3,
+    Mpi = 4,
+    /// Suspended by the instrumenter (paper §5.1's period of inactivity).
+    Suspended = 5,
+}
+
+impl Glyph {
+    fn ch(self) -> char {
+        match self {
+            Glyph::Blank => ' ',
+            Glyph::Idle => '.',
+            Glyph::Func => '#',
+            Glyph::Wiggle => '~',
+            Glyph::Mpi => 'M',
+            Glyph::Suspended => 'S',
+        }
+    }
+}
+
+/// Render the trace as an ASCII time-line.
+pub fn render(trace: &Trace, opts: TimelineOptions) -> String {
+    let (t0, t1) = match (trace.events.first(), trace.events.last()) {
+        (Some(a), Some(b)) => (a.time(), b.time()),
+        _ => return String::from("(empty trace)\n"),
+    };
+    let span = t1.saturating_sub(t0).max(SimTime::from_nanos(1));
+    let width = opts.width.max(8);
+    let bucket_of = |t: SimTime| -> usize {
+        let rel = t.saturating_sub(t0).as_nanos() as u128;
+        ((rel * width as u128 / span.as_nanos().max(1) as u128) as usize).min(width - 1)
+    };
+
+    let mut ranks: Vec<u32> = trace.events.iter().map(Event::rank).collect();
+    ranks.sort_unstable();
+    ranks.dedup();
+
+    // Row keys: (rank, Option<thread>).
+    let mut rows: Vec<(u32, Option<u16>)> = Vec::new();
+    for &r in &ranks {
+        rows.push((r, None));
+        if opts.per_thread {
+            let mut threads: Vec<u16> = trace
+                .events
+                .iter()
+                .filter_map(|e| match *e {
+                    Event::OmpThread { rank, thread, .. } if rank == r => Some(thread),
+                    _ => None,
+                })
+                .collect();
+            threads.sort_unstable();
+            threads.dedup();
+            for t in threads {
+                rows.push((r, Some(t)));
+            }
+        }
+    }
+
+    let mut grid: Vec<Vec<Glyph>> = vec![vec![Glyph::Blank; width]; rows.len()];
+    let row_index = |rank: u32, thread: Option<u16>| -> Option<usize> {
+        rows.iter().position(|&k| k == (rank, thread))
+    };
+    let mut paint = |row: Option<usize>, a: SimTime, b: SimTime, g: Glyph| {
+        if let Some(r) = row {
+            let (ba, bb) = (bucket_of(a), bucket_of(b));
+            for cell in grid[r][ba..=bb].iter_mut() {
+                if (*cell as u8) < (g as u8) {
+                    *cell = g;
+                }
+            }
+        }
+    };
+
+    // First pass: base activity (idle from first to last event per rank).
+    let mut first_last: std::collections::BTreeMap<u32, (SimTime, SimTime)> = Default::default();
+    for e in &trace.events {
+        let entry = first_last
+            .entry(e.rank())
+            .or_insert((e.time(), e.time()));
+        entry.0 = entry.0.min(e.time());
+        entry.1 = entry.1.max(e.time());
+    }
+    for (&r, &(a, b)) in &first_last {
+        paint(row_index(r, None), a, b, Glyph::Idle);
+    }
+
+    // Second pass: spans.
+    let mut func_stack: std::collections::BTreeMap<(u32, u16), Vec<SimTime>> = Default::default();
+    for e in &trace.events {
+        match *e {
+            Event::FuncEnter { t, rank, thread, .. } => {
+                func_stack.entry((rank, thread)).or_default().push(t);
+            }
+            Event::FuncExit { t, rank, thread, .. } => {
+                if let Some(t0) = func_stack.entry((rank, thread)).or_default().pop() {
+                    paint(row_index(rank, None), t0, t, Glyph::Func);
+                    if opts.per_thread {
+                        paint(row_index(rank, Some(thread)), t0, t, Glyph::Func);
+                    }
+                }
+            }
+            Event::FuncBatch { t, rank, thread, span, .. } => {
+                paint(row_index(rank, None), t, t + span, Glyph::Func);
+                if opts.per_thread {
+                    paint(row_index(rank, Some(thread)), t, t + span, Glyph::Func);
+                }
+            }
+            Event::MpiCall { t, t_end, rank, .. } => {
+                paint(row_index(rank, None), t, t_end, Glyph::Mpi);
+            }
+            Event::OmpThread { t, t_end, rank, thread, .. } => {
+                paint(row_index(rank, None), t, t_end, Glyph::Wiggle);
+                if opts.per_thread {
+                    paint(row_index(rank, Some(thread)), t, t_end, Glyph::Wiggle);
+                }
+            }
+            Event::Suspended { t, t_end, rank } => {
+                paint(row_index(rank, None), t, t_end, Glyph::Suspended);
+            }
+            _ => {}
+        }
+    }
+
+    // Assemble.
+    let mut out = String::new();
+    out.push_str(&format!(
+        "time-line of {:?}: {} .. {} ({} ranks)\n",
+        trace.program,
+        t0,
+        t1,
+        ranks.len()
+    ));
+    out.push_str("legend: M=MPI call  ~=OpenMP region  #=function  S=suspended  .=traced\n");
+    for (i, &(rank, thread)) in rows.iter().enumerate() {
+        let label = match thread {
+            None => format!("rank {rank:>3}      "),
+            Some(t) => format!("  thread {t:>2}   "),
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(grid[i].iter().map(|g| g.ch()));
+        out.push_str("|\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynprof_vt::VtFuncId;
+
+    fn us(v: u64) -> SimTime {
+        SimTime::from_micros(v)
+    }
+
+    fn sample() -> Trace {
+        Trace {
+            program: "sweep3d".into(),
+            functions: vec!["sweep".into()],
+            events: vec![
+                Event::FuncEnter { t: us(0), rank: 0, thread: 0, func: VtFuncId(0) },
+                Event::MpiCall {
+                    t: us(10),
+                    t_end: us(30),
+                    rank: 0,
+                    op: 2,
+                    peer: 1,
+                    bytes: 100,
+                },
+                Event::FuncExit { t: us(50), rank: 0, thread: 0, func: VtFuncId(0) },
+                Event::OmpFork { t: us(0), rank: 1, region: 0, team: 2 },
+                Event::OmpThread { t: us(5), t_end: us(45), rank: 1, thread: 0, region: 0 },
+                Event::OmpThread { t: us(5), t_end: us(40), rank: 1, thread: 1, region: 0 },
+                Event::OmpJoin { t: us(50), rank: 1, region: 0, team: 2 },
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_rows_for_each_rank() {
+        let s = render(&sample(), TimelineOptions::default());
+        assert!(s.contains("rank   0"));
+        assert!(s.contains("rank   1"));
+        assert!(s.contains('M'), "MPI glyph missing:\n{s}");
+        assert!(s.contains('~'), "wiggle glyph missing:\n{s}");
+        assert!(s.contains('#'), "function glyph missing:\n{s}");
+    }
+
+    #[test]
+    fn per_thread_rows_expand_team() {
+        let s = render(
+            &sample(),
+            TimelineOptions {
+                width: 40,
+                per_thread: true,
+            },
+        );
+        assert!(s.contains("thread  0"));
+        assert!(s.contains("thread  1"));
+    }
+
+    #[test]
+    fn mpi_glyph_beats_function_glyph() {
+        let s = render(&sample(), TimelineOptions { width: 50, per_thread: false });
+        let row0 = s.lines().find(|l| l.contains("rank   0")).unwrap();
+        // The MPI call sits at 20%-60% of the row.
+        let bars: String = row0.chars().skip_while(|c| *c != '|').collect();
+        assert!(bars.contains('M'));
+        assert!(bars.contains('#'));
+    }
+
+    #[test]
+    fn empty_trace_is_handled() {
+        let t = Trace::default();
+        assert_eq!(render(&t, TimelineOptions::default()), "(empty trace)\n");
+    }
+
+    #[test]
+    fn width_is_respected() {
+        let s = render(&sample(), TimelineOptions { width: 30, per_thread: false });
+        for line in s.lines().filter(|l| l.starts_with("rank")) {
+            let inner = line.split('|').nth(1).unwrap();
+            assert_eq!(inner.chars().count(), 30);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Trace-file I/O: the postmortem hand-off between the instrumented run
+//! and the analysis GUI ("all data collected at run-time is ... written to
+//! a trace file", paper §3.1).
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use bytes::Bytes;
+use dynprof_vt::Trace;
+
+/// Write a trace to disk in the binary `VGVT` format.
+pub fn write_trace(trace: &Trace, path: impl AsRef<Path>) -> io::Result<u64> {
+    let encoded = trace.encode();
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&encoded)?;
+    Ok(encoded.len() as u64)
+}
+
+/// Read a trace from disk.
+pub fn read_trace(path: impl AsRef<Path>) -> io::Result<Trace> {
+    let mut buf = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut buf)?;
+    Trace::decode(Bytes::from(buf)).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynprof_sim::SimTime;
+    use dynprof_vt::{Event, VtFuncId};
+
+    #[test]
+    fn disk_round_trip() {
+        let trace = Trace {
+            program: "t".into(),
+            functions: vec!["f".into()],
+            events: vec![Event::FuncEnter {
+                t: SimTime::from_micros(1),
+                rank: 0,
+                thread: 0,
+                func: VtFuncId(0),
+            }],
+        };
+        let dir = std::env::temp_dir().join("dynprof-test-traces");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("trace-{}.vgvt", std::process::id()));
+        let n = write_trace(&trace, &path).unwrap();
+        assert!(n > 0);
+        let back = read_trace(&path).unwrap();
+        assert_eq!(back, trace);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_file_is_an_error() {
+        let dir = std::env::temp_dir().join("dynprof-test-traces");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("garbage-{}.vgvt", std::process::id()));
+        std::fs::write(&path, b"not a trace").unwrap();
+        assert!(read_trace(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,37 @@
+//! The dynprof tool, invocable as in paper §3.3:
+//!
+//! ```text
+//! dynprof <script|-> <stdout-file|-> <timefile|-> <app> [key=value ...]
+//! ```
+//!
+//! See `dynprof_apps::cli` for the full option list. Example:
+//!
+//! ```console
+//! $ echo 'insert-file subset
+//! start
+//! quit' | cargo run -p dynprof-apps --bin dynprof -- - - - sweep3d cpus=8
+//! ```
+
+use dynprof_apps::cli::{run_cli, write_outputs, CliArgs, USAGE};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return;
+    }
+    let parsed = match CliArgs::parse(&args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("dynprof: {e}");
+            std::process::exit(2);
+        }
+    };
+    match run_cli(&parsed).and_then(|out| write_outputs(&parsed, &out)) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("dynprof: {e}");
+            std::process::exit(1);
+        }
+    }
+}

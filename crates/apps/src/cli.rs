@@ -1,0 +1,321 @@
+//! The dynprof command-line tool (paper §3.3).
+//!
+//! The paper's invocation is
+//!
+//! ```text
+//! dynprof <stdinfile> <stdoutfile> <timefile> <target> <params> <poe params>
+//! ```
+//!
+//! Ours mirrors it against the simulated machine:
+//!
+//! ```text
+//! dynprof <script|-> <stdout-file|-> <timefile|-> <app> [key=value ...]
+//!
+//!   app        smg98 | sppm | sweep3d | umt98
+//!   cpus=N     processor count                      (default 4)
+//!   scale=X    workload scale factor                (default test scale)
+//!   machine=M  ibm | ia32 | test                    (default ibm)
+//!   seed=N     simulation seed                      (default 42)
+//!   policy=P   dynamic | full | full-off | subset | none (default dynamic)
+//!   trace=F    also write the binary trace file to F
+//! ```
+//!
+//! The script file holds Table-1 commands (`insert-file subset`, `start`,
+//! `wait 2`, `remove ...`, `quit`); `-` reads it from stdin.
+
+use std::io::Read;
+use std::sync::Arc;
+
+use dynprof_core::{run_session, AppSpec, Command, SessionConfig, SessionReport};
+use dynprof_sim::Machine;
+use dynprof_vt::Policy;
+
+use crate::workload::Outputs;
+
+/// Parsed CLI invocation.
+#[derive(Clone, Debug)]
+pub struct CliArgs {
+    /// Script path (`-` = stdin).
+    pub script: String,
+    /// Session-summary output path (`-` = stdout).
+    pub stdout_file: String,
+    /// Timefile output path (`-` = stdout).
+    pub timefile: String,
+    /// Target application name.
+    pub app: String,
+    /// Processor count.
+    pub cpus: usize,
+    /// Workload scale (1.0 = paper scale).
+    pub scale: f64,
+    /// Machine model name.
+    pub machine: String,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Instrumentation policy.
+    pub policy: Policy,
+    /// Optional trace-file output path.
+    pub trace: Option<String>,
+}
+
+/// Everything one invocation produced.
+pub struct CliOutput {
+    /// The session report.
+    pub report: SessionReport,
+    /// The rendered summary (what goes to the stdout file).
+    pub summary: String,
+    /// The rendered timefile.
+    pub timefile: String,
+    /// Application outputs (numerics).
+    pub outputs: Arc<Outputs>,
+}
+
+/// The usage text.
+pub const USAGE: &str = "\
+usage: dynprof <script|-> <stdout-file|-> <timefile|-> <app> [key=value ...]
+  app:      smg98 | sppm | sweep3d | umt98
+  options:  cpus=N scale=X machine=ibm|ia32|test seed=N
+            policy=dynamic|full|full-off|subset|none trace=FILE
+";
+
+impl CliArgs {
+    /// Parse an argument vector (without the program name).
+    pub fn parse(args: &[String]) -> Result<CliArgs, String> {
+        if args.len() < 4 {
+            return Err(format!("expected at least 4 arguments\n{USAGE}"));
+        }
+        let mut out = CliArgs {
+            script: args[0].clone(),
+            stdout_file: args[1].clone(),
+            timefile: args[2].clone(),
+            app: args[3].clone(),
+            cpus: 4,
+            scale: f64::NAN, // NaN = use the app's test() scale
+            machine: "ibm".into(),
+            seed: 42,
+            policy: Policy::Dynamic,
+            trace: None,
+        };
+        for kv in &args[4..] {
+            let (k, v) = kv
+                .split_once('=')
+                .ok_or_else(|| format!("bad option {kv:?} (expected key=value)\n{USAGE}"))?;
+            match k {
+                "cpus" => out.cpus = v.parse().map_err(|_| format!("bad cpus {v:?}"))?,
+                "scale" => out.scale = v.parse().map_err(|_| format!("bad scale {v:?}"))?,
+                "machine" => out.machine = v.to_string(),
+                "seed" => out.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?,
+                "policy" => {
+                    out.policy =
+                        Policy::parse(v).ok_or_else(|| format!("unknown policy {v:?}"))?
+                }
+                "trace" => out.trace = Some(v.to_string()),
+                other => return Err(format!("unknown option {other:?}\n{USAGE}")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// The machine model.
+    pub fn machine_model(&self) -> Result<Machine, String> {
+        Ok(match self.machine.as_str() {
+            "ibm" => Machine::ibm_power3_colony(),
+            "ia32" => Machine::ia32_pentium3_cluster(),
+            "test" => Machine::test_machine(),
+            other => return Err(format!("unknown machine {other:?} (ibm|ia32|test)")),
+        })
+    }
+}
+
+fn build_app(args: &CliArgs) -> Result<(AppSpec, Arc<Outputs>), String> {
+    let scaled = !args.scale.is_nan();
+    macro_rules! app {
+        ($params:ty, $ctor:path) => {{
+            let mut p = if scaled {
+                <$params>::paper()
+            } else {
+                <$params>::test()
+            };
+            if scaled {
+                p.scale = args.scale;
+            }
+            let o = Arc::clone(&p.outputs);
+            (($ctor)(args.cpus, p), o)
+        }};
+    }
+    Ok(match args.app.as_str() {
+        "smg98" => app!(crate::Smg98Params, crate::smg98),
+        "sppm" => app!(crate::SppmParams, crate::sppm),
+        "sweep3d" => app!(crate::Sweep3dParams, crate::sweep3d),
+        "umt98" => app!(crate::Umt98Params, crate::umt98),
+        other => return Err(format!("unknown application {other:?}")),
+    })
+}
+
+fn read_script(path: &str) -> Result<Vec<Command>, String> {
+    let text = if path == "-" {
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        s
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path:?}: {e}"))?
+    };
+    Command::parse_script(&text).map_err(|e| format!("script {path:?}: {e}"))
+}
+
+/// Run one dynprof invocation. Does not touch the filesystem except to
+/// read the script (callers write the outputs — see [`write_outputs`]).
+pub fn run_cli(args: &CliArgs) -> Result<CliOutput, String> {
+    let (app, outputs) = build_app(args)?;
+    let script = read_script(&args.script)?;
+    let machine = args.machine_model()?;
+    let mut cfg = SessionConfig::new(machine, args.policy).with_seed(args.seed);
+    if args.policy == Policy::Dynamic {
+        cfg = cfg.with_script(script);
+    }
+    let report = run_session(&app, cfg);
+
+    let mut summary = String::new();
+    summary.push_str(&format!(
+        "dynprof: {} on {} CPUs, policy {}, machine {}\n",
+        args.app, args.cpus, args.policy, args.machine
+    ));
+    summary.push_str(&format!("application time : {}\n", report.app_time));
+    summary.push_str(&format!("create time      : {}\n", report.create_time));
+    summary.push_str(&format!("instrument time  : {}\n", report.instrument_time));
+    summary.push_str(&format!(
+        "probe pairs      : {}\n",
+        report.probe_pairs_installed
+    ));
+    summary.push_str(&format!("trace volume     : {} bytes\n", report.trace_bytes));
+    for w in &report.warnings {
+        summary.push_str(&format!("warning          : {w}\n"));
+    }
+    summary.push('\n');
+    let profile =
+        dynprof_analysis::Profile::from_trace(&report.vt.build_trace());
+    summary.push_str(&profile.render_top(15));
+
+    let timefile = report.timefile.render();
+    Ok(CliOutput {
+        report,
+        summary,
+        timefile,
+        outputs,
+    })
+}
+
+/// Write an invocation's outputs to the requested destinations.
+pub fn write_outputs(args: &CliArgs, out: &CliOutput) -> Result<(), String> {
+    let emit = |path: &str, text: &str| -> Result<(), String> {
+        if path == "-" {
+            print!("{text}");
+            Ok(())
+        } else {
+            std::fs::write(path, text).map_err(|e| format!("writing {path:?}: {e}"))
+        }
+    };
+    emit(&args.stdout_file, &out.summary)?;
+    emit(&args.timefile, &out.timefile)?;
+    if let Some(trace_path) = &args.trace {
+        let trace = out.report.vt.build_trace();
+        dynprof_analysis::write_trace(&trace, trace_path)
+            .map_err(|e| format!("writing trace {trace_path:?}: {e}"))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_positional_and_options() {
+        let a = CliArgs::parse(&strs(&[
+            "script.dp", "-", "time.txt", "sweep3d", "cpus=8", "seed=7", "machine=test",
+            "policy=full-off",
+        ]))
+        .unwrap();
+        assert_eq!(a.script, "script.dp");
+        assert_eq!(a.cpus, 8);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.machine, "test");
+        assert_eq!(a.policy, Policy::FullOff);
+        assert!(a.scale.is_nan());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(CliArgs::parse(&strs(&["a", "b", "c"])).is_err());
+        assert!(CliArgs::parse(&strs(&["a", "b", "c", "smg98", "bogus"])).is_err());
+        assert!(CliArgs::parse(&strs(&["a", "b", "c", "smg98", "cpus=x"])).is_err());
+        assert!(CliArgs::parse(&strs(&["a", "b", "c", "smg98", "policy=nope"])).is_err());
+        let a = CliArgs::parse(&strs(&["a", "b", "c", "smg98", "machine=vax"])).unwrap();
+        assert!(a.machine_model().is_err());
+    }
+
+    #[test]
+    fn end_to_end_invocation() {
+        let dir = std::env::temp_dir().join("dynprof-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let script = dir.join(format!("s-{}.dp", std::process::id()));
+        std::fs::write(&script, "insert-file subset\nstart\nquit\n").unwrap();
+        let trace = dir.join(format!("t-{}.vgvt", std::process::id()));
+        let args = CliArgs::parse(&strs(&[
+            script.to_str().unwrap(),
+            "-",
+            "-",
+            "sweep3d",
+            "cpus=2",
+            "seed=5",
+        ]))
+        .map(|mut a| {
+            a.trace = Some(trace.to_str().unwrap().to_string());
+            a
+        })
+        .unwrap();
+        let out = run_cli(&args).unwrap();
+        assert!(out.summary.contains("probe pairs      : 42"), "{}", out.summary);
+        assert!(out.summary.contains("sweep"));
+        assert!(out.timefile.contains("instrument"));
+        // Trace file written and readable.
+        write_outputs(
+            &CliArgs {
+                stdout_file: "-".into(),
+                timefile: "-".into(),
+                ..args.clone()
+            },
+            &out,
+        )
+        .unwrap();
+        let back = dynprof_analysis::read_trace(&trace).unwrap();
+        assert_eq!(back.program, "sweep3d");
+        std::fs::remove_file(&script).ok();
+        std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn static_policy_ignores_script_commands() {
+        let dir = std::env::temp_dir().join("dynprof-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let script = dir.join(format!("n-{}.dp", std::process::id()));
+        std::fs::write(&script, "start\n").unwrap();
+        let args = CliArgs::parse(&strs(&[
+            script.to_str().unwrap(),
+            "-",
+            "-",
+            "smg98",
+            "cpus=2",
+            "policy=none",
+        ]))
+        .unwrap();
+        let out = run_cli(&args).unwrap();
+        assert_eq!(out.report.probe_pairs_installed, 0);
+        std::fs::remove_file(&script).ok();
+    }
+}

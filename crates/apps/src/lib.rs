@@ -1,0 +1,117 @@
+//! # dynprof-apps — the ASCI kernel benchmarks (paper Table 2)
+//!
+//! | App     | Type/Lang | Description                      | Functions | Subset |
+//! |---------|-----------|----------------------------------|-----------|--------|
+//! | Smg98   | MPI/C     | A multigrid solver               | 199       | 62     |
+//! | Sppm    | MPI/F77   | A 3D gas dynamics problem        | 22        | 7      |
+//! | Sweep3d | MPI/F77   | A neutron transport problem      | 21        | 21     |
+//! | Umt98   | OMP/F77   | The Boltzmann transport equation | 44        | 6      |
+//!
+//! Each kernel is a genuine mini-app: it computes real, verifiable
+//! numerics on a small grid while charging paper-scale work to the
+//! simulator's virtual clock, and it routes its calls through its process
+//! image so that every instrumentation policy (static, configured-off, or
+//! dynamically patched) interacts with it exactly as the paper describes.
+//!
+//! ```
+//! use dynprof_apps::{smg98, Smg98Params};
+//! use dynprof_core::{run_session, SessionConfig};
+//! use dynprof_sim::Machine;
+//! use dynprof_vt::Policy;
+//!
+//! let app = smg98(4, Smg98Params::test());
+//! let report = run_session(&app, SessionConfig::new(Machine::test_machine(), Policy::Dynamic));
+//! assert!(report.probe_pairs_installed > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cli;
+mod smg98;
+mod sppm;
+mod sweep3d;
+mod umt98;
+pub mod workload;
+
+pub use smg98::{manifest as smg98_manifest, smg98, subset as smg98_subset, Smg98Params};
+pub use sppm::{manifest as sppm_manifest, sppm, subset as sppm_subset, SppmParams};
+pub use sweep3d::{
+    manifest as sweep3d_manifest, subset as sweep3d_subset, sweep3d, Sweep3dParams,
+};
+pub use umt98::{manifest as umt98_manifest, subset as umt98_subset, umt98, Umt98Params};
+
+use dynprof_core::AppSpec;
+use std::sync::Arc;
+use workload::Outputs;
+
+/// The four paper kernels by name, at the given CPU count, with test-scale
+/// parameters (used by integration tests and examples).
+pub fn test_app(name: &str, cpus: usize) -> Option<AppSpec> {
+    Some(match name {
+        "smg98" => smg98(cpus, Smg98Params::test()),
+        "sppm" => sppm(cpus, SppmParams::test()),
+        "sweep3d" => sweep3d(cpus, Sweep3dParams::test()),
+        "umt98" => umt98(cpus, Umt98Params::test()),
+        _ => return None,
+    })
+}
+
+/// The four paper kernels by name at paper scale (used by the benchmark
+/// harnesses), together with their output sinks.
+pub fn paper_app(name: &str, cpus: usize) -> Option<(AppSpec, Arc<Outputs>)> {
+    Some(match name {
+        "smg98" => {
+            let p = Smg98Params::paper();
+            let o = Arc::clone(&p.outputs);
+            (smg98(cpus, p), o)
+        }
+        "sppm" => {
+            let p = SppmParams::paper();
+            let o = Arc::clone(&p.outputs);
+            (sppm(cpus, p), o)
+        }
+        "sweep3d" => {
+            let p = Sweep3dParams::paper();
+            let o = Arc::clone(&p.outputs);
+            (sweep3d(cpus, p), o)
+        }
+        "umt98" => {
+            let p = Umt98Params::paper();
+            let o = Arc::clone(&p.outputs);
+            (umt98(cpus, p), o)
+        }
+        _ => return None,
+    })
+}
+
+/// Paper Table 2, as data.
+pub fn table2() -> Vec<(&'static str, &'static str, &'static str)> {
+    vec![
+        ("Smg98", "MPI/C", "A multigrid solver"),
+        ("Sppm", "MPI/F77", "A 3D gas dynamics problem"),
+        ("Sweep3d", "MPI/F77", "A neutron transport problem"),
+        ("Umt98", "OMP/F77", "The Boltzmann transport equation"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_lookup_by_name() {
+        for name in ["smg98", "sppm", "sweep3d", "umt98"] {
+            assert!(test_app(name, 2).is_some(), "{name}");
+            assert!(paper_app(name, 2).is_some(), "{name}");
+        }
+        assert!(test_app("nonesuch", 2).is_none());
+    }
+
+    #[test]
+    fn table2_lists_four_kernels() {
+        let t = table2();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[0].0, "Smg98");
+        assert_eq!(t[3].1, "OMP/F77");
+    }
+}

@@ -1,0 +1,247 @@
+//! Criterion micro-benchmarks of the instrumentation fast paths.
+//!
+//! The paper's results rest on a cost hierarchy: absent probes are free,
+//! deactivated probes pay a table lookup, active probes pay timestamp +
+//! event append, dynamic probes add trampoline dispatch. The figure
+//! harnesses *model* those costs on the virtual clock; these benchmarks
+//! *measure* the real Rust implementations in real-clock mode, validating
+//! that the implementation itself exhibits the hierarchy.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parking_lot::Mutex;
+
+use dynprof_image::{CallerCtx, FunctionInfo, ImageBuilder, ProbePoint};
+use dynprof_sim::{Machine, ProbeCosts, Proc, Sim, SimTime};
+use dynprof_vt::{vt_begin_snippet, vt_end_snippet, Trace, VtConfig, VtLib};
+
+/// Run `f` inside a real-clock simulated process and return its measured
+/// duration (setup excluded).
+fn in_real_proc(f: impl FnOnce(&Proc) -> Duration + Send + 'static) -> Duration {
+    let out = Arc::new(Mutex::new(Duration::ZERO));
+    let out2 = Arc::clone(&out);
+    let sim = Sim::real_time(Machine::test_machine());
+    sim.spawn("bench", 0, move |p| {
+        *out2.lock() = f(p);
+    });
+    sim.run();
+    let d = *out.lock();
+    d
+}
+
+fn bench_vt_fast_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vt");
+    g.bench_function("begin_end_active", |b| {
+        b.iter_custom(|iters| {
+            in_real_proc(move |p| {
+                let vt = VtLib::new("b", 1, VtConfig::all_on(), ProbeCosts::power3());
+                vt.init(p, 0);
+                let f = vt.funcdef(p, "hot");
+                let t = Instant::now();
+                for _ in 0..iters {
+                    vt.begin(p, 0, 0, f, 1);
+                    vt.end(p, 0, 0, f);
+                }
+                t.elapsed()
+            })
+        });
+    });
+    g.bench_function("begin_end_deactivated", |b| {
+        b.iter_custom(|iters| {
+            in_real_proc(move |p| {
+                let vt = VtLib::new("b", 1, VtConfig::all_off(), ProbeCosts::power3());
+                vt.init(p, 0);
+                let f = vt.funcdef(p, "cold");
+                let t = Instant::now();
+                for _ in 0..iters {
+                    vt.begin(p, 0, 0, f, 1);
+                    vt.end(p, 0, 0, f);
+                }
+                t.elapsed()
+            })
+        });
+    });
+    g.finish();
+}
+
+fn bench_image_call(c: &mut Criterion) {
+    let mut g = c.benchmark_group("image");
+    g.bench_function("call_unprobed", |b| {
+        b.iter_custom(|iters| {
+            in_real_proc(move |p| {
+                let mut bld = ImageBuilder::new("b");
+                let f = bld.add(FunctionInfo::new("f"));
+                let img = bld.build();
+                let t = Instant::now();
+                for _ in 0..iters {
+                    img.call(p, CallerCtx::default(), f, || criterion::black_box(1));
+                }
+                t.elapsed()
+            })
+        });
+    });
+    g.bench_function("call_trampolined_vt", |b| {
+        b.iter_custom(|iters| {
+            in_real_proc(move |p| {
+                let mut bld = ImageBuilder::new("b");
+                let f = bld.add(FunctionInfo::new("f"));
+                let img = bld.build();
+                let vt = VtLib::new("b", 1, VtConfig::all_on(), ProbeCosts::power3());
+                vt.init(p, 0);
+                let id = vt.funcdef(p, "f");
+                img.insert(ProbePoint::entry(f), vt_begin_snippet(Arc::clone(&vt), id));
+                img.insert(ProbePoint::exit(f), vt_end_snippet(Arc::clone(&vt), id));
+                let t = Instant::now();
+                for _ in 0..iters {
+                    img.call(p, CallerCtx::default(), f, || criterion::black_box(1));
+                }
+                t.elapsed()
+            })
+        });
+    });
+    g.finish();
+}
+
+fn bench_trace_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace");
+    let trace = {
+        let mut events = Vec::new();
+        for i in 0..10_000u64 {
+            events.push(dynprof_vt::Event::FuncEnter {
+                t: SimTime::from_nanos(i * 100),
+                rank: (i % 64) as u32,
+                thread: 0,
+                func: dynprof_vt::VtFuncId((i % 199) as u32),
+            });
+        }
+        Trace {
+            program: "bench".into(),
+            functions: (0..199).map(|i| format!("fn_{i}")).collect(),
+            events,
+        }
+    };
+    g.bench_function("encode_10k_events", |b| {
+        b.iter(|| criterion::black_box(trace.encode()));
+    });
+    let encoded = trace.encode();
+    g.bench_function("decode_10k_events", |b| {
+        b.iter(|| Trace::decode(criterion::black_box(encoded.clone())).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_config_resolve(c: &mut Criterion) {
+    let mut cfg = VtConfig::all_off();
+    for i in 0..60 {
+        cfg.exact.insert(format!("hypre_SMG_{i}"), true);
+    }
+    cfg.prefixes.push(("hypre_Struct".into(), true));
+    cfg.prefixes.push(("hypre_Box".into(), false));
+    c.bench_function("config_resolve", |b| {
+        b.iter(|| {
+            criterion::black_box(cfg.resolve("hypre_StructVectorSetConstantValues"))
+                | criterion::black_box(cfg.resolve("hypre_SMG_30"))
+                | criterion::black_box(cfg.resolve("unrelated_function"))
+        });
+    });
+}
+
+fn bench_des_engine(c: &mut Criterion) {
+    // Virtual-mode event throughput: two processes ping-pong through a
+    // channel; measures scheduler handoff cost per event.
+    c.bench_function("des_pingpong_1k", |b| {
+        b.iter(|| {
+            let sim = Sim::virtual_time(Machine::test_machine(), 1);
+            let ch_a: Arc<dynprof_sim::sync::SimChannel<u32>> =
+                Arc::new(dynprof_sim::sync::SimChannel::new());
+            let ch_b: Arc<dynprof_sim::sync::SimChannel<u32>> =
+                Arc::new(dynprof_sim::sync::SimChannel::new());
+            let (a1, b1) = (Arc::clone(&ch_a), Arc::clone(&ch_b));
+            sim.spawn("ping", 0, move |p| {
+                for i in 0..500u32 {
+                    a1.send(p, i, SimTime::from_micros(1));
+                    let _ = b1.recv(p);
+                }
+            });
+            let (a2, b2) = (ch_a, ch_b);
+            sim.spawn("pong", 1, move |p| {
+                for _ in 0..500u32 {
+                    let v = a2.recv(p);
+                    b2.send(p, v, SimTime::from_micros(1));
+                }
+            });
+            sim.run()
+        });
+    });
+}
+
+fn bench_runtimes(c: &mut Criterion) {
+    // Host cost of simulating one MPI allreduce across 16 ranks.
+    c.bench_function("sim_allreduce_16ranks", |b| {
+        b.iter(|| {
+            let sim = Sim::virtual_time(Machine::test_machine(), 1);
+            dynprof_mpi::launch(
+                &sim,
+                dynprof_mpi::JobSpec::new("b", 16),
+                vec![],
+                |p, c| {
+                    c.init(p);
+                    let v = c.allreduce(p, c.rank() as u64, |a, b| a + b);
+                    criterion::black_box(v);
+                    c.finalize(p);
+                },
+            );
+            sim.run()
+        });
+    });
+    // Host cost of simulating one OpenMP fork-join over 8 threads.
+    c.bench_function("sim_omp_forkjoin_8threads", |b| {
+        b.iter(|| {
+            let sim = Sim::virtual_time(Machine::test_machine(), 1);
+            sim.spawn("app", 0, |p| {
+                let rt = dynprof_omp::OmpRuntime::new(p, "app", 8, vec![]);
+                for _ in 0..10 {
+                    rt.parallel(p, "r", |ctx| {
+                        ctx.proc.advance(SimTime::from_micros(5));
+                    });
+                }
+                rt.shutdown(p);
+            });
+            sim.run()
+        });
+    });
+    // Host cost of one full VT_confsync safe point at 64 ranks.
+    c.bench_function("sim_confsync_64ranks", |b| {
+        b.iter(|| {
+            let vt = VtLib::new("b", 64, VtConfig::all_on(), ProbeCosts::power3());
+            let monitor = dynprof_vt::MonitorLink::new();
+            let sim = Sim::virtual_time(Machine::test_machine(), 1);
+            let (v2, m2) = (Arc::clone(&vt), Arc::clone(&monitor));
+            dynprof_mpi::launch(
+                &sim,
+                dynprof_mpi::JobSpec::new("b", 64),
+                vec![],
+                move |p, c| {
+                    c.init(p);
+                    v2.init(p, c.rank());
+                    dynprof_vt::confsync(&v2, &m2, p, c, false);
+                    c.finalize(p);
+                },
+            );
+            sim.run()
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_vt_fast_paths,
+    bench_image_call,
+    bench_trace_codec,
+    bench_config_resolve,
+    bench_des_engine,
+    bench_runtimes
+);
+criterion_main!(benches);

@@ -1,0 +1,219 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! ```text
+//! ablation [--study sampling|probe-costs|daemon-jitter] [--json]
+//! ```
+//!
+//! * `sampling` — complete profiling (the paper's choice for VGV) vs an
+//!   ideal statistical sampler (§2's alternative): overhead, trace
+//!   volume, and profile accuracy on Smg98.
+//! * `probe-costs` — sensitivity of the Fig 7(a) result to the active
+//!   probe-pair cost: the ~7× slowdown is a property of probe cost ×
+//!   call granularity, not of a particular constant.
+//! * `daemon-jitter` — sensitivity of Fig 9's create+instrument time to
+//!   DPCL's asynchronous message jitter.
+
+use dynprof_apps::{paper_app, smg98, Smg98Params};
+use dynprof_core::{run_session, SessionConfig};
+use dynprof_sim::{Machine, SimTime};
+use dynprof_vt::{sample_image, Policy};
+
+fn study_sampling(json: bool) {
+    let cpus = 4;
+    // Complete profiling: the Full policy.
+    let (app, _) = paper_app("smg98", cpus).unwrap();
+    let full = run_session(
+        &app,
+        SessionConfig::new(Machine::ibm_power3_colony(), Policy::Full).with_seed(2),
+    );
+    // Uninstrumented run with the PC journal: the sampler's substrate.
+    let (app, _) = paper_app("smg98", cpus).unwrap();
+    let none = run_session(
+        &app,
+        SessionConfig::new(Machine::ibm_power3_colony(), Policy::None)
+            .with_seed(2)
+            .with_pc_log(),
+    );
+
+    // Ground truth: the Full run's per-function inclusive shares.
+    let vt = &full.vt;
+    let truth_of = |name: &str| -> f64 {
+        let id = match vt.func_id(name) {
+            Some(i) => i,
+            None => return 0.0,
+        };
+        (0..cpus)
+            .map(|r| vt.stat_of(r, id).incl.as_secs_f64())
+            .sum::<f64>()
+    };
+    let hot_names = ["hypre_StructAxpy", "hypre_StructCopy", "hypre_StructInnerProd"];
+    let truth_total: f64 = (0..cpus)
+        .flat_map(|r| vt.stats_rows(r))
+        .map(|(_, _, incl, _)| incl as f64 / 1e9)
+        .sum();
+
+    let mut rows = Vec::new();
+    for interval_us in [100u64, 1_000, 10_000] {
+        let interval = SimTime::from_micros(interval_us);
+        let mut ticks = 0u64;
+        let mut overhead = SimTime::ZERO;
+        let mut err_sum = 0.0;
+        for (rank, img) in none.images.iter().enumerate() {
+            let prof = sample_image(img, interval, SimTime::ZERO, none.total_time);
+            ticks += prof.ticks;
+            overhead += prof.estimated_overhead();
+            if rank == 0 {
+                for name in hot_names {
+                    let fid = img.func(name).unwrap();
+                    let sampled = prof.share(fid);
+                    let truth = truth_of(name) / truth_total.max(1e-12);
+                    err_sum += (sampled - truth).abs();
+                }
+            }
+        }
+        rows.push((interval_us, ticks, overhead, err_sum / hot_names.len() as f64));
+    }
+
+    if json {
+        let obj = serde_json::json!({
+            "study": "sampling",
+            "complete_profiling": {
+                "app_time_s": full.app_time.as_secs_f64(),
+                "baseline_s": none.app_time.as_secs_f64(),
+                "overhead_s": full.app_time.as_secs_f64() - none.app_time.as_secs_f64(),
+                "trace_bytes": full.trace_bytes,
+            },
+            "sampling": rows.iter().map(|&(us, ticks, ov, err)| serde_json::json!({
+                "interval_us": us,
+                "ticks": ticks,
+                "estimated_overhead_s": ov.as_secs_f64(),
+                "mean_abs_share_error": err,
+            })).collect::<Vec<_>>(),
+        });
+        println!("{}", serde_json::to_string_pretty(&obj).unwrap());
+        return;
+    }
+    println!("## Ablation: complete profiling vs statistical sampling (smg98, {cpus} CPUs)");
+    println!(
+        "complete profiling (Full): app {} vs baseline {} -> overhead {:.1} s, {} trace bytes",
+        full.app_time,
+        none.app_time,
+        full.app_time.as_secs_f64() - none.app_time.as_secs_f64(),
+        full.trace_bytes
+    );
+    println!(
+        "{:>12} {:>12} {:>20} {:>22}",
+        "interval", "ticks", "est. overhead (s)", "mean |share error|"
+    );
+    for (us, ticks, ov, err) in rows {
+        println!(
+            "{:>10}us {ticks:>12} {:>20.4} {err:>22.4}",
+            us,
+            ov.as_secs_f64()
+        );
+    }
+    println!(
+        "\nThe sampler's overhead is orders of magnitude below complete\n\
+         profiling at any practical interval — the trade the paper's §2\n\
+         describes — but it cannot reconstruct VGV's time-lines. The\n\
+         residual share error is systematic, not statistical: the 'truth'\n\
+         comes from the Full run, whose probes inflate exactly the small\n\
+         functions being measured (the perturbation the paper warns about)."
+    );
+}
+
+fn study_probe_costs(json: bool) {
+    let cpus = 8;
+    let mut rows = Vec::new();
+    for scale in [0.25, 0.5, 1.0, 2.0] {
+        let mut machine = Machine::ibm_power3_colony();
+        machine.probe.vt_begin_active = machine.probe.vt_begin_active.mul_f64(scale);
+        machine.probe.vt_end_active = machine.probe.vt_end_active.mul_f64(scale);
+        let run = |policy| {
+            let app = smg98(cpus, Smg98Params::paper());
+            run_session(&app, SessionConfig::new(machine.clone(), policy).with_seed(2)).app_time
+        };
+        let full = run(Policy::Full);
+        let none = run(Policy::None);
+        rows.push((scale, full, none, full.as_secs_f64() / none.as_secs_f64()));
+    }
+    if json {
+        let obj = serde_json::json!({
+            "study": "probe-costs",
+            "rows": rows.iter().map(|&(s, f, n, r)| serde_json::json!({
+                "active_pair_scale": s,
+                "full_s": f.as_secs_f64(),
+                "none_s": n.as_secs_f64(),
+                "ratio": r,
+            })).collect::<Vec<_>>(),
+        });
+        println!("{}", serde_json::to_string_pretty(&obj).unwrap());
+        return;
+    }
+    println!("## Ablation: Fig 7(a) sensitivity to the active probe-pair cost (smg98, {cpus} CPUs)");
+    println!("{:>8} {:>12} {:>12} {:>10}", "scale", "Full", "None", "ratio");
+    for (s, f, n, r) in rows {
+        println!("{s:>8.2} {:>12.2} {:>12.2} {r:>9.2}x", f.as_secs_f64(), n.as_secs_f64());
+    }
+    println!("\nThe slowdown scales with probe cost; None is unaffected.");
+}
+
+fn study_daemon_jitter(json: bool) {
+    let cpus = 16;
+    let mut rows = Vec::new();
+    for scale in [0.0, 1.0, 4.0] {
+        let mut machine = Machine::ibm_power3_colony();
+        machine.daemon.jitter = machine.daemon.jitter.mul_f64(scale);
+        let app = dynprof_apps::test_app("smg98", cpus).unwrap();
+        let report = run_session(
+            &app,
+            SessionConfig::new(machine, Policy::Dynamic).with_seed(2),
+        );
+        rows.push((scale, report.create_time, report.instrument_time));
+    }
+    if json {
+        let obj = serde_json::json!({
+            "study": "daemon-jitter",
+            "rows": rows.iter().map(|&(s, c, i)| serde_json::json!({
+                "jitter_scale": s,
+                "create_s": c.as_secs_f64(),
+                "instrument_s": i.as_secs_f64(),
+            })).collect::<Vec<_>>(),
+        });
+        println!("{}", serde_json::to_string_pretty(&obj).unwrap());
+        return;
+    }
+    println!("## Ablation: Fig 9 sensitivity to DPCL daemon jitter (smg98, {cpus} CPUs)");
+    println!("{:>8} {:>12} {:>14}", "jitter", "create", "instrument");
+    for (s, c, i) in rows {
+        println!("{s:>7.1}x {:>12.3} {:>14.3}", c.as_secs_f64(), i.as_secs_f64());
+    }
+    println!("\nAsynchronous delivery inflates startup; the Fig 6 barrier\nprotocol keeps the application itself unskewed regardless.");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let study = args
+        .iter()
+        .position(|a| a == "--study")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("all");
+    match study {
+        "sampling" => study_sampling(json),
+        "probe-costs" => study_probe_costs(json),
+        "daemon-jitter" => study_daemon_jitter(json),
+        "all" => {
+            study_sampling(json);
+            println!();
+            study_probe_costs(json);
+            println!();
+            study_daemon_jitter(json);
+        }
+        other => {
+            eprintln!("unknown study {other:?} (sampling|probe-costs|daemon-jitter)");
+            std::process::exit(2);
+        }
+    }
+}

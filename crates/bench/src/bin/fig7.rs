@@ -1,0 +1,40 @@
+//! Regenerate paper Fig 7 (a–d): execution time of the instrumented ASCI
+//! kernels under the five Table-3 policies.
+//!
+//! Usage: `fig7 [--app smg98|sppm|sweep3d|umt98] [--json]`
+
+use dynprof_bench::fig7;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut apps = vec!["smg98", "sppm", "sweep3d", "umt98"];
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--app" => {
+                i += 1;
+                let a = args.get(i).expect("--app needs a value").clone();
+                if !["smg98", "sppm", "sweep3d", "umt98"].contains(&a.as_str()) {
+                    eprintln!("unknown app {a:?} (smg98|sppm|sweep3d|umt98)");
+                    std::process::exit(2);
+                }
+                apps = vec![Box::leak(a.into_boxed_str())];
+            }
+            "--json" => json = true,
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    for app in apps {
+        let fig = fig7(app);
+        if json {
+            println!("{}", fig.to_json());
+        } else {
+            println!("{}", fig.render());
+        }
+    }
+}

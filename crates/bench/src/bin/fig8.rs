@@ -1,0 +1,50 @@
+//! Regenerate paper Fig 8 (a–c): the cost of dynamic control of
+//! instrumentation (`VT_confsync`).
+//!
+//! Usage: `fig8 [--part a|b|c] [--runs N] [--json]` (default: all parts,
+//! 16 runs per point — the paper's averaging).
+
+use dynprof_bench::{fig8a, fig8b, fig8c, Figure};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut parts = vec!['a', 'b', 'c'];
+    let mut runs = 16usize;
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--part" => {
+                i += 1;
+                let p = args.get(i).expect("--part needs a value");
+                parts = vec![p.chars().next().expect("part letter")];
+            }
+            "--runs" => {
+                i += 1;
+                runs = args.get(i).expect("--runs needs a value").parse().expect("run count");
+            }
+            "--json" => json = true,
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    for part in parts {
+        let fig: Figure = match part {
+            'a' => fig8a(runs),
+            'b' => fig8b(runs),
+            'c' => fig8c(runs),
+            other => {
+                eprintln!("unknown part {other:?}");
+                std::process::exit(2);
+            }
+        };
+        if json {
+            println!("{}", fig.to_json());
+        } else {
+            println!("{}", fig.render());
+        }
+    }
+}

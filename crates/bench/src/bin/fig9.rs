@@ -1,0 +1,17 @@
+//! Regenerate paper Fig 9: dynprof's time to create and instrument each
+//! ASCI kernel across processor counts (note Umt98's flat line — OpenMP
+//! threads share a single process image).
+//!
+//! Usage: `fig9 [--json]`
+
+use dynprof_bench::fig9;
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let fig = fig9();
+    if json {
+        println!("{}", fig.to_json());
+    } else {
+        println!("{}", fig.render());
+    }
+}

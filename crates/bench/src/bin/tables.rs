@@ -1,0 +1,9 @@
+//! Print paper Tables 1–3 as reproduced by this implementation.
+
+use dynprof_bench::{table1, table2, table3};
+
+fn main() {
+    println!("{}", table1());
+    println!("{}", table2());
+    println!("{}", table3());
+}

@@ -1,0 +1,351 @@
+//! # dynprof-bench — experiment harnesses
+//!
+//! One runner per paper artefact:
+//!
+//! * [`fig7`] — execution time of the instrumented ASCI kernels under the
+//!   five Table-3 policies (Fig 7 a–d);
+//! * [`fig8a`]/[`fig8b`]/[`fig8c`] — `VT_confsync` costs: no-change vs
+//!   change, statistics writing, and the IA32 cross-check (Fig 8 a–c);
+//! * [`fig9`] — dynprof's time to create and instrument each application;
+//! * table renderers for Tables 1–3.
+//!
+//! The binaries in `src/bin/` print the same rows/series the paper
+//! reports, plus machine-readable JSON next to each table.
+
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::Serialize;
+
+use dynprof_apps::paper_app;
+use dynprof_core::{run_session, SessionConfig};
+use dynprof_mpi::{launch, JobSpec};
+use dynprof_sim::{Machine, OnlineStats, Sim, SimTime};
+use dynprof_vt::{confsync, ConfigDelta, MonitorLink, Policy, VtConfig, VtLib, VtMpiHooks};
+
+/// One measured series: a labelled curve over CPU counts.
+#[derive(Clone, Debug, Serialize)]
+pub struct Series {
+    /// Curve label (e.g. the policy name).
+    pub label: String,
+    /// `(cpus, seconds)` points.
+    pub points: Vec<(usize, f64)>,
+}
+
+impl Series {
+    /// The value at `cpus`, if measured.
+    pub fn at(&self, cpus: usize) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(c, _)| *c == cpus)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// A figure: a titled set of series (one paper sub-plot).
+#[derive(Clone, Debug, Serialize)]
+pub struct Figure {
+    /// Figure identifier (e.g. "Fig 7(a) Smg98").
+    pub title: String,
+    /// Unit of the y axis.
+    pub unit: &'static str,
+    /// The measured series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Find a series by label.
+    pub fn series(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// Render as an aligned text table (CPU rows × series columns).
+    pub fn render(&self) -> String {
+        let mut cpus: Vec<usize> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(c, _)| c))
+            .collect();
+        cpus.sort_unstable();
+        cpus.dedup();
+        let mut out = format!("## {} ({})\n", self.title, self.unit);
+        out.push_str(&format!("{:>6}", "CPUs"));
+        for s in &self.series {
+            out.push_str(&format!(" {:>12}", s.label));
+        }
+        out.push('\n');
+        for c in cpus {
+            out.push_str(&format!("{c:>6}"));
+            for s in &self.series {
+                match s.at(c) {
+                    Some(v) => out.push_str(&format!(" {v:>12.4}")),
+                    None => out.push_str(&format!(" {:>12}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("figure serializes")
+    }
+}
+
+/// The CPU counts of paper Fig 7 for each application.
+pub fn fig7_cpus(app: &str) -> Vec<usize> {
+    match app {
+        // "Data for a 1 processor run of Sweep3d was not collected"
+        "sweep3d" => vec![2, 4, 8, 16, 32, 64],
+        // OpenMP: one SMP node.
+        "umt98" => vec![1, 2, 4, 8],
+        _ => vec![1, 2, 4, 8, 16, 32, 64],
+    }
+}
+
+/// The policies plotted for each application (Sweep3d has no `Subset`
+/// version — paper §4.3 deemed it unnecessary).
+pub fn fig7_policies(app: &str) -> Vec<Policy> {
+    if app == "sweep3d" {
+        vec![Policy::Full, Policy::FullOff, Policy::None, Policy::Dynamic]
+    } else {
+        vec![
+            Policy::Full,
+            Policy::FullOff,
+            Policy::Subset,
+            Policy::None,
+            Policy::Dynamic,
+        ]
+    }
+}
+
+/// Reproduce one sub-plot of Fig 7: run `app` under every policy across
+/// the paper's CPU counts on the IBM machine model.
+pub fn fig7(app_name: &str) -> Figure {
+    let cpus = fig7_cpus(app_name);
+    let mut series: Vec<Series> = fig7_policies(app_name)
+        .into_iter()
+        .map(|p| Series {
+            label: p.label().to_string(),
+            points: Vec::new(),
+        })
+        .collect();
+    for &c in &cpus {
+        for (si, policy) in fig7_policies(app_name).into_iter().enumerate() {
+            let (app, _outputs) =
+                paper_app(app_name, c).unwrap_or_else(|| panic!("unknown app {app_name}"));
+            let cfg = SessionConfig::new(Machine::ibm_power3_colony(), policy)
+                .with_seed(1000 + c as u64);
+            let report = run_session(&app, cfg);
+            series[si].points.push((c, report.app_time.as_secs_f64()));
+        }
+    }
+    let sub = match app_name {
+        "smg98" => "a",
+        "sppm" => "b",
+        "sweep3d" => "c",
+        "umt98" => "d",
+        _ => "?",
+    };
+    Figure {
+        title: format!("Fig 7({sub}) {app_name}: execution time of instrumented versions"),
+        unit: "seconds",
+        series,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig 8: VT_confsync
+// ---------------------------------------------------------------------------
+
+/// Which Fig 8 experiment to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfsyncExperiment {
+    /// Experiment 1: `VT_confsync` with no configuration change.
+    NoChange,
+    /// Experiment 2: with a configuration change posted.
+    WithChange,
+    /// Experiment 3: writing runtime statistics.
+    WriteStats,
+}
+
+/// Measure the cost of one `VT_confsync` at rank 0, averaged over `runs`
+/// seeds, for each processor count.
+pub fn confsync_cost(
+    machine: &Machine,
+    procs: &[usize],
+    experiment: ConfsyncExperiment,
+    runs: usize,
+) -> Series {
+    let label = match experiment {
+        ConfsyncExperiment::NoChange => "No Change",
+        ConfsyncExperiment::WithChange => "Changes",
+        ConfsyncExperiment::WriteStats => "Write Stats",
+    };
+    let mut points = Vec::new();
+    for &p in procs {
+        let mut stats = OnlineStats::new();
+        for run in 0..runs {
+            let t = one_confsync(machine, p, experiment, 0xF160 + run as u64);
+            stats.push_time(t);
+        }
+        points.push((p, stats.mean()));
+    }
+    Series {
+        label: label.into(),
+        points,
+    }
+}
+
+fn one_confsync(
+    machine: &Machine,
+    ranks: usize,
+    experiment: ConfsyncExperiment,
+    seed: u64,
+) -> SimTime {
+    let vt = VtLib::new("confsync-probe", ranks, VtConfig::all_on(), machine.probe);
+    let monitor = MonitorLink::new();
+    if experiment == ConfsyncExperiment::WithChange {
+        monitor.post_change(
+            ConfigDelta::Set(vec![("default".into(), false), ("solve_*".into(), true)]),
+            // The tool applies the edit programmatically here; the paper's
+            // point is that the *sync* is cheap compared to the human.
+            SimTime::from_micros(500),
+        );
+    }
+    let sim = Sim::virtual_time(machine.clone(), seed);
+    let cost = Arc::new(Mutex::new(SimTime::ZERO));
+    let (vt2, m2, c2) = (Arc::clone(&vt), Arc::clone(&monitor), Arc::clone(&cost));
+    let write_stats = experiment == ConfsyncExperiment::WriteStats;
+    launch(
+        &sim,
+        JobSpec::new("confsync-probe", ranks),
+        vec![VtMpiHooks::new(Arc::clone(&vt))],
+        move |p, comm| {
+            comm.init(p);
+            // Populate statistics so Experiment 3 has data to write
+            // (16 instrumented functions with activity per rank).
+            for i in 0..16 {
+                let f = vt2.funcdef(p, &format!("kernel_{i}"));
+                vt2.begin(p, comm.rank(), 0, f, 1);
+                p.advance(SimTime::from_micros(30));
+                vt2.end(p, comm.rank(), 0, f);
+            }
+            comm.barrier(p);
+            let t0 = p.now();
+            confsync(&vt2, &m2, p, comm, write_stats);
+            if comm.rank() == 0 {
+                *c2.lock() = p.now() - t0;
+            }
+            comm.finalize(p);
+        },
+    );
+    sim.run();
+    let t = *cost.lock();
+    t
+}
+
+/// Reproduce Fig 8(a): confsync on the IBM machine, 2–512 processors.
+pub fn fig8a(runs: usize) -> Figure {
+    let m = Machine::ibm_power3_colony();
+    let procs = [2, 4, 8, 16, 32, 64, 128, 256, 512];
+    Figure {
+        title: "Fig 8(a) VT_confsync on IBM (no change vs changes)".into(),
+        unit: "seconds",
+        series: vec![
+            confsync_cost(&m, &procs, ConfsyncExperiment::NoChange, runs),
+            confsync_cost(&m, &procs, ConfsyncExperiment::WithChange, runs),
+        ],
+    }
+}
+
+/// Reproduce Fig 8(b): confsync writing statistics on the IBM machine.
+pub fn fig8b(runs: usize) -> Figure {
+    let m = Machine::ibm_power3_colony();
+    let procs = [2, 4, 8, 16, 32, 64, 128, 256, 512];
+    Figure {
+        title: "Fig 8(b) VT_confsync writing statistics on IBM".into(),
+        unit: "seconds",
+        series: vec![confsync_cost(&m, &procs, ConfsyncExperiment::WriteStats, runs)],
+    }
+}
+
+/// Reproduce Fig 8(c): confsync on the IA32 Pentium III cluster.
+pub fn fig8c(runs: usize) -> Figure {
+    let m = Machine::ia32_pentium3_cluster();
+    let procs: Vec<usize> = (2..=16).collect();
+    Figure {
+        title: "Fig 8(c) VT_confsync on IA32 (no change)".into(),
+        unit: "seconds",
+        series: vec![confsync_cost(&m, &procs, ConfsyncExperiment::NoChange, runs)],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig 9: time to create and instrument
+// ---------------------------------------------------------------------------
+
+/// Reproduce Fig 9: dynprof's time to create + instrument each kernel.
+///
+/// The metric is independent of the modelled computation (the target is
+/// suspended throughout), so the kernels run with test-scale bodies.
+pub fn fig9() -> Figure {
+    let mut series = Vec::new();
+    for app_name in ["smg98", "sppm", "sweep3d", "umt98"] {
+        let cpus = fig7_cpus(app_name);
+        let mut points = Vec::new();
+        for &c in &cpus {
+            let app = dynprof_apps::test_app(app_name, c).expect("app");
+            let cfg = SessionConfig::new(Machine::ibm_power3_colony(), Policy::Dynamic)
+                .with_seed(77 + c as u64);
+            let report = run_session(&app, cfg);
+            points.push((c, report.create_and_instrument().as_secs_f64()));
+        }
+        series.push(Series {
+            label: app_name.to_string(),
+            points,
+        });
+    }
+    Figure {
+        title: "Fig 9 Time to create and instrument".into(),
+        unit: "seconds",
+        series,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tables
+// ---------------------------------------------------------------------------
+
+/// Render paper Table 1 (the dynprof command set).
+pub fn table1() -> String {
+    let mut out = String::from("## Table 1: commands accepted by the dynprof tool\n");
+    out.push_str(dynprof_core::HELP_TEXT);
+    out
+}
+
+/// Render paper Table 2 (the ASCI kernel applications).
+pub fn table2() -> String {
+    let mut out = String::from("## Table 2: the ASCI kernel applications\n");
+    out.push_str(&format!(
+        "{:<10} {:<10} {}\n",
+        "App", "Type/Lang", "Description"
+    ));
+    for (name, kind, desc) in dynprof_apps::table2() {
+        out.push_str(&format!("{name:<10} {kind:<10} {desc}\n"));
+    }
+    out
+}
+
+/// Render paper Table 3 (the instrumentation policies).
+pub fn table3() -> String {
+    let mut out = String::from("## Table 3: the instrumentation policies\n");
+    out.push_str(&format!("{:<10} {}\n", "Policy", "Description"));
+    for p in dynprof_vt::ALL_POLICIES {
+        out.push_str(&format!("{:<10} {}\n", p.label(), p.description()));
+    }
+    out
+}

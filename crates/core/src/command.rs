@@ -1,0 +1,271 @@
+//! The dynprof command language (paper Table 1).
+//!
+//! ```text
+//! Command      Shortcut  Description
+//! help         h         Displays a help message
+//! insert ...   i         Inserts instrumentation into one or more functions.
+//! remove ...   r         Removes instrumentation from one or more functions.
+//! insert-file  if        Inserts instrumentation into all of the functions
+//!                        listed in the provided file or files.
+//! remove-file  rf        Removes instrumentation from all of the functions
+//!                        listed in the provided file or files.
+//! start        s         Starts execution of the target application.
+//! quit         q         Detaches the instrumenter from the application.
+//! wait         w         Causes the tool to wait before executing the next
+//!                        command.
+//! ```
+
+use dynprof_sim::SimTime;
+
+/// One dynprof command.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `help` / `h`.
+    Help,
+    /// `insert f...` / `i`: instrument the named functions.
+    Insert(Vec<String>),
+    /// `remove f...` / `r`: de-instrument the named functions.
+    Remove(Vec<String>),
+    /// `insert-file f...` / `if`: instrument every function listed in the
+    /// named function-list files.
+    InsertFile(Vec<String>),
+    /// `remove-file f...` / `rf`.
+    RemoveFile(Vec<String>),
+    /// `start` / `s`: release the suspended target.
+    Start,
+    /// `quit` / `q`: detach, leaving active instrumentation in place.
+    Quit,
+    /// `wait [seconds]` / `w`: pause script execution (default 1 s).
+    Wait(SimTime),
+}
+
+/// A command-line parse failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The `help` text (Table 1).
+pub const HELP_TEXT: &str = "\
+dynprof commands:
+  help         (h)   Displays a help message
+  insert ...   (i)   Inserts instrumentation into one or more functions.
+  remove ...   (r)   Removes instrumentation from one or more functions.
+  insert-file  (if)  Inserts instrumentation into all of the functions
+                     listed in the provided file or files.
+  remove-file  (rf)  Removes instrumentation from all of the functions
+                     listed in the provided file or files.
+  start        (s)   Starts execution of the target application.
+  quit         (q)   Detaches the instrumenter from the application.
+  wait [sec]   (w)   Causes the tool to wait before executing the next
+                     command.
+";
+
+impl Command {
+    /// Parse one command line. Blank lines and `#` comments yield `None`.
+    pub fn parse(line: &str) -> Result<Option<Command>, ParseError> {
+        let stripped = line.split('#').next().unwrap_or("").trim();
+        if stripped.is_empty() {
+            return Ok(None);
+        }
+        let mut tokens = stripped.split_whitespace();
+        let word = tokens.next().expect("nonempty");
+        let args: Vec<String> = tokens.map(str::to_string).collect();
+        let need_args = |cmd: &str| -> Result<Vec<String>, ParseError> {
+            if args.is_empty() {
+                Err(ParseError {
+                    message: format!("{cmd} requires at least one argument"),
+                })
+            } else {
+                Ok(args.clone())
+            }
+        };
+        let no_args = |cmd: &str| -> Result<(), ParseError> {
+            if args.is_empty() {
+                Ok(())
+            } else {
+                Err(ParseError {
+                    message: format!("{cmd} takes no arguments"),
+                })
+            }
+        };
+        let cmd = match word.to_ascii_lowercase().as_str() {
+            "help" | "h" => {
+                no_args("help")?;
+                Command::Help
+            }
+            "insert" | "i" => Command::Insert(need_args("insert")?),
+            "remove" | "r" => Command::Remove(need_args("remove")?),
+            "insert-file" | "if" => Command::InsertFile(need_args("insert-file")?),
+            "remove-file" | "rf" => Command::RemoveFile(need_args("remove-file")?),
+            "start" | "s" => {
+                no_args("start")?;
+                Command::Start
+            }
+            "quit" | "q" => {
+                no_args("quit")?;
+                Command::Quit
+            }
+            "wait" | "w" => {
+                let secs = match args.as_slice() {
+                    [] => 1.0,
+                    [v] => v.parse::<f64>().map_err(|_| ParseError {
+                        message: format!("wait: bad duration {v:?}"),
+                    })?,
+                    _ => {
+                        return Err(ParseError {
+                            message: "wait takes at most one duration".into(),
+                        })
+                    }
+                };
+                if secs < 0.0 || !secs.is_finite() {
+                    return Err(ParseError {
+                        message: format!("wait: duration must be non-negative, got {secs}"),
+                    });
+                }
+                Command::Wait(SimTime::from_secs_f64(secs))
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("unknown command {other:?} (try `help`)"),
+                })
+            }
+        };
+        Ok(Some(cmd))
+    }
+
+    /// Parse a whole script (one command per line).
+    pub fn parse_script(text: &str) -> Result<Vec<Command>, ParseError> {
+        let mut out = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            match Command::parse(line) {
+                Ok(Some(c)) => out.push(c),
+                Ok(None) => {}
+                Err(e) => {
+                    return Err(ParseError {
+                        message: format!("line {}: {}", i + 1, e.message),
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_long_and_short_forms_agree() {
+        let pairs = [
+            ("help", "h"),
+            ("start", "s"),
+            ("quit", "q"),
+        ];
+        for (long, short) in pairs {
+            assert_eq!(
+                Command::parse(long).unwrap(),
+                Command::parse(short).unwrap(),
+                "{long}/{short}"
+            );
+        }
+        assert_eq!(
+            Command::parse("insert f g").unwrap(),
+            Command::parse("i f g").unwrap()
+        );
+        assert_eq!(
+            Command::parse("remove f").unwrap(),
+            Command::parse("r f").unwrap()
+        );
+        assert_eq!(
+            Command::parse("insert-file funcs.txt").unwrap(),
+            Command::parse("if funcs.txt").unwrap()
+        );
+        assert_eq!(
+            Command::parse("remove-file funcs.txt").unwrap(),
+            Command::parse("rf funcs.txt").unwrap()
+        );
+        assert_eq!(
+            Command::parse("wait 2.5").unwrap(),
+            Command::parse("w 2.5").unwrap()
+        );
+    }
+
+    #[test]
+    fn insert_carries_function_names() {
+        assert_eq!(
+            Command::parse("insert sweep source flux_err").unwrap(),
+            Some(Command::Insert(vec![
+                "sweep".into(),
+                "source".into(),
+                "flux_err".into()
+            ]))
+        );
+    }
+
+    #[test]
+    fn wait_defaults_to_one_second() {
+        assert_eq!(
+            Command::parse("wait").unwrap(),
+            Some(Command::Wait(SimTime::from_secs(1)))
+        );
+        assert_eq!(
+            Command::parse("w 0.25").unwrap(),
+            Some(Command::Wait(SimTime::from_millis(250)))
+        );
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        assert_eq!(Command::parse("").unwrap(), None);
+        assert_eq!(Command::parse("   # just a comment").unwrap(), None);
+        assert_eq!(
+            Command::parse("start # begin now").unwrap(),
+            Some(Command::Start)
+        );
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(Command::parse("insert").unwrap_err().message.contains("argument"));
+        assert!(Command::parse("frobnicate").unwrap_err().message.contains("unknown"));
+        assert!(Command::parse("wait -3").unwrap_err().message.contains("non-negative"));
+        assert!(Command::parse("wait a b").unwrap_err().message.contains("at most one"));
+        assert!(Command::parse("start now").unwrap_err().message.contains("no arguments"));
+    }
+
+    #[test]
+    fn script_parsing_reports_line_numbers() {
+        let script = "\
+# instrument the solver then run
+insert-file solver.txt
+start
+wait 5
+quit
+";
+        let cmds = Command::parse_script(script).unwrap();
+        assert_eq!(cmds.len(), 4);
+        assert_eq!(cmds[0], Command::InsertFile(vec!["solver.txt".into()]));
+        assert_eq!(cmds[3], Command::Quit);
+
+        let err = Command::parse_script("start\nbogus\n").unwrap_err();
+        assert!(err.message.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn help_text_mentions_every_command() {
+        for c in ["help", "insert", "remove", "insert-file", "remove-file", "start", "quit", "wait"] {
+            assert!(HELP_TEXT.contains(c), "{c} missing from help");
+        }
+    }
+}

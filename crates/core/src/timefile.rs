@@ -1,0 +1,115 @@
+//! dynprof's internal timing log.
+//!
+//! "dynprof is instrumented to collect detailed timings about its internal
+//! operations, and these timings are written to a timefile" (paper §3.3).
+//! Figure 9's "time to create and instrument" series come from here.
+
+use parking_lot::Mutex;
+
+use dynprof_sim::SimTime;
+
+/// One timed internal operation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimefileEntry {
+    /// Operation label (e.g. `create`, `instrument`, `release`).
+    pub label: String,
+    /// Start time.
+    pub start: SimTime,
+    /// End time.
+    pub end: SimTime,
+}
+
+impl TimefileEntry {
+    /// Duration of the operation.
+    pub fn duration(&self) -> SimTime {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// The timefile: an append-only log of timed operations.
+#[derive(Default)]
+pub struct Timefile {
+    entries: Mutex<Vec<TimefileEntry>>,
+}
+
+impl Timefile {
+    /// An empty timefile.
+    pub fn new() -> Timefile {
+        Timefile::default()
+    }
+
+    /// Record one operation.
+    pub fn record(&self, label: impl Into<String>, start: SimTime, end: SimTime) {
+        self.entries.lock().push(TimefileEntry {
+            label: label.into(),
+            start,
+            end,
+        });
+    }
+
+    /// All entries, in record order.
+    pub fn entries(&self) -> Vec<TimefileEntry> {
+        self.entries.lock().clone()
+    }
+
+    /// Total duration of entries with `label` (zero if none).
+    pub fn total(&self, label: &str) -> SimTime {
+        self.entries
+            .lock()
+            .iter()
+            .filter(|e| e.label == label)
+            .map(TimefileEntry::duration)
+            .sum()
+    }
+
+    /// Render the timefile as the text dynprof writes at exit.
+    pub fn render(&self) -> String {
+        let entries = self.entries.lock();
+        let mut out = String::from("# dynprof internal timings\n# label start end duration\n");
+        for e in entries.iter() {
+            out.push_str(&format!(
+                "{} {} {} {}\n",
+                e.label,
+                e.start.as_secs_f64(),
+                e.end.as_secs_f64(),
+                e.duration().as_secs_f64()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_matching_labels() {
+        let tf = Timefile::new();
+        tf.record("instrument", SimTime::from_millis(10), SimTime::from_millis(30));
+        tf.record("create", SimTime::ZERO, SimTime::from_millis(10));
+        tf.record("instrument", SimTime::from_millis(40), SimTime::from_millis(45));
+        assert_eq!(tf.total("instrument"), SimTime::from_millis(25));
+        assert_eq!(tf.total("create"), SimTime::from_millis(10));
+        assert_eq!(tf.total("missing"), SimTime::ZERO);
+    }
+
+    #[test]
+    fn render_lists_every_entry() {
+        let tf = Timefile::new();
+        tf.record("create", SimTime::ZERO, SimTime::from_secs(2));
+        let text = tf.render();
+        assert!(text.contains("create 0 2 2\n"));
+        assert!(text.starts_with("# dynprof internal timings"));
+    }
+
+    #[test]
+    fn entry_duration_saturates() {
+        let e = TimefileEntry {
+            label: "x".into(),
+            start: SimTime::from_secs(5),
+            end: SimTime::from_secs(3),
+        };
+        assert_eq!(e.duration(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,346 @@
+//! The instrumenter-side DPCL client API.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dynprof_image::{FuncId, Image, ProbePoint, Snippet, SnippetId};
+use dynprof_sim::sync::SimChannel;
+use dynprof_sim::{Proc, SimTime};
+
+use crate::daemon::DpclSystem;
+use crate::messages::{AckResult, DownMsg, DownMsgEnvelope, ReqId, SuperMsg, TargetId, UpMsg};
+
+/// Client-side cost of marshalling and writing one request message.
+pub const CLIENT_SEND_COST: SimTime = SimTime::from_micros(20);
+
+/// A process the client has attached to.
+#[derive(Clone)]
+pub struct ProcessHandle {
+    /// Node hosting the process.
+    pub node: usize,
+    /// Daemon-local target id.
+    pub target: TargetId,
+    /// The process image (shared with the daemon).
+    pub image: Arc<Image>,
+    /// Process name (diagnostics).
+    pub name: String,
+}
+
+impl std::fmt::Debug for ProcessHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcessHandle")
+            .field("node", &self.node)
+            .field("target", &self.target)
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+
+/// Sender half used by in-application snippets to signal the instrumenter
+/// (`DPCL_callback()` in paper Fig 6).
+#[derive(Clone)]
+pub struct CallbackSender {
+    inbox: Arc<SimChannel<UpMsg>>,
+}
+
+impl CallbackSender {
+    /// Send a callback with a tag and payload; delivery experiences the
+    /// daemon-forwarding delay.
+    pub fn send(&self, p: &Proc, tag: u64, payload: u64) {
+        let d = p.machine().daemon;
+        self.inbox.send(
+            p,
+            UpMsg::Callback { tag, payload },
+            d.base_delay + p.jitter(d.jitter),
+        );
+    }
+}
+
+/// An asynchronous DPCL instrumenter connection.
+///
+/// All mutation requests are *asynchronous*: they return a [`ReqId`]
+/// immediately; [`DpclClient::wait_ack`] blocks for the daemon's
+/// acknowledgement. `*_sync` conveniences combine the two.
+pub struct DpclClient {
+    system: Arc<DpclSystem>,
+    user: String,
+    inbox: Arc<SimChannel<UpMsg>>,
+    daemons: Mutex<BTreeMap<usize, Arc<SimChannel<DownMsgEnvelope>>>>,
+    next_req: AtomicU64,
+    next_target: AtomicU32,
+}
+
+impl DpclClient {
+    /// A client for `user` against `system`.
+    pub fn new(system: Arc<DpclSystem>, user: impl Into<String>) -> DpclClient {
+        DpclClient {
+            system,
+            user: user.into(),
+            // FIFO: acks and callbacks arrive stream-ordered, as over the
+            // client's socket to each daemon.
+            inbox: Arc::new(SimChannel::new_fifo()),
+            daemons: Mutex::new(BTreeMap::new()),
+            next_req: AtomicU64::new(1),
+            next_target: AtomicU32::new(1),
+        }
+    }
+
+    /// The connecting user name.
+    pub fn user(&self) -> &str {
+        &self.user
+    }
+
+    /// Nodes with an established communication daemon.
+    pub fn connected_nodes(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.daemons.lock().keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn req(&self) -> ReqId {
+        ReqId(self.next_req.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn daemon_delay(&self, p: &Proc) -> SimTime {
+        let d = p.machine().daemon;
+        d.base_delay + p.jitter(d.jitter)
+    }
+
+    /// Establish a communication daemon on `node` (authenticating through
+    /// the node's super daemon). Idempotent.
+    pub fn connect(&self, p: &Proc, node: usize) -> Result<(), String> {
+        if self.daemons.lock().contains_key(&node) {
+            return Ok(());
+        }
+        let req = self.req();
+        p.advance(CLIENT_SEND_COST);
+        let sup = self.system.super_on(p, node);
+        sup.send(
+            p,
+            SuperMsg::Connect {
+                req,
+                user: self.user.clone(),
+                reply: Arc::clone(&self.inbox),
+            },
+            self.daemon_delay(p),
+        );
+        let msg = self.inbox.recv_match(p, |m| match m {
+            UpMsg::Connected { req: r, .. } | UpMsg::AuthFailed { req: r, .. } => *r == req,
+            _ => false,
+        });
+        match msg {
+            UpMsg::Connected { daemon, node, .. } => {
+                self.daemons.lock().insert(node, daemon);
+                Ok(())
+            }
+            UpMsg::AuthFailed { message, .. } => Err(message),
+            _ => unreachable!("matcher"),
+        }
+    }
+
+    fn send_down(&self, p: &Proc, node: usize, msg: DownMsg) {
+        p.advance(CLIENT_SEND_COST);
+        let daemon = {
+            let daemons = self.daemons.lock();
+            Arc::clone(
+                daemons
+                    .get(&node)
+                    .unwrap_or_else(|| panic!("not connected to node {node}")),
+            )
+        };
+        daemon.send(p, DownMsgEnvelope(msg), self.daemon_delay(p));
+    }
+
+    /// Attach to a process image on `node` (blocking).
+    pub fn attach(
+        &self,
+        p: &Proc,
+        node: usize,
+        image: Arc<Image>,
+        name: impl Into<String>,
+    ) -> Result<ProcessHandle, String> {
+        self.connect(p, node)?;
+        let name = name.into();
+        let target = TargetId(self.next_target.fetch_add(1, Ordering::Relaxed));
+        let req = self.req();
+        self.send_down(
+            p,
+            node,
+            DownMsg::Attach {
+                req,
+                target,
+                image: Arc::clone(&image),
+                name: name.clone(),
+            },
+        );
+        match self.wait_ack(p, req) {
+            AckResult::Ok { .. } => Ok(ProcessHandle {
+                node,
+                target,
+                image,
+                name,
+            }),
+            AckResult::Error { message } => Err(message),
+        }
+    }
+
+    /// Asynchronously install `snippet` at `point` of `h`.
+    pub fn install_probe(
+        &self,
+        p: &Proc,
+        h: &ProcessHandle,
+        point: ProbePoint,
+        snippet: Snippet,
+    ) -> ReqId {
+        let req = self.req();
+        self.send_down(
+            p,
+            h.node,
+            DownMsg::Install {
+                req,
+                target: h.target,
+                point,
+                snippet,
+            },
+        );
+        req
+    }
+
+    /// Asynchronously remove a snippet.
+    pub fn remove_probe(
+        &self,
+        p: &Proc,
+        h: &ProcessHandle,
+        point: ProbePoint,
+        snippet: SnippetId,
+    ) -> ReqId {
+        let req = self.req();
+        self.send_down(
+            p,
+            h.node,
+            DownMsg::Remove {
+                req,
+                target: h.target,
+                point,
+                snippet,
+            },
+        );
+        req
+    }
+
+    /// Asynchronously remove all instrumentation from `func` of `h`.
+    pub fn remove_function(&self, p: &Proc, h: &ProcessHandle, func: FuncId) -> ReqId {
+        let req = self.req();
+        self.send_down(
+            p,
+            h.node,
+            DownMsg::RemoveFunction {
+                req,
+                target: h.target,
+                func,
+            },
+        );
+        req
+    }
+
+    /// Asynchronously suspend the target process.
+    pub fn suspend(&self, p: &Proc, h: &ProcessHandle) -> ReqId {
+        let req = self.req();
+        self.send_down(
+            p,
+            h.node,
+            DownMsg::Suspend {
+                req,
+                target: h.target,
+            },
+        );
+        req
+    }
+
+    /// Blocking suspend (the paper's "blocking version of the DPCL
+    /// suspend function", §3.4): returns once the daemon confirms.
+    pub fn bsuspend(&self, p: &Proc, h: &ProcessHandle) -> AckResult {
+        let req = self.suspend(p, h);
+        self.wait_ack(p, req)
+    }
+
+    /// Asynchronously resume the target process.
+    pub fn resume(&self, p: &Proc, h: &ProcessHandle) -> ReqId {
+        let req = self.req();
+        self.send_down(
+            p,
+            h.node,
+            DownMsg::Resume {
+                req,
+                target: h.target,
+            },
+        );
+        req
+    }
+
+    /// Block until the acknowledgement of `req` arrives.
+    pub fn wait_ack(&self, p: &Proc, req: ReqId) -> AckResult {
+        let msg = self.inbox.recv_match(p, |m| matches!(m, UpMsg::Ack { req: r, .. } if *r == req));
+        match msg {
+            UpMsg::Ack { result, .. } => result,
+            _ => unreachable!("matcher"),
+        }
+    }
+
+    /// Wait for every acknowledgement in `reqs` (order-insensitive);
+    /// returns the number of failures.
+    pub fn wait_all(&self, p: &Proc, reqs: &[ReqId]) -> usize {
+        let mut failures = 0;
+        for &r in reqs {
+            if !self.wait_ack(p, r).is_ok() {
+                failures += 1;
+            }
+        }
+        failures
+    }
+
+    /// A sender that in-application snippets can use to call back to this
+    /// instrumenter.
+    pub fn callback_sender(&self) -> CallbackSender {
+        CallbackSender {
+            inbox: Arc::clone(&self.inbox),
+        }
+    }
+
+    /// Block until an application callback with `tag` arrives; returns its
+    /// payload.
+    pub fn recv_callback(&self, p: &Proc, tag: u64) -> u64 {
+        let msg = self
+            .inbox
+            .recv_match(p, |m| matches!(m, UpMsg::Callback { tag: t, .. } if *t == tag));
+        match msg {
+            UpMsg::Callback { payload, .. } => payload,
+            _ => unreachable!("matcher"),
+        }
+    }
+
+    /// Collect `n` callbacks with `tag` (e.g. one per MPI rank reaching
+    /// the MPI_Init snippet).
+    pub fn recv_callbacks(&self, p: &Proc, tag: u64, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.recv_callback(p, tag)).collect()
+    }
+
+    /// Shut down this client's communication daemons (blocking) and the
+    /// system's super daemons.
+    pub fn shutdown(&self, p: &Proc) {
+        let nodes: Vec<usize> = self.daemons.lock().keys().copied().collect();
+        let mut reqs = Vec::new();
+        for node in nodes {
+            let req = self.req();
+            self.send_down(p, node, DownMsg::Shutdown { req });
+            reqs.push(req);
+        }
+        self.wait_all(p, &reqs);
+        self.daemons.lock().clear();
+        self.system.shutdown_supers(p);
+    }
+}

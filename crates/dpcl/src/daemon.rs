@@ -1,0 +1,225 @@
+//! The DPCL daemons (paper §3.2, Fig 5).
+//!
+//! "There are two types of DPCL daemons: super daemons and communication
+//! daemons. There is exactly one super daemon on each node of the system.
+//! The super daemon creates one communication daemon for each user that
+//! connects to an application on the node, and also performs user
+//! authentication. The communication daemons [...] are attached to the
+//! applications and actually perform the dynamic instrumentation."
+//!
+//! Daemons are simulated processes; every message between an instrumenter
+//! and a daemon experiences the machine's daemon delay plus jitter, which
+//! is what makes DPCL *asynchronous* — "it is therefore unlikely that
+//! inserted code snippets become active in all processes at the same
+//! time".
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dynprof_image::Image;
+use dynprof_sim::sync::SimChannel;
+use dynprof_sim::{Proc, SimTime};
+
+use crate::messages::{AckResult, DownMsg, DownMsgEnvelope, ReqId, SuperMsg, TargetId, UpMsg};
+
+/// Cost of one super-daemon authentication check.
+pub const AUTH_COST: SimTime = SimTime::from_millis(4);
+/// Cost of spawning a communication daemon.
+pub const SPAWN_DAEMON_COST: SimTime = SimTime::from_millis(25);
+
+/// The per-machine daemon infrastructure: lazily-started super daemons
+/// and the set of users allowed to connect.
+pub struct DpclSystem {
+    allowed_users: Vec<String>,
+    supers: Mutex<BTreeMap<usize, Arc<SimChannel<SuperMsg>>>>,
+}
+
+impl DpclSystem {
+    /// A system that authenticates exactly `allowed_users`.
+    pub fn new<S: Into<String>>(allowed_users: impl IntoIterator<Item = S>) -> Arc<DpclSystem> {
+        Arc::new(DpclSystem {
+            allowed_users: allowed_users.into_iter().map(Into::into).collect(),
+            supers: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// Number of super daemons currently running.
+    pub fn super_daemon_count(&self) -> usize {
+        self.supers.lock().len()
+    }
+
+    /// The super daemon inbox for `node`, starting the daemon if needed
+    /// (the paper's system starts them at boot; we start on first use).
+    pub(crate) fn super_on(
+        self: &Arc<Self>,
+        p: &Proc,
+        node: usize,
+    ) -> Arc<SimChannel<SuperMsg>> {
+        let mut supers = self.supers.lock();
+        if let Some(ch) = supers.get(&node) {
+            return Arc::clone(ch);
+        }
+        let inbox: Arc<SimChannel<SuperMsg>> = Arc::new(SimChannel::new_fifo());
+        let inbox2 = Arc::clone(&inbox);
+        let allowed = self.allowed_users.clone();
+        p.spawn_child(format!("dpcl-super@{node}"), node, move |dp| {
+            super_daemon_loop(dp, &inbox2, &allowed);
+        });
+        supers.insert(node, Arc::clone(&inbox));
+        inbox
+    }
+
+    /// Shut down every super daemon (communication daemons are shut down
+    /// by their owning client).
+    pub fn shutdown_supers(&self, p: &Proc) {
+        let machine = p.machine();
+        for ch in self.supers.lock().values() {
+            ch.send(
+                p,
+                SuperMsg::Shutdown,
+                machine.daemon.base_delay + p.jitter(machine.daemon.jitter),
+            );
+        }
+    }
+}
+
+fn super_daemon_loop(dp: &Proc, inbox: &SimChannel<SuperMsg>, allowed: &[String]) {
+    // Any non-Connect message (i.e. Shutdown) ends the daemon.
+    while let SuperMsg::Connect { req, user, reply } = inbox.recv(dp) {
+        {
+                dp.advance(AUTH_COST);
+                let machine = dp.machine().clone();
+                let delay = machine.daemon.base_delay + dp.jitter(machine.daemon.jitter);
+                if !allowed.iter().any(|u| u == &user) {
+                    reply.send(
+                        dp,
+                        UpMsg::AuthFailed {
+                            req,
+                            message: format!("user {user:?} not authorized on node {}", dp.node()),
+                        },
+                        delay,
+                    );
+                    continue;
+                }
+                // Spawn the per-user communication daemon.
+                dp.advance(SPAWN_DAEMON_COST);
+                let daemon_inbox: Arc<SimChannel<DownMsgEnvelope>> =
+                    Arc::new(SimChannel::new_fifo());
+                let di2 = Arc::clone(&daemon_inbox);
+                let reply2 = Arc::clone(&reply);
+                let user2 = user.clone();
+                dp.spawn_child(
+                    format!("dpcl-comm@{}:{user}", dp.node()),
+                    dp.node(),
+                    move |cp| {
+                        comm_daemon_loop(cp, &di2, &reply2, &user2);
+                    },
+                );
+                reply.send(
+                    dp,
+                    UpMsg::Connected {
+                        req,
+                        node: dp.node(),
+                        daemon: daemon_inbox,
+                    },
+                    delay,
+                );
+        }
+    }
+}
+
+fn comm_daemon_loop(
+    cp: &Proc,
+    inbox: &SimChannel<DownMsgEnvelope>,
+    reply: &SimChannel<UpMsg>,
+    _user: &str,
+) {
+    let machine = cp.machine().clone();
+    // Target registry: image plus the process name (for diagnostics).
+    let mut targets: BTreeMap<TargetId, (Arc<Image>, String)> = BTreeMap::new();
+    let ack = |cp: &Proc, req: ReqId, result: AckResult| {
+        let delay = machine.daemon.base_delay + cp.jitter(machine.daemon.jitter);
+        reply.send(
+            cp,
+            UpMsg::Ack {
+                req,
+                result,
+                completed_at: cp.now(),
+            },
+            delay,
+        );
+    };
+    let missing = |t: TargetId| AckResult::Error {
+        message: format!("no attached target {t:?}"),
+    };
+    loop {
+        match inbox.recv(cp).0 {
+            DownMsg::Attach {
+                req,
+                target,
+                image,
+                name,
+            } => {
+                cp.advance(machine.daemon.attach_cost);
+                targets.insert(target, (image, name));
+                ack(cp, req, AckResult::Ok { detail: 0 });
+            }
+            DownMsg::Install {
+                req,
+                target,
+                point,
+                snippet,
+            } => match targets.get(&target) {
+                Some((img, _name)) => {
+                    cp.advance(machine.daemon.patch_cost);
+                    let id = img.insert(point, snippet);
+                    ack(cp, req, AckResult::Ok { detail: id.0 });
+                }
+                None => ack(cp, req, missing(target)),
+            },
+            DownMsg::Remove {
+                req,
+                target,
+                point,
+                snippet,
+            } => match targets.get(&target) {
+                Some((img, _name)) => {
+                    cp.advance(machine.daemon.patch_cost);
+                    let removed = img.remove(point, snippet);
+                    ack(cp, req, AckResult::Ok {
+                        detail: u64::from(removed),
+                    });
+                }
+                None => ack(cp, req, missing(target)),
+            },
+            DownMsg::RemoveFunction { req, target, func } => match targets.get(&target) {
+                Some((img, _name)) => {
+                    cp.advance(machine.daemon.patch_cost);
+                    let n = img.remove_function_instr(func);
+                    ack(cp, req, AckResult::Ok { detail: n as u64 });
+                }
+                None => ack(cp, req, missing(target)),
+            },
+            DownMsg::Suspend { req, target } => match targets.get(&target) {
+                Some((img, _name)) => {
+                    img.suspend(cp);
+                    ack(cp, req, AckResult::Ok { detail: 0 });
+                }
+                None => ack(cp, req, missing(target)),
+            },
+            DownMsg::Resume { req, target } => match targets.get(&target) {
+                Some((img, _name)) => {
+                    img.resume(cp, SimTime::ZERO);
+                    ack(cp, req, AckResult::Ok { detail: 0 });
+                }
+                None => ack(cp, req, missing(target)),
+            },
+            DownMsg::Shutdown { req } => {
+                ack(cp, req, AckResult::Ok { detail: 0 });
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! # dynprof-dpcl — the Dynamic Probe Class Library analogue
+//!
+//! The asynchronous daemon infrastructure dynprof instruments through
+//! (paper §3.2, Fig 5): one **super daemon** per node authenticates users
+//! and spawns per-user **communication daemons**, which attach to target
+//! processes and perform the actual image patching. Every message between
+//! the instrumenter and a daemon experiences a per-node delay with jitter,
+//! reproducing the asynchrony that forces dynprof's barrier/spin-wait
+//! startup protocol (paper Fig 6) and the growth of instrumentation time
+//! with process count (Fig 9).
+//!
+//! ```
+//! use dynprof_dpcl::{DpclClient, DpclSystem};
+//! use dynprof_image::{FunctionInfo, ImageBuilder, ProbePoint, Snippet};
+//! use dynprof_sim::{Machine, Sim};
+//! use std::sync::Arc;
+//!
+//! let sim = Sim::virtual_time(Machine::test_machine(), 9);
+//! let system = DpclSystem::new(["alice"]);
+//! let mut b = ImageBuilder::new("target");
+//! let f = b.add(FunctionInfo::new("test"));
+//! let image = Arc::new(b.build());
+//! let img2 = Arc::clone(&image);
+//! sim.spawn("instrumenter", 0, move |p| {
+//!     let client = DpclClient::new(system, "alice");
+//!     let h = client.attach(p, 2, img2, "target:0").expect("attach");
+//!     let req = client.install_probe(p, &h, ProbePoint::entry(f),
+//!         Snippet::noop("start_timer"));
+//!     assert!(client.wait_ack(p, req).is_ok());
+//!     client.shutdown(p);
+//! });
+//! sim.run();
+//! assert!(image.occupied(ProbePoint::entry(f)));
+//! ```
+
+#![warn(missing_docs)]
+
+mod client;
+mod daemon;
+mod messages;
+
+pub use client::{CallbackSender, DpclClient, ProcessHandle, CLIENT_SEND_COST};
+pub use daemon::{DpclSystem, AUTH_COST, SPAWN_DAEMON_COST};
+pub use messages::{AckResult, DownMsgEnvelope, ReqId, TargetId, UpMsg};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynprof_image::{CallerCtx, FunctionInfo, ImageBuilder, ProbePoint, Snippet};
+    use dynprof_sim::{Machine, Sim, SimTime};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn image_with(names: &[&str]) -> Arc<dynprof_image::Image> {
+        let mut b = ImageBuilder::new("target");
+        for n in names {
+            b.add(FunctionInfo::new(*n));
+        }
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn attach_install_and_fire() {
+        let sim = Sim::virtual_time(Machine::test_machine(), 1);
+        let system = DpclSystem::new(["u"]);
+        let image = image_with(&["test"]);
+        let f = image.func("test").unwrap();
+        let fired = Arc::new(Mutex::new(0u32));
+
+        let (img2, fired2) = (Arc::clone(&image), Arc::clone(&fired));
+        sim.spawn("instrumenter", 0, move |p| {
+            let client = DpclClient::new(system, "u");
+            let h = client.attach(p, 1, Arc::clone(&img2), "t:0").unwrap();
+            let f2 = Arc::clone(&fired2);
+            let req = client.install_probe(
+                p,
+                &h,
+                ProbePoint::entry(f),
+                Snippet::new("probe", SimTime::ZERO, move |_| {
+                    *f2.lock() += 1;
+                }),
+            );
+            assert!(client.wait_ack(p, req).is_ok());
+            client.shutdown(p);
+        });
+        let img3 = Arc::clone(&image);
+        sim.spawn("app", 1, move |p| {
+            // Give the instrumenter time to patch, then call.
+            p.sleep(SimTime::from_secs(1));
+            img3.call(p, CallerCtx::default(), f, || ());
+        });
+        sim.run();
+        assert_eq!(*fired.lock(), 1);
+    }
+
+    #[test]
+    fn authentication_rejects_unknown_users() {
+        let sim = Sim::virtual_time(Machine::test_machine(), 1);
+        let system = DpclSystem::new(["alice"]);
+        let image = image_with(&["f"]);
+        sim.spawn("instrumenter", 0, move |p| {
+            let client = DpclClient::new(system, "mallory");
+            let err = client.attach(p, 1, image, "t").unwrap_err();
+            assert!(err.contains("not authorized"), "{err}");
+            client.shutdown(p);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn one_super_daemon_per_node() {
+        let sim = Sim::virtual_time(Machine::test_machine(), 1);
+        let system = DpclSystem::new(["u"]);
+        let sys2 = Arc::clone(&system);
+        sim.spawn("instrumenter", 0, move |p| {
+            let client = DpclClient::new(Arc::clone(&sys2), "u");
+            for node in [1, 2, 1, 2, 3] {
+                client.connect(p, node).unwrap();
+            }
+            assert_eq!(sys2.super_daemon_count(), 3);
+            assert_eq!(client.connected_nodes(), vec![1, 2, 3]);
+            client.shutdown(p);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn async_installs_complete_on_every_node() {
+        let sim = Sim::virtual_time(Machine::test_machine(), 42);
+        let system = DpclSystem::new(["u"]);
+        let images: Vec<_> = (0..3).map(|_| image_with(&["test"])).collect();
+        let imgs = images.clone();
+        sim.spawn("instrumenter", 0, move |p| {
+            let client = DpclClient::new(system, "u");
+            let mut handles = Vec::new();
+            for (i, img) in imgs.iter().enumerate() {
+                handles.push(client.attach(p, 1 + i, Arc::clone(img), "t").unwrap());
+            }
+            let f = imgs[0].func("test").unwrap();
+            let reqs: Vec<_> = handles
+                .iter()
+                .map(|h| client.install_probe(p, h, ProbePoint::entry(f), Snippet::noop("n")))
+                .collect();
+            for r in reqs {
+                match client.wait_ack(p, r) {
+                    AckResult::Ok { .. } => {}
+                    AckResult::Error { message } => panic!("{message}"),
+                }
+            }
+            client.shutdown(p);
+        });
+        sim.run();
+        for img in &images {
+            assert!(img.occupied(ProbePoint::entry(img.func("test").unwrap())));
+        }
+    }
+
+    #[test]
+    fn bsuspend_blocks_until_daemon_confirms() {
+        let sim = Sim::virtual_time(Machine::test_machine(), 5);
+        let system = DpclSystem::new(["u"]);
+        let image = image_with(&["f"]);
+        let img2 = Arc::clone(&image);
+        sim.spawn("instrumenter", 0, move |p| {
+            let client = DpclClient::new(system, "u");
+            let h = client.attach(p, 2, Arc::clone(&img2), "t").unwrap();
+            assert!(!img2.is_suspended());
+            let r = client.bsuspend(p, &h);
+            assert!(r.is_ok());
+            assert!(img2.is_suspended());
+            client.resume(p, &h);
+            // Async resume: wait for it to land before shutdown.
+            p.sleep(SimTime::from_secs(1));
+            assert!(!img2.is_suspended());
+            client.shutdown(p);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn callbacks_reach_the_instrumenter() {
+        let sim = Sim::virtual_time(Machine::test_machine(), 5);
+        let system = DpclSystem::new(["u"]);
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let got2 = Arc::clone(&got);
+        let sender_slot: Arc<Mutex<Option<CallbackSender>>> = Arc::new(Mutex::new(None));
+        let slot2 = Arc::clone(&sender_slot);
+        sim.spawn("instrumenter", 0, move |p| {
+            let client = DpclClient::new(system, "u");
+            *slot2.lock() = Some(client.callback_sender());
+            let mut payloads = client.recv_callbacks(p, 7, 3);
+            payloads.sort_unstable();
+            *got2.lock() = payloads;
+            client.shutdown(p);
+        });
+        for rank in 0..3u64 {
+            let slot = Arc::clone(&sender_slot);
+            sim.spawn(format!("app:{rank}"), 1, move |p| {
+                p.sleep(SimTime::from_millis(10 * (rank + 1)));
+                let sender = slot.lock().clone().expect("sender published");
+                sender.send(p, 7, rank);
+            });
+        }
+        sim.run();
+        assert_eq!(*got.lock(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn remove_function_clears_probes_via_daemon() {
+        let sim = Sim::virtual_time(Machine::test_machine(), 5);
+        let system = DpclSystem::new(["u"]);
+        let image = image_with(&["f"]);
+        let f = image.func("f").unwrap();
+        image.insert(ProbePoint::entry(f), Snippet::noop("a"));
+        image.insert(ProbePoint::exit(f), Snippet::noop("b"));
+        let img2 = Arc::clone(&image);
+        sim.spawn("instrumenter", 0, move |p| {
+            let client = DpclClient::new(system, "u");
+            let h = client.attach(p, 1, Arc::clone(&img2), "t").unwrap();
+            let req = client.remove_function(p, &h, f);
+            match client.wait_ack(p, req) {
+                AckResult::Ok { detail } => assert_eq!(detail, 2),
+                AckResult::Error { message } => panic!("{message}"),
+            }
+            client.shutdown(p);
+        });
+        sim.run();
+        assert!(!image.occupied(ProbePoint::entry(f)));
+        assert!(!image.occupied(ProbePoint::exit(f)));
+    }
+
+    #[test]
+    fn operations_on_unattached_target_error() {
+        let sim = Sim::virtual_time(Machine::test_machine(), 5);
+        let system = DpclSystem::new(["u"]);
+        let image = image_with(&["f"]);
+        let f = image.func("f").unwrap();
+        sim.spawn("instrumenter", 0, move |p| {
+            let client = DpclClient::new(system, "u");
+            let h = client.attach(p, 1, Arc::clone(&image), "t").unwrap();
+            // Forge a handle with a bogus target id.
+            let bogus = ProcessHandle {
+                target: crate::TargetId(999),
+                ..h.clone()
+            };
+            let req = client.install_probe(p, &bogus, ProbePoint::entry(f), Snippet::noop("n"));
+            match client.wait_ack(p, req) {
+                AckResult::Error { message } => assert!(message.contains("no attached target")),
+                AckResult::Ok { .. } => panic!("expected error"),
+            }
+            client.shutdown(p);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn determinism_identical_seeds_identical_completion() {
+        fn run(seed: u64) -> SimTime {
+            let sim = Sim::virtual_time(Machine::test_machine(), seed);
+            let system = DpclSystem::new(["u"]);
+            let image = image_with(&["f"]);
+            let f = image.func("f").unwrap();
+            sim.spawn("instrumenter", 0, move |p| {
+                let client = DpclClient::new(system, "u");
+                let mut reqs = Vec::new();
+                let mut handles = Vec::new();
+                for node in 1..4 {
+                    handles.push(client.attach(p, node, Arc::clone(&image), "t").unwrap());
+                }
+                for h in &handles {
+                    reqs.push(client.install_probe(
+                        p,
+                        h,
+                        ProbePoint::entry(f),
+                        Snippet::noop("n"),
+                    ));
+                }
+                assert_eq!(client.wait_all(p, &reqs), 0);
+                client.shutdown(p);
+            });
+            sim.run()
+        }
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

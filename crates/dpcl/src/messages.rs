@@ -1,0 +1,127 @@
+//! The DPCL wire protocol between instrumenters and daemons.
+
+use std::sync::Arc;
+
+use dynprof_image::{Image, ProbePoint, Snippet, SnippetId};
+use dynprof_sim::sync::SimChannel;
+use dynprof_sim::SimTime;
+
+/// Request identifier for matching asynchronous acknowledgements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReqId(pub u64);
+
+/// Target process identifier within one communication daemon.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TargetId(pub u32);
+
+/// Instrumenter → daemon messages.
+pub(crate) enum DownMsg {
+    /// Register a target process image with the daemon.
+    Attach {
+        req: ReqId,
+        target: TargetId,
+        image: Arc<Image>,
+        name: String,
+    },
+    /// Insert a snippet at a probe point of a target.
+    Install {
+        req: ReqId,
+        target: TargetId,
+        point: ProbePoint,
+        snippet: Snippet,
+    },
+    /// Remove a snippet.
+    Remove {
+        req: ReqId,
+        target: TargetId,
+        point: ProbePoint,
+        snippet: SnippetId,
+    },
+    /// Remove all instrumentation from a function (both points).
+    RemoveFunction {
+        req: ReqId,
+        target: TargetId,
+        func: dynprof_image::FuncId,
+    },
+    /// Suspend the target process.
+    Suspend { req: ReqId, target: TargetId },
+    /// Resume the target process.
+    Resume { req: ReqId, target: TargetId },
+    /// Tear the daemon down.
+    Shutdown { req: ReqId },
+}
+
+/// Super-daemon requests.
+pub(crate) enum SuperMsg {
+    /// Authenticate `user` and spawn a communication daemon for them.
+    Connect {
+        req: ReqId,
+        user: String,
+        reply: Arc<SimChannel<UpMsg>>,
+    },
+    /// Tear the super daemon down.
+    Shutdown,
+}
+
+/// Result payload of an acknowledged request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AckResult {
+    /// Operation succeeded; `detail` is operation-specific (e.g. the
+    /// snippet id of an install, or 1/0 for a removal).
+    Ok {
+        /// Operation-specific detail value.
+        detail: u64,
+    },
+    /// Operation failed.
+    Error {
+        /// Failure description.
+        message: String,
+    },
+}
+
+impl AckResult {
+    /// True for `Ok`.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, AckResult::Ok { .. })
+    }
+}
+
+/// Daemon → instrumenter messages.
+pub enum UpMsg {
+    /// Acknowledgement of a request.
+    Ack {
+        /// The request being acknowledged.
+        req: ReqId,
+        /// Outcome.
+        result: AckResult,
+        /// Daemon-local completion time.
+        completed_at: SimTime,
+    },
+    /// Connection established: the per-user communication daemon's inbox.
+    Connected {
+        /// The connect request.
+        req: ReqId,
+        /// Node of the daemon.
+        node: usize,
+        /// Channel for subsequent requests.
+        daemon: Arc<SimChannel<DownMsgEnvelope>>,
+    },
+    /// Authentication failed.
+    AuthFailed {
+        /// The connect request.
+        req: ReqId,
+        /// Reason.
+        message: String,
+    },
+    /// An application-initiated callback (e.g. `DPCL_callback()` from an
+    /// inserted snippet — the MPI_Init protocol of paper Fig 6).
+    Callback {
+        /// User-chosen callback tag.
+        tag: u64,
+        /// User payload (e.g. the rank that reached the callback).
+        payload: u64,
+    },
+}
+
+/// Envelope hiding the private `DownMsg` from the public channel type.
+pub struct DownMsgEnvelope(pub(crate) DownMsg);

@@ -1,0 +1,131 @@
+//! Functions within a program image.
+
+use std::fmt;
+
+/// Identifier of a function within one [`crate::Image`] (dense index).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub u32);
+
+impl fmt::Debug for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FuncId({})", self.0)
+    }
+}
+
+impl FuncId {
+    /// The dense index of this function.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Static metadata about a function, as a symbol-table reader would see it.
+#[derive(Clone, Debug)]
+pub struct FunctionInfo {
+    /// Symbol name (unique within the image).
+    pub name: String,
+    /// Source module / object file the function came from.
+    pub module: String,
+    /// Size of the function body in bytes (drives trampoline bookkeeping:
+    /// probe insertion relocates the displaced instruction).
+    pub size_bytes: usize,
+    /// Whether the Guide compiler statically inserted entry/exit profile
+    /// instrumentation into this function (paper §3.1). Dynamic-only
+    /// binaries have this `false` everywhere.
+    pub statically_instrumented: bool,
+}
+
+impl FunctionInfo {
+    /// Convenience constructor for a function in the default module.
+    pub fn new(name: impl Into<String>) -> FunctionInfo {
+        FunctionInfo {
+            name: name.into(),
+            module: "main".to_string(),
+            size_bytes: 256,
+            statically_instrumented: false,
+        }
+    }
+
+    /// Set the module.
+    pub fn in_module(mut self, module: impl Into<String>) -> FunctionInfo {
+        self.module = module.into();
+        self
+    }
+
+    /// Set the body size.
+    pub fn with_size(mut self, bytes: usize) -> FunctionInfo {
+        self.size_bytes = bytes;
+        self
+    }
+
+    /// Mark as statically instrumented by the Guide compiler.
+    pub fn static_instr(mut self, yes: bool) -> FunctionInfo {
+        self.statically_instrumented = yes;
+        self
+    }
+}
+
+/// Which probe point of a function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProbePointKind {
+    /// Function entry.
+    Entry,
+    /// Function exit (all return paths).
+    Exit,
+}
+
+/// A fully-qualified probe point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ProbePoint {
+    /// The function containing the point.
+    pub func: FuncId,
+    /// Entry or exit.
+    pub kind: ProbePointKind,
+}
+
+impl ProbePoint {
+    /// Entry point of `func`.
+    pub fn entry(func: FuncId) -> ProbePoint {
+        ProbePoint {
+            func,
+            kind: ProbePointKind::Entry,
+        }
+    }
+    /// Exit point of `func`.
+    pub fn exit(func: FuncId) -> ProbePoint {
+        ProbePoint {
+            func,
+            kind: ProbePointKind::Exit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let f = FunctionInfo::new("solve")
+            .in_module("solver.c")
+            .with_size(1024)
+            .static_instr(true);
+        assert_eq!(f.name, "solve");
+        assert_eq!(f.module, "solver.c");
+        assert_eq!(f.size_bytes, 1024);
+        assert!(f.statically_instrumented);
+    }
+
+    #[test]
+    fn probe_point_constructors() {
+        let f = FuncId(3);
+        assert_eq!(
+            ProbePoint::entry(f),
+            ProbePoint {
+                func: f,
+                kind: ProbePointKind::Entry
+            }
+        );
+        assert_eq!(ProbePoint::exit(f).kind, ProbePointKind::Exit);
+    }
+}

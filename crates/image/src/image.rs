@@ -1,0 +1,704 @@
+//! The executable image of a running process, as seen by a dynamic
+//! instrumenter.
+//!
+//! Applications route every (interesting) function call through
+//! [`Image::call`], which is the moral equivalent of executing the
+//! function's entry instruction: if a dynamic probe has been installed
+//! there, control flows through the base trampoline and its chain of
+//! mini-trampolines (whose snippets really execute); if the binary was
+//! compiled with Guide-style static instrumentation, the static begin/end
+//! hooks fire; if neither, the call costs nothing — the property that makes
+//! the paper's `Dynamic` policy track `None` so closely (Fig 7).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use dynprof_sim::sync::SimGate;
+use dynprof_sim::{Proc, SimTime};
+
+use crate::func::{FuncId, FunctionInfo, ProbePoint, ProbePointKind};
+use crate::snippet::{ProbeCtx, Snippet, SnippetId};
+use crate::trampoline::BaseTrampoline;
+
+/// Observer of process-state transitions (suspension/resumption), used
+/// to realize the paper's §5.1 proposal: suspensions appear in the
+/// time-line as periods of inactivity that analysis tools can disregard.
+pub trait ImageObserver: Send + Sync {
+    /// The process was suspended at `p.now()` (`p` is the acting daemon).
+    fn on_suspend(&self, p: &Proc);
+    /// The process resumed at `p.now()`.
+    fn on_resume(&self, p: &Proc);
+}
+
+/// Static instrumentation hooks, as inserted by the Guide compiler at
+/// function entry/exit (implemented by the Vampirtrace layer).
+pub trait StaticHooks: Send + Sync {
+    /// Fired at function entry (aggregated over `ctx.reps` invocations).
+    fn begin(&self, ctx: &ProbeCtx<'_>);
+    /// Fired at function exit.
+    fn end(&self, ctx: &ProbeCtx<'_>);
+}
+
+/// Threads whose shadow program counter is tracked for sampling.
+pub const MAX_SAMPLED_THREADS: usize = 64;
+
+/// The PC journal: per-thread `(enter, exit, function index)` intervals.
+pub type PcLog = HashMap<usize, Vec<(SimTime, SimTime, u32)>>;
+
+/// Identity of the caller inside a process: its MPI rank and OpenMP thread.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CallerCtx {
+    /// MPI rank of the process (0 if not an MPI job).
+    pub rank: usize,
+    /// OpenMP thread id within the process (0 = initial thread).
+    pub thread: usize,
+}
+
+struct PointPair {
+    entry: BaseTrampoline,
+    exit: BaseTrampoline,
+}
+
+struct SuspendState {
+    gate: Arc<SimGate>,
+}
+
+/// A process's executable image: functions, probe points, trampolines.
+///
+/// One `Image` per MPI process; OpenMP threads of a process share a single
+/// image (which is why instrumenting an OpenMP application patches one
+/// image regardless of thread count — paper Fig 9).
+pub struct Image {
+    program: String,
+    info: Vec<FunctionInfo>,
+    by_name: HashMap<String, FuncId>,
+    probes: RwLock<Vec<PointPair>>,
+    static_hooks: RwLock<Option<Arc<dyn StaticHooks>>>,
+    observer: RwLock<Option<Arc<dyn ImageObserver>>>,
+    suspended: AtomicBool,
+    suspend: Mutex<SuspendState>,
+    next_snippet: AtomicU64,
+    counts: Vec<AtomicU64>,
+    /// Shadow program counter per thread (function id + 1; 0 = outside
+    /// any manifest function). The real machine has a PC for free; this
+    /// is what a statistical sampler reads (paper §2).
+    pc: Vec<AtomicU32>,
+    /// When enabled, every call's `[enter, exit)` interval is journaled
+    /// per thread so an ideal interrupt sampler can be evaluated on the
+    /// virtual timeline (see `dynprof_vt::sampling`).
+    pc_log_enabled: AtomicBool,
+    pc_log: Mutex<PcLog>,
+    /// Count of probe-point patches performed (jump written or removed),
+    /// reported in dynprof's timefile.
+    patches: AtomicU64,
+}
+
+impl Image {
+    /// Look up a function by symbol name.
+    pub fn func(&self, name: &str) -> Option<FuncId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Metadata of `fid`.
+    pub fn info(&self, fid: FuncId) -> &FunctionInfo {
+        &self.info[fid.index()]
+    }
+
+    /// Symbol name of `fid`.
+    pub fn name(&self, fid: FuncId) -> &str {
+        &self.info[fid.index()].name
+    }
+
+    /// Number of functions in the image.
+    pub fn len(&self) -> usize {
+        self.info.len()
+    }
+
+    /// True if the image has no functions.
+    pub fn is_empty(&self) -> bool {
+        self.info.is_empty()
+    }
+
+    /// The program name this image belongs to.
+    pub fn program(&self) -> &str {
+        &self.program
+    }
+
+    /// Iterate all function ids.
+    pub fn functions(&self) -> impl Iterator<Item = FuncId> + '_ {
+        (0..self.info.len() as u32).map(FuncId)
+    }
+
+    /// Install image-wide static instrumentation hooks (linking the app
+    /// against the trace library at "compile" time).
+    pub fn set_static_hooks(&self, hooks: Arc<dyn StaticHooks>) {
+        *self.static_hooks.write() = Some(hooks);
+    }
+
+    /// Install a process-state observer (suspension tracking, §5.1).
+    pub fn set_observer(&self, obs: Arc<dyn ImageObserver>) {
+        *self.observer.write() = Some(obs);
+    }
+
+    /// Total calls recorded for `fid` (including batched reps).
+    pub fn call_count(&self, fid: FuncId) -> u64 {
+        self.counts[fid.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total calls recorded across all functions.
+    pub fn total_calls(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Number of probe-point patch operations performed so far.
+    pub fn patch_count(&self) -> u64 {
+        self.patches.load(Ordering::Relaxed)
+    }
+
+    // -- dynamic instrumentation -------------------------------------------
+
+    /// Insert `snippet` at `point`, returning a handle for removal.
+    ///
+    /// The caller is expected to have suspended the process (DPCL does);
+    /// the image itself only requires the instrumenter lock.
+    pub fn insert(&self, point: ProbePoint, snippet: Snippet) -> SnippetId {
+        let id = SnippetId(self.next_snippet.fetch_add(1, Ordering::Relaxed));
+        let mut probes = self.probes.write();
+        let pair = &mut probes[point.func.index()];
+        let base = match point.kind {
+            ProbePointKind::Entry => &mut pair.entry,
+            ProbePointKind::Exit => &mut pair.exit,
+        };
+        if !base.occupied() {
+            // Writing the jump instruction at the probe point is a patch.
+            self.patches.fetch_add(1, Ordering::Relaxed);
+        }
+        base.push(id, snippet);
+        self.patches.fetch_add(1, Ordering::Relaxed); // mini-trampoline store
+        id
+    }
+
+    /// Remove the snippet `id` from `point`. Returns `true` if present.
+    pub fn remove(&self, point: ProbePoint, id: SnippetId) -> bool {
+        let mut probes = self.probes.write();
+        let pair = &mut probes[point.func.index()];
+        let base = match point.kind {
+            ProbePointKind::Entry => &mut pair.entry,
+            ProbePointKind::Exit => &mut pair.exit,
+        };
+        let removed = base.remove(id);
+        if removed {
+            self.patches.fetch_add(1, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// Remove every snippet at both probe points of `fid`; returns how many
+    /// mini-trampolines were deallocated.
+    pub fn remove_function_instr(&self, fid: FuncId) -> usize {
+        let mut probes = self.probes.write();
+        let pair = &mut probes[fid.index()];
+        let mut n = 0;
+        for base in [&mut pair.entry, &mut pair.exit] {
+            loop {
+                let id = match base.iter().next() {
+                    Some(m) => m.id,
+                    None => break,
+                };
+                base.remove(id);
+                n += 1;
+            }
+        }
+        if n > 0 {
+            self.patches.fetch_add(n as u64, Ordering::Relaxed);
+        }
+        n
+    }
+
+    /// Is any instrumentation installed at `point`?
+    pub fn occupied(&self, point: ProbePoint) -> bool {
+        let probes = self.probes.read();
+        let pair = &probes[point.func.index()];
+        match point.kind {
+            ProbePointKind::Entry => pair.entry.occupied(),
+            ProbePointKind::Exit => pair.exit.occupied(),
+        }
+    }
+
+    /// Total dynamically-allocated trampoline bytes.
+    pub fn allocated_trampoline_bytes(&self) -> usize {
+        let probes = self.probes.read();
+        probes
+            .iter()
+            .map(|p| p.entry.allocated_bytes() + p.exit.allocated_bytes())
+            .sum()
+    }
+
+    /// Functions that currently have instrumentation at entry or exit.
+    pub fn instrumented_functions(&self) -> Vec<FuncId> {
+        let probes = self.probes.read();
+        probes
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.entry.occupied() || p.exit.occupied())
+            .map(|(i, _)| FuncId(i as u32))
+            .collect()
+    }
+
+    // -- suspend / resume ---------------------------------------------------
+
+    /// Suspend the process: subsequent `call`s block until [`Image::resume`].
+    /// Threads already inside a function body run to the next call boundary
+    /// (the simulator's approximation of stopping at a safe point).
+    /// `p` is the acting process (the DPCL daemon).
+    pub fn suspend(&self, p: &Proc) {
+        let mut s = self.suspend.lock();
+        if !self.suspended.swap(true, Ordering::SeqCst) {
+            s.gate = Arc::new(SimGate::new());
+            if let Some(obs) = self.observer.read().clone() {
+                obs.on_suspend(p);
+            }
+        }
+    }
+
+    /// Resume the process; blocked calls proceed `latency` after `p`'s time.
+    pub fn resume(&self, p: &Proc, latency: SimTime) {
+        let s = self.suspend.lock();
+        if self.suspended.swap(false, Ordering::SeqCst) {
+            s.gate.open(p, latency);
+            if let Some(obs) = self.observer.read().clone() {
+                obs.on_resume(p);
+            }
+        }
+    }
+
+    /// Is the process currently suspended?
+    pub fn is_suspended(&self) -> bool {
+        self.suspended.load(Ordering::SeqCst)
+    }
+
+    fn wait_if_suspended(&self, p: &Proc) {
+        while self.suspended.load(Ordering::SeqCst) {
+            let gate = Arc::clone(&self.suspend.lock().gate);
+            // Recheck under the gate: resume may have happened in between.
+            if !self.suspended.load(Ordering::SeqCst) {
+                break;
+            }
+            gate.wait_open(p);
+        }
+    }
+
+    // -- the call path -------------------------------------------------------
+
+    /// Execute `body` as a call to `fid`, firing instrumentation.
+    pub fn call<R>(
+        &self,
+        p: &Proc,
+        cc: CallerCtx,
+        fid: FuncId,
+        body: impl FnOnce() -> R,
+    ) -> R {
+        self.call_batch(p, cc, fid, 1, |_| body())
+    }
+
+    /// Execute `body` once on behalf of `reps` aggregated invocations of
+    /// `fid`.
+    ///
+    /// Very hot leaf functions (called millions of times in the real ASCI
+    /// kernels) would make the simulation itself intractable if every call
+    /// were played out; `call_batch` preserves *accounting* fidelity — all
+    /// instrumentation costs, call counts, and trace volume are multiplied
+    /// by `reps` — while executing the probe machinery once. `body`
+    /// receives `reps` so the application can scale its own modelled work.
+    pub fn call_batch<R>(
+        &self,
+        p: &Proc,
+        cc: CallerCtx,
+        fid: FuncId,
+        reps: u64,
+        body: impl FnOnce(u64) -> R,
+    ) -> R {
+        debug_assert!(reps > 0, "call_batch with zero reps");
+        self.wait_if_suspended(p);
+        self.counts[fid.index()].fetch_add(reps, Ordering::Relaxed);
+        // Shadow PC for statistical samplers (restored on return).
+        let pc_slot = self.pc.get(cc.thread);
+        let prev_pc = pc_slot.map(|s| s.swap(fid.0 + 1, Ordering::Relaxed));
+        let t_enter = self
+            .pc_log_enabled
+            .load(Ordering::Relaxed)
+            .then(|| p.now());
+
+        let info = &self.info[fid.index()];
+        let static_hooks = if info.statically_instrumented {
+            self.static_hooks.read().clone()
+        } else {
+            None
+        };
+
+        // Entry: dynamic probe fires at the entry instruction, then the
+        // compiler-inserted static prologue.
+        self.fire_point(p, cc, fid, ProbePointKind::Entry, reps);
+        if let Some(h) = &static_hooks {
+            h.begin(&self.ctx(p, cc, fid, ProbePointKind::Entry, reps));
+        }
+
+        let r = body(reps);
+
+        if let Some(h) = &static_hooks {
+            h.end(&self.ctx(p, cc, fid, ProbePointKind::Exit, reps));
+        }
+        self.fire_point(p, cc, fid, ProbePointKind::Exit, reps);
+        if let (Some(slot), Some(prev)) = (pc_slot, prev_pc) {
+            slot.store(prev, Ordering::Relaxed);
+        }
+        if let Some(t0) = t_enter {
+            self.pc_log
+                .lock()
+                .entry(cc.thread)
+                .or_default()
+                .push((t0, p.now(), fid.0));
+        }
+        r
+    }
+
+    /// The function `thread` is currently executing, if any (what a
+    /// statistical sampler's interrupt would see as the PC). Meaningful
+    /// in real-clock mode; virtual-time samplers use the PC journal.
+    pub fn current_function(&self, thread: usize) -> Option<FuncId> {
+        let v = self.pc.get(thread)?.load(Ordering::Relaxed);
+        (v != 0).then(|| FuncId(v - 1))
+    }
+
+    /// Enable journaling of per-call PC intervals (virtual-time sampling).
+    pub fn enable_pc_log(&self) {
+        self.pc_log_enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Snapshot the PC journal: per-thread `(enter, exit, func)` intervals
+    /// in completion order.
+    pub fn pc_log_snapshot(&self) -> PcLog {
+        self.pc_log.lock().clone()
+    }
+
+    fn ctx<'a>(
+        &'a self,
+        p: &'a Proc,
+        cc: CallerCtx,
+        fid: FuncId,
+        point: ProbePointKind,
+        reps: u64,
+    ) -> ProbeCtx<'a> {
+        ProbeCtx {
+            proc: p,
+            rank: cc.rank,
+            thread: cc.thread,
+            func: fid,
+            name: &self.info[fid.index()].name,
+            point,
+            reps,
+        }
+    }
+
+    fn fire_point(&self, p: &Proc, cc: CallerCtx, fid: FuncId, kind: ProbePointKind, reps: u64) {
+        // Fast path: clone the chain only if occupied.
+        let chain: Vec<Snippet> = {
+            let probes = self.probes.read();
+            let pair = &probes[fid.index()];
+            let base = match kind {
+                ProbePointKind::Entry => &pair.entry,
+                ProbePointKind::Exit => &pair.exit,
+            };
+            if !base.occupied() {
+                return;
+            }
+            base.iter().map(|m| m.snippet.clone()).collect()
+        };
+        // Base trampoline dispatch: jump, save regs, relocated instruction,
+        // restore regs, jump back — once per traversal, times reps.
+        let dispatch = p.machine().probe.trampoline_dispatch;
+        p.advance(dispatch * reps);
+        let ctx = self.ctx(p, cc, fid, kind, reps);
+        for s in &chain {
+            p.advance(s.cost * reps);
+            (s.code)(&ctx);
+        }
+    }
+}
+
+/// Builder for [`Image`].
+pub struct ImageBuilder {
+    program: String,
+    info: Vec<FunctionInfo>,
+}
+
+impl ImageBuilder {
+    /// Start building the image of `program`.
+    pub fn new(program: impl Into<String>) -> ImageBuilder {
+        ImageBuilder {
+            program: program.into(),
+            info: Vec::new(),
+        }
+    }
+
+    /// Add a function; returns its id. Panics on duplicate names at build.
+    pub fn add(&mut self, info: FunctionInfo) -> FuncId {
+        let id = FuncId(self.info.len() as u32);
+        self.info.push(info);
+        id
+    }
+
+    /// Add a plain function by name.
+    pub fn add_named(&mut self, name: impl Into<String>) -> FuncId {
+        self.add(FunctionInfo::new(name))
+    }
+
+    /// Mark every function as statically instrumented (the Guide compiler
+    /// instruments all subroutines; paper §3.1).
+    pub fn static_instrument_all(&mut self) -> &mut Self {
+        for f in &mut self.info {
+            f.statically_instrumented = true;
+        }
+        self
+    }
+
+    /// Finish, producing the image.
+    pub fn build(self) -> Image {
+        let mut by_name = HashMap::with_capacity(self.info.len());
+        for (i, f) in self.info.iter().enumerate() {
+            let prev = by_name.insert(f.name.clone(), FuncId(i as u32));
+            assert!(prev.is_none(), "duplicate function name {:?}", f.name);
+        }
+        let n = self.info.len();
+        Image {
+            program: self.program,
+            info: self.info,
+            by_name,
+            probes: RwLock::new(
+                (0..n)
+                    .map(|_| PointPair {
+                        entry: BaseTrampoline::new(),
+                        exit: BaseTrampoline::new(),
+                    })
+                    .collect(),
+            ),
+            static_hooks: RwLock::new(None),
+            observer: RwLock::new(None),
+            suspended: AtomicBool::new(false),
+            suspend: Mutex::new(SuspendState {
+                gate: Arc::new(SimGate::new()),
+            }),
+            next_snippet: AtomicU64::new(1),
+            counts: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            pc: (0..MAX_SAMPLED_THREADS).map(|_| AtomicU32::new(0)).collect(),
+            pc_log_enabled: AtomicBool::new(false),
+            pc_log: Mutex::new(HashMap::new()),
+            patches: AtomicU64::new(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynprof_sim::{Machine, Sim};
+    use std::sync::atomic::AtomicUsize;
+
+    fn two_fn_image() -> Arc<Image> {
+        let mut b = ImageBuilder::new("app");
+        b.add_named("main");
+        b.add_named("test");
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn uninstrumented_call_is_free_and_counted() {
+        let img = two_fn_image();
+        let f = img.func("test").unwrap();
+        let img2 = Arc::clone(&img);
+        let sim = Sim::virtual_time(Machine::test_machine(), 1);
+        sim.spawn("p", 0, move |p| {
+            let v = img2.call(p, CallerCtx::default(), f, || 41 + 1);
+            assert_eq!(v, 42);
+            assert_eq!(p.now(), dynprof_sim::SimTime::ZERO, "no probe, no cost");
+        });
+        sim.run();
+        assert_eq!(img.call_count(f), 1);
+    }
+
+    #[test]
+    fn inserted_snippet_fires_and_charges() {
+        let img = two_fn_image();
+        let f = img.func("test").unwrap();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        img.insert(
+            ProbePoint::entry(f),
+            Snippet::new("timer", SimTime::from_nanos(500), move |ctx| {
+                assert_eq!(ctx.name, "test");
+                assert_eq!(ctx.point, ProbePointKind::Entry);
+                h.fetch_add(ctx.reps as usize, Ordering::Relaxed);
+            }),
+        );
+        let img2 = Arc::clone(&img);
+        let sim = Sim::virtual_time(Machine::test_machine(), 1);
+        sim.spawn("p", 0, move |p| {
+            img2.call(p, CallerCtx::default(), f, || ());
+            let expect = p.machine().probe.trampoline_dispatch + SimTime::from_nanos(500);
+            assert_eq!(p.now(), expect);
+        });
+        sim.run();
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn batch_call_multiplies_costs_and_counts() {
+        let img = two_fn_image();
+        let f = img.func("test").unwrap();
+        img.insert(
+            ProbePoint::entry(f),
+            Snippet::new("t", SimTime::from_nanos(100), |_| {}),
+        );
+        let img2 = Arc::clone(&img);
+        let sim = Sim::virtual_time(Machine::test_machine(), 1);
+        sim.spawn("p", 0, move |p| {
+            img2.call_batch(p, CallerCtx::default(), f, 1000, |reps| {
+                assert_eq!(reps, 1000);
+            });
+            let per = p.machine().probe.trampoline_dispatch + SimTime::from_nanos(100);
+            assert_eq!(p.now(), per * 1000);
+        });
+        sim.run();
+        assert_eq!(img.call_count(f), 1000);
+    }
+
+    #[test]
+    fn chained_snippets_fire_in_insertion_order() {
+        let img = two_fn_image();
+        let f = img.func("test").unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for tag in ["first", "second", "third"] {
+            let o = Arc::clone(&order);
+            img.insert(
+                ProbePoint::exit(f),
+                Snippet::new(tag, SimTime::ZERO, move |_| o.lock().push(tag)),
+            );
+        }
+        let img2 = Arc::clone(&img);
+        let sim = Sim::virtual_time(Machine::test_machine(), 1);
+        sim.spawn("p", 0, move |p| {
+            img2.call(p, CallerCtx::default(), f, || ());
+        });
+        sim.run();
+        assert_eq!(*order.lock(), ["first", "second", "third"]);
+    }
+
+    #[test]
+    fn remove_stops_firing_and_frees_bytes() {
+        let img = two_fn_image();
+        let f = img.func("test").unwrap();
+        let id = img.insert(ProbePoint::entry(f), Snippet::noop("n"));
+        assert!(img.occupied(ProbePoint::entry(f)));
+        assert!(img.allocated_trampoline_bytes() > 0);
+        assert!(img.remove(ProbePoint::entry(f), id));
+        assert!(!img.occupied(ProbePoint::entry(f)));
+        assert_eq!(img.allocated_trampoline_bytes(), 0);
+        let img2 = Arc::clone(&img);
+        let sim = Sim::virtual_time(Machine::test_machine(), 1);
+        sim.spawn("p", 0, move |p| {
+            img2.call(p, CallerCtx::default(), f, || ());
+            assert_eq!(p.now(), SimTime::ZERO);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn static_hooks_fire_only_for_instrumented_functions() {
+        struct Counter(AtomicUsize, AtomicUsize);
+        impl StaticHooks for Counter {
+            fn begin(&self, _: &ProbeCtx<'_>) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+            fn end(&self, _: &ProbeCtx<'_>) {
+                self.1.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let mut b = ImageBuilder::new("app");
+        let fi = b.add(FunctionInfo::new("instrumented").static_instr(true));
+        let fp = b.add(FunctionInfo::new("plain"));
+        let img = Arc::new(b.build());
+        let counter = Arc::new(Counter(AtomicUsize::new(0), AtomicUsize::new(0)));
+        img.set_static_hooks(Arc::clone(&counter) as Arc<dyn StaticHooks>);
+        let img2 = Arc::clone(&img);
+        let sim = Sim::virtual_time(Machine::test_machine(), 1);
+        sim.spawn("p", 0, move |p| {
+            img2.call(p, CallerCtx::default(), fi, || ());
+            img2.call(p, CallerCtx::default(), fp, || ());
+        });
+        sim.run();
+        assert_eq!(counter.0.load(Ordering::Relaxed), 1);
+        assert_eq!(counter.1.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn suspend_blocks_calls_until_resume() {
+        let img = two_fn_image();
+        let f = img.func("test").unwrap();
+        let img2 = Arc::clone(&img);
+        let sim = Sim::virtual_time(Machine::test_machine(), 1);
+        {
+            // Suspend before anything runs (suspender clock at t=0).
+            let img3 = Arc::clone(&img);
+            sim.spawn("suspender", 2, move |p| img3.suspend(p));
+        }
+        sim.spawn("app", 0, move |p| {
+            img2.call(p, CallerCtx::default(), f, || ());
+            assert_eq!(p.now(), SimTime::from_millis(5));
+        });
+        let img3 = Arc::clone(&img);
+        sim.spawn("instrumenter", 1, move |p| {
+            p.advance(SimTime::from_millis(5));
+            img3.resume(p, SimTime::ZERO);
+        });
+        sim.run();
+        assert!(!img.is_suspended());
+    }
+
+    #[test]
+    fn remove_function_instr_clears_both_points() {
+        let img = two_fn_image();
+        let f = img.func("test").unwrap();
+        img.insert(ProbePoint::entry(f), Snippet::noop("a"));
+        img.insert(ProbePoint::entry(f), Snippet::noop("b"));
+        img.insert(ProbePoint::exit(f), Snippet::noop("c"));
+        assert_eq!(img.remove_function_instr(f), 3);
+        assert!(!img.occupied(ProbePoint::entry(f)));
+        assert!(!img.occupied(ProbePoint::exit(f)));
+        assert_eq!(img.instrumented_functions().len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate function name")]
+    fn duplicate_names_rejected() {
+        let mut b = ImageBuilder::new("app");
+        b.add_named("f");
+        b.add_named("f");
+        b.build();
+    }
+
+    #[test]
+    fn patch_count_tracks_mutations() {
+        let img = two_fn_image();
+        let f = img.func("test").unwrap();
+        assert_eq!(img.patch_count(), 0);
+        let id = img.insert(ProbePoint::entry(f), Snippet::noop("a")); // jump + mini
+        assert_eq!(img.patch_count(), 2);
+        img.insert(ProbePoint::entry(f), Snippet::noop("b")); // mini only
+        assert_eq!(img.patch_count(), 3);
+        img.remove(ProbePoint::entry(f), id);
+        assert_eq!(img.patch_count(), 4);
+    }
+}

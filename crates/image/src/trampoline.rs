@@ -1,0 +1,168 @@
+//! Trampoline bookkeeping.
+//!
+//! When instrumentation is inserted at a probe point (paper Fig 1):
+//!
+//! * a jump overwrites the instruction at the probe point;
+//! * a **base trampoline** holds the relocated instruction, register
+//!   save/restore sequences, slots for mini-trampoline jumps, and the
+//!   jump back into the application;
+//! * each snippet lives in its own **mini-trampoline**; multiple requests
+//!   at one point are *chained*, the last one jumping back to the base.
+//!
+//! This module models that structure faithfully enough that (a) inserted
+//! snippets really execute, in chain order; (b) dispatch cost is charged
+//! once per traversal of an occupied probe point; (c) removing a snippet
+//! splices the chain; and (d) allocated trampoline bytes are tracked, as
+//! `dynprof` reports in its timefile.
+
+use dynprof_sim::SimTime;
+
+use crate::snippet::{Snippet, SnippetId};
+
+/// Bytes occupied by one base trampoline (relocated instruction + register
+/// save/restore + slot jumps), matching Dyninst's order of magnitude.
+pub const BASE_TRAMPOLINE_BYTES: usize = 128;
+/// Bytes occupied by one mini-trampoline (snippet stub + chain jump).
+pub const MINI_TRAMPOLINE_BYTES: usize = 64;
+
+/// A mini-trampoline: one snippet plus its position in the chain.
+#[derive(Clone, Debug)]
+pub struct MiniTrampoline {
+    /// Removal handle.
+    pub id: SnippetId,
+    /// The instrumentation primitive.
+    pub snippet: Snippet,
+}
+
+/// A base trampoline with its chain of mini-trampolines.
+///
+/// The base exists only while at least one mini-trampoline is installed;
+/// when the chain empties, the jump at the probe point is removed and the
+/// probe costs nothing again.
+#[derive(Clone, Debug, Default)]
+pub struct BaseTrampoline {
+    chain: Vec<MiniTrampoline>,
+}
+
+impl BaseTrampoline {
+    /// An empty (uninstalled) base trampoline.
+    pub fn new() -> BaseTrampoline {
+        BaseTrampoline { chain: Vec::new() }
+    }
+
+    /// Is any instrumentation installed at this point?
+    pub fn occupied(&self) -> bool {
+        !self.chain.is_empty()
+    }
+
+    /// Number of chained mini-trampolines.
+    pub fn chain_len(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// Append a mini-trampoline to the end of the chain (Dyninst appends;
+    /// the last trampoline jumps back to the base).
+    pub fn push(&mut self, id: SnippetId, snippet: Snippet) {
+        self.chain.push(MiniTrampoline { id, snippet });
+    }
+
+    /// Remove the mini-trampoline with the given id, splicing the chain.
+    /// Returns `true` if found.
+    pub fn remove(&mut self, id: SnippetId) -> bool {
+        let before = self.chain.len();
+        self.chain.retain(|m| m.id != id);
+        self.chain.len() != before
+    }
+
+    /// Remove every mini-trampoline whose snippet name matches.
+    pub fn remove_named(&mut self, name: &str) -> usize {
+        let before = self.chain.len();
+        self.chain.retain(|m| &*m.snippet.name != name);
+        before - self.chain.len()
+    }
+
+    /// Iterate the chain in execution order.
+    pub fn iter(&self) -> impl Iterator<Item = &MiniTrampoline> {
+        self.chain.iter()
+    }
+
+    /// Total simulated snippet cost of one traversal (sum over the chain),
+    /// excluding the base-trampoline dispatch cost which the image charges.
+    pub fn chain_cost(&self) -> SimTime {
+        self.chain.iter().map(|m| m.snippet.cost).sum()
+    }
+
+    /// Bytes of dynamically allocated code this point accounts for.
+    pub fn allocated_bytes(&self) -> usize {
+        if self.chain.is_empty() {
+            0
+        } else {
+            BASE_TRAMPOLINE_BYTES + MINI_TRAMPOLINE_BYTES * self.chain.len()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snip(name: &str, ns: u64) -> Snippet {
+        Snippet::new(name, SimTime::from_nanos(ns), |_| {})
+    }
+
+    #[test]
+    fn empty_base_costs_nothing() {
+        let b = BaseTrampoline::new();
+        assert!(!b.occupied());
+        assert_eq!(b.allocated_bytes(), 0);
+        assert_eq!(b.chain_cost(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn chaining_accumulates_cost_in_order() {
+        let mut b = BaseTrampoline::new();
+        b.push(SnippetId(1), snip("a", 100));
+        b.push(SnippetId(2), snip("b", 50));
+        assert!(b.occupied());
+        assert_eq!(b.chain_len(), 2);
+        assert_eq!(b.chain_cost(), SimTime::from_nanos(150));
+        let names: Vec<_> = b.iter().map(|m| m.snippet.name.to_string()).collect();
+        assert_eq!(names, ["a", "b"]);
+        assert_eq!(
+            b.allocated_bytes(),
+            BASE_TRAMPOLINE_BYTES + 2 * MINI_TRAMPOLINE_BYTES
+        );
+    }
+
+    #[test]
+    fn remove_splices_chain() {
+        let mut b = BaseTrampoline::new();
+        b.push(SnippetId(1), snip("a", 100));
+        b.push(SnippetId(2), snip("b", 50));
+        b.push(SnippetId(3), snip("c", 25));
+        assert!(b.remove(SnippetId(2)));
+        assert!(!b.remove(SnippetId(2)), "double remove reports absence");
+        let names: Vec<_> = b.iter().map(|m| m.snippet.name.to_string()).collect();
+        assert_eq!(names, ["a", "c"]);
+        assert_eq!(b.chain_cost(), SimTime::from_nanos(125));
+    }
+
+    #[test]
+    fn base_deallocates_when_chain_empties() {
+        let mut b = BaseTrampoline::new();
+        b.push(SnippetId(1), snip("a", 100));
+        assert!(b.remove(SnippetId(1)));
+        assert!(!b.occupied());
+        assert_eq!(b.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn remove_named_removes_all_matching() {
+        let mut b = BaseTrampoline::new();
+        b.push(SnippetId(1), snip("vt", 10));
+        b.push(SnippetId(2), snip("other", 10));
+        b.push(SnippetId(3), snip("vt", 10));
+        assert_eq!(b.remove_named("vt"), 2);
+        assert_eq!(b.chain_len(), 1);
+    }
+}

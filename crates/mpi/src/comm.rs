@@ -1,0 +1,395 @@
+//! Communicators and point-to-point messaging.
+//!
+//! Messages travel through per-rank mailboxes ([`SimChannel`]) with
+//! arrival times computed from the machine's link models, so intra-node
+//! and inter-node transfers cost what the topology says they cost.
+//!
+//! Two transfer protocols are modelled, as in real MPI implementations:
+//! **eager** (payload pushed immediately; default for messages up to the
+//! eager limit) and **rendezvous** (RTS → CTS handshake before the data
+//! moves; used above the limit, making large sends synchronizing).
+
+use std::any::Any;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+
+use dynprof_sim::sync::SimChannel;
+use dynprof_sim::{Proc, SimTime};
+
+use crate::data::MpiData;
+use crate::hooks::HookChain;
+use crate::types::{MpiOp, Source, Status, Tag, TagSel};
+
+pub(crate) enum Kind {
+    Eager(Box<dyn Any + Send>),
+    Rts { id: u32, data_bytes: usize },
+    Cts,
+    Data(Box<dyn Any + Send>),
+}
+
+pub(crate) struct Envelope {
+    pub src: usize,
+    pub tag: Tag,
+    pub bytes: usize,
+    pub kind: Kind,
+}
+
+pub(crate) struct JobState {
+    pub name: String,
+    pub size: usize,
+    pub base_node: usize,
+    pub mailboxes: Vec<SimChannel<Envelope>>,
+    pub hooks: HookChain,
+    pub eager_limit: usize,
+    /// Per-call MPI software overhead charged on each side of an op.
+    pub call_overhead: SimTime,
+    pub rndv_ids: AtomicU32,
+}
+
+impl JobState {
+    /// The machine node hosting `rank` (block placement from `base_node`).
+    pub fn node_of(&self, rank: usize, machine: &dynprof_sim::Machine) -> usize {
+        (self.base_node + rank / machine.cpus_per_node) % machine.nodes
+    }
+}
+
+/// A communicator handle for one rank of a job (the `MPI_COMM_WORLD` view).
+pub struct Comm {
+    pub(crate) job: Arc<JobState>,
+    rank: usize,
+    initialized: AtomicBool,
+    finalized: AtomicBool,
+    /// Local collective sequence number; identical across ranks because
+    /// MPI requires collectives to be called in the same order everywhere.
+    pub(crate) coll_seq: AtomicU32,
+}
+
+impl Comm {
+    pub(crate) fn new(job: Arc<JobState>, rank: usize) -> Comm {
+        Comm {
+            job,
+            rank,
+            initialized: AtomicBool::new(false),
+            finalized: AtomicBool::new(false),
+            coll_seq: AtomicU32::new(0),
+        }
+    }
+
+    /// This rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the job.
+    pub fn size(&self) -> usize {
+        self.job.size
+    }
+
+    /// The job name (the target application's name).
+    pub fn job_name(&self) -> &str {
+        &self.job.name
+    }
+
+    pub(crate) fn call_overhead(&self) -> dynprof_sim::SimTime {
+        self.job.call_overhead
+    }
+
+    /// Has `init` completed on this rank?
+    pub fn is_initialized(&self) -> bool {
+        self.initialized.load(Ordering::Acquire)
+    }
+
+    fn assert_ready(&self) {
+        assert!(
+            self.is_initialized(),
+            "MPI operation before MPI_Init on rank {}",
+            self.rank
+        );
+        assert!(
+            !self.finalized.load(Ordering::Acquire),
+            "MPI operation after MPI_Finalize on rank {}",
+            self.rank
+        );
+    }
+
+    /// `MPI_Init`: brings up the runtime on this rank, fires the wrapper
+    /// interface's init hooks (where Vampirtrace initializes itself and
+    /// dynprof's Fig-6 callback snippet runs), and loosely synchronizes
+    /// the job.
+    pub fn init(&self, p: &Proc) {
+        assert!(
+            !self.initialized.swap(true, Ordering::AcqRel),
+            "MPI_Init called twice on rank {}",
+            self.rank
+        );
+        self.job.hooks.begin(p, self, MpiOp::Init, None, 0);
+        // Runtime bring-up cost (connection establishment etc.).
+        p.advance(SimTime::from_micros(200));
+        // MPI_Init loosely synchronizes all ranks.
+        self.barrier_internal(p);
+        // Wrapper-level init: VT first, then dynprof's inserted callback.
+        self.job.hooks.init(p, self);
+        self.job.hooks.end(p, self, MpiOp::Init, None, 0);
+    }
+
+    /// `MPI_Finalize`.
+    pub fn finalize(&self, p: &Proc) {
+        self.assert_ready();
+        self.job.hooks.begin(p, self, MpiOp::Finalize, None, 0);
+        self.barrier_internal(p);
+        self.job.hooks.finalize(p, self);
+        self.finalized.store(true, Ordering::Release);
+        self.job.hooks.end(p, self, MpiOp::Finalize, None, 0);
+    }
+
+    // -- raw (hook-free) point-to-point: used by collectives & protocols ----
+
+    pub(crate) fn send_raw<T: MpiData>(&self, p: &Proc, dst: usize, tag: Tag, data: T) {
+        assert!(dst < self.size(), "send to invalid rank {dst}");
+        let bytes = data.byte_len();
+        let machine = p.machine();
+        let link = machine.link_between(
+            self.job.node_of(self.rank, machine) * machine.cpus_per_node,
+            self.job.node_of(dst, machine) * machine.cpus_per_node,
+        );
+        if bytes <= self.job.eager_limit {
+            let latency = link.transfer(bytes);
+            self.job.mailboxes[dst].send(
+                p,
+                Envelope {
+                    src: self.rank,
+                    tag,
+                    bytes,
+                    kind: Kind::Eager(Box::new(data)),
+                },
+                latency,
+            );
+        } else {
+            // Rendezvous: RTS, wait for CTS, then stream the data. The
+            // sender is occupied for the bandwidth term (buffer in use).
+            let id = self.job.rndv_ids.fetch_add(1, Ordering::Relaxed);
+            self.job.mailboxes[dst].send(
+                p,
+                Envelope {
+                    src: self.rank,
+                    tag,
+                    bytes,
+                    kind: Kind::Rts {
+                        id,
+                        data_bytes: bytes,
+                    },
+                },
+                link.transfer(32),
+            );
+            let rtag = Tag::rendezvous(id);
+            let _cts = self.job.mailboxes[self.rank].recv_match(p, |e| {
+                e.tag == rtag && matches!(e.kind, Kind::Cts)
+            });
+            let bw_term = link.transfer(bytes) - link.latency;
+            p.advance(bw_term);
+            self.job.mailboxes[dst].send(
+                p,
+                Envelope {
+                    src: self.rank,
+                    tag: rtag,
+                    bytes,
+                    kind: Kind::Data(Box::new(data)),
+                },
+                link.latency,
+            );
+        }
+    }
+
+    pub(crate) fn recv_raw<T: MpiData>(
+        &self,
+        p: &Proc,
+        src: Source,
+        tag: TagSel,
+    ) -> (T, Status) {
+        let env = self.job.mailboxes[self.rank].recv_match(p, |e| {
+            src.matches(e.src)
+                && tag.matches(e.tag)
+                && matches!(e.kind, Kind::Eager(_) | Kind::Rts { .. })
+        });
+        let (payload, src_rank, otag, bytes): (Box<dyn Any + Send>, usize, Tag, usize) = match env
+            .kind
+        {
+            Kind::Eager(b) => (b, env.src, env.tag, env.bytes),
+            Kind::Rts { id, data_bytes } => {
+                // Clear-to-send, then wait for the streamed data.
+                let machine = p.machine();
+                let link = machine.link_between(
+                    self.job.node_of(self.rank, machine) * machine.cpus_per_node,
+                    self.job.node_of(env.src, machine) * machine.cpus_per_node,
+                );
+                let rtag = Tag::rendezvous(id);
+                self.job.mailboxes[env.src].send(
+                    p,
+                    Envelope {
+                        src: self.rank,
+                        tag: rtag,
+                        bytes: 0,
+                        kind: Kind::Cts,
+                    },
+                    link.transfer(16),
+                );
+                let data = self.job.mailboxes[self.rank].recv_match(p, |e| {
+                    e.tag == rtag && matches!(e.kind, Kind::Data(_))
+                });
+                match data.kind {
+                    Kind::Data(b) => (b, env.src, env.tag, data_bytes),
+                    _ => unreachable!("matched Data"),
+                }
+            }
+            _ => unreachable!("matcher excludes Cts/Data"),
+        };
+        let value = *payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "MPI recv type mismatch on rank {}: message from {} tag {:?} is not a {}",
+                self.rank,
+                src_rank,
+                otag,
+                std::any::type_name::<T>()
+            )
+        });
+        (
+            value,
+            Status {
+                source: src_rank,
+                tag: otag,
+                bytes,
+                completed_at: p.now(),
+            },
+        )
+    }
+
+    // -- public (hooked) point-to-point --------------------------------------
+
+    /// `MPI_Send`.
+    pub fn send<T: MpiData>(&self, p: &Proc, dst: usize, tag: Tag, data: T) {
+        self.assert_ready();
+        let bytes = data.byte_len();
+        self.job.hooks.begin(p, self, MpiOp::Send, Some(dst), bytes);
+        p.advance(self.job.call_overhead);
+        self.send_raw(p, dst, tag, data);
+        self.job.hooks.end(p, self, MpiOp::Send, Some(dst), bytes);
+    }
+
+    /// `MPI_Recv`.
+    pub fn recv<T: MpiData>(&self, p: &Proc, src: Source, tag: TagSel) -> (T, Status) {
+        self.assert_ready();
+        let peer = match src {
+            Source::Rank(r) => Some(r),
+            Source::Any => None,
+        };
+        self.job.hooks.begin(p, self, MpiOp::Recv, peer, 0);
+        let (v, st) = self.recv_raw::<T>(p, src, tag);
+        p.advance(self.job.call_overhead);
+        self.job
+            .hooks
+            .end(p, self, MpiOp::Recv, Some(st.source), st.bytes);
+        (v, st)
+    }
+
+    /// `MPI_Sendrecv`: send to `dst` and receive from `src` without
+    /// deadlock (the send half is buffered eagerly regardless of size).
+    pub fn sendrecv<S: MpiData, R: MpiData>(
+        &self,
+        p: &Proc,
+        dst: usize,
+        stag: Tag,
+        data: S,
+        src: Source,
+        rtag: TagSel,
+    ) -> (R, Status) {
+        self.assert_ready();
+        let bytes = data.byte_len();
+        self.job.hooks.begin(p, self, MpiOp::Send, Some(dst), bytes);
+        p.advance(self.job.call_overhead);
+        // Force the eager path: real MPI_Sendrecv is deadlock-free.
+        self.send_eager_forced(p, dst, stag, data);
+        let (v, st) = self.recv_raw::<R>(p, src, rtag);
+        p.advance(self.job.call_overhead);
+        self.job
+            .hooks
+            .end(p, self, MpiOp::Recv, Some(st.source), st.bytes);
+        (v, st)
+    }
+
+    /// Shared helper: hooks + per-call overhead around a point-to-point op.
+    pub(crate) fn hooked_p2p<R>(
+        &self,
+        p: &Proc,
+        op: crate::types::MpiOp,
+        peer: Option<usize>,
+        bytes: usize,
+        f: impl FnOnce(&Proc) -> R,
+    ) -> R {
+        self.assert_ready();
+        self.job.hooks.begin(p, self, op, peer, bytes);
+        p.advance(self.job.call_overhead);
+        let r = f(p);
+        self.job.hooks.end(p, self, op, peer, bytes);
+        r
+    }
+
+    /// Buffered (eager-forced) send used by `MPI_Isend` and `MPI_Sendrecv`.
+    pub(crate) fn send_buffered<T: MpiData>(&self, p: &Proc, dst: usize, tag: Tag, data: T) {
+        self.send_eager_forced(p, dst, tag, data);
+    }
+
+    /// Complete a posted nonblocking receive (fires the Recv wrapper).
+    pub(crate) fn wait_recv<T: MpiData>(
+        &self,
+        p: &Proc,
+        src: Source,
+        tag: TagSel,
+    ) -> (T, Status) {
+        self.assert_ready();
+        let peer = match src {
+            Source::Rank(r) => Some(r),
+            Source::Any => None,
+        };
+        self.job.hooks.begin(p, self, crate::types::MpiOp::Recv, peer, 0);
+        let (v, st) = self.recv_raw::<T>(p, src, tag);
+        p.advance(self.job.call_overhead);
+        self.job
+            .hooks
+            .end(p, self, crate::types::MpiOp::Recv, Some(st.source), st.bytes);
+        (v, st)
+    }
+
+    fn send_eager_forced<T: MpiData>(&self, p: &Proc, dst: usize, tag: Tag, data: T) {
+        assert!(dst < self.size(), "send to invalid rank {dst}");
+        let bytes = data.byte_len();
+        let machine = p.machine();
+        let link = machine.link_between(
+            self.job.node_of(self.rank, machine) * machine.cpus_per_node,
+            self.job.node_of(dst, machine) * machine.cpus_per_node,
+        );
+        let latency = link.transfer(bytes);
+        self.job.mailboxes[dst].send(
+            p,
+            Envelope {
+                src: self.rank,
+                tag,
+                bytes,
+                kind: Kind::Eager(Box::new(data)),
+            },
+            latency,
+        );
+    }
+
+    /// Non-blocking probe: is a matching message available right now?
+    pub fn iprobe(&self, p: &Proc, src: Source, tag: TagSel) -> bool {
+        self.assert_ready();
+        let now = p.now();
+        self.job.mailboxes[self.rank]
+            .peek_arrival(|e| {
+                src.matches(e.src)
+                    && tag.matches(e.tag)
+                    && matches!(e.kind, Kind::Eager(_) | Kind::Rts { .. })
+            })
+            .is_some_and(|t| t <= now)
+    }
+}

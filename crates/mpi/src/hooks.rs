@@ -1,0 +1,96 @@
+//! The wrapper (profiling) interface.
+//!
+//! Vampirtrace "collects MPI trace information by using the MPI wrapper
+//! interface" (paper §3.1): every MPI call is interposed, events are logged
+//! before and after the underlying operation. [`MpiHooks`] is that
+//! interface; the `dynprof-vt` crate implements it, and `dynprof-core`
+//! installs an additional hook to realize the `MPI_Init` callback protocol
+//! of paper Fig 6.
+
+use dynprof_sim::Proc;
+
+use crate::comm::Comm;
+use crate::types::MpiOp;
+
+/// Observer interposed on every MPI call of a job.
+///
+/// All methods default to no-ops so implementations override only what
+/// they need. Multiple hooks may be installed; they fire in installation
+/// order for `begin`/`init`, and in reverse order for `end`/`finalize`
+/// (proper nesting, like layered PMPI tools).
+pub trait MpiHooks: Send + Sync {
+    /// Fired before the operation executes.
+    fn on_call_begin(&self, p: &Proc, comm: &Comm, op: MpiOp, peer: Option<usize>, bytes: usize) {
+        let _ = (p, comm, op, peer, bytes);
+    }
+
+    /// Fired after the operation completes locally.
+    fn on_call_end(&self, p: &Proc, comm: &Comm, op: MpiOp, peer: Option<usize>, bytes: usize) {
+        let _ = (p, comm, op, peer, bytes);
+    }
+
+    /// Fired inside `MPI_Init`, after the runtime is up on this rank but
+    /// before `MPI_Init` returns to the application. The Vampirtrace
+    /// library initializes its data structures here; dynprof appends its
+    /// barrier/callback/spin-wait snippet here (Fig 6).
+    fn on_init(&self, p: &Proc, comm: &Comm) {
+        let _ = (p, comm);
+    }
+
+    /// Fired inside `MPI_Finalize`, before the runtime tears down.
+    fn on_finalize(&self, p: &Proc, comm: &Comm) {
+        let _ = (p, comm);
+    }
+}
+
+/// A hook list with nesting-correct dispatch.
+#[derive(Default)]
+pub struct HookChain {
+    hooks: Vec<std::sync::Arc<dyn MpiHooks>>,
+}
+
+impl HookChain {
+    /// An empty chain.
+    pub fn new() -> HookChain {
+        HookChain { hooks: Vec::new() }
+    }
+
+    /// Append a hook (outermost first).
+    pub fn push(&mut self, h: std::sync::Arc<dyn MpiHooks>) {
+        self.hooks.push(h);
+    }
+
+    /// Number of installed hooks.
+    pub fn len(&self) -> usize {
+        self.hooks.len()
+    }
+
+    /// True if no hooks are installed.
+    pub fn is_empty(&self) -> bool {
+        self.hooks.is_empty()
+    }
+
+    pub(crate) fn begin(&self, p: &Proc, comm: &Comm, op: MpiOp, peer: Option<usize>, bytes: usize) {
+        for h in &self.hooks {
+            h.on_call_begin(p, comm, op, peer, bytes);
+        }
+    }
+
+    pub(crate) fn end(&self, p: &Proc, comm: &Comm, op: MpiOp, peer: Option<usize>, bytes: usize) {
+        for h in self.hooks.iter().rev() {
+            h.on_call_end(p, comm, op, peer, bytes);
+        }
+    }
+
+    pub(crate) fn init(&self, p: &Proc, comm: &Comm) {
+        for h in &self.hooks {
+            h.on_init(p, comm);
+        }
+    }
+
+    pub(crate) fn finalize(&self, p: &Proc, comm: &Comm) {
+        for h in self.hooks.iter().rev() {
+            h.on_finalize(p, comm);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Nonblocking point-to-point: `MPI_Isend` / `MPI_Irecv` / `MPI_Wait`.
+//!
+//! Modelled with the semantics real applications rely on:
+//!
+//! * `isend` buffers eagerly and completes locally at once (the paper-era
+//!   IBM MPI buffered small nonblocking sends the same way; large
+//!   nonblocking sends are also buffered here — the simulator charges the
+//!   copy but does not model sender-side rendezvous progress);
+//! * `irecv` *posts* the receive; the message is matched and consumed at
+//!   `wait` time;
+//! * requests must be waited on exactly once (dropping an incomplete
+//!   request panics, catching lost-request bugs in applications).
+
+use dynprof_sim::Proc;
+
+use crate::comm::Comm;
+use crate::data::MpiData;
+use crate::types::{MpiOp, Source, Status, Tag, TagSel};
+
+/// A pending nonblocking send.
+#[must_use = "MPI requests must be completed with wait()"]
+pub struct SendRequest {
+    done: bool,
+}
+
+impl SendRequest {
+    /// Complete the send (no-op for the buffered model, but required for
+    /// API discipline).
+    pub fn wait(mut self, _p: &Proc) {
+        self.done = true;
+    }
+}
+
+impl Drop for SendRequest {
+    fn drop(&mut self) {
+        if !self.done && !std::thread::panicking() {
+            panic!("MPI send request dropped without wait()");
+        }
+    }
+}
+
+/// A pending nonblocking receive of a `T`.
+#[must_use = "MPI requests must be completed with wait()"]
+pub struct RecvRequest<T: MpiData> {
+    src: Source,
+    tag: TagSel,
+    done: bool,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: MpiData> RecvRequest<T> {
+    /// Block until the posted receive is satisfied.
+    pub fn wait(mut self, p: &Proc, comm: &Comm) -> (T, Status) {
+        self.done = true;
+        comm.wait_recv::<T>(p, self.src, self.tag)
+    }
+}
+
+impl<T: MpiData> Drop for RecvRequest<T> {
+    fn drop(&mut self) {
+        if !self.done && !std::thread::panicking() {
+            panic!("MPI receive request dropped without wait()");
+        }
+    }
+}
+
+impl Comm {
+    /// `MPI_Isend`: start a send; completes locally immediately (buffered).
+    pub fn isend<T: MpiData>(&self, p: &Proc, dst: usize, tag: Tag, data: T) -> SendRequest {
+        let bytes = data.byte_len();
+        self.hooked_p2p(p, MpiOp::Send, Some(dst), bytes, |p| {
+            self.send_buffered(p, dst, tag, data);
+        });
+        SendRequest { done: false }
+    }
+
+    /// `MPI_Irecv`: post a receive to be completed by
+    /// [`RecvRequest::wait`]. The wrapper interface logs the receive at
+    /// completion (wait) time, where its span is meaningful.
+    pub fn irecv<T: MpiData>(&self, p: &Proc, src: Source, tag: TagSel) -> RecvRequest<T> {
+        // Posting costs a call's software overhead but does not block or
+        // log; the Recv event is emitted by wait().
+        p.advance(self.call_overhead());
+        RecvRequest {
+            src,
+            tag,
+            done: false,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// `MPI_Waitall` over receive requests of a common type, returning the
+    /// completions in posting order.
+    pub fn wait_all_recv<T: MpiData>(
+        &self,
+        p: &Proc,
+        reqs: Vec<RecvRequest<T>>,
+    ) -> Vec<(T, Status)> {
+        reqs.into_iter().map(|r| r.wait(p, self)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{launch, JobSpec};
+    use dynprof_sim::{Machine, Sim, SimTime};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn run_job<F>(ranks: usize, body: F)
+    where
+        F: Fn(&Proc, &Comm) + Send + Sync + 'static,
+    {
+        let sim = Sim::virtual_time(Machine::test_machine(), 3);
+        launch(&sim, JobSpec::new("nb", ranks), vec![], body);
+        sim.run();
+    }
+
+    #[test]
+    fn isend_irecv_round_trip() {
+        run_job(2, |p, c| {
+            c.init(p);
+            if c.rank() == 0 {
+                let r = c.isend(p, 1, Tag::user(1), 123u64);
+                r.wait(p);
+            } else {
+                let r = c.irecv::<u64>(p, Source::Rank(0), TagSel::Is(Tag::user(1)));
+                let (v, st) = r.wait(p, c);
+                assert_eq!(v, 123);
+                assert_eq!(st.source, 0);
+            }
+            c.finalize(p);
+        });
+    }
+
+    #[test]
+    fn irecv_posted_before_send_arrives() {
+        run_job(2, |p, c| {
+            c.init(p);
+            if c.rank() == 0 {
+                // Exchange without deadlock: both post receives first.
+                let r = c.irecv::<u64>(p, Source::Rank(1), TagSel::Any);
+                c.isend(p, 1, Tag::user(2), 10u64).wait(p);
+                let (v, _) = r.wait(p, c);
+                assert_eq!(v, 11);
+            } else {
+                let r = c.irecv::<u64>(p, Source::Rank(0), TagSel::Any);
+                c.isend(p, 0, Tag::user(2), 11u64).wait(p);
+                let (v, _) = r.wait(p, c);
+                assert_eq!(v, 10);
+            }
+            c.finalize(p);
+        });
+    }
+
+    #[test]
+    fn waitall_preserves_posting_order() {
+        run_job(3, |p, c| {
+            c.init(p);
+            if c.rank() == 0 {
+                let reqs = vec![
+                    c.irecv::<u64>(p, Source::Rank(1), TagSel::Any),
+                    c.irecv::<u64>(p, Source::Rank(2), TagSel::Any),
+                ];
+                let got = c.wait_all_recv(p, reqs);
+                assert_eq!(got[0].0, 100);
+                assert_eq!(got[1].0, 200);
+            } else {
+                p.advance(SimTime::from_millis(c.rank() as u64)); // skew
+                c.isend(p, 0, Tag::user(0), c.rank() as u64 * 100).wait(p);
+            }
+            c.finalize(p);
+        });
+    }
+
+    #[test]
+    fn large_isend_does_not_block() {
+        // A >eager-limit nonblocking send must not rendezvous-deadlock
+        // when both sides send before receiving.
+        run_job(2, |p, c| {
+            c.init(p);
+            let big = vec![1.0f64; 20_000]; // 160 KB
+            let peer = 1 - c.rank();
+            let s = c.isend(p, peer, Tag::user(1), big);
+            let r = c.irecv::<Vec<f64>>(p, Source::Rank(peer), TagSel::Any);
+            s.wait(p);
+            let (v, st) = r.wait(p, c);
+            assert_eq!(v.len(), 20_000);
+            assert_eq!(st.bytes, 160_000);
+            c.finalize(p);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "dropped without wait")]
+    fn dropping_a_request_panics() {
+        run_job(2, |p, c| {
+            c.init(p);
+            if c.rank() == 0 {
+                let _r = c.irecv::<u64>(p, Source::Rank(1), TagSel::Any);
+                // dropped here
+            } else {
+                c.send(p, 0, Tag::user(0), 1u64);
+            }
+            c.finalize(p);
+        });
+    }
+
+    #[test]
+    fn hooks_observe_nonblocking_ops() {
+        use crate::hooks::MpiHooks;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        #[derive(Default)]
+        struct Count(AtomicUsize);
+        impl MpiHooks for Count {
+            fn on_call_end(&self, _: &Proc, _: &Comm, op: MpiOp, _: Option<usize>, _: usize) {
+                if matches!(op, MpiOp::Send | MpiOp::Recv) {
+                    self.0.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let hook = Arc::new(Count::default());
+        let h2 = Arc::clone(&hook);
+        let sim = Sim::virtual_time(Machine::test_machine(), 3);
+        let done = Arc::new(Mutex::new(()));
+        let _d = Arc::clone(&done);
+        launch(&sim, JobSpec::new("nb", 2), vec![h2], |p, c| {
+            c.init(p);
+            if c.rank() == 0 {
+                c.isend(p, 1, Tag::user(0), 5u8).wait(p);
+            } else {
+                let r = c.irecv::<u8>(p, Source::Any, TagSel::Any);
+                let _ = r.wait(p, c);
+            }
+            c.finalize(p);
+        });
+        sim.run();
+        assert_eq!(hook.0.load(std::sync::atomic::Ordering::Relaxed), 2);
+    }
+}

@@ -1,0 +1,37 @@
+//! The Guidetrace observation interface.
+//!
+//! The Guide compiler transforms OpenMP directives into calls into the
+//! Guidetrace library, which "implements OpenMP and also logs OpenMP
+//! performance events with Vampirtrace" (paper §3.1, Fig 3).
+//! [`RegionHooks`] is the logging half: the Vampirtrace layer implements
+//! it to record parallel-region fork/join and per-thread region
+//! occupancy (the "wiggle" glyphs of the VGV time-line, Fig 4).
+
+use dynprof_sim::Proc;
+
+/// Identifier of a parallel region (per [`crate::OmpRuntime`], dense).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RegionId(pub u32);
+
+/// Observer of OpenMP runtime events.
+pub trait RegionHooks: Send + Sync {
+    /// The master thread is about to fork a team of `team` threads.
+    fn on_fork(&self, p: &Proc, region: RegionId, name: &str, team: usize) {
+        let _ = (p, region, name, team);
+    }
+
+    /// The master thread has joined the team (region complete).
+    fn on_join(&self, p: &Proc, region: RegionId, name: &str, team: usize) {
+        let _ = (p, region, name, team);
+    }
+
+    /// Thread `tid` starts executing its share of the region.
+    fn on_thread_begin(&self, p: &Proc, region: RegionId, tid: usize) {
+        let _ = (p, region, tid);
+    }
+
+    /// Thread `tid` finished its share of the region.
+    fn on_thread_end(&self, p: &Proc, region: RegionId, tid: usize) {
+        let _ = (p, region, tid);
+    }
+}

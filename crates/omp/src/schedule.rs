@@ -1,0 +1,153 @@
+//! Loop scheduling policies.
+
+use std::ops::Range;
+
+/// OpenMP loop schedules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Schedule {
+    /// `schedule(static[, chunk])`. `chunk == 0` means the default block
+    /// partition (one balanced contiguous chunk per thread).
+    Static {
+        /// Chunk size; 0 = block partition.
+        chunk: usize,
+    },
+    /// `schedule(dynamic, chunk)`: threads claim `chunk` iterations at a
+    /// time from a shared cursor.
+    Dynamic {
+        /// Iterations claimed per grab.
+        chunk: usize,
+    },
+    /// `schedule(guided, min_chunk)`: chunk sizes decay with remaining
+    /// work, never below `min_chunk`.
+    Guided {
+        /// Smallest chunk a thread may claim.
+        min_chunk: usize,
+    },
+}
+
+impl Schedule {
+    /// Default static block schedule.
+    pub fn static_block() -> Schedule {
+        Schedule::Static { chunk: 0 }
+    }
+
+    /// The chunks thread `tid` of `nthreads` executes under a static
+    /// schedule. Deterministic and side-effect free (no shared cursor).
+    pub fn static_chunks(
+        &self,
+        range: Range<usize>,
+        tid: usize,
+        nthreads: usize,
+    ) -> Vec<Range<usize>> {
+        let chunk = match *self {
+            Schedule::Static { chunk } => chunk,
+            _ => panic!("static_chunks on a non-static schedule"),
+        };
+        let len = range.end.saturating_sub(range.start);
+        if len == 0 {
+            return Vec::new();
+        }
+        if chunk == 0 {
+            // Block partition: first `rem` threads get one extra.
+            let base = len / nthreads;
+            let rem = len % nthreads;
+            let my_len = base + usize::from(tid < rem);
+            if my_len == 0 {
+                return Vec::new();
+            }
+            let start = range.start + tid * base + tid.min(rem);
+            // One contiguous chunk (really a range, not `vec![elem; n]`).
+            #[allow(clippy::single_range_in_vec_init)]
+            {
+                vec![start..start + my_len]
+            }
+        } else {
+            // Round-robin chunks.
+            let mut out = Vec::new();
+            let mut start = range.start + tid * chunk;
+            while start < range.end {
+                out.push(start..range.end.min(start + chunk));
+                start += nthreads * chunk;
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn covered(sched: Schedule, range: Range<usize>, nthreads: usize) -> Vec<usize> {
+        let mut seen = Vec::new();
+        for tid in 0..nthreads {
+            for c in sched.static_chunks(range.clone(), tid, nthreads) {
+                seen.extend(c);
+            }
+        }
+        seen
+    }
+
+    #[test]
+    fn block_partition_covers_exactly_once() {
+        for (len, nt) in [(10, 3), (7, 8), (100, 4), (1, 1), (0, 4), (5, 5)] {
+            let seen = covered(Schedule::static_block(), 0..len, nt);
+            let set: HashSet<_> = seen.iter().copied().collect();
+            assert_eq!(seen.len(), len, "len={len} nt={nt}: duplicates");
+            assert_eq!(set.len(), len, "len={len} nt={nt}: missing");
+            assert!(seen.iter().all(|i| *i < len));
+        }
+    }
+
+    #[test]
+    fn block_partition_is_balanced() {
+        for tid in 0..4 {
+            let chunks = Schedule::static_block().static_chunks(0..10, tid, 4);
+            let n: usize = chunks.iter().map(|c| c.len()).sum();
+            assert!(n == 2 || n == 3);
+        }
+    }
+
+    #[test]
+    fn block_partition_is_contiguous_and_ordered() {
+        let mut last_end = 0;
+        for tid in 0..5 {
+            for c in Schedule::static_block().static_chunks(0..23, tid, 5) {
+                assert_eq!(c.start, last_end);
+                last_end = c.end;
+            }
+        }
+        assert_eq!(last_end, 23);
+    }
+
+    #[test]
+    fn chunked_static_round_robins() {
+        let s = Schedule::Static { chunk: 2 };
+        assert_eq!(s.static_chunks(0..10, 0, 2), vec![0..2, 4..6, 8..10]);
+        assert_eq!(s.static_chunks(0..10, 1, 2), vec![2..4, 6..8]);
+    }
+
+    #[test]
+    fn chunked_static_covers_exactly_once() {
+        for (len, nt, chunk) in [(10, 3, 2), (11, 2, 4), (9, 4, 1), (3, 8, 2)] {
+            let seen = covered(Schedule::Static { chunk }, 0..len, nt);
+            let set: HashSet<_> = seen.iter().copied().collect();
+            assert_eq!(seen.len(), len);
+            assert_eq!(set.len(), len);
+        }
+    }
+
+    #[test]
+    fn nonzero_range_start_respected() {
+        let chunks = Schedule::static_block().static_chunks(100..110, 0, 2);
+        assert_eq!(chunks, vec![100..105]);
+    }
+
+    #[test]
+    fn more_threads_than_work() {
+        let s = Schedule::static_block();
+        assert_eq!(s.static_chunks(0..2, 3, 8), Vec::<Range<usize>>::new());
+        assert_eq!(s.static_chunks(0..2, 1, 8), vec![1..2]);
+    }
+}

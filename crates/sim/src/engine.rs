@@ -1,0 +1,733 @@
+//! The simulation engine: a deterministic sequential discrete-event
+//! scheduler with thread-backed processes, plus a real-time mode.
+//!
+//! # Virtual mode
+//!
+//! Every simulated process runs on its own OS thread, but **exactly one
+//! process thread executes at a time**. A process blocks whenever it
+//! performs a simulator operation ([`Proc::sleep`], a blocking receive, or
+//! any primitive in [`crate::sync`]); control returns to the scheduler,
+//! which dispatches the globally-earliest pending wake event. Computation
+//! between simulator operations executes natively (results are real) while
+//! simulated time advances only through explicit charges. Ties in the
+//! event queue are broken by insertion sequence number, which makes every
+//! run with the same seed bit-for-bit deterministic.
+//!
+//! # Real mode
+//!
+//! Processes run concurrently on real threads; `now()` reads a monotonic
+//! wall clock and `advance` is a no-op (real work takes real time).
+//! Synchronization primitives use real mutexes/condvars. This mode is used
+//! by the criterion micro-benchmarks to measure the genuine cost of the
+//! instrumentation fast paths.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::rng::SimRng;
+use crate::time::SimTime;
+use crate::topology::Machine;
+
+/// Identifier of a simulated process (dense, starting at 0).
+pub type Pid = usize;
+
+/// Which clock the simulation runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClockMode {
+    /// Deterministic discrete-event virtual time.
+    Virtual,
+    /// Wall-clock time with truly concurrent threads.
+    Real,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PState {
+    /// Not currently running; resumed by a queued wake event.
+    Blocked,
+    /// The single currently-executing process (virtual mode).
+    Running,
+    /// Finished.
+    Done,
+}
+
+struct ProcSlot {
+    name: String,
+    node: usize,
+    state: PState,
+    clock: SimTime,
+    cv: Arc<Condvar>,
+}
+
+struct EngineInner {
+    queue: BinaryHeap<Reverse<(SimTime, u64, Pid)>>,
+    procs: Vec<ProcSlot>,
+    /// Currently running pid (virtual mode); `None` while the scheduler
+    /// is choosing.
+    current: Option<Pid>,
+    seq: u64,
+    live: usize,
+    /// Furthest time any process has reached (the makespan).
+    horizon: SimTime,
+    /// Wake events dispatched by the scheduler (throughput metric).
+    dispatched: u64,
+    panicked: bool,
+}
+
+pub(crate) struct Engine {
+    mode: ClockMode,
+    inner: Mutex<EngineInner>,
+    sched_cv: Condvar,
+    epoch: Instant,
+    machine: Machine,
+    seed: u64,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Engine {
+    fn new(mode: ClockMode, machine: Machine, seed: u64) -> Engine {
+        Engine {
+            mode,
+            inner: Mutex::new(EngineInner {
+                queue: BinaryHeap::new(),
+                procs: Vec::new(),
+                current: None,
+                seq: 0,
+                live: 0,
+                horizon: SimTime::ZERO,
+                dispatched: 0,
+                panicked: false,
+            }),
+            sched_cv: Condvar::new(),
+            epoch: Instant::now(),
+            machine,
+            seed,
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn real_now(&self) -> SimTime {
+        SimTime::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    /// Push a wake event for `pid` at absolute time `at` (virtual mode).
+    pub(crate) fn schedule(&self, pid: Pid, at: SimTime) {
+        debug_assert_eq!(self.mode, ClockMode::Virtual);
+        let mut g = self.inner.lock();
+        g.seq += 1;
+        let seq = g.seq;
+        g.queue.push(Reverse((at, seq, pid)));
+        // If the scheduler is idle (everyone blocked), let it re-examine.
+        self.sched_cv.notify_one();
+    }
+
+    /// Yield the calling process to the scheduler and wait to be resumed.
+    /// Returns the (updated) local clock at resumption.
+    ///
+    /// The caller must have arranged to be woken: either by scheduling its
+    /// own wake, or because another process will `schedule` it.
+    pub(crate) fn yield_and_wait(&self, pid: Pid) -> SimTime {
+        debug_assert_eq!(self.mode, ClockMode::Virtual);
+        let mut g = self.inner.lock();
+        debug_assert_eq!(g.current, Some(pid), "yield by non-running process");
+        g.procs[pid].state = PState::Blocked;
+        g.current = None;
+        let cv = Arc::clone(&g.procs[pid].cv);
+        self.sched_cv.notify_one();
+        while g.current != Some(pid) {
+            if g.panicked {
+                // Another process thread panicked; unwind this one too so
+                // the whole simulation tears down instead of hanging.
+                drop(g);
+                panic!("simulation aborted: a sibling process panicked");
+            }
+            cv.wait(&mut g);
+        }
+        g.procs[pid].state = PState::Running;
+        g.procs[pid].clock
+    }
+
+    /// Called by a process thread when its body returns.
+    fn finish(&self, pid: Pid) {
+        let mut g = self.inner.lock();
+        g.procs[pid].state = PState::Done;
+        g.live -= 1;
+        let clock = g.procs[pid].clock;
+        g.horizon = g.horizon.max(clock);
+        if self.mode == ClockMode::Virtual {
+            debug_assert_eq!(g.current, Some(pid));
+            g.current = None;
+            self.sched_cv.notify_one();
+        }
+    }
+
+    fn abort(&self, pid: Pid) {
+        let mut g = self.inner.lock();
+        g.panicked = true;
+        g.procs[pid].state = PState::Done;
+        g.live -= 1;
+        if g.current == Some(pid) {
+            g.current = None;
+        }
+        // Wake everything so all threads observe the panic flag.
+        for p in &g.procs {
+            p.cv.notify_all();
+        }
+        self.sched_cv.notify_one();
+    }
+
+    pub(crate) fn clock_of(&self, pid: Pid) -> SimTime {
+        match self.mode {
+            ClockMode::Virtual => self.inner.lock().procs[pid].clock,
+            ClockMode::Real => self.real_now(),
+        }
+    }
+
+    /// Advance `pid`'s clock in place without yielding (cheap charge while
+    /// the process is running). Virtual mode only; no-op in real mode.
+    pub(crate) fn charge(&self, pid: Pid, dt: SimTime) {
+        if self.mode == ClockMode::Real || dt == SimTime::ZERO {
+            return;
+        }
+        let mut g = self.inner.lock();
+        debug_assert_eq!(g.current, Some(pid), "charge by non-running process");
+        g.procs[pid].clock += dt;
+    }
+
+    /// Set `pid`'s clock to `max(clock, t)` (used when a wake event carries
+    /// an arrival time computed by another process).
+    pub(crate) fn lift_clock(&self, pid: Pid, t: SimTime) {
+        if self.mode == ClockMode::Real {
+            return;
+        }
+        let mut g = self.inner.lock();
+        let c = g.procs[pid].clock;
+        g.procs[pid].clock = c.max(t);
+    }
+}
+
+/// A handle to the simulation: spawn processes, run to completion.
+pub struct Sim {
+    eng: Arc<Engine>,
+}
+
+impl Sim {
+    /// Create a simulation on `machine` with the given clock mode and seed.
+    pub fn new(mode: ClockMode, machine: Machine, seed: u64) -> Sim {
+        Sim {
+            eng: Arc::new(Engine::new(mode, machine, seed)),
+        }
+    }
+
+    /// Shorthand: deterministic virtual-time simulation.
+    pub fn virtual_time(machine: Machine, seed: u64) -> Sim {
+        Sim::new(ClockMode::Virtual, machine, seed)
+    }
+
+    /// Shorthand: real-time simulation (for measurement).
+    pub fn real_time(machine: Machine) -> Sim {
+        Sim::new(ClockMode::Real, machine, 0)
+    }
+
+    /// The machine this simulation models.
+    pub fn machine(&self) -> &Machine {
+        &self.eng.machine
+    }
+
+    /// The clock mode.
+    pub fn mode(&self) -> ClockMode {
+        self.eng.mode
+    }
+
+    /// Wake events dispatched so far (virtual mode; a throughput metric
+    /// for harnesses sizing their workloads).
+    pub fn events_dispatched(&self) -> u64 {
+        self.eng.inner.lock().dispatched
+    }
+
+    /// Spawn a process named `name` on `node`, starting at time `start`
+    /// (virtual mode; ignored in real mode). Returns its pid.
+    ///
+    /// Panics if `node` is out of range for the machine.
+    pub fn spawn_at(
+        &self,
+        name: impl Into<String>,
+        node: usize,
+        start: SimTime,
+        f: impl FnOnce(&Proc) + Send + 'static,
+    ) -> Pid {
+        let name = name.into();
+        assert!(
+            node < self.eng.machine.nodes,
+            "node {node} out of range for {} ({} nodes)",
+            self.eng.machine.name,
+            self.eng.machine.nodes
+        );
+        let eng = Arc::clone(&self.eng);
+        let pid = {
+            let mut g = eng.inner.lock();
+            let pid = g.procs.len();
+            g.procs.push(ProcSlot {
+                name: name.clone(),
+                node,
+                state: PState::Blocked,
+                clock: start,
+                cv: Arc::new(Condvar::new()),
+            });
+            g.live += 1;
+            if eng.mode == ClockMode::Virtual {
+                g.seq += 1;
+                let seq = g.seq;
+                g.queue.push(Reverse((start, seq, pid)));
+                eng.sched_cv.notify_one();
+            }
+            pid
+        };
+        let eng2 = Arc::clone(&self.eng);
+        let handle = std::thread::Builder::new()
+            .name(format!("sim-{name}"))
+            .spawn(move || {
+                let proc_ = Proc {
+                    eng: Arc::clone(&eng2),
+                    pid,
+                    node,
+                    rng: Mutex::new(SimRng::for_process(eng2.seed, pid)),
+                };
+                if eng2.mode == ClockMode::Virtual {
+                    // Wait for the scheduler to dispatch our start event.
+                    let mut g = eng2.inner.lock();
+                    let cv = Arc::clone(&g.procs[pid].cv);
+                    while g.current != Some(pid) {
+                        if g.panicked {
+                            drop(g);
+                            panic!("simulation aborted before process start");
+                        }
+                        cv.wait(&mut g);
+                    }
+                    g.procs[pid].state = PState::Running;
+                    drop(g);
+                }
+                let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&proc_)));
+                match res {
+                    Ok(()) => eng2.finish(pid),
+                    Err(payload) => {
+                        eng2.abort(pid);
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            })
+            .expect("spawn simulation thread");
+        self.eng.handles.lock().push(handle);
+        pid
+    }
+
+    /// Spawn at time zero.
+    pub fn spawn(
+        &self,
+        name: impl Into<String>,
+        node: usize,
+        f: impl FnOnce(&Proc) + Send + 'static,
+    ) -> Pid {
+        self.spawn_at(name, node, SimTime::ZERO, f)
+    }
+
+    /// Run the simulation until all processes finish. Returns the makespan
+    /// (latest clock reached by any process).
+    ///
+    /// In virtual mode this drives the event loop on the calling thread.
+    /// Panics (after unblocking all threads) if the simulation deadlocks —
+    /// i.e. live processes remain but no wake event is pending.
+    pub fn run(self) -> SimTime {
+        match self.eng.mode {
+            ClockMode::Real => {
+                let handles = std::mem::take(&mut *self.eng.handles.lock());
+                let mut first_panic = None;
+                for h in handles {
+                    if let Err(payload) = h.join() {
+                        first_panic.get_or_insert(payload);
+                    }
+                }
+                if let Some(payload) = first_panic {
+                    std::panic::resume_unwind(payload);
+                }
+                self.eng.real_now()
+            }
+            ClockMode::Virtual => {
+                loop {
+                    let mut g = self.eng.inner.lock();
+                    // Wait until nobody is running.
+                    while g.current.is_some() && !g.panicked {
+                        self.eng.sched_cv.wait(&mut g);
+                    }
+                    if g.panicked {
+                        break;
+                    }
+                    if g.live == 0 {
+                        break;
+                    }
+                    // Pop the earliest useful event.
+                    let mut dispatched = false;
+                    while let Some(Reverse((t, _seq, pid))) = g.queue.pop() {
+                        match g.procs[pid].state {
+                            PState::Done => continue, // stale wake for a finished process
+                            PState::Running => unreachable!("running proc has queued wake while scheduler active"),
+                            PState::Blocked => {
+                                let c = g.procs[pid].clock;
+                                g.procs[pid].clock = c.max(t);
+                                g.horizon = g.horizon.max(g.procs[pid].clock);
+                                g.dispatched += 1;
+                                g.current = Some(pid);
+                                g.procs[pid].cv.notify_one();
+                                dispatched = true;
+                                break;
+                            }
+                        }
+                    }
+                    if !dispatched {
+                        // live > 0 but no event: deadlock. Report who is stuck.
+                        let stuck: Vec<String> = g
+                            .procs
+                            .iter()
+                            .filter(|p| p.state == PState::Blocked)
+                            .map(|p| format!("{} (node {}, t={})", p.name, p.node, p.clock))
+                            .collect();
+                        g.panicked = true;
+                        for p in &g.procs {
+                            p.cv.notify_all();
+                        }
+                        drop(g);
+                        // Reap threads so their panics don't outlive us.
+                        let handles = std::mem::take(&mut *self.eng.handles.lock());
+                        for h in handles {
+                            let _ = h.join();
+                        }
+                        panic!(
+                            "simulation deadlock: no pending events but {} process(es) blocked: {}",
+                            stuck.len(),
+                            stuck.join(", ")
+                        );
+                    }
+                }
+                let handles = std::mem::take(&mut *self.eng.handles.lock());
+                let mut root_panic = None;
+                let mut any_panic = None;
+                for h in handles {
+                    if let Err(payload) = h.join() {
+                        // Prefer the original panic over the cascading
+                        // "sibling panicked" aborts of other processes.
+                        let is_cascade = payload
+                            .downcast_ref::<&str>()
+                            .is_some_and(|s| s.contains("sibling process panicked"))
+                            || payload
+                                .downcast_ref::<String>()
+                                .is_some_and(|s| s.contains("sibling process panicked"));
+                        if !is_cascade {
+                            root_panic.get_or_insert(payload);
+                        } else {
+                            any_panic.get_or_insert(payload);
+                        }
+                    }
+                }
+                let g = self.eng.inner.lock();
+                if let Some(payload) = root_panic.or(any_panic) {
+                    drop(g);
+                    // Re-raise the original process panic so callers (and
+                    // #[should_panic] tests) see the real message.
+                    std::panic::resume_unwind(payload);
+                }
+                if g.panicked {
+                    drop(g);
+                    panic!("a simulated process panicked");
+                }
+                g.horizon
+            }
+        }
+    }
+}
+
+/// Per-process handle passed to each process body.
+pub struct Proc {
+    eng: Arc<Engine>,
+    pid: Pid,
+    node: usize,
+    rng: Mutex<SimRng>,
+}
+
+impl Proc {
+    /// This process's pid.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// The node this process runs on.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// This process's name.
+    pub fn name(&self) -> String {
+        self.eng.inner.lock().procs[self.pid].name.clone()
+    }
+
+    /// The machine model.
+    pub fn machine(&self) -> &Machine {
+        &self.eng.machine
+    }
+
+    /// The clock mode.
+    pub fn mode(&self) -> ClockMode {
+        self.eng.mode
+    }
+
+    /// Current local time.
+    pub fn now(&self) -> SimTime {
+        self.eng.clock_of(self.pid)
+    }
+
+    /// Charge `dt` of simulated work to this process's clock.
+    ///
+    /// In virtual mode the charge is applied in place — no rescheduling
+    /// occurs, so a long `advance` does not release the CPU model-wise
+    /// (processes are assumed pinned to dedicated CPUs, as on the paper's
+    /// batch system). In real mode this is a no-op: real work takes real
+    /// time.
+    pub fn advance(&self, dt: SimTime) {
+        self.eng.charge(self.pid, dt);
+    }
+
+    /// Block until another process (or a primitive) schedules a wake for
+    /// this pid. Returns the resumption time. Virtual mode only; the sync
+    /// primitives never call this in real mode.
+    pub(crate) fn block(&self) -> SimTime {
+        self.eng.yield_and_wait(self.pid)
+    }
+
+    /// Schedule a wake for this process at absolute time `at`, then block.
+    /// Used to model timed waits (polling intervals, timeouts).
+    pub fn sleep_until(&self, at: SimTime) {
+        match self.eng.mode {
+            ClockMode::Virtual => {
+                self.eng.schedule(self.pid, at.max(self.now()));
+                self.block();
+            }
+            ClockMode::Real => {
+                let now = self.now();
+                if at > now {
+                    std::thread::sleep(std::time::Duration::from_nanos((at - now).as_nanos()));
+                }
+            }
+        }
+    }
+
+    /// Sleep for a relative duration.
+    pub fn sleep(&self, dt: SimTime) {
+        let t = self.now() + dt;
+        self.sleep_until(t);
+    }
+
+    /// Schedule a wake for *another* process at absolute time `at`.
+    pub(crate) fn wake_other(&self, pid: Pid, at: SimTime) {
+        self.eng.schedule(pid, at);
+    }
+
+    /// Raise `pid`'s clock to at least `t` (message arrival semantics).
+    pub(crate) fn lift_other_clock(&self, pid: Pid, t: SimTime) {
+        self.eng.lift_clock(pid, t);
+    }
+
+    /// Spawn a child process starting at this process's current time.
+    pub fn spawn_child(
+        &self,
+        name: impl Into<String>,
+        node: usize,
+        f: impl FnOnce(&Proc) + Send + 'static,
+    ) -> Pid {
+        let sim = Sim {
+            eng: Arc::clone(&self.eng),
+        };
+        let start = self.now();
+        sim.spawn_at(name, node, start, f)
+    }
+
+    /// Draw from this process's deterministic RNG.
+    pub fn with_rng<R>(&self, f: impl FnOnce(&mut SimRng) -> R) -> R {
+        f(&mut self.rng.lock())
+    }
+
+    /// Uniform random duration in `[0, max]` from the process RNG
+    /// (used for daemon jitter).
+    pub fn jitter(&self, max: SimTime) -> SimTime {
+        if max == SimTime::ZERO {
+            return SimTime::ZERO;
+        }
+        self.with_rng(|r| SimTime::from_nanos(r.gen_range_u64(0..=max.as_nanos())))
+    }
+}
+
+impl std::fmt::Debug for Proc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Proc")
+            .field("pid", &self.pid)
+            .field("node", &self.node)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        Machine::test_machine()
+    }
+
+    #[test]
+    fn single_process_advances_clock() {
+        let sim = Sim::virtual_time(machine(), 1);
+        sim.spawn("p0", 0, |p| {
+            assert_eq!(p.now(), SimTime::ZERO);
+            p.advance(SimTime::from_micros(5));
+            assert_eq!(p.now(), SimTime::from_micros(5));
+            p.advance(SimTime::from_micros(3));
+            assert_eq!(p.now(), SimTime::from_micros(8));
+        });
+        assert_eq!(sim.run(), SimTime::from_micros(8));
+    }
+
+    #[test]
+    fn makespan_is_max_over_processes() {
+        let sim = Sim::virtual_time(machine(), 1);
+        for i in 0..4 {
+            sim.spawn(format!("p{i}"), 0, move |p| {
+                p.advance(SimTime::from_micros(10 * (i as u64 + 1)));
+            });
+        }
+        assert_eq!(sim.run(), SimTime::from_micros(40));
+    }
+
+    #[test]
+    fn sleep_until_wakes_at_target() {
+        let sim = Sim::virtual_time(machine(), 1);
+        sim.spawn("sleeper", 0, |p| {
+            p.sleep_until(SimTime::from_millis(2));
+            assert_eq!(p.now(), SimTime::from_millis(2));
+            // Sleeping until the past is a no-op in time.
+            p.sleep_until(SimTime::from_millis(1));
+            assert_eq!(p.now(), SimTime::from_millis(2));
+        });
+        assert_eq!(sim.run(), SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn cross_process_wake() {
+        // p1 blocks; p0 wakes it at an explicit later time.
+        let sim = Sim::virtual_time(machine(), 1);
+        let _p0 = sim.spawn("waker", 0, |p| {
+            p.advance(SimTime::from_micros(50));
+            p.wake_other(1, SimTime::from_micros(70));
+        });
+        sim.spawn("waitee", 0, |p| {
+            let t = p.block();
+            assert_eq!(t, SimTime::from_micros(70));
+            assert_eq!(p.now(), SimTime::from_micros(70));
+        });
+        assert_eq!(sim.run(), SimTime::from_micros(70));
+    }
+
+    #[test]
+    fn spawn_child_starts_at_parent_time() {
+        let sim = Sim::virtual_time(machine(), 1);
+        sim.spawn("parent", 0, |p| {
+            p.advance(SimTime::from_millis(1));
+            p.spawn_child("child", 1, |c| {
+                assert_eq!(c.now(), SimTime::from_millis(1));
+                c.advance(SimTime::from_millis(2));
+            });
+        });
+        assert_eq!(sim.run(), SimTime::from_millis(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_is_detected() {
+        let sim = Sim::virtual_time(machine(), 1);
+        sim.spawn("stuck", 0, |p| {
+            p.block(); // nobody will ever wake us
+        });
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn process_panic_propagates() {
+        let sim = Sim::virtual_time(machine(), 1);
+        sim.spawn("bad", 0, |_| panic!("boom"));
+        sim.spawn("other", 0, |p| {
+            p.sleep(SimTime::from_secs(1));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn real_mode_runs_concurrently() {
+        let sim = Sim::real_time(machine());
+        let flag = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let f2 = Arc::clone(&flag);
+        sim.spawn("setter", 0, move |_| {
+            f2.store(true, std::sync::atomic::Ordering::Release);
+        });
+        let f3 = Arc::clone(&flag);
+        sim.spawn("checker", 1, move |_| {
+            while !f3.load(std::sync::atomic::Ordering::Acquire) {
+                std::hint::spin_loop();
+            }
+        });
+        let t = sim.run();
+        assert!(t > SimTime::ZERO);
+        assert!(flag.load(std::sync::atomic::Ordering::Acquire));
+    }
+
+    #[test]
+    fn proc_name_and_event_metric() {
+        let sim = Sim::virtual_time(machine(), 1);
+        sim.spawn("alpha", 0, |p| {
+            assert_eq!(p.name(), "alpha");
+            p.sleep(SimTime::from_micros(1));
+            p.sleep(SimTime::from_micros(1));
+        });
+        let events_before = sim.events_dispatched();
+        assert_eq!(events_before, 0);
+        let eng = Arc::clone(&sim.eng);
+        sim.run();
+        // start + two sleeps = 3 dispatches.
+        assert_eq!(eng.inner.lock().dispatched, 3);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_interleaving() {
+        // Record the order of wakes across two identical runs.
+        fn trace(seed: u64) -> Vec<(usize, u64)> {
+            let sim = Sim::virtual_time(Machine::test_machine(), seed);
+            let log = Arc::new(Mutex::new(Vec::new()));
+            for i in 0..8usize {
+                let log = Arc::clone(&log);
+                sim.spawn(format!("p{i}"), i % 4, move |p| {
+                    for _ in 0..5 {
+                        let d = p.jitter(SimTime::from_micros(100));
+                        p.sleep(d + SimTime::from_nanos(1));
+                        log.lock().push((i, p.now().as_nanos()));
+                    }
+                });
+            }
+            sim.run();
+            let v = log.lock().clone();
+            v
+        }
+        assert_eq!(trace(42), trace(42));
+        assert_ne!(trace(42), trace(43));
+    }
+}

@@ -1,0 +1,775 @@
+//! Simulation-aware synchronization primitives.
+//!
+//! Three building blocks sit under every higher layer:
+//!
+//! * [`SimChannel`] — a mailbox whose messages carry *arrival times*
+//!   (`sender.now() + latency`). Receivers cannot observe a message before
+//!   it arrives. MPI point-to-point, DPCL daemon traffic, and the
+//!   instrumenter callback path are all built on it.
+//! * [`SimBarrier`] — a cyclic barrier over a fixed participant count with
+//!   a configurable release cost; used by `MPI_Barrier` and OpenMP joins.
+//! * [`SimGate`] — a broadcast flag: processes blocked on the gate are all
+//!   released when it opens (the `DYNVT_spin` spin-variable and the
+//!   `configuration_break` breakpoint resume are gates).
+//!
+//! Each primitive has two internal implementations selected by the
+//! simulation's [`ClockMode`]: in virtual mode blocking is mediated by the
+//! discrete-event scheduler (one runnable process at a time, so the
+//! unlock-then-yield pattern is race-free by construction); in real mode
+//! the primitives are ordinary mutex/condvar constructions.
+
+use std::collections::VecDeque;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::engine::{ClockMode, Pid, Proc};
+use crate::time::SimTime;
+
+// ---------------------------------------------------------------------------
+// SimChannel
+// ---------------------------------------------------------------------------
+
+struct Envelope<T> {
+    arrival: SimTime,
+    seq: u64,
+    msg: T,
+}
+
+struct ChannelState<T> {
+    queue: Vec<Envelope<T>>,
+    waiters: Vec<Pid>,
+    seq: u64,
+    /// FIFO mode: latest enqueued arrival time (delivery never reorders).
+    last_arrival: SimTime,
+}
+
+/// A latency-aware mailbox. Any process may send; any process may receive.
+/// Messages become visible to receivers only once the receiver's clock has
+/// reached the message's arrival time.
+///
+/// A channel may be created FIFO ([`SimChannel::new_fifo`]): deliveries
+/// then never reorder, as over a stream socket — each message arrives no
+/// earlier than the one enqueued before it. The DPCL daemon connections
+/// use this; MPI mailboxes do not (the network may reorder).
+pub struct SimChannel<T> {
+    state: Mutex<ChannelState<T>>,
+    cv: Condvar,
+    fifo: bool,
+}
+
+impl<T> Default for SimChannel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> SimChannel<T> {
+    /// An empty channel.
+    pub fn new() -> SimChannel<T> {
+        Self::with_fifo(false)
+    }
+
+    /// An empty FIFO channel (stream-ordered delivery).
+    pub fn new_fifo() -> SimChannel<T> {
+        Self::with_fifo(true)
+    }
+
+    fn with_fifo(fifo: bool) -> SimChannel<T> {
+        SimChannel {
+            state: Mutex::new(ChannelState {
+                queue: Vec::new(),
+                waiters: Vec::new(),
+                seq: 0,
+                last_arrival: SimTime::ZERO,
+            }),
+            cv: Condvar::new(),
+            fifo,
+        }
+    }
+
+    /// Send `msg`, arriving `latency` after the sender's current time.
+    /// In real mode the latency is ignored (delivery is immediate).
+    pub fn send(&self, p: &Proc, msg: T, latency: SimTime) {
+        let mut arrival = p.now() + latency;
+        let mut s = self.state.lock();
+        if self.fifo {
+            arrival = arrival.max(s.last_arrival);
+            s.last_arrival = arrival;
+        }
+        s.seq += 1;
+        let seq = s.seq;
+        s.queue.push(Envelope { arrival, seq, msg });
+        match p.mode() {
+            ClockMode::Virtual => {
+                for pid in s.waiters.drain(..) {
+                    p.wake_other(pid, arrival);
+                }
+            }
+            ClockMode::Real => {
+                self.cv.notify_all();
+            }
+        }
+    }
+
+    /// Number of messages currently queued (arrived or in flight).
+    pub fn len(&self) -> usize {
+        self.state.lock().queue.len()
+    }
+
+    /// True if no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Receive the earliest-arriving message. Blocks until one arrives.
+    pub fn recv(&self, p: &Proc) -> T {
+        self.recv_match(p, |_| true)
+    }
+
+    /// Receive the earliest-arriving message satisfying `pred`.
+    /// Blocks until such a message arrives.
+    pub fn recv_match(&self, p: &Proc, mut pred: impl FnMut(&T) -> bool) -> T {
+        match p.mode() {
+            ClockMode::Virtual => loop {
+                let mut s = self.state.lock();
+                // Earliest matching message, by (arrival, seq).
+                let best = s
+                    .queue
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| pred(&e.msg))
+                    .min_by_key(|(_, e)| (e.arrival, e.seq))
+                    .map(|(i, e)| (i, e.arrival));
+                match best {
+                    Some((i, arrival)) if arrival <= p.now() => {
+                        return s.queue.swap_remove(i).msg;
+                    }
+                    Some((_, arrival)) => {
+                        // Matching message still in flight: sleep to it.
+                        // (If an even earlier-arriving match is enqueued
+                        // while we sleep, we take it on re-check but our
+                        // clock has already advanced to `arrival` — a
+                        // bounded conservative skew, never a rewind.)
+                        drop(s);
+                        p.sleep_until(arrival);
+                    }
+                    None => {
+                        let pid = p.pid();
+                        if !s.waiters.contains(&pid) {
+                            s.waiters.push(pid);
+                        }
+                        drop(s);
+                        // Race-free: no other process can run between the
+                        // drop above and this yield in virtual mode.
+                        p.block();
+                        // Deregister (we may have been woken spuriously).
+                        let mut s = self.state.lock();
+                        s.waiters.retain(|&w| w != pid);
+                    }
+                }
+            },
+            ClockMode::Real => {
+                let mut s = self.state.lock();
+                loop {
+                    if let Some((i, _)) = s
+                        .queue
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, e)| pred(&e.msg))
+                        .min_by_key(|(_, e)| (e.arrival, e.seq))
+                    {
+                        return s.queue.swap_remove(i).msg;
+                    }
+                    self.cv.wait(&mut s);
+                }
+            }
+        }
+    }
+
+    /// Receive a matching message if one has already arrived.
+    pub fn try_recv_match(&self, p: &Proc, mut pred: impl FnMut(&T) -> bool) -> Option<T> {
+        let mut s = self.state.lock();
+        let now = p.now();
+        let best = s
+            .queue
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| pred(&e.msg) && (p.mode() == ClockMode::Real || e.arrival <= now))
+            .min_by_key(|(_, e)| (e.arrival, e.seq))
+            .map(|(i, _)| i);
+        best.map(|i| s.queue.swap_remove(i).msg)
+    }
+
+    /// Receive a message if one has already arrived.
+    pub fn try_recv(&self, p: &Proc) -> Option<T> {
+        self.try_recv_match(p, |_| true)
+    }
+
+    /// Arrival time of the earliest matching message (for probing).
+    pub fn peek_arrival(&self, pred: impl Fn(&T) -> bool) -> Option<SimTime> {
+        let s = self.state.lock();
+        s.queue
+            .iter()
+            .filter(|e| pred(&e.msg))
+            .map(|e| e.arrival)
+            .min()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimBarrier
+// ---------------------------------------------------------------------------
+
+struct BarrierState {
+    generation: u64,
+    arrived: usize,
+    /// Max arrival time within the current generation (virtual mode).
+    latest: SimTime,
+    waiters: Vec<Pid>,
+    /// Release time of the previous generation, for stragglers re-checking.
+    release_time: SimTime,
+}
+
+/// A cyclic barrier over `n` participants.
+///
+/// In virtual mode the barrier releases every participant at
+/// `max(arrival times) + cost`, modelling a synchronization whose cost is
+/// set at construction (e.g. `O(log n)` tree barrier time).
+pub struct SimBarrier {
+    n: usize,
+    cost: SimTime,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+impl SimBarrier {
+    /// Barrier over `n` participants with the given per-episode release
+    /// cost. Panics if `n == 0`.
+    pub fn new(n: usize, cost: SimTime) -> SimBarrier {
+        assert!(n > 0, "barrier over zero participants");
+        SimBarrier {
+            n,
+            cost,
+            state: Mutex::new(BarrierState {
+                generation: 0,
+                arrived: 0,
+                latest: SimTime::ZERO,
+                waiters: Vec::new(),
+                release_time: SimTime::ZERO,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Number of participants.
+    pub fn participants(&self) -> usize {
+        self.n
+    }
+
+    /// Enter the barrier; returns the release time. The calling process's
+    /// clock is raised to the release time.
+    pub fn wait(&self, p: &Proc) -> SimTime {
+        match p.mode() {
+            ClockMode::Virtual => {
+                let mut s = self.state.lock();
+                let my_gen = s.generation;
+                s.arrived += 1;
+                s.latest = s.latest.max(p.now());
+                if s.arrived == self.n {
+                    // Last arriver releases the episode.
+                    let release = s.latest + self.cost;
+                    s.generation += 1;
+                    s.arrived = 0;
+                    s.latest = SimTime::ZERO;
+                    s.release_time = release;
+                    let waiters = std::mem::take(&mut s.waiters);
+                    drop(s);
+                    for pid in waiters {
+                        p.wake_other(pid, release);
+                    }
+                    p.lift_other_clock(p.pid(), release);
+                    release
+                } else {
+                    let pid = p.pid();
+                    s.waiters.push(pid);
+                    drop(s);
+                    loop {
+                        let t = p.block();
+                        let s = self.state.lock();
+                        if s.generation > my_gen {
+                            return t.max(s.release_time);
+                        }
+                        // Spurious wake: re-register and keep waiting.
+                        drop(s);
+                        let mut s = self.state.lock();
+                        if !s.waiters.contains(&pid) {
+                            s.waiters.push(pid);
+                        }
+                    }
+                }
+            }
+            ClockMode::Real => {
+                let mut s = self.state.lock();
+                let my_gen = s.generation;
+                s.arrived += 1;
+                if s.arrived == self.n {
+                    s.generation += 1;
+                    s.arrived = 0;
+                    self.cv.notify_all();
+                } else {
+                    while s.generation == my_gen {
+                        self.cv.wait(&mut s);
+                    }
+                }
+                drop(s);
+                p.now()
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimGate
+// ---------------------------------------------------------------------------
+
+struct GateState {
+    open_at: Option<SimTime>,
+    waiters: Vec<Pid>,
+}
+
+/// A broadcast flag. Processes calling [`SimGate::wait_open`] block until
+/// some process [`SimGate::open`]s the gate; once open, waiters pass
+/// through immediately (their clocks raised to the opening time).
+pub struct SimGate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+impl Default for SimGate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimGate {
+    /// A closed gate.
+    pub fn new() -> SimGate {
+        SimGate {
+            state: Mutex::new(GateState {
+                open_at: None,
+                waiters: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Is the gate open?
+    pub fn is_open(&self) -> bool {
+        self.state.lock().open_at.is_some()
+    }
+
+    /// Open the gate, releasing waiters `latency` after the opener's time.
+    pub fn open(&self, p: &Proc, latency: SimTime) {
+        let at = p.now() + latency;
+        let mut s = self.state.lock();
+        s.open_at = Some(match s.open_at {
+            Some(prev) => prev.min(at),
+            None => at,
+        });
+        match p.mode() {
+            ClockMode::Virtual => {
+                for pid in s.waiters.drain(..) {
+                    p.wake_other(pid, at);
+                }
+            }
+            ClockMode::Real => {
+                self.cv.notify_all();
+            }
+        }
+    }
+
+    /// Close the gate again (for reusable breakpoints).
+    pub fn reset(&self) {
+        self.state.lock().open_at = None;
+    }
+
+    /// Block until the gate is open; returns the time at which the caller
+    /// passed through.
+    pub fn wait_open(&self, p: &Proc) -> SimTime {
+        match p.mode() {
+            ClockMode::Virtual => loop {
+                let mut s = self.state.lock();
+                if let Some(at) = s.open_at {
+                    if at <= p.now() {
+                        return p.now();
+                    }
+                    drop(s);
+                    p.sleep_until(at);
+                    return p.now();
+                }
+                let pid = p.pid();
+                if !s.waiters.contains(&pid) {
+                    s.waiters.push(pid);
+                }
+                drop(s);
+                p.block();
+                let mut s = self.state.lock();
+                s.waiters.retain(|&w| w != pid);
+            },
+            ClockMode::Real => {
+                let mut s = self.state.lock();
+                while s.open_at.is_none() {
+                    self.cv.wait(&mut s);
+                }
+                drop(s);
+                p.now()
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimQueue: FIFO work queue (no latency), for OMP dynamic scheduling
+// ---------------------------------------------------------------------------
+
+/// A plain FIFO shared work queue with blocking pop, used by the OpenMP
+/// runtime's dynamic loop scheduler. Unlike [`SimChannel`], entries have no
+/// arrival latency; a `None` sentinel (closed queue) releases poppers.
+pub struct SimQueue<T> {
+    state: Mutex<(VecDeque<T>, bool, Vec<Pid>)>,
+    cv: Condvar,
+}
+
+impl<T> Default for SimQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> SimQueue<T> {
+    /// An empty, open queue.
+    pub fn new() -> SimQueue<T> {
+        SimQueue {
+            state: Mutex::new((VecDeque::new(), false, Vec::new())),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Push one item.
+    pub fn push(&self, p: &Proc, item: T) {
+        let mut s = self.state.lock();
+        s.0.push_back(item);
+        self.notify(p, &mut s);
+    }
+
+    /// Close the queue: poppers drain remaining items, then observe `None`.
+    pub fn close(&self, p: &Proc) {
+        let mut s = self.state.lock();
+        s.1 = true;
+        self.notify(p, &mut s);
+    }
+
+    fn notify(&self, p: &Proc, s: &mut (VecDeque<T>, bool, Vec<Pid>)) {
+        match p.mode() {
+            ClockMode::Virtual => {
+                let now = p.now();
+                for pid in s.2.drain(..) {
+                    p.wake_other(pid, now);
+                }
+            }
+            ClockMode::Real => {
+                self.cv.notify_all();
+            }
+        }
+    }
+
+    /// Pop one item, blocking while the queue is empty and open.
+    /// Returns `None` once the queue is closed and drained.
+    pub fn pop(&self, p: &Proc) -> Option<T> {
+        match p.mode() {
+            ClockMode::Virtual => loop {
+                let mut s = self.state.lock();
+                if let Some(item) = s.0.pop_front() {
+                    return Some(item);
+                }
+                if s.1 {
+                    return None;
+                }
+                let pid = p.pid();
+                if !s.2.contains(&pid) {
+                    s.2.push(pid);
+                }
+                drop(s);
+                p.block();
+                let mut s = self.state.lock();
+                s.2.retain(|&w| w != pid);
+            },
+            ClockMode::Real => {
+                let mut s = self.state.lock();
+                loop {
+                    if let Some(item) = s.0.pop_front() {
+                        return Some(item);
+                    }
+                    if s.1 {
+                        return None;
+                    }
+                    self.cv.wait(&mut s);
+                }
+            }
+        }
+    }
+
+    /// Pop without blocking.
+    pub fn try_pop(&self) -> Option<T> {
+        self.state.lock().0.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Sim;
+    use crate::topology::Machine;
+    use std::sync::Arc;
+
+    fn vsim(seed: u64) -> Sim {
+        Sim::virtual_time(Machine::test_machine(), seed)
+    }
+
+    #[test]
+    fn channel_delivers_after_latency() {
+        let sim = vsim(1);
+        let ch: Arc<SimChannel<u32>> = Arc::new(SimChannel::new());
+        let tx = Arc::clone(&ch);
+        sim.spawn("sender", 0, move |p| {
+            p.advance(SimTime::from_micros(10));
+            tx.send(p, 42, SimTime::from_micros(5));
+        });
+        let rx = Arc::clone(&ch);
+        sim.spawn("receiver", 1, move |p| {
+            let v = rx.recv(p);
+            assert_eq!(v, 42);
+            assert_eq!(p.now(), SimTime::from_micros(15));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn channel_receiver_already_past_arrival() {
+        let sim = vsim(1);
+        let ch: Arc<SimChannel<u32>> = Arc::new(SimChannel::new());
+        let tx = Arc::clone(&ch);
+        sim.spawn("sender", 0, move |p| {
+            tx.send(p, 7, SimTime::from_micros(1));
+        });
+        let rx = Arc::clone(&ch);
+        sim.spawn("receiver", 1, move |p| {
+            p.advance(SimTime::from_millis(1)); // way past arrival
+            let v = rx.recv(p);
+            assert_eq!(v, 7);
+            // Clock must NOT rewind.
+            assert_eq!(p.now(), SimTime::from_millis(1));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn channel_match_picks_earliest_matching() {
+        let sim = vsim(1);
+        let ch: Arc<SimChannel<(u32, &'static str)>> = Arc::new(SimChannel::new());
+        let tx = Arc::clone(&ch);
+        sim.spawn("sender", 0, move |p| {
+            tx.send(p, (1, "a"), SimTime::from_micros(30));
+            tx.send(p, (2, "b"), SimTime::from_micros(10));
+            tx.send(p, (3, "b"), SimTime::from_micros(20));
+        });
+        let rx = Arc::clone(&ch);
+        sim.spawn("receiver", 1, move |p| {
+            let (id, tag) = rx.recv_match(p, |m| m.1 == "b");
+            assert_eq!((id, tag), (2, "b"));
+            let (id, _) = rx.recv_match(p, |m| m.1 == "b");
+            assert_eq!(id, 3);
+            let (id, _) = rx.recv(p);
+            assert_eq!(id, 1);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn try_recv_respects_arrival_time() {
+        let sim = vsim(1);
+        let ch: Arc<SimChannel<u8>> = Arc::new(SimChannel::new());
+        let c = Arc::clone(&ch);
+        sim.spawn("solo", 0, move |p| {
+            c.send(p, 9, SimTime::from_micros(100));
+            assert_eq!(c.try_recv(p), None); // still in flight
+            p.advance(SimTime::from_micros(100));
+            assert_eq!(c.try_recv(p), Some(9));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn barrier_releases_at_max_plus_cost() {
+        let sim = vsim(1);
+        let bar = Arc::new(SimBarrier::new(3, SimTime::from_micros(7)));
+        for i in 0..3u64 {
+            let b = Arc::clone(&bar);
+            sim.spawn(format!("p{i}"), 0, move |p| {
+                p.advance(SimTime::from_micros(10 * (i + 1))); // arrive at 10/20/30
+                let rel = b.wait(p);
+                assert_eq!(rel, SimTime::from_micros(37));
+                assert_eq!(p.now(), SimTime::from_micros(37));
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn barrier_is_cyclic() {
+        let sim = vsim(1);
+        let bar = Arc::new(SimBarrier::new(2, SimTime::ZERO));
+        for i in 0..2u64 {
+            let b = Arc::clone(&bar);
+            sim.spawn(format!("p{i}"), 0, move |p| {
+                let mut last = SimTime::ZERO;
+                for round in 0..5u64 {
+                    p.advance(SimTime::from_micros(i + 1));
+                    let rel = b.wait(p);
+                    assert!(rel >= last, "round {round} went backwards");
+                    last = rel;
+                }
+                // Slowest participant advances 2us per round.
+                assert_eq!(last, SimTime::from_micros(10));
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn gate_blocks_until_open() {
+        let sim = vsim(1);
+        let gate = Arc::new(SimGate::new());
+        let g = Arc::clone(&gate);
+        sim.spawn("opener", 0, move |p| {
+            p.advance(SimTime::from_millis(3));
+            g.open(p, SimTime::from_micros(500));
+        });
+        for i in 0..3 {
+            let g = Arc::clone(&gate);
+            sim.spawn(format!("w{i}"), 1, move |p| {
+                let t = g.wait_open(p);
+                assert_eq!(t, SimTime::from_micros(3500));
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn gate_open_before_wait_passes_straight_through() {
+        let sim = vsim(1);
+        let gate = Arc::new(SimGate::new());
+        let g = Arc::clone(&gate);
+        sim.spawn("opener", 0, move |p| {
+            g.open(p, SimTime::ZERO);
+        });
+        let g2 = Arc::clone(&gate);
+        sim.spawn("late", 1, move |p| {
+            p.advance(SimTime::from_secs(1));
+            let t = g2.wait_open(p);
+            assert_eq!(t, SimTime::from_secs(1)); // no waiting, no rewind
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn queue_drains_then_closes() {
+        let sim = vsim(1);
+        let q: Arc<SimQueue<u32>> = Arc::new(SimQueue::new());
+        let qp = Arc::clone(&q);
+        sim.spawn("producer", 0, move |p| {
+            for i in 0..10 {
+                qp.push(p, i);
+                p.advance(SimTime::from_micros(1));
+            }
+            qp.close(p);
+        });
+        let sum = Arc::new(Mutex::new(0u32));
+        for w in 0..3 {
+            let qc = Arc::clone(&q);
+            let sum = Arc::clone(&sum);
+            sim.spawn(format!("worker{w}"), 1, move |p| {
+                while let Some(v) = qc.pop(p) {
+                    *sum.lock() += v;
+                    p.advance(SimTime::from_micros(2));
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(*sum.lock(), 45);
+    }
+
+    #[test]
+    fn fifo_channel_never_reorders() {
+        // Unordered channels may deliver a later-sent message earlier (the
+        // jitter model); FIFO channels must not.
+        let sim = vsim(5);
+        let ch: Arc<SimChannel<u32>> = Arc::new(SimChannel::new_fifo());
+        let tx = Arc::clone(&ch);
+        sim.spawn("sender", 0, move |p| {
+            // Decreasing latencies: without FIFO, message 2 would arrive
+            // before message 1.
+            tx.send(p, 1, SimTime::from_micros(100));
+            tx.send(p, 2, SimTime::from_micros(10));
+            tx.send(p, 3, SimTime::from_micros(1));
+        });
+        let rx = Arc::clone(&ch);
+        sim.spawn("receiver", 1, move |p| {
+            assert_eq!(rx.recv(p), 1);
+            assert_eq!(rx.recv(p), 2);
+            assert_eq!(rx.recv(p), 3);
+            // All arrive no earlier than the first message's latency.
+            assert!(p.now() >= SimTime::from_micros(100));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn unordered_channel_may_reorder() {
+        let sim = vsim(5);
+        let ch: Arc<SimChannel<u32>> = Arc::new(SimChannel::new());
+        let tx = Arc::clone(&ch);
+        sim.spawn("sender", 0, move |p| {
+            tx.send(p, 1, SimTime::from_micros(100));
+            tx.send(p, 2, SimTime::from_micros(1));
+        });
+        let rx = Arc::clone(&ch);
+        sim.spawn("receiver", 1, move |p| {
+            assert_eq!(rx.recv(p), 2, "earlier arrival wins");
+            assert_eq!(rx.recv(p), 1);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn primitives_work_in_real_mode() {
+        let sim = Sim::real_time(Machine::test_machine());
+        let ch: Arc<SimChannel<u32>> = Arc::new(SimChannel::new());
+        let bar = Arc::new(SimBarrier::new(2, SimTime::ZERO));
+        let gate = Arc::new(SimGate::new());
+        let (c1, b1, g1) = (Arc::clone(&ch), Arc::clone(&bar), Arc::clone(&gate));
+        sim.spawn("a", 0, move |p| {
+            c1.send(p, 5, SimTime::from_secs(100)); // latency ignored in real mode
+            b1.wait(p);
+            g1.open(p, SimTime::ZERO);
+        });
+        let (c2, b2, g2) = (ch, bar, gate);
+        sim.spawn("b", 1, move |p| {
+            let v = c2.recv(p);
+            assert_eq!(v, 5);
+            b2.wait(p);
+            g2.wait_open(p);
+        });
+        sim.run();
+    }
+}

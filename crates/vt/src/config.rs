@@ -1,0 +1,297 @@
+//! The Vampirtrace configuration file and activation table.
+//!
+//! "When the VT library is initialized at the start of the program, the VT
+//! configuration file is read and a table of symbols that are deactivated
+//! is created. At each call to `VT_begin` and `VT_end`, a lookup into this
+//! table is performed." (paper §4.2)
+//!
+//! The format is line-oriented:
+//!
+//! ```text
+//! # comment
+//! SYMBOL default on
+//! SYMBOL hypre_* off       # trailing-star prefix rule
+//! SYMBOL smg_relax on      # exact rule (exact beats prefix)
+//! ```
+//!
+//! Exact rules take precedence over prefix rules; among prefix rules the
+//! longest prefix wins; `default` applies when nothing matches.
+
+use std::collections::HashMap;
+
+/// A parsed configuration: the initial activation rules.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VtConfig {
+    /// Activation when no rule matches.
+    pub default_on: bool,
+    /// Exact-name rules.
+    pub exact: HashMap<String, bool>,
+    /// Prefix rules (`name*`), longest-match-wins.
+    pub prefixes: Vec<(String, bool)>,
+}
+
+impl Default for VtConfig {
+    fn default() -> Self {
+        VtConfig::all_on()
+    }
+}
+
+/// A configuration-parse failure, with the offending line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "config line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl VtConfig {
+    /// Everything active (the `Full` policy's configuration).
+    pub fn all_on() -> VtConfig {
+        VtConfig {
+            default_on: true,
+            exact: HashMap::new(),
+            prefixes: Vec::new(),
+        }
+    }
+
+    /// Everything deactivated (the `Full-Off` policy's configuration).
+    pub fn all_off() -> VtConfig {
+        VtConfig {
+            default_on: false,
+            exact: HashMap::new(),
+            prefixes: Vec::new(),
+        }
+    }
+
+    /// Everything off except the named subset (the `Subset` policy).
+    pub fn subset_on<S: AsRef<str>>(names: impl IntoIterator<Item = S>) -> VtConfig {
+        VtConfig {
+            default_on: false,
+            exact: names
+                .into_iter()
+                .map(|n| (n.as_ref().to_string(), true))
+                .collect(),
+            prefixes: Vec::new(),
+        }
+    }
+
+    /// Parse the text format.
+    pub fn parse(text: &str) -> Result<VtConfig, ConfigError> {
+        let mut cfg = VtConfig::all_on();
+        for (i, raw) in text.lines().enumerate() {
+            let line = i + 1;
+            let stripped = raw.split('#').next().unwrap_or("").trim();
+            if stripped.is_empty() {
+                continue;
+            }
+            let mut parts = stripped.split_whitespace();
+            let keyword = parts.next().unwrap_or("");
+            if !keyword.eq_ignore_ascii_case("SYMBOL") {
+                return Err(ConfigError {
+                    line,
+                    message: format!("unknown keyword {keyword:?} (expected SYMBOL)"),
+                });
+            }
+            let name = parts.next().ok_or(ConfigError {
+                line,
+                message: "missing symbol name".into(),
+            })?;
+            let state = parts.next().ok_or(ConfigError {
+                line,
+                message: "missing on/off state".into(),
+            })?;
+            let on = match state.to_ascii_lowercase().as_str() {
+                "on" => true,
+                "off" => false,
+                other => {
+                    return Err(ConfigError {
+                        line,
+                        message: format!("bad state {other:?} (expected on|off)"),
+                    })
+                }
+            };
+            if let Some(extra) = parts.next() {
+                return Err(ConfigError {
+                    line,
+                    message: format!("trailing token {extra:?}"),
+                });
+            }
+            if name == "default" || name == "*" {
+                cfg.default_on = on;
+            } else if let Some(prefix) = name.strip_suffix('*') {
+                cfg.prefixes.push((prefix.to_string(), on));
+            } else {
+                cfg.exact.insert(name.to_string(), on);
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Render back to the text format (round-trippable modulo ordering).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# Vampirtrace instrumentation configuration\n");
+        out.push_str(&format!(
+            "SYMBOL default {}\n",
+            if self.default_on { "on" } else { "off" }
+        ));
+        let mut prefixes = self.prefixes.clone();
+        prefixes.sort();
+        for (p, on) in prefixes {
+            out.push_str(&format!("SYMBOL {p}* {}\n", if on { "on" } else { "off" }));
+        }
+        let mut exact: Vec<_> = self.exact.iter().collect();
+        exact.sort();
+        for (n, on) in exact {
+            out.push_str(&format!("SYMBOL {n} {}\n", if *on { "on" } else { "off" }));
+        }
+        out
+    }
+
+    /// Resolve the activation of `name` under this configuration.
+    pub fn resolve(&self, name: &str) -> bool {
+        if let Some(&on) = self.exact.get(name) {
+            return on;
+        }
+        self.prefixes
+            .iter()
+            .filter(|(p, _)| name.starts_with(p.as_str()))
+            .max_by_key(|(p, _)| p.len())
+            .map(|&(_, on)| on)
+            .unwrap_or(self.default_on)
+    }
+
+    /// Apply a delta (e.g. from `VT_confsync`) on top of this config.
+    pub fn apply(&mut self, delta: &ConfigDelta) {
+        match delta {
+            ConfigDelta::Replace(cfg) => *self = cfg.clone(),
+            ConfigDelta::Set(changes) => {
+                for (name, on) in changes {
+                    if name == "default" || name == "*" {
+                        self.default_on = *on;
+                    } else if let Some(prefix) = name.strip_suffix('*') {
+                        self.prefixes.retain(|(p, _)| p != prefix);
+                        self.prefixes.push((prefix.to_string(), *on));
+                    } else {
+                        self.exact.insert(name.clone(), *on);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A configuration change distributed by `VT_confsync`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigDelta {
+    /// Replace the whole configuration.
+    Replace(VtConfig),
+    /// Set individual symbols (supports `default` and `name*`).
+    Set(Vec<(String, bool)>),
+}
+
+impl ConfigDelta {
+    /// Modelled wire size when broadcast to all ranks.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            ConfigDelta::Replace(cfg) => cfg.render().len(),
+            ConfigDelta::Set(changes) => {
+                changes.iter().map(|(n, _)| n.len() + 2).sum::<usize>() + 4
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic_config() {
+        let cfg = VtConfig::parse(
+            "# header\n\
+             SYMBOL default off\n\
+             SYMBOL smg_* on   # solver\n\
+             SYMBOL smg_setup off\n\
+             \n",
+        )
+        .unwrap();
+        assert!(!cfg.default_on);
+        assert!(cfg.resolve("smg_relax"));
+        assert!(!cfg.resolve("smg_setup"), "exact beats prefix");
+        assert!(!cfg.resolve("main"));
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let cfg = VtConfig::parse(
+            "SYMBOL hypre_* off\n\
+             SYMBOL hypre_Struct* on\n",
+        )
+        .unwrap();
+        assert!(cfg.resolve("hypre_StructVector"));
+        assert!(!cfg.resolve("hypre_CommPkg"));
+        assert!(cfg.resolve("unrelated"), "default stays on");
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let e = VtConfig::parse("SYMBOL a on\nNONSENSE b\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = VtConfig::parse("SYMBOL x maybe\n").unwrap_err();
+        assert!(e.message.contains("bad state"));
+        let e = VtConfig::parse("SYMBOL x on extra\n").unwrap_err();
+        assert!(e.message.contains("trailing"));
+        let e = VtConfig::parse("SYMBOL\n").unwrap_err();
+        assert!(e.message.contains("missing symbol"));
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let mut cfg = VtConfig::all_off();
+        cfg.exact.insert("solve".into(), true);
+        cfg.prefixes.push(("mg_".into(), true));
+        let reparsed = VtConfig::parse(&cfg.render()).unwrap();
+        for name in ["solve", "mg_relax", "other", "mg_"] {
+            assert_eq!(reparsed.resolve(name), cfg.resolve(name), "{name}");
+        }
+    }
+
+    #[test]
+    fn subset_constructor_matches_policy_semantics() {
+        let cfg = VtConfig::subset_on(["a", "b"]);
+        assert!(cfg.resolve("a"));
+        assert!(cfg.resolve("b"));
+        assert!(!cfg.resolve("c"));
+    }
+
+    #[test]
+    fn deltas_apply() {
+        let mut cfg = VtConfig::all_on();
+        cfg.apply(&ConfigDelta::Set(vec![
+            ("default".into(), false),
+            ("keep_me".into(), true),
+            ("util_*".into(), true),
+        ]));
+        assert!(!cfg.resolve("random"));
+        assert!(cfg.resolve("keep_me"));
+        assert!(cfg.resolve("util_pack"));
+        cfg.apply(&ConfigDelta::Replace(VtConfig::all_on()));
+        assert!(cfg.resolve("random"));
+    }
+
+    #[test]
+    fn delta_wire_bytes_positive() {
+        assert!(ConfigDelta::Set(vec![("f".into(), true)]).wire_bytes() > 0);
+        assert!(ConfigDelta::Replace(VtConfig::all_off()).wire_bytes() > 0);
+    }
+}

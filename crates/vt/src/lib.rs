@@ -1,0 +1,42 @@
+//! # dynprof-vt — the Vampirtrace-analogue instrumentation library
+//!
+//! The data-collection layer of the VGV toolset (paper §3.1, Fig 3):
+//!
+//! * [`VtLib`] — function registration (`VT_funcdef`), the
+//!   `VT_begin`/`VT_end` fast paths with the activation-table lookup that
+//!   makes deactivated probes cheap (but not free), per-rank trace
+//!   buffers, statistics, and trace assembly.
+//! * [`VtConfig`] — the configuration file controlling which symbols are
+//!   active, with exact and prefix rules.
+//! * [`confsync`] — `VT_confsync`, the safe-point protocol for *dynamic
+//!   control of instrumentation* (paper §5): breakpoint check, delta
+//!   broadcast, optional runtime-statistics dump, re-synchronizing barrier.
+//! * [`VtStaticHooks`] / [`VtMpiHooks`] / [`VtOmpHooks`] — the attachment
+//!   points into Guide static instrumentation, the MPI wrapper interface,
+//!   and the Guidetrace OpenMP runtime.
+//! * [`vt_begin_snippet`] / [`vt_end_snippet`] — the dynamically
+//!   insertable probes dynprof places through DPCL.
+//! * [`Policy`] — the five instrumentation policies of Table 3.
+//! * [`Trace`] / [`Event`] — the time-stamped event model and binary
+//!   trace-file format consumed by `dynprof-analysis`.
+
+#![warn(missing_docs)]
+
+mod config;
+mod confsync;
+mod event;
+mod hooks;
+mod policy;
+mod sampling;
+mod vtlib;
+
+pub use config::{ConfigDelta, ConfigError, VtConfig};
+pub use confsync::{confsync, ConfsyncOutcome, MonitorLink, PendingChange, StatsSnapshot};
+pub use event::{Event, Trace, VtFuncId};
+pub use hooks::{
+    op_from_code, vt_begin_snippet, vt_end_snippet, VtImageObserver, VtMpiHooks, VtOmpHooks,
+    VtStaticHooks,
+};
+pub use policy::{Policy, ALL_POLICIES};
+pub use sampling::{sample_image, SampleProfile, SAMPLE_INTERRUPT_COST};
+pub use vtlib::{FuncStat, FuncStatRow, VtLib};

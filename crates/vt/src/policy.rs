@@ -1,0 +1,165 @@
+//! The instrumentation policies of paper Table 3.
+
+use crate::config::VtConfig;
+
+/// How an application run is instrumented (paper Table 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// All functions are statically instrumented.
+    Full,
+    /// All functions are statically instrumented but disabled using the
+    /// configuration file.
+    FullOff,
+    /// All functions are statically instrumented with only an important
+    /// subset left active.
+    Subset,
+    /// No subroutine instrumentation is inserted.
+    None,
+    /// The dynprof tool is used to dynamically instrument the same
+    /// functions used by `Subset`.
+    Dynamic,
+}
+
+/// Every policy, in the paper's presentation order.
+pub const ALL_POLICIES: [Policy; 5] = [
+    Policy::Full,
+    Policy::FullOff,
+    Policy::Subset,
+    Policy::None,
+    Policy::Dynamic,
+];
+
+impl Policy {
+    /// The paper's label for the policy.
+    pub fn label(self) -> &'static str {
+        match self {
+            Policy::Full => "Full",
+            Policy::FullOff => "Full-Off",
+            Policy::Subset => "Subset",
+            Policy::None => "None",
+            Policy::Dynamic => "Dynamic",
+        }
+    }
+
+    /// The paper's Table 3 description.
+    pub fn description(self) -> &'static str {
+        match self {
+            Policy::Full => "All functions are statically instrumented.",
+            Policy::FullOff => {
+                "All functions are statically instrumented but disabled using the configuration file."
+            }
+            Policy::Subset => {
+                "All functions are statically instrumented with only an important subset left active."
+            }
+            Policy::None => "No subroutine instrumentation is inserted.",
+            Policy::Dynamic => {
+                "The dynprof tool is used to dynamically instrument the same functions used by Subset."
+            }
+        }
+    }
+
+    /// Parse a label (case-insensitive; accepts `full-off`/`fulloff`).
+    pub fn parse(s: &str) -> Option<Policy> {
+        match s.to_ascii_lowercase().replace('_', "-").as_str() {
+            "full" => Some(Policy::Full),
+            "full-off" | "fulloff" => Some(Policy::FullOff),
+            "subset" => Some(Policy::Subset),
+            "none" => Some(Policy::None),
+            "dynamic" => Some(Policy::Dynamic),
+            _ => Option::None,
+        }
+    }
+
+    /// Does this policy compile the application with Guide static
+    /// instrumentation in every subroutine?
+    pub fn static_instrumentation(self) -> bool {
+        matches!(self, Policy::Full | Policy::FullOff | Policy::Subset)
+    }
+
+    /// The VT configuration file contents for this policy, given the
+    /// application's "important subset" of functions.
+    pub fn config<S: AsRef<str>>(self, subset: impl IntoIterator<Item = S>) -> VtConfig {
+        match self {
+            Policy::Full => VtConfig::all_on(),
+            Policy::FullOff => VtConfig::all_off(),
+            Policy::Subset => VtConfig::subset_on(subset),
+            // No static probes exist; the config is irrelevant but kept
+            // permissive so dynamically inserted probes are active.
+            Policy::None | Policy::Dynamic => VtConfig::all_on(),
+        }
+    }
+
+    /// The functions dynprof must dynamically instrument under this
+    /// policy (empty unless `Dynamic`).
+    pub fn dynamic_functions(self, subset: &[String]) -> &[String] {
+        match self {
+            Policy::Dynamic => subset,
+            _ => &[],
+        }
+    }
+}
+
+impl std::fmt::Display for Policy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip_through_parse() {
+        for p in ALL_POLICIES {
+            assert_eq!(Policy::parse(p.label()), Some(p));
+            assert_eq!(Policy::parse(&p.label().to_uppercase()), Some(p));
+        }
+        assert_eq!(Policy::parse("bogus"), None);
+        assert_eq!(Policy::parse("full_off"), Some(Policy::FullOff));
+    }
+
+    #[test]
+    fn static_instrumentation_split_matches_table3() {
+        assert!(Policy::Full.static_instrumentation());
+        assert!(Policy::FullOff.static_instrumentation());
+        assert!(Policy::Subset.static_instrumentation());
+        assert!(!Policy::None.static_instrumentation());
+        assert!(!Policy::Dynamic.static_instrumentation());
+    }
+
+    #[test]
+    fn configs_resolve_as_expected() {
+        let subset = vec!["solve".to_string(), "relax".to_string()];
+        let full = Policy::Full.config(&subset);
+        assert!(full.resolve("anything"));
+        let off = Policy::FullOff.config(&subset);
+        assert!(!off.resolve("solve"));
+        let sub = Policy::Subset.config(&subset);
+        assert!(sub.resolve("solve"));
+        assert!(sub.resolve("relax"));
+        assert!(!sub.resolve("setup"));
+    }
+
+    #[test]
+    fn only_dynamic_requests_dynamic_probes() {
+        let subset = vec!["solve".to_string()];
+        for p in ALL_POLICIES {
+            let dynf = p.dynamic_functions(&subset);
+            if p == Policy::Dynamic {
+                assert_eq!(dynf, &subset[..]);
+            } else {
+                assert!(dynf.is_empty(), "{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn descriptions_are_nonempty_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for p in ALL_POLICIES {
+            assert!(!p.description().is_empty());
+            assert!(seen.insert(p.description()));
+        }
+    }
+}

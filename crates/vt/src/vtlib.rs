@@ -1,0 +1,652 @@
+//! The trace library core: registration, activation, and the
+//! `VT_begin`/`VT_end` fast paths.
+//!
+//! One [`VtLib`] exists per job and is shared (via `Arc`) by every rank's
+//! instrumentation. Each rank owns a private buffer/stack/stats area; the
+//! function registry and activation table are global (they are identical
+//! on every rank between safe points by construction of `VT_confsync`).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use dynprof_sim::{Proc, ProbeCosts, SimTime};
+
+use crate::config::VtConfig;
+use crate::event::{Event, Trace, VtFuncId};
+
+/// Per-function statistics accumulated while probes are active — the data
+/// `VT_confsync` can write out at runtime (paper §5, Experiment 3).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FuncStat {
+    /// Completed calls.
+    pub count: u64,
+    /// Inclusive time.
+    pub incl: SimTime,
+    /// Exclusive time (inclusive minus instrumented children).
+    pub excl: SimTime,
+}
+
+/// Wire row of one function's statistics: `(func, count, incl_ns, excl_ns)`.
+pub type FuncStatRow = (u32, u64, u64, u64);
+
+struct Frame {
+    func: VtFuncId,
+    thread: u16,
+    t0: SimTime,
+    reps: u64,
+    active: bool,
+    child: SimTime,
+}
+
+#[derive(Default)]
+struct ProcBuf {
+    events: Vec<Event>,
+    /// Call stacks keyed by OpenMP thread id.
+    stacks: HashMap<u16, Vec<Frame>>,
+    stats: Vec<FuncStat>,
+    trace_bytes: u64,
+    deactivated_lookups: u64,
+    stray_ends: u64,
+    /// Pending MPI operations (op code, entry time), a stack because
+    /// `MPI_Init`'s inserted snippet issues nested `MPI_Barrier`s.
+    mpi_stack: Vec<(u8, SimTime)>,
+}
+
+struct ProcState {
+    initialized: AtomicBool,
+    finalized: AtomicBool,
+    buf: Mutex<ProcBuf>,
+    /// This rank's view of the configuration. Distributed on purpose:
+    /// between safe points different ranks may (transiently) disagree,
+    /// exactly as the real library's per-process tables do — and the
+    /// simulator's causality depends on it.
+    config: Mutex<VtConfig>,
+    /// Resolved activation per registered function (lazy, per rank).
+    active: RwLock<Vec<bool>>,
+}
+
+struct Registry {
+    names: Vec<String>,
+    ids: HashMap<String, VtFuncId>,
+}
+
+/// The Vampirtrace-analogue instrumentation library of one job.
+pub struct VtLib {
+    program: String,
+    costs: ProbeCosts,
+    registry: RwLock<Registry>,
+    procs: Vec<ProcState>,
+    epoch: AtomicU32,
+}
+
+impl VtLib {
+    /// Create the library for `program` with `ranks` processes, an initial
+    /// configuration (the "VT configuration file"), and the machine's
+    /// probe cost model.
+    pub fn new(
+        program: impl Into<String>,
+        ranks: usize,
+        config: VtConfig,
+        costs: ProbeCosts,
+    ) -> Arc<VtLib> {
+        Arc::new(VtLib {
+            program: program.into(),
+            costs,
+            registry: RwLock::new(Registry {
+                names: Vec::new(),
+                ids: HashMap::new(),
+            }),
+            procs: (0..ranks)
+                .map(|_| ProcState {
+                    initialized: AtomicBool::new(false),
+                    finalized: AtomicBool::new(false),
+                    buf: Mutex::new(ProcBuf::default()),
+                    config: Mutex::new(config.clone()),
+                    active: RwLock::new(Vec::new()),
+                })
+                .collect(),
+            epoch: AtomicU32::new(0),
+        })
+    }
+
+    /// Program name.
+    pub fn program(&self) -> &str {
+        &self.program
+    }
+
+    /// The probe cost model in force.
+    pub fn costs(&self) -> &ProbeCosts {
+        &self.costs
+    }
+
+    /// Number of ranks this library serves.
+    pub fn ranks(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Current configuration epoch.
+    pub fn epoch(&self) -> u32 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn bump_epoch(&self) -> u32 {
+        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// `VT_init` on `rank`: reads the configuration file and sets up the
+    /// rank's trace structures. Must precede any other VT call on the rank.
+    pub fn init(&self, p: &Proc, rank: usize) {
+        let st = &self.procs[rank];
+        assert!(
+            !st.initialized.swap(true, Ordering::AcqRel),
+            "VT_init called twice on rank {rank}"
+        );
+        // Config file read + table construction.
+        p.advance(SimTime::from_micros(400));
+    }
+
+    /// Has `VT_init` completed on `rank`?
+    pub fn is_initialized(&self, rank: usize) -> bool {
+        self.procs[rank].initialized.load(Ordering::Acquire)
+    }
+
+    /// `VT_funcdef`: register `name`, returning its id (idempotent).
+    /// Charges the registration cost only on first registration.
+    pub fn funcdef(&self, p: &Proc, name: &str) -> VtFuncId {
+        if let Some(&id) = self.registry.read().ids.get(name) {
+            return id;
+        }
+        let mut reg = self.registry.write();
+        if let Some(&id) = reg.ids.get(name) {
+            return id;
+        }
+        p.advance(self.costs.vt_funcdef);
+        let id = VtFuncId(reg.names.len() as u32);
+        reg.names.push(name.to_string());
+        reg.ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// Look up a registered function by name.
+    pub fn func_id(&self, name: &str) -> Option<VtFuncId> {
+        self.registry.read().ids.get(name).copied()
+    }
+
+    /// Is `func` active on `rank` (would `VT_begin` record there)?
+    ///
+    /// The activation table is per rank: the configuration file is read
+    /// per process at `VT_init`, and `VT_confsync` changes are applied by
+    /// each rank as the safe point reaches it (paper §4.2, §5).
+    pub fn is_active(&self, rank: usize, func: VtFuncId) -> bool {
+        let st = &self.procs[rank];
+        {
+            let a = st.active.read();
+            if let Some(&v) = a.get(func.0 as usize) {
+                return v;
+            }
+        }
+        // Lazily resolve newly registered functions against this rank's
+        // configuration.
+        let mut a = st.active.write();
+        let reg = self.registry.read();
+        let cfg = st.config.lock();
+        while a.len() < reg.names.len() {
+            let on = cfg.resolve(&reg.names[a.len()]);
+            a.push(on);
+        }
+        a.get(func.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// Re-resolve `rank`'s activation table after a configuration change;
+    /// returns how many functions changed state.
+    pub(crate) fn reresolve(&self, rank: usize) -> usize {
+        let st = &self.procs[rank];
+        let mut a = st.active.write();
+        let reg = self.registry.read();
+        let cfg = st.config.lock();
+        let mut changed = 0;
+        a.resize(reg.names.len(), false);
+        for (i, name) in reg.names.iter().enumerate() {
+            let on = cfg.resolve(name);
+            if a[i] != on {
+                a[i] = on;
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    pub(crate) fn with_config<R>(&self, rank: usize, f: impl FnOnce(&mut VtConfig) -> R) -> R {
+        f(&mut self.procs[rank].config.lock())
+    }
+
+    /// A snapshot of `rank`'s current configuration.
+    pub fn config_of(&self, rank: usize) -> VtConfig {
+        self.procs[rank].config.lock().clone()
+    }
+
+    fn assert_ready(&self, rank: usize) {
+        assert!(
+            self.is_initialized(rank),
+            "VT call before VT_init on rank {rank} — the instrumenter must \
+             defer instrumentation until initialization completes (paper §3.4)"
+        );
+    }
+
+    /// `VT_begin` for `reps` aggregated invocations.
+    pub fn begin(&self, p: &Proc, rank: usize, thread: u16, func: VtFuncId, reps: u64) {
+        self.assert_ready(rank);
+        let active = self.is_active(rank, func);
+        let mut buf = self.procs[rank].buf.lock();
+        if active {
+            p.advance(self.costs.vt_begin_active.mul_f64(reps as f64));
+            if reps == 1 {
+                let ev = Event::FuncEnter {
+                    t: p.now(),
+                    rank: rank as u32,
+                    thread,
+                    func,
+                };
+                buf.trace_bytes += ev.trace_bytes_of(self.costs.event_bytes);
+                buf.events.push(ev);
+            }
+        } else {
+            // Deactivated: the call still happens, pays the table lookup,
+            // and bails out (paper §4.2).
+            p.advance(self.costs.vt_deactivated.mul_f64(reps as f64));
+            buf.deactivated_lookups += reps;
+        }
+        buf.stacks.entry(thread).or_default().push(Frame {
+            func,
+            thread,
+            t0: p.now(),
+            reps,
+            active,
+            child: SimTime::ZERO,
+        });
+    }
+
+    /// `VT_end` matching the innermost `begin` on (`rank`, `thread`).
+    ///
+    /// If no frame for `func` is open on the thread — which happens when a
+    /// dynamic entry probe was removed between a function's entry and
+    /// exit — the call is counted in [`VtLib::stray_ends`] and otherwise
+    /// ignored, as the real library must tolerate. An exit that *skips*
+    /// open frames of other functions, however, is a true nesting bug in
+    /// the instrumented program and panics.
+    pub fn end(&self, p: &Proc, rank: usize, thread: u16, func: VtFuncId) {
+        self.assert_ready(rank);
+        let mut buf = self.procs[rank].buf.lock();
+        {
+            let stack = buf.stacks.entry(thread).or_default();
+            match stack.last() {
+                Some(top) if top.func == func => {}
+                Some(top) => {
+                    assert!(
+                        !stack.iter().any(|f| f.func == func),
+                        "mismatched VT_end on rank {rank}: began {:?}, ended {:?}",
+                        top.func,
+                        func
+                    );
+                    buf.stray_ends += 1;
+                    return;
+                }
+                None => {
+                    buf.stray_ends += 1;
+                    return;
+                }
+            }
+        }
+        let frame = buf
+            .stacks
+            .get_mut(&thread)
+            .and_then(Vec::pop)
+            .expect("frame checked above");
+        if frame.active {
+            p.advance(self.costs.vt_end_active.mul_f64(frame.reps as f64));
+            let now = p.now();
+            let span = now.saturating_sub(frame.t0);
+            let ev = if frame.reps == 1 {
+                Event::FuncExit {
+                    t: now,
+                    rank: rank as u32,
+                    thread,
+                    func,
+                }
+            } else {
+                Event::FuncBatch {
+                    t: frame.t0,
+                    rank: rank as u32,
+                    thread,
+                    func,
+                    count: frame.reps,
+                    span,
+                }
+            };
+            buf.trace_bytes += ev.trace_bytes_of(self.costs.event_bytes);
+            buf.events.push(ev);
+            // Statistics.
+            let idx = func.0 as usize;
+            if buf.stats.len() <= idx {
+                buf.stats.resize(idx + 1, FuncStat::default());
+            }
+            let s = &mut buf.stats[idx];
+            s.count += frame.reps;
+            s.incl += span;
+            s.excl += span.saturating_sub(frame.child);
+            // Attribute our inclusive time to the parent's child-time.
+            if let Some(parent) = buf.stacks.get_mut(&frame.thread).and_then(|s| s.last_mut()) {
+                parent.child += span;
+            }
+        }
+    }
+
+    /// Record a raw event (used by the MPI/OMP hook implementations).
+    pub(crate) fn record(&self, rank: usize, ev: Event) {
+        let mut buf = self.procs[rank].buf.lock();
+        buf.trace_bytes += ev.trace_bytes_of(self.costs.event_bytes);
+        buf.events.push(ev);
+    }
+
+    pub(crate) fn mpi_push(&self, rank: usize, op: u8, t: SimTime) {
+        self.procs[rank].buf.lock().mpi_stack.push((op, t));
+    }
+
+    pub(crate) fn mpi_pop(&self, rank: usize) -> Option<(u8, SimTime)> {
+        self.procs[rank].buf.lock().mpi_stack.pop()
+    }
+
+    /// `VT_finalize` on `rank`: flush the rank's buffer to the trace file
+    /// (charged at the modelled per-byte flush cost).
+    pub fn finalize(&self, p: &Proc, rank: usize) {
+        self.assert_ready(rank);
+        let st = &self.procs[rank];
+        if st.finalized.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let bytes = st.buf.lock().trace_bytes;
+        p.advance(self.costs.flush_per_byte.mul_f64(bytes as f64));
+    }
+
+    /// Modelled trace volume produced by `rank` so far.
+    pub fn trace_bytes(&self, rank: usize) -> u64 {
+        self.procs[rank].buf.lock().trace_bytes
+    }
+
+    /// Total modelled trace volume across ranks.
+    pub fn total_trace_bytes(&self) -> u64 {
+        (0..self.procs.len()).map(|r| self.trace_bytes(r)).sum()
+    }
+
+    /// Number of deactivated-probe lookups performed by `rank` (the
+    /// Full-Off/Subset overhead the paper measures).
+    pub fn deactivated_lookups(&self, rank: usize) -> u64 {
+        self.procs[rank].buf.lock().deactivated_lookups
+    }
+
+    /// `VT_end` calls on `rank` that found no matching open frame
+    /// (orphaned by probe removal between entry and exit).
+    pub fn stray_ends(&self, rank: usize) -> u64 {
+        self.procs[rank].buf.lock().stray_ends
+    }
+
+    /// Frames still open on `rank` (begin without end — e.g. an exit
+    /// probe removed mid-call).
+    pub fn open_frames(&self, rank: usize) -> usize {
+        self.procs[rank].buf.lock().stacks.values().map(Vec::len).sum()
+    }
+
+    /// Snapshot of `rank`'s per-function statistics, as wire rows.
+    pub fn stats_rows(&self, rank: usize) -> Vec<FuncStatRow> {
+        let buf = self.procs[rank].buf.lock();
+        buf.stats
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.count > 0)
+            .map(|(i, s)| (i as u32, s.count, s.incl.as_nanos(), s.excl.as_nanos()))
+            .collect()
+    }
+
+    /// Statistics of one function on one rank.
+    pub fn stat_of(&self, rank: usize, func: VtFuncId) -> FuncStat {
+        let buf = self.procs[rank].buf.lock();
+        buf.stats.get(func.0 as usize).copied().unwrap_or_default()
+    }
+
+    /// Assemble the postmortem trace (merged across ranks, time-sorted).
+    pub fn build_trace(&self) -> Trace {
+        let mut events = Vec::new();
+        for st in self.procs.iter() {
+            let buf = st.buf.lock();
+            // Frames still open (e.g. an exit probe removed while the
+            // function executed) are dropped; they are observable through
+            // `open_frames`.
+            events.extend(buf.events.iter().cloned());
+        }
+        events.sort_by_key(|e| (e.time(), e.rank()));
+        Trace {
+            program: self.program.clone(),
+            functions: self.registry.read().names.clone(),
+            events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynprof_sim::{Machine, Sim};
+
+    fn lib(config: VtConfig) -> Arc<VtLib> {
+        VtLib::new("app", 2, config, ProbeCosts::power3())
+    }
+
+    fn in_sim(f: impl FnOnce(&Proc) + Send + 'static) {
+        let sim = Sim::virtual_time(Machine::test_machine(), 5);
+        sim.spawn("p", 0, f);
+        sim.run();
+    }
+
+    #[test]
+    fn funcdef_is_idempotent_and_charges_once() {
+        let vt = lib(VtConfig::all_on());
+        in_sim(move |p| {
+            let a = vt.funcdef(p, "solve");
+            let cost1 = p.now();
+            assert_eq!(cost1, vt.costs().vt_funcdef);
+            let b = vt.funcdef(p, "solve");
+            assert_eq!(a, b);
+            assert_eq!(p.now(), cost1, "re-registration is free");
+            let c = vt.funcdef(p, "other");
+            assert_ne!(a, c);
+        });
+    }
+
+    #[test]
+    fn active_begin_end_records_events_and_charges() {
+        let vt = lib(VtConfig::all_on());
+        let vt2 = Arc::clone(&vt);
+        in_sim(move |p| {
+            vt2.init(p, 0);
+            let f = vt2.funcdef(p, "work");
+            let t0 = p.now();
+            vt2.begin(p, 0, 0, f, 1);
+            assert_eq!(p.now() - t0, vt2.costs().vt_begin_active);
+            p.advance(SimTime::from_micros(100));
+            vt2.end(p, 0, 0, f);
+            let s = vt2.stat_of(0, f);
+            assert_eq!(s.count, 1);
+            assert!(s.incl >= SimTime::from_micros(100));
+        });
+        let trace = vt.build_trace();
+        assert_eq!(trace.events.len(), 2);
+        assert!(matches!(trace.events[0], Event::FuncEnter { .. }));
+        assert!(matches!(trace.events[1], Event::FuncExit { .. }));
+        assert_eq!(vt.trace_bytes(0), 48);
+    }
+
+    #[test]
+    fn deactivated_pays_lookup_only() {
+        let vt = lib(VtConfig::all_off());
+        let vt2 = Arc::clone(&vt);
+        in_sim(move |p| {
+            vt2.init(p, 0);
+            let f = vt2.funcdef(p, "work");
+            let t0 = p.now();
+            vt2.begin(p, 0, 0, f, 1);
+            vt2.end(p, 0, 0, f);
+            assert_eq!(p.now() - t0, vt2.costs().vt_deactivated);
+        });
+        assert_eq!(vt.trace_bytes(0), 0, "no events for deactivated probes");
+        assert_eq!(vt.deactivated_lookups(0), 1);
+        assert_eq!(vt.build_trace().events.len(), 0);
+    }
+
+    #[test]
+    fn batch_pair_aggregates() {
+        let vt = lib(VtConfig::all_on());
+        let vt2 = Arc::clone(&vt);
+        in_sim(move |p| {
+            vt2.init(p, 0);
+            let f = vt2.funcdef(p, "hot_leaf");
+            let t0 = p.now();
+            vt2.begin(p, 0, 0, f, 1000);
+            p.advance(SimTime::from_millis(1));
+            vt2.end(p, 0, 0, f);
+            let charged = p.now() - t0 - SimTime::from_millis(1);
+            assert_eq!(charged, vt2.costs().active_pair() * 1000);
+            assert_eq!(vt2.stat_of(0, f).count, 1000);
+        });
+        let trace = vt.build_trace();
+        assert_eq!(trace.events.len(), 1, "one FuncBatch event");
+        // Trace volume accounts for all 2000 events.
+        assert_eq!(vt.trace_bytes(0), 2 * 1000 * 24);
+    }
+
+    #[test]
+    fn exclusive_time_subtracts_children() {
+        let vt = lib(VtConfig::all_on());
+        let vt2 = Arc::clone(&vt);
+        in_sim(move |p| {
+            vt2.init(p, 0);
+            let outer = vt2.funcdef(p, "outer");
+            let inner = vt2.funcdef(p, "inner");
+            vt2.begin(p, 0, 0, outer, 1);
+            p.advance(SimTime::from_micros(10));
+            vt2.begin(p, 0, 0, inner, 1);
+            p.advance(SimTime::from_micros(30));
+            vt2.end(p, 0, 0, inner);
+            p.advance(SimTime::from_micros(5));
+            vt2.end(p, 0, 0, outer);
+            let so = vt2.stat_of(0, outer);
+            let si = vt2.stat_of(0, inner);
+            assert!(si.incl >= SimTime::from_micros(30));
+            assert!(so.incl > si.incl);
+            // outer exclusive excludes inner inclusive.
+            assert_eq!(so.excl, so.incl - si.incl);
+        });
+    }
+
+    #[test]
+    fn per_thread_stacks_do_not_interfere() {
+        let vt = lib(VtConfig::all_on());
+        let vt2 = Arc::clone(&vt);
+        in_sim(move |p| {
+            vt2.init(p, 0);
+            let a = vt2.funcdef(p, "a");
+            let b = vt2.funcdef(p, "b");
+            vt2.begin(p, 0, 0, a, 1);
+            vt2.begin(p, 0, 1, b, 1); // different thread, interleaved
+            vt2.end(p, 0, 0, a);
+            vt2.end(p, 0, 1, b);
+        });
+        assert_eq!(vt.build_trace().events.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "before VT_init")]
+    fn begin_before_init_panics() {
+        let vt = lib(VtConfig::all_on());
+        in_sim(move |p| {
+            let f = vt.funcdef(p, "f");
+            vt.begin(p, 0, 0, f, 1);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched VT_end")]
+    fn skipping_an_open_frame_panics() {
+        let vt = lib(VtConfig::all_on());
+        in_sim(move |p| {
+            vt.init(p, 0);
+            let a = vt.funcdef(p, "a");
+            let b = vt.funcdef(p, "b");
+            vt.begin(p, 0, 0, a, 1);
+            vt.begin(p, 0, 0, b, 1);
+            // Ending `a` while `b` is still open skips a frame: a real
+            // nesting violation.
+            vt.end(p, 0, 0, a);
+        });
+    }
+
+    #[test]
+    fn stray_end_is_tolerated_and_counted() {
+        // A removal race can fire VT_end with no matching begin.
+        let vt = lib(VtConfig::all_on());
+        let vt2 = Arc::clone(&vt);
+        in_sim(move |p| {
+            vt2.init(p, 0);
+            let a = vt2.funcdef(p, "a");
+            vt2.end(p, 0, 0, a); // nothing open at all
+            let b = vt2.funcdef(p, "b");
+            vt2.begin(p, 0, 0, b, 1);
+            vt2.end(p, 0, 0, a); // `a` not on the stack (b is): stray
+            vt2.end(p, 0, 0, b);
+        });
+        assert_eq!(vt.stray_ends(0), 2);
+        assert_eq!(vt.open_frames(0), 0);
+    }
+
+    #[test]
+    fn activation_survives_config_reresolution() {
+        let vt = lib(VtConfig::all_on());
+        let vt2 = Arc::clone(&vt);
+        in_sim(move |p| {
+            vt2.init(p, 0);
+            let f = vt2.funcdef(p, "solver_kernel");
+            assert!(vt2.is_active(0, f));
+            vt2.with_config(0, |c| {
+                c.apply(&crate::config::ConfigDelta::Set(vec![(
+                    "solver_*".into(),
+                    false,
+                )]));
+            });
+            let changed = vt2.reresolve(0);
+            assert_eq!(changed, 1);
+            assert!(!vt2.is_active(0, f));
+            // A deactivated pair mid-flight stays balanced.
+            vt2.begin(p, 0, 0, f, 1);
+            vt2.end(p, 0, 0, f);
+        });
+    }
+
+    #[test]
+    fn finalize_charges_flush_and_is_idempotent() {
+        let vt = lib(VtConfig::all_on());
+        in_sim(move |p| {
+            vt.init(p, 0);
+            let f = vt.funcdef(p, "f");
+            vt.begin(p, 0, 0, f, 1);
+            vt.end(p, 0, 0, f);
+            let t0 = p.now();
+            vt.finalize(p, 0);
+            let flushed = p.now() - t0;
+            assert_eq!(flushed, vt.costs().flush_per_byte * 48);
+            vt.finalize(p, 0);
+            assert_eq!(p.now() - t0, flushed, "second finalize free");
+        });
+    }
+}

@@ -1,0 +1,67 @@
+//! Ephemeral instrumentation — the Traub-style insert/observe/remove
+//! pattern the paper supports with `wait` between `insert` and `remove`
+//! (§2 "ephemeral instrumentation", §3.3 scripting).
+//!
+//! The script instruments Sppm's hot hydro kernels only for a window in
+//! the middle of the run: probes go in at startup, are removed at a later
+//! point (all processes are suspended for the patch, §3.4), and the rest
+//! of the run proceeds unperturbed. The trace therefore contains a
+//! bounded snapshot instead of the full run.
+//!
+//! Run with: `cargo run --example ephemeral`
+
+use dynprof::apps::{sppm, SppmParams};
+use dynprof::core::{run_session, Command, SessionConfig};
+use dynprof::sim::{Machine, SimTime};
+use dynprof::vt::Policy;
+
+fn main() {
+    let ranks = 4;
+    // A mid-sized run (~100 ms of virtual computation) so the observation
+    // window lands inside it.
+    let mut params = SppmParams::test();
+    params.scale = 0.25;
+    params.base_steps = 6;
+    let app = sppm(ranks, params);
+
+    // insert -> start -> (observe for 40 ms of execution) -> remove -> quit
+    let script = vec![
+        Command::InsertFile(vec!["subset".into()]),
+        Command::Start,
+        Command::Wait(SimTime::from_millis(40)),
+        Command::RemoveFile(vec!["subset".into()]),
+        Command::Quit,
+    ];
+    let cfg = SessionConfig::new(Machine::ibm_power3_colony(), Policy::Dynamic)
+        .with_script(script);
+    let report = run_session(&app, cfg);
+
+    println!("== ephemeral instrumentation of sppm ({ranks} ranks) ==\n");
+    println!("timefile:");
+    print!("{}", report.timefile.render());
+
+    let trace = report.vt.build_trace();
+    let window: Vec<_> = trace
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            dynprof::vt::Event::FuncEnter { t, .. }
+            | dynprof::vt::Event::FuncBatch { t, .. } => Some(*t),
+            _ => None,
+        })
+        .collect();
+    match (window.iter().min(), window.iter().max()) {
+        (Some(a), Some(b)) => {
+            println!(
+                "\nfunction events confined to the observation window: {a} .. {b} \
+                 (app ran {})",
+                report.app_time
+            );
+        }
+        _ => println!("\nno function events captured (window missed the computation)"),
+    }
+    println!("trace volume: {} bytes", report.trace_bytes);
+    for w in &report.warnings {
+        eprintln!("warning: {w}");
+    }
+}

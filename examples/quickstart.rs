@@ -1,0 +1,53 @@
+//! Quickstart: a scripted dynprof session.
+//!
+//! Spawns the Sweep3d kernel suspended under the instrumenter, queues
+//! instrumentation for every function (Sweep3d's `Dynamic` subset is all
+//! 21), starts the run — the paper's Fig-6 protocol defers the actual
+//! patching until `MPI_Init` completes on every rank — and prints the
+//! resulting profile and dynprof's internal timefile.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use dynprof::analysis::Profile;
+use dynprof::apps::{sweep3d, Sweep3dParams};
+use dynprof::core::{run_session, Command, SessionConfig};
+use dynprof::sim::Machine;
+use dynprof::vt::Policy;
+
+fn main() {
+    let ranks = 4;
+    let app = sweep3d(ranks, Sweep3dParams::test());
+
+    // The same script a user would pipe into dynprof (paper §3.3).
+    let script = Command::parse_script(
+        "# instrument everything, then run to completion\n\
+         insert-file all\n\
+         start\n\
+         quit\n",
+    )
+    .expect("script parses");
+
+    let cfg = SessionConfig::new(Machine::ibm_power3_colony(), Policy::Dynamic)
+        .with_script(script);
+    let report = run_session(&app, cfg);
+
+    println!("== dynprof quickstart: sweep3d on {ranks} ranks ==\n");
+    println!(
+        "created + instrumented in {} ({} probe pairs), app ran {}",
+        report.create_and_instrument(),
+        report.probe_pairs_installed,
+        report.app_time
+    );
+    println!("trace volume: {} bytes\n", report.trace_bytes);
+
+    println!("-- profile (top 10 functions) --");
+    let profile = Profile::from_trace(&report.vt.build_trace());
+    print!("{}", profile.render_top(10));
+
+    println!("\n-- dynprof timefile --");
+    print!("{}", report.timefile.render());
+
+    for w in &report.warnings {
+        eprintln!("warning: {w}");
+    }
+}

@@ -1,0 +1,42 @@
+//! Reproduce paper Fig 4: the VGV time-line display of Sweep3d running
+//! with 8 MPI processes × 4 OpenMP threads, rendered as ASCII art.
+//!
+//! MPI processes appear as horizontal bars (`M` = inside an MPI call,
+//! `#` = inside an instrumented function) with the OpenMP wiggle glyph
+//! (`~`) superimposed where parallel regions execute; per-thread rows
+//! expand each team.
+//!
+//! Run with: `cargo run --example sweep3d_timeline`
+
+use dynprof::analysis::{render, TimelineOptions};
+use dynprof::apps::{sweep3d, Sweep3dParams};
+use dynprof::core::{run_session, SessionConfig};
+use dynprof::sim::Machine;
+use dynprof::vt::Policy;
+
+fn main() {
+    // The paper's display: 8 MPI processes x 4 OpenMP threads.
+    let params = Sweep3dParams::test().with_threads(4);
+    let app = sweep3d(8, params);
+    let report = run_session(&app, SessionConfig::new(Machine::ibm_power3_colony(), Policy::Full));
+
+    let trace = report.vt.build_trace();
+    println!(
+        "== VGV time-line (Fig 4): sweep3d, 8 MPI processes x 4 OpenMP threads ==\n"
+    );
+    print!(
+        "{}",
+        render(
+            &trace,
+            TimelineOptions {
+                width: 96,
+                per_thread: true,
+            }
+        )
+    );
+    println!(
+        "\n{} events, {} modelled trace bytes",
+        trace.events.len(),
+        report.trace_bytes
+    );
+}

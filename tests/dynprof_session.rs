@@ -1,0 +1,248 @@
+//! End-to-end dynprof sessions across all four kernels.
+
+use dynprof::apps::test_app;
+use dynprof::core::{run_session, Command, SessionConfig};
+use dynprof::sim::{Machine, SimTime};
+use dynprof::vt::{Event, Policy};
+
+fn dynamic_session(app_name: &str, cpus: usize) -> dynprof::core::SessionReport {
+    let app = test_app(app_name, cpus).expect("known app");
+    run_session(
+        &app,
+        SessionConfig::new(Machine::ibm_power3_colony(), Policy::Dynamic).with_seed(3),
+    )
+}
+
+#[test]
+fn dynamic_sessions_run_on_every_kernel() {
+    for (name, cpus, procs, subset) in [
+        ("smg98", 4, 4, 62),
+        ("sppm", 4, 4, 7),
+        ("sweep3d", 4, 4, 21),
+        ("umt98", 4, 1, 6),
+    ] {
+        let report = dynamic_session(name, cpus);
+        assert_eq!(
+            report.probe_pairs_installed,
+            subset * procs,
+            "{name}: subset x processes"
+        );
+        assert!(report.create_time > SimTime::ZERO, "{name} create");
+        assert!(report.instrument_time > SimTime::ZERO, "{name} instrument");
+        assert!(report.app_time > SimTime::ZERO, "{name} app time");
+        assert!(report.warnings.is_empty(), "{name}: {:?}", report.warnings);
+        // The instrumented subset produced trace events.
+        let trace = report.vt.build_trace();
+        let func_events = trace
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    Event::FuncEnter { .. } | Event::FuncExit { .. } | Event::FuncBatch { .. }
+                )
+            })
+            .count();
+        assert!(func_events > 0, "{name}: no function events");
+    }
+}
+
+#[test]
+fn insert_queued_before_start_is_deferred_until_init() {
+    // The Fig-6 protocol: instrumentation requested before `start` must
+    // not touch VT before VT_init; success == no panic, and the probes
+    // fire after init.
+    let app = test_app("sppm", 2).unwrap();
+    let script = vec![
+        Command::Insert(vec!["sppm1d".into(), "riemann".into()]),
+        Command::Start,
+        Command::Quit,
+    ];
+    let report = run_session(
+        &app,
+        SessionConfig::new(Machine::ibm_power3_colony(), Policy::Dynamic)
+            .with_script(script)
+            .with_seed(8),
+    );
+    assert_eq!(report.probe_pairs_installed, 2 * 2);
+    let vt = &report.vt;
+    for f in ["sppm1d", "riemann"] {
+        let id = vt.func_id(f).expect("registered by dynprof");
+        assert!(vt.stat_of(0, id).count > 0, "{f} never fired");
+    }
+    // Functions never inserted are absent from the registry.
+    assert!(vt.func_id("difuze").is_none());
+}
+
+#[test]
+fn unknown_functions_produce_warnings_not_failures() {
+    let app = test_app("sweep3d", 2).unwrap();
+    let script = vec![
+        Command::Insert(vec!["sweep".into(), "no_such_function".into()]),
+        Command::Start,
+        Command::Quit,
+    ];
+    let report = run_session(
+        &app,
+        SessionConfig::new(Machine::ibm_power3_colony(), Policy::Dynamic)
+            .with_script(script)
+            .with_seed(8),
+    );
+    assert_eq!(report.probe_pairs_installed, 2, "only the real function");
+    assert!(
+        report
+            .warnings
+            .iter()
+            .any(|w| w.contains("no_such_function")),
+        "{:?}",
+        report.warnings
+    );
+}
+
+#[test]
+fn script_without_start_still_releases_target() {
+    // A script that forgets `start` must not deadlock the held target.
+    let app = test_app("sweep3d", 2).unwrap();
+    let script = vec![Command::InsertFile(vec!["subset".into()])];
+    let report = run_session(
+        &app,
+        SessionConfig::new(Machine::ibm_power3_colony(), Policy::Dynamic)
+            .with_script(script)
+            .with_seed(8),
+    );
+    assert!(report.app_time > SimTime::ZERO);
+    assert!(report.warnings.iter().any(|w| w.contains("no `start`")));
+}
+
+#[test]
+fn mid_run_removal_is_tolerated() {
+    // Ephemeral instrumentation: remove probes mid-run; stray VT_end
+    // calls (entry removed before exit fired) must be absorbed.
+    let mut params = dynprof::apps::SppmParams::test();
+    params.scale = 0.25;
+    params.base_steps = 6;
+    let app = dynprof::apps::sppm(2, params);
+    let script = vec![
+        Command::InsertFile(vec!["subset".into()]),
+        Command::Start,
+        Command::Wait(SimTime::from_millis(40)),
+        Command::RemoveFile(vec!["subset".into()]),
+        Command::Quit,
+    ];
+    let report = run_session(
+        &app,
+        SessionConfig::new(Machine::ibm_power3_colony(), Policy::Dynamic)
+            .with_script(script)
+            .with_seed(8),
+    );
+    assert!(report.app_time > SimTime::ZERO);
+    // The trace assembles without panicking even if frames were orphaned.
+    let trace = report.vt.build_trace();
+    assert!(!trace.events.is_empty());
+    // The timefile shows the removal.
+    assert!(report.timefile.total("remove") > SimTime::ZERO);
+    // §5.1: the suspension used for the removal is in the trace as an
+    // inactivity period on every rank, and the analysis can discount it.
+    let windows = dynprof::analysis::suspension_windows(&trace);
+    assert_eq!(windows.len(), 2, "one suspension window per rank");
+    for (rank, ws) in &windows {
+        assert!(!ws.is_empty(), "rank {rank} has no window");
+        for (a, b) in ws {
+            assert!(b > a, "empty window on rank {rank}");
+        }
+    }
+    let plain = dynprof::analysis::Profile::from_trace(&trace);
+    let fair = dynprof::analysis::Profile::from_trace_opts(
+        &trace,
+        dynprof::analysis::ProfileOptions {
+            exclude_suspensions: true,
+        },
+    );
+    let sum = |p: &dynprof::analysis::Profile| -> u64 {
+        p.per_rank.values().map(|f| f.incl.as_nanos()).sum()
+    };
+    assert!(
+        sum(&fair) <= sum(&plain),
+        "excluding suspensions cannot increase time"
+    );
+}
+
+#[test]
+fn static_policies_need_no_dpcl() {
+    // Static runs report zero create/instrument time (no dynprof at all).
+    for policy in [Policy::Full, Policy::FullOff, Policy::Subset, Policy::None] {
+        let app = test_app("smg98", 2).unwrap();
+        let report = run_session(
+            &app,
+            SessionConfig::new(Machine::ibm_power3_colony(), policy).with_seed(4),
+        );
+        assert_eq!(report.create_time, SimTime::ZERO, "{policy}");
+        assert_eq!(report.instrument_time, SimTime::ZERO, "{policy}");
+        assert_eq!(report.probe_pairs_installed, 0, "{policy}");
+    }
+}
+
+#[test]
+fn trace_volume_ranks_policies() {
+    // Full records every call; Subset a fraction; None only MPI events.
+    let volume = |policy| {
+        let app = test_app("smg98", 2).unwrap();
+        run_session(
+            &app,
+            SessionConfig::new(Machine::ibm_power3_colony(), policy).with_seed(4),
+        )
+        .trace_bytes
+    };
+    let full = volume(Policy::Full);
+    let subset = volume(Policy::Subset);
+    let none = volume(Policy::None);
+    let dynamic = volume(Policy::Dynamic);
+    assert!(full > subset, "Full {full} > Subset {subset}");
+    assert!(subset > none, "Subset {subset} > None {none}");
+    // Dynamic records the same subset of functions as Subset.
+    let rel = (dynamic as f64 - subset as f64).abs() / subset as f64;
+    assert!(rel < 0.2, "Dynamic {dynamic} vs Subset {subset}");
+}
+
+#[test]
+fn attach_to_running_application() {
+    // Paper §3.3's future-work extension: attach mid-run, observe a
+    // window, remove, detach.
+    let mut params = dynprof::apps::SppmParams::test();
+    params.scale = 1.0;
+    params.base_steps = 10;
+    let app = dynprof::apps::sppm(2, params);
+    let report = dynprof::core::run_attach_session(
+        &app,
+        SessionConfig::new(Machine::ibm_power3_colony(), Policy::Dynamic).with_seed(17),
+        // Attach while the run is in flight; per-process DPCL attach costs
+        // ~130 ms each, so the probes land mid-run.
+        SimTime::from_millis(100),
+        SimTime::from_millis(400), // observe window
+    );
+    assert!(report.warnings.is_empty(), "{:?}", report.warnings);
+    assert_eq!(report.probe_pairs_installed, 7 * 2, "subset x ranks");
+    assert!(report.create_time > SimTime::ZERO, "attach time recorded");
+    assert!(report.instrument_time > SimTime::ZERO);
+    // Function events exist and are confined to the observation window.
+    let trace = report.vt.build_trace();
+    let func_times: Vec<_> = trace
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            Event::FuncEnter { t, .. } | Event::FuncBatch { t, .. } => Some(*t),
+            _ => None,
+        })
+        .collect();
+    assert!(!func_times.is_empty(), "window captured nothing");
+    let min = func_times.iter().min().unwrap();
+    assert!(
+        *min >= SimTime::from_millis(100),
+        "events before the attach: {min}"
+    );
+    // Two suspension windows per rank (install + removal).
+    let ws = dynprof::analysis::suspension_windows(&trace);
+    for (rank, windows) in &ws {
+        assert_eq!(windows.len(), 2, "rank {rank}: {windows:?}");
+    }
+}

@@ -1,0 +1,189 @@
+//! Shape assertions for every figure in the paper's evaluation.
+//!
+//! These tests run the same harnesses as the `fig7`/`fig8`/`fig9`
+//! binaries at reduced sweep sizes and assert the *qualitative* results
+//! the paper reports: who wins, by roughly what factor, and where the
+//! lines bend. Absolute seconds are our machine model's, not the 2003
+//! Power3's (see EXPERIMENTS.md).
+
+use dynprof::apps::paper_app;
+use dynprof::core::{run_session, SessionConfig};
+use dynprof::sim::Machine;
+use dynprof::vt::Policy;
+
+fn app_time(app_name: &str, cpus: usize, policy: Policy) -> f64 {
+    let (app, _) = paper_app(app_name, cpus).expect("known app");
+    let cfg = SessionConfig::new(Machine::ibm_power3_colony(), policy).with_seed(9);
+    run_session(&app, cfg).app_time.as_secs_f64()
+}
+
+/// Fig 7(a): Smg98's policy hierarchy at 8 CPUs.
+#[test]
+fn fig7a_smg98_policy_hierarchy() {
+    let full = app_time("smg98", 8, Policy::Full);
+    let off = app_time("smg98", 8, Policy::FullOff);
+    let subset = app_time("smg98", 8, Policy::Subset);
+    let none = app_time("smg98", 8, Policy::None);
+    let dynamic = app_time("smg98", 8, Policy::Dynamic);
+
+    // "statically inserting instrumentation in all functions leads to
+    // significant run-time overhead" — several-fold, approaching the
+    // paper's 7x at 64 CPUs.
+    assert!(full / none > 4.0, "Full/None = {:.2}", full / none);
+    // "the overhead did decrease, but it was still large"
+    assert!(off / none > 1.3, "Full-Off/None = {:.2}", off / none);
+    assert!(full / off > 2.0);
+    // "the overhead was approximately equal to the Full-Off version"
+    assert!((subset - off).abs() / off < 0.05, "Subset {subset} vs Full-Off {off}");
+    // "an execution time that is very close to None"
+    assert!((dynamic - none) / none < 0.05, "Dynamic {dynamic} vs None {none}");
+}
+
+/// Fig 7(a): the weak-scaled problem grows with the processor count, and
+/// the Full/None gap is worst at scale.
+#[test]
+fn fig7a_smg98_weak_scaling_and_worst_case() {
+    let none_2 = app_time("smg98", 2, Policy::None);
+    let none_32 = app_time("smg98", 32, Policy::None);
+    assert!(none_32 > 1.5 * none_2, "weak scaling: {none_2} -> {none_32}");
+
+    let full_32 = app_time("smg98", 32, Policy::Full);
+    assert!(
+        full_32 / none_32 > 5.0,
+        "Full/None at 32 CPUs = {:.2} (paper: ~7x at 64)",
+        full_32 / none_32
+    );
+}
+
+/// Fig 7(b): Sppm shows the same ordering with a smaller gap.
+#[test]
+fn fig7b_sppm_same_ordering_smaller_gap() {
+    let full = app_time("sppm", 8, Policy::Full);
+    let off = app_time("sppm", 8, Policy::FullOff);
+    let subset = app_time("sppm", 8, Policy::Subset);
+    let none = app_time("sppm", 8, Policy::None);
+    let dynamic = app_time("sppm", 8, Policy::Dynamic);
+
+    assert!(full > off && off > none, "{full} > {off} > {none}");
+    // "the difference is not as extreme" as Smg98's.
+    let ratio = full / none;
+    assert!(
+        (1.2..4.0).contains(&ratio),
+        "Sppm Full/None = {ratio:.2}, expected mild"
+    );
+    assert!((subset - off).abs() / off < 0.05);
+    assert!((dynamic - none) / none < 0.05);
+}
+
+/// Fig 7(c): Sweep3d shows no benefit — all policies comparable — and
+/// scales strongly.
+#[test]
+fn fig7c_sweep3d_policies_negligible() {
+    let full = app_time("sweep3d", 8, Policy::Full);
+    let none = app_time("sweep3d", 8, Policy::None);
+    let dynamic = app_time("sweep3d", 8, Policy::Dynamic);
+    assert!(
+        (full - none).abs() / none < 0.02,
+        "Full {full} vs None {none} should be negligible"
+    );
+    assert!((dynamic - none).abs() / none < 0.02);
+
+    let none_2 = app_time("sweep3d", 2, Policy::None);
+    let none_16 = app_time("sweep3d", 16, Policy::None);
+    assert!(
+        none_16 < none_2 / 3.0,
+        "strong scaling: {none_2} at 2 -> {none_16} at 16"
+    );
+}
+
+/// Fig 7(d): Umt98 keeps the ordering with modest but noticeable gaps,
+/// and time decreases with threads.
+#[test]
+fn fig7d_umt98_ordering_and_strong_scaling() {
+    let full = app_time("umt98", 4, Policy::Full);
+    let off = app_time("umt98", 4, Policy::FullOff);
+    let none = app_time("umt98", 4, Policy::None);
+    let dynamic = app_time("umt98", 4, Policy::Dynamic);
+
+    assert!(full > off && off > dynamic && dynamic >= none);
+    // "the variations ... are not as significant as with Smg98"
+    assert!(full / none < 2.0, "Umt98 Full/None = {:.2}", full / none);
+    // "there is still a noticeable benefit from dynamic instrumentation"
+    assert!(off / dynamic > 1.01, "Full-Off {off} vs Dynamic {dynamic}");
+
+    let none_1 = app_time("umt98", 1, Policy::None);
+    let none_8 = app_time("umt98", 8, Policy::None);
+    assert!(none_8 < none_1 / 4.0, "{none_1} at 1 -> {none_8} at 8");
+}
+
+/// Fig 8(a): confsync stays under the paper's 0.04 s bound, with a change
+/// costing slightly more than no change.
+#[test]
+fn fig8a_confsync_bounds() {
+    use dynprof_bench::{confsync_cost, ConfsyncExperiment};
+    let m = Machine::ibm_power3_colony();
+    let procs = [2, 64, 256];
+    let none = confsync_cost(&m, &procs, ConfsyncExperiment::NoChange, 3);
+    let change = confsync_cost(&m, &procs, ConfsyncExperiment::WithChange, 3);
+    for &(p, v) in &none.points {
+        assert!(v < 0.04, "no-change at {p} procs = {v}");
+        let c = change.at(p).unwrap();
+        assert!(c > v, "change {c} should exceed no-change {v} at {p}");
+        assert!(c < 0.04, "change at {p} procs = {c}");
+    }
+    // Growth with processors is mild (the sync is tree-structured).
+    assert!(none.at(256).unwrap() < 3.0 * none.at(2).unwrap());
+}
+
+/// Fig 8(b): writing statistics costs roughly an order of magnitude more
+/// than a plain sync at scale, but stays far below user-interaction time.
+#[test]
+fn fig8b_stats_an_order_of_magnitude_up() {
+    use dynprof_bench::{confsync_cost, ConfsyncExperiment};
+    let m = Machine::ibm_power3_colony();
+    let procs = [256];
+    let plain = confsync_cost(&m, &procs, ConfsyncExperiment::NoChange, 3);
+    let stats = confsync_cost(&m, &procs, ConfsyncExperiment::WriteStats, 3);
+    let ratio = stats.at(256).unwrap() / plain.at(256).unwrap();
+    assert!(
+        (3.0..40.0).contains(&ratio),
+        "stats/plain at 256 procs = {ratio:.1}"
+    );
+    assert!(stats.at(256).unwrap() < 0.5, "still negligible vs the user");
+}
+
+/// Fig 8(c): the second architecture behaves the same way (low, flat).
+#[test]
+fn fig8c_ia32_same_behaviour() {
+    use dynprof_bench::{confsync_cost, ConfsyncExperiment};
+    let m = Machine::ia32_pentium3_cluster();
+    let s = confsync_cost(&m, &[2, 8, 16], ConfsyncExperiment::NoChange, 3);
+    for &(p, v) in &s.points {
+        assert!(v < 0.006, "IA32 confsync at {p} = {v}");
+    }
+    assert!(s.at(16).unwrap() < 2.0 * s.at(2).unwrap(), "flat-ish in P");
+}
+
+/// Fig 9: creation+instrumentation time grows with process count for the
+/// MPI codes but is flat for the OpenMP code (single shared image).
+#[test]
+fn fig9_instrument_time_shapes() {
+    use dynprof::apps::test_app;
+    let time_for = |name: &str, cpus: usize| {
+        let app = test_app(name, cpus).unwrap();
+        let cfg = SessionConfig::new(Machine::ibm_power3_colony(), Policy::Dynamic).with_seed(5);
+        run_session(&app, cfg).create_and_instrument().as_secs_f64()
+    };
+    let smg_2 = time_for("smg98", 2);
+    let smg_16 = time_for("smg98", 16);
+    assert!(
+        smg_16 > 2.5 * smg_2,
+        "smg98 create+instrument should grow: {smg_2} -> {smg_16}"
+    );
+    let umt_1 = time_for("umt98", 1);
+    let umt_8 = time_for("umt98", 8);
+    assert!(
+        (umt_8 - umt_1).abs() / umt_1 < 0.10,
+        "umt98 should be flat: {umt_1} vs {umt_8}"
+    );
+}

@@ -1,0 +1,285 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use dynprof::mpi::{launch, JobSpec};
+use dynprof::omp::Schedule;
+use dynprof::sim::{Machine, Sim};
+use dynprof::sim::SimTime;
+use dynprof::vt::{ConfigDelta, Event, Trace, VtConfig, VtFuncId};
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    let t = (0u64..u64::MAX / 4).prop_map(SimTime::from_nanos);
+    prop_oneof![
+        (t.clone(), any::<u32>(), any::<u16>(), any::<u32>()).prop_map(|(t, rank, thread, f)| {
+            Event::FuncEnter {
+                t,
+                rank,
+                thread,
+                func: VtFuncId(f),
+            }
+        }),
+        (t.clone(), any::<u32>(), any::<u16>(), any::<u32>()).prop_map(|(t, rank, thread, f)| {
+            Event::FuncExit {
+                t,
+                rank,
+                thread,
+                func: VtFuncId(f),
+            }
+        }),
+        (
+            t.clone(),
+            any::<u32>(),
+            any::<u16>(),
+            any::<u32>(),
+            1u64..1 << 40,
+            (0u64..1 << 40).prop_map(SimTime::from_nanos),
+        )
+            .prop_map(|(t, rank, thread, f, count, span)| Event::FuncBatch {
+                t,
+                rank,
+                thread,
+                func: VtFuncId(f),
+                count,
+                span,
+            }),
+        (
+            t.clone(),
+            (0u64..1 << 40).prop_map(SimTime::from_nanos),
+            any::<u32>(),
+            0u8..11,
+            any::<i32>(),
+            any::<u64>(),
+        )
+            .prop_map(|(t, dt, rank, op, peer, bytes)| Event::MpiCall {
+                t,
+                t_end: t + dt,
+                rank,
+                op,
+                peer,
+                bytes,
+            }),
+        (t.clone(), any::<u32>(), any::<u32>(), any::<u16>()).prop_map(|(t, rank, region, team)| {
+            Event::OmpFork {
+                t,
+                rank,
+                region,
+                team,
+            }
+        }),
+        (
+            t.clone(),
+            (0u64..1 << 40).prop_map(SimTime::from_nanos),
+            any::<u32>(),
+            any::<u16>(),
+            any::<u32>(),
+        )
+            .prop_map(|(t, dt, rank, thread, region)| Event::OmpThread {
+                t,
+                t_end: t + dt,
+                rank,
+                thread,
+                region,
+            }),
+        (t, any::<u32>(), any::<u32>()).prop_map(|(t, rank, epoch)| Event::ConfSync {
+            t,
+            rank,
+            epoch
+        }),
+    ]
+}
+
+proptest! {
+    /// Binary trace encoding round-trips for arbitrary event sequences.
+    #[test]
+    fn trace_encode_decode_round_trip(
+        program in "[a-z0-9_]{0,24}",
+        functions in prop::collection::vec("[a-zA-Z_][a-zA-Z0-9_]{0,40}", 0..20),
+        events in prop::collection::vec(arb_event(), 0..200),
+    ) {
+        let trace = Trace { program, functions, events };
+        let decoded = Trace::decode(trace.encode()).expect("decode");
+        prop_assert_eq!(decoded, trace);
+    }
+
+    /// Configuration render/parse round-trips semantically: every queried
+    /// name resolves identically before and after.
+    #[test]
+    fn config_render_parse_round_trip(
+        default_on in any::<bool>(),
+        exact in prop::collection::vec(("[a-z][a-z0-9_]{0,12}", any::<bool>()), 0..12),
+        prefixes in prop::collection::vec(("[a-z][a-z0-9_]{0,6}", any::<bool>()), 0..6),
+        queries in prop::collection::vec("[a-z][a-z0-9_]{0,14}", 0..24),
+    ) {
+        let mut cfg = if default_on { VtConfig::all_on() } else { VtConfig::all_off() };
+        for (n, on) in &exact {
+            cfg.exact.insert(n.clone(), *on);
+        }
+        for (p, on) in &prefixes {
+            // Deduplicate: the render order of duplicate prefixes is not
+            // defined, so keep last-write-wins semantics explicit.
+            cfg.prefixes.retain(|(q, _)| q != p);
+            cfg.prefixes.push((p.clone(), *on));
+        }
+        let reparsed = VtConfig::parse(&cfg.render()).expect("parse");
+        for q in &queries {
+            prop_assert_eq!(reparsed.resolve(q), cfg.resolve(q), "query {}", q);
+        }
+        for (n, _) in &exact {
+            prop_assert_eq!(reparsed.resolve(n), cfg.resolve(n));
+        }
+    }
+
+    /// Applying a Set delta makes exactly the named symbols resolve to the
+    /// requested state (for non-prefix, non-default names).
+    #[test]
+    fn config_delta_set_is_effective(
+        names in prop::collection::btree_set("[a-z][a-z0-9]{2,10}", 1..8),
+        on in any::<bool>(),
+    ) {
+        let mut cfg = if on { VtConfig::all_off() } else { VtConfig::all_on() };
+        let delta = ConfigDelta::Set(names.iter().map(|n| (n.clone(), on)).collect());
+        cfg.apply(&delta);
+        for n in &names {
+            prop_assert_eq!(cfg.resolve(n), on);
+        }
+    }
+
+    /// Static schedules partition any iteration space exactly: every index
+    /// executed once, regardless of thread count or chunking.
+    #[test]
+    fn static_schedules_partition_exactly(
+        start in 0usize..1000,
+        len in 0usize..500,
+        nthreads in 1usize..17,
+        chunk in 0usize..9,
+    ) {
+        let sched = Schedule::Static { chunk };
+        let range = start..start + len;
+        let mut seen = vec![0u32; len];
+        for tid in 0..nthreads {
+            for c in sched.static_chunks(range.clone(), tid, nthreads) {
+                for i in c {
+                    prop_assert!(i >= start && i < start + len, "index {} out of range", i);
+                    seen[i - start] += 1;
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "not a partition: {:?}", seen);
+    }
+
+    /// 3-D decompositions multiply out exactly and order their factors.
+    #[test]
+    fn decomp3_is_exact(p in 1usize..512) {
+        let d = dynprof::apps::workload::Decomp3::new(p);
+        prop_assert_eq!(d.px * d.py * d.pz, p);
+        prop_assert!(d.px >= d.py && d.py >= d.pz);
+        // Coordinates round-trip for every rank.
+        for r in 0..p {
+            let (x, y, z) = d.coords(r);
+            prop_assert_eq!(d.rank_at(x as isize, y as isize, z as isize), Some(r));
+        }
+    }
+
+    /// Online statistics match the naive definitions.
+    #[test]
+    fn online_stats_match_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..60)) {
+        let mut s = dynprof::sim::OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(s.min(), min);
+        prop_assert_eq!(s.max(), max);
+        if xs.len() > 1 {
+            let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+                / (xs.len() - 1) as f64;
+            prop_assert!((s.variance() - var).abs() < 1e-4 * (1.0 + var.abs()));
+        }
+    }
+
+    /// MPI collectives agree with sequential oracles for arbitrary inputs
+    /// and rank counts (exercised end-to-end through the simulator).
+    #[test]
+    fn mpi_collectives_match_oracle(
+        values in prop::collection::vec(0u64..1 << 30, 1..9),
+        root in 0usize..8,
+        seed in 0u64..1000,
+    ) {
+        let n = values.len();
+        let root = root % n;
+        let values = Arc::new(values);
+        let results = Arc::new(std::sync::Mutex::new(
+            std::collections::BTreeMap::<usize, (u64, u64, Vec<u64>, u64)>::new(),
+        ));
+        let sim = Sim::virtual_time(Machine::test_machine(), seed);
+        let (v2, r2) = (Arc::clone(&values), Arc::clone(&results));
+        launch(&sim, JobSpec::new("prop", n), vec![], move |p, c| {
+            c.init(p);
+            let mine = v2[c.rank()];
+            let sum = c.allreduce(p, mine, |a, b| a.wrapping_add(b));
+            let maxv = c.bcast(
+                p,
+                root,
+                (c.rank() == root).then(|| *v2.iter().max().unwrap()),
+            );
+            let gathered = c.allgather(p, mine);
+            let prefix = c.scan(p, mine, |a, b| a.wrapping_add(b));
+            r2.lock().unwrap().insert(c.rank(), (sum, maxv, gathered, prefix));
+            c.finalize(p);
+        });
+        sim.run();
+        let results = results.lock().unwrap();
+        let oracle_sum: u64 = values.iter().fold(0u64, |a, &b| a.wrapping_add(b));
+        let oracle_max = *values.iter().max().unwrap();
+        for (rank, (sum, maxv, gathered, prefix)) in results.iter() {
+            prop_assert_eq!(*sum, oracle_sum, "allreduce on rank {}", rank);
+            prop_assert_eq!(*maxv, oracle_max, "bcast on rank {}", rank);
+            prop_assert_eq!(gathered.as_slice(), &values[..], "allgather on rank {}", rank);
+            let oracle_prefix: u64 = values[..=*rank]
+                .iter()
+                .fold(0u64, |a, &b| a.wrapping_add(b));
+            prop_assert_eq!(*prefix, oracle_prefix, "scan on rank {}", rank);
+        }
+    }
+
+    /// Alltoall is a transpose for arbitrary square payload matrices.
+    #[test]
+    fn mpi_alltoall_transposes(n in 1usize..7, seed in 0u64..100) {
+        let results = Arc::new(std::sync::Mutex::new(vec![Vec::new(); n]));
+        let sim = Sim::virtual_time(Machine::test_machine(), seed);
+        let r2 = Arc::clone(&results);
+        launch(&sim, JobSpec::new("a2a", n), vec![], move |p, c| {
+            c.init(p);
+            let me = c.rank() as u64;
+            let send: Vec<u64> = (0..c.size() as u64).map(|i| me * 1000 + i).collect();
+            let recv = c.alltoall(p, send);
+            r2.lock().unwrap()[c.rank()] = recv;
+            c.finalize(p);
+        });
+        sim.run();
+        let results = results.lock().unwrap();
+        for (r, row) in results.iter().enumerate() {
+            for (s, v) in row.iter().enumerate() {
+                prop_assert_eq!(*v, s as u64 * 1000 + r as u64);
+            }
+        }
+    }
+
+    /// SimTime display/convert invariants.
+    #[test]
+    fn simtime_conversions(ns in 0u64..u64::MAX / 2) {
+        let t = SimTime::from_nanos(ns);
+        prop_assert_eq!(t.as_nanos(), ns);
+        prop_assert_eq!(t.as_micros(), ns / 1_000);
+        prop_assert!(t.max(SimTime::ZERO) == t);
+        prop_assert!(t.saturating_sub(t) == SimTime::ZERO);
+        let secs = t.as_secs_f64();
+        prop_assert!((SimTime::from_secs_f64(secs).as_nanos() as i128 - ns as i128).abs()
+            <= (1 + ns / 1_000_000_000) as i128 * 200);
+    }
+}
