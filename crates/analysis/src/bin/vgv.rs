@@ -5,7 +5,9 @@
 //! $ vgv run.vgvt [--width N] [--per-thread] [--top N] [--exclude-suspensions]
 //! ```
 
-use dynprof_analysis::{read_trace, render, trace_volume, Profile, ProfileOptions, TimelineOptions};
+use dynprof_analysis::{
+    read_trace, render, trace_volume, Profile, ProfileOptions, TimelineOptions,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -36,7 +38,9 @@ fn main() {
         i += 1;
     }
     let Some(path) = path else {
-        eprintln!("usage: vgv <trace.vgvt> [--width N] [--per-thread] [--top N] [--exclude-suspensions]");
+        eprintln!(
+            "usage: vgv <trace.vgvt> [--width N] [--per-thread] [--top N] [--exclude-suspensions]"
+        );
         std::process::exit(2);
     };
     let trace = match read_trace(&path) {

@@ -33,8 +33,7 @@ impl CommStats {
                 bytes,
             } = *ev
             {
-                *out.mpi_time.entry(rank).or_insert(SimTime::ZERO) +=
-                    t_end.saturating_sub(t);
+                *out.mpi_time.entry(rank).or_insert(SimTime::ZERO) += t_end.saturating_sub(t);
                 match op_from_code(op) {
                     Some(dynprof_mpi::MpiOp::Send) if peer >= 0 => {
                         *out.bytes.entry((rank, peer as u32)).or_insert(0) += bytes;
@@ -63,11 +62,7 @@ impl CommStats {
     /// point-to-point traffic was traced).
     pub fn render_matrix(&self) -> String {
         let ranks: Vec<u32> = {
-            let mut r: Vec<u32> = self
-                .bytes
-                .keys()
-                .flat_map(|&(a, b)| [a, b])
-                .collect();
+            let mut r: Vec<u32> = self.bytes.keys().flat_map(|&(a, b)| [a, b]).collect();
             r.sort_unstable();
             r.dedup();
             r
@@ -107,11 +102,46 @@ mod tests {
             program: "t".into(),
             functions: vec![],
             events: vec![
-                Event::MpiCall { t: us(0), t_end: us(5), rank: 0, op: 2, peer: 1, bytes: 100 },
-                Event::MpiCall { t: us(5), t_end: us(9), rank: 0, op: 2, peer: 1, bytes: 50 },
-                Event::MpiCall { t: us(0), t_end: us(9), rank: 1, op: 3, peer: 0, bytes: 150 },
-                Event::MpiCall { t: us(10), t_end: us(20), rank: 0, op: 4, peer: -1, bytes: 0 },
-                Event::MpiCall { t: us(10), t_end: us(20), rank: 1, op: 4, peer: -1, bytes: 0 },
+                Event::MpiCall {
+                    t: us(0),
+                    t_end: us(5),
+                    rank: 0,
+                    op: 2,
+                    peer: 1,
+                    bytes: 100,
+                },
+                Event::MpiCall {
+                    t: us(5),
+                    t_end: us(9),
+                    rank: 0,
+                    op: 2,
+                    peer: 1,
+                    bytes: 50,
+                },
+                Event::MpiCall {
+                    t: us(0),
+                    t_end: us(9),
+                    rank: 1,
+                    op: 3,
+                    peer: 0,
+                    bytes: 150,
+                },
+                Event::MpiCall {
+                    t: us(10),
+                    t_end: us(20),
+                    rank: 0,
+                    op: 4,
+                    peer: -1,
+                    bytes: 0,
+                },
+                Event::MpiCall {
+                    t: us(10),
+                    t_end: us(20),
+                    rank: 1,
+                    op: 4,
+                    peer: -1,
+                    bytes: 0,
+                },
             ],
         }
     }
@@ -121,7 +151,10 @@ mod tests {
         let s = CommStats::from_trace(&trace_with_traffic());
         assert_eq!(s.bytes[&(0, 1)], 150);
         assert_eq!(s.messages[&(0, 1)], 2);
-        assert!(!s.bytes.contains_key(&(1, 0)), "recv side not double-counted");
+        assert!(
+            !s.bytes.contains_key(&(1, 0)),
+            "recv side not double-counted"
+        );
     }
 
     #[test]

@@ -74,7 +74,10 @@ impl Profile {
             }
             match *ev {
                 Event::FuncEnter {
-                    t, rank, thread, func,
+                    t,
+                    rank,
+                    thread,
+                    func,
                 } => {
                     stacks
                         .entry((rank, thread))
@@ -82,7 +85,10 @@ impl Profile {
                         .push((func, t, SimTime::ZERO));
                 }
                 Event::FuncExit {
-                    t, rank, thread, func,
+                    t,
+                    rank,
+                    thread,
+                    func,
                 } => {
                     let stack = stacks.entry((rank, thread)).or_default();
                     if let Some((f, t0, child)) = stack.pop() {
@@ -272,11 +278,36 @@ mod tests {
             program: "toy".into(),
             functions: vec!["main".into(), "work".into()],
             events: vec![
-                Event::FuncEnter { t: us(0), rank: 0, thread: 0, func: VtFuncId(0) },
-                Event::FuncEnter { t: us(10), rank: 0, thread: 0, func: VtFuncId(1) },
-                Event::FuncExit { t: us(40), rank: 0, thread: 0, func: VtFuncId(1) },
-                Event::FuncExit { t: us(50), rank: 0, thread: 0, func: VtFuncId(0) },
-                Event::FuncEnter { t: us(0), rank: 1, thread: 0, func: VtFuncId(0) },
+                Event::FuncEnter {
+                    t: us(0),
+                    rank: 0,
+                    thread: 0,
+                    func: VtFuncId(0),
+                },
+                Event::FuncEnter {
+                    t: us(10),
+                    rank: 0,
+                    thread: 0,
+                    func: VtFuncId(1),
+                },
+                Event::FuncExit {
+                    t: us(40),
+                    rank: 0,
+                    thread: 0,
+                    func: VtFuncId(1),
+                },
+                Event::FuncExit {
+                    t: us(50),
+                    rank: 0,
+                    thread: 0,
+                    func: VtFuncId(0),
+                },
+                Event::FuncEnter {
+                    t: us(0),
+                    rank: 1,
+                    thread: 0,
+                    func: VtFuncId(0),
+                },
                 Event::FuncBatch {
                     t: us(5),
                     rank: 1,
@@ -285,7 +316,12 @@ mod tests {
                     count: 100,
                     span: us(60),
                 },
-                Event::FuncExit { t: us(70), rank: 1, thread: 0, func: VtFuncId(0) },
+                Event::FuncExit {
+                    t: us(70),
+                    rank: 1,
+                    thread: 0,
+                    func: VtFuncId(0),
+                },
             ],
         }
     }
@@ -345,16 +381,32 @@ mod tests {
             program: "t".into(),
             functions: vec!["work".into()],
             events: vec![
-                Event::FuncEnter { t: us(0), rank: 0, thread: 0, func: VtFuncId(0) },
-                Event::Suspended { t: us(20), t_end: us(50), rank: 0 },
-                Event::FuncExit { t: us(100), rank: 0, thread: 0, func: VtFuncId(0) },
+                Event::FuncEnter {
+                    t: us(0),
+                    rank: 0,
+                    thread: 0,
+                    func: VtFuncId(0),
+                },
+                Event::Suspended {
+                    t: us(20),
+                    t_end: us(50),
+                    rank: 0,
+                },
+                Event::FuncExit {
+                    t: us(100),
+                    rank: 0,
+                    thread: 0,
+                    func: VtFuncId(0),
+                },
             ],
         };
         let plain = Profile::from_trace(&trace);
         assert_eq!(plain.per_rank[&(0, VtFuncId(0))].incl, us(100));
         let fair = Profile::from_trace_opts(
             &trace,
-            ProfileOptions { exclude_suspensions: true },
+            ProfileOptions {
+                exclude_suspensions: true,
+            },
         );
         assert_eq!(fair.per_rank[&(0, VtFuncId(0))].incl, us(70));
         // Windows are reported per rank.
@@ -370,7 +422,11 @@ mod tests {
             functions: vec!["w".into()],
             events: vec![
                 // Batch spanning 10..40; suspension 30..60 overlaps 10us.
-                Event::Suspended { t: us(30), t_end: us(60), rank: 0 },
+                Event::Suspended {
+                    t: us(30),
+                    t_end: us(60),
+                    rank: 0,
+                },
                 Event::FuncBatch {
                     t: us(10),
                     rank: 0,
@@ -383,7 +439,9 @@ mod tests {
         };
         let fair = Profile::from_trace_opts(
             &trace,
-            ProfileOptions { exclude_suspensions: true },
+            ProfileOptions {
+                exclude_suspensions: true,
+            },
         );
         assert_eq!(fair.per_rank[&(0, VtFuncId(0))].incl, us(20));
         // Other ranks are unaffected.
@@ -393,8 +451,20 @@ mod tests {
                 .iter()
                 .cloned()
                 .map(|e| match e {
-                    Event::FuncBatch { t, thread, func, count, span, .. } => Event::FuncBatch {
-                        t, rank: 1, thread, func, count, span,
+                    Event::FuncBatch {
+                        t,
+                        thread,
+                        func,
+                        count,
+                        span,
+                        ..
+                    } => Event::FuncBatch {
+                        t,
+                        rank: 1,
+                        thread,
+                        func,
+                        count,
+                        span,
                     },
                     other => other,
                 })
@@ -403,7 +473,9 @@ mod tests {
         };
         let fair2 = Profile::from_trace_opts(
             &trace2,
-            ProfileOptions { exclude_suspensions: true },
+            ProfileOptions {
+                exclude_suspensions: true,
+            },
         );
         assert_eq!(fair2.per_rank[&(1, VtFuncId(0))].incl, us(30));
     }

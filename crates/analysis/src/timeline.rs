@@ -112,9 +112,7 @@ pub fn render(trace: &Trace, opts: TimelineOptions) -> String {
     // First pass: base activity (idle from first to last event per rank).
     let mut first_last: std::collections::BTreeMap<u32, (SimTime, SimTime)> = Default::default();
     for e in &trace.events {
-        let entry = first_last
-            .entry(e.rank())
-            .or_insert((e.time(), e.time()));
+        let entry = first_last.entry(e.rank()).or_insert((e.time(), e.time()));
         entry.0 = entry.0.min(e.time());
         entry.1 = entry.1.max(e.time());
     }
@@ -126,10 +124,14 @@ pub fn render(trace: &Trace, opts: TimelineOptions) -> String {
     let mut func_stack: std::collections::BTreeMap<(u32, u16), Vec<SimTime>> = Default::default();
     for e in &trace.events {
         match *e {
-            Event::FuncEnter { t, rank, thread, .. } => {
+            Event::FuncEnter {
+                t, rank, thread, ..
+            } => {
                 func_stack.entry((rank, thread)).or_default().push(t);
             }
-            Event::FuncExit { t, rank, thread, .. } => {
+            Event::FuncExit {
+                t, rank, thread, ..
+            } => {
                 if let Some(t0) = func_stack.entry((rank, thread)).or_default().pop() {
                     paint(row_index(rank, None), t0, t, Glyph::Func);
                     if opts.per_thread {
@@ -137,7 +139,13 @@ pub fn render(trace: &Trace, opts: TimelineOptions) -> String {
                     }
                 }
             }
-            Event::FuncBatch { t, rank, thread, span, .. } => {
+            Event::FuncBatch {
+                t,
+                rank,
+                thread,
+                span,
+                ..
+            } => {
                 paint(row_index(rank, None), t, t + span, Glyph::Func);
                 if opts.per_thread {
                     paint(row_index(rank, Some(thread)), t, t + span, Glyph::Func);
@@ -146,7 +154,13 @@ pub fn render(trace: &Trace, opts: TimelineOptions) -> String {
             Event::MpiCall { t, t_end, rank, .. } => {
                 paint(row_index(rank, None), t, t_end, Glyph::Mpi);
             }
-            Event::OmpThread { t, t_end, rank, thread, .. } => {
+            Event::OmpThread {
+                t,
+                t_end,
+                rank,
+                thread,
+                ..
+            } => {
                 paint(row_index(rank, None), t, t_end, Glyph::Wiggle);
                 if opts.per_thread {
                     paint(row_index(rank, Some(thread)), t, t_end, Glyph::Wiggle);
@@ -196,7 +210,12 @@ mod tests {
             program: "sweep3d".into(),
             functions: vec!["sweep".into()],
             events: vec![
-                Event::FuncEnter { t: us(0), rank: 0, thread: 0, func: VtFuncId(0) },
+                Event::FuncEnter {
+                    t: us(0),
+                    rank: 0,
+                    thread: 0,
+                    func: VtFuncId(0),
+                },
                 Event::MpiCall {
                     t: us(10),
                     t_end: us(30),
@@ -205,11 +224,38 @@ mod tests {
                     peer: 1,
                     bytes: 100,
                 },
-                Event::FuncExit { t: us(50), rank: 0, thread: 0, func: VtFuncId(0) },
-                Event::OmpFork { t: us(0), rank: 1, region: 0, team: 2 },
-                Event::OmpThread { t: us(5), t_end: us(45), rank: 1, thread: 0, region: 0 },
-                Event::OmpThread { t: us(5), t_end: us(40), rank: 1, thread: 1, region: 0 },
-                Event::OmpJoin { t: us(50), rank: 1, region: 0, team: 2 },
+                Event::FuncExit {
+                    t: us(50),
+                    rank: 0,
+                    thread: 0,
+                    func: VtFuncId(0),
+                },
+                Event::OmpFork {
+                    t: us(0),
+                    rank: 1,
+                    region: 0,
+                    team: 2,
+                },
+                Event::OmpThread {
+                    t: us(5),
+                    t_end: us(45),
+                    rank: 1,
+                    thread: 0,
+                    region: 0,
+                },
+                Event::OmpThread {
+                    t: us(5),
+                    t_end: us(40),
+                    rank: 1,
+                    thread: 1,
+                    region: 0,
+                },
+                Event::OmpJoin {
+                    t: us(50),
+                    rank: 1,
+                    region: 0,
+                    team: 2,
+                },
             ],
         }
     }
@@ -239,7 +285,13 @@ mod tests {
 
     #[test]
     fn mpi_glyph_beats_function_glyph() {
-        let s = render(&sample(), TimelineOptions { width: 50, per_thread: false });
+        let s = render(
+            &sample(),
+            TimelineOptions {
+                width: 50,
+                per_thread: false,
+            },
+        );
         let row0 = s.lines().find(|l| l.contains("rank   0")).unwrap();
         // The MPI call sits at 20%-60% of the row.
         let bars: String = row0.chars().skip_while(|c| *c != '|').collect();
@@ -255,7 +307,13 @@ mod tests {
 
     #[test]
     fn width_is_respected() {
-        let s = render(&sample(), TimelineOptions { width: 30, per_thread: false });
+        let s = render(
+            &sample(),
+            TimelineOptions {
+                width: 30,
+                per_thread: false,
+            },
+        );
         for line in s.lines().filter(|l| l.starts_with("rank")) {
             let inner = line.split('|').nth(1).unwrap();
             assert_eq!(inner.chars().count(), 30);

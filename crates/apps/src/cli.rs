@@ -105,8 +105,7 @@ impl CliArgs {
                 "machine" => out.machine = v.to_string(),
                 "seed" => out.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?,
                 "policy" => {
-                    out.policy =
-                        Policy::parse(v).ok_or_else(|| format!("unknown policy {v:?}"))?
+                    out.policy = Policy::parse(v).ok_or_else(|| format!("unknown policy {v:?}"))?
                 }
                 "trace" => out.trace = Some(v.to_string()),
                 other => return Err(format!("unknown option {other:?}\n{USAGE}")),
@@ -188,13 +187,15 @@ pub fn run_cli(args: &CliArgs) -> Result<CliOutput, String> {
         "probe pairs      : {}\n",
         report.probe_pairs_installed
     ));
-    summary.push_str(&format!("trace volume     : {} bytes\n", report.trace_bytes));
+    summary.push_str(&format!(
+        "trace volume     : {} bytes\n",
+        report.trace_bytes
+    ));
     for w in &report.warnings {
         summary.push_str(&format!("warning          : {w}\n"));
     }
     summary.push('\n');
-    let profile =
-        dynprof_analysis::Profile::from_trace(&report.vt.build_trace());
+    let profile = dynprof_analysis::Profile::from_trace(&report.vt.build_trace());
     summary.push_str(&profile.render_top(15));
 
     let timefile = report.timefile.render();
@@ -237,7 +238,13 @@ mod tests {
     #[test]
     fn parse_positional_and_options() {
         let a = CliArgs::parse(&strs(&[
-            "script.dp", "-", "time.txt", "sweep3d", "cpus=8", "seed=7", "machine=test",
+            "script.dp",
+            "-",
+            "time.txt",
+            "sweep3d",
+            "cpus=8",
+            "seed=7",
+            "machine=test",
             "policy=full-off",
         ]))
         .unwrap();
@@ -280,7 +287,11 @@ mod tests {
         })
         .unwrap();
         let out = run_cli(&args).unwrap();
-        assert!(out.summary.contains("probe pairs      : 42"), "{}", out.summary);
+        assert!(
+            out.summary.contains("probe pairs      : 42"),
+            "{}",
+            out.summary
+        );
         assert!(out.summary.contains("sweep"));
         assert!(out.timefile.contains("instrument"));
         // Trace file written and readable.

@@ -35,9 +35,7 @@ pub mod workload;
 
 pub use smg98::{manifest as smg98_manifest, smg98, subset as smg98_subset, Smg98Params};
 pub use sppm::{manifest as sppm_manifest, sppm, subset as sppm_subset, SppmParams};
-pub use sweep3d::{
-    manifest as sweep3d_manifest, subset as sweep3d_subset, sweep3d, Sweep3dParams,
-};
+pub use sweep3d::{manifest as sweep3d_manifest, subset as sweep3d_subset, sweep3d, Sweep3dParams};
 pub use umt98::{manifest as umt98_manifest, subset as umt98_subset, umt98, Umt98Params};
 
 use dynprof_core::AppSpec;

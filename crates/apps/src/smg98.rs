@@ -303,9 +303,7 @@ fn run_rank(ctx: &AppCtx<'_>, params: &Smg98Params) {
             .allreduce(ctx.p, last_res, |a: f64, b: f64| a.max(b));
         debug_assert!(global.is_finite());
     }
-    params
-        .outputs
-        .record(format!("residual0:{}", ctx.rank), r0);
+    params.outputs.record(format!("residual0:{}", ctx.rank), r0);
     params
         .outputs
         .record(format!("residual:{}", ctx.rank), last_res);
@@ -339,7 +337,10 @@ mod tests {
         let params = Smg98Params::test();
         let outputs = Arc::clone(&params.outputs);
         let app = smg98(4, params);
-        let report = run_session(&app, SessionConfig::new(Machine::test_machine(), Policy::None));
+        let report = run_session(
+            &app,
+            SessionConfig::new(Machine::test_machine(), Policy::None),
+        );
         assert!(report.app_time > dynprof_sim::SimTime::ZERO);
         let r0 = outputs.get("residual0:0").unwrap();
         let r = outputs.get("residual:0").unwrap();
@@ -359,11 +360,16 @@ mod tests {
     #[test]
     fn full_records_every_manifest_call() {
         let app = smg98(2, Smg98Params::test());
-        let report = run_session(&app, SessionConfig::new(Machine::test_machine(), Policy::Full));
+        let report = run_session(
+            &app,
+            SessionConfig::new(Machine::test_machine(), Policy::Full),
+        );
         assert!(report.trace_bytes > 0);
         let vt = &report.vt;
         for name in ["hypre_SMGSolve", "hypre_StructAxpy", "hypre_SMGSetup"] {
-            let id = vt.func_id(name).unwrap_or_else(|| panic!("{name} unregistered"));
+            let id = vt
+                .func_id(name)
+                .unwrap_or_else(|| panic!("{name} unregistered"));
             assert!(vt.stat_of(0, id).count > 0, "{name} uncounted");
         }
     }
@@ -377,8 +383,18 @@ mod tests {
                 run_session(&app, SessionConfig::new(Machine::test_machine(), pol)).app_time
             })
             .collect();
-        assert!(times[0] > times[1], "Full {} !> Full-Off {}", times[0], times[1]);
-        assert!(times[1] > times[2], "Full-Off {} !> None {}", times[1], times[2]);
+        assert!(
+            times[0] > times[1],
+            "Full {} !> Full-Off {}",
+            times[0],
+            times[1]
+        );
+        assert!(
+            times[1] > times[2],
+            "Full-Off {} !> None {}",
+            times[1],
+            times[2]
+        );
     }
 
     #[test]

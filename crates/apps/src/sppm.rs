@@ -28,8 +28,8 @@ const HOT: [&str; SUBSET] = [
 /// The remaining fifteen functions: drivers, boundary/ghost handling, and
 /// the per-zone helpers that dominate the call count.
 const REST: [&str; FUNCTIONS - SUBSET] = [
-    "main", "runhyd", "setup", "decomp", "init", "bdrys", "ghostx", "ghosty", "ghostz",
-    "geteos", "getflx", "putflx", "dump", "timing", "report",
+    "main", "runhyd", "setup", "decomp", "init", "bdrys", "ghostx", "ghosty", "ghostz", "geteos",
+    "getflx", "putflx", "dump", "timing", "report",
 ];
 
 /// Sppm run parameters.
@@ -122,7 +122,8 @@ fn ghost_exchange(ctx: &AppCtx<'_>, d: &Decomp3, fid: FuncId, tag: Tag, bytes: u
         let nbrs = d.neighbours(ctx.rank);
         // Buffered nonblocking sends: deadlock-free above the eager limit.
         for &n in &nbrs {
-            comm.isend(ctx.p, n, tag, Sized::new(0u64, bytes)).wait(ctx.p);
+            comm.isend(ctx.p, n, tag, Sized::new(0u64, bytes))
+                .wait(ctx.p);
         }
         for &n in &nbrs {
             let _ = comm.recv::<Sized<u64>>(ctx.p, Source::Rank(n), TagSel::Is(tag));
@@ -185,9 +186,10 @@ fn run_rank(ctx: &AppCtx<'_>, params: &SppmParams) {
     let mass: f64 = u.iter().sum();
     params.outputs.record(format!("mass0:{}", ctx.rank), mass0);
     params.outputs.record(format!("mass:{}", ctx.rank), mass);
-    params
-        .outputs
-        .record(format!("peak:{}", ctx.rank), u.iter().cloned().fold(0.0, f64::max));
+    params.outputs.record(
+        format!("peak:{}", ctx.rank),
+        u.iter().cloned().fold(0.0, f64::max),
+    );
 }
 
 #[cfg(test)]
@@ -211,7 +213,10 @@ mod tests {
         let params = SppmParams::test();
         let outputs = Arc::clone(&params.outputs);
         let app = sppm(4, params);
-        run_session(&app, SessionConfig::new(Machine::test_machine(), Policy::None));
+        run_session(
+            &app,
+            SessionConfig::new(Machine::test_machine(), Policy::None),
+        );
         let m0 = outputs.get("mass0:0").unwrap();
         let m = outputs.get("mass:0").unwrap();
         assert!((m - m0).abs() < 1e-9 * m0.abs(), "mass drift: {m0} -> {m}");
@@ -222,7 +227,10 @@ mod tests {
     #[test]
     fn hot_subset_dominates_time_not_calls() {
         let app = sppm(2, SppmParams::test());
-        let report = run_session(&app, SessionConfig::new(Machine::test_machine(), Policy::Full));
+        let report = run_session(
+            &app,
+            SessionConfig::new(Machine::test_machine(), Policy::Full),
+        );
         let vt = &report.vt;
         let hot_calls: u64 = HOT
             .iter()

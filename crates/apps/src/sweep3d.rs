@@ -148,7 +148,11 @@ fn run_rank(ctx: &AppCtx<'_>, params: &Sweep3dParams) {
     let f_init = ctx.fid("initialize");
 
     ctx.call(f_init, || {
-        work(ctx, scaled(nx * ny * nz * 12, params.scale), nx * ny * nz * 8);
+        work(
+            ctx,
+            scaled(nx * ny * nz * 12, params.scale),
+            nx * ny * nz * 8,
+        );
     });
 
     // Optional OpenMP team: angle groups parallelize within a block.
@@ -165,17 +169,37 @@ fn run_rank(ctx: &AppCtx<'_>, params: &Sweep3dParams) {
     for iter in 0..params.iterations {
         ctx.call(f_inner, || {
             ctx.call(f_source, || {
-                work(ctx, scaled(nx * ny * nz * 20, params.scale), nx * ny * nz * 8);
+                work(
+                    ctx,
+                    scaled(nx * ny * nz * 20, params.scale),
+                    nx * ny * nz * 8,
+                );
             });
             // Eight octants; sweep direction flips per octant.
             for oct in 0..8u32 {
                 ctx.call(f_octant, || {});
                 let (sx, sy) = ((oct & 1) == 0, (oct & 2) == 0);
                 // Upstream/downstream neighbours in the 2-D process grid.
-                let up_x = if sx { ix.checked_sub(1) } else { (ix + 1 < px).then_some(ix + 1) };
-                let dn_x = if sx { (ix + 1 < px).then_some(ix + 1) } else { ix.checked_sub(1) };
-                let up_y = if sy { iy.checked_sub(1) } else { (iy + 1 < py).then_some(iy + 1) };
-                let dn_y = if sy { (iy + 1 < py).then_some(iy + 1) } else { iy.checked_sub(1) };
+                let up_x = if sx {
+                    ix.checked_sub(1)
+                } else {
+                    (ix + 1 < px).then_some(ix + 1)
+                };
+                let dn_x = if sx {
+                    (ix + 1 < px).then_some(ix + 1)
+                } else {
+                    ix.checked_sub(1)
+                };
+                let up_y = if sy {
+                    iy.checked_sub(1)
+                } else {
+                    (iy + 1 < py).then_some(iy + 1)
+                };
+                let dn_y = if sy {
+                    (iy + 1 < py).then_some(iy + 1)
+                } else {
+                    iy.checked_sub(1)
+                };
                 let rank_of = |x: usize, y: usize| y * px + x;
 
                 for g in 0..params.angle_groups {
@@ -299,10 +323,7 @@ mod tests {
             SessionConfig::new(Machine::test_machine(), Policy::None),
         )
         .app_time;
-        assert!(
-            t8 < t2,
-            "strong scaling failed: 2 ranks {t2}, 8 ranks {t8}"
-        );
+        assert!(t8 < t2, "strong scaling failed: 2 ranks {t2}, 8 ranks {t8}");
     }
 
     #[test]
@@ -342,7 +363,10 @@ mod tests {
     fn hybrid_mode_runs_with_threads() {
         let params = Sweep3dParams::test().with_threads(4);
         let app = sweep3d(4, params);
-        let report = run_session(&app, SessionConfig::new(Machine::test_machine(), Policy::Full));
+        let report = run_session(
+            &app,
+            SessionConfig::new(Machine::test_machine(), Policy::Full),
+        );
         // OpenMP region events present in the trace.
         let trace = report.vt.build_trace();
         let forks = trace

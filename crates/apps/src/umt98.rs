@@ -42,8 +42,21 @@ const HOT: [&str; SUBSET] = [
 const RUN_HELPERS: [&str; 3] = ["zonediff", "facedot", "fluxsum"];
 
 const INIT_STEMS: &[&str] = &[
-    "main", "rdmesh", "genmesh", "setbc", "partition", "snrqst", "snmref", "sninit", "rswgts",
-    "angleset", "matprops", "zonegeom", "facegeom", "connect", "report",
+    "main",
+    "rdmesh",
+    "genmesh",
+    "setbc",
+    "partition",
+    "snrqst",
+    "snmref",
+    "sninit",
+    "rswgts",
+    "angleset",
+    "matprops",
+    "zonegeom",
+    "facegeom",
+    "connect",
+    "report",
 ];
 
 /// Umt98 run parameters.
@@ -168,14 +181,21 @@ fn run_process(ctx: &AppCtx<'_>, params: &Umt98Params) {
                         // the per-zone-angle transport work.
                         ctx.call_batch_on_thread(rctx.proc, rctx.tid, f_swp, 1, |_| {
                             let cpu = rctx.proc.machine().cpu;
-                            rctx.proc.advance(cpu.work(
-                                scaled(n * FLOPS_PER_ZONE_ANGLE, params.scale),
-                                n * 96,
-                            ));
+                            rctx.proc.advance(
+                                cpu.work(scaled(n * FLOPS_PER_ZONE_ANGLE, params.scale), n * 96),
+                            );
                         });
                         // Per-zone helpers dominate the call count.
                         for &h in &helpers {
-                            leaf_on_thread(ctx, rctx.proc, rctx.tid, h, scaled(n, params.scale), 150, 48);
+                            leaf_on_thread(
+                                ctx,
+                                rctx.proc,
+                                rctx.tid,
+                                h,
+                                scaled(n, params.scale),
+                                150,
+                                48,
+                            );
                         }
                     },
                 );
@@ -205,9 +225,10 @@ fn run_process(ctx: &AppCtx<'_>, params: &Umt98Params) {
     let total: f64 = phi_real.iter().sum();
     params.outputs.record("flux_total", total);
     params.outputs.record("final_err", real_err);
-    params
-        .outputs
-        .record("min_flux", phi_real.iter().cloned().fold(f64::INFINITY, f64::min));
+    params.outputs.record(
+        "min_flux",
+        phi_real.iter().cloned().fold(f64::INFINITY, f64::min),
+    );
 }
 
 #[cfg(test)]

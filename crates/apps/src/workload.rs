@@ -189,7 +189,11 @@ impl Grid3 {
 
     /// Deterministic checksum of the solution.
     pub fn checksum(&self) -> f64 {
-        self.data.iter().enumerate().map(|(i, v)| v * ((i % 7) as f64 + 1.0)).sum()
+        self.data
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v * ((i % 7) as f64 + 1.0))
+            .sum()
     }
 }
 
@@ -202,7 +206,8 @@ pub fn leaf(ctx: &AppCtx<'_>, fid: FuncId, reps: u64, flops_per_call: u64, bytes
     }
     ctx.call_batch(fid, reps, |r| {
         let cpu = ctx.p.machine().cpu;
-        ctx.p.advance(cpu.work(r * flops_per_call, r * bytes_per_call));
+        ctx.p
+            .advance(cpu.work(r * flops_per_call, r * bytes_per_call));
     });
 }
 

@@ -1,21 +1,48 @@
-//! Criterion micro-benchmarks of the instrumentation fast paths.
+//! Micro-benchmarks of the instrumentation fast paths.
 //!
 //! The paper's results rest on a cost hierarchy: absent probes are free,
 //! deactivated probes pay a table lookup, active probes pay timestamp +
 //! event append, dynamic probes add trampoline dispatch. The figure
 //! harnesses *model* those costs on the virtual clock; these benchmarks
 //! *measure* the real Rust implementations in real-clock mode, validating
-//! that the implementation itself exhibits the hierarchy.
+//! that the implementation itself exhibits the hierarchy — including the
+//! observability layer's own hierarchy (a disabled `obs` site costs one
+//! relaxed load + branch).
+//!
+//! The harness is self-contained (no external bench framework is
+//! available in this build environment): each case is auto-calibrated so
+//! one sample lasts ≥ ~10 ms, five samples are taken, and the best is
+//! reported, criterion-style.
 
+use std::hint::black_box;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use parking_lot::Mutex;
 
 use dynprof_image::{CallerCtx, FunctionInfo, ImageBuilder, ProbePoint};
+use dynprof_obs as obs;
 use dynprof_sim::{Machine, ProbeCosts, Proc, Sim, SimTime};
 use dynprof_vt::{vt_begin_snippet, vt_end_snippet, Trace, VtConfig, VtLib};
+
+/// Run one benchmark: `f(iters)` must perform `iters` iterations and
+/// return the time they took. Calibrates `iters`, samples five times, and
+/// prints the best sample as ns/iter.
+fn bench(name: &str, mut f: impl FnMut(u64) -> Duration) {
+    let mut iters = 1u64;
+    loop {
+        let d = f(iters);
+        if d >= Duration::from_millis(10) || iters >= 1 << 30 {
+            break;
+        }
+        let target = Duration::from_millis(12).as_nanos() as f64;
+        let scale = (target / d.as_nanos().max(1) as f64).max(2.0);
+        iters = ((iters as f64) * scale.min(1e4)).ceil() as u64;
+    }
+    let best = (0..5).map(|_| f(iters)).min().expect("five samples");
+    let ns_per_iter = best.as_nanos() as f64 / iters as f64;
+    println!("{name:<34} {ns_per_iter:>12.1} ns/iter   ({iters} iters)");
+}
 
 /// Run `f` inside a real-clock simulated process and return its measured
 /// duration (setup excluded).
@@ -31,81 +58,114 @@ fn in_real_proc(f: impl FnOnce(&Proc) -> Duration + Send + 'static) -> Duration 
     d
 }
 
-fn bench_vt_fast_paths(c: &mut Criterion) {
-    let mut g = c.benchmark_group("vt");
-    g.bench_function("begin_end_active", |b| {
-        b.iter_custom(|iters| {
-            in_real_proc(move |p| {
-                let vt = VtLib::new("b", 1, VtConfig::all_on(), ProbeCosts::power3());
-                vt.init(p, 0);
-                let f = vt.funcdef(p, "hot");
-                let t = Instant::now();
-                for _ in 0..iters {
-                    vt.begin(p, 0, 0, f, 1);
-                    vt.end(p, 0, 0, f);
-                }
-                t.elapsed()
-            })
-        });
+fn bench_obs_primitives() {
+    // The branch every instrumented layer pays when observation is off:
+    // a relaxed atomic load + test. This is the whole disabled-obs cost.
+    bench("obs/enabled_check_disabled", |iters| {
+        obs::set_enabled(false);
+        let t = Instant::now();
+        for _ in 0..iters {
+            if black_box(obs::enabled()) {
+                obs::counter("bench.micro.never").inc();
+            }
+        }
+        t.elapsed()
     });
-    g.bench_function("begin_end_deactivated", |b| {
-        b.iter_custom(|iters| {
-            in_real_proc(move |p| {
-                let vt = VtLib::new("b", 1, VtConfig::all_off(), ProbeCosts::power3());
-                vt.init(p, 0);
-                let f = vt.funcdef(p, "cold");
-                let t = Instant::now();
-                for _ in 0..iters {
-                    vt.begin(p, 0, 0, f, 1);
-                    vt.end(p, 0, 0, f);
-                }
-                t.elapsed()
-            })
-        });
+    bench("obs/counter_add_enabled", |iters| {
+        obs::set_enabled(true);
+        let c = obs::counter("bench.micro.counter");
+        let t = Instant::now();
+        for _ in 0..iters {
+            if obs::enabled() {
+                c.add(black_box(1));
+            }
+        }
+        let d = t.elapsed();
+        obs::set_enabled(false);
+        d
     });
-    g.finish();
 }
 
-fn bench_image_call(c: &mut Criterion) {
-    let mut g = c.benchmark_group("image");
-    g.bench_function("call_unprobed", |b| {
-        b.iter_custom(|iters| {
-            in_real_proc(move |p| {
-                let mut bld = ImageBuilder::new("b");
-                let f = bld.add(FunctionInfo::new("f"));
-                let img = bld.build();
-                let t = Instant::now();
-                for _ in 0..iters {
-                    img.call(p, CallerCtx::default(), f, || criterion::black_box(1));
-                }
-                t.elapsed()
-            })
-        });
+fn bench_vt_fast_paths() {
+    bench("vt/begin_end_active", |iters| {
+        in_real_proc(move |p| {
+            let vt = VtLib::new("b", 1, VtConfig::all_on(), ProbeCosts::power3());
+            vt.init(p, 0);
+            let f = vt.funcdef(p, "hot");
+            let t = Instant::now();
+            for _ in 0..iters {
+                vt.begin(p, 0, 0, f, 1);
+                vt.end(p, 0, 0, f);
+            }
+            t.elapsed()
+        })
     });
-    g.bench_function("call_trampolined_vt", |b| {
-        b.iter_custom(|iters| {
-            in_real_proc(move |p| {
-                let mut bld = ImageBuilder::new("b");
-                let f = bld.add(FunctionInfo::new("f"));
-                let img = bld.build();
-                let vt = VtLib::new("b", 1, VtConfig::all_on(), ProbeCosts::power3());
-                vt.init(p, 0);
-                let id = vt.funcdef(p, "f");
-                img.insert(ProbePoint::entry(f), vt_begin_snippet(Arc::clone(&vt), id));
-                img.insert(ProbePoint::exit(f), vt_end_snippet(Arc::clone(&vt), id));
-                let t = Instant::now();
-                for _ in 0..iters {
-                    img.call(p, CallerCtx::default(), f, || criterion::black_box(1));
-                }
-                t.elapsed()
-            })
-        });
+    bench("vt/begin_end_deactivated", |iters| {
+        in_real_proc(move |p| {
+            let vt = VtLib::new("b", 1, VtConfig::all_off(), ProbeCosts::power3());
+            vt.init(p, 0);
+            let f = vt.funcdef(p, "cold");
+            let t = Instant::now();
+            for _ in 0..iters {
+                vt.begin(p, 0, 0, f, 1);
+                vt.end(p, 0, 0, f);
+            }
+            t.elapsed()
+        })
     });
-    g.finish();
+    // Same active path with runtime observation on: the delta against
+    // vt/begin_end_active is the cost of live metric updates.
+    bench("vt/begin_end_active_obs_on", |iters| {
+        in_real_proc(move |p| {
+            obs::set_enabled(true);
+            let vt = VtLib::new("b", 1, VtConfig::all_on(), ProbeCosts::power3());
+            vt.init(p, 0);
+            let f = vt.funcdef(p, "hot");
+            let t = Instant::now();
+            for _ in 0..iters {
+                vt.begin(p, 0, 0, f, 1);
+                vt.end(p, 0, 0, f);
+            }
+            let d = t.elapsed();
+            obs::set_enabled(false);
+            d
+        })
+    });
 }
 
-fn bench_trace_codec(c: &mut Criterion) {
-    let mut g = c.benchmark_group("trace");
+fn bench_image_call() {
+    bench("image/call_unprobed", |iters| {
+        in_real_proc(move |p| {
+            let mut bld = ImageBuilder::new("b");
+            let f = bld.add(FunctionInfo::new("f"));
+            let img = bld.build();
+            let t = Instant::now();
+            for _ in 0..iters {
+                img.call(p, CallerCtx::default(), f, || black_box(1));
+            }
+            t.elapsed()
+        })
+    });
+    bench("image/call_trampolined_vt", |iters| {
+        in_real_proc(move |p| {
+            let mut bld = ImageBuilder::new("b");
+            let f = bld.add(FunctionInfo::new("f"));
+            let img = bld.build();
+            let vt = VtLib::new("b", 1, VtConfig::all_on(), ProbeCosts::power3());
+            vt.init(p, 0);
+            let id = vt.funcdef(p, "f");
+            img.insert(ProbePoint::entry(f), vt_begin_snippet(Arc::clone(&vt), id));
+            img.insert(ProbePoint::exit(f), vt_end_snippet(Arc::clone(&vt), id));
+            let t = Instant::now();
+            for _ in 0..iters {
+                img.call(p, CallerCtx::default(), f, || black_box(1));
+            }
+            t.elapsed()
+        })
+    });
+}
+
+fn bench_trace_codec() {
     let trace = {
         let mut events = Vec::new();
         for i in 0..10_000u64 {
@@ -122,37 +182,49 @@ fn bench_trace_codec(c: &mut Criterion) {
             events,
         }
     };
-    g.bench_function("encode_10k_events", |b| {
-        b.iter(|| criterion::black_box(trace.encode()));
+    bench("trace/encode_10k_events", |iters| {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(trace.encode());
+        }
+        t.elapsed()
     });
     let encoded = trace.encode();
-    g.bench_function("decode_10k_events", |b| {
-        b.iter(|| Trace::decode(criterion::black_box(encoded.clone())).unwrap());
+    bench("trace/decode_10k_events", |iters| {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(Trace::decode(black_box(encoded.clone())).unwrap());
+        }
+        t.elapsed()
     });
-    g.finish();
 }
 
-fn bench_config_resolve(c: &mut Criterion) {
+fn bench_config_resolve() {
     let mut cfg = VtConfig::all_off();
     for i in 0..60 {
         cfg.exact.insert(format!("hypre_SMG_{i}"), true);
     }
     cfg.prefixes.push(("hypre_Struct".into(), true));
     cfg.prefixes.push(("hypre_Box".into(), false));
-    c.bench_function("config_resolve", |b| {
-        b.iter(|| {
-            criterion::black_box(cfg.resolve("hypre_StructVectorSetConstantValues"))
-                | criterion::black_box(cfg.resolve("hypre_SMG_30"))
-                | criterion::black_box(cfg.resolve("unrelated_function"))
-        });
+    bench("config/resolve", |iters| {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(
+                black_box(cfg.resolve("hypre_StructVectorSetConstantValues"))
+                    | black_box(cfg.resolve("hypre_SMG_30"))
+                    | black_box(cfg.resolve("unrelated_function")),
+            );
+        }
+        t.elapsed()
     });
 }
 
-fn bench_des_engine(c: &mut Criterion) {
+fn bench_des_engine() {
     // Virtual-mode event throughput: two processes ping-pong through a
     // channel; measures scheduler handoff cost per event.
-    c.bench_function("des_pingpong_1k", |b| {
-        b.iter(|| {
+    bench("des/pingpong_1k", |iters| {
+        let t = Instant::now();
+        for _ in 0..iters {
             let sim = Sim::virtual_time(Machine::test_machine(), 1);
             let ch_a: Arc<dynprof_sim::sync::SimChannel<u32>> =
                 Arc::new(dynprof_sim::sync::SimChannel::new());
@@ -172,33 +244,32 @@ fn bench_des_engine(c: &mut Criterion) {
                     b2.send(p, v, SimTime::from_micros(1));
                 }
             });
-            sim.run()
-        });
+            black_box(sim.run());
+        }
+        t.elapsed()
     });
 }
 
-fn bench_runtimes(c: &mut Criterion) {
+fn bench_runtimes() {
     // Host cost of simulating one MPI allreduce across 16 ranks.
-    c.bench_function("sim_allreduce_16ranks", |b| {
-        b.iter(|| {
+    bench("sim/allreduce_16ranks", |iters| {
+        let t = Instant::now();
+        for _ in 0..iters {
             let sim = Sim::virtual_time(Machine::test_machine(), 1);
-            dynprof_mpi::launch(
-                &sim,
-                dynprof_mpi::JobSpec::new("b", 16),
-                vec![],
-                |p, c| {
-                    c.init(p);
-                    let v = c.allreduce(p, c.rank() as u64, |a, b| a + b);
-                    criterion::black_box(v);
-                    c.finalize(p);
-                },
-            );
-            sim.run()
-        });
+            dynprof_mpi::launch(&sim, dynprof_mpi::JobSpec::new("b", 16), vec![], |p, c| {
+                c.init(p);
+                let v = c.allreduce(p, c.rank() as u64, |a, b| a + b);
+                black_box(v);
+                c.finalize(p);
+            });
+            black_box(sim.run());
+        }
+        t.elapsed()
     });
     // Host cost of simulating one OpenMP fork-join over 8 threads.
-    c.bench_function("sim_omp_forkjoin_8threads", |b| {
-        b.iter(|| {
+    bench("sim/omp_forkjoin_8threads", |iters| {
+        let t = Instant::now();
+        for _ in 0..iters {
             let sim = Sim::virtual_time(Machine::test_machine(), 1);
             sim.spawn("app", 0, |p| {
                 let rt = dynprof_omp::OmpRuntime::new(p, "app", 8, vec![]);
@@ -209,12 +280,14 @@ fn bench_runtimes(c: &mut Criterion) {
                 }
                 rt.shutdown(p);
             });
-            sim.run()
-        });
+            black_box(sim.run());
+        }
+        t.elapsed()
     });
     // Host cost of one full VT_confsync safe point at 64 ranks.
-    c.bench_function("sim_confsync_64ranks", |b| {
-        b.iter(|| {
+    bench("sim/confsync_64ranks", |iters| {
+        let t = Instant::now();
+        for _ in 0..iters {
             let vt = VtLib::new("b", 64, VtConfig::all_on(), ProbeCosts::power3());
             let monitor = dynprof_vt::MonitorLink::new();
             let sim = Sim::virtual_time(Machine::test_machine(), 1);
@@ -230,18 +303,19 @@ fn bench_runtimes(c: &mut Criterion) {
                     c.finalize(p);
                 },
             );
-            sim.run()
-        });
+            black_box(sim.run());
+        }
+        t.elapsed()
     });
 }
 
-criterion_group!(
-    benches,
-    bench_vt_fast_paths,
-    bench_image_call,
-    bench_trace_codec,
-    bench_config_resolve,
-    bench_des_engine,
-    bench_runtimes
-);
-criterion_main!(benches);
+fn main() {
+    println!("micro-benchmarks (best of 5 calibrated samples)\n");
+    bench_obs_primitives();
+    bench_vt_fast_paths();
+    bench_image_call();
+    bench_trace_codec();
+    bench_config_resolve();
+    bench_des_engine();
+    bench_runtimes();
+}

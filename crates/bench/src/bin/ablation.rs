@@ -15,6 +15,7 @@
 
 use dynprof_apps::{paper_app, smg98, Smg98Params};
 use dynprof_core::{run_session, SessionConfig};
+use dynprof_obs::Json;
 use dynprof_sim::{Machine, SimTime};
 use dynprof_vt::{sample_image, Policy};
 
@@ -46,7 +47,11 @@ fn study_sampling(json: bool) {
             .map(|r| vt.stat_of(r, id).incl.as_secs_f64())
             .sum::<f64>()
     };
-    let hot_names = ["hypre_StructAxpy", "hypre_StructCopy", "hypre_StructInnerProd"];
+    let hot_names = [
+        "hypre_StructAxpy",
+        "hypre_StructCopy",
+        "hypre_StructInnerProd",
+    ];
     let truth_total: f64 = (0..cpus)
         .flat_map(|r| vt.stats_rows(r))
         .map(|(_, _, incl, _)| incl as f64 / 1e9)
@@ -71,26 +76,46 @@ fn study_sampling(json: bool) {
                 }
             }
         }
-        rows.push((interval_us, ticks, overhead, err_sum / hot_names.len() as f64));
+        rows.push((
+            interval_us,
+            ticks,
+            overhead,
+            err_sum / hot_names.len() as f64,
+        ));
     }
 
     if json {
-        let obj = serde_json::json!({
-            "study": "sampling",
-            "complete_profiling": {
-                "app_time_s": full.app_time.as_secs_f64(),
-                "baseline_s": none.app_time.as_secs_f64(),
-                "overhead_s": full.app_time.as_secs_f64() - none.app_time.as_secs_f64(),
-                "trace_bytes": full.trace_bytes,
-            },
-            "sampling": rows.iter().map(|&(us, ticks, ov, err)| serde_json::json!({
-                "interval_us": us,
-                "ticks": ticks,
-                "estimated_overhead_s": ov.as_secs_f64(),
-                "mean_abs_share_error": err,
-            })).collect::<Vec<_>>(),
-        });
-        println!("{}", serde_json::to_string_pretty(&obj).unwrap());
+        let obj = Json::obj([
+            ("study", "sampling".into()),
+            (
+                "complete_profiling",
+                Json::obj([
+                    ("app_time_s", full.app_time.as_secs_f64().into()),
+                    ("baseline_s", none.app_time.as_secs_f64().into()),
+                    (
+                        "overhead_s",
+                        (full.app_time.as_secs_f64() - none.app_time.as_secs_f64()).into(),
+                    ),
+                    ("trace_bytes", full.trace_bytes.into()),
+                ]),
+            ),
+            (
+                "sampling",
+                Json::Arr(
+                    rows.iter()
+                        .map(|&(us, ticks, ov, err)| {
+                            Json::obj([
+                                ("interval_us", us.into()),
+                                ("ticks", ticks.into()),
+                                ("estimated_overhead_s", ov.as_secs_f64().into()),
+                                ("mean_abs_share_error", err.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        println!("{}", obj.pretty());
         return;
     }
     println!("## Ablation: complete profiling vs statistical sampling (smg98, {cpus} CPUs)");
@@ -131,29 +156,51 @@ fn study_probe_costs(json: bool) {
         machine.probe.vt_end_active = machine.probe.vt_end_active.mul_f64(scale);
         let run = |policy| {
             let app = smg98(cpus, Smg98Params::paper());
-            run_session(&app, SessionConfig::new(machine.clone(), policy).with_seed(2)).app_time
+            run_session(
+                &app,
+                SessionConfig::new(machine.clone(), policy).with_seed(2),
+            )
+            .app_time
         };
         let full = run(Policy::Full);
         let none = run(Policy::None);
         rows.push((scale, full, none, full.as_secs_f64() / none.as_secs_f64()));
     }
     if json {
-        let obj = serde_json::json!({
-            "study": "probe-costs",
-            "rows": rows.iter().map(|&(s, f, n, r)| serde_json::json!({
-                "active_pair_scale": s,
-                "full_s": f.as_secs_f64(),
-                "none_s": n.as_secs_f64(),
-                "ratio": r,
-            })).collect::<Vec<_>>(),
-        });
-        println!("{}", serde_json::to_string_pretty(&obj).unwrap());
+        let obj = Json::obj([
+            ("study", "probe-costs".into()),
+            (
+                "rows",
+                Json::Arr(
+                    rows.iter()
+                        .map(|&(s, f, n, r)| {
+                            Json::obj([
+                                ("active_pair_scale", s.into()),
+                                ("full_s", f.as_secs_f64().into()),
+                                ("none_s", n.as_secs_f64().into()),
+                                ("ratio", r.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        println!("{}", obj.pretty());
         return;
     }
-    println!("## Ablation: Fig 7(a) sensitivity to the active probe-pair cost (smg98, {cpus} CPUs)");
-    println!("{:>8} {:>12} {:>12} {:>10}", "scale", "Full", "None", "ratio");
+    println!(
+        "## Ablation: Fig 7(a) sensitivity to the active probe-pair cost (smg98, {cpus} CPUs)"
+    );
+    println!(
+        "{:>8} {:>12} {:>12} {:>10}",
+        "scale", "Full", "None", "ratio"
+    );
     for (s, f, n, r) in rows {
-        println!("{s:>8.2} {:>12.2} {:>12.2} {r:>9.2}x", f.as_secs_f64(), n.as_secs_f64());
+        println!(
+            "{s:>8.2} {:>12.2} {:>12.2} {r:>9.2}x",
+            f.as_secs_f64(),
+            n.as_secs_f64()
+        );
     }
     println!("\nThe slowdown scales with probe cost; None is unaffected.");
 }
@@ -172,21 +219,34 @@ fn study_daemon_jitter(json: bool) {
         rows.push((scale, report.create_time, report.instrument_time));
     }
     if json {
-        let obj = serde_json::json!({
-            "study": "daemon-jitter",
-            "rows": rows.iter().map(|&(s, c, i)| serde_json::json!({
-                "jitter_scale": s,
-                "create_s": c.as_secs_f64(),
-                "instrument_s": i.as_secs_f64(),
-            })).collect::<Vec<_>>(),
-        });
-        println!("{}", serde_json::to_string_pretty(&obj).unwrap());
+        let obj = Json::obj([
+            ("study", "daemon-jitter".into()),
+            (
+                "rows",
+                Json::Arr(
+                    rows.iter()
+                        .map(|&(s, c, i)| {
+                            Json::obj([
+                                ("jitter_scale", s.into()),
+                                ("create_s", c.as_secs_f64().into()),
+                                ("instrument_s", i.as_secs_f64().into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        println!("{}", obj.pretty());
         return;
     }
     println!("## Ablation: Fig 9 sensitivity to DPCL daemon jitter (smg98, {cpus} CPUs)");
     println!("{:>8} {:>12} {:>14}", "jitter", "create", "instrument");
     for (s, c, i) in rows {
-        println!("{s:>7.1}x {:>12.3} {:>14.3}", c.as_secs_f64(), i.as_secs_f64());
+        println!(
+            "{s:>7.1}x {:>12.3} {:>14.3}",
+            c.as_secs_f64(),
+            i.as_secs_f64()
+        );
     }
     println!("\nAsynchronous delivery inflates startup; the Fig 6 barrier\nprotocol keeps the application itself unskewed regardless.");
 }

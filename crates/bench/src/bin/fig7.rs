@@ -1,14 +1,22 @@
 //! Regenerate paper Fig 7 (a–d): execution time of the instrumented ASCI
 //! kernels under the five Table-3 policies.
 //!
-//! Usage: `fig7 [--app smg98|sppm|sweep3d|umt98] [--json]`
+//! Usage: `fig7 [--app smg98|sppm|sweep3d|umt98] [--json]
+//!              [--parallel [N]] [--metrics out.json]`
+//!
+//! `--parallel` fans the independent (app, policy, P) runs across a
+//! worker-thread pool (N workers; default = available cores). Output is
+//! byte-identical to the serial runner. `--metrics` enables the
+//! self-observability layer and dumps its counters to a JSON file.
 
-use dynprof_bench::fig7;
+use dynprof_bench::{fig7_with_workers, parallel, write_metrics};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut apps = vec!["smg98", "sppm", "sweep3d", "umt98"];
     let mut json = false;
+    let mut workers = 1;
+    let mut metrics: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -22,6 +30,22 @@ fn main() {
                 apps = vec![Box::leak(a.into_boxed_str())];
             }
             "--json" => json = true,
+            "--parallel" => {
+                // Optional worker count; defaults to the host parallelism.
+                workers = match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) => {
+                        i += 1;
+                        n.max(1)
+                    }
+                    None => parallel::default_workers(),
+                };
+            }
+            "--metrics" => {
+                i += 1;
+                let path = args.get(i).expect("--metrics needs a path").clone();
+                dynprof_obs::set_enabled(true);
+                metrics = Some(path);
+            }
             other => {
                 eprintln!("unknown argument {other:?}");
                 std::process::exit(2);
@@ -30,11 +54,17 @@ fn main() {
         i += 1;
     }
     for app in apps {
-        let fig = fig7(app);
+        let fig = fig7_with_workers(app, workers);
         if json {
             println!("{}", fig.to_json());
         } else {
             println!("{}", fig.render());
         }
+    }
+    if let Some(path) = metrics {
+        write_metrics(&path).unwrap_or_else(|e| {
+            eprintln!("failed to write metrics to {path}: {e}");
+            std::process::exit(1);
+        });
     }
 }

@@ -1,16 +1,17 @@
 //! Regenerate paper Fig 8 (a–c): the cost of dynamic control of
 //! instrumentation (`VT_confsync`).
 //!
-//! Usage: `fig8 [--part a|b|c] [--runs N] [--json]` (default: all parts,
-//! 16 runs per point — the paper's averaging).
+//! Usage: `fig8 [--part a|b|c] [--runs N] [--json] [--metrics out.json]`
+//! (default: all parts, 16 runs per point — the paper's averaging).
 
-use dynprof_bench::{fig8a, fig8b, fig8c, Figure};
+use dynprof_bench::{fig8a, fig8b, fig8c, write_metrics, Figure};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut parts = vec!['a', 'b', 'c'];
     let mut runs = 16usize;
     let mut json = false;
+    let mut metrics: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -21,9 +22,19 @@ fn main() {
             }
             "--runs" => {
                 i += 1;
-                runs = args.get(i).expect("--runs needs a value").parse().expect("run count");
+                runs = args
+                    .get(i)
+                    .expect("--runs needs a value")
+                    .parse()
+                    .expect("run count");
             }
             "--json" => json = true,
+            "--metrics" => {
+                i += 1;
+                let path = args.get(i).expect("--metrics needs a path").clone();
+                dynprof_obs::set_enabled(true);
+                metrics = Some(path);
+            }
             other => {
                 eprintln!("unknown argument {other:?}");
                 std::process::exit(2);
@@ -46,5 +57,11 @@ fn main() {
         } else {
             println!("{}", fig.render());
         }
+    }
+    if let Some(path) = metrics {
+        write_metrics(&path).unwrap_or_else(|e| {
+            eprintln!("failed to write metrics to {path}: {e}");
+            std::process::exit(1);
+        });
     }
 }

@@ -2,16 +2,30 @@
 //! ASCI kernel across processor counts (note Umt98's flat line — OpenMP
 //! threads share a single process image).
 //!
-//! Usage: `fig9 [--json]`
+//! Usage: `fig9 [--json] [--metrics out.json]`
 
-use dynprof_bench::fig9;
+use dynprof_bench::{fig9, write_metrics};
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let metrics = args
+        .iter()
+        .position(|a| a == "--metrics")
+        .map(|i| args.get(i + 1).expect("--metrics needs a path").clone());
+    if metrics.is_some() {
+        dynprof_obs::set_enabled(true);
+    }
     let fig = fig9();
     if json {
         println!("{}", fig.to_json());
     } else {
         println!("{}", fig.render());
+    }
+    if let Some(path) = metrics {
+        write_metrics(&path).unwrap_or_else(|e| {
+            eprintln!("failed to write metrics to {path}: {e}");
+            std::process::exit(1);
+        });
     }
 }

@@ -10,23 +10,28 @@
 //! * table renderers for Tables 1–3.
 //!
 //! The binaries in `src/bin/` print the same rows/series the paper
-//! reports, plus machine-readable JSON next to each table.
+//! reports, plus machine-readable JSON next to each table. Each binary
+//! also accepts `--metrics <out.json>` (dump the [`dynprof_obs`] registry
+//! after the sweep) and `fig7` accepts `--parallel [N]` (fan the
+//! independent runs across a worker pool — see [`parallel`]).
 
 #![warn(missing_docs)]
+
+pub mod parallel;
 
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use serde::Serialize;
 
 use dynprof_apps::paper_app;
 use dynprof_core::{run_session, SessionConfig};
 use dynprof_mpi::{launch, JobSpec};
+use dynprof_obs::{self as obs, Json};
 use dynprof_sim::{Machine, OnlineStats, Sim, SimTime};
 use dynprof_vt::{confsync, ConfigDelta, MonitorLink, Policy, VtConfig, VtLib, VtMpiHooks};
 
 /// One measured series: a labelled curve over CPU counts.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Series {
     /// Curve label (e.g. the policy name).
     pub label: String,
@@ -45,7 +50,7 @@ impl Series {
 }
 
 /// A figure: a titled set of series (one paper sub-plot).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Figure {
     /// Figure identifier (e.g. "Fig 7(a) Smg98").
     pub title: String,
@@ -89,10 +94,45 @@ impl Figure {
         out
     }
 
-    /// Serialize to JSON.
+    /// Serialize to pretty-printed JSON. The writer ([`Json`]) is fully
+    /// deterministic, so serial and parallel sweeps of the same figure
+    /// produce byte-identical output.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("figure serializes")
+        Json::obj([
+            ("title", self.title.as_str().into()),
+            ("unit", self.unit.into()),
+            (
+                "series",
+                Json::Arr(
+                    self.series
+                        .iter()
+                        .map(|s| {
+                            Json::obj([
+                                ("label", s.label.as_str().into()),
+                                (
+                                    "points",
+                                    Json::Arr(
+                                        s.points
+                                            .iter()
+                                            .map(|&(c, v)| {
+                                                Json::Arr(vec![c.into(), Json::Float(v)])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .pretty()
     }
+}
+
+/// Write the global [`dynprof_obs`] registry as pretty JSON to `path`.
+pub fn write_metrics(path: &str) -> std::io::Result<()> {
+    std::fs::write(path, obs::dump_json() + "\n")
 }
 
 /// The CPU counts of paper Fig 7 for each application.
@@ -122,26 +162,53 @@ pub fn fig7_policies(app: &str) -> Vec<Policy> {
     }
 }
 
+/// One independent Fig-7 run: `app` under `policy` at `cpus` processors,
+/// with the exact seed the serial sweep has always used. Every run owns
+/// its seeded engine, so runs can execute concurrently without affecting
+/// each other's results.
+pub fn fig7_run(app_name: &str, cpus: usize, policy: Policy) -> f64 {
+    let _span = obs::span("bench.fig7.run.real_ns");
+    if obs::enabled() {
+        obs::counter("bench.fig7.runs").inc();
+    }
+    let (app, _outputs) =
+        paper_app(app_name, cpus).unwrap_or_else(|| panic!("unknown app {app_name}"));
+    let cfg =
+        SessionConfig::new(Machine::ibm_power3_colony(), policy).with_seed(1000 + cpus as u64);
+    let report = run_session(&app, cfg);
+    report.app_time.as_secs_f64()
+}
+
 /// Reproduce one sub-plot of Fig 7: run `app` under every policy across
-/// the paper's CPU counts on the IBM machine model.
+/// the paper's CPU counts on the IBM machine model, serially.
 pub fn fig7(app_name: &str) -> Figure {
+    fig7_with_workers(app_name, 1)
+}
+
+/// [`fig7`] with its independent (cpus × policy) runs fanned across
+/// `workers` threads. Results are assembled in the serial sweep's order,
+/// and each run is seed-deterministic, so the output — down to the JSON
+/// bytes — is identical to the serial runner's.
+pub fn fig7_with_workers(app_name: &str, workers: usize) -> Figure {
     let cpus = fig7_cpus(app_name);
-    let mut series: Vec<Series> = fig7_policies(app_name)
-        .into_iter()
+    let policies = fig7_policies(app_name);
+    let mut series: Vec<Series> = policies
+        .iter()
         .map(|p| Series {
             label: p.label().to_string(),
             points: Vec::new(),
         })
         .collect();
-    for &c in &cpus {
-        for (si, policy) in fig7_policies(app_name).into_iter().enumerate() {
-            let (app, _outputs) =
-                paper_app(app_name, c).unwrap_or_else(|| panic!("unknown app {app_name}"));
-            let cfg = SessionConfig::new(Machine::ibm_power3_colony(), policy)
-                .with_seed(1000 + c as u64);
-            let report = run_session(&app, cfg);
-            series[si].points.push((c, report.app_time.as_secs_f64()));
-        }
+    // Jobs in the serial sweep's iteration order: outer CPUs, inner policy.
+    let jobs: Vec<(usize, usize)> = cpus
+        .iter()
+        .flat_map(|&c| (0..policies.len()).map(move |si| (c, si)))
+        .collect();
+    let times = parallel::run(&jobs, workers, |&(c, si)| {
+        fig7_run(app_name, c, policies[si])
+    });
+    for (&(c, si), t) in jobs.iter().zip(times) {
+        series[si].points.push((c, t));
     }
     let sub = match app_name {
         "smg98" => "a",
@@ -269,7 +336,12 @@ pub fn fig8b(runs: usize) -> Figure {
     Figure {
         title: "Fig 8(b) VT_confsync writing statistics on IBM".into(),
         unit: "seconds",
-        series: vec![confsync_cost(&m, &procs, ConfsyncExperiment::WriteStats, runs)],
+        series: vec![confsync_cost(
+            &m,
+            &procs,
+            ConfsyncExperiment::WriteStats,
+            runs,
+        )],
     }
 }
 
@@ -280,7 +352,12 @@ pub fn fig8c(runs: usize) -> Figure {
     Figure {
         title: "Fig 8(c) VT_confsync on IA32 (no change)".into(),
         unit: "seconds",
-        series: vec![confsync_cost(&m, &procs, ConfsyncExperiment::NoChange, runs)],
+        series: vec![confsync_cost(
+            &m,
+            &procs,
+            ConfsyncExperiment::NoChange,
+            runs,
+        )],
     }
 }
 

@@ -239,8 +239,15 @@ mod tests {
         let dynamic = app.build_image(false);
         let stat = app.build_image(true);
         assert_eq!(dynamic.len(), 2);
-        assert!(!dynamic.info(dynamic.func("work").unwrap()).statically_instrumented);
-        assert!(stat.info(stat.func("work").unwrap()).statically_instrumented);
+        assert!(
+            !dynamic
+                .info(dynamic.func("work").unwrap())
+                .statically_instrumented
+        );
+        assert!(
+            stat.info(stat.func("work").unwrap())
+                .statically_instrumented
+        );
     }
 
     #[test]

@@ -167,11 +167,7 @@ mod tests {
 
     #[test]
     fn table1_long_and_short_forms_agree() {
-        let pairs = [
-            ("help", "h"),
-            ("start", "s"),
-            ("quit", "q"),
-        ];
+        let pairs = [("help", "h"), ("start", "s"), ("quit", "q")];
         for (long, short) in pairs {
             assert_eq!(
                 Command::parse(long).unwrap(),
@@ -237,11 +233,26 @@ mod tests {
 
     #[test]
     fn errors_are_descriptive() {
-        assert!(Command::parse("insert").unwrap_err().message.contains("argument"));
-        assert!(Command::parse("frobnicate").unwrap_err().message.contains("unknown"));
-        assert!(Command::parse("wait -3").unwrap_err().message.contains("non-negative"));
-        assert!(Command::parse("wait a b").unwrap_err().message.contains("at most one"));
-        assert!(Command::parse("start now").unwrap_err().message.contains("no arguments"));
+        assert!(Command::parse("insert")
+            .unwrap_err()
+            .message
+            .contains("argument"));
+        assert!(Command::parse("frobnicate")
+            .unwrap_err()
+            .message
+            .contains("unknown"));
+        assert!(Command::parse("wait -3")
+            .unwrap_err()
+            .message
+            .contains("non-negative"));
+        assert!(Command::parse("wait a b")
+            .unwrap_err()
+            .message
+            .contains("at most one"));
+        assert!(Command::parse("start now")
+            .unwrap_err()
+            .message
+            .contains("no arguments"));
     }
 
     #[test]
@@ -264,7 +275,16 @@ quit
 
     #[test]
     fn help_text_mentions_every_command() {
-        for c in ["help", "insert", "remove", "insert-file", "remove-file", "start", "quit", "wait"] {
+        for c in [
+            "help",
+            "insert",
+            "remove",
+            "insert-file",
+            "remove-file",
+            "start",
+            "quit",
+            "wait",
+        ] {
             assert!(HELP_TEXT.contains(c), "{c} missing from help");
         }
     }

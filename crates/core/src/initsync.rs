@@ -90,7 +90,9 @@ impl MpiHooks for InitSyncHook {
     fn on_init(&self, p: &Proc, comm: &Comm) {
         // begin dynamically inserted code (Fig 6):
         comm.barrier(p);
-        self.sync.sender.send(p, INIT_CALLBACK_TAG, comm.rank() as u64);
+        self.sync
+            .sender
+            .send(p, INIT_CALLBACK_TAG, comm.rank() as u64);
         // DYNVT_spin(): poll the spin variable. The gate wait models the
         // blocking; a small charge models the polling loop's wake-up.
         self.sync.gates[comm.rank()].wait_open(p);
@@ -149,7 +151,10 @@ mod tests {
         let max = exits.iter().map(|&(_, t)| t).max().unwrap();
         // All ranks leave MPI_Init nearly together (barrier re-sync), and
         // only after the instrumenter's 40 ms of work.
-        assert!(min >= SimTime::from_millis(40), "left before release: {min}");
+        assert!(
+            min >= SimTime::from_millis(40),
+            "left before release: {min}"
+        );
         assert!(
             max.saturating_sub(min) < SimTime::from_millis(1),
             "resync failed: spread {min}..{max}"

@@ -563,7 +563,8 @@ impl DynState {
         }
         let failures = self.client.wait_all(p, &reqs);
         if failures > 0 {
-            self.warnings.push(format!("{failures} probe installs failed"));
+            self.warnings
+                .push(format!("{failures} probe installs failed"));
         }
         self.timefile.record("instrument", t0, p.now());
     }
@@ -733,8 +734,7 @@ fn run_dynamic(app: &AppSpec, cfg: SessionConfig) -> SessionReport {
             };
             let mut handles = Vec::with_capacity(processes);
             for (i, &node) in nodes_of.iter().enumerate() {
-                match client.attach(p, node, Arc::clone(&images[i]), format!("{}:{i}", app.name))
-                {
+                match client.attach(p, node, Arc::clone(&images[i]), format!("{}:{i}", app.name)) {
                     Ok(h) => handles.push(h),
                     Err(e) => panic!("attach failed for process {i}: {e}"),
                 }

@@ -86,9 +86,17 @@ mod tests {
     #[test]
     fn totals_sum_matching_labels() {
         let tf = Timefile::new();
-        tf.record("instrument", SimTime::from_millis(10), SimTime::from_millis(30));
+        tf.record(
+            "instrument",
+            SimTime::from_millis(10),
+            SimTime::from_millis(30),
+        );
         tf.record("create", SimTime::ZERO, SimTime::from_millis(10));
-        tf.record("instrument", SimTime::from_millis(40), SimTime::from_millis(45));
+        tf.record(
+            "instrument",
+            SimTime::from_millis(40),
+            SimTime::from_millis(45),
+        );
         assert_eq!(tf.total("instrument"), SimTime::from_millis(25));
         assert_eq!(tf.total("create"), SimTime::from_millis(10));
         assert_eq!(tf.total("missing"), SimTime::ZERO);

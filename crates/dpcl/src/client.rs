@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use dynprof_obs as obs;
 use parking_lot::Mutex;
 
 use dynprof_image::{FuncId, Image, ProbePoint, Snippet, SnippetId};
@@ -39,7 +40,6 @@ impl std::fmt::Debug for ProcessHandle {
     }
 }
 
-
 /// Sender half used by in-application snippets to signal the instrumenter
 /// (`DPCL_callback()` in paper Fig 6).
 #[derive(Clone)]
@@ -72,6 +72,10 @@ pub struct DpclClient {
     daemons: Mutex<BTreeMap<usize, Arc<SimChannel<DownMsgEnvelope>>>>,
     next_req: AtomicU64,
     next_target: AtomicU32,
+    /// Issue times of in-flight requests, kept only while observation is
+    /// enabled, so [`DpclClient::wait_ack`] can report virtual-time
+    /// request latencies.
+    issued: Mutex<BTreeMap<ReqId, (&'static str, SimTime)>>,
 }
 
 impl DpclClient {
@@ -86,6 +90,14 @@ impl DpclClient {
             daemons: Mutex::new(BTreeMap::new()),
             next_req: AtomicU64::new(1),
             next_target: AtomicU32::new(1),
+            issued: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Stamp `req`'s issue time under `metric` (no-op unless observing).
+    fn note_issue(&self, p: &Proc, req: ReqId, metric: &'static str) {
+        if obs::enabled() {
+            self.issued.lock().insert(req, (metric, p.now()));
         }
     }
 
@@ -143,6 +155,9 @@ impl DpclClient {
     }
 
     fn send_down(&self, p: &Proc, node: usize, msg: DownMsg) {
+        if obs::enabled() {
+            obs::counter("dpcl.requests").inc();
+        }
         p.advance(CLIENT_SEND_COST);
         let daemon = {
             let daemons = self.daemons.lock();
@@ -197,6 +212,7 @@ impl DpclClient {
         snippet: Snippet,
     ) -> ReqId {
         let req = self.req();
+        self.note_issue(p, req, "dpcl.install_latency_ns");
         self.send_down(
             p,
             h.node,
@@ -219,6 +235,7 @@ impl DpclClient {
         snippet: SnippetId,
     ) -> ReqId {
         let req = self.req();
+        self.note_issue(p, req, "dpcl.remove_latency_ns");
         self.send_down(
             p,
             h.node,
@@ -235,6 +252,7 @@ impl DpclClient {
     /// Asynchronously remove all instrumentation from `func` of `h`.
     pub fn remove_function(&self, p: &Proc, h: &ProcessHandle, func: FuncId) -> ReqId {
         let req = self.req();
+        self.note_issue(p, req, "dpcl.remove_latency_ns");
         self.send_down(
             p,
             h.node,
@@ -284,9 +302,25 @@ impl DpclClient {
 
     /// Block until the acknowledgement of `req` arrives.
     pub fn wait_ack(&self, p: &Proc, req: ReqId) -> AckResult {
-        let msg = self.inbox.recv_match(p, |m| matches!(m, UpMsg::Ack { req: r, .. } if *r == req));
+        let msg = self
+            .inbox
+            .recv_match(p, |m| matches!(m, UpMsg::Ack { req: r, .. } if *r == req));
         match msg {
-            UpMsg::Ack { result, .. } => result,
+            UpMsg::Ack {
+                result,
+                completed_at,
+                ..
+            } => {
+                if obs::enabled() {
+                    // Virtual time from request issue to daemon completion
+                    // (the ack's transit back is the client's wait, not the
+                    // daemon's work, so it is excluded).
+                    if let Some((metric, sent)) = self.issued.lock().remove(&req) {
+                        obs::histogram(metric).record(completed_at.saturating_sub(sent).as_nanos());
+                    }
+                }
+                result
+            }
             _ => unreachable!("matcher"),
         }
     }
@@ -314,9 +348,10 @@ impl DpclClient {
     /// Block until an application callback with `tag` arrives; returns its
     /// payload.
     pub fn recv_callback(&self, p: &Proc, tag: u64) -> u64 {
-        let msg = self
-            .inbox
-            .recv_match(p, |m| matches!(m, UpMsg::Callback { tag: t, .. } if *t == tag));
+        let msg = self.inbox.recv_match(
+            p,
+            |m| matches!(m, UpMsg::Callback { tag: t, .. } if *t == tag),
+        );
         match msg {
             UpMsg::Callback { payload, .. } => payload,
             _ => unreachable!("matcher"),

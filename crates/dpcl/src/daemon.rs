@@ -16,6 +16,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use dynprof_obs as obs;
 use parking_lot::Mutex;
 
 use dynprof_image::Image;
@@ -52,11 +53,7 @@ impl DpclSystem {
 
     /// The super daemon inbox for `node`, starting the daemon if needed
     /// (the paper's system starts them at boot; we start on first use).
-    pub(crate) fn super_on(
-        self: &Arc<Self>,
-        p: &Proc,
-        node: usize,
-    ) -> Arc<SimChannel<SuperMsg>> {
+    pub(crate) fn super_on(self: &Arc<Self>, p: &Proc, node: usize) -> Arc<SimChannel<SuperMsg>> {
         let mut supers = self.supers.lock();
         if let Some(ch) = supers.get(&node) {
             return Arc::clone(ch);
@@ -85,47 +82,54 @@ impl DpclSystem {
     }
 }
 
+/// Per-channel message accounting (callers guard with [`obs::enabled`]).
+fn note_msg(channel: &'static str) {
+    obs::counter(channel).inc();
+}
+
 fn super_daemon_loop(dp: &Proc, inbox: &SimChannel<SuperMsg>, allowed: &[String]) {
     // Any non-Connect message (i.e. Shutdown) ends the daemon.
     while let SuperMsg::Connect { req, user, reply } = inbox.recv(dp) {
         {
-                dp.advance(AUTH_COST);
-                let machine = dp.machine().clone();
-                let delay = machine.daemon.base_delay + dp.jitter(machine.daemon.jitter);
-                if !allowed.iter().any(|u| u == &user) {
-                    reply.send(
-                        dp,
-                        UpMsg::AuthFailed {
-                            req,
-                            message: format!("user {user:?} not authorized on node {}", dp.node()),
-                        },
-                        delay,
-                    );
-                    continue;
-                }
-                // Spawn the per-user communication daemon.
-                dp.advance(SPAWN_DAEMON_COST);
-                let daemon_inbox: Arc<SimChannel<DownMsgEnvelope>> =
-                    Arc::new(SimChannel::new_fifo());
-                let di2 = Arc::clone(&daemon_inbox);
-                let reply2 = Arc::clone(&reply);
-                let user2 = user.clone();
-                dp.spawn_child(
-                    format!("dpcl-comm@{}:{user}", dp.node()),
-                    dp.node(),
-                    move |cp| {
-                        comm_daemon_loop(cp, &di2, &reply2, &user2);
-                    },
-                );
+            if obs::enabled() {
+                note_msg("dpcl.msgs.connect");
+            }
+            dp.advance(AUTH_COST);
+            let machine = dp.machine().clone();
+            let delay = machine.daemon.base_delay + dp.jitter(machine.daemon.jitter);
+            if !allowed.iter().any(|u| u == &user) {
                 reply.send(
                     dp,
-                    UpMsg::Connected {
+                    UpMsg::AuthFailed {
                         req,
-                        node: dp.node(),
-                        daemon: daemon_inbox,
+                        message: format!("user {user:?} not authorized on node {}", dp.node()),
                     },
                     delay,
                 );
+                continue;
+            }
+            // Spawn the per-user communication daemon.
+            dp.advance(SPAWN_DAEMON_COST);
+            let daemon_inbox: Arc<SimChannel<DownMsgEnvelope>> = Arc::new(SimChannel::new_fifo());
+            let di2 = Arc::clone(&daemon_inbox);
+            let reply2 = Arc::clone(&reply);
+            let user2 = user.clone();
+            dp.spawn_child(
+                format!("dpcl-comm@{}:{user}", dp.node()),
+                dp.node(),
+                move |cp| {
+                    comm_daemon_loop(cp, &di2, &reply2, &user2);
+                },
+            );
+            reply.send(
+                dp,
+                UpMsg::Connected {
+                    req,
+                    node: dp.node(),
+                    daemon: daemon_inbox,
+                },
+                delay,
+            );
         }
     }
 }
@@ -155,7 +159,19 @@ fn comm_daemon_loop(
         message: format!("no attached target {t:?}"),
     };
     loop {
-        match inbox.recv(cp).0 {
+        let msg = inbox.recv(cp).0;
+        if obs::enabled() {
+            note_msg(match &msg {
+                DownMsg::Attach { .. } => "dpcl.msgs.attach",
+                DownMsg::Install { .. } => "dpcl.msgs.install",
+                DownMsg::Remove { .. } => "dpcl.msgs.remove",
+                DownMsg::RemoveFunction { .. } => "dpcl.msgs.remove_function",
+                DownMsg::Suspend { .. } => "dpcl.msgs.suspend",
+                DownMsg::Resume { .. } => "dpcl.msgs.resume",
+                DownMsg::Shutdown { .. } => "dpcl.msgs.shutdown",
+            });
+        }
+        match msg {
             DownMsg::Attach {
                 req,
                 target,
@@ -188,9 +204,13 @@ fn comm_daemon_loop(
                 Some((img, _name)) => {
                     cp.advance(machine.daemon.patch_cost);
                     let removed = img.remove(point, snippet);
-                    ack(cp, req, AckResult::Ok {
-                        detail: u64::from(removed),
-                    });
+                    ack(
+                        cp,
+                        req,
+                        AckResult::Ok {
+                            detail: u64::from(removed),
+                        },
+                    );
                 }
                 None => ack(cp, req, missing(target)),
             },

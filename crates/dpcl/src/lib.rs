@@ -268,12 +268,7 @@ mod tests {
                     handles.push(client.attach(p, node, Arc::clone(&image), "t").unwrap());
                 }
                 for h in &handles {
-                    reqs.push(client.install_probe(
-                        p,
-                        h,
-                        ProbePoint::entry(f),
-                        Snippet::noop("n"),
-                    ));
+                    reqs.push(client.install_probe(p, h, ProbePoint::entry(f), Snippet::noop("n")));
                 }
                 assert_eq!(client.wait_all(p, &reqs), 0);
                 client.shutdown(p);

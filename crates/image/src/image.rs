@@ -294,13 +294,7 @@ impl Image {
     // -- the call path -------------------------------------------------------
 
     /// Execute `body` as a call to `fid`, firing instrumentation.
-    pub fn call<R>(
-        &self,
-        p: &Proc,
-        cc: CallerCtx,
-        fid: FuncId,
-        body: impl FnOnce() -> R,
-    ) -> R {
+    pub fn call<R>(&self, p: &Proc, cc: CallerCtx, fid: FuncId, body: impl FnOnce() -> R) -> R {
         self.call_batch(p, cc, fid, 1, |_| body())
     }
 
@@ -327,10 +321,7 @@ impl Image {
         // Shadow PC for statistical samplers (restored on return).
         let pc_slot = self.pc.get(cc.thread);
         let prev_pc = pc_slot.map(|s| s.swap(fid.0 + 1, Ordering::Relaxed));
-        let t_enter = self
-            .pc_log_enabled
-            .load(Ordering::Relaxed)
-            .then(|| p.now());
+        let t_enter = self.pc_log_enabled.load(Ordering::Relaxed).then(|| p.now());
 
         let info = &self.info[fid.index()];
         let static_hooks = if info.statically_instrumented {
@@ -493,7 +484,9 @@ impl ImageBuilder {
             }),
             next_snippet: AtomicU64::new(1),
             counts: (0..n).map(|_| AtomicU64::new(0)).collect(),
-            pc: (0..MAX_SAMPLED_THREADS).map(|_| AtomicU32::new(0)).collect(),
+            pc: (0..MAX_SAMPLED_THREADS)
+                .map(|_| AtomicU32::new(0))
+                .collect(),
             pc_log_enabled: AtomicBool::new(false),
             pc_log: Mutex::new(HashMap::new()),
             patches: AtomicU64::new(0),

@@ -39,7 +39,9 @@ mod snippet;
 mod trampoline;
 
 pub use func::{FuncId, FunctionInfo, ProbePoint, ProbePointKind};
-pub use image::{CallerCtx, Image, ImageBuilder, ImageObserver, PcLog, StaticHooks, MAX_SAMPLED_THREADS};
+pub use image::{
+    CallerCtx, Image, ImageBuilder, ImageObserver, PcLog, StaticHooks, MAX_SAMPLED_THREADS,
+};
 pub use snippet::{ProbeCtx, Snippet, SnippetId};
 pub use trampoline::{
     BaseTrampoline, MiniTrampoline, BASE_TRAMPOLINE_BYTES, MINI_TRAMPOLINE_BYTES,

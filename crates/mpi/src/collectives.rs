@@ -7,10 +7,12 @@
 //! is observed).
 
 use std::sync::atomic::Ordering;
+use std::sync::OnceLock;
 
+use dynprof_obs as obs;
 use dynprof_sim::Proc;
 
-use crate::comm::{Comm, Envelope, Kind};
+use crate::comm::{note_send, Comm, Envelope, Kind};
 use crate::data::{MpiData, Sized};
 use crate::types::{MpiOp, Source, Status, Tag, TagSel};
 
@@ -106,9 +108,19 @@ impl Comm {
 
     /// Barrier built from a zero-byte reduce + broadcast (2 log P hops).
     pub(crate) fn barrier_internal(&self, p: &Proc) {
+        let entered = p.now();
         let tag = self.next_coll_tag();
         let up = self.reduce_internal::<u8>(p, 0, 0, &|a, b| a | b, tag);
         self.bcast_internal::<u8>(p, 0, up, tag);
+        if obs::enabled() {
+            static N: OnceLock<&'static obs::Counter> = OnceLock::new();
+            static WAIT: OnceLock<&'static obs::Histogram> = OnceLock::new();
+            N.get_or_init(|| obs::counter("mpi.barriers")).inc();
+            // Virtual time this rank spent inside the barrier — recorded
+            // after the fact, never advancing the clock itself.
+            WAIT.get_or_init(|| obs::histogram("mpi.barrier_wait_ns"))
+                .record(p.now().saturating_sub(entered).as_nanos());
+        }
     }
 
     fn gather_internal<T: MpiData>(
@@ -201,9 +213,9 @@ impl Comm {
         self.hooked(p, MpiOp::Allgather, bytes, |p| {
             let tag = self.next_coll_tag();
             let gathered = self.gather_internal(p, 0, value, tag);
-            let wire = gathered.as_ref().map_or(0, |v| {
-                v.iter().map(|x| x.byte_len()).sum::<usize>()
-            });
+            let wire = gathered
+                .as_ref()
+                .map_or(0, |v| v.iter().map(|x| x.byte_len()).sum::<usize>());
             self.bcast_internal(p, 0, gathered.map(|v| Sized::new(v, wire)), tag)
                 .value
         })
@@ -227,8 +239,7 @@ impl Comm {
             for step in 1..n {
                 let dst = (me + step) % n;
                 let src = (me + n - step) % n;
-                let (v, _) =
-                    self.sendrecv_raw::<T, T>(p, dst, tag, send[dst].clone(), src, tag);
+                let (v, _) = self.sendrecv_raw::<T, T>(p, dst, tag, send[dst].clone(), src, tag);
                 recv[src] = Some(v);
             }
             recv.into_iter()
@@ -267,12 +278,7 @@ impl Comm {
 
     /// `MPI_Scan`: inclusive prefix reduction — rank `i` receives
     /// `op(v_0, ..., v_i)`. Linear chain algorithm.
-    pub fn scan<T: MpiData + Clone>(
-        &self,
-        p: &Proc,
-        value: T,
-        op: impl Fn(T, T) -> T + Sync,
-    ) -> T {
+    pub fn scan<T: MpiData + Clone>(&self, p: &Proc, value: T, op: impl Fn(T, T) -> T + Sync) -> T {
         let bytes = value.byte_len();
         self.hooked(p, MpiOp::Scan, bytes, |p| {
             let tag = self.next_coll_tag();
@@ -306,6 +312,9 @@ impl Comm {
     ) -> (R, Status) {
         // Eager-forced to stay deadlock-free regardless of size.
         let bytes = data.byte_len();
+        if obs::enabled() {
+            note_send(bytes);
+        }
         let machine = p.machine();
         let link = machine.link_between(
             self.job.node_of(self.rank(), machine) * machine.cpus_per_node,
@@ -330,6 +339,10 @@ impl Comm {
             "MPI collective before MPI_Init on rank {}",
             self.rank()
         );
+        if obs::enabled() {
+            static COLLS: OnceLock<&'static obs::Counter> = OnceLock::new();
+            COLLS.get_or_init(|| obs::counter("mpi.collectives")).inc();
+        }
         self.job.hooks.begin(p, self, op, None, bytes);
         p.advance(self.job.call_overhead);
         let r = f(p);

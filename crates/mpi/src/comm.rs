@@ -11,14 +11,26 @@
 
 use std::any::Any;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
+use dynprof_obs as obs;
 use dynprof_sim::sync::SimChannel;
 use dynprof_sim::{Proc, SimTime};
 
 use crate::data::MpiData;
 use crate::hooks::HookChain;
 use crate::types::{MpiOp, Source, Status, Tag, TagSel};
+
+/// Count one outgoing message (handles cached so the enabled path pays
+/// two atomic adds; callers guard with [`obs::enabled`]).
+pub(crate) fn note_send(bytes: usize) {
+    static MSGS: OnceLock<&'static obs::Counter> = OnceLock::new();
+    static BYTES: OnceLock<&'static obs::Counter> = OnceLock::new();
+    MSGS.get_or_init(|| obs::counter("mpi.messages")).inc();
+    BYTES
+        .get_or_init(|| obs::counter("mpi.bytes"))
+        .add(bytes as u64);
+}
 
 pub(crate) enum Kind {
     Eager(Box<dyn Any + Send>),
@@ -147,6 +159,9 @@ impl Comm {
     pub(crate) fn send_raw<T: MpiData>(&self, p: &Proc, dst: usize, tag: Tag, data: T) {
         assert!(dst < self.size(), "send to invalid rank {dst}");
         let bytes = data.byte_len();
+        if obs::enabled() {
+            note_send(bytes);
+        }
         let machine = p.machine();
         let link = machine.link_between(
             self.job.node_of(self.rank, machine) * machine.cpus_per_node,
@@ -182,9 +197,8 @@ impl Comm {
                 link.transfer(32),
             );
             let rtag = Tag::rendezvous(id);
-            let _cts = self.job.mailboxes[self.rank].recv_match(p, |e| {
-                e.tag == rtag && matches!(e.kind, Kind::Cts)
-            });
+            let _cts = self.job.mailboxes[self.rank]
+                .recv_match(p, |e| e.tag == rtag && matches!(e.kind, Kind::Cts));
             let bw_term = link.transfer(bytes) - link.latency;
             p.advance(bw_term);
             self.job.mailboxes[dst].send(
@@ -200,49 +214,42 @@ impl Comm {
         }
     }
 
-    pub(crate) fn recv_raw<T: MpiData>(
-        &self,
-        p: &Proc,
-        src: Source,
-        tag: TagSel,
-    ) -> (T, Status) {
+    pub(crate) fn recv_raw<T: MpiData>(&self, p: &Proc, src: Source, tag: TagSel) -> (T, Status) {
         let env = self.job.mailboxes[self.rank].recv_match(p, |e| {
             src.matches(e.src)
                 && tag.matches(e.tag)
                 && matches!(e.kind, Kind::Eager(_) | Kind::Rts { .. })
         });
-        let (payload, src_rank, otag, bytes): (Box<dyn Any + Send>, usize, Tag, usize) = match env
-            .kind
-        {
-            Kind::Eager(b) => (b, env.src, env.tag, env.bytes),
-            Kind::Rts { id, data_bytes } => {
-                // Clear-to-send, then wait for the streamed data.
-                let machine = p.machine();
-                let link = machine.link_between(
-                    self.job.node_of(self.rank, machine) * machine.cpus_per_node,
-                    self.job.node_of(env.src, machine) * machine.cpus_per_node,
-                );
-                let rtag = Tag::rendezvous(id);
-                self.job.mailboxes[env.src].send(
-                    p,
-                    Envelope {
-                        src: self.rank,
-                        tag: rtag,
-                        bytes: 0,
-                        kind: Kind::Cts,
-                    },
-                    link.transfer(16),
-                );
-                let data = self.job.mailboxes[self.rank].recv_match(p, |e| {
-                    e.tag == rtag && matches!(e.kind, Kind::Data(_))
-                });
-                match data.kind {
-                    Kind::Data(b) => (b, env.src, env.tag, data_bytes),
-                    _ => unreachable!("matched Data"),
+        let (payload, src_rank, otag, bytes): (Box<dyn Any + Send>, usize, Tag, usize) =
+            match env.kind {
+                Kind::Eager(b) => (b, env.src, env.tag, env.bytes),
+                Kind::Rts { id, data_bytes } => {
+                    // Clear-to-send, then wait for the streamed data.
+                    let machine = p.machine();
+                    let link = machine.link_between(
+                        self.job.node_of(self.rank, machine) * machine.cpus_per_node,
+                        self.job.node_of(env.src, machine) * machine.cpus_per_node,
+                    );
+                    let rtag = Tag::rendezvous(id);
+                    self.job.mailboxes[env.src].send(
+                        p,
+                        Envelope {
+                            src: self.rank,
+                            tag: rtag,
+                            bytes: 0,
+                            kind: Kind::Cts,
+                        },
+                        link.transfer(16),
+                    );
+                    let data = self.job.mailboxes[self.rank]
+                        .recv_match(p, |e| e.tag == rtag && matches!(e.kind, Kind::Data(_)));
+                    match data.kind {
+                        Kind::Data(b) => (b, env.src, env.tag, data_bytes),
+                        _ => unreachable!("matched Data"),
+                    }
                 }
-            }
-            _ => unreachable!("matcher excludes Cts/Data"),
-        };
+                _ => unreachable!("matcher excludes Cts/Data"),
+            };
         let value = *payload.downcast::<T>().unwrap_or_else(|_| {
             panic!(
                 "MPI recv type mismatch on rank {}: message from {} tag {:?} is not a {}",
@@ -339,29 +346,33 @@ impl Comm {
     }
 
     /// Complete a posted nonblocking receive (fires the Recv wrapper).
-    pub(crate) fn wait_recv<T: MpiData>(
-        &self,
-        p: &Proc,
-        src: Source,
-        tag: TagSel,
-    ) -> (T, Status) {
+    pub(crate) fn wait_recv<T: MpiData>(&self, p: &Proc, src: Source, tag: TagSel) -> (T, Status) {
         self.assert_ready();
         let peer = match src {
             Source::Rank(r) => Some(r),
             Source::Any => None,
         };
-        self.job.hooks.begin(p, self, crate::types::MpiOp::Recv, peer, 0);
-        let (v, st) = self.recv_raw::<T>(p, src, tag);
-        p.advance(self.job.call_overhead);
         self.job
             .hooks
-            .end(p, self, crate::types::MpiOp::Recv, Some(st.source), st.bytes);
+            .begin(p, self, crate::types::MpiOp::Recv, peer, 0);
+        let (v, st) = self.recv_raw::<T>(p, src, tag);
+        p.advance(self.job.call_overhead);
+        self.job.hooks.end(
+            p,
+            self,
+            crate::types::MpiOp::Recv,
+            Some(st.source),
+            st.bytes,
+        );
         (v, st)
     }
 
     fn send_eager_forced<T: MpiData>(&self, p: &Proc, dst: usize, tag: Tag, data: T) {
         assert!(dst < self.size(), "send to invalid rank {dst}");
         let bytes = data.byte_len();
+        if obs::enabled() {
+            note_send(bytes);
+        }
         let machine = p.machine();
         let link = machine.link_between(
             self.job.node_of(self.rank, machine) * machine.cpus_per_node,

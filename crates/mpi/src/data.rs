@@ -84,7 +84,7 @@ mod tests {
 
     #[test]
     fn scalar_sizes() {
-        assert_eq!(3.14f64.byte_len(), 8);
+        assert_eq!(2.5f64.byte_len(), 8);
         assert_eq!(1u32.byte_len(), 4);
         assert_eq!(().byte_len(), 0);
     }

@@ -70,7 +70,14 @@ impl HookChain {
         self.hooks.is_empty()
     }
 
-    pub(crate) fn begin(&self, p: &Proc, comm: &Comm, op: MpiOp, peer: Option<usize>, bytes: usize) {
+    pub(crate) fn begin(
+        &self,
+        p: &Proc,
+        comm: &Comm,
+        op: MpiOp,
+        peer: Option<usize>,
+        bytes: usize,
+    ) {
         for h in &self.hooks {
             h.on_call_begin(p, comm, op, peer, bytes);
         }

@@ -137,12 +137,7 @@ where
 /// Launch a job from within a running simulated process (e.g. the dynprof
 /// instrumenter spawning its target via `poe`). Ranks start at the
 /// spawner's current time plus a per-rank process-creation cost.
-pub fn launch_from<F>(
-    p: &Proc,
-    spec: JobSpec,
-    hooks: Vec<Arc<dyn MpiHooks>>,
-    body: F,
-) -> Job
+pub fn launch_from<F>(p: &Proc, spec: JobSpec, hooks: Vec<Arc<dyn MpiHooks>>, body: F) -> Job
 where
     F: Fn(&Proc, &Comm) + Send + Sync + 'static,
 {

@@ -92,13 +92,19 @@ mod tests {
         let hits = Arc::new(Mutex::new(vec![0u32; 100]));
         let h2 = Arc::clone(&hits);
         run_omp(4, move |p, rt| {
-            rt.parallel_for(p, "dyn", 0..100, Schedule::Dynamic { chunk: 7 }, |c, ctx| {
-                ctx.proc.advance(SimTime::from_micros(1));
-                let mut h = h2.lock();
-                for i in c {
-                    h[i] += 1;
-                }
-            });
+            rt.parallel_for(
+                p,
+                "dyn",
+                0..100,
+                Schedule::Dynamic { chunk: 7 },
+                |c, ctx| {
+                    ctx.proc.advance(SimTime::from_micros(1));
+                    let mut h = h2.lock();
+                    for i in c {
+                        h[i] += 1;
+                    }
+                },
+            );
         });
         assert!(hits.lock().iter().all(|&c| c == 1));
     }

@@ -27,6 +27,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use dynprof_obs as obs;
 use parking_lot::{Condvar, Mutex};
 
 use crate::rng::SimRng;
@@ -75,6 +76,9 @@ struct EngineInner {
     horizon: SimTime,
     /// Wake events dispatched by the scheduler (throughput metric).
     dispatched: u64,
+    /// Deepest the event queue has grown (only tracked while observation
+    /// is enabled; deterministic, since pushes are serialized).
+    queue_hw: usize,
     panicked: bool,
 }
 
@@ -100,6 +104,7 @@ impl Engine {
                 live: 0,
                 horizon: SimTime::ZERO,
                 dispatched: 0,
+                queue_hw: 0,
                 panicked: false,
             }),
             sched_cv: Condvar::new(),
@@ -121,6 +126,9 @@ impl Engine {
         g.seq += 1;
         let seq = g.seq;
         g.queue.push(Reverse((at, seq, pid)));
+        if obs::enabled() {
+            g.queue_hw = g.queue_hw.max(g.queue.len());
+        }
         // If the scheduler is idle (everyone blocked), let it re-examine.
         self.sched_cv.notify_one();
     }
@@ -283,6 +291,9 @@ impl Sim {
                 g.seq += 1;
                 let seq = g.seq;
                 g.queue.push(Reverse((start, seq, pid)));
+                if obs::enabled() {
+                    g.queue_hw = g.queue_hw.max(g.queue.len());
+                }
                 eng.sched_cv.notify_one();
             }
             pid
@@ -357,6 +368,10 @@ impl Sim {
                 self.eng.real_now()
             }
             ClockMode::Virtual => {
+                // A dispatch that resumes a different process than last
+                // time is a context switch in the one-runs-at-a-time model.
+                let mut ctx_switches = 0u64;
+                let mut last_pid: Option<Pid> = None;
                 loop {
                     let mut g = self.eng.inner.lock();
                     // Wait until nobody is running.
@@ -374,12 +389,18 @@ impl Sim {
                     while let Some(Reverse((t, _seq, pid))) = g.queue.pop() {
                         match g.procs[pid].state {
                             PState::Done => continue, // stale wake for a finished process
-                            PState::Running => unreachable!("running proc has queued wake while scheduler active"),
+                            PState::Running => {
+                                unreachable!("running proc has queued wake while scheduler active")
+                            }
                             PState::Blocked => {
                                 let c = g.procs[pid].clock;
                                 g.procs[pid].clock = c.max(t);
                                 g.horizon = g.horizon.max(g.procs[pid].clock);
                                 g.dispatched += 1;
+                                if last_pid != Some(pid) {
+                                    ctx_switches += 1;
+                                    last_pid = Some(pid);
+                                }
                                 g.current = Some(pid);
                                 g.procs[pid].cv.notify_one();
                                 dispatched = true;
@@ -442,6 +463,16 @@ impl Sim {
                 if g.panicked {
                     drop(g);
                     panic!("a simulated process panicked");
+                }
+                if obs::enabled() {
+                    // Flushed once per run, so nothing touches the
+                    // per-event hot path and nothing advances virtual time.
+                    obs::counter("sim.events_dispatched").add(g.dispatched);
+                    obs::counter("sim.context_switches").add(ctx_switches);
+                    obs::gauge("sim.queue_depth_high_water").set(g.queue_hw as u64);
+                    obs::gauge("sim.virtual_horizon_ns").set(g.horizon.as_nanos());
+                    obs::gauge("sim.real_elapsed_ns")
+                        .set(self.eng.epoch.elapsed().as_nanos() as u64);
                 }
                 g.horizon
             }

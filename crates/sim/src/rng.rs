@@ -4,13 +4,15 @@
 //! flows through [`SimRng`], a ChaCha8 generator seeded from a global seed
 //! plus a stream identifier. Two runs with the same seed therefore produce
 //! identical event sequences, which the property tests rely on.
-
-use rand::{Rng, RngCore, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+//!
+//! The ChaCha8 core is implemented locally (the build environment cannot
+//! fetch the `rand_chacha` crate): the standard ChaCha quarter-round over
+//! a 16-word state, 8 rounds, 64-byte blocks consumed as sixteen
+//! little-endian words.
 
 /// A deterministic per-stream random generator.
 pub struct SimRng {
-    inner: ChaCha8Rng,
+    inner: ChaCha8,
 }
 
 impl SimRng {
@@ -21,7 +23,7 @@ impl SimRng {
     pub fn new(seed: u64, stream: u64) -> SimRng {
         let mixed = splitmix64(seed ^ splitmix64(stream.wrapping_add(0x9E37_79B9_7F4A_7C15)));
         SimRng {
-            inner: ChaCha8Rng::seed_from_u64(mixed),
+            inner: ChaCha8::seed_from_u64(mixed),
         }
     }
 
@@ -32,18 +34,35 @@ impl SimRng {
 
     /// Uniform `u64` in the given range.
     pub fn gen_range_u64(&mut self, range: std::ops::RangeInclusive<u64>) -> u64 {
-        self.inner.gen_range(range)
+        let (lo, hi) = (*range.start(), *range.end());
+        assert!(lo <= hi, "gen_range_u64 on empty range");
+        let span = hi.wrapping_sub(lo).wrapping_add(1);
+        if span == 0 {
+            // Full u64 range.
+            return self.next_u64();
+        }
+        // Lemire's multiply-shift map with a rejection pass for exact
+        // uniformity (the zone below `threshold` would be over-weighted).
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (span as u128);
+            if (m as u64) >= threshold {
+                return lo + (m >> 64) as u64;
+            }
+        }
     }
 
     /// Uniform `usize` in `[0, n)`. Panics if `n == 0`.
     pub fn gen_index(&mut self, n: usize) -> usize {
         assert!(n > 0, "gen_index on empty range");
-        self.inner.gen_range(0..n)
+        self.gen_range_u64(0..=(n as u64 - 1)) as usize
     }
 
     /// Uniform `f64` in `[0, 1)`.
     pub fn gen_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 uniform mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Raw 64 random bits.
@@ -57,6 +76,94 @@ fn splitmix64(mut x: u64) -> u64 {
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^ (x >> 31)
+}
+
+/// The ChaCha stream cipher with 8 rounds, used purely as a PRNG.
+struct ChaCha8 {
+    /// Constant ‖ key ‖ counter ‖ nonce input words.
+    state: [u32; 16],
+    /// The current 64-byte output block as sixteen words.
+    block: [u32; 16],
+    /// Next unread word of `block`; 16 forces a refill.
+    cursor: usize,
+}
+
+impl ChaCha8 {
+    /// Key the generator from a 64-bit seed: the 256-bit key is the seed
+    /// expanded through SplitMix64 (counter and nonce start at zero).
+    fn seed_from_u64(seed: u64) -> ChaCha8 {
+        let mut key = [0u32; 8];
+        let mut s = seed;
+        for pair in key.chunks_mut(2) {
+            s = splitmix64(s);
+            pair[0] = s as u32;
+            pair[1] = (s >> 32) as u32;
+        }
+        let mut state = [0u32; 16];
+        // "expand 32-byte k"
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646E;
+        state[2] = 0x7962_2D32;
+        state[3] = 0x6B20_6574;
+        state[4..12].copy_from_slice(&key);
+        ChaCha8 {
+            state,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut x = self.state;
+        for _ in 0..4 {
+            // Column round.
+            quarter(&mut x, 0, 4, 8, 12);
+            quarter(&mut x, 1, 5, 9, 13);
+            quarter(&mut x, 2, 6, 10, 14);
+            quarter(&mut x, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter(&mut x, 0, 5, 10, 15);
+            quarter(&mut x, 1, 6, 11, 12);
+            quarter(&mut x, 2, 7, 8, 13);
+            quarter(&mut x, 3, 4, 9, 14);
+        }
+        for (o, s) in x.iter_mut().zip(self.state.iter()) {
+            *o = o.wrapping_add(*s);
+        }
+        self.block = x;
+        self.cursor = 0;
+        // 64-bit block counter in words 12..14.
+        let c = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+        self.state[12] = c as u32;
+        self.state[13] = (c >> 32) as u32;
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor == 16 {
+            self.refill();
+        }
+        let w = self.block[self.cursor];
+        self.cursor += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[inline]
+fn quarter(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(16);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(12);
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(8);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(7);
 }
 
 #[cfg(test)]
@@ -98,5 +205,31 @@ mod tests {
     #[should_panic(expected = "empty range")]
     fn empty_index_range_panics() {
         SimRng::new(1, 1).gen_index(0);
+    }
+
+    #[test]
+    fn chacha_core_matches_rfc8439_structure() {
+        // The RFC 7539/8439 test vector is for 20 rounds; with 8 rounds we
+        // can still pin the quarter-round primitive from the RFC's §2.1.1
+        // example.
+        let mut x = [0u32; 16];
+        x[0] = 0x1111_1111;
+        x[1] = 0x0102_0304;
+        x[2] = 0x9b8d_6f43;
+        x[3] = 0x0123_4567;
+        quarter(&mut x, 0, 1, 2, 3);
+        assert_eq!(x[0], 0xea2a_92f4);
+        assert_eq!(x[1], 0xcb1c_f8ce);
+        assert_eq!(x[2], 0x4581_472e);
+        assert_eq!(x[3], 0x5881_c4bb);
+    }
+
+    #[test]
+    fn output_is_not_degenerate() {
+        // Cheap sanity: bits are roughly balanced over a small sample.
+        let mut r = SimRng::new(42, 0);
+        let ones: u32 = (0..256).map(|_| r.next_u64().count_ones()).sum();
+        let total = 256 * 64;
+        assert!((ones as f64 / total as f64 - 0.5).abs() < 0.05);
     }
 }

@@ -209,10 +209,7 @@ mod tests {
     use dynprof_mpi::{launch, JobSpec};
     use dynprof_sim::{Machine, ProbeCosts, Sim};
 
-    fn setup(
-        ranks: usize,
-        config: VtConfig,
-    ) -> (Arc<VtLib>, Arc<MonitorLink>, Sim) {
+    fn setup(ranks: usize, config: VtConfig) -> (Arc<VtLib>, Arc<MonitorLink>, Sim) {
         let vt = VtLib::new("app", ranks, config, ProbeCosts::power3());
         let monitor = MonitorLink::new();
         let sim = Sim::virtual_time(Machine::test_machine(), 11);

@@ -365,7 +365,9 @@ mod tests {
             let id = vt2.funcdef(p, "test");
             img2.insert(ProbePoint::entry(f), vt_begin_snippet(Arc::clone(&vt2), id));
             img2.insert(ProbePoint::exit(f), vt_end_snippet(Arc::clone(&vt2), id));
-            img2.call(p, CallerCtx::default(), f, || p.advance(SimTime::from_micros(50)));
+            img2.call(p, CallerCtx::default(), f, || {
+                p.advance(SimTime::from_micros(50))
+            });
         });
         sim.run();
         let id = vtl.func_id("test").unwrap();
@@ -405,11 +407,17 @@ mod tests {
         assert!(mpi_events.contains(&(0, MpiOp::Send)));
         assert!(mpi_events.contains(&(1, MpiOp::Recv)));
         assert_eq!(
-            mpi_events.iter().filter(|(_, op)| *op == MpiOp::Barrier).count(),
+            mpi_events
+                .iter()
+                .filter(|(_, op)| *op == MpiOp::Barrier)
+                .count(),
             2
         );
         assert_eq!(
-            mpi_events.iter().filter(|(_, op)| *op == MpiOp::Init).count(),
+            mpi_events
+                .iter()
+                .filter(|(_, op)| *op == MpiOp::Init)
+                .count(),
             2
         );
     }
@@ -430,8 +438,16 @@ mod tests {
         });
         sim.run();
         let trace = vtl.build_trace();
-        let forks = trace.events.iter().filter(|e| matches!(e, Event::OmpFork { .. })).count();
-        let joins = trace.events.iter().filter(|e| matches!(e, Event::OmpJoin { .. })).count();
+        let forks = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, Event::OmpFork { .. }))
+            .count();
+        let joins = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, Event::OmpJoin { .. }))
+            .count();
         let threads = trace
             .events
             .iter()

@@ -108,7 +108,11 @@ mod tests {
     use dynprof_sim::{Machine, Sim};
     use std::sync::Arc;
 
-    fn run_two_phase(hot_us: u64, cold_us: u64, reps: usize) -> (Arc<dynprof_image::Image>, SimTime) {
+    fn run_two_phase(
+        hot_us: u64,
+        cold_us: u64,
+        reps: usize,
+    ) -> (Arc<dynprof_image::Image>, SimTime) {
         let mut b = ImageBuilder::new("app");
         let _hot = b.add(FunctionInfo::new("hot"));
         let _cold = b.add(FunctionInfo::new("cold"));

@@ -8,11 +8,12 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
+use dynprof_obs as obs;
 use parking_lot::{Mutex, RwLock};
 
-use dynprof_sim::{Proc, ProbeCosts, SimTime};
+use dynprof_sim::{ProbeCosts, Proc, SimTime};
 
 use crate::config::VtConfig;
 use crate::event::{Event, Trace, VtFuncId};
@@ -31,6 +32,13 @@ pub struct FuncStat {
 
 /// Wire row of one function's statistics: `(func, count, incl_ns, excl_ns)`.
 pub type FuncStatRow = (u32, u64, u64, u64);
+
+/// Count `n` trace events appended (cached handle; callers guard with
+/// [`obs::enabled`]).
+fn note_events(n: u64) {
+    static EVENTS: OnceLock<&'static obs::Counter> = OnceLock::new();
+    EVENTS.get_or_init(|| obs::counter("vt.events")).add(n);
+}
 
 struct Frame {
     func: VtFuncId,
@@ -252,12 +260,21 @@ impl VtLib {
                 };
                 buf.trace_bytes += ev.trace_bytes_of(self.costs.event_bytes);
                 buf.events.push(ev);
+                if obs::enabled() {
+                    note_events(1);
+                }
             }
         } else {
             // Deactivated: the call still happens, pays the table lookup,
             // and bails out (paper §4.2).
             p.advance(self.costs.vt_deactivated.mul_f64(reps as f64));
             buf.deactivated_lookups += reps;
+            if obs::enabled() {
+                static LOOKUPS: OnceLock<&'static obs::Counter> = OnceLock::new();
+                LOOKUPS
+                    .get_or_init(|| obs::counter("vt.deactivated_lookups"))
+                    .add(reps);
+            }
         }
         buf.stacks.entry(thread).or_default().push(Frame {
             func,
@@ -328,6 +345,9 @@ impl VtLib {
             };
             buf.trace_bytes += ev.trace_bytes_of(self.costs.event_bytes);
             buf.events.push(ev);
+            if obs::enabled() {
+                note_events(1);
+            }
             // Statistics.
             let idx = func.0 as usize;
             if buf.stats.len() <= idx {
@@ -349,6 +369,9 @@ impl VtLib {
         let mut buf = self.procs[rank].buf.lock();
         buf.trace_bytes += ev.trace_bytes_of(self.costs.event_bytes);
         buf.events.push(ev);
+        if obs::enabled() {
+            note_events(1);
+        }
     }
 
     pub(crate) fn mpi_push(&self, rank: usize, op: u8, t: SimTime) {
@@ -369,6 +392,9 @@ impl VtLib {
         }
         let bytes = st.buf.lock().trace_bytes;
         p.advance(self.costs.flush_per_byte.mul_f64(bytes as f64));
+        if obs::enabled() {
+            obs::counter("vt.bytes_flushed").add(bytes);
+        }
     }
 
     /// Modelled trace volume produced by `rank` so far.
@@ -396,7 +422,13 @@ impl VtLib {
     /// Frames still open on `rank` (begin without end — e.g. an exit
     /// probe removed mid-call).
     pub fn open_frames(&self, rank: usize) -> usize {
-        self.procs[rank].buf.lock().stacks.values().map(Vec::len).sum()
+        self.procs[rank]
+            .buf
+            .lock()
+            .stacks
+            .values()
+            .map(Vec::len)
+            .sum()
     }
 
     /// Snapshot of `rank`'s per-function statistics, as wire rows.

@@ -32,8 +32,7 @@ fn main() {
         Command::RemoveFile(vec!["subset".into()]),
         Command::Quit,
     ];
-    let cfg = SessionConfig::new(Machine::ibm_power3_colony(), Policy::Dynamic)
-        .with_script(script);
+    let cfg = SessionConfig::new(Machine::ibm_power3_colony(), Policy::Dynamic).with_script(script);
     let report = run_session(&app, cfg);
 
     println!("== ephemeral instrumentation of sppm ({ranks} ranks) ==\n");
@@ -45,8 +44,9 @@ fn main() {
         .events
         .iter()
         .filter_map(|e| match e {
-            dynprof::vt::Event::FuncEnter { t, .. }
-            | dynprof::vt::Event::FuncBatch { t, .. } => Some(*t),
+            dynprof::vt::Event::FuncEnter { t, .. } | dynprof::vt::Event::FuncBatch { t, .. } => {
+                Some(*t)
+            }
             _ => None,
         })
         .collect();

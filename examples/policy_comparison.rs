@@ -11,7 +11,11 @@ use dynprof::vt::{Policy, ALL_POLICIES};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let app_name = args.first().map(String::as_str).unwrap_or("smg98").to_string();
+    let app_name = args
+        .first()
+        .map(String::as_str)
+        .unwrap_or("smg98")
+        .to_string();
     let cpus: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
 
     println!("== {app_name} at {cpus} CPUs under every instrumentation policy ==\n");
@@ -22,11 +26,18 @@ fn main() {
 
     let baseline = {
         let (app, _) = paper_app(&app_name, cpus).expect("known app");
-        run_session(&app, SessionConfig::new(Machine::ibm_power3_colony(), Policy::None)).app_time
+        run_session(
+            &app,
+            SessionConfig::new(Machine::ibm_power3_colony(), Policy::None),
+        )
+        .app_time
     };
     for policy in ALL_POLICIES {
         let (app, _) = paper_app(&app_name, cpus).expect("known app");
-        let report = run_session(&app, SessionConfig::new(Machine::ibm_power3_colony(), policy));
+        let report = run_session(
+            &app,
+            SessionConfig::new(Machine::ibm_power3_colony(), policy),
+        );
         println!(
             "{:<10} {:>12} {:>9.2}x {:>16} {:>14}",
             policy.label(),

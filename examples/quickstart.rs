@@ -27,8 +27,7 @@ fn main() {
     )
     .expect("script parses");
 
-    let cfg = SessionConfig::new(Machine::ibm_power3_colony(), Policy::Dynamic)
-        .with_script(script);
+    let cfg = SessionConfig::new(Machine::ibm_power3_colony(), Policy::Dynamic).with_script(script);
     let report = run_session(&app, cfg);
 
     println!("== dynprof quickstart: sweep3d on {ranks} ranks ==\n");

@@ -18,12 +18,13 @@ fn main() {
     // The paper's display: 8 MPI processes x 4 OpenMP threads.
     let params = Sweep3dParams::test().with_threads(4);
     let app = sweep3d(8, params);
-    let report = run_session(&app, SessionConfig::new(Machine::ibm_power3_colony(), Policy::Full));
+    let report = run_session(
+        &app,
+        SessionConfig::new(Machine::ibm_power3_colony(), Policy::Full),
+    );
 
     let trace = report.vt.build_trace();
-    println!(
-        "== VGV time-line (Fig 4): sweep3d, 8 MPI processes x 4 OpenMP threads ==\n"
-    );
+    println!("== VGV time-line (Fig 4): sweep3d, 8 MPI processes x 4 OpenMP threads ==\n");
     print!(
         "{}",
         render(

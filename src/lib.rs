@@ -20,6 +20,20 @@
 //! * [`core`] — the dynprof tool: commands, sessions, the Fig-6 protocol.
 //! * [`apps`] — the ASCI kernels (Smg98, Sppm, Sweep3d, Umt98).
 //! * [`analysis`] — postmortem profiles and ASCII time-lines.
+//! * [`obs`] — self-observability: zero-cost-when-off metrics and spans.
+//!
+//! The crates layer strictly (arrows read "is depended on by"):
+//!
+//! ```text
+//! obs  <- sim, mpi, dpcl, vt, bench      (leaf; everything may observe)
+//! sim  <- mpi, omp, image
+//! mpi  <- vt, core, apps, bench
+//! omp  <- vt, core, apps, bench
+//! image<- dpcl, vt, core, apps
+//! dpcl <- core
+//! vt   <- core, apps, analysis, bench
+//! core <- apps (bench only), bench, examples
+//! ```
 //!
 //! ## Quickstart
 //!
@@ -36,6 +50,28 @@
 //! assert_eq!(report.probe_pairs_installed, 62 * 4);
 //! println!("application time: {}", report.app_time);
 //! ```
+//!
+//! ## Observing the tool itself
+//!
+//! The instrumentation layers carry their own instrumentation: enable the
+//! [`obs`] registry and every session reports scheduler, MPI, daemon, and
+//! trace-library metrics. Observation never advances virtual time, so the
+//! simulated results are bit-identical with it on or off.
+//!
+//! ```
+//! use dynprof::apps::{smg98, Smg98Params};
+//! use dynprof::core::{run_session, SessionConfig};
+//! use dynprof::sim::Machine;
+//! use dynprof::vt::Policy;
+//!
+//! dynprof::obs::set_enabled(true);
+//! let app = smg98(4, Smg98Params::test());
+//! run_session(&app, SessionConfig::new(Machine::test_machine(), Policy::Dynamic));
+//! dynprof::obs::set_enabled(false);
+//! let snap = dynprof::obs::snapshot();
+//! assert!(snap.metrics.iter().any(|m| m.name == "sim.events_dispatched"));
+//! println!("{}", snap.to_json().pretty());
+//! ```
 
 #![warn(missing_docs)]
 
@@ -45,6 +81,7 @@ pub use dynprof_core as core;
 pub use dynprof_dpcl as dpcl;
 pub use dynprof_image as image;
 pub use dynprof_mpi as mpi;
+pub use dynprof_obs as obs;
 pub use dynprof_omp as omp;
 pub use dynprof_sim as sim;
 pub use dynprof_vt as vt;

@@ -80,3 +80,21 @@ fn omp_app_is_reproducible() {
     assert_eq!(a.app_time, b.app_time);
     assert_eq!(a.trace_bytes, b.trace_bytes);
 }
+
+#[test]
+fn observation_adds_zero_virtual_time() {
+    // The self-observability layer must be free on the virtual clock:
+    // every simulated result is bit-identical with it off or on. (Counter
+    // reproducibility itself is pinned in tests/observability.rs, which
+    // owns the global registry.)
+    let off = session("smg98", Policy::Dynamic, 42);
+    dynprof::obs::set_enabled(true);
+    let on = session("smg98", Policy::Dynamic, 42);
+    dynprof::obs::set_enabled(false);
+    assert_eq!(off.app_time, on.app_time);
+    assert_eq!(off.total_time, on.total_time);
+    assert_eq!(off.create_time, on.create_time);
+    assert_eq!(off.instrument_time, on.instrument_time);
+    assert_eq!(off.trace_bytes, on.trace_bytes);
+    assert_eq!(off.vt.build_trace(), on.vt.build_trace());
+}

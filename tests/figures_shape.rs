@@ -34,9 +34,15 @@ fn fig7a_smg98_policy_hierarchy() {
     assert!(off / none > 1.3, "Full-Off/None = {:.2}", off / none);
     assert!(full / off > 2.0);
     // "the overhead was approximately equal to the Full-Off version"
-    assert!((subset - off).abs() / off < 0.05, "Subset {subset} vs Full-Off {off}");
+    assert!(
+        (subset - off).abs() / off < 0.05,
+        "Subset {subset} vs Full-Off {off}"
+    );
     // "an execution time that is very close to None"
-    assert!((dynamic - none) / none < 0.05, "Dynamic {dynamic} vs None {none}");
+    assert!(
+        (dynamic - none) / none < 0.05,
+        "Dynamic {dynamic} vs None {none}"
+    );
 }
 
 /// Fig 7(a): the weak-scaled problem grows with the processor count, and
@@ -45,7 +51,10 @@ fn fig7a_smg98_policy_hierarchy() {
 fn fig7a_smg98_weak_scaling_and_worst_case() {
     let none_2 = app_time("smg98", 2, Policy::None);
     let none_32 = app_time("smg98", 32, Policy::None);
-    assert!(none_32 > 1.5 * none_2, "weak scaling: {none_2} -> {none_32}");
+    assert!(
+        none_32 > 1.5 * none_2,
+        "weak scaling: {none_2} -> {none_32}"
+    );
 
     let full_32 = app_time("smg98", 32, Policy::Full);
     assert!(

@@ -51,9 +51,18 @@ fn events_are_time_ordered() {
 #[test]
 fn timeline_renders_all_ranks_and_mpi_activity() {
     let (trace, _) = traced_run("sweep3d", 4, Policy::Full);
-    let art = render(&trace, TimelineOptions { width: 60, per_thread: false });
+    let art = render(
+        &trace,
+        TimelineOptions {
+            width: 60,
+            per_thread: false,
+        },
+    );
     for r in 0..4 {
-        assert!(art.contains(&format!("rank   {r}")), "missing rank {r}:\n{art}");
+        assert!(
+            art.contains(&format!("rank   {r}")),
+            "missing rank {r}:\n{art}"
+        );
     }
     assert!(art.contains('M'), "no MPI activity painted");
     assert!(art.contains('#'), "no function activity painted");
@@ -68,7 +77,13 @@ fn hybrid_timeline_shows_wiggles() {
         SessionConfig::new(Machine::ibm_power3_colony(), Policy::Full).with_seed(12),
     );
     let trace = report.vt.build_trace();
-    let art = render(&trace, TimelineOptions { width: 60, per_thread: true });
+    let art = render(
+        &trace,
+        TimelineOptions {
+            width: 60,
+            per_thread: true,
+        },
+    );
     assert!(art.contains('~'), "no OpenMP wiggle painted:\n{art}");
     assert!(art.contains("thread  2"), "per-thread rows missing");
 }
