@@ -2,12 +2,16 @@
 //! kernels under the five Table-3 policies.
 //!
 //! Usage: `fig7 [--app smg98|sppm|sweep3d|umt98] [--json]
-//!              [--parallel [N]] [--metrics out.json]`
+//!              [--parallel [N]] [--metrics out.json]
+//!              [--faults seed[:profile]]`
 //!
 //! `--parallel` fans the independent (app, policy, P) runs across a
 //! worker-thread pool (N workers; default = available cores). Output is
 //! byte-identical to the serial runner. `--metrics` enables the
 //! self-observability layer and dumps its counters to a JSON file.
+//! `--faults` installs a deterministic fault-injection plan (see
+//! `dynprof_sim::fault`); profiles: none, drop, dup, delay, slow, crash,
+//! epochs, lossy (default).
 
 use dynprof_bench::{fig7_with_workers, parallel, write_metrics};
 
@@ -45,6 +49,17 @@ fn main() {
                 let path = args.get(i).expect("--metrics needs a path").clone();
                 dynprof_obs::set_enabled(true);
                 metrics = Some(path);
+            }
+            "--faults" => {
+                i += 1;
+                let spec = args.get(i).expect("--faults needs seed[:profile]");
+                match dynprof_sim::fault::FaultSpec::parse(spec) {
+                    Ok(s) => dynprof_sim::fault::set_global_spec(Some(s)),
+                    Err(e) => {
+                        eprintln!("bad --faults value: {e}");
+                        std::process::exit(2);
+                    }
+                }
             }
             other => {
                 eprintln!("unknown argument {other:?}");

@@ -1,8 +1,11 @@
 //! Regenerate paper Fig 8 (a–c): the cost of dynamic control of
 //! instrumentation (`VT_confsync`).
 //!
-//! Usage: `fig8 [--part a|b|c] [--runs N] [--json] [--metrics out.json]`
+//! Usage: `fig8 [--part a|b|c] [--runs N] [--json] [--metrics out.json]
+//!              [--faults seed[:profile]]`
 //! (default: all parts, 16 runs per point — the paper's averaging).
+//! `--faults` installs a deterministic fault-injection plan; profiles:
+//! none, drop, dup, delay, slow, crash, epochs, lossy (default).
 
 use dynprof_bench::{fig8a, fig8b, fig8c, write_metrics, Figure};
 
@@ -34,6 +37,17 @@ fn main() {
                 let path = args.get(i).expect("--metrics needs a path").clone();
                 dynprof_obs::set_enabled(true);
                 metrics = Some(path);
+            }
+            "--faults" => {
+                i += 1;
+                let spec = args.get(i).expect("--faults needs seed[:profile]");
+                match dynprof_sim::fault::FaultSpec::parse(spec) {
+                    Ok(s) => dynprof_sim::fault::set_global_spec(Some(s)),
+                    Err(e) => {
+                        eprintln!("bad --faults value: {e}");
+                        std::process::exit(2);
+                    }
+                }
             }
             other => {
                 eprintln!("unknown argument {other:?}");

@@ -2,7 +2,10 @@
 //! ASCI kernel across processor counts (note Umt98's flat line — OpenMP
 //! threads share a single process image).
 //!
-//! Usage: `fig9 [--json] [--metrics out.json]`
+//! Usage: `fig9 [--json] [--metrics out.json] [--faults seed[:profile]]`
+//!
+//! `--faults` installs a deterministic fault-injection plan; profiles:
+//! none, drop, dup, delay, slow, crash, epochs, lossy (default).
 
 use dynprof_bench::{fig9, write_metrics};
 
@@ -15,6 +18,16 @@ fn main() {
         .map(|i| args.get(i + 1).expect("--metrics needs a path").clone());
     if metrics.is_some() {
         dynprof_obs::set_enabled(true);
+    }
+    if let Some(i) = args.iter().position(|a| a == "--faults") {
+        let spec = args.get(i + 1).expect("--faults needs seed[:profile]");
+        match dynprof_sim::fault::FaultSpec::parse(spec) {
+            Ok(s) => dynprof_sim::fault::set_global_spec(Some(s)),
+            Err(e) => {
+                eprintln!("bad --faults value: {e}");
+                std::process::exit(2);
+            }
+        }
     }
     let fig = fig9();
     if json {

@@ -8,6 +8,7 @@ use dynprof_obs as obs;
 use parking_lot::Mutex;
 
 use dynprof_image::{FuncId, Image, ProbePoint, Snippet, SnippetId};
+use dynprof_sim::rng::SimRng;
 use dynprof_sim::sync::SimChannel;
 use dynprof_sim::{Proc, SimTime};
 
@@ -16,6 +17,85 @@ use crate::messages::{AckResult, DownMsg, DownMsgEnvelope, ReqId, SuperMsg, Targ
 
 /// Client-side cost of marshalling and writing one request message.
 pub const CLIENT_SEND_COST: SimTime = SimTime::from_micros(20);
+
+/// RNG stream tag for backoff jitter (disjoint from the fault-plan and
+/// per-process streams).
+const BACKOFF_STREAM: u64 = 0xBAC0_FF5D;
+
+/// How the client waits for acknowledgements.
+///
+/// A request is (re)sent up to `max_attempts` times; each attempt waits
+/// `timeout` for its ack, then sleeps a bounded-exponential backoff
+/// ([`BackoffSchedule`]) before resending **the same [`ReqId`]** — the
+/// daemon's dedup table makes re-application idempotent. Only after every
+/// attempt times out does the wait return [`AckResult::TimedOut`].
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Per-attempt ack deadline.
+    pub timeout: SimTime,
+    /// Total send attempts (first send included) before giving up.
+    pub max_attempts: u32,
+    /// First backoff delay; doubles each retry.
+    pub backoff_base: SimTime,
+    /// Ceiling on the exponential term.
+    pub backoff_cap: SimTime,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        // timeout far above any fault-free ack latency (~350ms worst
+        // bursts), and timeout+backoffs spanning well past the longest
+        // profile's daemon downtime so crashed daemons are outlived.
+        RetryPolicy {
+            timeout: SimTime::from_secs(2),
+            max_attempts: 6,
+            backoff_base: SimTime::from_millis(100),
+            backoff_cap: SimTime::from_millis(1600),
+        }
+    }
+}
+
+/// Deterministic bounded-exponential backoff with per-request jitter.
+///
+/// `delay(k) = max(delay(k-1), min(base·2ᵏ, cap) + jitter)` with
+/// `jitter ≤ exp/4` drawn from a [`SimRng`] seeded by the request id —
+/// monotone non-decreasing, bounded by `cap + cap/4`, and identical for
+/// identical `(base, cap, seed)`.
+pub struct BackoffSchedule {
+    base: SimTime,
+    cap: SimTime,
+    rng: SimRng,
+    attempt: u32,
+    prev: SimTime,
+}
+
+impl BackoffSchedule {
+    /// A schedule starting at `base`, exponentially rising to `cap`,
+    /// jittered deterministically from `seed`.
+    pub fn new(base: SimTime, cap: SimTime, seed: u64) -> BackoffSchedule {
+        BackoffSchedule {
+            base,
+            cap,
+            rng: SimRng::new(seed, BACKOFF_STREAM),
+            attempt: 0,
+            prev: SimTime::ZERO,
+        }
+    }
+
+    /// The next delay in the schedule.
+    pub fn next_delay(&mut self) -> SimTime {
+        let exp_ns = self
+            .base
+            .as_nanos()
+            .saturating_mul(1u64 << self.attempt.min(32))
+            .min(self.cap.as_nanos());
+        self.attempt = self.attempt.saturating_add(1);
+        let jitter_ns = self.rng.gen_range_u64(0..=exp_ns / 4);
+        let delay = SimTime::from_nanos(exp_ns + jitter_ns).max(self.prev);
+        self.prev = delay;
+        delay
+    }
+}
 
 /// A process the client has attached to.
 #[derive(Clone)]
@@ -72,6 +152,10 @@ pub struct DpclClient {
     daemons: Mutex<BTreeMap<usize, Arc<SimChannel<DownMsgEnvelope>>>>,
     next_req: AtomicU64,
     next_target: AtomicU32,
+    policy: RetryPolicy,
+    /// Unacknowledged requests, kept so a timed-out wait can resend the
+    /// identical message (same [`ReqId`]) to the same node.
+    pending: Mutex<BTreeMap<ReqId, (usize, DownMsg)>>,
     /// Issue times of in-flight requests, kept only while observation is
     /// enabled, so [`DpclClient::wait_ack`] can report virtual-time
     /// request latencies.
@@ -79,8 +163,18 @@ pub struct DpclClient {
 }
 
 impl DpclClient {
-    /// A client for `user` against `system`.
+    /// A client for `user` against `system` with the default
+    /// [`RetryPolicy`].
     pub fn new(system: Arc<DpclSystem>, user: impl Into<String>) -> DpclClient {
+        DpclClient::with_retry_policy(system, user, RetryPolicy::default())
+    }
+
+    /// A client with an explicit [`RetryPolicy`].
+    pub fn with_retry_policy(
+        system: Arc<DpclSystem>,
+        user: impl Into<String>,
+        policy: RetryPolicy,
+    ) -> DpclClient {
         DpclClient {
             system,
             user: user.into(),
@@ -90,6 +184,8 @@ impl DpclClient {
             daemons: Mutex::new(BTreeMap::new()),
             next_req: AtomicU64::new(1),
             next_target: AtomicU32::new(1),
+            policy,
+            pending: Mutex::new(BTreeMap::new()),
             issued: Mutex::new(BTreeMap::new()),
         }
     }
@@ -123,40 +219,70 @@ impl DpclClient {
     }
 
     /// Establish a communication daemon on `node` (authenticating through
-    /// the node's super daemon). Idempotent.
+    /// the node's super daemon). Idempotent. Under faults the Connect
+    /// request (or its reply) may be lost; the client retries under the
+    /// same [`ReqId`] — the super daemon dedups, so at most one
+    /// communication daemon is ever spawned per request.
     pub fn connect(&self, p: &Proc, node: usize) -> Result<(), String> {
         if self.daemons.lock().contains_key(&node) {
             return Ok(());
         }
         let req = self.req();
-        p.advance(CLIENT_SEND_COST);
         let sup = self.system.super_on(p, node);
-        sup.send(
-            p,
-            SuperMsg::Connect {
-                req,
-                user: self.user.clone(),
-                reply: Arc::clone(&self.inbox),
-            },
-            self.daemon_delay(p),
-        );
-        let msg = self.inbox.recv_match(p, |m| match m {
-            UpMsg::Connected { req: r, .. } | UpMsg::AuthFailed { req: r, .. } => *r == req,
-            _ => false,
-        });
-        match msg {
-            UpMsg::Connected { daemon, node, .. } => {
-                self.daemons.lock().insert(node, daemon);
-                Ok(())
+        let connect = SuperMsg::Connect {
+            req,
+            user: self.user.clone(),
+            reply: Arc::clone(&self.inbox),
+        };
+        let mut backoff =
+            BackoffSchedule::new(self.policy.backoff_base, self.policy.backoff_cap, req.0);
+        for attempt in 1..=self.policy.max_attempts {
+            p.advance(CLIENT_SEND_COST);
+            sup.send_ctl(p, connect.clone(), self.daemon_delay(p));
+            let deadline = p.now() + self.policy.timeout;
+            let msg = self.inbox.recv_match_deadline(
+                p,
+                |m| match m {
+                    UpMsg::Connected { req: r, .. } | UpMsg::AuthFailed { req: r, .. } => *r == req,
+                    _ => false,
+                },
+                deadline,
+            );
+            match msg {
+                Some(UpMsg::Connected { daemon, node, .. }) => {
+                    self.daemons.lock().insert(node, daemon);
+                    return Ok(());
+                }
+                Some(UpMsg::AuthFailed { message, .. }) => return Err(message),
+                Some(_) => unreachable!("matcher"),
+                None => {
+                    if obs::enabled() {
+                        obs::counter("dpcl.retries").inc();
+                        if attempt < self.policy.max_attempts {
+                            obs::counter("dpcl.resends").inc();
+                        }
+                    }
+                    if attempt < self.policy.max_attempts {
+                        p.sleep(backoff.next_delay());
+                    }
+                }
             }
-            UpMsg::AuthFailed { message, .. } => Err(message),
-            _ => unreachable!("matcher"),
         }
+        if obs::enabled() {
+            obs::counter("dpcl.timeouts").inc();
+        }
+        Err(format!(
+            "connect to node {node} timed out after {} attempts",
+            self.policy.max_attempts
+        ))
     }
 
     fn send_down(&self, p: &Proc, node: usize, msg: DownMsg) {
         if obs::enabled() {
             obs::counter("dpcl.requests").inc();
+        }
+        if let Some(req) = msg.req_id() {
+            self.pending.lock().insert(req, (node, msg.clone()));
         }
         p.advance(CLIENT_SEND_COST);
         let daemon = {
@@ -167,7 +293,32 @@ impl DpclClient {
                     .unwrap_or_else(|| panic!("not connected to node {node}")),
             )
         };
-        daemon.send(p, DownMsgEnvelope(msg), self.daemon_delay(p));
+        daemon.send_ctl(p, DownMsgEnvelope(msg), self.daemon_delay(p));
+    }
+
+    /// Resend the still-unacknowledged request `req` byte-for-byte to its
+    /// original node (same [`ReqId`]; daemon-side dedup keeps this
+    /// idempotent). Returns false if `req` is unknown or already
+    /// acknowledged. Called by the retry loop in
+    /// [`DpclClient::wait_ack`]; public as a fault-drill hook for tests.
+    pub fn resend_pending(&self, p: &Proc, req: ReqId) -> bool {
+        let entry = self.pending.lock().get(&req).cloned();
+        let Some((node, msg)) = entry else {
+            return false;
+        };
+        if obs::enabled() {
+            obs::counter("dpcl.resends").inc();
+        }
+        p.advance(CLIENT_SEND_COST);
+        let daemon = {
+            let daemons = self.daemons.lock();
+            match daemons.get(&node) {
+                Some(d) => Arc::clone(d),
+                None => return false,
+            }
+        };
+        daemon.send_ctl(p, DownMsgEnvelope(msg), self.daemon_delay(p));
+        true
     }
 
     /// Attach to a process image on `node` (blocking).
@@ -200,6 +351,9 @@ impl DpclClient {
                 name,
             }),
             AckResult::Error { message } => Err(message),
+            AckResult::TimedOut { attempts } => Err(format!(
+                "attach to {name:?} on node {node} timed out after {attempts} attempts"
+            )),
         }
     }
 
@@ -300,28 +454,62 @@ impl DpclClient {
         req
     }
 
-    /// Block until the acknowledgement of `req` arrives.
+    /// Block until the acknowledgement of `req` arrives, or the retry
+    /// budget is exhausted.
+    ///
+    /// Each attempt waits [`RetryPolicy::timeout`]; a miss sleeps the next
+    /// [`BackoffSchedule`] delay and resends the request under the same
+    /// [`ReqId`] (idempotent — the daemon dedups). After
+    /// [`RetryPolicy::max_attempts`] misses this returns the typed
+    /// [`AckResult::TimedOut`] instead of blocking forever.
     pub fn wait_ack(&self, p: &Proc, req: ReqId) -> AckResult {
-        let msg = self
-            .inbox
-            .recv_match(p, |m| matches!(m, UpMsg::Ack { req: r, .. } if *r == req));
-        match msg {
-            UpMsg::Ack {
-                result,
-                completed_at,
-                ..
-            } => {
-                if obs::enabled() {
-                    // Virtual time from request issue to daemon completion
-                    // (the ack's transit back is the client's wait, not the
-                    // daemon's work, so it is excluded).
-                    if let Some((metric, sent)) = self.issued.lock().remove(&req) {
-                        obs::histogram(metric).record(completed_at.saturating_sub(sent).as_nanos());
+        let mut backoff =
+            BackoffSchedule::new(self.policy.backoff_base, self.policy.backoff_cap, req.0);
+        for attempt in 1..=self.policy.max_attempts {
+            let deadline = p.now() + self.policy.timeout;
+            let msg = self.inbox.recv_match_deadline(
+                p,
+                |m| matches!(m, UpMsg::Ack { req: r, .. } if *r == req),
+                deadline,
+            );
+            match msg {
+                Some(UpMsg::Ack {
+                    result,
+                    completed_at,
+                    ..
+                }) => {
+                    self.pending.lock().remove(&req);
+                    if obs::enabled() {
+                        // Virtual time from request issue to daemon
+                        // completion (the ack's transit back is the
+                        // client's wait, not the daemon's work, so it is
+                        // excluded).
+                        if let Some((metric, sent)) = self.issued.lock().remove(&req) {
+                            obs::histogram(metric)
+                                .record(completed_at.saturating_sub(sent).as_nanos());
+                        }
+                    }
+                    return result;
+                }
+                Some(_) => unreachable!("matcher"),
+                None => {
+                    if obs::enabled() {
+                        obs::counter("dpcl.retries").inc();
+                    }
+                    if attempt < self.policy.max_attempts {
+                        p.sleep(backoff.next_delay());
+                        self.resend_pending(p, req);
                     }
                 }
-                result
             }
-            _ => unreachable!("matcher"),
+        }
+        self.pending.lock().remove(&req);
+        self.issued.lock().remove(&req);
+        if obs::enabled() {
+            obs::counter("dpcl.timeouts").inc();
+        }
+        AckResult::TimedOut {
+            attempts: self.policy.max_attempts,
         }
     }
 
@@ -376,6 +564,7 @@ impl DpclClient {
         }
         self.wait_all(p, &reqs);
         self.daemons.lock().clear();
+        self.pending.lock().clear();
         self.system.shutdown_supers(p);
     }
 }

@@ -29,6 +29,40 @@ use crate::messages::{AckResult, DownMsg, DownMsgEnvelope, ReqId, SuperMsg, Targ
 pub const AUTH_COST: SimTime = SimTime::from_millis(4);
 /// Cost of spawning a communication daemon.
 pub const SPAWN_DAEMON_COST: SimTime = SimTime::from_millis(25);
+/// Cost of restarting a crashed daemon process (exec + reinit).
+pub const DAEMON_RESTART_COST: SimTime = SimTime::from_millis(40);
+/// Per-target cost of replaying attached state after a daemon restart.
+pub const RESTART_REPLAY_COST: SimTime = SimTime::from_millis(2);
+
+/// Inline model of a fault-plan daemon crash window: while the virtual
+/// clock is inside the window the daemon is down and the message is lost;
+/// the first message after the window pays the restart (plus `replay`)
+/// before being served. Returns `true` if the message was lost.
+fn outage_check(
+    p: &Proc,
+    outage: Option<(SimTime, SimTime)>,
+    restarted: &mut bool,
+    replay: SimTime,
+) -> bool {
+    let Some((start, end)) = outage else {
+        return false;
+    };
+    let now = p.now();
+    if now >= start && now < end {
+        if obs::enabled() {
+            obs::counter("dpcl.daemon_msgs_lost").inc();
+        }
+        return true;
+    }
+    if now >= end && !*restarted {
+        *restarted = true;
+        p.advance(DAEMON_RESTART_COST + replay);
+        if obs::enabled() {
+            obs::counter("dpcl.daemon_restarts").inc();
+        }
+    }
+    false
+}
 
 /// The per-machine daemon infrastructure: lazily-started super daemons
 /// and the set of users allowed to connect.
@@ -88,24 +122,41 @@ fn note_msg(channel: &'static str) {
 }
 
 fn super_daemon_loop(dp: &Proc, inbox: &SimChannel<SuperMsg>, allowed: &[String]) {
+    let outage = dp
+        .fault_plan()
+        .and_then(|plan| plan.daemon_outage(dp.node()));
+    let mut restarted = outage.is_none();
+    // Replies already issued, keyed by request: a retried Connect (the
+    // first reply was lost, or slow) re-sends the original outcome instead
+    // of authenticating again and spawning a second communication daemon.
+    let mut done: BTreeMap<ReqId, UpMsg> = BTreeMap::new();
     // Any non-Connect message (i.e. Shutdown) ends the daemon.
     while let SuperMsg::Connect { req, user, reply } = inbox.recv(dp) {
         {
+            if outage_check(dp, outage, &mut restarted, SimTime::ZERO) {
+                continue;
+            }
             if obs::enabled() {
                 note_msg("dpcl.msgs.connect");
             }
-            dp.advance(AUTH_COST);
             let machine = dp.machine().clone();
+            if let Some(prev) = done.get(&req) {
+                if obs::enabled() {
+                    obs::counter("dpcl.dedup_hits").inc();
+                }
+                let delay = machine.daemon.base_delay + dp.jitter(machine.daemon.jitter);
+                reply.send_ctl(dp, prev.clone(), delay);
+                continue;
+            }
+            dp.advance(AUTH_COST);
             let delay = machine.daemon.base_delay + dp.jitter(machine.daemon.jitter);
             if !allowed.iter().any(|u| u == &user) {
-                reply.send(
-                    dp,
-                    UpMsg::AuthFailed {
-                        req,
-                        message: format!("user {user:?} not authorized on node {}", dp.node()),
-                    },
-                    delay,
-                );
+                let msg = UpMsg::AuthFailed {
+                    req,
+                    message: format!("user {user:?} not authorized on node {}", dp.node()),
+                };
+                done.insert(req, msg.clone());
+                reply.send_ctl(dp, msg, delay);
                 continue;
             }
             // Spawn the per-user communication daemon.
@@ -121,15 +172,13 @@ fn super_daemon_loop(dp: &Proc, inbox: &SimChannel<SuperMsg>, allowed: &[String]
                     comm_daemon_loop(cp, &di2, &reply2, &user2);
                 },
             );
-            reply.send(
-                dp,
-                UpMsg::Connected {
-                    req,
-                    node: dp.node(),
-                    daemon: daemon_inbox,
-                },
-                delay,
-            );
+            let msg = UpMsg::Connected {
+                req,
+                node: dp.node(),
+                daemon: daemon_inbox,
+            };
+            done.insert(req, msg.clone());
+            reply.send_ctl(dp, msg, delay);
         }
     }
 }
@@ -141,11 +190,20 @@ fn comm_daemon_loop(
     _user: &str,
 ) {
     let machine = cp.machine().clone();
+    let outage = cp
+        .fault_plan()
+        .and_then(|plan| plan.daemon_outage(cp.node()));
+    let mut restarted = outage.is_none();
     // Target registry: image plus the process name (for diagnostics).
     let mut targets: BTreeMap<TargetId, (Arc<Image>, String)> = BTreeMap::new();
+    // Results of completed requests: a retried request (its first ack was
+    // lost, or slow) is re-acknowledged with the stored result instead of
+    // being applied a second time — this is what makes client resends
+    // under the same `ReqId` idempotent.
+    let mut done: BTreeMap<ReqId, AckResult> = BTreeMap::new();
     let ack = |cp: &Proc, req: ReqId, result: AckResult| {
         let delay = machine.daemon.base_delay + cp.jitter(machine.daemon.jitter);
-        reply.send(
+        reply.send_ctl(
             cp,
             UpMsg::Ack {
                 req,
@@ -160,6 +218,23 @@ fn comm_daemon_loop(
     };
     loop {
         let msg = inbox.recv(cp).0;
+        if outage_check(
+            cp,
+            outage,
+            &mut restarted,
+            SimTime::from_nanos(RESTART_REPLAY_COST.as_nanos() * targets.len() as u64),
+        ) {
+            continue;
+        }
+        if let Some(req) = msg.req_id() {
+            if let Some(prev) = done.get(&req) {
+                if obs::enabled() {
+                    obs::counter("dpcl.dedup_hits").inc();
+                }
+                ack(cp, req, prev.clone());
+                continue;
+            }
+        }
         if obs::enabled() {
             note_msg(match &msg {
                 DownMsg::Attach { .. } => "dpcl.msgs.attach",
@@ -171,7 +246,7 @@ fn comm_daemon_loop(
                 DownMsg::Shutdown { .. } => "dpcl.msgs.shutdown",
             });
         }
-        match msg {
+        let (req, result) = match msg {
             DownMsg::Attach {
                 req,
                 target,
@@ -180,7 +255,7 @@ fn comm_daemon_loop(
             } => {
                 cp.advance(machine.daemon.attach_cost);
                 targets.insert(target, (image, name));
-                ack(cp, req, AckResult::Ok { detail: 0 });
+                (req, AckResult::Ok { detail: 0 })
             }
             DownMsg::Install {
                 req,
@@ -191,9 +266,9 @@ fn comm_daemon_loop(
                 Some((img, _name)) => {
                     cp.advance(machine.daemon.patch_cost);
                     let id = img.insert(point, snippet);
-                    ack(cp, req, AckResult::Ok { detail: id.0 });
+                    (req, AckResult::Ok { detail: id.0 })
                 }
-                None => ack(cp, req, missing(target)),
+                None => (req, missing(target)),
             },
             DownMsg::Remove {
                 req,
@@ -204,42 +279,43 @@ fn comm_daemon_loop(
                 Some((img, _name)) => {
                     cp.advance(machine.daemon.patch_cost);
                     let removed = img.remove(point, snippet);
-                    ack(
-                        cp,
+                    (
                         req,
                         AckResult::Ok {
                             detail: u64::from(removed),
                         },
-                    );
+                    )
                 }
-                None => ack(cp, req, missing(target)),
+                None => (req, missing(target)),
             },
             DownMsg::RemoveFunction { req, target, func } => match targets.get(&target) {
                 Some((img, _name)) => {
                     cp.advance(machine.daemon.patch_cost);
                     let n = img.remove_function_instr(func);
-                    ack(cp, req, AckResult::Ok { detail: n as u64 });
+                    (req, AckResult::Ok { detail: n as u64 })
                 }
-                None => ack(cp, req, missing(target)),
+                None => (req, missing(target)),
             },
             DownMsg::Suspend { req, target } => match targets.get(&target) {
                 Some((img, _name)) => {
                     img.suspend(cp);
-                    ack(cp, req, AckResult::Ok { detail: 0 });
+                    (req, AckResult::Ok { detail: 0 })
                 }
-                None => ack(cp, req, missing(target)),
+                None => (req, missing(target)),
             },
             DownMsg::Resume { req, target } => match targets.get(&target) {
                 Some((img, _name)) => {
                     img.resume(cp, SimTime::ZERO);
-                    ack(cp, req, AckResult::Ok { detail: 0 });
+                    (req, AckResult::Ok { detail: 0 })
                 }
-                None => ack(cp, req, missing(target)),
+                None => (req, missing(target)),
             },
             DownMsg::Shutdown { req } => {
                 ack(cp, req, AckResult::Ok { detail: 0 });
                 break;
             }
-        }
+        };
+        done.insert(req, result.clone());
+        ack(cp, req, result);
     }
 }

@@ -39,8 +39,12 @@ mod client;
 mod daemon;
 mod messages;
 
-pub use client::{CallbackSender, DpclClient, ProcessHandle, CLIENT_SEND_COST};
-pub use daemon::{DpclSystem, AUTH_COST, SPAWN_DAEMON_COST};
+pub use client::{
+    BackoffSchedule, CallbackSender, DpclClient, ProcessHandle, RetryPolicy, CLIENT_SEND_COST,
+};
+pub use daemon::{
+    DpclSystem, AUTH_COST, DAEMON_RESTART_COST, RESTART_REPLAY_COST, SPAWN_DAEMON_COST,
+};
 pub use messages::{AckResult, DownMsgEnvelope, ReqId, TargetId, UpMsg};
 
 #[cfg(test)]
@@ -145,6 +149,7 @@ mod tests {
                 match client.wait_ack(p, r) {
                     AckResult::Ok { .. } => {}
                     AckResult::Error { message } => panic!("{message}"),
+                    AckResult::TimedOut { attempts } => panic!("timed out after {attempts}"),
                 }
             }
             client.shutdown(p);
@@ -221,6 +226,7 @@ mod tests {
             match client.wait_ack(p, req) {
                 AckResult::Ok { detail } => assert_eq!(detail, 2),
                 AckResult::Error { message } => panic!("{message}"),
+                AckResult::TimedOut { attempts } => panic!("timed out after {attempts}"),
             }
             client.shutdown(p);
         });
@@ -247,6 +253,7 @@ mod tests {
             match client.wait_ack(p, req) {
                 AckResult::Error { message } => assert!(message.contains("no attached target")),
                 AckResult::Ok { .. } => panic!("expected error"),
+                AckResult::TimedOut { attempts } => panic!("timed out after {attempts}"),
             }
             client.shutdown(p);
         });

@@ -15,6 +15,11 @@ pub struct ReqId(pub u64);
 pub struct TargetId(pub u32);
 
 /// Instrumenter → daemon messages.
+///
+/// `Clone` so the client can keep an idempotent-resend buffer: a request
+/// that times out is re-sent byte-for-byte under the **same** [`ReqId`],
+/// and the daemon's dedup table makes re-application a no-op.
+#[derive(Clone)]
 pub(crate) enum DownMsg {
     /// Register a target process image with the daemon.
     Attach {
@@ -51,7 +56,23 @@ pub(crate) enum DownMsg {
     Shutdown { req: ReqId },
 }
 
+impl DownMsg {
+    /// The request id this message will be acknowledged under.
+    pub(crate) fn req_id(&self) -> Option<ReqId> {
+        match self {
+            DownMsg::Attach { req, .. }
+            | DownMsg::Install { req, .. }
+            | DownMsg::Remove { req, .. }
+            | DownMsg::RemoveFunction { req, .. }
+            | DownMsg::Suspend { req, .. }
+            | DownMsg::Resume { req, .. }
+            | DownMsg::Shutdown { req } => Some(*req),
+        }
+    }
+}
+
 /// Super-daemon requests.
+#[derive(Clone)]
 pub(crate) enum SuperMsg {
     /// Authenticate `user` and spawn a communication daemon for them.
     Connect {
@@ -77,6 +98,14 @@ pub enum AckResult {
         /// Failure description.
         message: String,
     },
+    /// No acknowledgement arrived within the client's retry budget (the
+    /// daemon may be crashed or the link lossy). The request may still
+    /// take effect later; re-issuing it under the same [`ReqId`] is safe
+    /// (daemon-side dedup).
+    TimedOut {
+        /// Send attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl AckResult {
@@ -84,9 +113,18 @@ impl AckResult {
     pub fn is_ok(&self) -> bool {
         matches!(self, AckResult::Ok { .. })
     }
+
+    /// True for `TimedOut`.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, AckResult::TimedOut { .. })
+    }
 }
 
 /// Daemon → instrumenter messages.
+///
+/// `Clone` so daemons can remember and re-send the reply to a
+/// deduplicated request, and so faulted links can duplicate deliveries.
+#[derive(Clone)]
 pub enum UpMsg {
     /// Acknowledgement of a request.
     Ack {
@@ -124,4 +162,5 @@ pub enum UpMsg {
 }
 
 /// Envelope hiding the private `DownMsg` from the public channel type.
+#[derive(Clone)]
 pub struct DownMsgEnvelope(pub(crate) DownMsg);

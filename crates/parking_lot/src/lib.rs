@@ -137,6 +137,19 @@ impl Condvar {
         guard.inner = Some(std_guard);
     }
 
+    /// Atomically release the guard's lock and block until notified or
+    /// `timeout` elapses; the lock is re-acquired before returning.
+    /// Returns `true` if the wait timed out.
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: std::time::Duration) -> bool {
+        let std_guard = guard.inner.take().expect("guard present");
+        let (std_guard, result) = self
+            .inner
+            .wait_timeout(std_guard, timeout)
+            .unwrap_or_else(sync::PoisonError::into_inner);
+        guard.inner = Some(std_guard);
+        result.timed_out()
+    }
+
     /// Wake one waiting thread.
     pub fn notify_one(&self) {
         self.inner.notify_one();

@@ -23,13 +23,14 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use dynprof_obs as obs;
 use parking_lot::{Condvar, Mutex};
 
+use crate::fault::FaultPlan;
 use crate::rng::SimRng;
 use crate::time::SimTime;
 use crate::topology::Machine;
@@ -62,10 +63,17 @@ struct ProcSlot {
     state: PState,
     clock: SimTime,
     cv: Arc<Condvar>,
+    /// Generation counter for lazy timer cancellation: a timer entry fires
+    /// only if its recorded generation still matches.
+    timer_gen: u64,
 }
 
 struct EngineInner {
     queue: BinaryHeap<Reverse<(SimTime, u64, Pid)>>,
+    /// Deadline timers `(at, seq, pid, gen)`. Kept apart from `queue` so a
+    /// timed wait whose timer never fires (the no-fault fast path) leaves
+    /// every queue metric — and thus the metrics dump — untouched.
+    timers: BinaryHeap<Reverse<(SimTime, u64, Pid, u64)>>,
     procs: Vec<ProcSlot>,
     /// Currently running pid (virtual mode); `None` while the scheduler
     /// is choosing.
@@ -90,6 +98,9 @@ pub(crate) struct Engine {
     machine: Machine,
     seed: u64,
     handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Fault plan in force, if any (set at most once, before processes
+    /// start exchanging messages).
+    faults: OnceLock<Arc<FaultPlan>>,
 }
 
 impl Engine {
@@ -98,6 +109,7 @@ impl Engine {
             mode,
             inner: Mutex::new(EngineInner {
                 queue: BinaryHeap::new(),
+                timers: BinaryHeap::new(),
                 procs: Vec::new(),
                 current: None,
                 seq: 0,
@@ -112,6 +124,7 @@ impl Engine {
             machine,
             seed,
             handles: Mutex::new(Vec::new()),
+            faults: OnceLock::new(),
         }
     }
 
@@ -131,6 +144,24 @@ impl Engine {
         }
         // If the scheduler is idle (everyone blocked), let it re-examine.
         self.sched_cv.notify_one();
+    }
+
+    /// Arm a deadline timer waking `pid` at `at` unless cancelled first.
+    pub(crate) fn schedule_timer(&self, pid: Pid, at: SimTime) {
+        debug_assert_eq!(self.mode, ClockMode::Virtual);
+        let mut g = self.inner.lock();
+        g.seq += 1;
+        let seq = g.seq;
+        let gen = g.procs[pid].timer_gen;
+        g.timers.push(Reverse((at, seq, pid, gen)));
+        self.sched_cv.notify_one();
+    }
+
+    /// Invalidate every outstanding timer of `pid` (lazy: stale heap
+    /// entries are discarded by the scheduler when they surface).
+    pub(crate) fn cancel_timers(&self, pid: Pid) {
+        let mut g = self.inner.lock();
+        g.procs[pid].timer_gen += 1;
     }
 
     /// Yield the calling process to the scheduler and wait to be resumed.
@@ -203,6 +234,10 @@ impl Engine {
         }
         let mut g = self.inner.lock();
         debug_assert_eq!(g.current, Some(pid), "charge by non-running process");
+        let dt = match self.faults.get() {
+            Some(plan) => plan.scale_work(g.procs[pid].node, dt),
+            None => dt,
+        };
         g.procs[pid].clock += dt;
     }
 
@@ -225,10 +260,21 @@ pub struct Sim {
 
 impl Sim {
     /// Create a simulation on `machine` with the given clock mode and seed.
+    ///
+    /// If a process-global fault spec is installed
+    /// ([`crate::fault::set_global_spec`]) and the mode is virtual, the
+    /// simulation instantiates its own deterministic [`FaultPlan`] from it.
     pub fn new(mode: ClockMode, machine: Machine, seed: u64) -> Sim {
-        Sim {
+        let sim = Sim {
             eng: Arc::new(Engine::new(mode, machine, seed)),
+        };
+        if mode == ClockMode::Virtual {
+            if let Some(spec) = crate::fault::global_spec() {
+                let plan = FaultPlan::new(&spec, sim.machine());
+                let _ = sim.eng.faults.set(plan);
+            }
         }
+        sim
     }
 
     /// Shorthand: deterministic virtual-time simulation.
@@ -249,6 +295,18 @@ impl Sim {
     /// The clock mode.
     pub fn mode(&self) -> ClockMode {
         self.eng.mode
+    }
+
+    /// Install a fault plan for this simulation (at most once; before the
+    /// processes start exchanging messages). Returns `false` if a plan —
+    /// e.g. one instantiated from the global spec — was already in place.
+    pub fn set_fault_plan(&self, plan: Arc<FaultPlan>) -> bool {
+        self.eng.faults.set(plan).is_ok()
+    }
+
+    /// The fault plan in force, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.eng.faults.get().cloned()
     }
 
     /// Wake events dispatched so far (virtual mode; a throughput metric
@@ -285,6 +343,7 @@ impl Sim {
                 state: PState::Blocked,
                 clock: start,
                 cv: Arc::new(Condvar::new()),
+                timer_gen: 0,
             });
             g.live += 1;
             if eng.mode == ClockMode::Virtual {
@@ -384,9 +443,36 @@ impl Sim {
                     if g.live == 0 {
                         break;
                     }
-                    // Pop the earliest useful event.
+                    // Pop the earliest useful event across the wake queue
+                    // and the deadline-timer heap.
                     let mut dispatched = false;
-                    while let Some(Reverse((t, _seq, pid))) = g.queue.pop() {
+                    loop {
+                        // Discard cancelled/stale timers at the top.
+                        while let Some(&Reverse((_, _, tpid, tgen))) = g.timers.peek() {
+                            if g.procs[tpid].timer_gen != tgen
+                                || g.procs[tpid].state == PState::Done
+                            {
+                                g.timers.pop();
+                            } else {
+                                break;
+                            }
+                        }
+                        let take_timer = match (g.queue.peek(), g.timers.peek()) {
+                            (None, None) => break,
+                            (Some(_), None) => false,
+                            (None, Some(_)) => true,
+                            (Some(&Reverse((qt, qs, _))), Some(&Reverse((tt, ts, _, _)))) => {
+                                (tt, ts) < (qt, qs)
+                            }
+                        };
+                        let (t, pid) = if take_timer {
+                            let Reverse((t, _seq, pid, _gen)) =
+                                g.timers.pop().expect("peeked timer");
+                            (t, pid)
+                        } else {
+                            let Reverse((t, _seq, pid)) = g.queue.pop().expect("peeked wake");
+                            (t, pid)
+                        };
                         match g.procs[pid].state {
                             PState::Done => continue, // stale wake for a finished process
                             PState::Running => {
@@ -535,6 +621,22 @@ impl Proc {
     /// primitives never call this in real mode.
     pub(crate) fn block(&self) -> SimTime {
         self.eng.yield_and_wait(self.pid)
+    }
+
+    /// Like [`Proc::block`], but also arm a deadline timer: if nothing
+    /// else wakes this process first, the scheduler resumes it at
+    /// `deadline`. The timer is cancelled on resumption either way, and a
+    /// timer that never fires leaves the event-queue metrics untouched.
+    pub(crate) fn block_until_deadline(&self, deadline: SimTime) -> SimTime {
+        self.eng.schedule_timer(self.pid, deadline.max(self.now()));
+        let t = self.eng.yield_and_wait(self.pid);
+        self.eng.cancel_timers(self.pid);
+        t
+    }
+
+    /// The fault plan in force, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.eng.faults.get().cloned()
     }
 
     /// Schedule a wake for this process at absolute time `at`, then block.

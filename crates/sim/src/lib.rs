@@ -13,6 +13,7 @@
 //! ## Architecture
 //!
 //! * [`engine`] — process scheduler and dual clock ([`Sim`], [`Proc`]).
+//! * [`fault`] — deterministic seed-driven fault-injection plans.
 //! * [`sync`] — latency-aware channels, barriers, gates, work queues.
 //! * [`topology`] — machine models (nodes, CPUs, links, daemon delays).
 //! * [`costs`] — probe/trace cost models.
@@ -43,6 +44,7 @@
 
 pub mod costs;
 pub mod engine;
+pub mod fault;
 pub mod rng;
 pub mod stats;
 pub mod sync;
@@ -51,6 +53,7 @@ pub mod topology;
 
 pub use costs::ProbeCosts;
 pub use engine::{ClockMode, Pid, Proc, Sim};
+pub use fault::{FaultPlan, FaultProfile, FaultSpec};
 pub use stats::OnlineStats;
 pub use time::SimTime;
 pub use topology::{CpuModel, DaemonModel, LinkModel, Machine};

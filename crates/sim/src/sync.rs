@@ -20,6 +20,7 @@
 
 use std::collections::VecDeque;
 
+use dynprof_obs as obs;
 use parking_lot::{Condvar, Mutex};
 
 use crate::engine::{ClockMode, Pid, Proc};
@@ -111,6 +112,43 @@ impl<T> SimChannel<T> {
         }
     }
 
+    /// Send a **control-plane** message subject to the simulation's fault
+    /// plan: the plan may drop it, duplicate it, or add delivery delay
+    /// (`T: Clone` is needed for duplication). With no plan installed —
+    /// or a plan whose link faults are all zero — this is exactly
+    /// [`SimChannel::send`].
+    ///
+    /// DPCL daemon traffic goes through here; application-level MPI and
+    /// the instrumenter callback path deliberately do not (see the fault
+    /// model in DESIGN.md: the modelled switch delivers reliably, the
+    /// control plane is where the tool must tolerate loss).
+    pub fn send_ctl(&self, p: &Proc, msg: T, latency: SimTime)
+    where
+        T: Clone,
+    {
+        let plan = match p.fault_plan() {
+            Some(plan) if plan.links_enabled() && p.mode() == ClockMode::Virtual => plan,
+            _ => return self.send(p, msg, latency),
+        };
+        let d = plan.decide_link();
+        if d.drop {
+            if obs::enabled() {
+                obs::counter("fault.msgs_dropped").inc();
+            }
+            return;
+        }
+        if obs::enabled() && d.extra_delay > SimTime::ZERO {
+            obs::counter("fault.msgs_delayed").inc();
+        }
+        if d.duplicate {
+            if obs::enabled() {
+                obs::counter("fault.msgs_duplicated").inc();
+            }
+            self.send(p, msg.clone(), latency + d.extra_delay);
+        }
+        self.send(p, msg, latency + d.extra_delay);
+    }
+
     /// Number of messages currently queued (arrived or in flight).
     pub fn len(&self) -> usize {
         self.state.lock().queue.len()
@@ -181,6 +219,79 @@ impl<T> SimChannel<T> {
                         return s.queue.swap_remove(i).msg;
                     }
                     self.cv.wait(&mut s);
+                }
+            }
+        }
+    }
+
+    /// Like [`SimChannel::recv_match`], but give up at `deadline`:
+    /// returns `None` if no matching message has arrived by then.
+    ///
+    /// In the common case — the message arrives first — the armed
+    /// deadline timer is cancelled before it fires, so a run in which no
+    /// timeout ever triggers is indistinguishable (to the event-queue
+    /// metrics and every clock) from one using plain `recv_match`.
+    pub fn recv_match_deadline(
+        &self,
+        p: &Proc,
+        mut pred: impl FnMut(&T) -> bool,
+        deadline: SimTime,
+    ) -> Option<T> {
+        match p.mode() {
+            ClockMode::Virtual => loop {
+                let mut s = self.state.lock();
+                let best = s
+                    .queue
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| pred(&e.msg))
+                    .min_by_key(|(_, e)| (e.arrival, e.seq))
+                    .map(|(i, e)| (i, e.arrival));
+                match best {
+                    Some((i, arrival)) if arrival <= p.now() => {
+                        return Some(s.queue.swap_remove(i).msg);
+                    }
+                    Some((_, arrival)) if arrival <= deadline => {
+                        // In flight and due before the deadline: sleep to it.
+                        drop(s);
+                        p.sleep_until(arrival);
+                    }
+                    _ => {
+                        // No match, or the only matches arrive too late.
+                        if p.now() >= deadline {
+                            return None;
+                        }
+                        let pid = p.pid();
+                        if !s.waiters.contains(&pid) {
+                            s.waiters.push(pid);
+                        }
+                        drop(s);
+                        p.block_until_deadline(deadline);
+                        let mut s = self.state.lock();
+                        s.waiters.retain(|&w| w != pid);
+                    }
+                }
+            },
+            ClockMode::Real => {
+                let mut s = self.state.lock();
+                loop {
+                    if let Some((i, _)) = s
+                        .queue
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, e)| pred(&e.msg))
+                        .min_by_key(|(_, e)| (e.arrival, e.seq))
+                    {
+                        return Some(s.queue.swap_remove(i).msg);
+                    }
+                    let now = p.now();
+                    if now >= deadline {
+                        return None;
+                    }
+                    self.cv.wait_for(
+                        &mut s,
+                        std::time::Duration::from_nanos((deadline - now).as_nanos()),
+                    );
                 }
             }
         }

@@ -11,6 +11,7 @@
 
 use std::sync::Arc;
 
+use dynprof_obs as obs;
 use parking_lot::Mutex;
 
 use dynprof_mpi::{Comm, MpiData};
@@ -107,6 +108,9 @@ pub struct ConfsyncOutcome {
     pub changed: bool,
     /// How many registered functions flipped activation.
     pub functions_changed: usize,
+    /// True when this rank missed the epoch's delta (fault injection) and
+    /// deferred it to the next safe point instead of applying it here.
+    pub partial: bool,
 }
 
 /// Execute one `VT_confsync` safe point on the calling rank.
@@ -121,8 +125,24 @@ pub fn confsync(
     write_stats: bool,
 ) -> ConfsyncOutcome {
     let rank = comm.rank();
+    let round = vt.next_sync_round(rank);
     // Entry bookkeeping on every rank.
     p.advance(SimTime::from_micros(2));
+
+    // Catch up on deltas this rank missed at earlier safe points (fault
+    // injection): apply them now, before this round's delta, so the rank
+    // converges to the collective configuration.
+    let deferred = vt.take_deferred(rank);
+    if !deferred.is_empty() {
+        for d in &deferred {
+            p.advance(SimTime::from_micros(3));
+            vt.with_config(rank, |c| c.apply(d));
+        }
+        vt.reresolve(rank);
+        if obs::enabled() {
+            obs::counter("vt.confsync.catchups").add(deferred.len() as u64);
+        }
+    }
 
     // Rank 0 polls the monitoring tool's side channel; this is the
     // dominant constant of Fig 8(a).
@@ -143,17 +163,33 @@ pub fn confsync(
     };
     // Distribute the (possibly empty) change.
     let msg = comm.bcast_unlogged(p, 0, delta);
-    let (changed, functions_changed) = match msg.0 {
+    let (changed, functions_changed, missed) = match msg.0 {
         Some(d) => {
-            // Every rank applies the delta to its *own* activation table
-            // and pays the local re-resolution cost — the tables are
-            // per process, as in the real library.
-            p.advance(SimTime::from_micros(3));
-            vt.with_config(rank, |c| c.apply(&d));
-            let flipped = vt.reresolve(rank);
-            (true, flipped)
+            // Fault injection may declare this rank unreachable for the
+            // epoch (rank 0, the decider, is exempt). The collective
+            // structure is untouched — the rank still took part in the
+            // broadcast and will reach the barrier — but the delta is
+            // deferred to the next safe point instead of applied, so the
+            // job degrades to a partial epoch rather than deadlocking.
+            if p.fault_plan()
+                .is_some_and(|plan| plan.missed_epoch(rank, round))
+            {
+                vt.defer_delta(rank, d);
+                if obs::enabled() {
+                    obs::counter("vt.confsync.missed_epochs").inc();
+                }
+                (false, 0, true)
+            } else {
+                // Every rank applies the delta to its *own* activation
+                // table and pays the local re-resolution cost — the
+                // tables are per process, as in the real library.
+                p.advance(SimTime::from_micros(3));
+                vt.with_config(rank, |c| c.apply(&d));
+                let flipped = vt.reresolve(rank);
+                (true, flipped, false)
+            }
         }
-        None => (false, 0),
+        None => (false, 0, false),
     };
     // Agree on the epoch and change count (rank 0 decided them).
     let packed = if rank == 0 {
@@ -165,6 +201,9 @@ pub fn confsync(
     let packed = comm.bcast_unlogged(p, 0, packed);
     let epoch = (packed >> 32) as u32;
     let functions_changed = (packed & 0xFFFF_FFFF) as usize;
+    if missed {
+        vt.note_partial(rank, epoch);
+    }
 
     // Experiment 3: runtime statistics generation.
     if write_stats {
@@ -199,6 +238,7 @@ pub fn confsync(
         epoch,
         changed,
         functions_changed,
+        partial: missed,
     }
 }
 

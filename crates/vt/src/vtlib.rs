@@ -7,7 +7,7 @@
 //! on every rank between safe points by construction of `VT_confsync`).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use dynprof_obs as obs;
@@ -15,7 +15,7 @@ use parking_lot::{Mutex, RwLock};
 
 use dynprof_sim::{ProbeCosts, Proc, SimTime};
 
-use crate::config::VtConfig;
+use crate::config::{ConfigDelta, VtConfig};
 use crate::event::{Event, Trace, VtFuncId};
 
 /// Per-function statistics accumulated while probes are active — the data
@@ -74,6 +74,13 @@ struct ProcState {
     config: Mutex<VtConfig>,
     /// Resolved activation per registered function (lazy, per rank).
     active: RwLock<Vec<bool>>,
+    /// Safe points this rank has entered (drives the fault plan's
+    /// missed-epoch decision; consistent across ranks because
+    /// `VT_confsync` is collective).
+    sync_round: AtomicU64,
+    /// Deltas this rank missed (its config epoch arrived while it was
+    /// unreachable); applied as catch-up at the next safe point.
+    deferred: Mutex<Vec<ConfigDelta>>,
 }
 
 struct Registry {
@@ -88,6 +95,9 @@ pub struct VtLib {
     registry: RwLock<Registry>,
     procs: Vec<ProcState>,
     epoch: AtomicU32,
+    /// `(rank, epoch)` markers for safe points a rank passed without
+    /// applying that epoch's delta (it caught up later).
+    partials: Mutex<Vec<(usize, u32)>>,
 }
 
 impl VtLib {
@@ -114,9 +124,12 @@ impl VtLib {
                     buf: Mutex::new(ProcBuf::default()),
                     config: Mutex::new(config.clone()),
                     active: RwLock::new(Vec::new()),
+                    sync_round: AtomicU64::new(0),
+                    deferred: Mutex::new(Vec::new()),
                 })
                 .collect(),
             epoch: AtomicU32::new(0),
+            partials: Mutex::new(Vec::new()),
         })
     }
 
@@ -142,6 +155,40 @@ impl VtLib {
 
     pub(crate) fn bump_epoch(&self) -> u32 {
         self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// The index of the safe point `rank` is entering (0-based, bumped on
+    /// each `VT_confsync`).
+    pub(crate) fn next_sync_round(&self, rank: usize) -> u64 {
+        self.procs[rank].sync_round.fetch_add(1, Ordering::AcqRel)
+    }
+
+    /// Queue a delta `rank` could not apply at its safe point.
+    pub(crate) fn defer_delta(&self, rank: usize, delta: ConfigDelta) {
+        self.procs[rank].deferred.lock().push(delta);
+    }
+
+    /// Drain `rank`'s missed deltas for catch-up application.
+    pub(crate) fn take_deferred(&self, rank: usize) -> Vec<ConfigDelta> {
+        std::mem::take(&mut *self.procs[rank].deferred.lock())
+    }
+
+    /// How many missed deltas `rank` has yet to catch up on.
+    pub fn deferred_count(&self, rank: usize) -> usize {
+        self.procs[rank].deferred.lock().len()
+    }
+
+    /// Record that `rank` passed the safe point of `epoch` without
+    /// applying its delta.
+    pub(crate) fn note_partial(&self, rank: usize, epoch: u32) {
+        self.partials.lock().push((rank, epoch));
+    }
+
+    /// `(rank, epoch)` markers of partially-applied config epochs: safe
+    /// points a rank passed while its delta was deferred. Empty in
+    /// fault-free runs.
+    pub fn partial_epochs(&self) -> Vec<(usize, u32)> {
+        self.partials.lock().clone()
     }
 
     /// `VT_init` on `rank`: reads the configuration file and sets up the

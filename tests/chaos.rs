@@ -1,0 +1,268 @@
+//! Seeded fault-matrix ("chaos") suite for the fault-injection tentpole.
+//!
+//! For a grid of (seed × profile) the suite drives the DPCL client/daemon
+//! protocol and `VT_confsync` under injected message drop/duplication/
+//! delay, node slowdown, daemon crash windows, and missed config epochs,
+//! asserting the *liveness* contract: every request eventually acks or
+//! returns a typed error, confsync never deadlocks, and the run completes.
+//! `no_faults_is_identity` is the companion safety contract: a plan with
+//! every fault disabled is byte-identical to running with no plan at all.
+//!
+//! Seeds come from `CHAOS_SEEDS` (comma-separated) or default to four
+//! fixed values; all fault decisions derive deterministically from them,
+//! so failures reproduce exactly.
+
+use std::sync::{Arc, Mutex, RwLock};
+
+use dynprof::dpcl::{AckResult, DpclClient, DpclSystem};
+use dynprof::image::{FunctionInfo, ImageBuilder, ProbePoint, Snippet};
+use dynprof::mpi::{launch, JobSpec};
+use dynprof::obs;
+use dynprof::sim::fault::{set_global_spec, FaultPlan, FaultProfile, FaultSpec};
+use dynprof::sim::{Machine, ProbeCosts, Sim, SimTime};
+use dynprof::vt::{confsync, ConfigDelta, MonitorLink, VtConfig, VtLib};
+
+/// The obs registry is process-global and recording is gated on a global
+/// flag, so a test that enables observation must not overlap any other
+/// test in this binary (their sim runs would pollute its snapshots).
+/// Ordinary tests take `read()`, obs-flipping tests take `write()`.
+static OBS_GATE: RwLock<()> = RwLock::new(());
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("CHAOS_SEEDS") {
+        Ok(s) => {
+            let v: Vec<u64> = s.split(',').filter_map(|t| t.trim().parse().ok()).collect();
+            assert!(!v.is_empty(), "CHAOS_SEEDS set but empty: {s:?}");
+            v
+        }
+        Err(_) => vec![11, 23, 37, 41],
+    }
+}
+
+fn plan_for(sim: &Sim, seed: u64, profile: &str) -> Arc<FaultPlan> {
+    let spec = FaultSpec::parse(&format!("{seed}:{profile}")).expect("profile name");
+    FaultPlan::new(&spec, sim.machine())
+}
+
+/// One DPCL workout: attach three nodes, install probes, remove a
+/// function's instrumentation, wait for every ack, shut down. Returns
+/// (virtual end time, acks observed, typed failures observed).
+fn dpcl_workout(seed: u64, profile: Option<&str>) -> (SimTime, usize, usize) {
+    let sim = Sim::virtual_time(Machine::test_machine(), seed);
+    if let Some(name) = profile {
+        assert!(
+            sim.set_fault_plan(plan_for(&sim, seed, name)),
+            "plan already installed"
+        );
+    }
+    let system = DpclSystem::new(["u"]);
+    let mut b = ImageBuilder::new("t");
+    let f = b.add(FunctionInfo::new("hot"));
+    let image = Arc::new(b.build());
+    let outcome = Arc::new(Mutex::new((0usize, 0usize)));
+    let out2 = Arc::clone(&outcome);
+    sim.spawn("instrumenter", 0, move |p| {
+        let client = DpclClient::new(system, "u");
+        let mut handles = Vec::new();
+        // test_machine has 4 nodes; the instrumenter runs on node 0.
+        for node in 1..=3usize {
+            match client.attach(p, node, Arc::clone(&image), format!("t:{node}")) {
+                Ok(h) => handles.push(h),
+                // A typed attach failure (retry budget exhausted) is an
+                // acceptable outcome; liveness only demands we get here.
+                Err(msg) => assert!(!msg.is_empty()),
+            }
+        }
+        let mut reqs = Vec::new();
+        for h in &handles {
+            for _ in 0..4 {
+                reqs.push(client.install_probe(p, h, ProbePoint::entry(f), Snippet::noop("n")));
+            }
+            reqs.push(client.remove_function(p, h, f));
+        }
+        let (mut acked, mut failed) = (0usize, 0usize);
+        for r in reqs {
+            match client.wait_ack(p, r) {
+                AckResult::Ok { .. } => acked += 1,
+                AckResult::Error { .. } | AckResult::TimedOut { .. } => failed += 1,
+            }
+        }
+        client.shutdown(p);
+        *out2.lock().unwrap() = (acked, failed);
+    });
+    let end = sim.run();
+    let (acked, failed) = *outcome.lock().unwrap();
+    (end, acked, failed)
+}
+
+/// Liveness over the full (seed × profile) grid: the workout terminates
+/// (no deadlock, no panic) under every profile, and every request is
+/// resolved one way or the other.
+#[test]
+fn fault_matrix_dpcl_workout_terminates() {
+    let _g = OBS_GATE.read().unwrap();
+    for seed in seeds() {
+        for profile in FaultProfile::all_names() {
+            let (end, acked, failed) = dpcl_workout(seed, Some(profile));
+            assert!(
+                end > SimTime::ZERO,
+                "empty run for seed {seed} profile {profile}"
+            );
+            assert!(
+                acked + failed > 0,
+                "no request resolved for seed {seed} profile {profile}"
+            );
+            if *profile == "none" {
+                assert_eq!(
+                    failed, 0,
+                    "zero-fault plan must not fail requests (seed {seed})"
+                );
+            }
+        }
+    }
+}
+
+/// The zero-fault plan is inert: a workout with the `none` profile ends
+/// at exactly the virtual time of a workout with no plan installed, with
+/// identical outcomes.
+#[test]
+fn zero_fault_plan_matches_no_plan() {
+    let _g = OBS_GATE.read().unwrap();
+    for seed in seeds() {
+        assert_eq!(
+            dpcl_workout(seed, None),
+            dpcl_workout(seed, Some("none")),
+            "seed {seed}"
+        );
+    }
+}
+
+/// Repeating a (seed, profile) cell reproduces it exactly — the whole
+/// point of seed-driven fault plans.
+#[test]
+fn fault_runs_are_deterministic_per_seed() {
+    let _g = OBS_GATE.read().unwrap();
+    for profile in ["lossy", "crash", "drop"] {
+        assert_eq!(
+            dpcl_workout(23, Some(profile)),
+            dpcl_workout(23, Some(profile))
+        );
+    }
+    assert_ne!(
+        dpcl_workout(11, Some("lossy")).0,
+        dpcl_workout(41, Some("lossy")).0,
+        "different seeds should perturb differently"
+    );
+}
+
+/// One confsync chaos run: `rounds` safe points each carrying a config
+/// change, then one trailing no-change round for catch-up. Returns the
+/// number of partial-epoch markers recorded.
+fn confsync_run(seed: u64, profile: &str, ranks: usize, rounds: usize) -> usize {
+    let sim = Sim::virtual_time(Machine::test_machine(), seed);
+    assert!(sim.set_fault_plan(plan_for(&sim, seed, profile)));
+    let vt = VtLib::new("app", ranks, VtConfig::all_on(), ProbeCosts::power3());
+    let monitor = MonitorLink::new();
+    let (v2, m2) = (Arc::clone(&vt), Arc::clone(&monitor));
+    launch(&sim, JobSpec::new("app", ranks), vec![], move |p, c| {
+        c.init(p);
+        v2.init(p, c.rank());
+        for r in 0..rounds {
+            v2.funcdef(p, &format!("f{r}"));
+        }
+        c.barrier(p);
+        for r in 0..rounds {
+            if c.rank() == 0 {
+                m2.post_change(
+                    ConfigDelta::Set(vec![(format!("f{r}"), false)]),
+                    SimTime::from_millis(1),
+                );
+            }
+            let out = confsync(&v2, &m2, p, c, false);
+            if out.partial {
+                assert!(
+                    c.rank() != 0,
+                    "rank 0 decides the epoch and must never miss it"
+                );
+            }
+        }
+        // Trailing no-change round: every rank applies whatever it
+        // deferred, so the job converges.
+        let out = confsync(&v2, &m2, p, c, false);
+        assert!(!out.changed && !out.partial);
+        c.finalize(p);
+    });
+    sim.run();
+    // Convergence: every round's delta reached every rank (possibly via
+    // catch-up), nothing is left deferred.
+    for rank in 0..ranks {
+        assert_eq!(vt.deferred_count(rank), 0, "rank {rank} still behind");
+        for r in 0..rounds {
+            let f = vt.func_id(&format!("f{r}")).unwrap();
+            assert!(
+                !vt.is_active(rank, f),
+                "rank {rank} missed f{r} permanently (seed {seed}, {profile})"
+            );
+        }
+    }
+    vt.partial_epochs().len()
+}
+
+/// Confsync liveness and convergence under missed config epochs: no
+/// deadlock, every rank converges at the next safe point, and partial
+/// epochs are recorded rather than silently lost.
+#[test]
+fn confsync_converges_under_missed_epochs() {
+    let _g = OBS_GATE.read().unwrap();
+    let mut partials = 0;
+    for seed in seeds() {
+        for profile in ["epochs", "lossy"] {
+            partials += confsync_run(seed, profile, 4, 3);
+        }
+    }
+    assert!(
+        partials > 0,
+        "the epochs/lossy profiles should miss at least one epoch \
+         somewhere in the matrix"
+    );
+}
+
+/// A zero-fault confsync run records no partial epochs.
+#[test]
+fn confsync_zero_faults_records_no_partials() {
+    let _g = OBS_GATE.read().unwrap();
+    assert_eq!(confsync_run(11, "none", 4, 3), 0);
+}
+
+/// The headline invariant of the fault tentpole: a fault plan with every
+/// fault disabled produces byte-identical figure JSON *and* byte-identical
+/// deterministic metrics to a run with no plan installed at all. (The
+/// release harness binaries are checked the same way in CI-facing docs;
+/// this is the in-tree guard.)
+#[test]
+fn no_faults_is_identity() {
+    let _g = OBS_GATE.write().unwrap();
+    set_global_spec(None);
+
+    obs::reset();
+    obs::set_enabled(true);
+    let fig_base = dynprof_bench::fig9().to_json();
+    obs::set_enabled(false);
+    let snap_base = obs::snapshot().deterministic();
+
+    set_global_spec(Some(FaultSpec::parse("7:none").expect("spec")));
+    obs::reset();
+    obs::set_enabled(true);
+    let fig_none = dynprof_bench::fig9().to_json();
+    obs::set_enabled(false);
+    let snap_none = obs::snapshot().deterministic();
+    set_global_spec(None);
+
+    assert_eq!(fig_base, fig_none, "figure JSON must be byte-identical");
+    assert_eq!(snap_base, snap_none, "deterministic metrics must match");
+    assert_eq!(
+        snap_base.to_json().pretty(),
+        snap_none.to_json().pretty(),
+        "rendered metrics JSON must be byte-identical"
+    );
+}

@@ -5,11 +5,60 @@
 //! the paper reports: who wins, by roughly what factor, and where the
 //! lines bend. Absolute seconds are our machine model's, not the 2003
 //! Power3's (see EXPERIMENTS.md).
+//!
+//! The `golden_*` tests additionally pin the figure JSON and the
+//! deterministic `--metrics` JSON byte-for-byte against the files in
+//! `tests/golden/`. To regenerate after an intentional model change:
+//! `UPDATE_GOLDENS=1 cargo test --test figures_shape golden_`.
+
+use std::sync::RwLock;
 
 use dynprof::apps::paper_app;
 use dynprof::core::{run_session, SessionConfig};
+use dynprof::obs;
 use dynprof::sim::Machine;
 use dynprof::vt::Policy;
+use dynprof_bench::{fig7_policies, fig7_run, fig8c, fig9, Figure, Series};
+
+/// The obs registry is process-global and recording is gated on a global
+/// flag, so the metrics-golden test (which enables observation) must not
+/// overlap any other test in this binary. Ordinary tests take `read()`,
+/// obs-flipping tests take `write()`.
+static OBS_GATE: RwLock<()> = RwLock::new(());
+
+/// Compare `actual` byte-for-byte against `tests/golden/<name>`, or
+/// rewrite the file when `UPDATE_GOLDENS` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden {path}: {e} (regenerate with UPDATE_GOLDENS=1)")
+    });
+    assert_eq!(
+        actual, expected,
+        "golden {name} drifted; regenerate with UPDATE_GOLDENS=1 if intended"
+    );
+}
+
+/// The reduced Fig 7 reference workload: smg98 at 8 CPUs under every
+/// policy (the full sweep is a release-binary job, not a debug test).
+fn fig7_reduced() -> Figure {
+    let series = fig7_policies("smg98")
+        .into_iter()
+        .map(|p| Series {
+            label: p.label().to_string(),
+            points: vec![(8, fig7_run("smg98", 8, p))],
+        })
+        .collect();
+    Figure {
+        title: "Fig 7(a) smg98 at 8 CPUs (golden reference)".into(),
+        unit: "seconds",
+        series,
+    }
+}
 
 fn app_time(app_name: &str, cpus: usize, policy: Policy) -> f64 {
     let (app, _) = paper_app(app_name, cpus).expect("known app");
@@ -20,6 +69,7 @@ fn app_time(app_name: &str, cpus: usize, policy: Policy) -> f64 {
 /// Fig 7(a): Smg98's policy hierarchy at 8 CPUs.
 #[test]
 fn fig7a_smg98_policy_hierarchy() {
+    let _g = OBS_GATE.read().unwrap();
     let full = app_time("smg98", 8, Policy::Full);
     let off = app_time("smg98", 8, Policy::FullOff);
     let subset = app_time("smg98", 8, Policy::Subset);
@@ -49,6 +99,7 @@ fn fig7a_smg98_policy_hierarchy() {
 /// the Full/None gap is worst at scale.
 #[test]
 fn fig7a_smg98_weak_scaling_and_worst_case() {
+    let _g = OBS_GATE.read().unwrap();
     let none_2 = app_time("smg98", 2, Policy::None);
     let none_32 = app_time("smg98", 32, Policy::None);
     assert!(
@@ -67,6 +118,7 @@ fn fig7a_smg98_weak_scaling_and_worst_case() {
 /// Fig 7(b): Sppm shows the same ordering with a smaller gap.
 #[test]
 fn fig7b_sppm_same_ordering_smaller_gap() {
+    let _g = OBS_GATE.read().unwrap();
     let full = app_time("sppm", 8, Policy::Full);
     let off = app_time("sppm", 8, Policy::FullOff);
     let subset = app_time("sppm", 8, Policy::Subset);
@@ -88,6 +140,7 @@ fn fig7b_sppm_same_ordering_smaller_gap() {
 /// scales strongly.
 #[test]
 fn fig7c_sweep3d_policies_negligible() {
+    let _g = OBS_GATE.read().unwrap();
     let full = app_time("sweep3d", 8, Policy::Full);
     let none = app_time("sweep3d", 8, Policy::None);
     let dynamic = app_time("sweep3d", 8, Policy::Dynamic);
@@ -109,6 +162,7 @@ fn fig7c_sweep3d_policies_negligible() {
 /// and time decreases with threads.
 #[test]
 fn fig7d_umt98_ordering_and_strong_scaling() {
+    let _g = OBS_GATE.read().unwrap();
     let full = app_time("umt98", 4, Policy::Full);
     let off = app_time("umt98", 4, Policy::FullOff);
     let none = app_time("umt98", 4, Policy::None);
@@ -129,6 +183,7 @@ fn fig7d_umt98_ordering_and_strong_scaling() {
 /// costing slightly more than no change.
 #[test]
 fn fig8a_confsync_bounds() {
+    let _g = OBS_GATE.read().unwrap();
     use dynprof_bench::{confsync_cost, ConfsyncExperiment};
     let m = Machine::ibm_power3_colony();
     let procs = [2, 64, 256];
@@ -148,6 +203,7 @@ fn fig8a_confsync_bounds() {
 /// than a plain sync at scale, but stays far below user-interaction time.
 #[test]
 fn fig8b_stats_an_order_of_magnitude_up() {
+    let _g = OBS_GATE.read().unwrap();
     use dynprof_bench::{confsync_cost, ConfsyncExperiment};
     let m = Machine::ibm_power3_colony();
     let procs = [256];
@@ -164,6 +220,7 @@ fn fig8b_stats_an_order_of_magnitude_up() {
 /// Fig 8(c): the second architecture behaves the same way (low, flat).
 #[test]
 fn fig8c_ia32_same_behaviour() {
+    let _g = OBS_GATE.read().unwrap();
     use dynprof_bench::{confsync_cost, ConfsyncExperiment};
     let m = Machine::ia32_pentium3_cluster();
     let s = confsync_cost(&m, &[2, 8, 16], ConfsyncExperiment::NoChange, 3);
@@ -177,6 +234,7 @@ fn fig8c_ia32_same_behaviour() {
 /// MPI codes but is flat for the OpenMP code (single shared image).
 #[test]
 fn fig9_instrument_time_shapes() {
+    let _g = OBS_GATE.read().unwrap();
     use dynprof::apps::test_app;
     let time_for = |name: &str, cpus: usize| {
         let app = test_app(name, cpus).unwrap();
@@ -194,5 +252,70 @@ fn fig9_instrument_time_shapes() {
     assert!(
         (umt_8 - umt_1).abs() / umt_1 < 0.10,
         "umt98 should be flat: {umt_1} vs {umt_8}"
+    );
+}
+
+/// Golden regression: the reduced Fig 7 reference figure renders to
+/// byte-identical JSON.
+#[test]
+fn golden_fig7_smg98_8_json() {
+    let _g = OBS_GATE.read().unwrap();
+    check_golden("fig7_smg98_8.json", &fig7_reduced().to_json());
+}
+
+/// Golden regression: Fig 8(c) at 4 runs per point.
+#[test]
+fn golden_fig8c_json() {
+    let _g = OBS_GATE.read().unwrap();
+    check_golden("fig8c_r4.json", &fig8c(4).to_json());
+}
+
+/// Golden regression: the full Fig 9 sweep.
+#[test]
+fn golden_fig9_json() {
+    let _g = OBS_GATE.read().unwrap();
+    check_golden("fig9.json", &fig9().to_json());
+}
+
+/// Golden regression: the deterministic subset of the `--metrics` JSON
+/// for each reference workload. (Wall-clock gauges are excluded — they
+/// differ between any two runs; see `Snapshot::deterministic`.) With the
+/// `obs` feature off the snapshots are empty and the no-op goldens still
+/// hold, so this pins the feature-off behaviour too.
+#[test]
+fn golden_metrics_json() {
+    let _g = OBS_GATE.write().unwrap();
+    fn capture(run: impl FnOnce()) -> String {
+        obs::reset();
+        obs::set_enabled(true);
+        run();
+        obs::set_enabled(false);
+        obs::snapshot().deterministic().to_json().pretty()
+    }
+    // The bench dev-dependency defaults the obs feature on, so test
+    // builds normally have live observation even under
+    // `--no-default-features`; probe at runtime rather than trusting the
+    // root crate's own feature flags.
+    obs::set_enabled(true);
+    let live = obs::enabled();
+    obs::set_enabled(false);
+    let suffix = if live { "" } else { "_nofeature" };
+    check_golden(
+        &format!("fig7_smg98_8_metrics{suffix}.json"),
+        &capture(|| {
+            fig7_reduced();
+        }),
+    );
+    check_golden(
+        &format!("fig8c_r4_metrics{suffix}.json"),
+        &capture(|| {
+            fig8c(4);
+        }),
+    );
+    check_golden(
+        &format!("fig9_metrics{suffix}.json"),
+        &capture(|| {
+            fig9();
+        }),
     );
 }

@@ -7,6 +7,8 @@
 
 use std::sync::Arc;
 
+use dynprof::dpcl::{BackoffSchedule, DpclClient, DpclSystem};
+use dynprof::image::{FunctionInfo, ImageBuilder, ProbePoint, Snippet};
 use dynprof::mpi::{launch, JobSpec};
 use dynprof::omp::Schedule;
 use dynprof::sim::rng::SimRng;
@@ -307,6 +309,109 @@ fn mpi_alltoall_transposes() {
                 assert_eq!(*v, s as u64 * 1000 + rk as u64);
             }
         }
+    }
+}
+
+/// The retry backoff schedule is monotone non-decreasing, bounded by
+/// `cap + cap/4` (cap plus maximum jitter), starts at `base` or above,
+/// and is a pure function of its seed.
+#[test]
+fn backoff_schedule_is_monotone_bounded_deterministic() {
+    let mut r = rng(9);
+    let mut seeds_diverged = 0usize;
+    for _ in 0..200 {
+        let base = SimTime::from_nanos(1 + r.gen_range_u64(0..=100_000_000));
+        let cap = SimTime::from_nanos(base.as_nanos() + r.gen_range_u64(0..=3_000_000_000));
+        let seed = r.next_u64();
+        let mut a = BackoffSchedule::new(base, cap, seed);
+        let mut b = BackoffSchedule::new(base, cap, seed);
+        let mut c = BackoffSchedule::new(base, cap, seed ^ 0x5eed);
+        let mut prev = SimTime::ZERO;
+        let mut c_differs = false;
+        for i in 0..12 {
+            let d = a.next_delay();
+            assert_eq!(d, b.next_delay(), "same seed must replay identically");
+            c_differs |= d != c.next_delay();
+            assert!(d >= base, "delay {i} below base: {d:?} < {base:?}");
+            assert!(d >= prev, "delay {i} not monotone: {d:?} < {prev:?}");
+            assert!(
+                d.as_nanos() <= cap.as_nanos() + cap.as_nanos() / 4,
+                "delay {i} above cap+jitter: {d:?} (cap {cap:?})"
+            );
+            prev = d;
+        }
+        seeds_diverged += c_differs as usize;
+    }
+    // Jitter must actually depend on the seed (a handful of ties among
+    // 200 cases is fine; zero divergence means the seed is ignored).
+    assert!(seeds_diverged > 150, "only {seeds_diverged}/200 diverged");
+}
+
+/// Resending an already-acked request is a no-op: the client refuses
+/// (the pending entry is gone) and the target image state is unchanged.
+#[test]
+fn resend_after_ack_is_noop() {
+    let mut r = rng(10);
+    for _ in 0..20 {
+        let seed = r.gen_range_u64(0..=9999);
+        let sim = Sim::virtual_time(Machine::test_machine(), seed);
+        let system = DpclSystem::new(["u"]);
+        let mut b = ImageBuilder::new("t");
+        let f = b.add(FunctionInfo::new("hot"));
+        let image = Arc::new(b.build());
+        let img2 = Arc::clone(&image);
+        sim.spawn("instrumenter", 0, move |p| {
+            let client = DpclClient::new(system, "u");
+            let h = client.attach(p, 1, Arc::clone(&img2), "t").unwrap();
+            let req = client.install_probe(p, &h, ProbePoint::entry(f), Snippet::noop("n"));
+            assert!(client.wait_ack(p, req).is_ok());
+            let patches = img2.patch_count();
+            assert!(img2.occupied(ProbePoint::entry(f)));
+            // Acked: the pending entry is gone, so a resend is refused...
+            assert!(!client.resend_pending(p, req));
+            p.sleep(SimTime::from_secs(1));
+            // ...and nothing was re-applied.
+            assert_eq!(img2.patch_count(), patches);
+            client.shutdown(p);
+        });
+        sim.run();
+    }
+}
+
+/// Duplicate delivery of an in-flight request applies exactly once: the
+/// daemon's dedup table re-acks the stored result instead of re-running
+/// the install, for any number of duplicates.
+#[test]
+fn duplicate_in_flight_request_applies_once() {
+    let mut r = rng(11);
+    for _ in 0..20 {
+        let seed = r.gen_range_u64(0..=9999);
+        let dups = 1 + r.gen_index(4);
+        let sim = Sim::virtual_time(Machine::test_machine(), seed);
+        let system = DpclSystem::new(["u"]);
+        let mut b = ImageBuilder::new("t");
+        let f = b.add(FunctionInfo::new("hot"));
+        let image = Arc::new(b.build());
+        let img2 = Arc::clone(&image);
+        sim.spawn("instrumenter", 0, move |p| {
+            let client = DpclClient::new(system, "u");
+            let h = client.attach(p, 1, Arc::clone(&img2), "t").unwrap();
+            let req = client.install_probe(p, &h, ProbePoint::entry(f), Snippet::noop("n"));
+            // Still in flight: duplicates are accepted for (re)send.
+            for _ in 0..dups {
+                assert!(client.resend_pending(p, req));
+            }
+            assert!(client.wait_ack(p, req).is_ok());
+            // Let the duplicate acks drain, then check single application:
+            // one base-jump patch plus one mini-trampoline store, and
+            // exactly one snippet chained at the point.
+            p.sleep(SimTime::from_secs(1));
+            assert_eq!(img2.patch_count(), 2, "install applied more than once");
+            assert!(img2.occupied(ProbePoint::entry(f)));
+            assert_eq!(img2.remove_function_instr(f), 1);
+            client.shutdown(p);
+        });
+        sim.run();
     }
 }
 
