@@ -22,7 +22,7 @@ use parking_lot::Mutex;
 
 use dynprof_image::{CallerCtx, FunctionInfo, ImageBuilder, ProbePoint};
 use dynprof_obs as obs;
-use dynprof_sim::{Machine, ProbeCosts, Proc, Sim, SimTime};
+use dynprof_sim::{hb, Machine, ProbeCosts, Proc, Sim, SimTime};
 use dynprof_vt::{vt_begin_snippet, vt_end_snippet, Trace, VtConfig, VtLib};
 
 /// Run one benchmark: `f(iters)` must perform `iters` iterations and
@@ -84,6 +84,75 @@ fn bench_obs_primitives() {
         obs::set_enabled(false);
         d
     });
+}
+
+/// Run `f` inside a *virtual*-clock simulated process and return its
+/// measured host duration. Happens-before recording only arms in virtual
+/// mode, so the `check` rows must measure there.
+fn in_virtual_proc(f: impl FnOnce(&Proc) -> Duration + Send + 'static) -> Duration {
+    let out = Arc::new(Mutex::new(Duration::ZERO));
+    let out2 = Arc::clone(&out);
+    let sim = Sim::virtual_time(Machine::test_machine(), 1);
+    sim.spawn("bench", 0, move |p| {
+        *out2.lock() = f(p);
+    });
+    sim.run();
+    let d = *out.lock();
+    d
+}
+
+/// The des/pingpong_1k workload with happens-before checking optionally
+/// armed: the on/off delta is the runtime cost of vector-clock recording
+/// per channel operation.
+fn check_pingpong(iters: u64, check_on: bool) -> Duration {
+    let t = Instant::now();
+    for _ in 0..iters {
+        let sim = Sim::virtual_time(Machine::test_machine(), 1);
+        if check_on {
+            sim.enable_check();
+        }
+        let ch_a: Arc<dynprof_sim::sync::SimChannel<u32>> =
+            Arc::new(dynprof_sim::sync::SimChannel::new());
+        let ch_b: Arc<dynprof_sim::sync::SimChannel<u32>> =
+            Arc::new(dynprof_sim::sync::SimChannel::new());
+        let (a1, b1) = (Arc::clone(&ch_a), Arc::clone(&ch_b));
+        sim.spawn("ping", 0, move |p| {
+            for i in 0..500u32 {
+                a1.send(p, i, SimTime::from_micros(1));
+                let _ = b1.recv(p);
+            }
+        });
+        let (a2, b2) = (ch_a, ch_b);
+        sim.spawn("pong", 1, move |p| {
+            for _ in 0..500u32 {
+                let v = a2.recv(p);
+                b2.send(p, v, SimTime::from_micros(1));
+            }
+        });
+        black_box(sim.run());
+    }
+    t.elapsed()
+}
+
+fn bench_check_primitives() {
+    // The gate every sync primitive pays when happens-before checking is
+    // compiled in but not enabled at runtime. With the `check` feature
+    // off, `hb::on` is a const false and this row measures the compiled-
+    // away floor (the loop itself).
+    bench("check/gate_runtime_off", |iters| {
+        in_virtual_proc(move |p| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(hb::on(p));
+            }
+            t.elapsed()
+        })
+    });
+    // 1000 channel ops per sim: the on/off delta is vector-clock cost.
+    bench("check/pingpong_1k_off", |iters| {
+        check_pingpong(iters, false)
+    });
+    bench("check/pingpong_1k_on", |iters| check_pingpong(iters, true));
 }
 
 fn bench_vt_fast_paths() {
@@ -312,6 +381,7 @@ fn bench_runtimes() {
 fn main() {
     println!("micro-benchmarks (best of 5 calibrated samples)\n");
     bench_obs_primitives();
+    bench_check_primitives();
     bench_vt_fast_paths();
     bench_image_call();
     bench_trace_codec();

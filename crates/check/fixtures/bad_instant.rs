@@ -1,0 +1,12 @@
+// A deliberately nondeterministic source file: dynlint's `banned-source`
+// fixture. Never compiled — it exists so the lint has a guaranteed hit.
+
+use std::time::{Instant, SystemTime};
+
+fn measure() -> u128 {
+    let t0 = Instant::now();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    let _wall = SystemTime::now();
+    let noise = rand::random::<u8>() as u128;
+    t0.elapsed().as_nanos() + noise
+}

@@ -1,0 +1,267 @@
+//! Probe-safety static analysis.
+//!
+//! DPCL/Dyninst-style patching rewrites the instruction at a probe point
+//! with a jump; a function whose body is smaller than that jump cannot be
+//! patched without corrupting the following symbol, and a snippet chain
+//! that grows without bound turns the probe itself into the hot path. This
+//! pass inspects a program's function manifest together with the
+//! instrumenter's *plan* — which symbols it intends to patch and what it
+//! intends to hang off each probe point — and reports everything that
+//! would go wrong **before** a single byte is written.
+
+use std::collections::BTreeMap;
+
+use dynprof_image::{
+    FunctionInfo, BASE_TRAMPOLINE_BYTES, MINI_TRAMPOLINE_BYTES, MIN_PATCHABLE_BYTES,
+};
+use dynprof_sim::hb::{Finding, Severity};
+use dynprof_sim::SimTime;
+
+/// What the instrumenter intends to install: the symbols it will patch
+/// (entry *and* exit point of each) and the snippet chain per point.
+#[derive(Clone, Debug)]
+pub struct ProbePlan {
+    /// Symbols to be dynamically instrumented.
+    pub targets: Vec<String>,
+    /// Mini-trampolines chained at each probe point.
+    pub snippets_per_point: usize,
+    /// Modelled execution cost of one snippet.
+    pub snippet_cost: SimTime,
+}
+
+impl ProbePlan {
+    /// The usual entry/exit timer pair: one snippet per point at the
+    /// Power3 `VT_begin`/`VT_end` order of magnitude.
+    pub fn timer_pair(targets: Vec<String>) -> ProbePlan {
+        ProbePlan {
+            targets,
+            snippets_per_point: 1,
+            snippet_cost: SimTime::from_nanos(800),
+        }
+    }
+
+    /// Total snippet cost of one traversal of a probe point.
+    pub fn chain_cost(&self) -> SimTime {
+        self.snippet_cost * self.snippets_per_point as u64
+    }
+}
+
+/// Limits the analyzer enforces.
+#[derive(Clone, Debug)]
+pub struct Budget {
+    /// Maximum snippet-chain cost per probe-point traversal. Beyond this
+    /// the probe dominates the function it observes.
+    pub max_chain_cost: SimTime,
+    /// Maximum dynamically allocated trampoline bytes across the image.
+    pub max_trampoline_bytes: usize,
+}
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget {
+            max_chain_cost: SimTime::from_micros(10),
+            max_trampoline_bytes: 1 << 20,
+        }
+    }
+}
+
+fn finding(severity: Severity, detector: &'static str, message: String) -> Finding {
+    Finding {
+        severity,
+        detector,
+        message,
+    }
+}
+
+/// Analyze `plan` against the function manifest of `program`.
+///
+/// Returns structured findings, errors first. An empty vector means the
+/// plan is safe to install.
+pub fn analyze(
+    program: &str,
+    manifest: &[FunctionInfo],
+    plan: &ProbePlan,
+    budget: &Budget,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+
+    // Duplicate symbol names: the instrumenter addresses probe points by
+    // symbol, so a duplicate makes the patch target ambiguous (and
+    // `ImageBuilder::build` would panic at attach time).
+    let mut seen: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in manifest {
+        *seen.entry(f.name.as_str()).or_insert(0) += 1;
+    }
+    for (name, n) in &seen {
+        if *n > 1 {
+            out.push(finding(
+                Severity::Error,
+                "analyzer:duplicate-symbol",
+                format!("{program}: symbol {name:?} appears {n} times in the image"),
+            ));
+        }
+    }
+
+    let by_name: BTreeMap<&str, &FunctionInfo> =
+        manifest.iter().map(|f| (f.name.as_str(), f)).collect();
+
+    for target in &plan.targets {
+        let Some(f) = by_name.get(target.as_str()) else {
+            out.push(finding(
+                Severity::Error,
+                "analyzer:unknown-target",
+                format!("{program}: plan targets {target:?}, not present in the image"),
+            ));
+            continue;
+        };
+        // Too small to hold the probe-point jump: installing would
+        // overwrite the following symbol.
+        if f.size_bytes < MIN_PATCHABLE_BYTES {
+            out.push(finding(
+                Severity::Error,
+                "analyzer:unsafe-probe-point",
+                format!(
+                    "{program}: {target:?} is {} bytes, below the {MIN_PATCHABLE_BYTES}-byte \
+                     patch minimum — installing would corrupt the next symbol",
+                    f.size_bytes
+                ),
+            ));
+        }
+        // Static + dynamic double instrumentation: both layers fire on
+        // every call and the measurements double-count each other.
+        if f.statically_instrumented {
+            out.push(finding(
+                Severity::Warning,
+                "analyzer:double-instrumentation",
+                format!(
+                    "{program}: {target:?} already carries static (Guide) instrumentation; \
+                     patching it dynamically double-counts every call"
+                ),
+            ));
+        }
+    }
+
+    // Functions nobody targets but which *could never* be patched are
+    // worth knowing about (a later plan may pick them up).
+    for f in manifest {
+        if f.size_bytes < MIN_PATCHABLE_BYTES && !plan.targets.iter().any(|t| t == &f.name) {
+            out.push(finding(
+                Severity::Warning,
+                "analyzer:unsafe-probe-point",
+                format!(
+                    "{program}: {:?} is {} bytes and can never hold a probe",
+                    f.name, f.size_bytes
+                ),
+            ));
+        }
+    }
+
+    // Snippet-chain cost budget (per traversal of one probe point).
+    let chain = plan.chain_cost();
+    if chain > budget.max_chain_cost {
+        out.push(finding(
+            Severity::Error,
+            "analyzer:cost-budget",
+            format!(
+                "{program}: snippet chain costs {}ns per traversal, over the {}ns budget",
+                chain.as_nanos(),
+                budget.max_chain_cost.as_nanos()
+            ),
+        ));
+    }
+
+    // Trampoline memory: entry+exit base trampolines plus the chains.
+    let per_point = BASE_TRAMPOLINE_BYTES + MINI_TRAMPOLINE_BYTES * plan.snippets_per_point;
+    let total = 2 * per_point * plan.targets.len();
+    if total > budget.max_trampoline_bytes {
+        out.push(finding(
+            Severity::Warning,
+            "analyzer:trampoline-bytes",
+            format!(
+                "{program}: plan allocates {total} trampoline bytes, over the {} budget",
+                budget.max_trampoline_bytes
+            ),
+        ));
+    }
+
+    out.sort_by_key(|f| std::cmp::Reverse(f.severity));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest() -> Vec<FunctionInfo> {
+        vec![
+            FunctionInfo::new("solve").with_size(256),
+            FunctionInfo::new("tiny_stub").with_size(MIN_PATCHABLE_BYTES - 1),
+            FunctionInfo::new("static_fn")
+                .with_size(128)
+                .static_instr(true),
+        ]
+    }
+
+    #[test]
+    fn clean_plan_has_no_errors() {
+        let plan = ProbePlan::timer_pair(vec!["solve".into()]);
+        let f = analyze("app", &manifest(), &plan, &Budget::default());
+        assert!(f.iter().all(|x| x.severity == Severity::Warning), "{f:?}");
+        // The untargeted tiny stub is still surfaced as a warning.
+        assert!(f
+            .iter()
+            .any(|x| x.detector == "analyzer:unsafe-probe-point"));
+    }
+
+    #[test]
+    fn too_small_target_is_an_error() {
+        let plan = ProbePlan::timer_pair(vec!["tiny_stub".into()]);
+        let f = analyze("app", &manifest(), &plan, &Budget::default());
+        assert!(f
+            .iter()
+            .any(|x| x.severity == Severity::Error && x.detector == "analyzer:unsafe-probe-point"));
+    }
+
+    #[test]
+    fn double_instrumentation_is_flagged() {
+        let plan = ProbePlan::timer_pair(vec!["static_fn".into()]);
+        let f = analyze("app", &manifest(), &plan, &Budget::default());
+        assert!(f
+            .iter()
+            .any(|x| x.detector == "analyzer:double-instrumentation"));
+    }
+
+    #[test]
+    fn duplicate_symbols_and_unknown_targets_error() {
+        let mut m = manifest();
+        m.push(FunctionInfo::new("solve"));
+        let plan = ProbePlan::timer_pair(vec!["nonesuch".into()]);
+        let f = analyze("app", &m, &plan, &Budget::default());
+        assert!(f.iter().any(|x| x.detector == "analyzer:duplicate-symbol"));
+        assert!(f.iter().any(|x| x.detector == "analyzer:unknown-target"));
+    }
+
+    #[test]
+    fn chain_cost_over_budget_errors() {
+        let plan = ProbePlan {
+            targets: vec!["solve".into()],
+            snippets_per_point: 100,
+            snippet_cost: SimTime::from_nanos(800),
+        };
+        let f = analyze("app", &manifest(), &plan, &Budget::default());
+        assert!(f
+            .iter()
+            .any(|x| x.severity == Severity::Error && x.detector == "analyzer:cost-budget"));
+    }
+
+    #[test]
+    fn errors_sort_before_warnings() {
+        let plan = ProbePlan::timer_pair(vec!["tiny_stub".into(), "static_fn".into()]);
+        let f = analyze("app", &manifest(), &plan, &Budget::default());
+        let first_warning = f.iter().position(|x| x.severity == Severity::Warning);
+        let last_error = f.iter().rposition(|x| x.severity == Severity::Error);
+        if let (Some(w), Some(e)) = (first_warning, last_error) {
+            assert!(e < w);
+        }
+    }
+}

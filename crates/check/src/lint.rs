@@ -1,0 +1,349 @@
+//! Determinism source lint.
+//!
+//! The entire experiment pipeline depends on the simulator being
+//! bit-for-bit reproducible: the same seed must produce the same figures
+//! on every run. A single `Instant::now()` in the wrong place silently
+//! breaks that. This is a token-level lint — comments and string literals
+//! are stripped, then each remaining line is matched against a small set
+//! of banned constructs:
+//!
+//! * `Instant::now` / `SystemTime` — wall clocks in simulation code;
+//! * `thread::sleep` — real sleeping outside the real-threads mode;
+//! * `rand::` — ambient randomness instead of `dynprof_sim::rng`;
+//! * iterating a `HashMap`/`HashSet` in a file that produces figure/JSON
+//!   output, without sorting — nondeterministic output order.
+//!
+//! Audited exceptions live in an allowlist file (`dynlint.allow`), one
+//! `path-suffix rule` pair per line.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use dynprof_sim::hb::{Finding, Severity};
+
+/// One audited exception: findings for `rule` in files whose path ends
+/// with `path_suffix` are suppressed.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    /// Path suffix the exception applies to (e.g. `crates/sim/src/engine.rs`).
+    pub path_suffix: String,
+    /// Rule name (e.g. `instant-now`) or `*` for every rule.
+    pub rule: String,
+}
+
+/// Parse an allowlist file: `path-suffix rule` per line, `#` comments.
+pub fn parse_allowlist(text: &str) -> Vec<Allow> {
+    text.lines()
+        .filter_map(|line| {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                return None;
+            }
+            let mut it = line.split_whitespace();
+            let path_suffix = it.next()?.to_string();
+            let rule = it.next()?.to_string();
+            Some(Allow { path_suffix, rule })
+        })
+        .collect()
+}
+
+fn allowed(allow: &[Allow], path: &str, rule: &str) -> bool {
+    allow
+        .iter()
+        .any(|a| path.ends_with(&a.path_suffix) && (a.rule == "*" || a.rule == rule))
+}
+
+/// Blank out comments and string literals, preserving line structure so
+/// reported line numbers match the source.
+pub fn strip_code(src: &str) -> String {
+    let mut out = String::with_capacity(src.len());
+    let b: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let n = b.len();
+    while i < n {
+        let c = b[i];
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            // Line comment.
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+        } else if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            // Block comment (nested, as in Rust).
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if b[i] == '\n' {
+                        out.push('\n');
+                    }
+                    i += 1;
+                }
+            }
+        } else if c == '"' {
+            // String literal (handles escapes; raw strings are close
+            // enough for a token lint since `"` still delimits them).
+            out.push(' ');
+            i += 1;
+            while i < n && b[i] != '"' {
+                if b[i] == '\\' {
+                    i += 1;
+                }
+                if i < n {
+                    if b[i] == '\n' {
+                        out.push('\n');
+                    }
+                    i += 1;
+                }
+            }
+            i += 1;
+        } else if c == '\'' && i + 2 < n && (b[i + 1] == '\\' || b[i + 2] == '\'') {
+            // Char literal ('x' or '\n'); lifetimes ('a) fall through.
+            out.push(' ');
+            i += 1;
+            while i < n && b[i] != '\'' {
+                if b[i] == '\\' {
+                    i += 1;
+                }
+                i += 1;
+            }
+            i += 1;
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    out
+}
+
+struct Rule {
+    name: &'static str,
+    detector: &'static str,
+    token: &'static str,
+    why: &'static str,
+}
+
+const RULES: &[Rule] = &[
+    Rule {
+        name: "instant-now",
+        detector: "lint:instant-now",
+        token: "Instant::now",
+        why: "wall clock in simulation code breaks reproducibility",
+    },
+    Rule {
+        name: "system-time",
+        detector: "lint:system-time",
+        token: "SystemTime",
+        why: "wall clock in simulation code breaks reproducibility",
+    },
+    Rule {
+        name: "thread-sleep",
+        detector: "lint:thread-sleep",
+        token: "thread::sleep",
+        why: "real sleeping is only legal in real-threads mode",
+    },
+    Rule {
+        name: "rand-crate",
+        detector: "lint:rand-crate",
+        token: "rand::",
+        why: "ambient randomness: use dynprof_sim::rng instead",
+    },
+];
+
+/// Does `hay` contain `needle` not immediately preceded by an identifier
+/// character? Guards against suffix matches inside longer identifiers
+/// (`my_rand::` must not match `rand::`) while still catching qualified
+/// paths (`std::thread::sleep` matches `thread::sleep`).
+fn token_match(hay: &str, needle: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(needle) {
+        let abs = from + pos;
+        let pre = hay[..abs].chars().next_back();
+        if !pre.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+            return true;
+        }
+        from = abs + needle.len();
+    }
+    false
+}
+
+/// Lint one file's source. `path` is the repo-relative display path used
+/// in messages and matched against the allowlist.
+pub fn lint_source(path: &str, src: &str, allow: &[Allow]) -> Vec<Finding> {
+    let stripped = strip_code(src);
+    let mut out = Vec::new();
+    for (lineno, line) in stripped.lines().enumerate() {
+        for rule in RULES {
+            if token_match(line, rule.token) && !allowed(allow, path, rule.name) {
+                out.push(Finding {
+                    severity: Severity::Error,
+                    detector: rule.detector,
+                    message: format!("{path}:{}: `{}` — {}", lineno + 1, rule.token, rule.why),
+                });
+            }
+        }
+    }
+    out.extend(lint_hash_iteration(path, &stripped, allow));
+    out
+}
+
+/// Files that produce figure/JSON output must not iterate hash containers
+/// without sorting: the iteration order would leak into the artifact.
+fn lint_hash_iteration(path: &str, stripped: &str, allow: &[Allow]) -> Vec<Finding> {
+    let lower = stripped.to_lowercase();
+    let produces_output = lower.contains("json") || lower.contains("fig");
+    if !produces_output || allowed(allow, path, "hash-iter-output") {
+        return Vec::new();
+    }
+    // Collect identifiers bound to hash containers.
+    let mut hash_vars: Vec<String> = Vec::new();
+    for line in stripped.lines() {
+        if !(line.contains("HashMap") || line.contains("HashSet")) {
+            continue;
+        }
+        // `let [mut] name: HashMap<..>` or `let [mut] name = HashMap::new()`.
+        if let Some(rest) = line.trim_start().strip_prefix("let ") {
+            let rest = rest.trim_start().strip_prefix("mut ").unwrap_or(rest);
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                hash_vars.push(name);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (lineno, line) in stripped.lines().enumerate() {
+        for var in &hash_vars {
+            let mut probes = String::new();
+            for accessor in [".iter()", ".keys()", ".values()", ".into_iter()"] {
+                probes.clear();
+                let _ = write!(probes, "{var}{accessor}");
+                if token_match(line, &probes) && !line.contains("sort") && !line.contains("collect")
+                {
+                    out.push(Finding {
+                        severity: Severity::Error,
+                        detector: "lint:hash-iter-output",
+                        message: format!(
+                            "{path}:{}: iterating hash container `{var}` in an \
+                             output-producing file without sorting",
+                            lineno + 1
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Lint every `.rs` file under `root/<dir>` for each of `dirs`.
+/// Returns findings with repo-relative paths.
+pub fn lint_tree(root: &Path, dirs: &[&str], allow: &[Allow]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for dir in dirs {
+        walk(&root.join(dir), root, allow, &mut out);
+    }
+    out
+}
+
+fn walk(dir: &Path, root: &Path, allow: &[Allow], out: &mut Vec<Finding>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.filter_map(Result::ok).map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            walk(&path, root, allow, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let Ok(src) = fs::read_to_string(&path) else {
+                continue;
+            };
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.extend(lint_source(&rel, &src, allow));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_removes_comments_and_strings() {
+        let src = "let a = 1; // Instant::now\nlet b = \"SystemTime\"; /* rand:: */ let c;\n";
+        let s = strip_code(src);
+        assert!(!s.contains("Instant::now"));
+        assert!(!s.contains("SystemTime"));
+        assert!(!s.contains("rand::"));
+        assert!(s.contains("let c;"));
+        assert_eq!(s.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn banned_tokens_are_reported_with_lines() {
+        let src = "fn f() {\n    let t = Instant::now();\n}\n";
+        let f = lint_source("x.rs", src, &[]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].detector, "lint:instant-now");
+        assert!(f[0].message.contains("x.rs:2"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn commented_tokens_are_ignored() {
+        let src = "// Instant::now is banned\nfn f() {}\n";
+        assert!(lint_source("x.rs", src, &[]).is_empty());
+    }
+
+    #[test]
+    fn allowlist_suppresses_by_suffix_and_rule() {
+        let src = "let t = Instant::now();\nstd::thread::sleep(d);\n";
+        let allow = parse_allowlist("crates/sim/src/engine.rs instant-now # real clock\n");
+        let f = lint_source("crates/sim/src/engine.rs", src, &allow);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].detector, "lint:thread-sleep");
+        let all = parse_allowlist("engine.rs *\n");
+        assert!(lint_source("crates/sim/src/engine.rs", src, &all).is_empty());
+    }
+
+    #[test]
+    fn token_boundaries_respected() {
+        assert!(!token_match("my_rand::thing()", "rand::"));
+        assert!(token_match("rand::thread_rng()", "rand::"));
+        assert!(!token_match("operand::x", "rand::"));
+        assert!(token_match("std::thread::sleep(d)", "thread::sleep"));
+        assert!(token_match("std::time::Instant::now()", "Instant::now"));
+    }
+
+    #[test]
+    fn hash_iteration_in_output_file_flagged() {
+        let src =
+            "fn fig7() {\n    let m = HashMap::new();\n    for k in m.keys() { emit(k); }\n}\n";
+        let f = lint_source("figures.rs", src, &[]);
+        assert!(
+            f.iter().any(|x| x.detector == "lint:hash-iter-output"),
+            "{f:?}"
+        );
+        // Sorting on the same statement is accepted.
+        let sorted = "fn fig7() {\n    let m = HashMap::new();\n    let mut v: Vec<_> = m.keys().collect();\n    v.sort();\n}\n";
+        assert!(lint_source("figures.rs", sorted, &[]).is_empty());
+        // Non-output files are not subject to the rule.
+        let f = lint_source("engine.rs", src.replace("fig7", "step").as_str(), &[]);
+        assert!(f.is_empty());
+    }
+}

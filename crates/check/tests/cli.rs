@@ -1,0 +1,61 @@
+//! End-to-end exit-code contract of the `dynlint` binary.
+
+use std::process::Command;
+
+fn dynlint(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_dynlint"))
+        .args(args)
+        .output()
+        .expect("spawn dynlint");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn real_tree_is_clean() {
+    let (ok, text) = dynlint(&[]);
+    assert!(ok, "dynlint failed on the real tree:\n{text}");
+    assert!(text.contains("0 error(s)"), "{text}");
+}
+
+#[test]
+fn collective_mismatch_fixture_fails() {
+    let (ok, text) = dynlint(&["--fixture", "collective-mismatch"]);
+    assert!(!ok);
+    assert!(text.contains("collective-mismatch"), "{text}");
+}
+
+#[test]
+fn epoch_unsafe_fixture_fails() {
+    let (ok, text) = dynlint(&["--fixture", "epoch-unsafe"]);
+    assert!(!ok);
+    assert!(
+        text.contains("epoch-safety") || text.contains("fixture-unavailable"),
+        "{text}"
+    );
+}
+
+#[test]
+fn unsafe_probe_fixture_fails() {
+    let (ok, text) = dynlint(&["--fixture", "unsafe-probe"]);
+    assert!(!ok);
+    assert!(text.contains("analyzer:unsafe-probe-point"), "{text}");
+}
+
+#[test]
+fn banned_source_fixture_fails() {
+    let (ok, text) = dynlint(&["--fixture", "banned-source"]);
+    assert!(!ok);
+    assert!(text.contains("lint:instant-now"), "{text}");
+}
+
+#[test]
+fn unknown_fixture_is_a_usage_error() {
+    let (ok, text) = dynlint(&["--fixture", "nonesuch"]);
+    assert!(!ok);
+    assert!(text.contains("unknown fixture"), "{text}");
+}

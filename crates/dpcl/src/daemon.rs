@@ -21,7 +21,7 @@ use parking_lot::Mutex;
 
 use dynprof_image::Image;
 use dynprof_sim::sync::SimChannel;
-use dynprof_sim::{Proc, SimTime};
+use dynprof_sim::{hb, Proc, SimTime};
 
 use crate::messages::{AckResult, DownMsg, DownMsgEnvelope, ReqId, SuperMsg, TargetId, UpMsg};
 
@@ -216,6 +216,14 @@ fn comm_daemon_loop(
     let missing = |t: TargetId| AckResult::Error {
         message: format!("no attached target {t:?}"),
     };
+    // Patching a running (unsuspended) process is the race the paper's
+    // stop/patch/continue protocol exists to avoid; flag it for the
+    // happens-before report.
+    let note_unsafe = |cp: &Proc, img: &Image, op: &str| {
+        if hb::on(cp) && !img.is_suspended() {
+            hb::unsafe_patch(cp, &format!("{op} on running image {:?}", img.program()));
+        }
+    };
     loop {
         let msg = inbox.recv(cp).0;
         if outage_check(
@@ -265,8 +273,16 @@ fn comm_daemon_loop(
             } => match targets.get(&target) {
                 Some((img, _name)) => {
                     cp.advance(machine.daemon.patch_cost);
-                    let id = img.insert(point, snippet);
-                    (req, AckResult::Ok { detail: id.0 })
+                    note_unsafe(cp, img, "install");
+                    match img.try_insert(point, snippet) {
+                        Ok(id) => (req, AckResult::Ok { detail: id.0 }),
+                        Err(e) => (
+                            req,
+                            AckResult::Error {
+                                message: e.to_string(),
+                            },
+                        ),
+                    }
                 }
                 None => (req, missing(target)),
             },
@@ -278,6 +294,7 @@ fn comm_daemon_loop(
             } => match targets.get(&target) {
                 Some((img, _name)) => {
                     cp.advance(machine.daemon.patch_cost);
+                    note_unsafe(cp, img, "remove");
                     let removed = img.remove(point, snippet);
                     (
                         req,
@@ -291,6 +308,7 @@ fn comm_daemon_loop(
             DownMsg::RemoveFunction { req, target, func } => match targets.get(&target) {
                 Some((img, _name)) => {
                     cp.advance(machine.daemon.patch_cost);
+                    note_unsafe(cp, img, "remove_function");
                     let n = img.remove_function_instr(func);
                     (req, AckResult::Ok { detail: n as u64 })
                 }

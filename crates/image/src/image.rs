@@ -21,7 +21,40 @@ use dynprof_sim::{Proc, SimTime};
 
 use crate::func::{FuncId, FunctionInfo, ProbePoint, ProbePointKind};
 use crate::snippet::{ProbeCtx, Snippet, SnippetId};
-use crate::trampoline::BaseTrampoline;
+use crate::trampoline::{BaseTrampoline, MIN_PATCHABLE_BYTES};
+
+/// Why a probe could not be installed at a point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PatchError {
+    /// The function body is smaller than the jump the patch must write;
+    /// installing would overwrite the following symbol.
+    FunctionTooSmall {
+        /// Symbol that was targeted.
+        name: String,
+        /// Its body size.
+        size_bytes: usize,
+        /// The minimum patchable size ([`MIN_PATCHABLE_BYTES`]).
+        required: usize,
+    },
+}
+
+impl std::fmt::Display for PatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PatchError::FunctionTooSmall {
+                name,
+                size_bytes,
+                required,
+            } => write!(
+                f,
+                "function {name:?} is {size_bytes} bytes, smaller than the \
+                 {required}-byte probe-point jump"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PatchError {}
 
 /// Observer of process-state transitions (suspension/resumption), used
 /// to realize the paper's §5.1 proposal: suspensions appear in the
@@ -160,11 +193,39 @@ impl Image {
 
     // -- dynamic instrumentation -------------------------------------------
 
+    /// Can `fid` legally hold a probe-point patch? False for functions
+    /// whose body is smaller than the jump the patch writes.
+    pub fn patchable(&self, fid: FuncId) -> bool {
+        self.info[fid.index()].size_bytes >= MIN_PATCHABLE_BYTES
+    }
+
     /// Insert `snippet` at `point`, returning a handle for removal.
+    ///
+    /// Panics if the target function is too small to patch; use
+    /// [`Image::try_insert`] for a recoverable error.
     ///
     /// The caller is expected to have suspended the process (DPCL does);
     /// the image itself only requires the instrumenter lock.
     pub fn insert(&self, point: ProbePoint, snippet: Snippet) -> SnippetId {
+        match self.try_insert(point, snippet) {
+            Ok(id) => id,
+            Err(e) => panic!("probe install rejected: {e}"),
+        }
+    }
+
+    /// Insert `snippet` at `point` if the target can hold the patch.
+    ///
+    /// The caller is expected to have suspended the process (DPCL does);
+    /// the image itself only requires the instrumenter lock.
+    pub fn try_insert(&self, point: ProbePoint, snippet: Snippet) -> Result<SnippetId, PatchError> {
+        let info = &self.info[point.func.index()];
+        if info.size_bytes < MIN_PATCHABLE_BYTES {
+            return Err(PatchError::FunctionTooSmall {
+                name: info.name.clone(),
+                size_bytes: info.size_bytes,
+                required: MIN_PATCHABLE_BYTES,
+            });
+        }
         let id = SnippetId(self.next_snippet.fetch_add(1, Ordering::Relaxed));
         let mut probes = self.probes.write();
         let pair = &mut probes[point.func.index()];
@@ -178,7 +239,7 @@ impl Image {
         }
         base.push(id, snippet);
         self.patches.fetch_add(1, Ordering::Relaxed); // mini-trampoline store
-        id
+        Ok(id)
     }
 
     /// Remove the snippet `id` from `point`. Returns `true` if present.
@@ -671,6 +732,46 @@ mod tests {
         assert!(!img.occupied(ProbePoint::entry(f)));
         assert!(!img.occupied(ProbePoint::exit(f)));
         assert_eq!(img.instrumented_functions().len(), 0);
+    }
+
+    #[test]
+    fn too_small_function_rejects_patch_at_boundary() {
+        let mut b = ImageBuilder::new("app");
+        let tiny = b.add(FunctionInfo::new("tiny").with_size(MIN_PATCHABLE_BYTES - 1));
+        let fits = b.add(FunctionInfo::new("fits").with_size(MIN_PATCHABLE_BYTES));
+        let img = b.build();
+        assert!(!img.patchable(tiny));
+        assert!(img.patchable(fits));
+        let err = img
+            .try_insert(ProbePoint::entry(tiny), Snippet::noop("n"))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PatchError::FunctionTooSmall {
+                name: "tiny".into(),
+                size_bytes: MIN_PATCHABLE_BYTES - 1,
+                required: MIN_PATCHABLE_BYTES,
+            }
+        );
+        assert_eq!(img.patch_count(), 0, "rejected patch wrote nothing");
+        assert!(!img.occupied(ProbePoint::entry(tiny)));
+        // The exit point of the same function is equally unpatchable.
+        assert!(img
+            .try_insert(ProbePoint::exit(tiny), Snippet::noop("n"))
+            .is_err());
+        // The boundary size itself is accepted.
+        assert!(img
+            .try_insert(ProbePoint::entry(fits), Snippet::noop("n"))
+            .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "probe install rejected")]
+    fn insert_panics_on_unpatchable_function() {
+        let mut b = ImageBuilder::new("app");
+        let tiny = b.add(FunctionInfo::new("tiny").with_size(8));
+        let img = b.build();
+        img.insert(ProbePoint::entry(tiny), Snippet::noop("n"));
     }
 
     #[test]

@@ -40,9 +40,11 @@ mod trampoline;
 
 pub use func::{FuncId, FunctionInfo, ProbePoint, ProbePointKind};
 pub use image::{
-    CallerCtx, Image, ImageBuilder, ImageObserver, PcLog, StaticHooks, MAX_SAMPLED_THREADS,
+    CallerCtx, Image, ImageBuilder, ImageObserver, PatchError, PcLog, StaticHooks,
+    MAX_SAMPLED_THREADS,
 };
 pub use snippet::{ProbeCtx, Snippet, SnippetId};
 pub use trampoline::{
     BaseTrampoline, MiniTrampoline, BASE_TRAMPOLINE_BYTES, MINI_TRAMPOLINE_BYTES,
+    MIN_PATCHABLE_BYTES,
 };

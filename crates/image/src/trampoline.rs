@@ -24,6 +24,10 @@ use crate::snippet::{Snippet, SnippetId};
 pub const BASE_TRAMPOLINE_BYTES: usize = 128;
 /// Bytes occupied by one mini-trampoline (snippet stub + chain jump).
 pub const MINI_TRAMPOLINE_BYTES: usize = 64;
+/// Smallest function body that can hold the probe-point jump: the
+/// displaced long-jump sequence plus the relocated instruction must fit
+/// inside the function, or the patch would overwrite the next symbol.
+pub const MIN_PATCHABLE_BYTES: usize = 16;
 
 /// A mini-trampoline: one snippet plus its position in the chain.
 #[derive(Clone, Debug)]

@@ -153,6 +153,7 @@ impl Comm {
 
     /// `MPI_Barrier`.
     pub fn barrier(&self, p: &Proc) {
+        self.hb_coll(p, "barrier", None);
         self.hooked(p, MpiOp::Barrier, 0, |p| {
             self.barrier_internal(p);
         });
@@ -161,6 +162,7 @@ impl Comm {
     /// `MPI_Bcast`: `root` supplies `Some(data)`, everyone returns the value.
     pub fn bcast<T: MpiData + Clone>(&self, p: &Proc, root: usize, data: Option<T>) -> T {
         let bytes = data.as_ref().map_or(0, |d| d.byte_len());
+        self.hb_coll(p, "bcast", Some(root));
         self.hooked(p, MpiOp::Bcast, bytes, |p| {
             let tag = self.next_coll_tag();
             self.bcast_internal(p, root, data, tag)
@@ -176,6 +178,7 @@ impl Comm {
         op: impl Fn(T, T) -> T + Sync,
     ) -> Option<T> {
         let bytes = value.byte_len();
+        self.hb_coll(p, "reduce", Some(root));
         self.hooked(p, MpiOp::Reduce, bytes, |p| {
             let tag = self.next_coll_tag();
             self.reduce_internal(p, root, value, &op, tag)
@@ -190,6 +193,7 @@ impl Comm {
         op: impl Fn(T, T) -> T + Sync,
     ) -> T {
         let bytes = value.byte_len();
+        self.hb_coll(p, "allreduce", None);
         self.hooked(p, MpiOp::Allreduce, bytes, |p| {
             let tag = self.next_coll_tag();
             let partial = self.reduce_internal(p, 0, value, &op, tag);
@@ -201,6 +205,7 @@ impl Comm {
     /// vector ordered by rank.
     pub fn gather<T: MpiData>(&self, p: &Proc, root: usize, value: T) -> Option<Vec<T>> {
         let bytes = value.byte_len();
+        self.hb_coll(p, "gather", Some(root));
         self.hooked(p, MpiOp::Gather, bytes, |p| {
             let tag = self.next_coll_tag();
             self.gather_internal(p, root, value, tag)
@@ -210,6 +215,7 @@ impl Comm {
     /// `MPI_Allgather`: gather to rank 0, then broadcast.
     pub fn allgather<T: MpiData + Clone>(&self, p: &Proc, value: T) -> Vec<T> {
         let bytes = value.byte_len();
+        self.hb_coll(p, "allgather", None);
         self.hooked(p, MpiOp::Allgather, bytes, |p| {
             let tag = self.next_coll_tag();
             let gathered = self.gather_internal(p, 0, value, tag);
@@ -231,6 +237,7 @@ impl Comm {
             "alltoall send vector must have one entry per rank"
         );
         let bytes: usize = send.iter().map(|v| v.byte_len()).sum();
+        self.hb_coll(p, "alltoall", None);
         self.hooked(p, MpiOp::Alltoall, bytes, |p| {
             let tag = self.next_coll_tag();
             let me = self.rank();
@@ -258,12 +265,14 @@ impl Comm {
 
     /// Barrier without firing the wrapper hooks (tool-internal traffic).
     pub fn barrier_unlogged(&self, p: &Proc) {
+        self.hb_coll(p, "barrier_unlogged", None);
         p.advance(self.job.call_overhead);
         self.barrier_internal(p);
     }
 
     /// Broadcast without firing the wrapper hooks (tool-internal traffic).
     pub fn bcast_unlogged<T: MpiData + Clone>(&self, p: &Proc, root: usize, data: Option<T>) -> T {
+        self.hb_coll(p, "bcast_unlogged", Some(root));
         p.advance(self.job.call_overhead);
         let tag = self.next_coll_tag();
         self.bcast_internal(p, root, data, tag)
@@ -271,6 +280,7 @@ impl Comm {
 
     /// Gather without firing the wrapper hooks (tool-internal traffic).
     pub fn gather_unlogged<T: MpiData>(&self, p: &Proc, root: usize, value: T) -> Option<Vec<T>> {
+        self.hb_coll(p, "gather_unlogged", Some(root));
         p.advance(self.job.call_overhead);
         let tag = self.next_coll_tag();
         self.gather_internal(p, root, value, tag)
@@ -280,6 +290,7 @@ impl Comm {
     /// `op(v_0, ..., v_i)`. Linear chain algorithm.
     pub fn scan<T: MpiData + Clone>(&self, p: &Proc, value: T, op: impl Fn(T, T) -> T + Sync) -> T {
         let bytes = value.byte_len();
+        self.hb_coll(p, "scan", None);
         self.hooked(p, MpiOp::Scan, bytes, |p| {
             let tag = self.next_coll_tag();
             let me = self.rank();

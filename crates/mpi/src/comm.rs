@@ -14,6 +14,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use dynprof_obs as obs;
+use dynprof_sim::hb;
 use dynprof_sim::sync::SimChannel;
 use dynprof_sim::{Proc, SimTime};
 
@@ -56,6 +57,8 @@ pub(crate) struct JobState {
     /// Per-call MPI software overhead charged on each side of an op.
     pub call_overhead: SimTime,
     pub rndv_ids: AtomicU32,
+    /// Identity for happens-before recording (0 when `check` is off).
+    pub check_id: u64,
 }
 
 impl JobState {
@@ -111,6 +114,24 @@ impl Comm {
         self.initialized.load(Ordering::Acquire)
     }
 
+    /// Record this rank entering its next collective with the
+    /// happens-before checker (`check` feature; folds away when off).
+    /// Must run before the collective consumes its sequence number.
+    pub(crate) fn hb_coll(&self, p: &Proc, op: &'static str, root: Option<usize>) {
+        if hb::on(p) {
+            hb::collective(
+                p,
+                self.job.check_id,
+                &self.job.name,
+                self.job.size,
+                self.rank,
+                u64::from(self.coll_seq.load(Ordering::Relaxed)),
+                op,
+                root,
+            );
+        }
+    }
+
     fn assert_ready(&self) {
         assert!(
             self.is_initialized(),
@@ -134,6 +155,7 @@ impl Comm {
             "MPI_Init called twice on rank {}",
             self.rank
         );
+        self.hb_coll(p, "init", None);
         self.job.hooks.begin(p, self, MpiOp::Init, None, 0);
         // Runtime bring-up cost (connection establishment etc.).
         p.advance(SimTime::from_micros(200));
@@ -147,6 +169,7 @@ impl Comm {
     /// `MPI_Finalize`.
     pub fn finalize(&self, p: &Proc) {
         self.assert_ready();
+        self.hb_coll(p, "finalize", None);
         self.job.hooks.begin(p, self, MpiOp::Finalize, None, 0);
         self.barrier_internal(p);
         self.job.hooks.finalize(p, self);

@@ -106,6 +106,7 @@ fn build_state(spec: &JobSpec, hooks: Vec<Arc<dyn MpiHooks>>) -> Arc<JobState> {
         eager_limit: spec.eager_limit,
         call_overhead: spec.call_overhead,
         rndv_ids: AtomicU32::new(0),
+        check_id: dynprof_sim::hb::unique_id(),
     })
 }
 

@@ -101,6 +101,8 @@ pub(crate) struct Engine {
     /// Fault plan in force, if any (set at most once, before processes
     /// start exchanging messages).
     faults: OnceLock<Arc<FaultPlan>>,
+    /// Happens-before recorder (`check` feature; inert unless enabled).
+    hb: Arc<crate::hb::HbState>,
 }
 
 impl Engine {
@@ -125,6 +127,7 @@ impl Engine {
             seed,
             handles: Mutex::new(Vec::new()),
             faults: OnceLock::new(),
+            hb: Arc::new(crate::hb::HbState::new()),
         }
     }
 
@@ -309,6 +312,21 @@ impl Sim {
         self.eng.faults.get().cloned()
     }
 
+    /// Turn on happens-before recording for this simulation. A no-op
+    /// unless the crate was built with the `check` feature (the recorder
+    /// exists but every recording site is compiled away). Call before
+    /// spawning processes so registration and events are complete.
+    pub fn enable_check(&self) {
+        self.eng.hb.set_enabled(crate::hb::compiled());
+    }
+
+    /// A handle for reading this simulation's happens-before verdict.
+    /// Take it before [`Sim::run`] consumes the `Sim`; call
+    /// [`crate::hb::CheckHandle::report`] after the run completes.
+    pub fn check_handle(&self) -> crate::hb::CheckHandle {
+        crate::hb::CheckHandle::new(Arc::clone(&self.eng.hb))
+    }
+
     /// Wake events dispatched so far (virtual mode; a throughput metric
     /// for harnesses sizing their workloads).
     pub fn events_dispatched(&self) -> u64 {
@@ -337,6 +355,9 @@ impl Sim {
         let pid = {
             let mut g = eng.inner.lock();
             let pid = g.procs.len();
+            if crate::hb::compiled() {
+                eng.hb.register(pid, &name);
+            }
             g.procs.push(ProcSlot {
                 name: name.clone(),
                 node,
@@ -461,8 +482,13 @@ impl Sim {
                             (None, None) => break,
                             (Some(_), None) => false,
                             (None, Some(_)) => true,
-                            (Some(&Reverse((qt, qs, _))), Some(&Reverse((tt, ts, _, _)))) => {
-                                (tt, ts) < (qt, qs)
+                            (Some(&Reverse((qt, _, _))), Some(&Reverse((tt, _, _, _)))) => {
+                                // Strict precedence only: at equal times
+                                // the wake event wins, so a message
+                                // arriving exactly at a receive deadline
+                                // is delivered (and observed) before the
+                                // timeout can fire.
+                                tt < qt
                             }
                         };
                         let (t, pid) = if take_timer {
@@ -637,6 +663,19 @@ impl Proc {
     /// The fault plan in force, if any.
     pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
         self.eng.faults.get().cloned()
+    }
+
+    /// Is happens-before recording live for this process? One relaxed
+    /// atomic load; callers gate on [`crate::hb::on`] (which folds this
+    /// call away entirely when the `check` feature is off).
+    #[inline(always)]
+    pub(crate) fn hb_on(&self) -> bool {
+        self.eng.mode == ClockMode::Virtual && self.eng.hb.is_on()
+    }
+
+    /// This simulation's happens-before recorder.
+    pub(crate) fn hb_state(&self) -> &crate::hb::HbState {
+        &self.eng.hb
     }
 
     /// Schedule a wake for this process at absolute time `at`, then block.

@@ -1,0 +1,783 @@
+//! Happens-before correctness analysis (the `check` cargo feature).
+//!
+//! The paper's premise is that instrumentation must be *safe to insert
+//! while the program runs* (trampoline patching §3, `VT_confsync` safe
+//! points §5). This module provides the machinery to prove a simulated
+//! run honoured those invariants: every process carries a vector clock,
+//! the primitives in [`crate::sync`] record the happens-before edges they
+//! create (message send→receive, barrier arrive→release, gate open→pass,
+//! queue push→pop), and higher layers add semantic events on top — MPI
+//! collective entries, confsync epoch decisions/applications, probe
+//! patches. After the run, [`CheckHandle::report`] replays the recorded
+//! history through the detectors:
+//!
+//! * **collective mismatch** — ranks of one job disagree on the operation
+//!   or root of their k-th collective, or not all ranks entered it
+//!   (error);
+//! * **epoch safety** — a confsync delta was applied by a rank without
+//!   the epoch's decision happening-before the application — the paper's
+//!   §5 invariant (error);
+//! * **unmatched sends** — messages still undelivered at shutdown /
+//!   never-drained channels (warning);
+//! * **barrier divergence** — the participant set of a barrier changed
+//!   between generations (warning);
+//! * **unsafe patch** — a probe was installed or removed while the
+//!   target image was not suspended (warning; the DPCL daemons accept
+//!   this, but the managed session layer always suspends first).
+//!
+//! # Cost model
+//!
+//! The gating mirrors `dynprof-obs`: with the `check` feature disabled,
+//! [`compiled`] is a `const fn` returning `false` and every recording
+//! site folds away entirely; with the feature enabled but
+//! [`crate::Sim::enable_check`] not called, each site costs one relaxed
+//! atomic load. Recording never charges virtual time and never touches
+//! the metrics registry, so toggling the checker cannot change simulated
+//! results — figure JSON is byte-identical either way.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::engine::{Pid, Proc};
+
+/// True iff the crate was built with the `check` feature: the
+/// compile-time gate. With the feature off this is a `const fn` returning
+/// `false`, so every `if hb::on(p) { … }` site folds away.
+#[cfg(feature = "check")]
+#[inline(always)]
+pub fn compiled() -> bool {
+    true
+}
+
+/// True iff the crate was built with the `check` feature (it was not).
+#[cfg(not(feature = "check"))]
+#[inline(always)]
+pub const fn compiled() -> bool {
+    false
+}
+
+/// Should this event be recorded? Compile-time gate (`check` feature)
+/// plus the per-simulation runtime flag plus virtual clock mode.
+#[inline(always)]
+pub fn on(p: &Proc) -> bool {
+    compiled() && p.hb_on()
+}
+
+/// A fresh process-global identifier for a trackable object (channel,
+/// barrier, gate, queue, MPI job, VT library instance). Returns 0 when
+/// the `check` feature is off — the ids are only ever used as recording
+/// keys, so collisions on 0 are harmless there.
+#[cfg(feature = "check")]
+pub fn unique_id() -> u64 {
+    use std::sync::atomic::AtomicU64;
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A fresh object identifier (`check` feature off: always 0).
+#[cfg(not(feature = "check"))]
+pub const fn unique_id() -> u64 {
+    0
+}
+
+// ---------------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------------
+
+/// A vector clock over the simulation's (dense) pid space.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u64>);
+
+impl VClock {
+    fn tick(&mut self, pid: Pid) {
+        if self.0.len() <= pid {
+            self.0.resize(pid + 1, 0);
+        }
+        self.0[pid] += 1;
+    }
+
+    fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Componentwise `self <= other` — i.e. every event `self` has seen,
+    /// `other` has seen too: `self` happens-before-or-equals `other`.
+    pub fn leq(&self, other: &VClock) -> bool {
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(i, &c)| c <= other.0.get(i).copied().unwrap_or(0))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Findings
+// ---------------------------------------------------------------------------
+
+/// How serious a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but tolerated (e.g. undelivered control messages under
+    /// a fault plan that duplicates traffic).
+    Warning,
+    /// A broken invariant: the run cannot be trusted.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One detector hit.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Severity class.
+    pub severity: Severity,
+    /// Which detector fired (stable kebab-case name).
+    pub detector: &'static str,
+    /// Human-readable description, with process names where available.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.detector, self.message)
+    }
+}
+
+/// The outcome of a happens-before analysis over one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// All detector hits, errors first.
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Findings with [`Severity::Error`].
+    pub fn errors(&self) -> Vec<&Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .collect()
+    }
+
+    /// Findings with [`Severity::Warning`].
+    pub fn warnings(&self) -> Vec<&Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warning)
+            .collect()
+    }
+
+    /// No findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// One line per finding.
+    pub fn render(&self) -> String {
+        self.findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recorded history
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct CollSite {
+    job_name: String,
+    size: usize,
+    /// (rank, op, root) per entering rank.
+    entries: Vec<(usize, &'static str, Option<usize>)>,
+}
+
+#[derive(Default)]
+struct HbInner {
+    /// Per-pid vector clocks and names (dense, grown on registration).
+    clocks: Vec<VClock>,
+    names: Vec<String>,
+    /// In-flight sends: (channel, seq) → (sender pid, clock at send).
+    /// Entries are removed when received; leftovers are unmatched sends.
+    chan_sends: BTreeMap<(u64, u64), (Pid, VClock)>,
+    /// Accumulated clock of everyone who arrived at (barrier, generation).
+    barrier_accum: BTreeMap<(u64, u64), VClock>,
+    /// Participant sets per (barrier, generation).
+    barrier_parts: BTreeMap<u64, BTreeMap<u64, BTreeSet<Pid>>>,
+    /// Cumulative clock of every opener of a gate.
+    gates: BTreeMap<u64, VClock>,
+    /// Cumulative clock of every pusher into a queue (conservative).
+    queues: BTreeMap<u64, VClock>,
+    /// Collective entries keyed by (job id, per-rank collective seq).
+    colls: BTreeMap<(u64, u64), CollSite>,
+    /// Confsync epoch decisions: (lib id, round) → (decider, clock).
+    epoch_decisions: BTreeMap<(u64, u64), (Pid, VClock)>,
+    /// Confsync epoch applications: (lib id, round, applier, clock).
+    epoch_applies: Vec<(u64, u64, Pid, VClock)>,
+    /// Patches performed on a non-suspended image: (pid, description).
+    unsafe_patches: Vec<(Pid, String)>,
+}
+
+impl HbInner {
+    fn name(&self, pid: Pid) -> String {
+        match self.names.get(pid) {
+            Some(n) if !n.is_empty() => n.clone(),
+            _ => format!("proc#{pid}"),
+        }
+    }
+
+    fn clock_mut(&mut self, pid: Pid) -> &mut VClock {
+        if self.clocks.len() <= pid {
+            self.clocks.resize(pid + 1, VClock::default());
+        }
+        &mut self.clocks[pid]
+    }
+
+    /// Tick `pid`'s own component and return a snapshot of its clock.
+    fn tick(&mut self, pid: Pid) -> VClock {
+        let c = self.clock_mut(pid);
+        c.tick(pid);
+        c.clone()
+    }
+}
+
+/// Per-simulation happens-before recorder. One lives inside every
+/// [`crate::Sim`]; obtain a [`CheckHandle`] to read the verdict after
+/// the run.
+pub struct HbState {
+    enabled: AtomicBool,
+    inner: Mutex<HbInner>,
+}
+
+impl HbState {
+    pub(crate) fn new() -> HbState {
+        HbState {
+            enabled: AtomicBool::new(false),
+            inner: Mutex::new(HbInner::default()),
+        }
+    }
+
+    pub(crate) fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    #[inline(always)]
+    pub(crate) fn is_on(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Remember `pid`'s display name (called at spawn).
+    pub(crate) fn register(&self, pid: Pid, name: &str) {
+        let mut g = self.inner.lock();
+        if g.names.len() <= pid {
+            g.names.resize(pid + 1, String::new());
+        }
+        g.names[pid] = name.to_string();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recording API (called by sync primitives and higher layers)
+// ---------------------------------------------------------------------------
+
+/// Record a message send on channel `chan` with envelope sequence `seq`.
+pub fn chan_send(p: &Proc, chan: u64, seq: u64) {
+    if !on(p) {
+        return;
+    }
+    let mut g = p.hb_state().inner.lock();
+    let clock = g.tick(p.pid());
+    g.chan_sends.insert((chan, seq), (p.pid(), clock));
+}
+
+/// Record the receipt of the envelope `(chan, seq)`: joins the sender's
+/// clock at send into the receiver's clock.
+pub fn chan_recv(p: &Proc, chan: u64, seq: u64) {
+    if !on(p) {
+        return;
+    }
+    let mut g = p.hb_state().inner.lock();
+    g.tick(p.pid());
+    if let Some((_, sender_clock)) = g.chan_sends.remove(&(chan, seq)) {
+        g.clock_mut(p.pid()).join(&sender_clock);
+    }
+}
+
+/// Record arrival at generation `gen` of barrier `bar`.
+pub fn barrier_arrive(p: &Proc, bar: u64, gen: u64) {
+    if !on(p) {
+        return;
+    }
+    let mut g = p.hb_state().inner.lock();
+    let clock = g.tick(p.pid());
+    g.barrier_accum.entry((bar, gen)).or_default().join(&clock);
+    g.barrier_parts
+        .entry(bar)
+        .or_default()
+        .entry(gen)
+        .or_default()
+        .insert(p.pid());
+}
+
+/// Record departure from generation `gen` of barrier `bar`: joins the
+/// merged clock of every arriver into the departing process.
+pub fn barrier_depart(p: &Proc, bar: u64, gen: u64) {
+    if !on(p) {
+        return;
+    }
+    let mut g = p.hb_state().inner.lock();
+    g.tick(p.pid());
+    if let Some(merged) = g.barrier_accum.get(&(bar, gen)).cloned() {
+        g.clock_mut(p.pid()).join(&merged);
+    }
+}
+
+/// Record the opening of gate `gate`.
+pub fn gate_open(p: &Proc, gate: u64) {
+    if !on(p) {
+        return;
+    }
+    let mut g = p.hb_state().inner.lock();
+    let clock = g.tick(p.pid());
+    g.gates.entry(gate).or_default().join(&clock);
+}
+
+/// Record a process passing through open gate `gate`.
+pub fn gate_pass(p: &Proc, gate: u64) {
+    if !on(p) {
+        return;
+    }
+    let mut g = p.hb_state().inner.lock();
+    g.tick(p.pid());
+    if let Some(openers) = g.gates.get(&gate).cloned() {
+        g.clock_mut(p.pid()).join(&openers);
+    }
+}
+
+/// Record a push into (or closing of) work queue `q`. Conservative: pops
+/// join the cumulative clock of *all* pushers, which can only over- (never
+/// under-) approximate the ordering.
+pub fn queue_push(p: &Proc, q: u64) {
+    if !on(p) {
+        return;
+    }
+    let mut g = p.hb_state().inner.lock();
+    let clock = g.tick(p.pid());
+    g.queues.entry(q).or_default().join(&clock);
+}
+
+/// Record a successful pop from work queue `q`.
+pub fn queue_pop(p: &Proc, q: u64) {
+    if !on(p) {
+        return;
+    }
+    let mut g = p.hb_state().inner.lock();
+    g.tick(p.pid());
+    if let Some(pushers) = g.queues.get(&q).cloned() {
+        g.clock_mut(p.pid()).join(&pushers);
+    }
+}
+
+/// Record that `rank` of job `job` (display name `job_name`, `size`
+/// ranks) entered its `seq`-th collective `op` (rooted at `root`, if
+/// rooted). Called by every MPI collective before any traffic moves.
+#[allow(clippy::too_many_arguments)]
+pub fn collective(
+    p: &Proc,
+    job: u64,
+    job_name: &str,
+    size: usize,
+    rank: usize,
+    seq: u64,
+    op: &'static str,
+    root: Option<usize>,
+) {
+    if !on(p) {
+        return;
+    }
+    let mut g = p.hb_state().inner.lock();
+    g.tick(p.pid());
+    let site = g.colls.entry((job, seq)).or_default();
+    if site.entries.is_empty() {
+        site.job_name = job_name.to_string();
+        site.size = size;
+    }
+    site.entries.push((rank, op, root));
+}
+
+/// Record that the monitor rank decided configuration epoch `round` of
+/// VT library instance `lib` (the safe-point decision, paper §5).
+pub fn epoch_decision(p: &Proc, lib: u64, round: u64) {
+    if !on(p) {
+        return;
+    }
+    let mut g = p.hb_state().inner.lock();
+    let clock = g.tick(p.pid());
+    g.epoch_decisions
+        .entry((lib, round))
+        .or_insert((p.pid(), clock));
+}
+
+/// Record that the calling rank applied the delta of epoch `round`
+/// (immediately at the safe point, or later via deferred catch-up).
+pub fn epoch_apply(p: &Proc, lib: u64, round: u64) {
+    if !on(p) {
+        return;
+    }
+    let mut g = p.hb_state().inner.lock();
+    let clock = g.tick(p.pid());
+    g.epoch_applies.push((lib, round, p.pid(), clock));
+}
+
+/// Record a probe install/remove performed while the target image was
+/// not suspended.
+pub fn unsafe_patch(p: &Proc, detail: &str) {
+    if !on(p) {
+        return;
+    }
+    let mut g = p.hb_state().inner.lock();
+    g.tick(p.pid());
+    let pid = p.pid();
+    let detail = detail.to_string();
+    g.unsafe_patches.push((pid, detail));
+}
+
+// ---------------------------------------------------------------------------
+// Reporting
+// ---------------------------------------------------------------------------
+
+/// A read handle onto a simulation's recorded happens-before history.
+/// Obtain with [`crate::Sim::check_handle`] *before* `run` consumes the
+/// `Sim`; call [`CheckHandle::report`] after the run.
+#[derive(Clone)]
+pub struct CheckHandle {
+    state: Arc<HbState>,
+}
+
+impl CheckHandle {
+    pub(crate) fn new(state: Arc<HbState>) -> CheckHandle {
+        CheckHandle { state }
+    }
+
+    /// Was recording enabled on this simulation?
+    pub fn enabled(&self) -> bool {
+        self.state.is_on()
+    }
+
+    /// Run every detector over the recorded history.
+    pub fn report(&self) -> Report {
+        let g = self.state.inner.lock();
+        let mut errors = Vec::new();
+        let mut warnings = Vec::new();
+
+        // Collective mismatch: within one job, the k-th collective of
+        // every rank must agree on op and root, and all ranks must enter.
+        for (&(_job, seq), site) in &g.colls {
+            let ops: BTreeSet<&str> = site.entries.iter().map(|e| e.1).collect();
+            if ops.len() > 1 {
+                let detail: Vec<String> = site
+                    .entries
+                    .iter()
+                    .map(|(r, op, _)| format!("rank {r}: {op}"))
+                    .collect();
+                errors.push(Finding {
+                    severity: Severity::Error,
+                    detector: "collective-mismatch",
+                    message: format!(
+                        "job {:?}: collective #{seq}: ranks entered different \
+                         operations ({})",
+                        site.job_name,
+                        detail.join(", ")
+                    ),
+                });
+                continue;
+            }
+            let op = site.entries.first().map(|e| e.1).unwrap_or("?");
+            let roots: BTreeSet<Option<usize>> = site.entries.iter().map(|e| e.2).collect();
+            if roots.len() > 1 {
+                let detail: Vec<String> = site
+                    .entries
+                    .iter()
+                    .map(|(r, _, root)| format!("rank {r}: root {root:?}"))
+                    .collect();
+                errors.push(Finding {
+                    severity: Severity::Error,
+                    detector: "collective-mismatch",
+                    message: format!(
+                        "job {:?}: collective #{seq} ({op}): ranks disagree on \
+                         the root ({})",
+                        site.job_name,
+                        detail.join(", ")
+                    ),
+                });
+            }
+            let mut ranks: Vec<usize> = site.entries.iter().map(|e| e.0).collect();
+            ranks.sort_unstable();
+            ranks.dedup();
+            if ranks.len() != site.entries.len() {
+                errors.push(Finding {
+                    severity: Severity::Error,
+                    detector: "collective-mismatch",
+                    message: format!(
+                        "job {:?}: collective #{seq} ({op}): a rank entered twice \
+                         (collective streams desynchronized)",
+                        site.job_name
+                    ),
+                });
+            } else if site.entries.len() != site.size {
+                errors.push(Finding {
+                    severity: Severity::Error,
+                    detector: "collective-mismatch",
+                    message: format!(
+                        "job {:?}: collective #{seq} ({op}): only {} of {} ranks \
+                         entered",
+                        site.job_name,
+                        site.entries.len(),
+                        site.size
+                    ),
+                });
+            }
+        }
+
+        // Epoch safety (paper §5): every application of a config delta
+        // must be ordered after the epoch's decision.
+        for (lib, round, pid, clock) in &g.epoch_applies {
+            match g.epoch_decisions.get(&(*lib, *round)) {
+                None => errors.push(Finding {
+                    severity: Severity::Error,
+                    detector: "epoch-safety",
+                    message: format!(
+                        "confsync epoch {round}: {} applied a config delta but \
+                         no safe-point decision was recorded for that epoch",
+                        g.name(*pid)
+                    ),
+                }),
+                Some((decider, decision_clock)) => {
+                    if !decision_clock.leq(clock) {
+                        errors.push(Finding {
+                            severity: Severity::Error,
+                            detector: "epoch-safety",
+                            message: format!(
+                                "confsync epoch {round}: {} applied the config \
+                                 delta without the decision by {} \
+                                 happening-before it",
+                                g.name(*pid),
+                                g.name(*decider)
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Unmatched sends / never-drained channels at shutdown.
+        let mut per_chan: BTreeMap<u64, (usize, Pid)> = BTreeMap::new();
+        for (&(chan, _), &(sender, _)) in &g.chan_sends {
+            per_chan.entry(chan).or_insert((0, sender)).0 += 1;
+        }
+        for (chan, (count, first_sender)) in per_chan {
+            warnings.push(Finding {
+                severity: Severity::Warning,
+                detector: "unmatched-send",
+                message: format!(
+                    "channel #{chan}: {count} message(s) sent but never received \
+                     (first sender: {})",
+                    g.name(first_sender)
+                ),
+            });
+        }
+
+        // Barrier participation divergence across generations.
+        for (bar, gens) in &g.barrier_parts {
+            let sets: BTreeSet<&BTreeSet<Pid>> = gens.values().collect();
+            if sets.len() > 1 {
+                let render = |s: &BTreeSet<Pid>| {
+                    s.iter()
+                        .map(|&pid| g.name(pid))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                };
+                let mut it = sets.iter();
+                let (a, b) = (it.next().unwrap(), it.next().unwrap());
+                warnings.push(Finding {
+                    severity: Severity::Warning,
+                    detector: "barrier-divergence",
+                    message: format!(
+                        "barrier #{bar}: participant set changed between \
+                         generations ({{{}}} vs {{{}}})",
+                        render(a),
+                        render(b)
+                    ),
+                });
+            }
+        }
+
+        // Patches on a live (non-suspended) image.
+        for (pid, detail) in &g.unsafe_patches {
+            warnings.push(Finding {
+                severity: Severity::Warning,
+                detector: "unsafe-patch",
+                message: format!("{}: {detail}", g.name(*pid)),
+            });
+        }
+
+        errors.extend(warnings);
+        Report { findings: errors }
+    }
+}
+
+#[cfg(all(test, feature = "check"))]
+mod tests {
+    use super::*;
+    use crate::engine::Sim;
+    use crate::sync::{SimBarrier, SimChannel};
+    use crate::time::SimTime;
+    use crate::topology::Machine;
+
+    fn checked_sim(seed: u64) -> (Sim, CheckHandle) {
+        let sim = Sim::virtual_time(Machine::test_machine(), seed);
+        sim.enable_check();
+        let h = sim.check_handle();
+        (sim, h)
+    }
+
+    #[test]
+    fn clean_message_exchange_has_no_findings() {
+        let (sim, h) = checked_sim(1);
+        let ch: Arc<SimChannel<u32>> = Arc::new(SimChannel::new());
+        let tx = Arc::clone(&ch);
+        sim.spawn("tx", 0, move |p| tx.send(p, 1, SimTime::from_micros(5)));
+        let rx = Arc::clone(&ch);
+        sim.spawn("rx", 1, move |p| {
+            rx.recv(p);
+        });
+        sim.run();
+        let report = h.report();
+        assert!(
+            report.is_clean(),
+            "unexpected findings:\n{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn undelivered_message_is_an_unmatched_send() {
+        let (sim, h) = checked_sim(1);
+        let ch: Arc<SimChannel<u32>> = Arc::new(SimChannel::new());
+        let tx = Arc::clone(&ch);
+        sim.spawn("tx", 0, move |p| tx.send(p, 1, SimTime::from_micros(5)));
+        sim.run();
+        let report = h.report();
+        assert!(report.errors().is_empty());
+        assert_eq!(report.warnings().len(), 1);
+        assert_eq!(report.warnings()[0].detector, "unmatched-send");
+        assert!(report.warnings()[0].message.contains("tx"));
+    }
+
+    #[test]
+    fn barrier_joins_clocks_of_all_participants() {
+        let (sim, h) = checked_sim(1);
+        let bar = Arc::new(SimBarrier::new(3, SimTime::ZERO));
+        for i in 0..3u64 {
+            let b = Arc::clone(&bar);
+            sim.spawn(format!("p{i}"), 0, move |p| {
+                p.advance(SimTime::from_micros(i));
+                b.wait(p);
+            });
+        }
+        sim.run();
+        assert!(h.report().is_clean());
+    }
+
+    #[test]
+    fn collective_root_mismatch_is_an_error() {
+        let (sim, h) = checked_sim(1);
+        for rank in 0..2usize {
+            sim.spawn(format!("r{rank}"), 0, move |p| {
+                // Both ranks enter collective #0, but claim different roots.
+                collective(p, 7, "job", 2, rank, 0, "bcast", Some(rank));
+            });
+        }
+        sim.run();
+        let report = h.report();
+        let errs = report.errors();
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].detector, "collective-mismatch");
+        assert!(errs[0].message.contains("root"));
+    }
+
+    #[test]
+    fn collective_missing_rank_is_an_error() {
+        let (sim, h) = checked_sim(1);
+        sim.spawn("r0", 0, move |p| {
+            collective(p, 9, "job", 2, 0, 0, "barrier", None);
+        });
+        sim.run();
+        let errs_report = h.report();
+        let errs = errs_report.errors();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("only 1 of 2"));
+    }
+
+    #[test]
+    fn epoch_apply_without_order_is_an_error() {
+        let (sim, h) = checked_sim(1);
+        sim.spawn("decider", 0, |p| epoch_decision(p, 3, 1));
+        // No message from decider to applier: the apply is unordered.
+        sim.spawn("applier", 1, |p| epoch_apply(p, 3, 1));
+        sim.run();
+        let report = h.report();
+        let errs = report.errors();
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].detector, "epoch-safety");
+    }
+
+    #[test]
+    fn epoch_apply_ordered_through_channel_is_clean() {
+        let (sim, h) = checked_sim(1);
+        let ch: Arc<SimChannel<u8>> = Arc::new(SimChannel::new());
+        let tx = Arc::clone(&ch);
+        sim.spawn("decider", 0, move |p| {
+            epoch_decision(p, 4, 1);
+            tx.send(p, 0, SimTime::from_micros(1));
+        });
+        let rx = Arc::clone(&ch);
+        sim.spawn("applier", 1, move |p| {
+            rx.recv(p);
+            epoch_apply(p, 4, 1);
+        });
+        sim.run();
+        let report = h.report();
+        assert!(report.errors().is_empty(), "{}", report.render());
+    }
+
+    #[test]
+    fn disabled_recording_is_inert() {
+        let sim = Sim::virtual_time(Machine::test_machine(), 1);
+        let h = sim.check_handle();
+        let ch: Arc<SimChannel<u32>> = Arc::new(SimChannel::new());
+        let tx = Arc::clone(&ch);
+        sim.spawn("tx", 0, move |p| tx.send(p, 1, SimTime::from_micros(5)));
+        sim.run();
+        assert!(!h.enabled());
+        assert!(h.report().is_clean(), "nothing may be recorded when off");
+    }
+}

@@ -14,6 +14,8 @@
 //!
 //! * [`engine`] — process scheduler and dual clock ([`Sim`], [`Proc`]).
 //! * [`fault`] — deterministic seed-driven fault-injection plans.
+//! * [`hb`] — happens-before recording and correctness detectors
+//!   (`check` feature; zero-cost when off).
 //! * [`sync`] — latency-aware channels, barriers, gates, work queues.
 //! * [`topology`] — machine models (nodes, CPUs, links, daemon delays).
 //! * [`costs`] — probe/trace cost models.
@@ -45,6 +47,7 @@
 pub mod costs;
 pub mod engine;
 pub mod fault;
+pub mod hb;
 pub mod rng;
 pub mod stats;
 pub mod sync;

@@ -24,6 +24,7 @@ use dynprof_obs as obs;
 use parking_lot::{Condvar, Mutex};
 
 use crate::engine::{ClockMode, Pid, Proc};
+use crate::hb;
 use crate::time::SimTime;
 
 // ---------------------------------------------------------------------------
@@ -56,6 +57,8 @@ pub struct SimChannel<T> {
     state: Mutex<ChannelState<T>>,
     cv: Condvar,
     fifo: bool,
+    /// Identity for happens-before recording (0 when `check` is off).
+    id: u64,
 }
 
 impl<T> Default for SimChannel<T> {
@@ -85,6 +88,7 @@ impl<T> SimChannel<T> {
             }),
             cv: Condvar::new(),
             fifo,
+            id: hb::unique_id(),
         }
     }
 
@@ -99,6 +103,9 @@ impl<T> SimChannel<T> {
         }
         s.seq += 1;
         let seq = s.seq;
+        if hb::on(p) {
+            hb::chan_send(p, self.id, seq);
+        }
         s.queue.push(Envelope { arrival, seq, msg });
         match p.mode() {
             ClockMode::Virtual => {
@@ -180,7 +187,11 @@ impl<T> SimChannel<T> {
                     .map(|(i, e)| (i, e.arrival));
                 match best {
                     Some((i, arrival)) if arrival <= p.now() => {
-                        return s.queue.swap_remove(i).msg;
+                        let env = s.queue.swap_remove(i);
+                        if hb::on(p) {
+                            hb::chan_recv(p, self.id, env.seq);
+                        }
+                        return env.msg;
                     }
                     Some((_, arrival)) => {
                         // Matching message still in flight: sleep to it.
@@ -249,7 +260,11 @@ impl<T> SimChannel<T> {
                     .map(|(i, e)| (i, e.arrival));
                 match best {
                     Some((i, arrival)) if arrival <= p.now() => {
-                        return Some(s.queue.swap_remove(i).msg);
+                        let env = s.queue.swap_remove(i);
+                        if hb::on(p) {
+                            hb::chan_recv(p, self.id, env.seq);
+                        }
+                        return Some(env.msg);
                     }
                     Some((_, arrival)) if arrival <= deadline => {
                         // In flight and due before the deadline: sleep to it.
@@ -308,7 +323,13 @@ impl<T> SimChannel<T> {
             .filter(|(_, e)| pred(&e.msg) && (p.mode() == ClockMode::Real || e.arrival <= now))
             .min_by_key(|(_, e)| (e.arrival, e.seq))
             .map(|(i, _)| i);
-        best.map(|i| s.queue.swap_remove(i).msg)
+        best.map(|i| {
+            let env = s.queue.swap_remove(i);
+            if hb::on(p) {
+                hb::chan_recv(p, self.id, env.seq);
+            }
+            env.msg
+        })
     }
 
     /// Receive a message if one has already arrived.
@@ -351,6 +372,8 @@ pub struct SimBarrier {
     cost: SimTime,
     state: Mutex<BarrierState>,
     cv: Condvar,
+    /// Identity for happens-before recording (0 when `check` is off).
+    id: u64,
 }
 
 impl SimBarrier {
@@ -369,6 +392,7 @@ impl SimBarrier {
                 release_time: SimTime::ZERO,
             }),
             cv: Condvar::new(),
+            id: hb::unique_id(),
         }
     }
 
@@ -386,6 +410,9 @@ impl SimBarrier {
                 let my_gen = s.generation;
                 s.arrived += 1;
                 s.latest = s.latest.max(p.now());
+                if hb::on(p) {
+                    hb::barrier_arrive(p, self.id, my_gen);
+                }
                 if s.arrived == self.n {
                     // Last arriver releases the episode.
                     let release = s.latest + self.cost;
@@ -399,6 +426,9 @@ impl SimBarrier {
                         p.wake_other(pid, release);
                     }
                     p.lift_other_clock(p.pid(), release);
+                    if hb::on(p) {
+                        hb::barrier_depart(p, self.id, my_gen);
+                    }
                     release
                 } else {
                     let pid = p.pid();
@@ -408,7 +438,12 @@ impl SimBarrier {
                         let t = p.block();
                         let s = self.state.lock();
                         if s.generation > my_gen {
-                            return t.max(s.release_time);
+                            let release = t.max(s.release_time);
+                            drop(s);
+                            if hb::on(p) {
+                                hb::barrier_depart(p, self.id, my_gen);
+                            }
+                            return release;
                         }
                         // Spurious wake: re-register and keep waiting.
                         drop(s);
@@ -454,6 +489,8 @@ struct GateState {
 pub struct SimGate {
     state: Mutex<GateState>,
     cv: Condvar,
+    /// Identity for happens-before recording (0 when `check` is off).
+    id: u64,
 }
 
 impl Default for SimGate {
@@ -471,6 +508,7 @@ impl SimGate {
                 waiters: Vec::new(),
             }),
             cv: Condvar::new(),
+            id: hb::unique_id(),
         }
     }
 
@@ -482,6 +520,9 @@ impl SimGate {
     /// Open the gate, releasing waiters `latency` after the opener's time.
     pub fn open(&self, p: &Proc, latency: SimTime) {
         let at = p.now() + latency;
+        if hb::on(p) {
+            hb::gate_open(p, self.id);
+        }
         let mut s = self.state.lock();
         s.open_at = Some(match s.open_at {
             Some(prev) => prev.min(at),
@@ -512,10 +553,16 @@ impl SimGate {
                 let mut s = self.state.lock();
                 if let Some(at) = s.open_at {
                     if at <= p.now() {
+                        if hb::on(p) {
+                            hb::gate_pass(p, self.id);
+                        }
                         return p.now();
                     }
                     drop(s);
                     p.sleep_until(at);
+                    if hb::on(p) {
+                        hb::gate_pass(p, self.id);
+                    }
                     return p.now();
                 }
                 let pid = p.pid();
@@ -549,6 +596,8 @@ impl SimGate {
 pub struct SimQueue<T> {
     state: Mutex<(VecDeque<T>, bool, Vec<Pid>)>,
     cv: Condvar,
+    /// Identity for happens-before recording (0 when `check` is off).
+    id: u64,
 }
 
 impl<T> Default for SimQueue<T> {
@@ -563,11 +612,15 @@ impl<T> SimQueue<T> {
         SimQueue {
             state: Mutex::new((VecDeque::new(), false, Vec::new())),
             cv: Condvar::new(),
+            id: hb::unique_id(),
         }
     }
 
     /// Push one item.
     pub fn push(&self, p: &Proc, item: T) {
+        if hb::on(p) {
+            hb::queue_push(p, self.id);
+        }
         let mut s = self.state.lock();
         s.0.push_back(item);
         self.notify(p, &mut s);
@@ -575,6 +628,9 @@ impl<T> SimQueue<T> {
 
     /// Close the queue: poppers drain remaining items, then observe `None`.
     pub fn close(&self, p: &Proc) {
+        if hb::on(p) {
+            hb::queue_push(p, self.id);
+        }
         let mut s = self.state.lock();
         s.1 = true;
         self.notify(p, &mut s);
@@ -601,6 +657,9 @@ impl<T> SimQueue<T> {
             ClockMode::Virtual => loop {
                 let mut s = self.state.lock();
                 if let Some(item) = s.0.pop_front() {
+                    if hb::on(p) {
+                        hb::queue_pop(p, self.id);
+                    }
                     return Some(item);
                 }
                 if s.1 {
@@ -818,6 +877,71 @@ mod tests {
         }
         sim.run();
         assert_eq!(*sum.lock(), 45);
+    }
+
+    #[test]
+    fn deadline_recv_takes_message_sent_exactly_at_deadline() {
+        // Regression: the receiver blocks first, arming its deadline
+        // timer; the sender's wake-to-send is scheduled at the very same
+        // virtual time as the deadline. The old scheduler tie-break
+        // `(time, seq)` popped the (earlier-armed) timer before the send
+        // could happen, so the receive timed out even though the message
+        // arrives exactly at the deadline. Wake events must win the tie.
+        let sim = vsim(1);
+        let ch: Arc<SimChannel<u32>> = Arc::new(SimChannel::new());
+        let rx = Arc::clone(&ch);
+        sim.spawn("receiver", 0, move |p| {
+            let v = rx.recv_match_deadline(p, |_| true, SimTime::from_micros(50));
+            assert_eq!(
+                v,
+                Some(7),
+                "a message arriving exactly at the deadline must be received"
+            );
+            assert_eq!(p.now(), SimTime::from_micros(50));
+        });
+        let tx = Arc::clone(&ch);
+        sim.spawn("sender", 1, move |p| {
+            p.sleep_until(SimTime::from_micros(50));
+            tx.send(p, 7, SimTime::ZERO);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn deadline_recv_takes_message_at_deadline_sender_spawned_first() {
+        // Same tie, opposite spawn (and therefore heap-seq) order.
+        let sim = vsim(1);
+        let ch: Arc<SimChannel<u32>> = Arc::new(SimChannel::new());
+        let tx = Arc::clone(&ch);
+        sim.spawn("sender", 0, move |p| {
+            p.sleep_until(SimTime::from_micros(50));
+            tx.send(p, 7, SimTime::ZERO);
+        });
+        let rx = Arc::clone(&ch);
+        sim.spawn("receiver", 1, move |p| {
+            let v = rx.recv_match_deadline(p, |_| true, SimTime::from_micros(50));
+            assert_eq!(v, Some(7));
+            assert_eq!(p.now(), SimTime::from_micros(50));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn deadline_recv_still_times_out_when_message_is_late() {
+        let sim = vsim(1);
+        let ch: Arc<SimChannel<u32>> = Arc::new(SimChannel::new());
+        let rx = Arc::clone(&ch);
+        sim.spawn("receiver", 0, move |p| {
+            let v = rx.recv_match_deadline(p, |_| true, SimTime::from_micros(50));
+            assert_eq!(v, None, "a message after the deadline must not be taken");
+            assert_eq!(p.now(), SimTime::from_micros(50));
+        });
+        let tx = Arc::clone(&ch);
+        sim.spawn("sender", 1, move |p| {
+            p.sleep_until(SimTime::from_micros(51));
+            tx.send(p, 7, SimTime::ZERO);
+        });
+        sim.run();
     }
 
     #[test]

@@ -15,7 +15,7 @@ use dynprof_obs as obs;
 use parking_lot::Mutex;
 
 use dynprof_mpi::{Comm, MpiData};
-use dynprof_sim::{Proc, SimTime};
+use dynprof_sim::{hb, Proc, SimTime};
 
 use crate::config::ConfigDelta;
 use crate::event::Event;
@@ -134,9 +134,10 @@ pub fn confsync(
     // converges to the collective configuration.
     let deferred = vt.take_deferred(rank);
     if !deferred.is_empty() {
-        for d in &deferred {
+        for (decided_round, d) in &deferred {
             p.advance(SimTime::from_micros(3));
             vt.with_config(rank, |c| c.apply(d));
+            hb::epoch_apply(p, vt.check_id, *decided_round);
         }
         vt.reresolve(rank);
         if obs::enabled() {
@@ -153,6 +154,7 @@ pub fn confsync(
                 // configuration_break(): the monitoring tool has trapped
                 // the no-op breakpoint and edits the configuration.
                 p.advance(pc.respond_delay);
+                hb::epoch_decision(p, vt.check_id, round);
                 let bytes = pc.delta.wire_bytes();
                 Some(DeltaMsg(Some(pc.delta), bytes))
             }
@@ -174,7 +176,7 @@ pub fn confsync(
             if p.fault_plan()
                 .is_some_and(|plan| plan.missed_epoch(rank, round))
             {
-                vt.defer_delta(rank, d);
+                vt.defer_delta(rank, round, d);
                 if obs::enabled() {
                     obs::counter("vt.confsync.missed_epochs").inc();
                 }
@@ -185,6 +187,7 @@ pub fn confsync(
                 // tables are per process, as in the real library.
                 p.advance(SimTime::from_micros(3));
                 vt.with_config(rank, |c| c.apply(&d));
+                hb::epoch_apply(p, vt.check_id, round);
                 let flipped = vt.reresolve(rank);
                 (true, flipped, false)
             }

@@ -79,8 +79,9 @@ struct ProcState {
     /// `VT_confsync` is collective).
     sync_round: AtomicU64,
     /// Deltas this rank missed (its config epoch arrived while it was
-    /// unreachable); applied as catch-up at the next safe point.
-    deferred: Mutex<Vec<ConfigDelta>>,
+    /// unreachable), tagged with the safe-point round that decided them;
+    /// applied as catch-up at the next safe point.
+    deferred: Mutex<Vec<(u64, ConfigDelta)>>,
 }
 
 struct Registry {
@@ -98,6 +99,8 @@ pub struct VtLib {
     /// `(rank, epoch)` markers for safe points a rank passed without
     /// applying that epoch's delta (it caught up later).
     partials: Mutex<Vec<(usize, u32)>>,
+    /// Identity of this library in happens-before reports (`check`).
+    pub(crate) check_id: u64,
 }
 
 impl VtLib {
@@ -130,6 +133,7 @@ impl VtLib {
                 .collect(),
             epoch: AtomicU32::new(0),
             partials: Mutex::new(Vec::new()),
+            check_id: dynprof_sim::hb::unique_id(),
         })
     }
 
@@ -163,13 +167,14 @@ impl VtLib {
         self.procs[rank].sync_round.fetch_add(1, Ordering::AcqRel)
     }
 
-    /// Queue a delta `rank` could not apply at its safe point.
-    pub(crate) fn defer_delta(&self, rank: usize, delta: ConfigDelta) {
-        self.procs[rank].deferred.lock().push(delta);
+    /// Queue a delta `rank` could not apply at the safe point `round`.
+    pub(crate) fn defer_delta(&self, rank: usize, round: u64, delta: ConfigDelta) {
+        self.procs[rank].deferred.lock().push((round, delta));
     }
 
-    /// Drain `rank`'s missed deltas for catch-up application.
-    pub(crate) fn take_deferred(&self, rank: usize) -> Vec<ConfigDelta> {
+    /// Drain `rank`'s missed `(round, delta)` pairs for catch-up
+    /// application.
+    pub(crate) fn take_deferred(&self, rank: usize) -> Vec<(u64, ConfigDelta)> {
         std::mem::take(&mut *self.procs[rank].deferred.lock())
     }
 

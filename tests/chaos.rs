@@ -19,7 +19,7 @@ use dynprof::image::{FunctionInfo, ImageBuilder, ProbePoint, Snippet};
 use dynprof::mpi::{launch, JobSpec};
 use dynprof::obs;
 use dynprof::sim::fault::{set_global_spec, FaultPlan, FaultProfile, FaultSpec};
-use dynprof::sim::{Machine, ProbeCosts, Sim, SimTime};
+use dynprof::sim::{hb, Machine, ProbeCosts, Sim, SimTime};
 use dynprof::vt::{confsync, ConfigDelta, MonitorLink, VtConfig, VtLib};
 
 /// The obs registry is process-global and recording is gated on a global
@@ -44,11 +44,32 @@ fn plan_for(sim: &Sim, seed: u64, profile: &str) -> Arc<FaultPlan> {
     FaultPlan::new(&spec, sim.machine())
 }
 
+/// With the `check` feature on, every chaos cell doubles as a
+/// happens-before regression: faults may leave *warnings* (dropped or
+/// duplicated control messages surface as unmatched sends, and the
+/// workout patches without suspending), but error-severity findings —
+/// collective mismatches, epochs applied out of causal order — mean the
+/// recovery machinery broke an invariant. Without the feature this is a
+/// no-op and the handle costs nothing.
+fn assert_no_hb_errors(handle: &hb::CheckHandle, ctx: &str) {
+    if !hb::compiled() {
+        return;
+    }
+    let report = handle.report();
+    assert!(
+        report.errors().is_empty(),
+        "happens-before errors in {ctx}:\n{}",
+        report.render()
+    );
+}
+
 /// One DPCL workout: attach three nodes, install probes, remove a
 /// function's instrumentation, wait for every ack, shut down. Returns
 /// (virtual end time, acks observed, typed failures observed).
 fn dpcl_workout(seed: u64, profile: Option<&str>) -> (SimTime, usize, usize) {
     let sim = Sim::virtual_time(Machine::test_machine(), seed);
+    sim.enable_check();
+    let check = sim.check_handle();
     if let Some(name) = profile {
         assert!(
             sim.set_fault_plan(plan_for(&sim, seed, name)),
@@ -91,6 +112,10 @@ fn dpcl_workout(seed: u64, profile: Option<&str>) -> (SimTime, usize, usize) {
         *out2.lock().unwrap() = (acked, failed);
     });
     let end = sim.run();
+    assert_no_hb_errors(
+        &check,
+        &format!("dpcl workout (seed {seed}, profile {profile:?})"),
+    );
     let (acked, failed) = *outcome.lock().unwrap();
     (end, acked, failed)
 }
@@ -160,6 +185,8 @@ fn fault_runs_are_deterministic_per_seed() {
 /// number of partial-epoch markers recorded.
 fn confsync_run(seed: u64, profile: &str, ranks: usize, rounds: usize) -> usize {
     let sim = Sim::virtual_time(Machine::test_machine(), seed);
+    sim.enable_check();
+    let check = sim.check_handle();
     assert!(sim.set_fault_plan(plan_for(&sim, seed, profile)));
     let vt = VtLib::new("app", ranks, VtConfig::all_on(), ProbeCosts::power3());
     let monitor = MonitorLink::new();
@@ -193,6 +220,10 @@ fn confsync_run(seed: u64, profile: &str, ranks: usize, rounds: usize) -> usize 
         c.finalize(p);
     });
     sim.run();
+    assert_no_hb_errors(
+        &check,
+        &format!("confsync run (seed {seed}, profile {profile})"),
+    );
     // Convergence: every round's delta reached every rank (possibly via
     // catch-up), nothing is left deferred.
     for rank in 0..ranks {
