@@ -3,7 +3,8 @@
 //!
 //! Usage: `fig7 [--app smg98|sppm|sweep3d|umt98] [--json]
 //!              [--parallel [N]] [--metrics out.json]
-//!              [--faults seed[:profile]]`
+//!              [--faults seed[:profile]] [--txn]
+//!              [--degraded-policy abort-txn|exclude-node]`
 //!
 //! `--parallel` fans the independent (app, policy, P) runs across a
 //! worker-thread pool (N workers; default = available cores). Output is
@@ -11,9 +12,13 @@
 //! self-observability layer and dumps its counters to a JSON file.
 //! `--faults` installs a deterministic fault-injection plan (see
 //! `dynprof_sim::fault`); profiles: none, drop, dup, delay, slow, crash,
-//! epochs, lossy (default).
+//! epochs, lossy (default). `--txn` routes instrumentation through the
+//! two-phase-commit control plane; `--degraded-policy` (implies `--txn`)
+//! picks the reaction to failed participants — series that committed with
+//! excluded nodes are labelled `[degraded]`.
 
-use dynprof_bench::{fig7_with_workers, parallel, write_metrics};
+use dynprof_bench::{fig7_with_workers, parallel, set_txn_policy, write_metrics};
+use dynprof_dpcl::DegradedPolicy;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,9 +26,23 @@ fn main() {
     let mut json = false;
     let mut workers = 1;
     let mut metrics: Option<String> = None;
+    let mut txn = false;
+    let mut policy: Option<DegradedPolicy> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--txn" => txn = true,
+            "--degraded-policy" => {
+                i += 1;
+                let p = args.get(i).expect("--degraded-policy needs a value");
+                policy = match DegradedPolicy::parse(p) {
+                    Some(p) => Some(p),
+                    None => {
+                        eprintln!("unknown policy {p:?} (abort-txn|exclude-node)");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--app" => {
                 i += 1;
                 let a = args.get(i).expect("--app needs a value").clone();
@@ -67,6 +86,9 @@ fn main() {
             }
         }
         i += 1;
+    }
+    if txn || policy.is_some() {
+        set_txn_policy(Some(policy.unwrap_or(DegradedPolicy::AbortTxn)));
     }
     for app in apps {
         let fig = fig7_with_workers(app, workers);

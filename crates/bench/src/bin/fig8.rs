@@ -2,12 +2,17 @@
 //! instrumentation (`VT_confsync`).
 //!
 //! Usage: `fig8 [--part a|b|c] [--runs N] [--json] [--metrics out.json]
-//!              [--faults seed[:profile]]`
+//!              [--faults seed[:profile]] [--txn]
+//!              [--degraded-policy abort-txn|exclude-node]`
 //! (default: all parts, 16 runs per point — the paper's averaging).
 //! `--faults` installs a deterministic fault-injection plan; profiles:
 //! none, drop, dup, delay, slow, crash, epochs, lossy (default).
+//! `--txn`/`--degraded-policy` configure the two-phase-commit control
+//! plane for sweep-script uniformity with fig7/fig9; the confsync
+//! experiments install no probes, so the knobs change nothing here.
 
-use dynprof_bench::{fig8a, fig8b, fig8c, write_metrics, Figure};
+use dynprof_bench::{fig8a, fig8b, fig8c, set_txn_policy, write_metrics, Figure};
+use dynprof_dpcl::DegradedPolicy;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -15,9 +20,23 @@ fn main() {
     let mut runs = 16usize;
     let mut json = false;
     let mut metrics: Option<String> = None;
+    let mut txn = false;
+    let mut policy: Option<DegradedPolicy> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--txn" => txn = true,
+            "--degraded-policy" => {
+                i += 1;
+                let p = args.get(i).expect("--degraded-policy needs a value");
+                policy = match DegradedPolicy::parse(p) {
+                    Some(p) => Some(p),
+                    None => {
+                        eprintln!("unknown policy {p:?} (abort-txn|exclude-node)");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--part" => {
                 i += 1;
                 let p = args.get(i).expect("--part needs a value");
@@ -55,6 +74,9 @@ fn main() {
             }
         }
         i += 1;
+    }
+    if txn || policy.is_some() {
+        set_txn_policy(Some(policy.unwrap_or(DegradedPolicy::AbortTxn)));
     }
     for part in parts {
         let fig: Figure = match part {

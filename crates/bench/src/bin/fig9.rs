@@ -2,16 +2,33 @@
 //! ASCI kernel across processor counts (note Umt98's flat line — OpenMP
 //! threads share a single process image).
 //!
-//! Usage: `fig9 [--json] [--metrics out.json] [--faults seed[:profile]]`
+//! Usage: `fig9 [--json] [--metrics out.json] [--faults seed[:profile]]
+//!              [--txn] [--degraded-policy abort-txn|exclude-node]`
 //!
 //! `--faults` installs a deterministic fault-injection plan; profiles:
 //! none, drop, dup, delay, slow, crash, epochs, lossy (default).
+//! `--txn` routes instrumentation through the two-phase-commit control
+//! plane; `--degraded-policy` (implies `--txn`) picks the reaction to
+//! failed participants — series that committed with excluded nodes are
+//! labelled `[degraded]`.
 
-use dynprof_bench::{fig9, write_metrics};
+use dynprof_bench::{fig9, set_txn_policy, write_metrics};
+use dynprof_dpcl::DegradedPolicy;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
+    let txn = args.iter().any(|a| a == "--txn");
+    let policy = args.iter().position(|a| a == "--degraded-policy").map(|i| {
+        let p = args.get(i + 1).expect("--degraded-policy needs a value");
+        DegradedPolicy::parse(p).unwrap_or_else(|| {
+            eprintln!("unknown policy {p:?} (abort-txn|exclude-node)");
+            std::process::exit(2);
+        })
+    });
+    if txn || policy.is_some() {
+        set_txn_policy(Some(policy.unwrap_or(DegradedPolicy::AbortTxn)));
+    }
     let metrics = args
         .iter()
         .position(|a| a == "--metrics")

@@ -19,16 +19,78 @@
 
 pub mod parallel;
 
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use dynprof_apps::paper_app;
-use dynprof_core::{run_session, SessionConfig};
+use dynprof_check::analyzer::{analyze, Budget, ProbePlan};
+use dynprof_core::{run_session, AppSpec, SessionConfig, TxnSettings};
+use dynprof_dpcl::DegradedPolicy;
 use dynprof_mpi::{launch, JobSpec};
 use dynprof_obs::{self as obs, Json};
 use dynprof_sim::{Machine, OnlineStats, Sim, SimTime};
 use dynprof_vt::{confsync, ConfigDelta, MonitorLink, Policy, VtConfig, VtLib, VtMpiHooks};
+
+// ---------------------------------------------------------------------------
+// Transactional-epoch mode (`--txn` / `--degraded-policy`)
+// ---------------------------------------------------------------------------
+
+/// Process-global transactional-epoch mode, set by the figure binaries:
+/// 0 = off, 1 = abort-txn, 2 = exclude-node. A plain atomic (not a
+/// `Mutex<Option<..>>`) so [`fig7_run`] workers can read it without
+/// contention inside the parallel sweep.
+static TXN_MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Route every subsequent session's instrumentation through the 2PC
+/// control plane ([`dynprof_dpcl::InstrumentationTxn`]) with the given
+/// degraded-mode policy; `None` restores the untransacted path.
+pub fn set_txn_policy(policy: Option<DegradedPolicy>) {
+    let v = match policy {
+        None => 0,
+        Some(DegradedPolicy::AbortTxn) => 1,
+        Some(DegradedPolicy::ExcludeNode) => 2,
+    };
+    TXN_MODE.store(v, Ordering::SeqCst);
+}
+
+/// The currently configured transactional-epoch policy, if any.
+pub fn txn_policy() -> Option<DegradedPolicy> {
+    match TXN_MODE.load(Ordering::SeqCst) {
+        1 => Some(DegradedPolicy::AbortTxn),
+        2 => Some(DegradedPolicy::ExcludeNode),
+        _ => None,
+    }
+}
+
+/// Build the session's [`TxnSettings`] for `app`, wiring the
+/// `dynprof-check` probe-safety analyzer in as the pre-flight validator
+/// (the dependency inversion that keeps `dpcl` free of a `check` edge).
+/// Returns `None` when transactional mode is off.
+fn txn_settings(app: &AppSpec) -> Option<TxnSettings> {
+    let policy = txn_policy()?;
+    let program = app.name.clone();
+    let manifest = app.functions.clone();
+    let mut settings = TxnSettings::new(policy);
+    settings.validator = Some(Arc::new(move |targets: &[String]| {
+        let plan = ProbePlan::timer_pair(targets.to_vec());
+        analyze(&program, &manifest, &plan, &Budget::default())
+    }));
+    Some(settings)
+}
+
+/// Suffix a series label when any of its runs committed degraded
+/// (exclude-node policy dropped participants), so figure output is never
+/// silently mixed-provenance. Inert runs keep their exact labels, which
+/// preserves the byte-identity goldens.
+fn degraded_label(label: &str, degraded: bool) -> String {
+    if degraded {
+        format!("{label} [degraded]")
+    } else {
+        label.to_string()
+    }
+}
 
 /// One measured series: a labelled curve over CPU counts.
 #[derive(Clone, Debug)]
@@ -167,16 +229,26 @@ pub fn fig7_policies(app: &str) -> Vec<Policy> {
 /// its seeded engine, so runs can execute concurrently without affecting
 /// each other's results.
 pub fn fig7_run(app_name: &str, cpus: usize, policy: Policy) -> f64 {
+    fig7_run_outcome(app_name, cpus, policy).0
+}
+
+/// [`fig7_run`] plus a degraded-mode marker: `true` when the run's
+/// transactional epochs committed with excluded nodes (only possible with
+/// `--txn`, an `exclude-node` policy, and a non-inert fault plan).
+pub fn fig7_run_outcome(app_name: &str, cpus: usize, policy: Policy) -> (f64, bool) {
     let _span = obs::span("bench.fig7.run.real_ns");
     if obs::enabled() {
         obs::counter("bench.fig7.runs").inc();
     }
     let (app, _outputs) =
         paper_app(app_name, cpus).unwrap_or_else(|| panic!("unknown app {app_name}"));
-    let cfg =
+    let mut cfg =
         SessionConfig::new(Machine::ibm_power3_colony(), policy).with_seed(1000 + cpus as u64);
+    if let Some(settings) = txn_settings(&app) {
+        cfg = cfg.with_txn(settings);
+    }
     let report = run_session(&app, cfg);
-    report.app_time.as_secs_f64()
+    (report.app_time.as_secs_f64(), report.vt.is_degraded())
 }
 
 /// Reproduce one sub-plot of Fig 7: run `app` under every policy across
@@ -204,11 +276,16 @@ pub fn fig7_with_workers(app_name: &str, workers: usize) -> Figure {
         .iter()
         .flat_map(|&c| (0..policies.len()).map(move |si| (c, si)))
         .collect();
-    let times = parallel::run(&jobs, workers, |&(c, si)| {
-        fig7_run(app_name, c, policies[si])
+    let results = parallel::run(&jobs, workers, |&(c, si)| {
+        fig7_run_outcome(app_name, c, policies[si])
     });
-    for (&(c, si), t) in jobs.iter().zip(times) {
+    let mut degraded = vec![false; series.len()];
+    for (&(c, si), (t, deg)) in jobs.iter().zip(results) {
         series[si].points.push((c, t));
+        degraded[si] |= deg;
+    }
+    for (s, deg) in series.iter_mut().zip(degraded) {
+        s.label = degraded_label(&s.label, deg);
     }
     let sub = match app_name {
         "smg98" => "a",
@@ -374,15 +451,20 @@ pub fn fig9() -> Figure {
     for app_name in ["smg98", "sppm", "sweep3d", "umt98"] {
         let cpus = fig7_cpus(app_name);
         let mut points = Vec::new();
+        let mut degraded = false;
         for &c in &cpus {
             let app = dynprof_apps::test_app(app_name, c).expect("app");
-            let cfg = SessionConfig::new(Machine::ibm_power3_colony(), Policy::Dynamic)
+            let mut cfg = SessionConfig::new(Machine::ibm_power3_colony(), Policy::Dynamic)
                 .with_seed(77 + c as u64);
+            if let Some(settings) = txn_settings(&app) {
+                cfg = cfg.with_txn(settings);
+            }
             let report = run_session(&app, cfg);
             points.push((c, report.create_and_instrument().as_secs_f64()));
+            degraded |= report.vt.is_degraded();
         }
         series.push(Series {
-            label: app_name.to_string(),
+            label: degraded_label(app_name, degraded),
             points,
         });
     }

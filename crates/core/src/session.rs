@@ -16,9 +16,13 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use dynprof_dpcl::{DpclClient, DpclSystem, ProcessHandle};
+use dynprof_dpcl::{
+    DegradedPolicy, DpclClient, DpclSystem, HeartbeatConfig, HeartbeatMonitor, InstrumentationTxn,
+    ProcessHandle, TxnOptions, TxnOutcome,
+};
 use dynprof_image::ProbePoint;
 use dynprof_mpi::{launch_from, JobSpec, MpiHooks};
+use dynprof_sim::hb::Finding;
 use dynprof_sim::sync::SimGate;
 use dynprof_sim::{Machine, Proc, Sim, SimTime};
 use dynprof_vt::{vt_begin_snippet, vt_end_snippet, Policy, VtLib, VtMpiHooks, VtStaticHooks};
@@ -58,6 +62,38 @@ pub struct SessionConfig {
     /// evaluation of an ideal statistical sampler; see
     /// `dynprof_vt::sample_image`).
     pub enable_pc_log: bool,
+    /// Run multi-node instrumentation changes as 2PC transactions
+    /// (`None`: the classic multicast path).
+    pub txn: Option<TxnSettings>,
+}
+
+/// Transactional-epoch settings for the `Dynamic` policy.
+#[derive(Clone)]
+pub struct TxnSettings {
+    /// Reaction to a failed participant.
+    pub policy: DegradedPolicy,
+    /// Run a heartbeat failure detector alongside the session (it feeds
+    /// the coordinator's dead-node pre-check). Only spawned under a
+    /// non-inert fault plan — undisturbed runs stay byte-identical.
+    pub heartbeat: bool,
+    /// Pre-flight probe-plan validator (normally `dynprof-check`'s
+    /// analyzer, injected as a closure to keep the crate graph acyclic);
+    /// called with the function names about to be instrumented. Any
+    /// error finding aborts the transaction before a message is sent.
+    #[allow(clippy::type_complexity)]
+    pub validator: Option<Arc<dyn Fn(&[String]) -> Vec<Finding> + Send + Sync>>,
+}
+
+impl TxnSettings {
+    /// Settings with the given degraded-mode policy, heartbeat on, no
+    /// validator.
+    pub fn new(policy: DegradedPolicy) -> TxnSettings {
+        TxnSettings {
+            policy,
+            heartbeat: true,
+            validator: None,
+        }
+    }
 }
 
 impl SessionConfig {
@@ -74,7 +110,15 @@ impl SessionConfig {
             app_base_node: 0,
             instrumenter_node,
             enable_pc_log: false,
+            txn: None,
         }
+    }
+
+    /// Run instrumentation changes through the 2PC transactional control
+    /// plane.
+    pub fn with_txn(mut self, settings: TxnSettings) -> SessionConfig {
+        self.txn = Some(settings);
+        self
     }
 
     /// Enable PC-interval journaling (statistical-sampling studies).
@@ -514,6 +558,8 @@ struct DynState {
     warnings: Vec<String>,
     pairs_installed: usize,
     started: bool,
+    txn: Option<TxnSettings>,
+    monitor: Option<Arc<HeartbeatMonitor>>,
 }
 
 impl DynState {
@@ -533,6 +579,27 @@ impl DynState {
     /// Install entry/exit VT probes for `names` in every process.
     fn install(&mut self, p: &Proc, names: &[String]) {
         let t0 = p.now();
+        if self.handles.is_empty() {
+            self.warnings
+                .push("install: no attached processes; nothing to do".into());
+            return;
+        }
+        // The 2PC control plane only engages under a live fault plan: an
+        // inert plan cannot produce a partial epoch, so transactional
+        // sessions take the classic path and stay byte-identical to
+        // untransacted runs (the `InstrumentationTxn` fast path guards
+        // direct library users the same way).
+        let faulty = p.fault_plan().is_some_and(|plan| !plan.is_inert());
+        match self.txn.clone() {
+            Some(settings) if faulty => self.install_txn(p, names, &settings),
+            _ => self.install_multicast(p, names),
+        }
+        self.timefile.record("instrument", t0, p.now());
+    }
+
+    /// The classic path: multicast install requests, then wait for every
+    /// ack.
+    fn install_multicast(&mut self, p: &Proc, names: &[String]) {
         let mut reqs = Vec::new();
         for name in names {
             let fid = match self.handles[0].image.func(name) {
@@ -561,17 +628,99 @@ impl DynState {
             }
             self.pairs_installed += self.handles.len();
         }
-        let failures = self.client.wait_all(p, &reqs);
+        let failures = self
+            .client
+            .wait_all(p, &reqs)
+            .iter()
+            .filter(|(_, r)| !r.is_ok())
+            .count();
         if failures > 0 {
             self.warnings
                 .push(format!("{failures} probe installs failed"));
         }
-        self.timefile.record("instrument", t0, p.now());
+    }
+
+    /// The transactional path: stage the same probe batch, then run the
+    /// 2PC protocol so either every process gets the epoch or none does
+    /// (or, under `exclude-node`, the run is explicitly degraded).
+    fn install_txn(&mut self, p: &Proc, names: &[String], settings: &TxnSettings) {
+        let mut txn = InstrumentationTxn::new(TxnOptions {
+            policy: settings.policy,
+            ..TxnOptions::default()
+        });
+        let pairs_before = self.pairs_installed;
+        let mut staged_names: Vec<String> = Vec::new();
+        for name in names {
+            let fid = match self.handles[0].image.func(name) {
+                Some(f) => f,
+                None => {
+                    self.warnings
+                        .push(format!("insert: unknown function {name:?}"));
+                    continue;
+                }
+            };
+            let vtid = self.vt.funcdef(p, name);
+            for h in &self.handles {
+                txn.stage_install(
+                    h,
+                    ProbePoint::entry(fid),
+                    vt_begin_snippet(Arc::clone(&self.vt), vtid),
+                );
+                txn.stage_install(
+                    h,
+                    ProbePoint::exit(fid),
+                    vt_end_snippet(Arc::clone(&self.vt), vtid),
+                );
+            }
+            self.pairs_installed += self.handles.len();
+            staged_names.push(name.clone());
+        }
+        let v = settings.validator.clone();
+        let validator_closure = v.map(|v| move || v(&staged_names));
+        let validator: Option<&dyn Fn() -> Vec<Finding>> = validator_closure
+            .as_ref()
+            .map(|c| c as &dyn Fn() -> Vec<Finding>);
+        let report = txn.execute(p, &self.client, validator, self.monitor.as_deref());
+        if report.two_phase {
+            // Actual coverage: each committed op is one probe.
+            self.pairs_installed = pairs_before + (report.applied / 2) as usize;
+        }
+        match &report.outcome {
+            TxnOutcome::Committed => {}
+            TxnOutcome::CommittedDegraded { excluded } => {
+                self.vt.note_degraded(report.epoch, excluded);
+                self.warnings.push(format!(
+                    "txn epoch {} committed degraded; excluded nodes {excluded:?}",
+                    report.epoch
+                ));
+            }
+            TxnOutcome::Aborted { reason } => {
+                self.warnings
+                    .push(format!("txn epoch {} aborted: {reason}", report.epoch));
+            }
+            TxnOutcome::ValidationFailed { errors } => {
+                for e in errors {
+                    self.warnings.push(format!("txn validation: {e}"));
+                }
+            }
+        }
+        for f in &report.op_failures {
+            self.warnings.push(format!("txn install failed: {f}"));
+        }
+        for node in &report.unconfirmed {
+            self.warnings
+                .push(format!("txn decision to node {node} unconfirmed"));
+        }
     }
 
     /// Remove all instrumentation from `names` in every process.
     fn remove(&mut self, p: &Proc, names: &[String]) {
         let t0 = p.now();
+        if self.handles.is_empty() {
+            self.warnings
+                .push("remove: no attached processes; nothing to do".into());
+            return;
+        }
         let mut reqs = Vec::new();
         for name in names {
             let fid = match self.handles[0].image.func(name) {
@@ -657,6 +806,7 @@ fn run_dynamic(app: &AppSpec, cfg: SessionConfig) -> SessionReport {
         let warnings2 = Arc::clone(&warnings);
         let pairs_out2 = Arc::clone(&pairs_out);
         let app_base = cfg.app_base_node;
+        let txn_settings = cfg.txn.clone();
         sim.spawn("dynprof", cfg.instrumenter_node, move |p| {
             let client = DpclClient::new(system, "dynprof");
             let sync = InitSync::new(&client, processes);
@@ -733,13 +883,37 @@ fn run_dynamic(app: &AppSpec, cfg: SessionConfig) -> SessionReport {
                 }
             };
             let mut handles = Vec::with_capacity(processes);
+            let mut attach_warnings = Vec::new();
             for (i, &node) in nodes_of.iter().enumerate() {
                 match client.attach(p, node, Arc::clone(&images[i]), format!("{}:{i}", app.name)) {
                     Ok(h) => handles.push(h),
-                    Err(e) => panic!("attach failed for process {i}: {e}"),
+                    Err(e) => attach_warnings.push(format!(
+                        "attach failed for process {i}: {e}; excluded from instrumentation"
+                    )),
                 }
             }
             timefile.record("create", t_create, p.now());
+
+            // Heartbeat failure detection: only under a non-inert fault
+            // plan (an undisturbed run must stay byte-identical), and only
+            // when the transactional control plane asked for it.
+            let faulty = p.fault_plan().is_some_and(|plan| !plan.is_inert());
+            let monitor = match &txn_settings {
+                Some(s) if s.heartbeat && faulty => {
+                    let mut nodes = nodes_of.clone();
+                    nodes.sort_unstable();
+                    nodes.dedup();
+                    let m = HeartbeatMonitor::new(
+                        Arc::clone(client.system()),
+                        nodes,
+                        HeartbeatConfig::default(),
+                    );
+                    let m2 = Arc::clone(&m);
+                    p.spawn_child("dynprof-hb", p.node(), move |hp| m2.run(hp));
+                    Some(m)
+                }
+                _ => None,
+            };
 
             let mut st = DynState {
                 client,
@@ -748,9 +922,11 @@ fn run_dynamic(app: &AppSpec, cfg: SessionConfig) -> SessionReport {
                 vt: Arc::clone(&vt),
                 timefile: Arc::clone(&timefile),
                 files,
-                warnings: Vec::new(),
+                warnings: attach_warnings,
                 pairs_installed: 0,
                 started: false,
+                txn: txn_settings,
+                monitor,
             };
             let mut pending: Vec<String> = Vec::new();
             let do_start = |st: &mut DynState, p: &Proc, pending: &mut Vec<String>| {
@@ -818,6 +994,9 @@ fn run_dynamic(app: &AppSpec, cfg: SessionConfig) -> SessionReport {
                 do_start(&mut st, p, &mut pending);
             }
             // quit: detach, leaving active instrumentation in place.
+            if let Some(m) = &st.monitor {
+                m.stop();
+            }
             st.client.shutdown(p);
             warnings2.lock().extend(st.warnings);
             *pairs_out2.lock() = st.pairs_installed;

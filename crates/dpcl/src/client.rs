@@ -13,7 +13,9 @@ use dynprof_sim::sync::SimChannel;
 use dynprof_sim::{Proc, SimTime};
 
 use crate::daemon::DpclSystem;
-use crate::messages::{AckResult, DownMsg, DownMsgEnvelope, ReqId, SuperMsg, TargetId, UpMsg};
+use crate::messages::{
+    AckResult, DownMsg, DownMsgEnvelope, ReqId, StagedOp, SuperMsg, TargetId, TxnId, UpMsg,
+};
 
 /// Client-side cost of marshalling and writing one request message.
 pub const CLIENT_SEND_COST: SimTime = SimTime::from_micros(20);
@@ -152,10 +154,15 @@ pub struct DpclClient {
     daemons: Mutex<BTreeMap<usize, Arc<SimChannel<DownMsgEnvelope>>>>,
     next_req: AtomicU64,
     next_target: AtomicU32,
+    next_txn: AtomicU64,
     policy: RetryPolicy,
     /// Unacknowledged requests, kept so a timed-out wait can resend the
     /// identical message (same [`ReqId`]) to the same node.
     pending: Mutex<BTreeMap<ReqId, (usize, DownMsg)>>,
+    /// Requests that failed client-side before reaching any daemon (e.g.
+    /// sent to a node with no connection); the wait surfaces these as
+    /// typed [`AckResult::Error`]s instead of panicking at send time.
+    failed: Mutex<BTreeMap<ReqId, String>>,
     /// Issue times of in-flight requests, kept only while observation is
     /// enabled, so [`DpclClient::wait_ack`] can report virtual-time
     /// request latencies.
@@ -184,8 +191,10 @@ impl DpclClient {
             daemons: Mutex::new(BTreeMap::new()),
             next_req: AtomicU64::new(1),
             next_target: AtomicU32::new(1),
+            next_txn: AtomicU64::new(1),
             policy,
             pending: Mutex::new(BTreeMap::new()),
+            failed: Mutex::new(BTreeMap::new()),
             issued: Mutex::new(BTreeMap::new()),
         }
     }
@@ -254,8 +263,9 @@ impl DpclClient {
                     return Ok(());
                 }
                 Some(UpMsg::AuthFailed { message, .. }) => return Err(message),
-                Some(_) => unreachable!("matcher"),
-                None => {
+                // The matcher admits only the two arms above; anything
+                // else is a miss and falls into the retry path.
+                _ => {
                     if obs::enabled() {
                         obs::counter("dpcl.retries").inc();
                         if attempt < self.policy.max_attempts {
@@ -281,19 +291,26 @@ impl DpclClient {
         if obs::enabled() {
             obs::counter("dpcl.requests").inc();
         }
-        if let Some(req) = msg.req_id() {
+        let req = msg.req_id();
+        if let Some(req) = req {
             self.pending.lock().insert(req, (node, msg.clone()));
         }
         p.advance(CLIENT_SEND_COST);
-        let daemon = {
-            let daemons = self.daemons.lock();
-            Arc::clone(
-                daemons
-                    .get(&node)
-                    .unwrap_or_else(|| panic!("not connected to node {node}")),
-            )
-        };
-        daemon.send_ctl(p, DownMsgEnvelope(msg), self.daemon_delay(p));
+        let daemon = self.daemons.lock().get(&node).cloned();
+        match daemon {
+            Some(daemon) => daemon.send_ctl(p, DownMsgEnvelope(msg), self.daemon_delay(p)),
+            None => {
+                // No connection to that node: fail the request locally so
+                // the wait surfaces a typed error instead of the control
+                // plane panicking mid-session.
+                if let Some(req) = req {
+                    self.pending.lock().remove(&req);
+                    self.failed
+                        .lock()
+                        .insert(req, format!("not connected to node {node}"));
+                }
+            }
+        }
     }
 
     /// Resend the still-unacknowledged request `req` byte-for-byte to its
@@ -375,6 +392,26 @@ impl DpclClient {
                 target: h.target,
                 point,
                 snippet,
+            },
+        );
+        req
+    }
+
+    /// Install identically to [`DpclClient::install_probe`] but addressed
+    /// by raw `(node, op)`: the transaction fast path replays staged ops
+    /// byte-for-byte through this, so an inert-fault transactional run
+    /// emits exactly the untransacted message sequence.
+    pub(crate) fn install_raw(&self, p: &Proc, node: usize, op: StagedOp) -> ReqId {
+        let req = self.req();
+        self.note_issue(p, req, "dpcl.install_latency_ns");
+        self.send_down(
+            p,
+            node,
+            DownMsg::Install {
+                req,
+                target: op.target,
+                point: op.point,
+                snippet: op.snippet,
             },
         );
         req
@@ -463,6 +500,9 @@ impl DpclClient {
     /// [`RetryPolicy::max_attempts`] misses this returns the typed
     /// [`AckResult::TimedOut`] instead of blocking forever.
     pub fn wait_ack(&self, p: &Proc, req: ReqId) -> AckResult {
+        if let Some(message) = self.failed.lock().remove(&req) {
+            return AckResult::Error { message };
+        }
         let mut backoff =
             BackoffSchedule::new(self.policy.backoff_base, self.policy.backoff_cap, req.0);
         for attempt in 1..=self.policy.max_attempts {
@@ -491,8 +531,9 @@ impl DpclClient {
                     }
                     return result;
                 }
-                Some(_) => unreachable!("matcher"),
-                None => {
+                // The matcher admits only Ack; anything else is a miss
+                // and falls into the retry path.
+                _ => {
                     if obs::enabled() {
                         obs::counter("dpcl.retries").inc();
                     }
@@ -513,16 +554,109 @@ impl DpclClient {
         }
     }
 
-    /// Wait for every acknowledgement in `reqs` (order-insensitive);
-    /// returns the number of failures.
-    pub fn wait_all(&self, p: &Proc, reqs: &[ReqId]) -> usize {
-        let mut failures = 0;
-        for &r in reqs {
-            if !self.wait_ack(p, r).is_ok() {
-                failures += 1;
+    /// Wait once for the acknowledgement of `req`, up to the absolute
+    /// `deadline` — **no resends, no backoff**. `None` means silence:
+    /// exactly the signal a 2PC coordinator treats as a vote timeout (a
+    /// resend would only blur who failed to answer in time). The pending
+    /// entry is dropped either way; a late ack is ignored by matcher.
+    pub(crate) fn wait_ack_until(
+        &self,
+        p: &Proc,
+        req: ReqId,
+        deadline: SimTime,
+    ) -> Option<AckResult> {
+        if let Some(message) = self.failed.lock().remove(&req) {
+            self.pending.lock().remove(&req);
+            return Some(AckResult::Error { message });
+        }
+        let msg = self.inbox.recv_match_deadline(
+            p,
+            |m| matches!(m, UpMsg::Ack { req: r, .. } if *r == req),
+            deadline,
+        );
+        self.pending.lock().remove(&req);
+        match msg {
+            Some(UpMsg::Ack {
+                result,
+                completed_at,
+                ..
+            }) => {
+                if obs::enabled() {
+                    if let Some((metric, sent)) = self.issued.lock().remove(&req) {
+                        obs::histogram(metric).record(completed_at.saturating_sub(sent).as_nanos());
+                    }
+                }
+                Some(result)
+            }
+            _ => {
+                self.issued.lock().remove(&req);
+                None
             }
         }
-        failures
+    }
+
+    /// Wait for every acknowledgement in `reqs` (order-insensitive);
+    /// returns each request's typed outcome, in the order given.
+    pub fn wait_all(&self, p: &Proc, reqs: &[ReqId]) -> Vec<(ReqId, AckResult)> {
+        reqs.iter().map(|&r| (r, self.wait_ack(p, r))).collect()
+    }
+
+    // --- Transaction plumbing (used by `crate::txn::InstrumentationTxn`) ---
+
+    /// Mint a fresh transaction id and its epoch number.
+    pub(crate) fn next_txn_epoch(&self) -> (TxnId, u64) {
+        let n = self.next_txn.fetch_add(1, Ordering::Relaxed);
+        (TxnId(n), n)
+    }
+
+    /// Stage a batch of installs on `node` under `txn` (2PC phase 0).
+    pub(crate) fn txn_stage(&self, p: &Proc, node: usize, txn: TxnId, ops: Vec<StagedOp>) -> ReqId {
+        let req = self.req();
+        self.send_down(p, node, DownMsg::TxnStage { req, txn, ops });
+        req
+    }
+
+    /// Ask `node` to vote on `txn` (2PC phase 1, PREPARE).
+    pub(crate) fn txn_prepare(&self, p: &Proc, node: usize, txn: TxnId, epoch: u64) -> ReqId {
+        let req = self.req();
+        self.send_down(p, node, DownMsg::TxnPrepare { req, txn, epoch });
+        req
+    }
+
+    /// Tell `node` to apply `txn`'s staged ops (2PC phase 2, COMMIT).
+    pub(crate) fn txn_commit(
+        &self,
+        p: &Proc,
+        node: usize,
+        txn: TxnId,
+        epoch: u64,
+        hb_lib: u64,
+    ) -> ReqId {
+        let req = self.req();
+        self.note_issue(p, req, "dpcl.txn_commit_latency_ns");
+        self.send_down(
+            p,
+            node,
+            DownMsg::TxnCommit {
+                req,
+                txn,
+                epoch,
+                hb_lib,
+            },
+        );
+        req
+    }
+
+    /// Tell `node` to discard `txn`'s staged ops (rollback).
+    pub(crate) fn txn_abort(&self, p: &Proc, node: usize, txn: TxnId, epoch: u64) -> ReqId {
+        let req = self.req();
+        self.send_down(p, node, DownMsg::TxnAbort { req, txn, epoch });
+        req
+    }
+
+    /// The daemon system this client talks to.
+    pub fn system(&self) -> &Arc<DpclSystem> {
+        &self.system
     }
 
     /// A sender that in-application snippets can use to call back to this
@@ -536,13 +670,15 @@ impl DpclClient {
     /// Block until an application callback with `tag` arrives; returns its
     /// payload.
     pub fn recv_callback(&self, p: &Proc, tag: u64) -> u64 {
-        let msg = self.inbox.recv_match(
-            p,
-            |m| matches!(m, UpMsg::Callback { tag: t, .. } if *t == tag),
-        );
-        match msg {
-            UpMsg::Callback { payload, .. } => payload,
-            _ => unreachable!("matcher"),
+        loop {
+            let msg = self.inbox.recv_match(
+                p,
+                |m| matches!(m, UpMsg::Callback { tag: t, .. } if *t == tag),
+            );
+            // The matcher admits only Callback; keep waiting otherwise.
+            if let UpMsg::Callback { payload, .. } = msg {
+                return payload;
+            }
         }
     }
 
@@ -565,6 +701,7 @@ impl DpclClient {
         self.wait_all(p, &reqs);
         self.daemons.lock().clear();
         self.pending.lock().clear();
+        self.failed.lock().clear();
         self.system.shutdown_supers(p);
     }
 }

@@ -23,6 +23,7 @@ use dynprof_image::Image;
 use dynprof_sim::sync::SimChannel;
 use dynprof_sim::{hb, Proc, SimTime};
 
+use crate::journal::ProbeJournal;
 use crate::messages::{AckResult, DownMsg, DownMsgEnvelope, ReqId, SuperMsg, TargetId, UpMsg};
 
 /// Cost of one super-daemon authentication check.
@@ -33,6 +34,10 @@ pub const SPAWN_DAEMON_COST: SimTime = SimTime::from_millis(25);
 pub const DAEMON_RESTART_COST: SimTime = SimTime::from_millis(40);
 /// Per-target cost of replaying attached state after a daemon restart.
 pub const RESTART_REPLAY_COST: SimTime = SimTime::from_millis(2);
+/// Cost of durably appending one record to the probe journal.
+pub const JOURNAL_WRITE_COST: SimTime = SimTime::from_micros(500);
+/// Per-record cost of replaying the probe journal after a restart.
+pub const JOURNAL_REPLAY_COST: SimTime = SimTime::from_micros(100);
 
 /// Inline model of a fault-plan daemon crash window: while the virtual
 /// clock is inside the window the daemon is down and the message is lost;
@@ -69,6 +74,11 @@ fn outage_check(
 pub struct DpclSystem {
     allowed_users: Vec<String>,
     supers: Mutex<BTreeMap<usize, Arc<SimChannel<SuperMsg>>>>,
+    /// Durable probe journals, one per `(node, user)` communication
+    /// daemon. Owned by the system (not the daemon process) because the
+    /// journal survives daemon crashes — it is the model of a
+    /// write-ahead log on the node's local disk.
+    journals: Mutex<BTreeMap<(usize, String), Arc<ProbeJournal>>>,
 }
 
 impl DpclSystem {
@@ -77,12 +87,35 @@ impl DpclSystem {
         Arc::new(DpclSystem {
             allowed_users: allowed_users.into_iter().map(Into::into).collect(),
             supers: Mutex::new(BTreeMap::new()),
+            journals: Mutex::new(BTreeMap::new()),
         })
     }
 
     /// Number of super daemons currently running.
     pub fn super_daemon_count(&self) -> usize {
         self.supers.lock().len()
+    }
+
+    /// The durable journal of `user`'s communication daemon on `node`,
+    /// creating it on first use (it outlives daemon restarts).
+    pub(crate) fn journal_for(&self, node: usize, user: &str) -> Arc<ProbeJournal> {
+        Arc::clone(
+            self.journals
+                .lock()
+                .entry((node, user.to_string()))
+                .or_insert_with(|| Arc::new(ProbeJournal::new(node))),
+        )
+    }
+
+    /// The probe journal of `user`'s communication daemon on `node`, if
+    /// one was ever created (inspection: tests, post-run audits).
+    pub fn journal(&self, node: usize, user: &str) -> Option<Arc<ProbeJournal>> {
+        self.journals.lock().get(&(node, user.to_string())).cloned()
+    }
+
+    /// Every journal in the system, sorted by `(node, user)`.
+    pub fn journals(&self) -> Vec<Arc<ProbeJournal>> {
+        self.journals.lock().values().cloned().collect()
     }
 
     /// The super daemon inbox for `node`, starting the daemon if needed
@@ -94,9 +127,9 @@ impl DpclSystem {
         }
         let inbox: Arc<SimChannel<SuperMsg>> = Arc::new(SimChannel::new_fifo());
         let inbox2 = Arc::clone(&inbox);
-        let allowed = self.allowed_users.clone();
+        let system = Arc::clone(self);
         p.spawn_child(format!("dpcl-super@{node}"), node, move |dp| {
-            super_daemon_loop(dp, &inbox2, &allowed);
+            super_daemon_loop(dp, &inbox2, &system);
         });
         supers.insert(node, Arc::clone(&inbox));
         inbox
@@ -121,7 +154,7 @@ fn note_msg(channel: &'static str) {
     obs::counter(channel).inc();
 }
 
-fn super_daemon_loop(dp: &Proc, inbox: &SimChannel<SuperMsg>, allowed: &[String]) {
+fn super_daemon_loop(dp: &Proc, inbox: &SimChannel<SuperMsg>, system: &Arc<DpclSystem>) {
     let outage = dp
         .fault_plan()
         .and_then(|plan| plan.daemon_outage(dp.node()));
@@ -130,55 +163,79 @@ fn super_daemon_loop(dp: &Proc, inbox: &SimChannel<SuperMsg>, allowed: &[String]
     // first reply was lost, or slow) re-sends the original outcome instead
     // of authenticating again and spawning a second communication daemon.
     let mut done: BTreeMap<ReqId, UpMsg> = BTreeMap::new();
-    // Any non-Connect message (i.e. Shutdown) ends the daemon.
-    while let SuperMsg::Connect { req, user, reply } = inbox.recv(dp) {
-        {
-            if outage_check(dp, outage, &mut restarted, SimTime::ZERO) {
-                continue;
-            }
-            if obs::enabled() {
-                note_msg("dpcl.msgs.connect");
-            }
-            let machine = dp.machine().clone();
-            if let Some(prev) = done.get(&req) {
-                if obs::enabled() {
-                    obs::counter("dpcl.dedup_hits").inc();
+    loop {
+        match inbox.recv(dp) {
+            SuperMsg::Connect { req, user, reply } => {
+                if outage_check(dp, outage, &mut restarted, SimTime::ZERO) {
+                    continue;
                 }
+                if obs::enabled() {
+                    note_msg("dpcl.msgs.connect");
+                }
+                let machine = dp.machine().clone();
+                if let Some(prev) = done.get(&req) {
+                    if obs::enabled() {
+                        obs::counter("dpcl.dedup_hits").inc();
+                    }
+                    let delay = machine.daemon.base_delay + dp.jitter(machine.daemon.jitter);
+                    reply.send_ctl(dp, prev.clone(), delay);
+                    continue;
+                }
+                dp.advance(AUTH_COST);
                 let delay = machine.daemon.base_delay + dp.jitter(machine.daemon.jitter);
-                reply.send_ctl(dp, prev.clone(), delay);
-                continue;
-            }
-            dp.advance(AUTH_COST);
-            let delay = machine.daemon.base_delay + dp.jitter(machine.daemon.jitter);
-            if !allowed.iter().any(|u| u == &user) {
-                let msg = UpMsg::AuthFailed {
+                if !system.allowed_users.iter().any(|u| u == &user) {
+                    let msg = UpMsg::AuthFailed {
+                        req,
+                        message: format!("user {user:?} not authorized on node {}", dp.node()),
+                    };
+                    done.insert(req, msg.clone());
+                    reply.send_ctl(dp, msg, delay);
+                    continue;
+                }
+                // Spawn the per-user communication daemon.
+                dp.advance(SPAWN_DAEMON_COST);
+                let daemon_inbox: Arc<SimChannel<DownMsgEnvelope>> =
+                    Arc::new(SimChannel::new_fifo());
+                let di2 = Arc::clone(&daemon_inbox);
+                let reply2 = Arc::clone(&reply);
+                let user2 = user.clone();
+                let journal = system.journal_for(dp.node(), &user);
+                dp.spawn_child(
+                    format!("dpcl-comm@{}:{user}", dp.node()),
+                    dp.node(),
+                    move |cp| {
+                        comm_daemon_loop(cp, &di2, &reply2, &user2, &journal);
+                    },
+                );
+                let msg = UpMsg::Connected {
                     req,
-                    message: format!("user {user:?} not authorized on node {}", dp.node()),
+                    node: dp.node(),
+                    daemon: daemon_inbox,
                 };
                 done.insert(req, msg.clone());
                 reply.send_ctl(dp, msg, delay);
-                continue;
             }
-            // Spawn the per-user communication daemon.
-            dp.advance(SPAWN_DAEMON_COST);
-            let daemon_inbox: Arc<SimChannel<DownMsgEnvelope>> = Arc::new(SimChannel::new_fifo());
-            let di2 = Arc::clone(&daemon_inbox);
-            let reply2 = Arc::clone(&reply);
-            let user2 = user.clone();
-            dp.spawn_child(
-                format!("dpcl-comm@{}:{user}", dp.node()),
-                dp.node(),
-                move |cp| {
-                    comm_daemon_loop(cp, &di2, &reply2, &user2);
-                },
-            );
-            let msg = UpMsg::Connected {
-                req,
-                node: dp.node(),
-                daemon: daemon_inbox,
-            };
-            done.insert(req, msg.clone());
-            reply.send_ctl(dp, msg, delay);
+            SuperMsg::Ping { seq, reply } => {
+                // A super daemon inside its crash window never answers —
+                // the failure detector interprets the silence.
+                if outage_check(dp, outage, &mut restarted, SimTime::ZERO) {
+                    continue;
+                }
+                if obs::enabled() {
+                    note_msg("dpcl.msgs.ping");
+                }
+                let machine = dp.machine().clone();
+                let delay = machine.daemon.base_delay + dp.jitter(machine.daemon.jitter);
+                reply.send_ctl(
+                    dp,
+                    UpMsg::Pong {
+                        node: dp.node(),
+                        seq,
+                    },
+                    delay,
+                );
+            }
+            SuperMsg::Shutdown => break,
         }
     }
 }
@@ -188,6 +245,7 @@ fn comm_daemon_loop(
     inbox: &SimChannel<DownMsgEnvelope>,
     reply: &SimChannel<UpMsg>,
     _user: &str,
+    journal: &ProbeJournal,
 ) {
     let machine = cp.machine().clone();
     let outage = cp
@@ -226,6 +284,18 @@ fn comm_daemon_loop(
     };
     loop {
         let msg = inbox.recv(cp).0;
+        // Job teardown reaps the daemon process whether or not it is
+        // inside a crash window — a crashed daemon just can't acknowledge.
+        // Without this, a Shutdown swallowed by the outage would leave the
+        // loop blocked forever and deadlock the simulation.
+        if matches!(msg, DownMsg::Shutdown { .. }) {
+            if let Some((start, end)) = outage {
+                if cp.now() >= start && cp.now() < end {
+                    break;
+                }
+            }
+        }
+        let was_restarted = restarted;
         if outage_check(
             cp,
             outage,
@@ -233,6 +303,19 @@ fn comm_daemon_loop(
             SimTime::from_nanos(RESTART_REPLAY_COST.as_nanos() * targets.len() as u64),
         ) {
             continue;
+        }
+        if restarted && !was_restarted {
+            // Back from the crash window: replay the probe journal to
+            // re-synchronize with the last committed epoch before serving
+            // the first post-restart request.
+            let records = journal.replay();
+            cp.advance(SimTime::from_nanos(
+                JOURNAL_REPLAY_COST.as_nanos() * records as u64,
+            ));
+            if obs::enabled() {
+                obs::counter("dpcl.journal.replays").inc();
+                obs::counter("dpcl.journal.replayed_records").add(records as u64);
+            }
         }
         if let Some(req) = msg.req_id() {
             if let Some(prev) = done.get(&req) {
@@ -251,6 +334,10 @@ fn comm_daemon_loop(
                 DownMsg::RemoveFunction { .. } => "dpcl.msgs.remove_function",
                 DownMsg::Suspend { .. } => "dpcl.msgs.suspend",
                 DownMsg::Resume { .. } => "dpcl.msgs.resume",
+                DownMsg::TxnStage { .. } => "dpcl.msgs.txn_stage",
+                DownMsg::TxnPrepare { .. } => "dpcl.msgs.txn_prepare",
+                DownMsg::TxnCommit { .. } => "dpcl.msgs.txn_commit",
+                DownMsg::TxnAbort { .. } => "dpcl.msgs.txn_abort",
                 DownMsg::Shutdown { .. } => "dpcl.msgs.shutdown",
             });
         }
@@ -328,6 +415,102 @@ fn comm_daemon_loop(
                 }
                 None => (req, missing(target)),
             },
+            DownMsg::TxnStage { req, txn, ops } => {
+                // Journal only — the image is untouched until COMMIT, so a
+                // quiesce point can never observe a staged-but-undecided op.
+                cp.advance(JOURNAL_WRITE_COST);
+                let n = journal.stage(cp.now(), txn, ops);
+                (req, AckResult::Ok { detail: n as u64 })
+            }
+            DownMsg::TxnPrepare { req, txn, epoch } => {
+                cp.advance(JOURNAL_WRITE_COST);
+                let vote = match journal.staged_ops(txn) {
+                    None => Some(format!(
+                        "vote abort: nothing staged for {txn:?} on node {}",
+                        cp.node()
+                    )),
+                    Some(ops) => ops
+                        .iter()
+                        .find(|op| !targets.contains_key(&op.target))
+                        .map(|op| format!("vote abort: no attached target {:?}", op.target)),
+                };
+                match vote {
+                    None => {
+                        journal.prepare(cp.now(), txn, epoch);
+                        (req, AckResult::Ok { detail: epoch })
+                    }
+                    Some(message) => (req, AckResult::Error { message }),
+                }
+            }
+            DownMsg::TxnCommit {
+                req,
+                txn,
+                epoch,
+                hb_lib,
+            } => {
+                cp.advance(JOURNAL_WRITE_COST);
+                match journal.commit(cp.now(), txn, epoch) {
+                    Some(ops) => {
+                        let mut applied: u64 = 0;
+                        let mut first_err: Option<String> = None;
+                        for op in ops {
+                            match targets.get(&op.target) {
+                                Some((img, _name)) => {
+                                    cp.advance(machine.daemon.patch_cost);
+                                    note_unsafe(cp, img, "txn_commit");
+                                    match img.try_insert(op.point, op.snippet) {
+                                        Ok(_) => applied += 1,
+                                        Err(e) => {
+                                            first_err.get_or_insert_with(|| e.to_string());
+                                        }
+                                    }
+                                }
+                                None => {
+                                    first_err.get_or_insert_with(|| {
+                                        format!("no attached target {:?}", op.target)
+                                    });
+                                }
+                            }
+                        }
+                        if hb::on(cp) {
+                            hb::epoch_apply(cp, hb_lib, epoch);
+                        }
+                        match first_err {
+                            // PREPARE validated every op, so a commit-time
+                            // failure means the world changed between the
+                            // vote and the decision — surface it loudly.
+                            Some(message) => (
+                                req,
+                                AckResult::Error {
+                                    message: format!(
+                                        "commit of epoch {epoch} applied {applied} ops then failed: {message}"
+                                    ),
+                                },
+                            ),
+                            None => (req, AckResult::Ok { detail: applied }),
+                        }
+                    }
+                    None => (
+                        req,
+                        AckResult::Error {
+                            message: format!(
+                                "commit for unknown {txn:?} on node {} (nothing staged)",
+                                cp.node()
+                            ),
+                        },
+                    ),
+                }
+            }
+            DownMsg::TxnAbort { req, txn, epoch } => {
+                cp.advance(JOURNAL_WRITE_COST);
+                let discarded = journal.abort(cp.now(), txn, epoch);
+                (
+                    req,
+                    AckResult::Ok {
+                        detail: discarded as u64,
+                    },
+                )
+            }
             DownMsg::Shutdown { req } => {
                 ack(cp, req, AckResult::Ok { detail: 0 });
                 break;

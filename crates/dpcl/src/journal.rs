@@ -1,0 +1,245 @@
+//! Per-daemon probe journals.
+//!
+//! A communication daemon participating in an instrumentation transaction
+//! must not forget its staged probes when it crashes: the coordinator's
+//! COMMIT may arrive *after* the daemon's crash window closes, and the
+//! commit must still apply everything that was staged — otherwise the job
+//! ends up partially instrumented, which is the one state the 2PC control
+//! plane exists to rule out.
+//!
+//! The journal is the daemon's durable store (modelled as surviving the
+//! crash, like a write-ahead log on local disk): every stage, vote,
+//! commit, and abort is appended, and a daemon returning from an outage
+//! window *replays* the journal — paying a per-record replay cost — to
+//! re-synchronize with the last committed epoch before serving the first
+//! post-restart request.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+use dynprof_sim::SimTime;
+
+use crate::messages::{StagedOp, TxnId};
+
+/// Lifecycle phase of one transaction, as this daemon saw it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxnPhase {
+    /// Ops staged; no vote requested yet.
+    Staged,
+    /// Voted commit at PREPARE; awaiting the coordinator's decision.
+    Prepared,
+    /// COMMIT applied; the staged ops are live in the image.
+    Committed,
+    /// ABORT processed; the staged ops were discarded.
+    Aborted,
+}
+
+/// One journal record (public projection — op payloads stay internal).
+#[derive(Clone, Debug)]
+pub struct JournalEntry {
+    /// Daemon-local virtual time of the append.
+    pub at: SimTime,
+    /// The transaction the record belongs to.
+    pub txn: TxnId,
+    /// Phase recorded.
+    pub phase: TxnPhase,
+    /// Phase-specific detail: staged-op count for `Staged`, the epoch
+    /// number for the other phases.
+    pub detail: u64,
+}
+
+#[derive(Default)]
+struct JournalInner {
+    records: Vec<JournalEntry>,
+    /// Staged op payloads per open transaction (removed on commit/abort).
+    staged: BTreeMap<TxnId, Vec<StagedOp>>,
+    /// Latest phase per transaction.
+    phase: BTreeMap<TxnId, TxnPhase>,
+    /// Epochs committed through this daemon, in commit order.
+    committed: Vec<u64>,
+    /// Journal replays performed after crash-window restarts.
+    replays: u64,
+}
+
+/// The durable journal of one `(node, user)` communication daemon.
+pub struct ProbeJournal {
+    node: usize,
+    inner: Mutex<JournalInner>,
+}
+
+impl ProbeJournal {
+    pub(crate) fn new(node: usize) -> ProbeJournal {
+        ProbeJournal {
+            node,
+            inner: Mutex::new(JournalInner::default()),
+        }
+    }
+
+    /// The node this journal's daemon runs on.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    fn append(&self, g: &mut JournalInner, at: SimTime, txn: TxnId, phase: TxnPhase, detail: u64) {
+        g.records.push(JournalEntry {
+            at,
+            txn,
+            phase,
+            detail,
+        });
+        g.phase.insert(txn, phase);
+    }
+
+    /// Journal a staged batch. Re-staging the same transaction replaces
+    /// the previous batch (idempotent client resends).
+    pub(crate) fn stage(&self, at: SimTime, txn: TxnId, ops: Vec<StagedOp>) -> usize {
+        let mut g = self.inner.lock();
+        let n = ops.len();
+        g.staged.insert(txn, ops);
+        self.append(&mut g, at, txn, TxnPhase::Staged, n as u64);
+        n
+    }
+
+    /// The staged op payloads of `txn`, if any (PREPARE validation).
+    pub(crate) fn staged_ops(&self, txn: TxnId) -> Option<Vec<StagedOp>> {
+        self.inner.lock().staged.get(&txn).cloned()
+    }
+
+    /// Journal a commit vote. Returns `false` (vote abort) when the
+    /// transaction has no staged ops here — e.g. the stage message was
+    /// lost and never retried successfully.
+    pub(crate) fn prepare(&self, at: SimTime, txn: TxnId, epoch: u64) -> bool {
+        let mut g = self.inner.lock();
+        if !g.staged.contains_key(&txn) {
+            return false;
+        }
+        self.append(&mut g, at, txn, TxnPhase::Prepared, epoch);
+        true
+    }
+
+    /// Journal the commit and hand the staged ops to the daemon for
+    /// application. `None` if the transaction has nothing staged (or was
+    /// already finished — the daemon's dedup table normally catches that
+    /// first).
+    pub(crate) fn commit(&self, at: SimTime, txn: TxnId, epoch: u64) -> Option<Vec<StagedOp>> {
+        let mut g = self.inner.lock();
+        let ops = g.staged.remove(&txn)?;
+        self.append(&mut g, at, txn, TxnPhase::Committed, epoch);
+        g.committed.push(epoch);
+        Some(ops)
+    }
+
+    /// Journal the rollback and discard the staged ops. Returns the
+    /// number of ops discarded (0 when nothing was staged — aborting an
+    /// unknown transaction is a no-op, so abort is always safe to send).
+    pub(crate) fn abort(&self, at: SimTime, txn: TxnId, epoch: u64) -> usize {
+        let mut g = self.inner.lock();
+        let n = g.staged.remove(&txn).map(|v| v.len()).unwrap_or(0);
+        self.append(&mut g, at, txn, TxnPhase::Aborted, epoch);
+        n
+    }
+
+    /// Replay after a crash-window restart: re-synchronize with the last
+    /// committed epoch. Returns the number of records replayed (the
+    /// caller charges the per-record replay cost).
+    pub(crate) fn replay(&self) -> usize {
+        let mut g = self.inner.lock();
+        g.replays += 1;
+        g.records.len()
+    }
+
+    /// All records, in append order.
+    pub fn entries(&self) -> Vec<JournalEntry> {
+        self.inner.lock().records.clone()
+    }
+
+    /// The latest phase this daemon recorded for `txn`.
+    pub fn phase(&self, txn: TxnId) -> Option<TxnPhase> {
+        self.inner.lock().phase.get(&txn).copied()
+    }
+
+    /// Epochs committed through this daemon, in commit order.
+    pub fn committed_epochs(&self) -> Vec<u64> {
+        self.inner.lock().committed.clone()
+    }
+
+    /// The last committed epoch, if any commit ever landed here.
+    pub fn last_committed_epoch(&self) -> Option<u64> {
+        self.inner.lock().committed.last().copied()
+    }
+
+    /// Transactions staged or prepared but neither committed nor aborted.
+    /// Their ops are inert — they can never reach an image without a
+    /// COMMIT — but a lingering entry usually means a coordinator died
+    /// mid-protocol.
+    pub fn open_txns(&self) -> Vec<TxnId> {
+        let g = self.inner.lock();
+        g.staged.keys().copied().collect()
+    }
+
+    /// How many crash-window replays this journal served.
+    pub fn replay_count(&self) -> u64 {
+        self.inner.lock().replays
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynprof_image::{ProbePoint, Snippet};
+
+    fn op() -> StagedOp {
+        StagedOp {
+            target: crate::TargetId(1),
+            point: ProbePoint::entry(dynprof_image::FuncId(0)),
+            snippet: Snippet::noop("n"),
+        }
+    }
+
+    #[test]
+    fn lifecycle_is_journaled_in_order() {
+        let j = ProbeJournal::new(2);
+        let t = TxnId(1);
+        assert_eq!(j.stage(SimTime::from_millis(1), t, vec![op(), op()]), 2);
+        assert!(j.prepare(SimTime::from_millis(2), t, 7));
+        let ops = j.commit(SimTime::from_millis(3), t, 7).expect("staged");
+        assert_eq!(ops.len(), 2);
+        assert_eq!(j.last_committed_epoch(), Some(7));
+        assert_eq!(j.phase(t), Some(TxnPhase::Committed));
+        let phases: Vec<TxnPhase> = j.entries().iter().map(|e| e.phase).collect();
+        assert_eq!(
+            phases,
+            vec![TxnPhase::Staged, TxnPhase::Prepared, TxnPhase::Committed]
+        );
+        assert!(j.open_txns().is_empty());
+    }
+
+    #[test]
+    fn prepare_without_stage_votes_abort() {
+        let j = ProbeJournal::new(0);
+        assert!(!j.prepare(SimTime::ZERO, TxnId(9), 1));
+        assert!(j.commit(SimTime::ZERO, TxnId(9), 1).is_none());
+    }
+
+    #[test]
+    fn abort_discards_staged_ops_and_tolerates_unknown_txns() {
+        let j = ProbeJournal::new(0);
+        let t = TxnId(3);
+        j.stage(SimTime::ZERO, t, vec![op()]);
+        assert_eq!(j.abort(SimTime::from_millis(1), t, 4), 1);
+        assert!(j.commit(SimTime::from_millis(2), t, 4).is_none());
+        assert_eq!(j.abort(SimTime::from_millis(3), TxnId(99), 4), 0);
+        assert_eq!(j.phase(t), Some(TxnPhase::Aborted));
+    }
+
+    #[test]
+    fn replay_counts_records() {
+        let j = ProbeJournal::new(1);
+        j.stage(SimTime::ZERO, TxnId(1), vec![op()]);
+        assert_eq!(j.replay(), 1);
+        j.stage(SimTime::ZERO, TxnId(2), vec![op()]);
+        assert_eq!(j.replay(), 2);
+        assert_eq!(j.replay_count(), 2);
+    }
+}

@@ -33,19 +33,38 @@
 //! assert!(image.occupied(ProbePoint::entry(f)));
 //! ```
 
+//!
+//! ## Transactional epochs
+//!
+//! Multi-node instrumentation changes can run as a two-phase-commit
+//! transaction ([`InstrumentationTxn`]): stage on every daemon's durable
+//! [`ProbeJournal`], collect PREPARE votes under a deadline, then commit
+//! unanimously or roll back — so no quiesce point ever observes a
+//! partially-instrumented job even under daemon crashes. A
+//! [`HeartbeatMonitor`] classifies nodes `Alive → Suspect → Dead` from
+//! missed super-daemon pings, and the [`DegradedPolicy`] knob chooses
+//! between aborting and excluding failed nodes.
+
 #![warn(missing_docs)]
 
 mod client;
 mod daemon;
+mod heartbeat;
+mod journal;
 mod messages;
+mod txn;
 
 pub use client::{
     BackoffSchedule, CallbackSender, DpclClient, ProcessHandle, RetryPolicy, CLIENT_SEND_COST,
 };
 pub use daemon::{
-    DpclSystem, AUTH_COST, DAEMON_RESTART_COST, RESTART_REPLAY_COST, SPAWN_DAEMON_COST,
+    DpclSystem, AUTH_COST, DAEMON_RESTART_COST, JOURNAL_REPLAY_COST, JOURNAL_WRITE_COST,
+    RESTART_REPLAY_COST, SPAWN_DAEMON_COST,
 };
-pub use messages::{AckResult, DownMsgEnvelope, ReqId, TargetId, UpMsg};
+pub use heartbeat::{HeartbeatConfig, HeartbeatMonitor, NodeHealth};
+pub use journal::{JournalEntry, ProbeJournal, TxnPhase};
+pub use messages::{AckResult, DownMsgEnvelope, ReqId, TargetId, TxnId, UpMsg};
+pub use txn::{DegradedPolicy, InstrumentationTxn, TxnOptions, TxnOutcome, TxnReport, Vote};
 
 #[cfg(test)]
 mod tests {
@@ -145,12 +164,8 @@ mod tests {
                 .iter()
                 .map(|h| client.install_probe(p, h, ProbePoint::entry(f), Snippet::noop("n")))
                 .collect();
-            for r in reqs {
-                match client.wait_ack(p, r) {
-                    AckResult::Ok { .. } => {}
-                    AckResult::Error { message } => panic!("{message}"),
-                    AckResult::TimedOut { attempts } => panic!("timed out after {attempts}"),
-                }
+            for (req, r) in client.wait_all(p, &reqs) {
+                assert!(r.is_ok(), "{req:?}: {r:?}");
             }
             client.shutdown(p);
         });
@@ -223,11 +238,7 @@ mod tests {
             let client = DpclClient::new(system, "u");
             let h = client.attach(p, 1, Arc::clone(&img2), "t").unwrap();
             let req = client.remove_function(p, &h, f);
-            match client.wait_ack(p, req) {
-                AckResult::Ok { detail } => assert_eq!(detail, 2),
-                AckResult::Error { message } => panic!("{message}"),
-                AckResult::TimedOut { attempts } => panic!("timed out after {attempts}"),
-            }
+            assert_eq!(client.wait_ack(p, req), AckResult::Ok { detail: 2 });
             client.shutdown(p);
         });
         sim.run();
@@ -250,11 +261,11 @@ mod tests {
                 ..h.clone()
             };
             let req = client.install_probe(p, &bogus, ProbePoint::entry(f), Snippet::noop("n"));
-            match client.wait_ack(p, req) {
-                AckResult::Error { message } => assert!(message.contains("no attached target")),
-                AckResult::Ok { .. } => panic!("expected error"),
-                AckResult::TimedOut { attempts } => panic!("timed out after {attempts}"),
-            }
+            let r = client.wait_ack(p, req);
+            assert!(
+                matches!(&r, AckResult::Error { message } if message.contains("no attached target")),
+                "{r:?}"
+            );
             client.shutdown(p);
         });
         sim.run();
@@ -277,7 +288,7 @@ mod tests {
                 for h in &handles {
                     reqs.push(client.install_probe(p, h, ProbePoint::entry(f), Snippet::noop("n")));
                 }
-                assert_eq!(client.wait_all(p, &reqs), 0);
+                assert!(client.wait_all(p, &reqs).iter().all(|(_, r)| r.is_ok()));
                 client.shutdown(p);
             });
             sim.run()

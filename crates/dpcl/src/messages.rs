@@ -14,6 +14,20 @@ pub struct ReqId(pub u64);
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TargetId(pub u32);
 
+/// Transaction identifier: one per [`crate::InstrumentationTxn`] attempt.
+/// Daemons key their staged-probe sets and journal records by it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxnId(pub u64);
+
+/// One install operation staged by a transaction: apply `snippet` at
+/// `point` of `target` — but only when the COMMIT arrives.
+#[derive(Clone)]
+pub(crate) struct StagedOp {
+    pub(crate) target: TargetId,
+    pub(crate) point: ProbePoint,
+    pub(crate) snippet: Snippet,
+}
+
 /// Instrumenter → daemon messages.
 ///
 /// `Clone` so the client can keep an idempotent-resend buffer: a request
@@ -52,6 +66,27 @@ pub(crate) enum DownMsg {
     Suspend { req: ReqId, target: TargetId },
     /// Resume the target process.
     Resume { req: ReqId, target: TargetId },
+    /// Stage a batch of installs under a transaction (2PC phase 0). The
+    /// daemon journals the ops durably but does not touch the image.
+    TxnStage {
+        req: ReqId,
+        txn: TxnId,
+        ops: Vec<StagedOp>,
+    },
+    /// PREPARE (2PC phase 1): vote on whether the staged ops of `txn`
+    /// can be applied. `Ok` acks vote commit; `Error` acks vote abort.
+    TxnPrepare { req: ReqId, txn: TxnId, epoch: u64 },
+    /// COMMIT (2PC phase 2): apply every staged op of `txn` atomically
+    /// with respect to quiesce points, journal the commit, and record
+    /// the happens-before apply event under `hb_lib`.
+    TxnCommit {
+        req: ReqId,
+        txn: TxnId,
+        epoch: u64,
+        hb_lib: u64,
+    },
+    /// ABORT: discard the staged ops of `txn` and journal the rollback.
+    TxnAbort { req: ReqId, txn: TxnId, epoch: u64 },
     /// Tear the daemon down.
     Shutdown { req: ReqId },
 }
@@ -66,6 +101,10 @@ impl DownMsg {
             | DownMsg::RemoveFunction { req, .. }
             | DownMsg::Suspend { req, .. }
             | DownMsg::Resume { req, .. }
+            | DownMsg::TxnStage { req, .. }
+            | DownMsg::TxnPrepare { req, .. }
+            | DownMsg::TxnCommit { req, .. }
+            | DownMsg::TxnAbort { req, .. }
             | DownMsg::Shutdown { req } => Some(*req),
         }
     }
@@ -78,6 +117,14 @@ pub(crate) enum SuperMsg {
     Connect {
         req: ReqId,
         user: String,
+        reply: Arc<SimChannel<UpMsg>>,
+    },
+    /// Heartbeat probe from a failure detector: answer with
+    /// [`UpMsg::Pong`] carrying the same sequence number. A super daemon
+    /// inside a fault-plan crash window never sees the ping — that is
+    /// exactly the silence the detector is listening for.
+    Ping {
+        seq: u64,
         reply: Arc<SimChannel<UpMsg>>,
     },
     /// Tear the super daemon down.
@@ -158,6 +205,13 @@ pub enum UpMsg {
         tag: u64,
         /// User payload (e.g. the rank that reached the callback).
         payload: u64,
+    },
+    /// Heartbeat answer from a node's super daemon.
+    Pong {
+        /// The answering node.
+        node: usize,
+        /// Sequence number echoed from the [`SuperMsg::Ping`].
+        seq: u64,
     },
 }
 

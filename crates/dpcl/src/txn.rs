@@ -1,0 +1,517 @@
+//! Transactional instrumentation epochs: a two-phase-commit control plane.
+//!
+//! The paper's instrumentation protocol (§3.4) suspends every process,
+//! patches, and resumes — but under daemon crashes and lossy control
+//! links a naive multicast of install requests can leave the job
+//! *partially instrumented*: some ranks counting, some not, and every
+//! subsequent figure silently wrong. [`InstrumentationTxn`] rules that
+//! state out:
+//!
+//! 1. **Validate** — an optional caller-supplied validator (normally
+//!    `dynprof-check`'s static analyzer, injected as a closure to keep
+//!    the crate graph acyclic) inspects the probe plan; any
+//!    [`Severity::Error`] finding aborts client-side before a single
+//!    message is sent.
+//! 2. **Stage** — every participating daemon journals the batch durably
+//!    ([`crate::ProbeJournal`]); images are untouched, so a quiesce point
+//!    can never observe a staged-but-undecided op.
+//! 3. **Prepare** — each daemon votes under a shared absolute deadline on
+//!    the virtual clock. Silence is a vote: a daemon inside a fault-plan
+//!    crash window simply fails to answer.
+//! 4. **Commit / abort** — unanimous yes commits everywhere (the commit
+//!    send outlives any crash window via the client's retry budget);
+//!    anything else rolls back per the [`DegradedPolicy`].
+//!
+//! With no fault plan (or an inert one) the transaction takes a **fast
+//! path** that issues byte-identical plain installs — same messages, same
+//! RNG draws, same counters — so enabling transactions without faults
+//! cannot move a single golden byte.
+
+use std::collections::BTreeMap;
+
+use dynprof_obs as obs;
+
+use dynprof_image::{ProbePoint, Snippet};
+use dynprof_sim::hb::{self, Finding, Severity};
+use dynprof_sim::{Proc, SimTime};
+
+use crate::client::{DpclClient, ProcessHandle};
+use crate::heartbeat::{HeartbeatMonitor, NodeHealth};
+use crate::messages::{AckResult, ReqId, StagedOp, TxnId};
+
+/// What a coordinator does when a participant fails to vote yes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DegradedPolicy {
+    /// Roll the whole transaction back: the job stays uninstrumented
+    /// rather than partially observed. The conservative default.
+    AbortTxn,
+    /// Commit on the surviving nodes and exclude the failed ones; the
+    /// run is marked degraded so figure output can label it.
+    ExcludeNode,
+}
+
+impl DegradedPolicy {
+    /// Parse a CLI spelling (`abort-txn` / `exclude-node`).
+    pub fn parse(s: &str) -> Option<DegradedPolicy> {
+        match s {
+            "abort-txn" | "abort" => Some(DegradedPolicy::AbortTxn),
+            "exclude-node" | "exclude" => Some(DegradedPolicy::ExcludeNode),
+            _ => None,
+        }
+    }
+
+    /// The canonical CLI spelling.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DegradedPolicy::AbortTxn => "abort-txn",
+            DegradedPolicy::ExcludeNode => "exclude-node",
+        }
+    }
+}
+
+/// Coordinator tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct TxnOptions {
+    /// Reaction to a failed participant.
+    pub policy: DegradedPolicy,
+    /// PREPARE vote deadline, shared (absolute) across all participants.
+    /// Must exceed one daemon round trip; 500ms also spans the fault
+    /// profiles' 400ms daemon downtime, so a node that crashes *and
+    /// recovers* mid-vote can still answer.
+    pub vote_timeout: SimTime,
+}
+
+impl Default for TxnOptions {
+    fn default() -> TxnOptions {
+        TxnOptions {
+            policy: DegradedPolicy::AbortTxn,
+            vote_timeout: SimTime::from_millis(500),
+        }
+    }
+}
+
+/// One participant's PREPARE vote.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Vote {
+    /// Staged ops validated; ready to apply.
+    Yes,
+    /// Daemon refused (reason attached).
+    No(String),
+    /// No answer before the vote deadline.
+    Timeout,
+}
+
+/// How a transaction ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TxnOutcome {
+    /// Every participant applied the epoch.
+    Committed,
+    /// Committed on the surviving nodes only ([`DegradedPolicy::ExcludeNode`]).
+    CommittedDegraded {
+        /// Nodes rolled back and left uninstrumented.
+        excluded: Vec<usize>,
+    },
+    /// Rolled back everywhere; no image was touched.
+    Aborted {
+        /// Why the coordinator aborted.
+        reason: String,
+    },
+    /// The pre-flight validator found errors; nothing was sent.
+    ValidationFailed {
+        /// Rendered error findings.
+        errors: Vec<String>,
+    },
+}
+
+/// The coordinator's account of one transaction.
+#[derive(Debug)]
+pub struct TxnReport {
+    /// Transaction id (zero on the fast path and validation failures —
+    /// neither mints one).
+    pub txn: TxnId,
+    /// Epoch number carried by commit/abort messages.
+    pub epoch: u64,
+    /// Terminal state.
+    pub outcome: TxnOutcome,
+    /// PREPARE votes, one per participating node (2PC path only).
+    pub votes: Vec<(usize, Vote)>,
+    /// Nodes whose commit/abort ack never arrived even after the full
+    /// retry budget. The decision was *sent* (and resent); the journals
+    /// on those nodes decide what actually happened.
+    pub unconfirmed: Vec<usize>,
+    /// Validator findings (errors and warnings).
+    pub findings: Vec<Finding>,
+    /// Per-op apply failures (messages from daemons).
+    pub op_failures: Vec<String>,
+    /// Ops successfully applied across all nodes.
+    pub applied: u64,
+    /// Virtual time from `execute` entry to return.
+    pub latency: SimTime,
+    /// True when the full 2PC protocol ran (false: inert fast path).
+    pub two_phase: bool,
+}
+
+impl TxnReport {
+    /// Did instrumentation land (fully or degraded)?
+    pub fn is_committed(&self) -> bool {
+        matches!(
+            self.outcome,
+            TxnOutcome::Committed | TxnOutcome::CommittedDegraded { .. }
+        )
+    }
+
+    /// Nodes excluded by degraded-mode recovery (empty unless degraded).
+    pub fn excluded(&self) -> &[usize] {
+        match &self.outcome {
+            TxnOutcome::CommittedDegraded { excluded } => excluded,
+            _ => &[],
+        }
+    }
+}
+
+/// A transactional batch of probe installs across many nodes.
+///
+/// Build with [`InstrumentationTxn::stage_install`] (insertion order is
+/// preserved — the fast path replays it exactly), then run with
+/// [`InstrumentationTxn::execute`].
+pub struct InstrumentationTxn {
+    opts: TxnOptions,
+    /// `(node, op)` in staging order.
+    staged: Vec<(usize, StagedOp)>,
+}
+
+impl InstrumentationTxn {
+    /// An empty transaction with the given options.
+    pub fn new(opts: TxnOptions) -> InstrumentationTxn {
+        InstrumentationTxn {
+            opts,
+            staged: Vec::new(),
+        }
+    }
+
+    /// Queue an install of `snippet` at `point` of `h`. Nothing is sent
+    /// until [`InstrumentationTxn::execute`].
+    pub fn stage_install(&mut self, h: &ProcessHandle, point: ProbePoint, snippet: Snippet) {
+        self.staged.push((
+            h.node,
+            StagedOp {
+                target: h.target,
+                point,
+                snippet,
+            },
+        ));
+    }
+
+    /// Ops staged so far.
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Participating nodes, ascending and deduplicated.
+    pub fn nodes(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.staged.iter().map(|(n, _)| *n).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Run the transaction to completion on the coordinator process `p`.
+    ///
+    /// `validator` (normally `dynprof-check`'s analyzer, closed over the
+    /// caller's probe plan) gates the whole protocol; `monitor` lets the
+    /// coordinator act on heartbeat verdicts *before* wasting a vote
+    /// round on a node already declared dead.
+    pub fn execute(
+        self,
+        p: &Proc,
+        client: &DpclClient,
+        validator: Option<&dyn Fn() -> Vec<Finding>>,
+        monitor: Option<&HeartbeatMonitor>,
+    ) -> TxnReport {
+        let start = p.now();
+        let elapsed = |p: &Proc| p.now().saturating_sub(start);
+
+        // Phase 0: client-side pre-validation. Errors abort before any
+        // message leaves the coordinator.
+        let findings = validator.map(|v| v()).unwrap_or_default();
+        let errors: Vec<String> = findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .map(|f| f.to_string())
+            .collect();
+        if !errors.is_empty() {
+            if obs::enabled() {
+                obs::counter("dpcl.txn.validation_failures").inc();
+            }
+            return TxnReport {
+                txn: TxnId(0),
+                epoch: 0,
+                outcome: TxnOutcome::ValidationFailed { errors },
+                votes: Vec::new(),
+                unconfirmed: Vec::new(),
+                findings,
+                op_failures: Vec::new(),
+                applied: 0,
+                latency: elapsed(p),
+                two_phase: false,
+            };
+        }
+
+        // Fast path: with no fault plan (or an inert one) there is nothing
+        // 2PC can protect against, and the whole point is to change *zero*
+        // bytes of undisturbed runs. Issue the exact message sequence the
+        // untransacted client would: plain installs, then one wait.
+        let inert = p.fault_plan().is_none_or(|plan| plan.is_inert());
+        if inert {
+            let reqs: Vec<(usize, ReqId)> = self
+                .staged
+                .iter()
+                .map(|(node, op)| (*node, client.install_raw(p, *node, op.clone())))
+                .collect();
+            let mut applied = 0u64;
+            let mut op_failures = Vec::new();
+            for (node, req) in reqs {
+                match client.wait_ack(p, req) {
+                    AckResult::Ok { .. } => applied += 1,
+                    AckResult::Error { message } => op_failures.push(message),
+                    AckResult::TimedOut { attempts } => op_failures.push(format!(
+                        "install on node {node} unacknowledged after {attempts} attempts"
+                    )),
+                }
+            }
+            return TxnReport {
+                txn: TxnId(0),
+                epoch: 0,
+                outcome: TxnOutcome::Committed,
+                votes: Vec::new(),
+                unconfirmed: Vec::new(),
+                findings,
+                op_failures,
+                applied,
+                latency: elapsed(p),
+                two_phase: false,
+            };
+        }
+
+        // Full 2PC path.
+        let (txn, epoch) = client.next_txn_epoch();
+        let hb_lib = hb::unique_id();
+        if obs::enabled() {
+            obs::counter("dpcl.txn.started").inc();
+            obs::counter("dpcl.txn.staged_ops").add(self.staged.len() as u64);
+        }
+
+        let mut by_node: BTreeMap<usize, Vec<StagedOp>> = BTreeMap::new();
+        for (node, op) in self.staged {
+            by_node.entry(node).or_default().push(op);
+        }
+
+        let mut votes: Vec<(usize, Vote)> = Vec::new();
+        let mut unconfirmed: Vec<usize> = Vec::new();
+        let mut op_failures: Vec<String> = Vec::new();
+        let mut excluded: Vec<usize> = Vec::new();
+
+        // Heartbeat pre-check: don't waste a vote round on a node the
+        // failure detector already declared dead.
+        if let Some(m) = monitor {
+            for &node in by_node.keys() {
+                if m.health(node) == Some(NodeHealth::Dead) {
+                    match self.opts.policy {
+                        DegradedPolicy::AbortTxn => {
+                            if obs::enabled() {
+                                obs::counter("dpcl.txn.aborts").inc();
+                            }
+                            return TxnReport {
+                                txn,
+                                epoch,
+                                outcome: TxnOutcome::Aborted {
+                                    reason: format!("node {node} declared dead by heartbeat"),
+                                },
+                                votes,
+                                unconfirmed,
+                                findings,
+                                op_failures,
+                                applied: 0,
+                                latency: elapsed(p),
+                                two_phase: true,
+                            };
+                        }
+                        DegradedPolicy::ExcludeNode => excluded.push(node),
+                    }
+                }
+            }
+            for node in &excluded {
+                by_node.remove(node);
+            }
+        }
+
+        // Phase 1a: STAGE. Durable journal writes on every participant;
+        // the client's retry budget makes delivery effectively reliable
+        // (idempotent resends under the same ReqId).
+        let stage_reqs: Vec<(usize, ReqId)> = by_node
+            .iter()
+            .map(|(&node, ops)| (node, client.txn_stage(p, node, txn, ops.clone())))
+            .collect();
+        let mut stage_failed: Vec<(usize, String)> = Vec::new();
+        for (node, req) in stage_reqs {
+            match client.wait_ack(p, req) {
+                AckResult::Ok { .. } => {}
+                AckResult::Error { message } => stage_failed.push((node, message)),
+                AckResult::TimedOut { attempts } => stage_failed.push((
+                    node,
+                    format!("stage unacknowledged after {attempts} attempts"),
+                )),
+            }
+        }
+        for (node, reason) in &stage_failed {
+            votes.push((*node, Vote::No(format!("stage failed: {reason}"))));
+        }
+
+        // Phase 1b: PREPARE. One shared absolute deadline; no resends —
+        // silence is the vote.
+        let voters: Vec<usize> = by_node
+            .keys()
+            .copied()
+            .filter(|n| !stage_failed.iter().any(|(f, _)| f == n))
+            .collect();
+        let prepare_reqs: Vec<(usize, ReqId)> = voters
+            .iter()
+            .map(|&node| (node, client.txn_prepare(p, node, txn, epoch)))
+            .collect();
+        let deadline = p.now() + self.opts.vote_timeout;
+        for (node, req) in prepare_reqs {
+            let vote = match client.wait_ack_until(p, req, deadline) {
+                Some(AckResult::Ok { .. }) => Vote::Yes,
+                Some(AckResult::Error { message }) => Vote::No(message),
+                Some(AckResult::TimedOut { .. }) | None => {
+                    if obs::enabled() {
+                        obs::counter("dpcl.txn.vote_timeouts").inc();
+                    }
+                    Vote::Timeout
+                }
+            };
+            votes.push((node, vote));
+        }
+        votes.sort_by_key(|(n, _)| *n);
+
+        let yes_nodes: Vec<usize> = votes
+            .iter()
+            .filter(|(_, v)| *v == Vote::Yes)
+            .map(|(n, _)| *n)
+            .collect();
+        let failed_nodes: Vec<usize> = votes
+            .iter()
+            .filter(|(_, v)| *v != Vote::Yes)
+            .map(|(n, _)| *n)
+            .collect();
+        let unanimous = failed_nodes.is_empty() && excluded.is_empty();
+
+        // Decision. Commit requires unanimity (or ExcludeNode survivors);
+        // the hb record is made *before* the first commit send so the
+        // checker can prove decision-happens-before-every-apply.
+        let commit_to: Vec<usize>;
+        let abort_to: Vec<usize>;
+        let outcome: TxnOutcome;
+        if unanimous {
+            commit_to = yes_nodes;
+            abort_to = Vec::new();
+            outcome = TxnOutcome::Committed;
+        } else {
+            match self.opts.policy {
+                DegradedPolicy::AbortTxn => {
+                    let reason = votes
+                        .iter()
+                        .find(|(_, v)| *v != Vote::Yes)
+                        .map(|(n, v)| format!("node {n} voted {v:?}"))
+                        .unwrap_or_else(|| "excluded node".to_string());
+                    commit_to = Vec::new();
+                    // Roll back everyone we staged on — including yes
+                    // voters and silent nodes (their journals may hold
+                    // staged ops even though the ack was lost).
+                    abort_to = by_node.keys().copied().collect();
+                    outcome = TxnOutcome::Aborted { reason };
+                }
+                DegradedPolicy::ExcludeNode => {
+                    excluded.extend(failed_nodes.iter().copied());
+                    excluded.sort_unstable();
+                    excluded.dedup();
+                    if yes_nodes.is_empty() {
+                        commit_to = Vec::new();
+                        abort_to = by_node.keys().copied().collect();
+                        outcome = TxnOutcome::Aborted {
+                            reason: "no node voted yes".to_string(),
+                        };
+                    } else {
+                        commit_to = yes_nodes;
+                        abort_to = failed_nodes;
+                        outcome = TxnOutcome::CommittedDegraded {
+                            excluded: excluded.clone(),
+                        };
+                    }
+                }
+            }
+        }
+
+        let mut applied = 0u64;
+        if commit_to.is_empty() {
+            // Global abort: record it so any later apply of this epoch is
+            // a checker error, then roll back every staged participant.
+            hb::epoch_abort(p, hb_lib, epoch);
+        } else {
+            hb::epoch_decision(p, hb_lib, epoch);
+            let reqs: Vec<(usize, ReqId)> = commit_to
+                .iter()
+                .map(|&node| (node, client.txn_commit(p, node, txn, epoch, hb_lib)))
+                .collect();
+            for (node, req) in reqs {
+                match client.wait_ack(p, req) {
+                    AckResult::Ok { detail } => applied += detail,
+                    AckResult::Error { message } => op_failures.push(message),
+                    AckResult::TimedOut { .. } => unconfirmed.push(node),
+                }
+            }
+        }
+        if !abort_to.is_empty() {
+            let reqs: Vec<(usize, ReqId)> = abort_to
+                .iter()
+                .map(|&node| (node, client.txn_abort(p, node, txn, epoch)))
+                .collect();
+            // Full-budget waits: the rollback must clear the journals so
+            // no transaction is left open (the chaos suite asserts this),
+            // and the retry budget outlives every crash window.
+            for (node, req) in reqs {
+                match client.wait_ack(p, req) {
+                    AckResult::Ok { .. } | AckResult::Error { .. } => {}
+                    AckResult::TimedOut { .. } => unconfirmed.push(node),
+                }
+            }
+        }
+
+        if obs::enabled() {
+            match &outcome {
+                TxnOutcome::Committed => obs::counter("dpcl.txn.commits").inc(),
+                TxnOutcome::CommittedDegraded { excluded } => {
+                    obs::counter("dpcl.txn.commits").inc();
+                    obs::counter("dpcl.txn.degraded").inc();
+                    obs::counter("dpcl.txn.excluded_nodes").add(excluded.len() as u64);
+                }
+                TxnOutcome::Aborted { .. } => obs::counter("dpcl.txn.aborts").inc(),
+                TxnOutcome::ValidationFailed { .. } => {}
+            }
+            obs::histogram("dpcl.txn.latency_ns").record(elapsed(p).as_nanos());
+        }
+
+        TxnReport {
+            txn,
+            epoch,
+            outcome,
+            votes,
+            unconfirmed,
+            findings,
+            op_failures,
+            applied,
+            latency: elapsed(p),
+            two_phase: true,
+        }
+    }
+}

@@ -128,6 +128,16 @@ impl FaultProfile {
     fn links_enabled(&self) -> bool {
         self.drop_ppm > 0 || self.dup_ppm > 0 || self.delay_ppm > 0
     }
+
+    /// True if this profile can never inject anything: no link faults, no
+    /// slowdowns, no crash windows, no missed epochs. An inert profile is
+    /// the `none` profile in every observable respect.
+    pub fn is_inert(&self) -> bool {
+        !self.links_enabled()
+            && self.slow_node_ppm == 0
+            && self.crash_node_ppm == 0
+            && self.missed_epoch_ppm == 0
+    }
 }
 
 /// A parsed `--faults` argument: fault seed plus profile.
@@ -264,6 +274,16 @@ impl FaultPlan {
         self.spec.profile.links_enabled()
     }
 
+    /// True if this plan can never disturb the run (its profile is the
+    /// `none` profile in every observable respect). Consumers that add
+    /// machinery *in response to* faults — the transactional 2PC control
+    /// plane in `dynprof-dpcl` is the main one — use this to take the
+    /// undisturbed fast path, preserving the byte-identity guarantee of
+    /// zero-fault runs.
+    pub fn is_inert(&self) -> bool {
+        self.spec.profile.is_inert()
+    }
+
     /// Decide the fate of one control-plane message. Draws a fixed number
     /// of randoms per call so outcomes of earlier messages never shift
     /// the stream alignment of later ones.
@@ -353,6 +373,25 @@ mod tests {
         for name in FaultProfile::all_names() {
             assert!(FaultProfile::named(name).is_some(), "{name}");
         }
+    }
+
+    #[test]
+    fn inertness_matches_the_none_profile_exactly() {
+        assert!(FaultProfile::none().is_inert());
+        for name in FaultProfile::all_names() {
+            let p = FaultProfile::named(name).unwrap();
+            assert_eq!(p.is_inert(), *name == "none", "{name}");
+        }
+        let plan = FaultPlan::new(
+            &FaultSpec::parse("3:none").unwrap(),
+            &Machine::test_machine(),
+        );
+        assert!(plan.is_inert());
+        let plan = FaultPlan::new(
+            &FaultSpec::parse("3:crash").unwrap(),
+            &Machine::test_machine(),
+        );
+        assert!(!plan.is_inert());
     }
 
     #[test]

@@ -232,6 +232,10 @@ struct HbInner {
     epoch_decisions: BTreeMap<(u64, u64), (Pid, VClock)>,
     /// Confsync epoch applications: (lib id, round, applier, clock).
     epoch_applies: Vec<(u64, u64, Pid, VClock)>,
+    /// Aborted (rolled-back) epochs: (lib id, round) → aborting pid. An
+    /// instrumentation transaction that fails its vote records its epoch
+    /// here; any apply of such an epoch is a partial-state bug.
+    epoch_aborts: BTreeMap<(u64, u64), Pid>,
     /// Patches performed on a non-suspended image: (pid, description).
     unsafe_patches: Vec<(Pid, String)>,
 }
@@ -447,6 +451,21 @@ pub fn epoch_apply(p: &Proc, lib: u64, round: u64) {
     g.epoch_applies.push((lib, round, p.pid(), clock));
 }
 
+/// Record that epoch `round` of `lib` was aborted (rolled back) rather
+/// than committed. The epoch-safety detector reports any application of
+/// an aborted epoch as an error: an abort means every staged change was
+/// discarded, so an apply anywhere is exactly the partially-instrumented
+/// state the 2PC control plane exists to prevent.
+pub fn epoch_abort(p: &Proc, lib: u64, round: u64) {
+    if !on(p) {
+        return;
+    }
+    let mut g = p.hb_state().inner.lock();
+    g.tick(p.pid());
+    let pid = p.pid();
+    g.epoch_aborts.insert((lib, round), pid);
+}
+
 /// Record a probe install/remove performed while the target image was
 /// not suspended.
 pub fn unsafe_patch(p: &Proc, detail: &str) {
@@ -558,8 +577,22 @@ impl CheckHandle {
         }
 
         // Epoch safety (paper §5): every application of a config delta
-        // must be ordered after the epoch's decision.
+        // must be ordered after the epoch's decision, and an aborted
+        // epoch must never be applied at all.
         for (lib, round, pid, clock) in &g.epoch_applies {
+            if let Some(aborter) = g.epoch_aborts.get(&(*lib, *round)) {
+                errors.push(Finding {
+                    severity: Severity::Error,
+                    detector: "epoch-safety",
+                    message: format!(
+                        "epoch {round}: {} applied changes of an epoch that {} \
+                         aborted — partially-instrumented state",
+                        g.name(*pid),
+                        g.name(*aborter)
+                    ),
+                });
+                continue;
+            }
             match g.epoch_decisions.get(&(*lib, *round)) {
                 None => errors.push(Finding {
                     severity: Severity::Error,
@@ -748,6 +781,30 @@ mod tests {
         let errs = report.errors();
         assert_eq!(errs.len(), 1);
         assert_eq!(errs[0].detector, "epoch-safety");
+    }
+
+    #[test]
+    fn applying_an_aborted_epoch_is_an_error() {
+        let (sim, h) = checked_sim(1);
+        let ch: Arc<SimChannel<u8>> = Arc::new(SimChannel::new());
+        let tx = Arc::clone(&ch);
+        sim.spawn("coordinator", 0, move |p| {
+            epoch_decision(p, 5, 2);
+            epoch_abort(p, 5, 2);
+            tx.send(p, 0, SimTime::from_micros(1));
+        });
+        let rx = Arc::clone(&ch);
+        sim.spawn("daemon", 1, move |p| {
+            rx.recv(p);
+            // Applies despite the abort — ordered, but still a bug.
+            epoch_apply(p, 5, 2);
+        });
+        sim.run();
+        let report = h.report();
+        let errs = report.errors();
+        assert_eq!(errs.len(), 1, "{}", report.render());
+        assert_eq!(errs[0].detector, "epoch-safety");
+        assert!(errs[0].message.contains("aborted"));
     }
 
     #[test]

@@ -111,6 +111,11 @@ pub struct ConfsyncOutcome {
     /// True when this rank missed the epoch's delta (fault injection) and
     /// deferred it to the next safe point instead of applying it here.
     pub partial: bool,
+    /// True when the library carries degraded-mode instrumentation epochs
+    /// (a transactional commit excluded nodes — see
+    /// [`crate::VtLib::note_degraded`]). Pure bookkeeping: safe points
+    /// report reduced coverage without any timing change.
+    pub degraded: bool,
 }
 
 /// Execute one `VT_confsync` safe point on the calling rank.
@@ -242,6 +247,7 @@ pub fn confsync(
         changed,
         functions_changed,
         partial: missed,
+        degraded: vt.is_degraded(),
     }
 }
 

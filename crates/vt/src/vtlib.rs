@@ -99,6 +99,10 @@ pub struct VtLib {
     /// `(rank, epoch)` markers for safe points a rank passed without
     /// applying that epoch's delta (it caught up later).
     partials: Mutex<Vec<(usize, u32)>>,
+    /// Degraded-mode instrumentation epochs: `(txn epoch, excluded nodes)`
+    /// recorded by the 2PC control plane when it committed without the
+    /// full node set. Figure output labels runs with a non-empty list.
+    degraded: Mutex<Vec<(u64, Vec<usize>)>>,
     /// Identity of this library in happens-before reports (`check`).
     pub(crate) check_id: u64,
 }
@@ -133,6 +137,7 @@ impl VtLib {
                 .collect(),
             epoch: AtomicU32::new(0),
             partials: Mutex::new(Vec::new()),
+            degraded: Mutex::new(Vec::new()),
             check_id: dynprof_sim::hb::unique_id(),
         })
     }
@@ -194,6 +199,25 @@ impl VtLib {
     /// fault-free runs.
     pub fn partial_epochs(&self) -> Vec<(usize, u32)> {
         self.partials.lock().clone()
+    }
+
+    /// Record that instrumentation txn `epoch` committed degraded,
+    /// excluding `nodes` (the 2PC coordinator calls this so the trace
+    /// carries the reduced coverage alongside the measurements).
+    pub fn note_degraded(&self, epoch: u64, nodes: &[usize]) {
+        self.degraded.lock().push((epoch, nodes.to_vec()));
+    }
+
+    /// Degraded-mode instrumentation epochs recorded by
+    /// [`VtLib::note_degraded`]: `(txn epoch, excluded nodes)`.
+    pub fn degraded_epochs(&self) -> Vec<(u64, Vec<usize>)> {
+        self.degraded.lock().clone()
+    }
+
+    /// True if any instrumentation epoch committed degraded — figure
+    /// harnesses use this to label output rows.
+    pub fn is_degraded(&self) -> bool {
+        !self.degraded.lock().is_empty()
     }
 
     /// `VT_init` on `rank`: reads the configuration file and sets up the

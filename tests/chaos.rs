@@ -14,7 +14,10 @@
 
 use std::sync::{Arc, Mutex, RwLock};
 
-use dynprof::dpcl::{AckResult, DpclClient, DpclSystem};
+use dynprof::dpcl::{
+    AckResult, DegradedPolicy, DpclClient, DpclSystem, HeartbeatConfig, HeartbeatMonitor,
+    InstrumentationTxn, NodeHealth, TxnOptions, TxnOutcome,
+};
 use dynprof::image::{FunctionInfo, ImageBuilder, ProbePoint, Snippet};
 use dynprof::mpi::{launch, JobSpec};
 use dynprof::obs;
@@ -295,5 +298,412 @@ fn no_faults_is_identity() {
         snap_base.to_json().pretty(),
         snap_none.to_json().pretty(),
         "rendered metrics JSON must be byte-identical"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Transactional instrumentation epochs (2PC) under chaos
+// ---------------------------------------------------------------------------
+
+/// Run one transactional workout over a (seed, profile, policy) cell and
+/// assert the headline invariant of the txn tentpole: after the run every
+/// quiesce point observes fully-committed or fully-rolled-back epochs —
+/// no daemon journal ends with an open transaction, a node's image holds
+/// the probe pair iff its journal committed the transaction's epoch, and
+/// entry/exit land atomically.
+fn txn_cell(seed: u64, profile: &str, policy: DegradedPolicy) {
+    let ctx = format!("txn cell (seed {seed}, {profile}, {})", policy.label());
+    let sim = Sim::virtual_time(Machine::test_machine(), seed);
+    sim.enable_check();
+    let check = sim.check_handle();
+    assert!(sim.set_fault_plan(plan_for(&sim, seed, profile)));
+    let system = DpclSystem::new(["u"]);
+    let images: Vec<_> = (0..3)
+        .map(|_| {
+            let mut b = ImageBuilder::new("t");
+            b.add(FunctionInfo::new("hot"));
+            Arc::new(b.build())
+        })
+        .collect();
+    let f = images[0].func("hot").unwrap();
+
+    let report_slot = Arc::new(Mutex::new(None));
+    let attached_slot = Arc::new(Mutex::new(Vec::new()));
+    let (sys2, imgs) = (Arc::clone(&system), images.clone());
+    let (rep2, att2) = (Arc::clone(&report_slot), Arc::clone(&attached_slot));
+    sim.spawn("instrumenter", 0, move |p| {
+        let client = DpclClient::new(sys2, "u");
+        let mut handles = Vec::new();
+        for (i, img) in imgs.iter().enumerate() {
+            match client.attach(p, 1 + i, Arc::clone(img), format!("t:{i}")) {
+                Ok(h) => handles.push((1 + i, h)),
+                // A typed attach failure excludes the node from the txn.
+                Err(msg) => assert!(!msg.is_empty()),
+            }
+        }
+        let mut txn = InstrumentationTxn::new(TxnOptions {
+            policy,
+            ..TxnOptions::default()
+        });
+        for (_, h) in &handles {
+            txn.stage_install(h, ProbePoint::entry(f), Snippet::noop("b"));
+            txn.stage_install(h, ProbePoint::exit(f), Snippet::noop("e"));
+        }
+        *att2.lock().unwrap() = handles.iter().map(|&(n, _)| n).collect::<Vec<_>>();
+        let report = txn.execute(p, &client, None, None);
+        client.shutdown(p);
+        *rep2.lock().unwrap() = Some(report);
+    });
+    sim.run();
+    assert_no_hb_errors(&check, &ctx);
+    let report = report_slot.lock().unwrap().take().expect("txn executed");
+    let attached: Vec<usize> = attached_slot.lock().unwrap().clone();
+
+    // Only the inert profile may take the untransacted fast path.
+    assert_eq!(report.two_phase, profile != "none", "{ctx}");
+
+    // Invariant 1: no journal ends with an open (staged/prepared but
+    // undecided) transaction — the retry budget outlasts every standard
+    // crash window, so decisions always land.
+    for j in system.journals() {
+        assert!(
+            j.open_txns().is_empty(),
+            "node {} journal left txn open in {ctx}: {:?}",
+            j.node(),
+            j.entries()
+        );
+    }
+
+    // Invariant 2: the set of nodes whose journal committed the epoch is
+    // exactly what the coordinator's outcome says it should be.
+    let committed: Vec<usize> = attached
+        .iter()
+        .copied()
+        .filter(|&n| {
+            system
+                .journal(n, "u")
+                .is_some_and(|j| j.committed_epochs().contains(&report.epoch))
+        })
+        .collect();
+    let expect: Vec<usize> = match &report.outcome {
+        TxnOutcome::Committed if report.two_phase => attached.clone(),
+        // Fast path: installs bypass the journal entirely.
+        TxnOutcome::Committed => Vec::new(),
+        TxnOutcome::CommittedDegraded { excluded } => attached
+            .iter()
+            .copied()
+            .filter(|n| !excluded.contains(n))
+            .collect(),
+        TxnOutcome::Aborted { .. } | TxnOutcome::ValidationFailed { .. } => Vec::new(),
+    };
+    assert_eq!(committed, expect, "journal/outcome mismatch in {ctx}");
+
+    // Invariant 3: a node's image holds the probe pair iff its journal
+    // committed the epoch, and entry/exit are atomic — no quiesce point
+    // can observe half an epoch.
+    for (i, img) in images.iter().enumerate() {
+        let node = 1 + i;
+        if !attached.contains(&node) {
+            continue;
+        }
+        let expect_occupied = if report.two_phase {
+            committed.contains(&node)
+        } else {
+            report.is_committed()
+        };
+        assert_eq!(
+            img.occupied(ProbePoint::entry(f)),
+            expect_occupied,
+            "node {node} entry probe in {ctx}"
+        );
+        assert_eq!(
+            img.occupied(ProbePoint::exit(f)),
+            expect_occupied,
+            "node {node} exit probe must match entry (atomic pair) in {ctx}"
+        );
+    }
+}
+
+/// The crash × txn matrix (every profile, both degraded policies, every
+/// seed): no cell may ever exhibit partial instrumentation.
+#[test]
+fn txn_matrix_no_partial_instrumentation() {
+    let _g = OBS_GATE.read().unwrap();
+    for seed in seeds() {
+        for profile in FaultProfile::all_names() {
+            for policy in [DegradedPolicy::AbortTxn, DegradedPolicy::ExcludeNode] {
+                txn_cell(seed, profile, policy);
+            }
+        }
+    }
+}
+
+/// A profile whose crashed daemons never come back within the run: the
+/// outage opens somewhere in `[0, 1.5s]` and the downtime exceeds every
+/// retry budget. Used to force the degraded/abort decision paths, which
+/// the standard `crash` profile (400 ms downtime, outlasted by client
+/// retries) deliberately cannot reach.
+fn crash_forever_spec(seed: u64) -> FaultSpec {
+    let mut profile = FaultProfile::none();
+    profile.crash_node_ppm = 500_000;
+    profile.crash_start_max = SimTime::from_millis(1500);
+    profile.crash_downtime = SimTime::from_secs(3600);
+    FaultSpec {
+        seed,
+        profile_name: "crash-forever".into(),
+        profile,
+    }
+}
+
+/// Find a seed whose crash-forever plan downs exactly one of nodes 1–3,
+/// with the outage opening late enough (> 400 ms) that attach completes
+/// first. Scanning the plan (not the run) keeps the test deterministic
+/// and robust to RNG-stream changes.
+fn degraded_scenario() -> (u64, usize, SimTime) {
+    for seed in 0..512 {
+        let plan = FaultPlan::new(&crash_forever_spec(seed), &Machine::test_machine());
+        let down: Vec<(usize, SimTime)> = (1..=3usize)
+            .filter_map(|n| plan.daemon_outage(n).map(|(s, _)| (n, s)))
+            .collect();
+        if let [(victim, start)] = down[..] {
+            if start > SimTime::from_millis(400) && start < SimTime::from_millis(1200) {
+                return (seed, victim, start);
+            }
+        }
+    }
+    panic!("no crash-forever seed in 0..512 downs exactly one node late enough");
+}
+
+/// Degraded-mode decision paths, deterministically: one node dies after
+/// attach and stays dead. Under `exclude-node` the epoch commits on the
+/// survivors and the victim is reported excluded; under `abort-txn` the
+/// whole epoch rolls back everywhere. Either way no journal is left open
+/// and no image holds half an epoch.
+#[test]
+fn degraded_mode_excludes_or_aborts_cleanly() {
+    let _g = OBS_GATE.read().unwrap();
+    let (seed, victim, start) = degraded_scenario();
+    for policy in [DegradedPolicy::ExcludeNode, DegradedPolicy::AbortTxn] {
+        let sim = Sim::virtual_time(Machine::test_machine(), seed);
+        sim.enable_check();
+        let check = sim.check_handle();
+        assert!(sim.set_fault_plan(FaultPlan::new(&crash_forever_spec(seed), sim.machine())));
+        let system = DpclSystem::new(["u"]);
+        let images: Vec<_> = (0..3)
+            .map(|_| {
+                let mut b = ImageBuilder::new("t");
+                b.add(FunctionInfo::new("hot"));
+                Arc::new(b.build())
+            })
+            .collect();
+        let f = images[0].func("hot").unwrap();
+        let report_slot = Arc::new(Mutex::new(None));
+        let (sys2, imgs, rep2) = (
+            Arc::clone(&system),
+            images.clone(),
+            Arc::clone(&report_slot),
+        );
+        sim.spawn("instrumenter", 0, move |p| {
+            let client = DpclClient::new(sys2, "u");
+            let handles: Vec<_> = imgs
+                .iter()
+                .enumerate()
+                .map(|(i, img)| {
+                    client
+                        .attach(p, 1 + i, Arc::clone(img), format!("t:{i}"))
+                        .expect("attach completes before the outage opens")
+                })
+                .collect();
+            // Step past the victim's outage start so the 2PC rounds hit a
+            // daemon that is down for good.
+            p.sleep_until(start + SimTime::from_millis(1));
+            let mut txn = InstrumentationTxn::new(TxnOptions {
+                policy,
+                ..TxnOptions::default()
+            });
+            for h in &handles {
+                txn.stage_install(h, ProbePoint::entry(f), Snippet::noop("b"));
+                txn.stage_install(h, ProbePoint::exit(f), Snippet::noop("e"));
+            }
+            let report = txn.execute(p, &client, None, None);
+            client.shutdown(p);
+            *rep2.lock().unwrap() = Some(report);
+        });
+        sim.run();
+        let ctx = format!("degraded scenario (seed {seed}, {})", policy.label());
+        assert_no_hb_errors(&check, &ctx);
+        let report = report_slot.lock().unwrap().take().expect("txn executed");
+        for j in system.journals() {
+            assert!(
+                j.open_txns().is_empty(),
+                "node {} journal left open in {ctx}",
+                j.node()
+            );
+        }
+        match policy {
+            DegradedPolicy::ExcludeNode => {
+                assert_eq!(
+                    report.excluded(),
+                    &[victim],
+                    "{ctx}: outcome {:?}",
+                    report.outcome
+                );
+                for (i, img) in images.iter().enumerate() {
+                    let node = 1 + i;
+                    let survivor = node != victim;
+                    assert_eq!(
+                        img.occupied(ProbePoint::entry(f)),
+                        survivor,
+                        "{ctx} node {node}"
+                    );
+                    assert_eq!(
+                        img.occupied(ProbePoint::exit(f)),
+                        survivor,
+                        "{ctx} node {node}"
+                    );
+                    let j = system.journal(node, "u").expect("journal");
+                    assert_eq!(
+                        j.committed_epochs().contains(&report.epoch),
+                        survivor,
+                        "{ctx} node {node} journal"
+                    );
+                }
+            }
+            DegradedPolicy::AbortTxn => {
+                assert!(
+                    matches!(report.outcome, TxnOutcome::Aborted { .. }),
+                    "{ctx}: outcome {:?}",
+                    report.outcome
+                );
+                for img in &images {
+                    assert!(!img.occupied(ProbePoint::entry(f)), "{ctx}");
+                    assert!(!img.occupied(ProbePoint::exit(f)), "{ctx}");
+                }
+                for j in system.journals() {
+                    assert!(j.committed_epochs().is_empty(), "{ctx} node {}", j.node());
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeat failure-detector properties
+// ---------------------------------------------------------------------------
+
+/// Zero false positives: under a `none` fault plan the monitor never
+/// records a health transition on any seed, across many probe rounds.
+#[test]
+fn heartbeat_no_false_positives_without_faults() {
+    let _g = OBS_GATE.read().unwrap();
+    for seed in seeds() {
+        let sim = Sim::virtual_time(Machine::test_machine(), seed);
+        assert!(sim.set_fault_plan(plan_for(&sim, seed, "none")));
+        let system = DpclSystem::new(["u"]);
+        let monitor =
+            HeartbeatMonitor::new(Arc::clone(&system), 1..=3usize, HeartbeatConfig::default());
+        let m2 = Arc::clone(&monitor);
+        sim.spawn("hb", 0, move |p| m2.run(p));
+        let (sys2, m3) = (Arc::clone(&system), Arc::clone(&monitor));
+        sim.spawn("driver", 0, move |p| {
+            let client = DpclClient::new(sys2, "u");
+            for n in 1..=3usize {
+                client.connect(p, n).unwrap();
+            }
+            p.sleep(SimTime::from_secs(3));
+            m3.stop();
+            // Let the monitor's in-flight round drain before tearing the
+            // daemons down, so no miss is an artifact of shutdown.
+            p.sleep(SimTime::from_millis(500));
+            client.shutdown(p);
+        });
+        sim.run();
+        assert!(
+            monitor.transitions().is_empty(),
+            "seed {seed}: false positives {:?}",
+            monitor.transitions()
+        );
+        assert!(monitor.unhealthy().is_empty(), "seed {seed}");
+        assert!(
+            monitor.rounds() >= 15,
+            "seed {seed}: only {} rounds observed",
+            monitor.rounds()
+        );
+        for n in 1..=3usize {
+            assert_eq!(monitor.health(n), Some(NodeHealth::Alive), "seed {seed}");
+        }
+    }
+}
+
+/// Detection within the configured bound: a node whose daemons die for
+/// good is marked Suspect no later than `suspect_bound()` after the
+/// outage opens, reaches Dead, and healthy nodes never transition.
+#[test]
+fn heartbeat_detects_dead_node_within_bound() {
+    let _g = OBS_GATE.read().unwrap();
+    let (seed, victim, start) = degraded_scenario();
+    let sim = Sim::virtual_time(Machine::test_machine(), seed);
+    assert!(sim.set_fault_plan(FaultPlan::new(&crash_forever_spec(seed), sim.machine())));
+    let system = DpclSystem::new(["u"]);
+    let monitor =
+        HeartbeatMonitor::new(Arc::clone(&system), 1..=3usize, HeartbeatConfig::default());
+    let m2 = Arc::clone(&monitor);
+    sim.spawn("hb", 0, move |p| m2.run(p));
+    let (sys2, m3) = (Arc::clone(&system), Arc::clone(&monitor));
+    let run_until = start + SimTime::from_millis(1500);
+    sim.spawn("driver", 0, move |p| {
+        let client = DpclClient::new(sys2, "u");
+        for n in 1..=3usize {
+            client.connect(p, n).unwrap();
+        }
+        p.sleep_until(run_until);
+        m3.stop();
+        p.sleep(SimTime::from_millis(500));
+        client.shutdown(p);
+    });
+    sim.run();
+    let bound = monitor.config().suspect_bound();
+    let transitions = monitor.transitions();
+    let suspect_at = transitions
+        .iter()
+        .find(|&&(_, n, h)| n == victim && h == NodeHealth::Suspect)
+        .map(|&(t, _, _)| t)
+        .unwrap_or_else(|| panic!("victim {victim} never suspected: {transitions:?}"));
+    assert!(
+        suspect_at <= start + bound,
+        "suspect at {suspect_at:?}, outage opened {start:?}, bound {bound:?}"
+    );
+    assert_eq!(
+        monitor.health(victim),
+        Some(NodeHealth::Dead),
+        "victim should progress to Dead: {transitions:?}"
+    );
+    for &(_, n, _) in &transitions {
+        assert_eq!(n, victim, "healthy node transitioned: {transitions:?}");
+    }
+}
+
+/// Transactional mode with no faults is invisible: figure output is
+/// byte-identical whether the txn control plane is off, on, or on with an
+/// explicitly inert fault plan (the acceptance-criteria goldens).
+#[test]
+fn txn_without_faults_is_identity() {
+    let _g = OBS_GATE.write().unwrap();
+    set_global_spec(None);
+    dynprof_bench::set_txn_policy(None);
+    let fig_base = dynprof_bench::fig9().to_json();
+
+    dynprof_bench::set_txn_policy(Some(DegradedPolicy::ExcludeNode));
+    let fig_txn = dynprof_bench::fig9().to_json();
+
+    set_global_spec(Some(FaultSpec::parse("9:none").expect("spec")));
+    let fig_txn_none = dynprof_bench::fig9().to_json();
+
+    set_global_spec(None);
+    dynprof_bench::set_txn_policy(None);
+    assert_eq!(fig_base, fig_txn, "txn-on (no plan) must be byte-identical");
+    assert_eq!(
+        fig_base, fig_txn_none,
+        "txn-on + inert plan must be byte-identical"
     );
 }
