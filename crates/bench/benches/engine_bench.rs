@@ -1,0 +1,256 @@
+//! engine_bench — raw throughput of the virtual-time discrete-event
+//! engine, in events per second of host time.
+//!
+//! Three workloads stress the scheduler hot loop in different shapes:
+//!
+//! * **pingpong** — two processes exchanging messages through a pair of
+//!   channels: the pure handoff cost, one blocking receive per event;
+//! * **alltoall** — 16 processes each sending to every other with
+//!   jittered latencies: deep event queue, cross-process wakes;
+//! * **barrier_storm** — 32 processes spinning on a cyclic barrier:
+//!   bursts of simultaneous wakes at one release time.
+//!
+//! Every workload is a fixed-size simulation (so its event count is
+//! deterministic); the best wall-clock of five samples divides it into
+//! events/sec. Results are written as machine-readable JSON to
+//! `BENCH_engine.json` at the workspace root (override with
+//! `BENCH_ENGINE_OUT=<path>`), seeding the repository's performance
+//! trajectory.
+//!
+//! Regression gate (the CI `perf-smoke` job): set
+//! `PERF_BASELINE=<path-to-committed-BENCH_engine.json>` and the bench
+//! exits nonzero if any workload's events/sec fell more than
+//! `PERF_SMOKE_TOLERANCE` (default `0.30`, i.e. 30%) below the baseline.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dynprof_obs::Json;
+use dynprof_sim::sync::{SimBarrier, SimChannel};
+use dynprof_sim::{Machine, Sim, SimTime};
+
+/// One measured workload: deterministic event count, best host time.
+struct Measure {
+    name: &'static str,
+    events: u64,
+    best: Duration,
+    /// Handoffs actually paid: direct (one OS-thread switch) count one,
+    /// scheduler fallbacks (two switches, the hub-and-spoke price) count
+    /// two. The hub-and-spoke equivalent is `2 * events`.
+    handoffs: u64,
+}
+
+impl Measure {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.best.as_secs_f64()
+    }
+}
+
+/// Run `build` (which constructs and runs one simulation, returning its
+/// stats handle) five times; keep the deterministic event count and the
+/// best wall time.
+fn sample(name: &'static str, build: impl Fn() -> (u64, u64, Duration)) -> Measure {
+    let mut best = Duration::MAX;
+    let mut events = 0;
+    let mut handoffs = 0;
+    for _ in 0..5 {
+        let (ev, ho, wall) = build();
+        events = ev;
+        handoffs = ho;
+        best = best.min(wall);
+    }
+    Measure {
+        name,
+        events,
+        best,
+        handoffs,
+    }
+}
+
+/// Run one constructed simulation, returning (events, handoffs, wall).
+fn timed_run(sim: Sim) -> (u64, u64, Duration) {
+    let stats = sim.stats();
+    let t = Instant::now();
+    sim.run();
+    let wall = t.elapsed();
+    (
+        stats.events_dispatched(),
+        stats.direct_handoffs() + 2 * stats.sched_fallbacks(),
+        wall,
+    )
+}
+
+/// Two processes ping-ponging `rounds` messages through two channels.
+fn pingpong(rounds: u32) -> (u64, u64, Duration) {
+    let sim = Sim::virtual_time(Machine::test_machine(), 1);
+    let ch_a: Arc<SimChannel<u32>> = Arc::new(SimChannel::new());
+    let ch_b: Arc<SimChannel<u32>> = Arc::new(SimChannel::new());
+    let (a1, b1) = (Arc::clone(&ch_a), Arc::clone(&ch_b));
+    sim.spawn("ping", 0, move |p| {
+        for i in 0..rounds {
+            a1.send(p, i, SimTime::from_micros(1));
+            let _ = b1.recv(p);
+        }
+    });
+    let (a2, b2) = (ch_a, ch_b);
+    sim.spawn("pong", 1, move |p| {
+        for _ in 0..rounds {
+            let v = a2.recv(p);
+            b2.send(p, v, SimTime::from_micros(1));
+        }
+    });
+    timed_run(sim)
+}
+
+/// `n` processes; every round each sends one jittered message to every
+/// other process's mailbox, then drains `n - 1` receipts.
+fn alltoall(n: usize, rounds: usize) -> (u64, u64, Duration) {
+    let sim = Sim::virtual_time(Machine::test_machine(), 2);
+    let chans: Vec<Arc<SimChannel<u32>>> = (0..n).map(|_| Arc::new(SimChannel::new())).collect();
+    for i in 0..n {
+        let chans = chans.clone();
+        sim.spawn(format!("a2a{i}"), i % 4, move |p| {
+            for _ in 0..rounds {
+                for (j, ch) in chans.iter().enumerate() {
+                    if j != i {
+                        let lat =
+                            SimTime::from_nanos(500 + p.jitter(SimTime::from_micros(2)).as_nanos());
+                        ch.send(p, i as u32, lat);
+                    }
+                }
+                for _ in 0..n - 1 {
+                    let _ = chans[i].recv(p);
+                }
+            }
+        });
+    }
+    timed_run(sim)
+}
+
+/// `n` processes hammering one cyclic barrier for `rounds` episodes with
+/// jittered arrival skew.
+fn barrier_storm(n: usize, rounds: usize) -> (u64, u64, Duration) {
+    let sim = Sim::virtual_time(Machine::test_machine(), 3);
+    let bar = Arc::new(SimBarrier::new(n, SimTime::from_nanos(200)));
+    for i in 0..n {
+        let bar = Arc::clone(&bar);
+        sim.spawn(format!("storm{i}"), i % 4, move |p| {
+            for _ in 0..rounds {
+                let skew = p.jitter(SimTime::from_micros(1));
+                p.advance(skew + SimTime::from_nanos(1));
+                bar.wait(p);
+            }
+        });
+    }
+    timed_run(sim)
+}
+
+fn out_path() -> String {
+    std::env::var("BENCH_ENGINE_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_engine.json", env!("CARGO_MANIFEST_DIR")))
+}
+
+fn to_json(measures: &[Measure]) -> String {
+    Json::obj([
+        ("schema", "dynprof-engine-bench/v1".into()),
+        (
+            "workloads",
+            Json::Obj(
+                measures
+                    .iter()
+                    .map(|m| {
+                        (
+                            m.name.to_string(),
+                            Json::obj([
+                                ("events", Json::UInt(m.events)),
+                                ("handoffs", Json::UInt(m.handoffs)),
+                                ("best_ns", Json::UInt(m.best.as_nanos() as u64)),
+                                ("events_per_sec", Json::Float(m.events_per_sec())),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .pretty()
+}
+
+/// Pull `workloads.<name>.events_per_sec` out of a baseline JSON dump
+/// without a JSON parser: scan for the workload key, then the field.
+fn baseline_events_per_sec(json: &str, name: &str) -> Option<f64> {
+    let start = json.find(&format!("\"{name}\""))?;
+    let tail = &json[start..];
+    let field = tail.find("\"events_per_sec\":")?;
+    let num = tail[field + "\"events_per_sec\":".len()..]
+        .trim_start()
+        .split([',', '}', '\n'])
+        .next()?
+        .trim();
+    num.parse().ok()
+}
+
+fn main() {
+    println!("engine_bench: virtual-time engine throughput (best of 5)\n");
+    let measures = [
+        sample("pingpong", || pingpong(20_000)),
+        sample("alltoall", || alltoall(16, 60)),
+        sample("barrier_storm", || barrier_storm(32, 1_500)),
+    ];
+    for m in &measures {
+        println!(
+            "{:<14} {:>9} events in {:>9.3} ms  ->  {:>12.0} events/sec  ({} handoffs, hub-equiv {})",
+            m.name,
+            m.events,
+            m.best.as_secs_f64() * 1e3,
+            m.events_per_sec(),
+            m.handoffs,
+            2 * m.events,
+        );
+    }
+
+    let path = out_path();
+    let json = to_json(&measures);
+    match std::fs::write(&path, json.clone() + "\n") {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // Soft regression gate against a committed baseline (CI perf-smoke).
+    if let Ok(baseline_path) = std::env::var("PERF_BASELINE") {
+        let tolerance: f64 = std::env::var("PERF_SMOKE_TOLERANCE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.30);
+        let baseline = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            eprintln!("cannot read PERF_BASELINE {baseline_path}: {e}");
+            std::process::exit(1);
+        });
+        let mut failed = false;
+        for m in &measures {
+            match baseline_events_per_sec(&baseline, m.name) {
+                Some(base) => {
+                    let floor = base * (1.0 - tolerance);
+                    let now = m.events_per_sec();
+                    let verdict = if now < floor { "REGRESSED" } else { "ok" };
+                    println!(
+                        "perf-smoke {:<14} baseline {:>12.0}  now {:>12.0}  floor {:>12.0}  {}",
+                        m.name, base, now, floor, verdict
+                    );
+                    failed |= now < floor;
+                }
+                None => println!("perf-smoke {:<14} no baseline entry; skipped", m.name),
+            }
+        }
+        if failed {
+            eprintln!(
+                "perf-smoke: events/sec regressed more than {:.0}% below baseline",
+                tolerance * 100.0
+            );
+            std::process::exit(1);
+        }
+    }
+}

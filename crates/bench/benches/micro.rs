@@ -317,6 +317,29 @@ fn bench_des_engine() {
         }
         t.elapsed()
     });
+    // Allocation regression guard for the control-plane fast path: with
+    // no fault plan installed, `send_ctl` must be exactly `send` — no
+    // message clone, no RNG draw. The payload is a 64-byte boxed slice,
+    // so reintroducing a speculative clone on the duplication path would
+    // add a heap alloc + copy per send and show up here as a step change;
+    // sync.rs's `send_ctl_never_clones_without_a_fault_plan` pins the
+    // exact clone count to zero.
+    bench("des/send_ctl_nofault_1k", |iters| {
+        let t = Instant::now();
+        for _ in 0..iters {
+            let sim = Sim::virtual_time(Machine::test_machine(), 1);
+            let ch: Arc<dynprof_sim::sync::SimChannel<Box<[u8]>>> =
+                Arc::new(dynprof_sim::sync::SimChannel::new());
+            sim.spawn("solo", 0, move |p| {
+                for _ in 0..1_000 {
+                    ch.send_ctl(p, vec![0u8; 64].into_boxed_slice(), SimTime::ZERO);
+                    black_box(ch.try_recv(p));
+                }
+            });
+            black_box(sim.run());
+        }
+        t.elapsed()
+    });
 }
 
 fn bench_runtimes() {

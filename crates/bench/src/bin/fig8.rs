@@ -1,17 +1,23 @@
 //! Regenerate paper Fig 8 (a–c): the cost of dynamic control of
 //! instrumentation (`VT_confsync`).
 //!
-//! Usage: `fig8 [--part a|b|c] [--runs N] [--json] [--metrics out.json]
-//!              [--faults seed[:profile]] [--txn]
+//! Usage: `fig8 [--part a|b|c] [--runs N] [--json] [--parallel [N]]
+//!              [--metrics out.json] [--faults seed[:profile]] [--txn]
 //!              [--degraded-policy abort-txn|exclude-node]`
 //! (default: all parts, 16 runs per point — the paper's averaging).
+//! `--parallel` fans the independent (proc count, seed) runs across a
+//! worker-thread pool (N workers; default = available cores); output is
+//! byte-identical to the serial runner.
 //! `--faults` installs a deterministic fault-injection plan; profiles:
 //! none, drop, dup, delay, slow, crash, epochs, lossy (default).
 //! `--txn`/`--degraded-policy` configure the two-phase-commit control
 //! plane for sweep-script uniformity with fig7/fig9; the confsync
 //! experiments install no probes, so the knobs change nothing here.
 
-use dynprof_bench::{fig8a, fig8b, fig8c, set_txn_policy, write_metrics, Figure};
+use dynprof_bench::{
+    fig8a_with_workers, fig8b_with_workers, fig8c_with_workers, parallel, set_txn_policy,
+    write_metrics, Figure,
+};
 use dynprof_dpcl::DegradedPolicy;
 
 fn main() {
@@ -19,6 +25,7 @@ fn main() {
     let mut parts = vec!['a', 'b', 'c'];
     let mut runs = 16usize;
     let mut json = false;
+    let mut workers = 1;
     let mut metrics: Option<String> = None;
     let mut txn = false;
     let mut policy: Option<DegradedPolicy> = None;
@@ -51,6 +58,16 @@ fn main() {
                     .expect("run count");
             }
             "--json" => json = true,
+            "--parallel" => {
+                // Optional worker count; defaults to the host parallelism.
+                workers = match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) => {
+                        i += 1;
+                        n.max(1)
+                    }
+                    None => parallel::default_workers(),
+                };
+            }
             "--metrics" => {
                 i += 1;
                 let path = args.get(i).expect("--metrics needs a path").clone();
@@ -80,9 +97,9 @@ fn main() {
     }
     for part in parts {
         let fig: Figure = match part {
-            'a' => fig8a(runs),
-            'b' => fig8b(runs),
-            'c' => fig8c(runs),
+            'a' => fig8a_with_workers(runs, workers),
+            'b' => fig8b_with_workers(runs, workers),
+            'c' => fig8c_with_workers(runs, workers),
             other => {
                 eprintln!("unknown part {other:?}");
                 std::process::exit(2);

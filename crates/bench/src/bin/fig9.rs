@@ -2,9 +2,13 @@
 //! ASCI kernel across processor counts (note Umt98's flat line — OpenMP
 //! threads share a single process image).
 //!
-//! Usage: `fig9 [--json] [--metrics out.json] [--faults seed[:profile]]
-//!              [--txn] [--degraded-policy abort-txn|exclude-node]`
+//! Usage: `fig9 [--json] [--parallel [N]] [--metrics out.json]
+//!              [--faults seed[:profile]] [--txn]
+//!              [--degraded-policy abort-txn|exclude-node]`
 //!
+//! `--parallel` fans the independent (app, P) instrumentation sessions
+//! across a worker-thread pool (N workers; default = available cores);
+//! output is byte-identical to the serial runner.
 //! `--faults` installs a deterministic fault-injection plan; profiles:
 //! none, drop, dup, delay, slow, crash, epochs, lossy (default).
 //! `--txn` routes instrumentation through the two-phase-commit control
@@ -12,12 +16,20 @@
 //! failed participants — series that committed with excluded nodes are
 //! labelled `[degraded]`.
 
-use dynprof_bench::{fig9, set_txn_policy, write_metrics};
+use dynprof_bench::{fig9_with_workers, parallel, set_txn_policy, write_metrics};
 use dynprof_dpcl::DegradedPolicy;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
+    // Optional worker count; defaults to the host parallelism.
+    let workers = match args.iter().position(|a| a == "--parallel") {
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse::<usize>().ok())
+            .map_or_else(parallel::default_workers, |n| n.max(1)),
+        None => 1,
+    };
     let txn = args.iter().any(|a| a == "--txn");
     let policy = args.iter().position(|a| a == "--degraded-policy").map(|i| {
         let p = args.get(i + 1).expect("--degraded-policy needs a value");
@@ -46,7 +58,7 @@ fn main() {
             }
         }
     }
-    let fig = fig9();
+    let fig = fig9_with_workers(workers);
     if json {
         println!("{}", fig.to_json());
     } else {

@@ -324,16 +324,37 @@ pub fn confsync_cost(
     experiment: ConfsyncExperiment,
     runs: usize,
 ) -> Series {
+    confsync_cost_with_workers(machine, procs, experiment, runs, 1)
+}
+
+/// [`confsync_cost`] with its independent (proc count × seed) runs fanned
+/// across `workers` threads. Each run owns its own seeded engine and the
+/// per-point averages are folded in the serial sweep's run order, so the
+/// resulting series is byte-identical to the serial one.
+pub fn confsync_cost_with_workers(
+    machine: &Machine,
+    procs: &[usize],
+    experiment: ConfsyncExperiment,
+    runs: usize,
+    workers: usize,
+) -> Series {
     let label = match experiment {
         ConfsyncExperiment::NoChange => "No Change",
         ConfsyncExperiment::WithChange => "Changes",
         ConfsyncExperiment::WriteStats => "Write Stats",
     };
+    // Jobs in the serial sweep's order: outer proc count, inner seed.
+    let jobs: Vec<(usize, u64)> = procs
+        .iter()
+        .flat_map(|&p| (0..runs).map(move |run| (p, 0xF160 + run as u64)))
+        .collect();
+    let results = parallel::run(&jobs, workers, |&(p, seed)| {
+        one_confsync(machine, p, experiment, seed)
+    });
     let mut points = Vec::new();
-    for &p in procs {
+    for (pi, &p) in procs.iter().enumerate() {
         let mut stats = OnlineStats::new();
-        for run in 0..runs {
-            let t = one_confsync(machine, p, experiment, 0xF160 + run as u64);
+        for &t in &results[pi * runs..(pi + 1) * runs] {
             stats.push_time(t);
         }
         points.push((p, stats.mean()));
@@ -394,46 +415,66 @@ fn one_confsync(
 
 /// Reproduce Fig 8(a): confsync on the IBM machine, 2–512 processors.
 pub fn fig8a(runs: usize) -> Figure {
+    fig8a_with_workers(runs, 1)
+}
+
+/// [`fig8a`] with its runs fanned across `workers` threads
+/// (byte-identical output; see [`confsync_cost_with_workers`]).
+pub fn fig8a_with_workers(runs: usize, workers: usize) -> Figure {
     let m = Machine::ibm_power3_colony();
     let procs = [2, 4, 8, 16, 32, 64, 128, 256, 512];
     Figure {
         title: "Fig 8(a) VT_confsync on IBM (no change vs changes)".into(),
         unit: "seconds",
         series: vec![
-            confsync_cost(&m, &procs, ConfsyncExperiment::NoChange, runs),
-            confsync_cost(&m, &procs, ConfsyncExperiment::WithChange, runs),
+            confsync_cost_with_workers(&m, &procs, ConfsyncExperiment::NoChange, runs, workers),
+            confsync_cost_with_workers(&m, &procs, ConfsyncExperiment::WithChange, runs, workers),
         ],
     }
 }
 
 /// Reproduce Fig 8(b): confsync writing statistics on the IBM machine.
 pub fn fig8b(runs: usize) -> Figure {
+    fig8b_with_workers(runs, 1)
+}
+
+/// [`fig8b`] with its runs fanned across `workers` threads
+/// (byte-identical output; see [`confsync_cost_with_workers`]).
+pub fn fig8b_with_workers(runs: usize, workers: usize) -> Figure {
     let m = Machine::ibm_power3_colony();
     let procs = [2, 4, 8, 16, 32, 64, 128, 256, 512];
     Figure {
         title: "Fig 8(b) VT_confsync writing statistics on IBM".into(),
         unit: "seconds",
-        series: vec![confsync_cost(
+        series: vec![confsync_cost_with_workers(
             &m,
             &procs,
             ConfsyncExperiment::WriteStats,
             runs,
+            workers,
         )],
     }
 }
 
 /// Reproduce Fig 8(c): confsync on the IA32 Pentium III cluster.
 pub fn fig8c(runs: usize) -> Figure {
+    fig8c_with_workers(runs, 1)
+}
+
+/// [`fig8c`] with its runs fanned across `workers` threads
+/// (byte-identical output; see [`confsync_cost_with_workers`]).
+pub fn fig8c_with_workers(runs: usize, workers: usize) -> Figure {
     let m = Machine::ia32_pentium3_cluster();
     let procs: Vec<usize> = (2..=16).collect();
     Figure {
         title: "Fig 8(c) VT_confsync on IA32 (no change)".into(),
         unit: "seconds",
-        series: vec![confsync_cost(
+        series: vec![confsync_cost_with_workers(
             &m,
             &procs,
             ConfsyncExperiment::NoChange,
             runs,
+            workers,
         )],
     }
 }
@@ -447,22 +488,46 @@ pub fn fig8c(runs: usize) -> Figure {
 /// The metric is independent of the modelled computation (the target is
 /// suspended throughout), so the kernels run with test-scale bodies.
 pub fn fig9() -> Figure {
+    fig9_with_workers(1)
+}
+
+/// [`fig9`] with its independent (app × CPU count) sessions fanned across
+/// `workers` threads. Each session owns its own seeded engine; results
+/// are assembled in the serial sweep's order, so the output is
+/// byte-identical to the serial runner's.
+pub fn fig9_with_workers(workers: usize) -> Figure {
+    let apps = ["smg98", "sppm", "sweep3d", "umt98"];
+    // Jobs in the serial sweep's order: outer app, inner CPU count.
+    let jobs: Vec<(usize, usize)> = apps
+        .iter()
+        .enumerate()
+        .flat_map(|(ai, &a)| fig7_cpus(a).into_iter().map(move |c| (ai, c)))
+        .collect();
+    let results = parallel::run(&jobs, workers, |&(ai, c)| {
+        let app = dynprof_apps::test_app(apps[ai], c).expect("app");
+        let mut cfg = SessionConfig::new(Machine::ibm_power3_colony(), Policy::Dynamic)
+            .with_seed(77 + c as u64);
+        if let Some(settings) = txn_settings(&app) {
+            cfg = cfg.with_txn(settings);
+        }
+        let report = run_session(&app, cfg);
+        (
+            c,
+            report.create_and_instrument().as_secs_f64(),
+            report.vt.is_degraded(),
+        )
+    });
     let mut series = Vec::new();
-    for app_name in ["smg98", "sppm", "sweep3d", "umt98"] {
-        let cpus = fig7_cpus(app_name);
+    let mut idx = 0;
+    for app_name in apps {
+        let n = fig7_cpus(app_name).len();
         let mut points = Vec::new();
         let mut degraded = false;
-        for &c in &cpus {
-            let app = dynprof_apps::test_app(app_name, c).expect("app");
-            let mut cfg = SessionConfig::new(Machine::ibm_power3_colony(), Policy::Dynamic)
-                .with_seed(77 + c as u64);
-            if let Some(settings) = txn_settings(&app) {
-                cfg = cfg.with_txn(settings);
-            }
-            let report = run_session(&app, cfg);
-            points.push((c, report.create_and_instrument().as_secs_f64()));
-            degraded |= report.vt.is_degraded();
+        for &(c, t, deg) in &results[idx..idx + n] {
+            points.push((c, t));
+            degraded |= deg;
         }
+        idx += n;
         series.push(Series {
             label: degraded_label(app_name, degraded),
             points,

@@ -6,12 +6,18 @@
 //! Every simulated process runs on its own OS thread, but **exactly one
 //! process thread executes at a time**. A process blocks whenever it
 //! performs a simulator operation ([`Proc::sleep`], a blocking receive, or
-//! any primitive in [`crate::sync`]); control returns to the scheduler,
-//! which dispatches the globally-earliest pending wake event. Computation
-//! between simulator operations executes natively (results are real) while
-//! simulated time advances only through explicit charges. Ties in the
-//! event queue are broken by insertion sequence number, which makes every
-//! run with the same seed bit-for-bit deterministic.
+//! any primitive in [`crate::sync`]); before sleeping it pops the
+//! globally-earliest pending wake event itself and notifies the successor
+//! directly (*direct handoff*: one OS-thread switch per event; popping
+//! one's own wake costs none). The [`Sim::run`] thread only performs the
+//! startup dispatch, detects deadlock, and tears the run down — it is not
+//! on the per-event path. Computation between simulator operations
+//! executes natively (results are real) while simulated time advances only
+//! through explicit charges. Ties in the event queue are broken by
+//! insertion sequence number, which makes every run with the same seed
+//! bit-for-bit deterministic; because the dispatch decision always happens
+//! under the same lock hold that blocked the yielding process, the event
+//! *order* is identical to the historical hub-and-spoke scheduler's.
 //!
 //! # Real mode
 //!
@@ -23,6 +29,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -62,38 +69,96 @@ struct ProcSlot {
     node: usize,
     state: PState,
     clock: SimTime,
-    cv: Arc<Condvar>,
-    /// Generation counter for lazy timer cancellation: a timer entry fires
-    /// only if its recorded generation still matches.
-    timer_gen: u64,
+    /// OS thread backing this process, for `unpark` wakes. Registered by
+    /// `spawn_at` (under the `inner` lock) before any dispatch can target
+    /// the pid, so the dispatcher never races a missing handle.
+    thread: Option<std::thread::Thread>,
 }
 
-struct EngineInner {
+/// The event heaps, split from [`EngineInner`] so that scheduling a wake
+/// (`send`, `wake_other`, timer arming — the hottest producers) touches
+/// only this small mutex and never contends with per-process bookkeeping
+/// (clock charges, state flips, handoff accounting).
+///
+/// **Lock order**: `inner` before `heaps`, never the reverse. The
+/// dispatcher holds `inner` and briefly takes `heaps` to pop; producers
+/// take `heaps` alone.
+struct Heaps {
+    /// Pending wake events `(at, seq, pid)`, min-first.
     queue: BinaryHeap<Reverse<(SimTime, u64, Pid)>>,
     /// Deadline timers `(at, seq, pid, gen)`. Kept apart from `queue` so a
     /// timed wait whose timer never fires (the no-fault fast path) leaves
     /// every queue metric — and thus the metrics dump — untouched.
     timers: BinaryHeap<Reverse<(SimTime, u64, Pid, u64)>>,
-    procs: Vec<ProcSlot>,
-    /// Currently running pid (virtual mode); `None` while the scheduler
-    /// is choosing.
-    current: Option<Pid>,
+    /// Tie-break sequence number shared by both heaps (insertion order).
     seq: u64,
+    /// Per-pid timer generation: a timer entry fires only if its recorded
+    /// generation still matches. Cancellation bumps the generation *and*
+    /// eagerly removes the dead entries (the generation check remains as
+    /// defense in depth).
+    timer_gens: Vec<u64>,
+    /// Deepest the wake queue has grown (only tracked while observation
+    /// is enabled; deterministic, since pushes are serialized).
+    queue_hw: usize,
+    /// Cancelled timer entries removed from the heap at the cancellation
+    /// site rather than lingering until they surface at the top.
+    timers_cancelled: u64,
+}
+
+/// Shared buffer behind [`DispatchLog`]: `(pid, resumed clock)` pairs.
+type DispatchEntries = Arc<Mutex<Vec<(Pid, SimTime)>>>;
+
+struct EngineInner {
+    procs: Vec<ProcSlot>,
+    /// Currently running pid (virtual mode); `None` while a dispatch is
+    /// being chosen. `None` is never observable outside the lock during a
+    /// successful handoff: the yielder clears and re-fills it under one
+    /// hold, which is what makes who-dispatches deterministic.
+    current: Option<Pid>,
     live: usize,
     /// Furthest time any process has reached (the makespan).
     horizon: SimTime,
-    /// Wake events dispatched by the scheduler (throughput metric).
+    /// Wake events dispatched (throughput metric).
     dispatched: u64,
-    /// Deepest the event queue has grown (only tracked while observation
-    /// is enabled; deterministic, since pushes are serialized).
-    queue_hw: usize,
+    /// Pid of the most recently dispatched process; a dispatch that
+    /// resumes a different process than last time is a context switch in
+    /// the one-runs-at-a-time model.
+    last_pid: Option<Pid>,
+    ctx_switches: u64,
+    /// Optional dispatch recorder: every dispatched wake appends
+    /// `(pid, resumed clock)`. Used by the dispatch-order equivalence
+    /// tests; `None` (one pointer test per dispatch) in normal runs.
+    dispatch_log: Option<DispatchEntries>,
+    /// Dispatches performed by a yielding/finishing process handing
+    /// straight to its successor (one OS-thread switch each; a process
+    /// popping its own wake costs none and is also counted here as zero).
+    direct_handoffs: u64,
+    /// Dispatches performed by the `run()` thread (two OS-thread switches
+    /// each: yielder -> scheduler -> successor). Startup only, by design.
+    sched_fallbacks: u64,
     panicked: bool,
 }
 
 pub(crate) struct Engine {
     mode: ClockMode,
     inner: Mutex<EngineInner>,
+    heaps: Mutex<Heaps>,
     sched_cv: Condvar,
+    /// Mirror of `inner.current` (usize::MAX = none), written by the
+    /// dispatcher under the lock (release) and read lock-free (acquire)
+    /// by a waiting process as its wake condition. A process may only
+    /// proceed past its park loop when this equals its own pid, and the
+    /// dispatcher only stores a pid after setting `inner.current` to it —
+    /// the word cannot move again until that process runs and yields, so
+    /// observing one's own pid here is definitive, not a hint.
+    current_word: AtomicUsize,
+    /// Mirror of `inner.panicked` so parked waiters notice teardown.
+    panicked_word: AtomicBool,
+    /// Iterations a freshly-yielded process polls `current_word` before
+    /// parking. In the alternation-heavy workloads on multi-core hosts
+    /// this catches the successor's handoff without any futex traffic.
+    /// Zero on single-core hosts (spinning would starve the runner).
+    spin_limit: u32,
     epoch: Instant,
     machine: Machine,
     seed: u64,
@@ -110,18 +175,33 @@ impl Engine {
         Engine {
             mode,
             inner: Mutex::new(EngineInner {
-                queue: BinaryHeap::new(),
-                timers: BinaryHeap::new(),
                 procs: Vec::new(),
                 current: None,
-                seq: 0,
                 live: 0,
                 horizon: SimTime::ZERO,
                 dispatched: 0,
-                queue_hw: 0,
+                last_pid: None,
+                ctx_switches: 0,
+                dispatch_log: None,
+                direct_handoffs: 0,
+                sched_fallbacks: 0,
                 panicked: false,
             }),
+            heaps: Mutex::new(Heaps {
+                queue: BinaryHeap::new(),
+                timers: BinaryHeap::new(),
+                seq: 0,
+                timer_gens: Vec::new(),
+                queue_hw: 0,
+                timers_cancelled: 0,
+            }),
             sched_cv: Condvar::new(),
+            current_word: AtomicUsize::new(usize::MAX),
+            panicked_word: AtomicBool::new(false),
+            spin_limit: match std::thread::available_parallelism() {
+                Ok(n) if n.get() >= 2 => 1200,
+                _ => 0,
+            },
             epoch: Instant::now(),
             machine,
             seed,
@@ -136,64 +216,197 @@ impl Engine {
     }
 
     /// Push a wake event for `pid` at absolute time `at` (virtual mode).
+    ///
+    /// Producers only ever run on the currently-executing process (or on
+    /// the spawning thread before `run()` starts), so no dispatcher can be
+    /// idle-waiting on this event: it will be considered at the producer's
+    /// next yield point. Hence no condvar signalling here — the heaps
+    /// mutex is the entire cost.
     pub(crate) fn schedule(&self, pid: Pid, at: SimTime) {
         debug_assert_eq!(self.mode, ClockMode::Virtual);
-        let mut g = self.inner.lock();
-        g.seq += 1;
-        let seq = g.seq;
-        g.queue.push(Reverse((at, seq, pid)));
+        let mut h = self.heaps.lock();
+        h.seq += 1;
+        let seq = h.seq;
+        h.queue.push(Reverse((at, seq, pid)));
         if obs::enabled() {
-            g.queue_hw = g.queue_hw.max(g.queue.len());
+            h.queue_hw = h.queue_hw.max(h.queue.len());
         }
-        // If the scheduler is idle (everyone blocked), let it re-examine.
-        self.sched_cv.notify_one();
     }
 
     /// Arm a deadline timer waking `pid` at `at` unless cancelled first.
     pub(crate) fn schedule_timer(&self, pid: Pid, at: SimTime) {
         debug_assert_eq!(self.mode, ClockMode::Virtual);
-        let mut g = self.inner.lock();
-        g.seq += 1;
-        let seq = g.seq;
-        let gen = g.procs[pid].timer_gen;
-        g.timers.push(Reverse((at, seq, pid, gen)));
-        self.sched_cv.notify_one();
+        let mut h = self.heaps.lock();
+        h.seq += 1;
+        let seq = h.seq;
+        let gen = h.timer_gens[pid];
+        h.timers.push(Reverse((at, seq, pid, gen)));
     }
 
-    /// Invalidate every outstanding timer of `pid` (lazy: stale heap
-    /// entries are discarded by the scheduler when they surface).
+    /// Invalidate every outstanding timer of `pid`, removing its dead heap
+    /// entries eagerly so they never surface at dispatch (the generation
+    /// bump still guards any entry a future refactor might leave behind).
     pub(crate) fn cancel_timers(&self, pid: Pid) {
-        let mut g = self.inner.lock();
-        g.procs[pid].timer_gen += 1;
+        let mut h = self.heaps.lock();
+        h.timer_gens[pid] += 1;
+        let before = h.timers.len();
+        if before > 0 {
+            h.timers.retain(|&Reverse((_, _, tpid, _))| tpid != pid);
+            h.timers_cancelled += (before - h.timers.len()) as u64;
+        }
     }
 
-    /// Yield the calling process to the scheduler and wait to be resumed.
-    /// Returns the (updated) local clock at resumption.
+    /// Pop the earliest runnable event and dispatch it: lift the target's
+    /// clock, account the dispatch, and set `current`. Returns the
+    /// dispatched pid and its wake handle, or `None` if no useful event
+    /// is pending (the caller decides whether that means deadlock).
+    ///
+    /// Must be called with the `inner` guard held and `current == None`;
+    /// the whole decision happens under that single hold, so which thread
+    /// calls this (a yielding process, a finishing process, or the `run()`
+    /// thread at startup) can never change the chosen order.
+    ///
+    /// The caller must `unpark` the returned handle **after dropping the
+    /// guard**: waking first would let the successor preempt us (CFS
+    /// wake-up preemption on a loaded core) only to block on the mutex we
+    /// still hold — an extra context switch plus a futex round trip on
+    /// every single event. Deferring the wake is safe because the park
+    /// token cannot be lost and `current_word` is already published.
+    fn dispatch_next(
+        &self,
+        g: &mut parking_lot::MutexGuard<'_, EngineInner>,
+    ) -> Option<(Pid, Option<std::thread::Thread>)> {
+        debug_assert!(g.current.is_none());
+        loop {
+            let (t, pid) = {
+                let mut h = self.heaps.lock();
+                // Discard stale timers at the top: cancelled generations
+                // (normally already removed eagerly) or finished procs.
+                while let Some(&Reverse((_, _, tpid, tgen))) = h.timers.peek() {
+                    if h.timer_gens[tpid] != tgen || g.procs[tpid].state == PState::Done {
+                        h.timers.pop();
+                    } else {
+                        break;
+                    }
+                }
+                let take_timer = match (h.queue.peek(), h.timers.peek()) {
+                    (None, None) => return None,
+                    (Some(_), None) => false,
+                    (None, Some(_)) => true,
+                    (Some(&Reverse((qt, _, _))), Some(&Reverse((tt, _, _, _)))) => {
+                        // Strict precedence only: at equal times the wake
+                        // event wins, so a message arriving exactly at a
+                        // receive deadline is delivered (and observed)
+                        // before the timeout can fire.
+                        tt < qt
+                    }
+                };
+                if take_timer {
+                    let Reverse((t, _seq, pid, _gen)) = h.timers.pop().expect("peeked timer");
+                    (t, pid)
+                } else {
+                    let Reverse((t, _seq, pid)) = h.queue.pop().expect("peeked wake");
+                    (t, pid)
+                }
+            };
+            match g.procs[pid].state {
+                PState::Done => continue, // stale wake for a finished process
+                PState::Running => {
+                    unreachable!("running proc has queued wake while scheduler active")
+                }
+                PState::Blocked => {
+                    let c = g.procs[pid].clock;
+                    g.procs[pid].clock = c.max(t);
+                    g.horizon = g.horizon.max(g.procs[pid].clock);
+                    g.dispatched += 1;
+                    if let Some(log) = &g.dispatch_log {
+                        let entry = (pid, g.procs[pid].clock);
+                        log.lock().push(entry);
+                    }
+                    if g.last_pid != Some(pid) {
+                        g.ctx_switches += 1;
+                        g.last_pid = Some(pid);
+                    }
+                    g.current = Some(pid);
+                    self.current_word.store(pid, Ordering::Release);
+                    return Some((pid, g.procs[pid].thread.clone()));
+                }
+            }
+        }
+    }
+
+    /// Yield the calling process and wait to be resumed. Returns the
+    /// (updated) local clock at resumption.
     ///
     /// The caller must have arranged to be woken: either by scheduling its
     /// own wake, or because another process will `schedule` it.
+    ///
+    /// This is the direct-handoff fast path: the yielder itself pops the
+    /// next runnable event and notifies the successor, all under the same
+    /// `inner` hold that marked it blocked — one OS-thread switch per
+    /// event instead of the hub-and-spoke two, and zero when the popped
+    /// event is the yielder's own wake (timed sleeps). Only when no event
+    /// is pending does it signal the `run()` thread, which owns the
+    /// deadlock verdict.
     pub(crate) fn yield_and_wait(&self, pid: Pid) -> SimTime {
         debug_assert_eq!(self.mode, ClockMode::Virtual);
         let mut g = self.inner.lock();
         debug_assert_eq!(g.current, Some(pid), "yield by non-running process");
         g.procs[pid].state = PState::Blocked;
         g.current = None;
-        let cv = Arc::clone(&g.procs[pid].cv);
-        self.sched_cv.notify_one();
-        while g.current != Some(pid) {
-            if g.panicked {
+        self.current_word.store(usize::MAX, Ordering::Relaxed);
+        let successor = match self.dispatch_next(&mut g) {
+            Some((next, _)) if next == pid => {
+                // Popped our own wake (a timed sleep): no handoff at all.
+                g.procs[pid].state = PState::Running;
+                return g.procs[pid].clock;
+            }
+            Some((_, t)) => {
+                g.direct_handoffs += 1;
+                t
+            }
+            None => {
+                self.sched_cv.notify_one();
+                None
+            }
+        };
+        // Release the lock *before* waking the successor (see
+        // `dispatch_next`), then wait for our pid to appear in the
+        // current mirror: a bounded spin first (multi-core hosts catch
+        // the next handoff without any futex traffic), then park. A
+        // stale `unpark` token from a wake we caught mid-spin only costs
+        // one immediate `park` return.
+        drop(g);
+        if let Some(t) = successor {
+            t.unpark();
+        }
+        for _ in 0..self.spin_limit {
+            if self.current_word.load(Ordering::Acquire) == pid
+                || self.panicked_word.load(Ordering::Relaxed)
+            {
+                break;
+            }
+            std::hint::spin_loop();
+        }
+        while self.current_word.load(Ordering::Acquire) != pid {
+            if self.panicked_word.load(Ordering::Acquire) {
                 // Another process thread panicked; unwind this one too so
                 // the whole simulation tears down instead of hanging.
-                drop(g);
                 panic!("simulation aborted: a sibling process panicked");
             }
-            cv.wait(&mut g);
+            std::thread::park();
         }
+        let mut g = self.inner.lock();
+        debug_assert_eq!(g.current, Some(pid), "woken without being dispatched");
         g.procs[pid].state = PState::Running;
         g.procs[pid].clock
     }
 
-    /// Called by a process thread when its body returns.
+    /// Called by a process thread when its body returns. In virtual mode
+    /// the finishing process dispatches its successor directly (same
+    /// single-hold argument as [`Engine::yield_and_wait`]); the `run()`
+    /// thread is only signalled when everything is done or nothing is
+    /// runnable.
     fn finish(&self, pid: Pid) {
         let mut g = self.inner.lock();
         g.procs[pid].state = PState::Done;
@@ -203,21 +416,43 @@ impl Engine {
         if self.mode == ClockMode::Virtual {
             debug_assert_eq!(g.current, Some(pid));
             g.current = None;
-            self.sched_cv.notify_one();
+            self.current_word.store(usize::MAX, Ordering::Relaxed);
+            if g.live == 0 {
+                self.sched_cv.notify_one();
+            } else {
+                let successor = match self.dispatch_next(&mut g) {
+                    Some((_, t)) => {
+                        g.direct_handoffs += 1;
+                        t
+                    }
+                    None => {
+                        self.sched_cv.notify_one();
+                        None
+                    }
+                };
+                drop(g);
+                if let Some(t) = successor {
+                    t.unpark();
+                }
+            }
         }
     }
 
     fn abort(&self, pid: Pid) {
         let mut g = self.inner.lock();
         g.panicked = true;
+        self.panicked_word.store(true, Ordering::Release);
         g.procs[pid].state = PState::Done;
         g.live -= 1;
         if g.current == Some(pid) {
             g.current = None;
         }
-        // Wake everything so all threads observe the panic flag.
+        // Wake everything so all threads observe the panic flag (the
+        // `panicked_word` store above happens-before each `unpark`).
         for p in &g.procs {
-            p.cv.notify_all();
+            if let Some(t) = &p.thread {
+                t.unpark();
+            }
         }
         self.sched_cv.notify_one();
     }
@@ -333,6 +568,26 @@ impl Sim {
         self.eng.inner.lock().dispatched
     }
 
+    /// A read handle onto the engine's throughput counters that stays
+    /// valid after [`Sim::run`] consumes the `Sim`. Benchmarks use it to
+    /// compute events/sec without enabling the observability layer.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            eng: Arc::clone(&self.eng),
+        }
+    }
+
+    /// Turn on dispatch recording: every dispatched wake event appends
+    /// `(pid, clock-at-resumption)` to the returned log, in dispatch
+    /// order. The log handle stays valid after [`Sim::run`] consumes the
+    /// `Sim`; used by the dispatch-order equivalence tests to pin the
+    /// scheduler's exact event ordering.
+    pub fn record_dispatches(&self) -> DispatchLog {
+        let entries = Arc::new(Mutex::new(Vec::new()));
+        self.eng.inner.lock().dispatch_log = Some(Arc::clone(&entries));
+        DispatchLog { entries }
+    }
+
     /// Spawn a process named `name` on `node`, starting at time `start`
     /// (virtual mode; ignored in real mode). Returns its pid.
     ///
@@ -363,18 +618,19 @@ impl Sim {
                 node,
                 state: PState::Blocked,
                 clock: start,
-                cv: Arc::new(Condvar::new()),
-                timer_gen: 0,
+                thread: None,
             });
             g.live += 1;
+            // `inner` before `heaps` — the one allowed nesting order.
+            let mut h = eng.heaps.lock();
+            h.timer_gens.push(0);
             if eng.mode == ClockMode::Virtual {
-                g.seq += 1;
-                let seq = g.seq;
-                g.queue.push(Reverse((start, seq, pid)));
+                h.seq += 1;
+                let seq = h.seq;
+                h.queue.push(Reverse((start, seq, pid)));
                 if obs::enabled() {
-                    g.queue_hw = g.queue_hw.max(g.queue.len());
+                    h.queue_hw = h.queue_hw.max(h.queue.len());
                 }
-                eng.sched_cv.notify_one();
             }
             pid
         };
@@ -389,16 +645,16 @@ impl Sim {
                     rng: Mutex::new(SimRng::for_process(eng2.seed, pid)),
                 };
                 if eng2.mode == ClockMode::Virtual {
-                    // Wait for the scheduler to dispatch our start event.
-                    let mut g = eng2.inner.lock();
-                    let cv = Arc::clone(&g.procs[pid].cv);
-                    while g.current != Some(pid) {
-                        if g.panicked {
-                            drop(g);
+                    // Wait to be dispatched our start event (no spin: the
+                    // gap between spawn and first dispatch is unbounded).
+                    while eng2.current_word.load(Ordering::Acquire) != pid {
+                        if eng2.panicked_word.load(Ordering::Acquire) {
                             panic!("simulation aborted before process start");
                         }
-                        cv.wait(&mut g);
+                        std::thread::park();
                     }
+                    let mut g = eng2.inner.lock();
+                    debug_assert_eq!(g.current, Some(pid));
                     g.procs[pid].state = PState::Running;
                     drop(g);
                 }
@@ -412,6 +668,11 @@ impl Sim {
                 }
             })
             .expect("spawn simulation thread");
+        // Register the wake handle before any dispatch can pick this pid:
+        // the spawner (the running process, or the main thread before
+        // `run()`) does not yield between the slot push above and here,
+        // so no dispatcher can race a still-missing handle.
+        self.eng.inner.lock().procs[pid].thread = Some(handle.thread().clone());
         self.eng.handles.lock().push(handle);
         pid
     }
@@ -448,13 +709,16 @@ impl Sim {
                 self.eng.real_now()
             }
             ClockMode::Virtual => {
-                // A dispatch that resumes a different process than last
-                // time is a context switch in the one-runs-at-a-time model.
-                let mut ctx_switches = 0u64;
-                let mut last_pid: Option<Pid> = None;
+                // With direct handoff, this thread is off the per-event
+                // path: it performs the startup dispatch, then sleeps
+                // until a yielder finds nothing runnable (deadlock
+                // verdict), a panic propagates, or the last process
+                // finishes (teardown).
                 loop {
                     let mut g = self.eng.inner.lock();
-                    // Wait until nobody is running.
+                    // Wait until nobody is running. A successful handoff
+                    // never exposes `current == None`, so waking here with
+                    // live processes means a dispatch genuinely failed.
                     while g.current.is_some() && !g.panicked {
                         self.eng.sched_cv.wait(&mut g);
                     }
@@ -464,85 +728,41 @@ impl Sim {
                     if g.live == 0 {
                         break;
                     }
-                    // Pop the earliest useful event across the wake queue
-                    // and the deadline-timer heap.
-                    let mut dispatched = false;
-                    loop {
-                        // Discard cancelled/stale timers at the top.
-                        while let Some(&Reverse((_, _, tpid, tgen))) = g.timers.peek() {
-                            if g.procs[tpid].timer_gen != tgen
-                                || g.procs[tpid].state == PState::Done
-                            {
-                                g.timers.pop();
-                            } else {
-                                break;
+                    match self.eng.dispatch_next(&mut g) {
+                        Some((_, t)) => {
+                            g.sched_fallbacks += 1;
+                            drop(g);
+                            if let Some(t) = t {
+                                t.unpark();
                             }
                         }
-                        let take_timer = match (g.queue.peek(), g.timers.peek()) {
-                            (None, None) => break,
-                            (Some(_), None) => false,
-                            (None, Some(_)) => true,
-                            (Some(&Reverse((qt, _, _))), Some(&Reverse((tt, _, _, _)))) => {
-                                // Strict precedence only: at equal times
-                                // the wake event wins, so a message
-                                // arriving exactly at a receive deadline
-                                // is delivered (and observed) before the
-                                // timeout can fire.
-                                tt < qt
-                            }
-                        };
-                        let (t, pid) = if take_timer {
-                            let Reverse((t, _seq, pid, _gen)) =
-                                g.timers.pop().expect("peeked timer");
-                            (t, pid)
-                        } else {
-                            let Reverse((t, _seq, pid)) = g.queue.pop().expect("peeked wake");
-                            (t, pid)
-                        };
-                        match g.procs[pid].state {
-                            PState::Done => continue, // stale wake for a finished process
-                            PState::Running => {
-                                unreachable!("running proc has queued wake while scheduler active")
-                            }
-                            PState::Blocked => {
-                                let c = g.procs[pid].clock;
-                                g.procs[pid].clock = c.max(t);
-                                g.horizon = g.horizon.max(g.procs[pid].clock);
-                                g.dispatched += 1;
-                                if last_pid != Some(pid) {
-                                    ctx_switches += 1;
-                                    last_pid = Some(pid);
+                        None => {
+                            // live > 0 but no event: deadlock. Report who is stuck.
+                            let stuck: Vec<String> = g
+                                .procs
+                                .iter()
+                                .filter(|p| p.state == PState::Blocked)
+                                .map(|p| format!("{} (node {}, t={})", p.name, p.node, p.clock))
+                                .collect();
+                            g.panicked = true;
+                            self.eng.panicked_word.store(true, Ordering::Release);
+                            for p in &g.procs {
+                                if let Some(t) = &p.thread {
+                                    t.unpark();
                                 }
-                                g.current = Some(pid);
-                                g.procs[pid].cv.notify_one();
-                                dispatched = true;
-                                break;
                             }
-                        }
-                    }
-                    if !dispatched {
-                        // live > 0 but no event: deadlock. Report who is stuck.
-                        let stuck: Vec<String> = g
-                            .procs
-                            .iter()
-                            .filter(|p| p.state == PState::Blocked)
-                            .map(|p| format!("{} (node {}, t={})", p.name, p.node, p.clock))
-                            .collect();
-                        g.panicked = true;
-                        for p in &g.procs {
-                            p.cv.notify_all();
-                        }
-                        drop(g);
-                        // Reap threads so their panics don't outlive us.
-                        let handles = std::mem::take(&mut *self.eng.handles.lock());
-                        for h in handles {
-                            let _ = h.join();
-                        }
-                        panic!(
+                            drop(g);
+                            // Reap threads so their panics don't outlive us.
+                            let handles = std::mem::take(&mut *self.eng.handles.lock());
+                            for h in handles {
+                                let _ = h.join();
+                            }
+                            panic!(
                             "simulation deadlock: no pending events but {} process(es) blocked: {}",
                             stuck.len(),
                             stuck.join(", ")
                         );
+                        }
                     }
                 }
                 let handles = std::mem::take(&mut *self.eng.handles.lock());
@@ -579,9 +799,16 @@ impl Sim {
                 if obs::enabled() {
                     // Flushed once per run, so nothing touches the
                     // per-event hot path and nothing advances virtual time.
+                    let (queue_hw, timers_cancelled) = {
+                        let h = self.eng.heaps.lock();
+                        (h.queue_hw, h.timers_cancelled)
+                    };
                     obs::counter("sim.events_dispatched").add(g.dispatched);
-                    obs::counter("sim.context_switches").add(ctx_switches);
-                    obs::gauge("sim.queue_depth_high_water").set(g.queue_hw as u64);
+                    obs::counter("sim.context_switches").add(g.ctx_switches);
+                    obs::counter("sim.direct_handoffs").add(g.direct_handoffs);
+                    obs::counter("sim.sched_fallbacks").add(g.sched_fallbacks);
+                    obs::counter("sim.timers_cancelled_eagerly").add(timers_cancelled);
+                    obs::gauge("sim.queue_depth_high_water").set(queue_hw as u64);
                     obs::gauge("sim.virtual_horizon_ns").set(g.horizon.as_nanos());
                     obs::gauge("sim.real_elapsed_ns")
                         .set(self.eng.epoch.elapsed().as_nanos() as u64);
@@ -589,6 +816,54 @@ impl Sim {
                 g.horizon
             }
         }
+    }
+}
+
+/// A read-only handle onto a simulation's throughput counters, usable
+/// after [`Sim::run`] has consumed the `Sim` (obtain with [`Sim::stats`]
+/// before the run).
+pub struct EngineStats {
+    eng: Arc<Engine>,
+}
+
+impl EngineStats {
+    /// Total wake/timer events dispatched.
+    pub fn events_dispatched(&self) -> u64 {
+        self.eng.inner.lock().dispatched
+    }
+
+    /// The furthest virtual time any process reached.
+    pub fn horizon(&self) -> SimTime {
+        self.eng.inner.lock().horizon
+    }
+
+    /// Dispatches performed as a direct process-to-process handoff
+    /// (one OS-thread switch each).
+    pub fn direct_handoffs(&self) -> u64 {
+        self.eng.inner.lock().direct_handoffs
+    }
+
+    /// Dispatches routed through the scheduler thread (two OS-thread
+    /// switches each).
+    pub fn sched_fallbacks(&self) -> u64 {
+        self.eng.inner.lock().sched_fallbacks
+    }
+
+    /// Cancelled timer entries removed eagerly at cancellation sites.
+    pub fn timers_cancelled_eagerly(&self) -> u64 {
+        self.eng.heaps.lock().timers_cancelled
+    }
+}
+
+/// A recorded dispatch sequence (see [`Sim::record_dispatches`]).
+pub struct DispatchLog {
+    entries: DispatchEntries,
+}
+
+impl DispatchLog {
+    /// The `(pid, clock-at-resumption)` pairs, in dispatch order.
+    pub fn entries(&self) -> Vec<(Pid, SimTime)> {
+        self.entries.lock().clone()
     }
 }
 
@@ -877,6 +1152,76 @@ mod tests {
         sim.run();
         // start + two sleeps = 3 dispatches.
         assert_eq!(eng.inner.lock().dispatched, 3);
+    }
+
+    #[test]
+    fn self_dispatch_costs_no_handoff() {
+        // A lone process's timed sleeps pop its own wake events: zero
+        // OS-thread handoffs; the only fallback is the startup dispatch.
+        let sim = Sim::virtual_time(machine(), 1);
+        sim.spawn("solo", 0, |p| {
+            p.sleep(SimTime::from_micros(1));
+            p.sleep(SimTime::from_micros(1));
+        });
+        let stats = sim.stats();
+        sim.run();
+        assert_eq!(stats.events_dispatched(), 3);
+        assert_eq!(stats.sched_fallbacks(), 1, "startup dispatch only");
+        assert_eq!(stats.direct_handoffs(), 0, "self-dispatches are free");
+    }
+
+    #[test]
+    fn pingpong_handoffs_drop_at_least_40_percent_vs_hub_and_spoke() {
+        // Hub-and-spoke paid two OS-thread switches per dispatched event
+        // (yielder -> scheduler -> successor). Direct handoff must cut
+        // the total switch count by at least 40% on the ping-pong
+        // workload; by design it achieves ~50% (one per event).
+        let sim = Sim::virtual_time(machine(), 1);
+        let ch_a: Arc<crate::sync::SimChannel<u32>> = Arc::new(crate::sync::SimChannel::new());
+        let ch_b: Arc<crate::sync::SimChannel<u32>> = Arc::new(crate::sync::SimChannel::new());
+        let (a1, b1) = (Arc::clone(&ch_a), Arc::clone(&ch_b));
+        sim.spawn("ping", 0, move |p| {
+            for i in 0..200u32 {
+                a1.send(p, i, SimTime::from_micros(1));
+                let _ = b1.recv(p);
+            }
+        });
+        let (a2, b2) = (ch_a, ch_b);
+        sim.spawn("pong", 1, move |p| {
+            for _ in 0..200u32 {
+                let v = a2.recv(p);
+                b2.send(p, v, SimTime::from_micros(1));
+            }
+        });
+        let stats = sim.stats();
+        sim.run();
+        let events = stats.events_dispatched();
+        let switches = stats.direct_handoffs() + 2 * stats.sched_fallbacks();
+        let hub_and_spoke = 2 * events;
+        assert!(
+            switches * 10 <= hub_and_spoke * 6,
+            "handoff reduction below 40%: {switches} switches vs hub-and-spoke {hub_and_spoke}"
+        );
+        assert_eq!(stats.sched_fallbacks(), 1, "startup dispatch only");
+    }
+
+    #[test]
+    fn cancelled_timers_are_removed_eagerly() {
+        // A deadline wait whose wake beats the deadline leaves an armed
+        // timer behind; cancellation must remove it from the heap at the
+        // cancellation site, not leave it to be skipped at pop.
+        let sim = Sim::virtual_time(machine(), 1);
+        sim.spawn("waker", 0, |p| {
+            p.advance(SimTime::from_micros(5));
+            p.wake_other(1, SimTime::from_micros(5));
+        });
+        sim.spawn("waitee", 0, |p| {
+            let t = p.block_until_deadline(SimTime::from_micros(100));
+            assert_eq!(t, SimTime::from_micros(5), "wake must beat deadline");
+        });
+        let stats = sim.stats();
+        sim.run();
+        assert_eq!(stats.timers_cancelled_eagerly(), 1);
     }
 
     #[test]

@@ -699,11 +699,83 @@ impl<T> SimQueue<T> {
 mod tests {
     use super::*;
     use crate::engine::Sim;
+    use crate::fault::{FaultPlan, FaultSpec};
     use crate::topology::Machine;
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
     fn vsim(seed: u64) -> Sim {
         Sim::virtual_time(Machine::test_machine(), seed)
+    }
+
+    /// A message whose `Clone` impl counts every invocation. Pins the
+    /// `send_ctl` contract: the message is cloned only *after* the plan
+    /// decides to duplicate it, never speculatively.
+    struct Counted(Arc<AtomicUsize>);
+
+    impl Clone for Counted {
+        fn clone(&self) -> Counted {
+            self.0.fetch_add(1, Ordering::Relaxed);
+            Counted(Arc::clone(&self.0))
+        }
+    }
+
+    #[test]
+    fn send_ctl_never_clones_without_a_fault_plan() {
+        let sim = vsim(3);
+        let clones = Arc::new(AtomicUsize::new(0));
+        let ch: Arc<SimChannel<Counted>> = Arc::new(SimChannel::new());
+        let (tx, c) = (Arc::clone(&ch), Arc::clone(&clones));
+        sim.spawn("solo", 0, move |p| {
+            for _ in 0..100 {
+                tx.send_ctl(p, Counted(Arc::clone(&c)), SimTime::ZERO);
+            }
+            assert_eq!(tx.len(), 100, "fault-free send_ctl delivers every send");
+            while tx.try_recv(p).is_some() {}
+        });
+        sim.run();
+        assert_eq!(
+            clones.load(Ordering::Relaxed),
+            0,
+            "send_ctl with no fault plan must not clone the message"
+        );
+    }
+
+    #[test]
+    fn send_ctl_clones_exactly_once_per_duplicate() {
+        // The `dup` profile duplicates ~10% of control messages and drops
+        // none, so deliveries − sends counts the duplicates exactly; each
+        // must have cost exactly one clone (and the non-duplicated sends
+        // none).
+        const SENDS: usize = 400;
+        let sim = vsim(3);
+        let spec = FaultSpec::parse("7:dup").expect("dup profile parses");
+        assert!(sim.set_fault_plan(FaultPlan::new(&spec, sim.machine())));
+        let clones = Arc::new(AtomicUsize::new(0));
+        let delivered = Arc::new(AtomicUsize::new(0));
+        let ch: Arc<SimChannel<Counted>> = Arc::new(SimChannel::new());
+        let (tx, c, d) = (Arc::clone(&ch), Arc::clone(&clones), Arc::clone(&delivered));
+        sim.spawn("solo", 0, move |p| {
+            for _ in 0..SENDS {
+                tx.send_ctl(p, Counted(Arc::clone(&c)), SimTime::ZERO);
+            }
+            let mut n = 0usize;
+            while tx.try_recv(p).is_some() {
+                n += 1;
+            }
+            d.store(n, Ordering::Relaxed);
+        });
+        sim.run();
+        let dups = delivered.load(Ordering::Relaxed) - SENDS;
+        assert!(
+            dups > 0,
+            "dup profile must duplicate something in {SENDS} sends"
+        );
+        assert_eq!(
+            clones.load(Ordering::Relaxed),
+            dups,
+            "exactly one clone per duplicated delivery"
+        );
     }
 
     #[test]

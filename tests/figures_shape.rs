@@ -290,7 +290,20 @@ fn golden_metrics_json() {
         obs::set_enabled(true);
         run();
         obs::set_enabled(false);
-        obs::snapshot().deterministic().to_json().pretty()
+        let mut snap = obs::snapshot().deterministic();
+        // The scheduler-transport counters postdate the recorded goldens:
+        // they describe which thread performed each dispatch (and how
+        // timer heap entries were reclaimed), not anything the simulation
+        // model computed, so they are excluded to keep the goldens pinned
+        // across scheduler rewrites. Everything the model produces —
+        // events, context switches, queue depth, horizons — stays checked.
+        snap.metrics.retain(|m| {
+            !matches!(
+                m.name.as_str(),
+                "sim.direct_handoffs" | "sim.sched_fallbacks" | "sim.timers_cancelled_eagerly"
+            )
+        });
+        snap.to_json().pretty()
     }
     // The bench dev-dependency defaults the obs feature on, so test
     // builds normally have live observation even under

@@ -129,3 +129,25 @@ fn parallel_figure_runner_matches_serial_bytes() {
     let par = dynprof_bench::fig7_with_workers("smg98", 4).to_json();
     assert_eq!(serial, par);
 }
+
+#[test]
+fn parallel_fig8_matches_serial_bytes() {
+    // Same byte-identity contract for the fig8 confsync sweeps (the
+    // entry points the `fig8 --parallel` binary uses). Two seeds per
+    // point keep the averaging path honest without the full 16-run cost.
+    let _g = REGISTRY_LOCK.lock().unwrap();
+    let serial = dynprof_bench::fig8c(2).to_json();
+    let par = dynprof_bench::fig8c_with_workers(2, 4).to_json();
+    assert_eq!(serial, par);
+}
+
+#[test]
+fn parallel_fig9_matches_serial_bytes() {
+    // And for the fig9 create-and-instrument sweep (`fig9 --parallel`):
+    // per-app point order and degraded-label folding must survive the
+    // fan-out.
+    let _g = REGISTRY_LOCK.lock().unwrap();
+    let serial = dynprof_bench::fig9().to_json();
+    let par = dynprof_bench::fig9_with_workers(4).to_json();
+    assert_eq!(serial, par);
+}
