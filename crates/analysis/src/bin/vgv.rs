@@ -1,75 +1,247 @@
-//! A text-mode stand-in for the VGV GUI (paper §3.1, Fig 4): read a
-//! binary trace file and print the time-line display and statistics pane.
+//! A text-mode stand-in for the VGV GUI (paper §3.1, Fig 4).
 //!
 //! ```console
-//! $ vgv run.vgvt [--width N] [--per-thread] [--top N] [--exclude-suspensions]
+//! $ vgv info run.vgvs                 # store summary (footer index only)
+//! $ vgv ranks run.vgvs                # per-rank event counts and bounds
+//! $ vgv top run.vgvs [--top N] [--exclude-suspensions]
+//! $ vgv slice run.vgvs --t0 2ms --t1 5ms [--rank N] [--width N]
+//! $ vgv comm run.vgvs                 # rank x rank byte matrix
+//! $ vgv convert run.vgvt run.vgvs [--chunk-events N]
+//! $ vgv view run.vgvt [--width N] [--per-thread] [--top N]
+//! $ vgv run.vgvt                      # same as `vgv view` (legacy)
 //! ```
+//!
+//! Subcommands other than `view`/`convert` operate on chunk-indexed
+//! `VGVS` stores and decode only what the query needs; `view` is the
+//! legacy load-everything path for flat `VGVT` traces.
 
+use dynprof_analysis::store::{StoreOptions, StoreReader};
 use dynprof_analysis::{
-    read_trace, render, trace_volume, Profile, ProfileOptions, TimelineOptions,
+    comm_report, convert, info_report, ranks_report, read_trace, render, slice_report, top_report,
+    trace_volume, Profile, ProfileOptions, TimelineOptions,
 };
+use dynprof_sim::SimTime;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut path = None;
-    let mut width = 96usize;
-    let mut per_thread = false;
-    let mut top = 20usize;
-    let mut exclude = false;
+fn usage() -> ! {
+    eprintln!(
+        "usage: vgv <command> <file> [options]\n\
+         commands:\n\
+         \x20 info <store.vgvs>                    store summary from the footer index\n\
+         \x20 ranks <store.vgvs>                   per-rank event counts and time bounds\n\
+         \x20 top <store.vgvs> [--top N] [--exclude-suspensions]\n\
+         \x20 slice <store.vgvs> --t0 T --t1 T [--rank N] [--width N]\n\
+         \x20 comm <store.vgvs>                    communication matrix\n\
+         \x20 convert <in.vgvt> <out.vgvs> [--chunk-events N]\n\
+         \x20 view <trace.vgvt> [--width N] [--per-thread] [--top N] [--exclude-suspensions]\n\
+         times accept ns (plain number), us, ms or s suffixes, e.g. --t0 2.5ms"
+    );
+    std::process::exit(2);
+}
+
+fn fail(context: &str, err: impl std::fmt::Display) -> ! {
+    eprintln!("vgv: {context}: {err}");
+    std::process::exit(1);
+}
+
+/// Parse `12`, `12us`, `2.5ms`, `1s` into a [`SimTime`].
+fn parse_time(s: &str) -> Option<SimTime> {
+    let (num, scale) = if let Some(v) = s.strip_suffix("us") {
+        (v, 1e3)
+    } else if let Some(v) = s.strip_suffix("ms") {
+        (v, 1e6)
+    } else if let Some(v) = s.strip_suffix("ns") {
+        (v, 1.0)
+    } else if let Some(v) = s.strip_suffix('s') {
+        (v, 1e9)
+    } else {
+        (s, 1.0)
+    };
+    let v: f64 = num.parse().ok()?;
+    if v < 0.0 {
+        return None;
+    }
+    Some(SimTime::from_nanos((v * scale).round() as u64))
+}
+
+struct Flags {
+    positional: Vec<String>,
+    top: usize,
+    width: usize,
+    per_thread: bool,
+    exclude: bool,
+    rank: Option<u32>,
+    t0: Option<SimTime>,
+    t1: Option<SimTime>,
+    chunk_events: usize,
+}
+
+fn need<'a>(args: &'a [String], i: &mut usize) -> &'a str {
+    *i += 1;
+    match args.get(*i) {
+        Some(v) => v,
+        None => usage(),
+    }
+}
+
+fn parse_flags(args: &[String]) -> Flags {
+    let mut f = Flags {
+        positional: Vec::new(),
+        top: 20,
+        width: 96,
+        per_thread: false,
+        exclude: false,
+        rank: None,
+        t0: None,
+        t1: None,
+        chunk_events: StoreOptions::default().chunk_events,
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--width" => {
-                i += 1;
-                width = args[i].parse().expect("width");
-            }
-            "--per-thread" => per_thread = true,
             "--top" => {
-                i += 1;
-                top = args[i].parse().expect("top");
+                f.top = need(args, &mut i)
+                    .parse()
+                    .unwrap_or_else(|e| fail("--top", e))
             }
-            "--exclude-suspensions" => exclude = true,
-            other if path.is_none() => path = Some(other.to_string()),
-            other => {
-                eprintln!("vgv: unexpected argument {other:?}");
-                std::process::exit(2);
+            "--width" => {
+                f.width = need(args, &mut i)
+                    .parse()
+                    .unwrap_or_else(|e| fail("--width", e))
             }
+            "--per-thread" => f.per_thread = true,
+            "--exclude-suspensions" => f.exclude = true,
+            "--rank" => {
+                f.rank = Some(
+                    need(args, &mut i)
+                        .parse()
+                        .unwrap_or_else(|e| fail("--rank", e)),
+                )
+            }
+            "--t0" => {
+                f.t0 =
+                    Some(parse_time(need(args, &mut i)).unwrap_or_else(|| fail("--t0", "bad time")))
+            }
+            "--t1" => {
+                f.t1 =
+                    Some(parse_time(need(args, &mut i)).unwrap_or_else(|| fail("--t1", "bad time")))
+            }
+            "--chunk-events" => {
+                f.chunk_events = need(args, &mut i)
+                    .parse()
+                    .unwrap_or_else(|e| fail("--chunk-events", e))
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("vgv: unexpected flag {flag:?}");
+                usage();
+            }
+            other => f.positional.push(other.to_string()),
         }
         i += 1;
     }
-    let Some(path) = path else {
-        eprintln!(
-            "usage: vgv <trace.vgvt> [--width N] [--per-thread] [--top N] [--exclude-suspensions]"
-        );
-        std::process::exit(2);
+    f
+}
+
+fn open_store(path: &str) -> StoreReader {
+    StoreReader::open(path).unwrap_or_else(|e| fail(path, e))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().cloned() else {
+        usage();
     };
-    let trace = match read_trace(&path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("vgv: {path}: {e}");
-            std::process::exit(1);
+    // `vgv <file.vgvt>` (no subcommand) keeps working as the legacy view.
+    let (command, rest): (&str, &[String]) = if command.starts_with('-') || command.contains('.') {
+        ("view", &args)
+    } else {
+        (command.as_str(), &args[1..])
+    };
+    let f = parse_flags(rest);
+    match command {
+        "info" => {
+            let [path] = &f.positional[..] else { usage() };
+            print!("{}", info_report(&open_store(path)));
         }
-    };
-    print!("{}", render(&trace, TimelineOptions { width, per_thread }));
-    let v = trace_volume(&trace, 24);
-    println!(
-        "\n{} events, {} modelled bytes, {:.1} KB/s aggregate",
-        trace.events.len(),
-        v.bytes,
-        v.bytes_per_second / 1024.0
-    );
-    let comm = dynprof_analysis::CommStats::from_trace(&trace);
-    let matrix = comm.render_matrix();
-    if !matrix.is_empty() {
-        println!("\n-- communication --");
-        print!("{matrix}");
+        "ranks" => {
+            let [path] = &f.positional[..] else { usage() };
+            print!("{}", ranks_report(&open_store(path)));
+        }
+        "top" => {
+            let [path] = &f.positional[..] else { usage() };
+            let mut r = open_store(path);
+            let opts = ProfileOptions {
+                exclude_suspensions: f.exclude,
+            };
+            let report = top_report(&mut r, f.top, opts).unwrap_or_else(|e| fail(path, e));
+            print!("{report}");
+        }
+        "slice" => {
+            let [path] = &f.positional[..] else { usage() };
+            let (Some(t0), Some(t1)) = (f.t0, f.t1) else {
+                eprintln!("vgv slice: --t0 and --t1 are required");
+                usage();
+            };
+            let mut r = open_store(path);
+            let (report, _) =
+                slice_report(&mut r, t0, t1, f.rank, f.width).unwrap_or_else(|e| fail(path, e));
+            print!("{report}");
+        }
+        "comm" => {
+            let [path] = &f.positional[..] else { usage() };
+            let mut r = open_store(path);
+            print!("{}", comm_report(&mut r).unwrap_or_else(|e| fail(path, e)));
+        }
+        "convert" => {
+            let [from, to] = &f.positional[..] else {
+                usage()
+            };
+            let opts = StoreOptions {
+                chunk_events: f.chunk_events,
+            };
+            let stats = convert(from, to, opts).unwrap_or_else(|e| fail(from, e));
+            println!(
+                "converted {from} -> {to}: {} events in {} chunks, {} bytes",
+                stats.events, stats.chunks, stats.bytes
+            );
+        }
+        "view" => {
+            let [path] = &f.positional[..] else { usage() };
+            let trace = read_trace(path).unwrap_or_else(|e| fail(path, e));
+            print!(
+                "{}",
+                render(
+                    &trace,
+                    TimelineOptions {
+                        width: f.width,
+                        per_thread: f.per_thread,
+                    }
+                )
+            );
+            let v = trace_volume(&trace, 24);
+            println!(
+                "\n{} events, {} modelled bytes, {:.1} KB/s aggregate",
+                trace.events.len(),
+                v.bytes,
+                v.bytes_per_second / 1024.0
+            );
+            let comm = dynprof_analysis::CommStats::from_trace(&trace);
+            let matrix = comm.render_matrix();
+            if !matrix.is_empty() {
+                println!("\n-- communication --");
+                print!("{matrix}");
+            }
+            println!("\n-- statistics (top {}) --", f.top);
+            let profile = Profile::from_trace_opts(
+                &trace,
+                ProfileOptions {
+                    exclude_suspensions: f.exclude,
+                },
+            );
+            print!("{}", profile.render_top(f.top));
+        }
+        other => {
+            eprintln!("vgv: unknown command {other:?}");
+            usage();
+        }
     }
-    println!("\n-- statistics (top {top}) --");
-    let profile = Profile::from_trace_opts(
-        &trace,
-        ProfileOptions {
-            exclude_suspensions: exclude,
-        },
-    );
-    print!("{}", profile.render_top(top));
 }

@@ -20,42 +20,58 @@ pub struct CommStats {
 }
 
 impl CommStats {
+    /// Account one event. Only `MpiCall` contributes; order is
+    /// irrelevant, so chunks can be streamed in any order.
+    pub fn push(&mut self, ev: &Event) {
+        if let Event::MpiCall {
+            t,
+            t_end,
+            rank,
+            op,
+            peer,
+            bytes,
+        } = *ev
+        {
+            *self.mpi_time.entry(rank).or_insert(SimTime::ZERO) += t_end.saturating_sub(t);
+            match op_from_code(op) {
+                Some(dynprof_mpi::MpiOp::Send) if peer >= 0 => {
+                    *self.bytes.entry((rank, peer as u32)).or_insert(0) += bytes;
+                    *self.messages.entry((rank, peer as u32)).or_insert(0) += 1;
+                }
+                Some(
+                    dynprof_mpi::MpiOp::Barrier
+                    | dynprof_mpi::MpiOp::Bcast
+                    | dynprof_mpi::MpiOp::Reduce
+                    | dynprof_mpi::MpiOp::Allreduce
+                    | dynprof_mpi::MpiOp::Gather
+                    | dynprof_mpi::MpiOp::Allgather
+                    | dynprof_mpi::MpiOp::Alltoall
+                    | dynprof_mpi::MpiOp::Scan,
+                ) => {
+                    *self.collectives.entry(rank).or_insert(0) += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+
     /// Compute the statistics from a trace's `MpiCall` events.
     pub fn from_trace(trace: &Trace) -> CommStats {
         let mut out = CommStats::default();
         for ev in &trace.events {
-            if let Event::MpiCall {
-                t,
-                t_end,
-                rank,
-                op,
-                peer,
-                bytes,
-            } = *ev
-            {
-                *out.mpi_time.entry(rank).or_insert(SimTime::ZERO) += t_end.saturating_sub(t);
-                match op_from_code(op) {
-                    Some(dynprof_mpi::MpiOp::Send) if peer >= 0 => {
-                        *out.bytes.entry((rank, peer as u32)).or_insert(0) += bytes;
-                        *out.messages.entry((rank, peer as u32)).or_insert(0) += 1;
-                    }
-                    Some(
-                        dynprof_mpi::MpiOp::Barrier
-                        | dynprof_mpi::MpiOp::Bcast
-                        | dynprof_mpi::MpiOp::Reduce
-                        | dynprof_mpi::MpiOp::Allreduce
-                        | dynprof_mpi::MpiOp::Gather
-                        | dynprof_mpi::MpiOp::Allgather
-                        | dynprof_mpi::MpiOp::Alltoall
-                        | dynprof_mpi::MpiOp::Scan,
-                    ) => {
-                        *out.collectives.entry(rank).or_insert(0) += 1;
-                    }
-                    _ => {}
-                }
-            }
+            out.push(ev);
         }
         out
+    }
+
+    /// Compute the statistics from a chunk-indexed store, decoding one
+    /// chunk at a time.
+    pub fn from_store(
+        reader: &mut crate::store::StoreReader,
+    ) -> Result<CommStats, crate::TraceError> {
+        let mut out = CommStats::default();
+        reader.for_each_query(None, None, |ev| out.push(ev))?;
+        Ok(out)
     }
 
     /// Render the rank×rank byte matrix as text (empty string if no

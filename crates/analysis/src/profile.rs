@@ -1,14 +1,22 @@
 //! Postmortem profiles from traces.
 //!
-//! The VGV GUI's statistics views, recomputed from the trace file:
+//! The VGV GUI's statistics views, recomputed from the trace data:
 //! per-function inclusive/exclusive time and call counts, per rank and
 //! aggregated, plus the load-imbalance metrics instrumentation exists to
 //! expose (paper §1).
+//!
+//! Profiles are accumulated by [`ProfileBuilder`], which consumes events
+//! one at a time — feed it a whole [`Trace`] ([`Profile::from_trace`]) or
+//! stream a chunk-indexed store through it ([`Profile::from_store`])
+//! without ever materializing the event array.
 
 use std::collections::BTreeMap;
 
 use dynprof_sim::SimTime;
 use dynprof_vt::{Event, Trace, VtFuncId};
+
+use crate::error::TraceError;
+use crate::store::StoreReader;
 
 /// Aggregated statistics of one function on one rank.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -42,6 +50,131 @@ pub struct Profile {
     pub ranks: Vec<u32>,
 }
 
+/// An open call frame: (func, entry time, time attributed to callees).
+type Frame = (VtFuncId, SimTime, SimTime);
+
+/// Streaming profile accumulator: feed events in each rank's causal
+/// order via [`ProfileBuilder::push`], then [`ProfileBuilder::finish`].
+/// Memory is `O(functions × ranks + open frames)` — independent of
+/// trace length.
+///
+/// To honor [`ProfileOptions::exclude_suspensions`], install the
+/// per-rank suspension windows (a cheap pre-pass) with
+/// [`ProfileBuilder::set_suspensions`] before pushing events.
+pub struct ProfileBuilder {
+    opts: ProfileOptions,
+    suspensions: BTreeMap<u32, Vec<(SimTime, SimTime)>>,
+    per_rank: BTreeMap<(u32, VtFuncId), FuncProfile>,
+    /// Open frames per (rank, thread).
+    stacks: BTreeMap<(u32, u16), Vec<Frame>>,
+    ranks: Vec<u32>,
+    functions: Vec<String>,
+}
+
+impl ProfileBuilder {
+    /// Start a profile over the given function dictionary.
+    pub fn new(functions: Vec<String>, opts: ProfileOptions) -> ProfileBuilder {
+        ProfileBuilder {
+            opts,
+            suspensions: BTreeMap::new(),
+            per_rank: BTreeMap::new(),
+            stacks: BTreeMap::new(),
+            ranks: Vec::new(),
+            functions,
+        }
+    }
+
+    /// Install per-rank suspension windows (sorted, disjoint) to discount
+    /// when [`ProfileOptions::exclude_suspensions`] is set.
+    pub fn set_suspensions(&mut self, windows: BTreeMap<u32, Vec<(SimTime, SimTime)>>) {
+        self.suspensions = windows;
+    }
+
+    fn discount(&self, rank: u32, a: SimTime, b: SimTime) -> SimTime {
+        if !self.opts.exclude_suspensions {
+            return SimTime::ZERO;
+        }
+        match self.suspensions.get(&rank) {
+            Some(ws) => overlap_with(a, b, ws),
+            None => SimTime::ZERO,
+        }
+    }
+
+    /// Account one event.
+    pub fn push(&mut self, ev: &Event) {
+        let rank = ev.rank();
+        if !self.ranks.contains(&rank) {
+            self.ranks.push(rank);
+        }
+        match *ev {
+            Event::FuncEnter {
+                t,
+                rank,
+                thread,
+                func,
+            } => {
+                self.stacks
+                    .entry((rank, thread))
+                    .or_default()
+                    .push((func, t, SimTime::ZERO));
+            }
+            Event::FuncExit {
+                t,
+                rank,
+                thread,
+                func,
+            } => {
+                let popped = self.stacks.get_mut(&(rank, thread)).and_then(Vec::pop);
+                if let Some((f, t0, child)) = popped {
+                    debug_assert_eq!(f, func, "trace stack mismatch");
+                    let span = t
+                        .saturating_sub(t0)
+                        .saturating_sub(self.discount(rank, t0, t));
+                    let e = self.per_rank.entry((rank, func)).or_default();
+                    e.count += 1;
+                    e.incl += span;
+                    e.excl += span.saturating_sub(child);
+                    if let Some(parent) = self
+                        .stacks
+                        .get_mut(&(rank, thread))
+                        .and_then(|s| s.last_mut())
+                    {
+                        parent.2 += span;
+                    }
+                }
+            }
+            Event::FuncBatch {
+                t,
+                rank,
+                thread,
+                func,
+                count,
+                span,
+            } => {
+                let span = span.saturating_sub(self.discount(rank, t, t + span));
+                let e = self.per_rank.entry((rank, func)).or_default();
+                e.count += count;
+                e.incl += span;
+                e.excl += span;
+                if let Some(parent) = self.stacks.entry((rank, thread)).or_default().last_mut() {
+                    parent.2 += span;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Finish: sort the rank list and produce the [`Profile`].
+    pub fn finish(mut self) -> Profile {
+        self.ranks.sort_unstable();
+        Profile {
+            per_rank: self.per_rank,
+            functions: self.functions,
+            ranks: self.ranks,
+        }
+    }
+}
+
 impl Profile {
     /// Compute the profile by replaying the trace's per-(rank, thread)
     /// call stacks. `FuncBatch` events contribute their aggregate span.
@@ -51,84 +184,41 @@ impl Profile {
 
     /// As [`Profile::from_trace`], with options.
     pub fn from_trace_opts(trace: &Trace, opts: ProfileOptions) -> Profile {
-        let suspensions = if opts.exclude_suspensions {
-            suspension_windows(trace)
-        } else {
-            BTreeMap::new()
-        };
-        let discount = |rank: u32, a: SimTime, b: SimTime| -> SimTime {
-            match suspensions.get(&rank) {
-                Some(ws) => overlap_with(a, b, ws),
-                None => SimTime::ZERO,
-            }
-        };
-        let mut per_rank: BTreeMap<(u32, VtFuncId), FuncProfile> = BTreeMap::new();
-        // Open frames per (rank, thread): (func, t0, child_time).
-        type FrameStacks = BTreeMap<(u32, u16), Vec<(VtFuncId, SimTime, SimTime)>>;
-        let mut stacks: FrameStacks = BTreeMap::new();
-        let mut ranks: Vec<u32> = Vec::new();
+        let mut b = ProfileBuilder::new(trace.functions.clone(), opts);
+        if opts.exclude_suspensions {
+            b.set_suspensions(suspension_windows(trace));
+        }
         for ev in &trace.events {
-            let rank = ev.rank();
-            if !ranks.contains(&rank) {
-                ranks.push(rank);
-            }
-            match *ev {
-                Event::FuncEnter {
-                    t,
-                    rank,
-                    thread,
-                    func,
-                } => {
-                    stacks
-                        .entry((rank, thread))
-                        .or_default()
-                        .push((func, t, SimTime::ZERO));
-                }
-                Event::FuncExit {
-                    t,
-                    rank,
-                    thread,
-                    func,
-                } => {
-                    let stack = stacks.entry((rank, thread)).or_default();
-                    if let Some((f, t0, child)) = stack.pop() {
-                        debug_assert_eq!(f, func, "trace stack mismatch");
-                        let span = t.saturating_sub(t0).saturating_sub(discount(rank, t0, t));
-                        let e = per_rank.entry((rank, func)).or_default();
-                        e.count += 1;
-                        e.incl += span;
-                        e.excl += span.saturating_sub(child);
-                        if let Some(parent) = stack.last_mut() {
-                            parent.2 += span;
-                        }
-                    }
-                }
-                Event::FuncBatch {
-                    t,
-                    rank,
-                    thread,
-                    func,
-                    count,
-                    span,
-                } => {
-                    let span = span.saturating_sub(discount(rank, t, t + span));
-                    let e = per_rank.entry((rank, func)).or_default();
-                    e.count += count;
-                    e.incl += span;
-                    e.excl += span;
-                    if let Some(parent) = stacks.entry((rank, thread)).or_default().last_mut() {
-                        parent.2 += span;
-                    }
-                }
-                _ => {}
-            }
+            b.push(ev);
         }
-        ranks.sort_unstable();
-        Profile {
-            per_rank,
-            functions: trace.functions.clone(),
-            ranks,
+        b.finish()
+    }
+
+    /// Stream a chunk-indexed store through a [`ProfileBuilder`],
+    /// rank by rank, decoding one chunk at a time. When
+    /// [`ProfileOptions::exclude_suspensions`] is set a pre-pass collects
+    /// the suspension windows first (still `O(chunk)` memory).
+    pub fn from_store(
+        reader: &mut StoreReader,
+        opts: ProfileOptions,
+    ) -> Result<Profile, TraceError> {
+        let mut b = ProfileBuilder::new(reader.functions().to_vec(), opts);
+        if opts.exclude_suspensions {
+            let mut windows: BTreeMap<u32, Vec<(SimTime, SimTime)>> = BTreeMap::new();
+            reader.for_each_query(None, None, |ev| {
+                if let Event::Suspended { t, t_end, rank } = *ev {
+                    windows.entry(rank).or_default().push((t, t_end));
+                }
+            })?;
+            for ws in windows.values_mut() {
+                ws.sort_unstable();
+            }
+            b.set_suspensions(windows);
         }
+        for rank in reader.ranks() {
+            reader.for_each_rank_event(rank, |ev| b.push(ev))?;
+        }
+        Ok(b.finish())
     }
 
     /// Function name lookup.

@@ -1,0 +1,152 @@
+//! # Chunk-indexed trace store (`VGVS`)
+//!
+//! The legacy `VGVT` format is one flat event array: reading *anything*
+//! means decoding *everything*, which dies at the paper's 144×8 scale and
+//! is hopeless at 10k+ ranks. The store replaces it with a seekable,
+//! chunk-compressed layout so every query touches only the bytes it
+//! needs:
+//!
+//! ```text
+//! ┌────────────────────────────────────────────────────────────────────┐
+//! │ header (8B):  "VGVS" magic │ version u16 │ flags u16               │
+//! ├────────────────────────────────────────────────────────────────────┤
+//! │ chunk 0: ┌ disk header (36B) ───────────────────────────────┐      │
+//! │          │ rank u32 │ count u32 │ enc_len u32               │      │
+//! │          │ min_t u64 │ max_t u64 │ max_end u64              │      │
+//! │          └ payload: enc_len bytes, delta/varint events ─────┘      │
+//! │ chunk 1: …  (one rank per chunk; ≤ chunk_events events)            │
+//! │   ⋮                                                                │
+//! ├────────────────────────────────────────────────────────────────────┤
+//! │ footer:  program string │ function dictionary │ chunk index        │
+//! │          (index entry = rank, offset, enc_len, count,              │
+//! │           min_t, max_t, max_end — 44B per chunk)                   │
+//! ├────────────────────────────────────────────────────────────────────┤
+//! │ trailer (14B): footer_len u64 │ "VGVS" │ version u16               │
+//! └────────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! **Bounded memory.** The writer holds one open chunk per rank
+//! (`O(ranks × chunk_events)` events, never `O(trace)`); a chunk is
+//! encoded incrementally and written out the moment it fills. The reader
+//! seeks via the footer index and decodes **one chunk at a time**; a
+//! windowed query ([`StoreReader::for_each_query`]) consults each index
+//! entry's `[min_t, max_end]` envelope and never reads the payload of a
+//! chunk outside the window. Skip ratios are observable through the
+//! `analysis.chunks_{written,read,skipped}` counters.
+//!
+//! **Writing.** [`StoreWriter`] streams events (see
+//! [`write_store_from_vt`] for the `VtLib` flush path and
+//! [`write_store_from_trace`] for legacy conversion); [`compact`] merges
+//! small per-rank segment files into one indexed store, re-mapping
+//! function ids when the segments' dictionaries differ.
+//!
+//! ```
+//! use dynprof_analysis::store::{StoreOptions, StoreReader, StoreWriter};
+//! use dynprof_sim::SimTime;
+//! use dynprof_vt::{Event, VtFuncId};
+//!
+//! let dir = std::env::temp_dir().join("dynprof-doctest");
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let path = dir.join(format!("doc-{}.vgvs", std::process::id()));
+//!
+//! // Stream events through the bounded-memory writer…
+//! let mut w = StoreWriter::create(&path, "demo", StoreOptions::default()).unwrap();
+//! w.set_functions(vec!["solve".to_string()]);
+//! for i in 0..100u64 {
+//!     w.append(&Event::FuncEnter {
+//!         t: SimTime::from_micros(2 * i),
+//!         rank: (i % 4) as u32,
+//!         thread: 0,
+//!         func: VtFuncId(0),
+//!     });
+//!     w.append(&Event::FuncExit {
+//!         t: SimTime::from_micros(2 * i + 1),
+//!         rank: (i % 4) as u32,
+//!         thread: 0,
+//!         func: VtFuncId(0),
+//!     });
+//! }
+//! let stats = w.finish().unwrap();
+//! assert_eq!(stats.events, 200);
+//!
+//! // …then query a time window without decoding the whole file.
+//! let mut r = StoreReader::open(&path).unwrap();
+//! let mut seen = 0;
+//! let q = r
+//!     .for_each_query(
+//!         Some((SimTime::from_micros(10), SimTime::from_micros(20))),
+//!         None,
+//!         |ev| {
+//!             assert!(ev.time() <= SimTime::from_micros(20));
+//!             seen += 1;
+//!         },
+//!     )
+//!     .unwrap();
+//! assert!(seen > 0 && q.events == seen);
+//! std::fs::remove_file(&path).ok();
+//! ```
+
+mod codec;
+mod reader;
+mod writer;
+
+pub use codec::{event_end, event_overlaps};
+pub use reader::{QueryStats, StoreInfo, StoreReader};
+pub use writer::{compact, write_store_from_trace, write_store_from_vt, StoreStats, StoreWriter};
+
+use dynprof_sim::SimTime;
+
+/// File magic of the chunk-indexed store format.
+pub const STORE_MAGIC: &[u8; 4] = b"VGVS";
+/// Current store format version.
+pub const STORE_VERSION: u16 = 1;
+/// Bytes of the fixed file header (magic + version + flags).
+pub(crate) const HEADER_BYTES: u64 = 8;
+/// Bytes of the per-chunk on-disk header.
+pub(crate) const CHUNK_HEADER_BYTES: usize = 36;
+/// Bytes of the trailing `footer_len | magic | version` trailer.
+pub(crate) const TRAILER_BYTES: u64 = 14;
+
+/// Writer/reader tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreOptions {
+    /// Events per chunk: the unit of seeking, skipping, and writer
+    /// memory. Smaller chunks skip more precisely but index larger.
+    pub chunk_events: usize,
+}
+
+impl Default for StoreOptions {
+    fn default() -> StoreOptions {
+        StoreOptions { chunk_events: 2048 }
+    }
+}
+
+/// One chunk's footer-index entry: everything a query needs to decide
+/// whether the payload is worth reading, without touching it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkMeta {
+    /// Rank whose events the chunk holds.
+    pub rank: u32,
+    /// File offset of the chunk's on-disk header.
+    pub offset: u64,
+    /// Encoded payload length in bytes.
+    pub enc_len: u32,
+    /// Number of events.
+    pub count: u32,
+    /// Minimum event timestamp.
+    pub min_t: SimTime,
+    /// Maximum event *start* timestamp (the legacy trace's notion of the
+    /// last event time — timeline bounds use this).
+    pub max_t: SimTime,
+    /// Maximum event *end* timestamp (spans included); window-overlap
+    /// tests use `[min_t, max_end]`.
+    pub max_end: SimTime,
+}
+
+impl ChunkMeta {
+    /// Does this chunk's time envelope intersect the closed window
+    /// `[t0, t1]`?
+    pub fn overlaps(&self, t0: SimTime, t1: SimTime) -> bool {
+        self.min_t <= t1 && self.max_end >= t0
+    }
+}

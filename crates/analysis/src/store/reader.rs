@@ -1,0 +1,371 @@
+//! The seeking store reader: footer-index open, one-chunk-at-a-time
+//! decode, and windowed queries that never touch non-overlapping chunks.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
+use std::sync::OnceLock;
+
+use bytes::{Buf, Bytes};
+use dynprof_obs as obs;
+use dynprof_sim::SimTime;
+use dynprof_vt::{Event, Trace};
+
+use super::codec::{decode_event, event_overlaps};
+use super::{
+    ChunkMeta, CHUNK_HEADER_BYTES, HEADER_BYTES, STORE_MAGIC, STORE_VERSION, TRAILER_BYTES,
+};
+use crate::error::TraceError;
+
+fn obs_chunks_read(n: u64) {
+    static C: OnceLock<&'static obs::Counter> = OnceLock::new();
+    C.get_or_init(|| obs::counter("analysis.chunks_read"))
+        .add(n);
+}
+
+fn obs_chunks_skipped(n: u64) {
+    static C: OnceLock<&'static obs::Counter> = OnceLock::new();
+    C.get_or_init(|| obs::counter("analysis.chunks_skipped"))
+        .add(n);
+}
+
+/// What one windowed query cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Chunks in the store (after the rank filter).
+    pub chunks_considered: usize,
+    /// Chunks whose payload was read and decoded.
+    pub chunks_decoded: usize,
+    /// Chunks skipped purely from the footer index.
+    pub chunks_skipped: usize,
+    /// Events delivered to the callback.
+    pub events: u64,
+}
+
+/// Summary of a store file, computed from the footer index alone
+/// (no chunk payload is read).
+#[derive(Clone, Debug, Default)]
+pub struct StoreInfo {
+    /// Program name.
+    pub program: String,
+    /// Registered function count.
+    pub functions: usize,
+    /// Total chunks.
+    pub chunks: usize,
+    /// Total events.
+    pub events: u64,
+    /// Distinct ranks.
+    pub ranks: usize,
+    /// File size in bytes.
+    pub file_bytes: u64,
+    /// Earliest event timestamp.
+    pub t_min: SimTime,
+    /// Latest event *start* timestamp.
+    pub t_max: SimTime,
+    /// Latest event *end* timestamp (spans included).
+    pub t_end: SimTime,
+}
+
+/// Reader over a `VGVS` store file. Holds the footer index in memory
+/// (44 bytes per chunk); payloads are decoded one chunk at a time.
+pub struct StoreReader {
+    file: std::fs::File,
+    program: String,
+    functions: Vec<String>,
+    index: Vec<ChunkMeta>,
+    file_bytes: u64,
+    events: u64,
+    /// Largest single decoded-payload allocation so far — the reader's
+    /// bounded-memory witness (`O(chunk)`, never `O(trace)`).
+    peak_chunk_bytes: usize,
+}
+
+impl StoreReader {
+    /// Open a store file: validate magic/version, read the footer index.
+    pub fn open(path: impl AsRef<Path>) -> Result<StoreReader, TraceError> {
+        let mut file = std::fs::File::open(path)?;
+        let file_bytes = file.seek(SeekFrom::End(0))?;
+        if file_bytes < HEADER_BYTES {
+            return Err(TraceError::TruncatedHeader);
+        }
+        let mut head = [0u8; HEADER_BYTES as usize];
+        file.seek(SeekFrom::Start(0))?;
+        file.read_exact(&mut head)?;
+        if &head[..4] != STORE_MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let version = u16::from_le_bytes([head[4], head[5]]);
+        if version != STORE_VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        if file_bytes < HEADER_BYTES + TRAILER_BYTES {
+            return Err(TraceError::TruncatedFooter);
+        }
+        // Trailer: footer_len u64 | magic | version.
+        let mut trailer = [0u8; TRAILER_BYTES as usize];
+        file.seek(SeekFrom::End(-(TRAILER_BYTES as i64)))?;
+        file.read_exact(&mut trailer)?;
+        if &trailer[8..12] != STORE_MAGIC
+            || u16::from_le_bytes([trailer[12], trailer[13]]) != STORE_VERSION
+        {
+            return Err(TraceError::TruncatedFooter);
+        }
+        let footer_len = u64::from_le_bytes(trailer[..8].try_into().expect("8 bytes"));
+        if footer_len + TRAILER_BYTES + HEADER_BYTES > file_bytes {
+            return Err(TraceError::TruncatedFooter);
+        }
+        file.seek(SeekFrom::End(-((TRAILER_BYTES + footer_len) as i64)))?;
+        let mut footer = vec![0u8; footer_len as usize];
+        file.read_exact(&mut footer)?;
+        let mut buf = Bytes::from(footer);
+        let program = take_string(&mut buf)?;
+        if buf.remaining() < 4 {
+            return Err(TraceError::TruncatedFooter);
+        }
+        let nf = buf.get_u32_le() as usize;
+        let mut functions = Vec::with_capacity(nf.min(1 << 20));
+        for _ in 0..nf {
+            functions.push(take_string(&mut buf)?);
+        }
+        if buf.remaining() < 4 {
+            return Err(TraceError::TruncatedFooter);
+        }
+        let nc = buf.get_u32_le() as usize;
+        let mut index = Vec::with_capacity(nc.min(1 << 24));
+        let mut events = 0u64;
+        for i in 0..nc {
+            if buf.remaining() < 44 {
+                return Err(TraceError::TruncatedFooter);
+            }
+            let meta = ChunkMeta {
+                rank: buf.get_u32_le(),
+                offset: buf.get_u64_le(),
+                enc_len: buf.get_u32_le(),
+                count: buf.get_u32_le(),
+                min_t: SimTime::from_nanos(buf.get_u64_le()),
+                max_t: SimTime::from_nanos(buf.get_u64_le()),
+                max_end: SimTime::from_nanos(buf.get_u64_le()),
+            };
+            if meta.offset + (CHUNK_HEADER_BYTES as u64) + (meta.enc_len as u64) > file_bytes {
+                return Err(TraceError::ShortChunk { index: i });
+            }
+            events += meta.count as u64;
+            index.push(meta);
+        }
+        Ok(StoreReader {
+            file,
+            program,
+            functions,
+            index,
+            file_bytes,
+            events,
+            peak_chunk_bytes: 0,
+        })
+    }
+
+    /// Program name recorded by the writer.
+    pub fn program(&self) -> &str {
+        &self.program
+    }
+
+    /// Function dictionary (names indexed by `VtFuncId`).
+    pub fn functions(&self) -> &[String] {
+        &self.functions
+    }
+
+    /// The footer index: one entry per chunk, in file order.
+    pub fn chunks(&self) -> &[ChunkMeta] {
+        &self.index
+    }
+
+    /// Largest single chunk-payload allocation made so far — the
+    /// bounded-memory witness for tests.
+    pub fn peak_chunk_bytes(&self) -> usize {
+        self.peak_chunk_bytes
+    }
+
+    /// Index-only store summary.
+    pub fn info(&self) -> StoreInfo {
+        let mut ranks: Vec<u32> = self.index.iter().map(|m| m.rank).collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        let t_min = self
+            .index
+            .iter()
+            .map(|m| m.min_t)
+            .min()
+            .unwrap_or(SimTime::ZERO);
+        let t_max = self
+            .index
+            .iter()
+            .map(|m| m.max_t)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let t_end = self
+            .index
+            .iter()
+            .map(|m| m.max_end)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        StoreInfo {
+            program: self.program.clone(),
+            functions: self.functions.len(),
+            chunks: self.index.len(),
+            events: self.events,
+            ranks: ranks.len(),
+            file_bytes: self.file_bytes,
+            t_min,
+            t_max,
+            t_end,
+        }
+    }
+
+    /// Decode chunk `i`'s events (exactly one chunk resident at a time).
+    pub fn read_chunk(&mut self, i: usize) -> Result<Vec<Event>, TraceError> {
+        let meta = *self
+            .index
+            .get(i)
+            .ok_or(TraceError::ShortChunk { index: i })?;
+        let start = if obs::enabled() {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
+        self.file.seek(SeekFrom::Start(meta.offset))?;
+        let mut header = [0u8; CHUNK_HEADER_BYTES];
+        self.file
+            .read_exact(&mut header)
+            .map_err(|_| TraceError::ShortChunk { index: i })?;
+        let rank = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+        let count = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        let enc_len = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+        if rank != meta.rank || count != meta.count || enc_len != meta.enc_len {
+            return Err(TraceError::ShortChunk { index: i });
+        }
+        let mut payload = vec![0u8; enc_len as usize];
+        self.file
+            .read_exact(&mut payload)
+            .map_err(|_| TraceError::ShortChunk { index: i })?;
+        self.peak_chunk_bytes = self.peak_chunk_bytes.max(payload.len());
+        let mut buf = Bytes::from(payload);
+        let mut prev_t = 0u64;
+        let mut events = Vec::with_capacity(count as usize);
+        for n in 0..count {
+            match decode_event(&mut buf, meta.rank, &mut prev_t) {
+                Some(ev) => events.push(ev),
+                None => return Err(TraceError::BadEvent { index: n as u64 }),
+            }
+        }
+        if let Some(t0) = start {
+            obs::histogram("analysis.decode_real_ns").record(t0.elapsed().as_nanos() as u64);
+            obs_chunks_read(1);
+        }
+        Ok(events)
+    }
+
+    /// Stream every event overlapping `window` (closed interval; `None` =
+    /// all time) on `rank` (`None` = all ranks) through `f`, decoding
+    /// only chunks whose index envelope overlaps. Returns what it cost.
+    pub fn for_each_query(
+        &mut self,
+        window: Option<(SimTime, SimTime)>,
+        rank: Option<u32>,
+        mut f: impl FnMut(&Event),
+    ) -> Result<QueryStats, TraceError> {
+        let mut stats = QueryStats::default();
+        for i in 0..self.index.len() {
+            let meta = self.index[i];
+            if rank.is_some_and(|r| r != meta.rank) {
+                continue;
+            }
+            stats.chunks_considered += 1;
+            if let Some((t0, t1)) = window {
+                if !meta.overlaps(t0, t1) {
+                    stats.chunks_skipped += 1;
+                    if obs::enabled() {
+                        obs_chunks_skipped(1);
+                    }
+                    continue;
+                }
+            }
+            stats.chunks_decoded += 1;
+            for ev in self.read_chunk(i)? {
+                if let Some((t0, t1)) = window {
+                    if !event_overlaps(&ev, t0, t1) {
+                        continue;
+                    }
+                }
+                stats.events += 1;
+                f(&ev);
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Stream all of one rank's events in recorded (causal) order —
+    /// what per-rank call-stack replay (profiles) consumes.
+    pub fn for_each_rank_event(
+        &mut self,
+        rank: u32,
+        mut f: impl FnMut(&Event),
+    ) -> Result<(), TraceError> {
+        for i in 0..self.index.len() {
+            if self.index[i].rank != rank {
+                continue;
+            }
+            for ev in self.read_chunk(i)? {
+                f(&ev);
+            }
+        }
+        Ok(())
+    }
+
+    /// Distinct ranks present, ascending.
+    pub fn ranks(&self) -> Vec<u32> {
+        let mut ranks: Vec<u32> = self.index.iter().map(|m| m.rank).collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        ranks
+    }
+
+    /// Per-rank `(events, min_t, max_t)` drawn from the index alone.
+    pub fn rank_summary(&self) -> BTreeMap<u32, (u64, SimTime, SimTime)> {
+        let mut out: BTreeMap<u32, (u64, SimTime, SimTime)> = BTreeMap::new();
+        for m in &self.index {
+            let e = out.entry(m.rank).or_insert((0, m.min_t, m.max_t));
+            e.0 += m.count as u64;
+            e.1 = e.1.min(m.min_t);
+            e.2 = e.2.max(m.max_t);
+        }
+        out
+    }
+
+    /// Materialize the whole store as a legacy [`Trace`] (merged across
+    /// ranks, `(time, rank)`-sorted) — the compatibility escape hatch and
+    /// the reference path the streaming queries are tested against.
+    /// Memory is `O(trace)`; avoid on large stores.
+    pub fn read_all(&mut self) -> Result<Trace, TraceError> {
+        let mut events = Vec::with_capacity(self.events as usize);
+        for i in 0..self.index.len() {
+            events.extend(self.read_chunk(i)?);
+        }
+        events.sort_by_key(|e| (e.time(), e.rank()));
+        Ok(Trace {
+            program: self.program.clone(),
+            functions: self.functions.clone(),
+            events,
+        })
+    }
+}
+
+fn take_string(buf: &mut Bytes) -> Result<String, TraceError> {
+    if buf.remaining() < 4 {
+        return Err(TraceError::BadString);
+    }
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() < n {
+        return Err(TraceError::BadString);
+    }
+    let s = buf.split_to(n);
+    String::from_utf8(s.to_vec()).map_err(|_| TraceError::BadString)
+}

@@ -1,0 +1,367 @@
+//! The streaming store writer: bounded memory per rank, chunks flushed
+//! the moment they fill, footer index written once at `finish()`.
+
+use std::collections::HashMap;
+use std::io::{BufWriter, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::OnceLock;
+
+use bytes::{BufMut, BytesMut};
+use dynprof_obs as obs;
+use dynprof_sim::SimTime;
+use dynprof_vt::{Event, Trace, VtFuncId, VtLib};
+
+use super::codec::{encode_event, event_end};
+use super::reader::StoreReader;
+use super::{ChunkMeta, StoreOptions, HEADER_BYTES, STORE_MAGIC, STORE_VERSION};
+use crate::error::TraceError;
+
+fn obs_chunks_written(n: u64) {
+    static C: OnceLock<&'static obs::Counter> = OnceLock::new();
+    C.get_or_init(|| obs::counter("analysis.chunks_written"))
+        .add(n);
+}
+
+fn obs_store_bytes(n: u64) {
+    static C: OnceLock<&'static obs::Counter> = OnceLock::new();
+    C.get_or_init(|| obs::counter("analysis.store_bytes"))
+        .add(n);
+}
+
+/// What one finished store write produced.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StoreStats {
+    /// Chunks written.
+    pub chunks: usize,
+    /// Events written.
+    pub events: u64,
+    /// Total file size in bytes.
+    pub bytes: u64,
+    /// High-water mark of encoder memory held across all open chunks —
+    /// the writer's bounded-memory witness: `O(ranks × chunk_events)`
+    /// regardless of trace length.
+    pub peak_buffered_bytes: usize,
+}
+
+/// An open, per-rank chunk being encoded incrementally.
+struct ChunkBuf {
+    payload: BytesMut,
+    count: u32,
+    min_t: SimTime,
+    max_t: SimTime,
+    max_end: SimTime,
+    prev_t: u64,
+}
+
+impl ChunkBuf {
+    fn new() -> ChunkBuf {
+        ChunkBuf {
+            payload: BytesMut::new(),
+            count: 0,
+            min_t: SimTime(u64::MAX),
+            max_t: SimTime::ZERO,
+            max_end: SimTime::ZERO,
+            prev_t: 0,
+        }
+    }
+}
+
+/// Streaming writer of the `VGVS` chunk-indexed store format.
+///
+/// Append events in any rank order; each rank accumulates into its own
+/// chunk, flushed to disk when [`StoreOptions::chunk_events`] is reached.
+/// Call [`StoreWriter::finish`] to flush partial chunks and write the
+/// footer index — a file without a footer is detected as
+/// [`TraceError::TruncatedFooter`] by the reader.
+pub struct StoreWriter<W: Write + Seek> {
+    out: W,
+    pos: u64,
+    opts: StoreOptions,
+    program: String,
+    functions: Vec<String>,
+    open: HashMap<u32, ChunkBuf>,
+    index: Vec<ChunkMeta>,
+    events: u64,
+    buffered: usize,
+    peak_buffered: usize,
+    deferred_err: Option<std::io::Error>,
+}
+
+impl StoreWriter<BufWriter<std::fs::File>> {
+    /// Create a store file at `path`.
+    pub fn create(
+        path: impl AsRef<Path>,
+        program: impl Into<String>,
+        opts: StoreOptions,
+    ) -> Result<Self, TraceError> {
+        let file = std::fs::File::create(path)?;
+        StoreWriter::new(BufWriter::new(file), program, opts)
+    }
+}
+
+impl<W: Write + Seek> StoreWriter<W> {
+    /// Wrap any seekable sink.
+    pub fn new(
+        mut out: W,
+        program: impl Into<String>,
+        opts: StoreOptions,
+    ) -> Result<Self, TraceError> {
+        let mut header = [0u8; HEADER_BYTES as usize];
+        header[..4].copy_from_slice(STORE_MAGIC);
+        header[4..6].copy_from_slice(&STORE_VERSION.to_le_bytes());
+        out.write_all(&header)?;
+        Ok(StoreWriter {
+            out,
+            pos: HEADER_BYTES,
+            opts: StoreOptions {
+                chunk_events: opts.chunk_events.max(1),
+            },
+            program: program.into(),
+            functions: Vec::new(),
+            open: HashMap::new(),
+            index: Vec::new(),
+            events: 0,
+            buffered: 0,
+            peak_buffered: 0,
+            deferred_err: None,
+        })
+    }
+
+    /// Install the function dictionary (names indexed by `VtFuncId`).
+    pub fn set_functions(&mut self, names: Vec<String>) {
+        self.functions = names;
+    }
+
+    /// Register one function name, returning its id (append-only; no
+    /// dedup — callers that may repeat names should dedup themselves).
+    pub fn define_function(&mut self, name: impl Into<String>) -> VtFuncId {
+        self.functions.push(name.into());
+        VtFuncId(self.functions.len() as u32 - 1)
+    }
+
+    /// Append one event to its rank's open chunk, flushing the chunk to
+    /// disk if it reaches the configured size.
+    pub fn append(&mut self, ev: &Event) {
+        let rank = ev.rank();
+        let buf = self.open.entry(rank).or_insert_with(ChunkBuf::new);
+        let before = buf.payload.len();
+        encode_event(&mut buf.payload, ev, &mut buf.prev_t);
+        buf.count += 1;
+        let t = ev.time();
+        buf.min_t = buf.min_t.min(t);
+        buf.max_t = buf.max_t.max(t);
+        buf.max_end = buf.max_end.max(event_end(ev));
+        self.events += 1;
+        let full = buf.count as usize >= self.opts.chunk_events;
+        self.buffered += buf.payload.len() - before;
+        self.peak_buffered = self.peak_buffered.max(self.buffered);
+        if full {
+            self.flush_rank(rank);
+        }
+    }
+
+    /// Flush `rank`'s open chunk (no-op if empty). Errors are deferred to
+    /// `finish()` so the hot path stays infallible.
+    fn flush_rank(&mut self, rank: u32) {
+        let Some(buf) = self.open.remove(&rank) else {
+            return;
+        };
+        if buf.count == 0 {
+            return;
+        }
+        let start = if obs::enabled() {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
+        let meta = ChunkMeta {
+            rank,
+            offset: self.pos,
+            enc_len: buf.payload.len() as u32,
+            count: buf.count,
+            min_t: buf.min_t,
+            max_t: buf.max_t,
+            max_end: buf.max_end,
+        };
+        let mut header = BytesMut::with_capacity(super::CHUNK_HEADER_BYTES);
+        header.put_u32_le(meta.rank);
+        header.put_u32_le(meta.count);
+        header.put_u32_le(meta.enc_len);
+        header.put_u64_le(meta.min_t.as_nanos());
+        header.put_u64_le(meta.max_t.as_nanos());
+        header.put_u64_le(meta.max_end.as_nanos());
+        self.buffered -= buf.payload.len();
+        // Deferred error handling: remember the first failure, surface it
+        // from finish(). (A wedged disk mid-run must not panic the sim.)
+        let wrote = self
+            .write_all_tracked(&header)
+            .and_then(|()| self.write_all_tracked(&buf.payload));
+        if let Err(e) = wrote {
+            if self.deferred_err.is_none() {
+                self.deferred_err = Some(e);
+            }
+            return;
+        }
+        self.index.push(meta);
+        if let Some(t0) = start {
+            obs::histogram("analysis.encode_real_ns").record(t0.elapsed().as_nanos() as u64);
+            obs_chunks_written(1);
+            obs_store_bytes(super::CHUNK_HEADER_BYTES as u64 + buf.payload.len() as u64);
+        }
+    }
+
+    fn write_all_tracked(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.out.write_all(bytes)?;
+        self.pos += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Flush every partial chunk, write the footer index and trailer, and
+    /// return the write statistics.
+    pub fn finish(mut self) -> Result<StoreStats, TraceError> {
+        // Deterministic flush order for partial chunks: ascending rank.
+        let mut pending: Vec<u32> = self.open.keys().copied().collect();
+        pending.sort_unstable();
+        for rank in pending {
+            self.flush_rank(rank);
+        }
+        if let Some(e) = self.deferred_err.take() {
+            return Err(TraceError::Io(e));
+        }
+        // Footer: program, dictionary, index.
+        let mut footer = BytesMut::new();
+        put_string(&mut footer, &self.program);
+        footer.put_u32_le(self.functions.len() as u32);
+        for f in &self.functions {
+            put_string(&mut footer, f);
+        }
+        footer.put_u32_le(self.index.len() as u32);
+        for m in &self.index {
+            footer.put_u32_le(m.rank);
+            footer.put_u64_le(m.offset);
+            footer.put_u32_le(m.enc_len);
+            footer.put_u32_le(m.count);
+            footer.put_u64_le(m.min_t.as_nanos());
+            footer.put_u64_le(m.max_t.as_nanos());
+            footer.put_u64_le(m.max_end.as_nanos());
+        }
+        let footer_len = footer.len() as u64;
+        footer.put_u64_le(footer_len);
+        footer.put_slice(STORE_MAGIC);
+        footer.put_u16_le(STORE_VERSION);
+        self.write_all_tracked(&footer)?;
+        self.out.flush()?;
+        // Verify nothing was silently lost to a deferred chunk-write
+        // failure: the stream position must match our byte accounting.
+        let end = self.out.seek(SeekFrom::End(0))?;
+        if end != self.pos {
+            return Err(TraceError::Io(std::io::Error::other(
+                "store write lost bytes (disk full mid-chunk?)",
+            )));
+        }
+        if obs::enabled() {
+            obs_store_bytes(footer_len + super::TRAILER_BYTES + HEADER_BYTES);
+        }
+        Ok(StoreStats {
+            chunks: self.index.len(),
+            events: self.events,
+            bytes: self.pos,
+            peak_buffered_bytes: self.peak_buffered,
+        })
+    }
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Flush a [`VtLib`]'s per-rank trace buffers straight into a store file —
+/// the figure-run path. Events stream rank by rank through the bounded
+/// writer; no merged `O(trace)` vector is ever built.
+pub fn write_store_from_vt(
+    vt: &VtLib,
+    path: impl AsRef<Path>,
+    opts: StoreOptions,
+) -> Result<StoreStats, TraceError> {
+    let mut w = StoreWriter::create(path, vt.program(), opts)?;
+    w.set_functions(vt.function_names());
+    for rank in 0..vt.ranks() {
+        vt.with_rank_events(rank, |events| {
+            for ev in events {
+                w.append(ev);
+            }
+        });
+    }
+    w.finish()
+}
+
+/// Convert an in-memory (legacy) [`Trace`] into a store file.
+pub fn write_store_from_trace(
+    trace: &Trace,
+    path: impl AsRef<Path>,
+    opts: StoreOptions,
+) -> Result<StoreStats, TraceError> {
+    let mut w = StoreWriter::create(path, trace.program.clone(), opts)?;
+    w.set_functions(trace.functions.clone());
+    for ev in &trace.events {
+        w.append(ev);
+    }
+    w.finish()
+}
+
+/// Compact several store segments (e.g. one small file per rank group)
+/// into a single indexed store. Function dictionaries are unioned by
+/// name; events whose segment used different ids are re-mapped.
+pub fn compact(
+    inputs: &[impl AsRef<Path>],
+    out: impl AsRef<Path>,
+    opts: StoreOptions,
+) -> Result<StoreStats, TraceError> {
+    let mut readers = Vec::with_capacity(inputs.len());
+    for p in inputs {
+        readers.push(StoreReader::open(p)?);
+    }
+    let program = readers
+        .first()
+        .map(|r| r.program().to_string())
+        .unwrap_or_default();
+    // Union dictionary, preserving first-seen order.
+    let mut names: Vec<String> = Vec::new();
+    let mut remaps: Vec<Vec<u32>> = Vec::new();
+    for r in &readers {
+        let mut remap = Vec::with_capacity(r.functions().len());
+        for f in r.functions() {
+            match names.iter().position(|n| n == f) {
+                Some(i) => remap.push(i as u32),
+                None => {
+                    names.push(f.clone());
+                    remap.push(names.len() as u32 - 1);
+                }
+            }
+        }
+        remaps.push(remap);
+    }
+    let mut w = StoreWriter::create(out, program, opts)?;
+    w.set_functions(names);
+    for (r, remap) in readers.iter_mut().zip(&remaps) {
+        for i in 0..r.chunks().len() {
+            for mut ev in r.read_chunk(i)? {
+                remap_func(&mut ev, remap);
+                w.append(&ev);
+            }
+        }
+    }
+    w.finish()
+}
+
+fn remap_func(ev: &mut Event, remap: &[u32]) {
+    if let Event::FuncEnter { func, .. }
+    | Event::FuncExit { func, .. }
+    | Event::FuncBatch { func, .. } = ev
+    {
+        if let Some(&to) = remap.get(func.0 as usize) {
+            *func = VtFuncId(to);
+        }
+    }
+}

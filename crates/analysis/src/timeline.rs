@@ -8,8 +8,16 @@
 //! by precedence: `M` while inside an MPI call, `~` while any OpenMP
 //! parallel region is active (the wiggle), `#` while inside an
 //! instrumented function, `.` otherwise-idle trace time, ` ` before the
-//! rank's first event. Optional per-thread rows expand the wiggle into
+//! rank's first event. Optional per-thread rows expand the activity of
 //! the individual team members.
+//!
+//! Rendering is streaming: [`TimelineBuilder`] takes the time bounds up
+//! front (for a store, the footer index provides them without decoding
+//! anything), accepts events in any order via [`TimelineBuilder::push`],
+//! and assembles the rows at [`TimelineBuilder::finish`]. Memory is
+//! `O(rows × width)` — the size of the picture, not of the trace.
+
+use std::collections::BTreeMap;
 
 use dynprof_sim::SimTime;
 use dynprof_vt::{Event, Trace};
@@ -56,86 +64,90 @@ impl Glyph {
     }
 }
 
-/// Render the trace as an ASCII time-line.
-pub fn render(trace: &Trace, opts: TimelineOptions) -> String {
-    let (t0, t1) = match (trace.events.first(), trace.events.last()) {
-        (Some(a), Some(b)) => (a.time(), b.time()),
-        _ => return String::from("(empty trace)\n"),
-    };
-    let span = t1.saturating_sub(t0).max(SimTime::from_nanos(1));
-    let width = opts.width.max(8);
-    let bucket_of = |t: SimTime| -> usize {
-        let rel = t.saturating_sub(t0).as_nanos() as u128;
-        ((rel * width as u128 / span.as_nanos().max(1) as u128) as usize).min(width - 1)
-    };
+/// Streaming timeline accumulator over a fixed time window `[t0, t1]`.
+pub struct TimelineBuilder {
+    program: String,
+    t0: SimTime,
+    t1: SimTime,
+    width: usize,
+    per_thread: bool,
+    /// Row grids keyed `(rank, None)` for the rank row, `(rank,
+    /// Some(thread))` for per-thread rows; `BTreeMap` order is already
+    /// display order (rank row first, then its threads ascending).
+    grids: BTreeMap<(u32, Option<u16>), Vec<Glyph>>,
+    /// Per-rank first/last event time, painted as the idle baseline.
+    first_last: BTreeMap<u32, (SimTime, SimTime)>,
+    /// Open function frames per (rank, thread).
+    func_stack: BTreeMap<(u32, u16), Vec<SimTime>>,
+    events: u64,
+}
 
-    let mut ranks: Vec<u32> = trace.events.iter().map(Event::rank).collect();
-    ranks.sort_unstable();
-    ranks.dedup();
+impl TimelineBuilder {
+    /// Start a timeline of `program` spanning `[t0, t1]`.
+    pub fn new(
+        program: impl Into<String>,
+        t0: SimTime,
+        t1: SimTime,
+        opts: TimelineOptions,
+    ) -> Self {
+        TimelineBuilder {
+            program: program.into(),
+            t0,
+            t1,
+            width: opts.width.max(8),
+            per_thread: opts.per_thread,
+            grids: BTreeMap::new(),
+            first_last: BTreeMap::new(),
+            func_stack: BTreeMap::new(),
+            events: 0,
+        }
+    }
 
-    // Row keys: (rank, Option<thread>).
-    let mut rows: Vec<(u32, Option<u16>)> = Vec::new();
-    for &r in &ranks {
-        rows.push((r, None));
-        if opts.per_thread {
-            let mut threads: Vec<u16> = trace
-                .events
-                .iter()
-                .filter_map(|e| match *e {
-                    Event::OmpThread { rank, thread, .. } if rank == r => Some(thread),
-                    _ => None,
-                })
-                .collect();
-            threads.sort_unstable();
-            threads.dedup();
-            for t in threads {
-                rows.push((r, Some(t)));
+    fn bucket_of(&self, t: SimTime) -> usize {
+        let span = self.t1.saturating_sub(self.t0).max(SimTime::from_nanos(1));
+        let rel = t.saturating_sub(self.t0).as_nanos() as u128;
+        ((rel * self.width as u128 / span.as_nanos().max(1) as u128) as usize).min(self.width - 1)
+    }
+
+    fn paint(&mut self, rank: u32, thread: Option<u16>, a: SimTime, b: SimTime, g: Glyph) {
+        let (ba, bb) = (self.bucket_of(a), self.bucket_of(b));
+        let width = self.width;
+        let grid = self
+            .grids
+            .entry((rank, thread))
+            .or_insert_with(|| vec![Glyph::Blank; width]);
+        for cell in grid[ba..=bb].iter_mut() {
+            if (*cell as u8) < (g as u8) {
+                *cell = g;
             }
         }
     }
 
-    let mut grid: Vec<Vec<Glyph>> = vec![vec![Glyph::Blank; width]; rows.len()];
-    let row_index = |rank: u32, thread: Option<u16>| -> Option<usize> {
-        rows.iter().position(|&k| k == (rank, thread))
-    };
-    let mut paint = |row: Option<usize>, a: SimTime, b: SimTime, g: Glyph| {
-        if let Some(r) = row {
-            let (ba, bb) = (bucket_of(a), bucket_of(b));
-            for cell in grid[r][ba..=bb].iter_mut() {
-                if (*cell as u8) < (g as u8) {
-                    *cell = g;
-                }
-            }
-        }
-    };
-
-    // First pass: base activity (idle from first to last event per rank).
-    let mut first_last: std::collections::BTreeMap<u32, (SimTime, SimTime)> = Default::default();
-    for e in &trace.events {
-        let entry = first_last.entry(e.rank()).or_insert((e.time(), e.time()));
-        entry.0 = entry.0.min(e.time());
-        entry.1 = entry.1.max(e.time());
-    }
-    for (&r, &(a, b)) in &first_last {
-        paint(row_index(r, None), a, b, Glyph::Idle);
-    }
-
-    // Second pass: spans.
-    let mut func_stack: std::collections::BTreeMap<(u32, u16), Vec<SimTime>> = Default::default();
-    for e in &trace.events {
-        match *e {
+    /// Account one event (order-independent except for
+    /// `FuncEnter`/`FuncExit` pairing, which needs each rank-thread's
+    /// causal order — what traces and store chunks both provide).
+    pub fn push(&mut self, ev: &Event) {
+        self.events += 1;
+        let rank = ev.rank();
+        let entry = self
+            .first_last
+            .entry(rank)
+            .or_insert((ev.time(), ev.time()));
+        entry.0 = entry.0.min(ev.time());
+        entry.1 = entry.1.max(ev.time());
+        match *ev {
             Event::FuncEnter {
                 t, rank, thread, ..
             } => {
-                func_stack.entry((rank, thread)).or_default().push(t);
+                self.func_stack.entry((rank, thread)).or_default().push(t);
             }
             Event::FuncExit {
                 t, rank, thread, ..
             } => {
-                if let Some(t0) = func_stack.entry((rank, thread)).or_default().pop() {
-                    paint(row_index(rank, None), t0, t, Glyph::Func);
-                    if opts.per_thread {
-                        paint(row_index(rank, Some(thread)), t0, t, Glyph::Func);
+                if let Some(t0) = self.func_stack.entry((rank, thread)).or_default().pop() {
+                    self.paint(rank, None, t0, t, Glyph::Func);
+                    if self.per_thread {
+                        self.paint(rank, Some(thread), t0, t, Glyph::Func);
                     }
                 }
             }
@@ -146,13 +158,13 @@ pub fn render(trace: &Trace, opts: TimelineOptions) -> String {
                 span,
                 ..
             } => {
-                paint(row_index(rank, None), t, t + span, Glyph::Func);
-                if opts.per_thread {
-                    paint(row_index(rank, Some(thread)), t, t + span, Glyph::Func);
+                self.paint(rank, None, t, t + span, Glyph::Func);
+                if self.per_thread {
+                    self.paint(rank, Some(thread), t, t + span, Glyph::Func);
                 }
             }
             Event::MpiCall { t, t_end, rank, .. } => {
-                paint(row_index(rank, None), t, t_end, Glyph::Mpi);
+                self.paint(rank, None, t, t_end, Glyph::Mpi);
             }
             Event::OmpThread {
                 t,
@@ -161,39 +173,67 @@ pub fn render(trace: &Trace, opts: TimelineOptions) -> String {
                 thread,
                 ..
             } => {
-                paint(row_index(rank, None), t, t_end, Glyph::Wiggle);
-                if opts.per_thread {
-                    paint(row_index(rank, Some(thread)), t, t_end, Glyph::Wiggle);
+                self.paint(rank, None, t, t_end, Glyph::Wiggle);
+                if self.per_thread {
+                    self.paint(rank, Some(thread), t, t_end, Glyph::Wiggle);
                 }
             }
             Event::Suspended { t, t_end, rank } => {
-                paint(row_index(rank, None), t, t_end, Glyph::Suspended);
+                self.paint(rank, None, t, t_end, Glyph::Suspended);
             }
             _ => {}
         }
     }
 
-    // Assemble.
-    let mut out = String::new();
-    out.push_str(&format!(
-        "time-line of {:?}: {} .. {} ({} ranks)\n",
-        trace.program,
-        t0,
-        t1,
-        ranks.len()
-    ));
-    out.push_str("legend: M=MPI call  ~=OpenMP region  #=function  S=suspended  .=traced\n");
-    for (i, &(rank, thread)) in rows.iter().enumerate() {
-        let label = match thread {
-            None => format!("rank {rank:>3}      "),
-            Some(t) => format!("  thread {t:>2}   "),
-        };
-        out.push_str(&label);
-        out.push('|');
-        out.extend(grid[i].iter().map(|g| g.ch()));
-        out.push_str("|\n");
+    /// Assemble the picture. Returns `"(empty trace)\n"` when nothing
+    /// was pushed.
+    pub fn finish(mut self) -> String {
+        if self.events == 0 {
+            return String::from("(empty trace)\n");
+        }
+        // Idle baseline: each rank's first..last event span.
+        let spans: Vec<(u32, SimTime, SimTime)> = self
+            .first_last
+            .iter()
+            .map(|(&r, &(a, b))| (r, a, b))
+            .collect();
+        for (r, a, b) in spans {
+            self.paint(r, None, a, b, Glyph::Idle);
+        }
+        let ranks = self.first_last.len();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "time-line of {:?}: {} .. {} ({} ranks)\n",
+            self.program, self.t0, self.t1, ranks
+        ));
+        out.push_str("legend: M=MPI call  ~=OpenMP region  #=function  S=suspended  .=traced\n");
+        for (&(rank, thread), grid) in &self.grids {
+            let label = match thread {
+                None => format!("rank {rank:>3}      "),
+                Some(t) => format!("  thread {t:>2}   "),
+            };
+            out.push_str(&label);
+            out.push('|');
+            out.extend(grid.iter().map(|g| g.ch()));
+            out.push_str("|\n");
+        }
+        out
     }
-    out
+}
+
+/// Render a whole trace as an ASCII time-line (the legacy entry point;
+/// events must be time-sorted, as [`dynprof_vt::VtLib::build_trace`]
+/// guarantees).
+pub fn render(trace: &Trace, opts: TimelineOptions) -> String {
+    let (t0, t1) = match (trace.events.first(), trace.events.last()) {
+        (Some(a), Some(b)) => (a.time(), b.time()),
+        _ => return String::from("(empty trace)\n"),
+    };
+    let mut b = TimelineBuilder::new(trace.program.clone(), t0, t1, opts);
+    for ev in &trace.events {
+        b.push(ev);
+    }
+    b.finish()
 }
 
 #[cfg(test)]
@@ -318,5 +358,50 @@ mod tests {
             let inner = line.split('|').nth(1).unwrap();
             assert_eq!(inner.chars().count(), 30);
         }
+    }
+
+    #[test]
+    fn windowed_builder_clamps_outside_spans() {
+        // A window inside the trace: spans crossing the edge clamp to it.
+        let mut b = TimelineBuilder::new(
+            "w",
+            us(10),
+            us(20),
+            TimelineOptions {
+                width: 10,
+                per_thread: false,
+            },
+        );
+        b.push(&Event::MpiCall {
+            t: us(5),
+            t_end: us(40),
+            rank: 0,
+            op: 2,
+            peer: 1,
+            bytes: 0,
+        });
+        let s = b.finish();
+        let row = s.lines().find(|l| l.starts_with("rank")).unwrap();
+        let inner: String = row.split('|').nth(1).unwrap().into();
+        assert_eq!(inner, "MMMMMMMMMM", "span clamps to the window: {s}");
+    }
+
+    #[test]
+    fn builder_equals_legacy_render() {
+        let trace = sample();
+        let opts = TimelineOptions {
+            width: 44,
+            per_thread: false,
+        };
+        let mut b = TimelineBuilder::new(
+            trace.program.clone(),
+            trace.events.first().unwrap().time(),
+            trace.events.last().unwrap().time(),
+            opts,
+        );
+        for ev in &trace.events {
+            b.push(ev);
+        }
+        assert_eq!(b.finish(), render(&trace, opts));
     }
 }

@@ -17,7 +17,8 @@
 //!   machine=M  ibm | ia32 | test                    (default ibm)
 //!   seed=N     simulation seed                      (default 42)
 //!   policy=P   dynamic | full | full-off | subset | none (default dynamic)
-//!   trace=F    also write the binary trace file to F
+//!   trace=F    also write the trace to F (`.vgvs` = chunk-indexed
+//!              store, anything else = legacy flat `VGVT`)
 //! ```
 //!
 //! The script file holds Table-1 commands (`insert-file subset`, `start`,
@@ -74,7 +75,8 @@ pub const USAGE: &str = "\
 usage: dynprof <script|-> <stdout-file|-> <timefile|-> <app> [key=value ...]
   app:      smg98 | sppm | sweep3d | umt98
   options:  cpus=N scale=X machine=ibm|ia32|test seed=N
-            policy=dynamic|full|full-off|subset|none trace=FILE
+            policy=dynamic|full|full-off|subset|none
+            trace=FILE (.vgvs = chunk-indexed store, else legacy VGVT)
 ";
 
 impl CliArgs {
@@ -220,9 +222,20 @@ pub fn write_outputs(args: &CliArgs, out: &CliOutput) -> Result<(), String> {
     emit(&args.stdout_file, &out.summary)?;
     emit(&args.timefile, &out.timefile)?;
     if let Some(trace_path) = &args.trace {
-        let trace = out.report.vt.build_trace();
-        dynprof_analysis::write_trace(&trace, trace_path)
-            .map_err(|e| format!("writing trace {trace_path:?}: {e}"))?;
+        if trace_path.ends_with(".vgvs") {
+            // Chunk-indexed store, streamed straight from the trace
+            // buffers without materializing the merged event array.
+            dynprof_analysis::store::write_store_from_vt(
+                &out.report.vt,
+                trace_path,
+                dynprof_analysis::store::StoreOptions::default(),
+            )
+            .map_err(|e| format!("writing store {trace_path:?}: {e}"))?;
+        } else {
+            let trace = out.report.vt.build_trace();
+            dynprof_analysis::write_trace(&trace, trace_path)
+                .map_err(|e| format!("writing trace {trace_path:?}: {e}"))?;
+        }
     }
     Ok(())
 }
@@ -308,6 +321,42 @@ mod tests {
         assert_eq!(back.program, "sweep3d");
         std::fs::remove_file(&script).ok();
         std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn vgvs_extension_writes_chunk_indexed_store() {
+        let dir = std::env::temp_dir().join("dynprof-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let script = dir.join(format!("vs-{}.dp", std::process::id()));
+        std::fs::write(&script, "insert-file subset\nstart\nquit\n").unwrap();
+        let store = dir.join(format!("vs-{}.vgvs", std::process::id()));
+        let mut args = CliArgs::parse(&strs(&[
+            script.to_str().unwrap(),
+            "-",
+            "-",
+            "sweep3d",
+            "cpus=2",
+            "seed=5",
+        ]))
+        .unwrap();
+        args.trace = Some(store.to_str().unwrap().to_string());
+        let out = run_cli(&args).unwrap();
+        write_outputs(
+            &CliArgs {
+                stdout_file: "-".into(),
+                timefile: "-".into(),
+                ..args.clone()
+            },
+            &out,
+        )
+        .unwrap();
+        // The store holds the same events as the legacy trace build.
+        let mut r = dynprof_analysis::store::StoreReader::open(&store).unwrap();
+        let trace = out.report.vt.build_trace();
+        assert_eq!(r.info().events as usize, trace.events.len());
+        assert_eq!(r.read_all().unwrap().events.len(), trace.events.len());
+        std::fs::remove_file(&script).ok();
+        std::fs::remove_file(&store).ok();
     }
 
     #[test]

@@ -210,7 +210,7 @@ pub enum UpMsg {
     Pong {
         /// The answering node.
         node: usize,
-        /// Sequence number echoed from the [`SuperMsg::Ping`].
+        /// Sequence number echoed from the heartbeat `Ping`.
         seq: u64,
     },
 }

@@ -149,7 +149,7 @@ pub struct HistogramSnapshot {
     pub min: u64,
     /// Largest observation.
     pub max: u64,
-    /// Per-bucket observation counts (see [`BUCKETS`]).
+    /// Per-bucket observation counts (65 log₂ buckets).
     pub buckets: [u64; BUCKETS],
 }
 

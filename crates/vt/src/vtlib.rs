@@ -524,6 +524,20 @@ impl VtLib {
         buf.stats.get(func.0 as usize).copied().unwrap_or_default()
     }
 
+    /// Snapshot of the function dictionary (names indexed by
+    /// [`VtFuncId`]), for trace writers that stream per rank instead of
+    /// materializing a merged [`Trace`].
+    pub fn function_names(&self) -> Vec<String> {
+        self.registry.read().names.clone()
+    }
+
+    /// Visit `rank`'s recorded events in causal (append) order without
+    /// cloning them — the streaming trace-store flush path. Frames still
+    /// open are not visible here (same contract as [`VtLib::build_trace`]).
+    pub fn with_rank_events<R>(&self, rank: usize, f: impl FnOnce(&[Event]) -> R) -> R {
+        f(&self.procs[rank].buf.lock().events)
+    }
+
     /// Assemble the postmortem trace (merged across ranks, time-sorted).
     pub fn build_trace(&self) -> Trace {
         let mut events = Vec::new();

@@ -707,3 +707,62 @@ fn txn_without_faults_is_identity() {
         "txn-on + inert plan must be byte-identical"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Chunk-indexed trace store under chaos
+// ---------------------------------------------------------------------------
+
+/// The store path under faults: a fault-perturbed session's VT buffers,
+/// flushed through the bounded `StoreWriter`, must round-trip losslessly
+/// — the streaming store is a transport, not an interpretation, so a
+/// chaotic trace comes back event-for-event and the streaming profile
+/// agrees with the in-memory reference.
+#[test]
+fn store_round_trip_survives_fault_runs() {
+    use dynprof::analysis::store::{write_store_from_vt, StoreOptions, StoreReader};
+    use dynprof::analysis::{Profile, ProfileOptions};
+
+    let _g = OBS_GATE.read().unwrap();
+    let dir = std::env::temp_dir().join("dynprof-chaos-store");
+    std::fs::create_dir_all(&dir).unwrap();
+    for seed in seeds() {
+        set_global_spec(Some(
+            FaultSpec::parse(&format!("{seed}:lossy")).expect("spec"),
+        ));
+        let spec = dynprof::apps::test_app("sweep3d", 4).expect("app");
+        let report = dynprof::core::run_session(
+            &spec,
+            dynprof::core::SessionConfig::new(
+                Machine::ibm_power3_colony(),
+                dynprof::vt::Policy::Full,
+            )
+            .with_seed(seed),
+        );
+        set_global_spec(None);
+
+        let trace = report.vt.build_trace();
+        let path = dir.join(format!("chaos-{seed}-{}.vgvs", std::process::id()));
+        let stats =
+            write_store_from_vt(&report.vt, &path, StoreOptions { chunk_events: 64 }).unwrap();
+        assert_eq!(stats.events as usize, trace.events.len(), "seed {seed}");
+
+        let mut r = StoreReader::open(&path).unwrap();
+        let mut back = r.read_all().unwrap();
+        let mut reference = trace.clone();
+        let key = |e: &dynprof::vt::Event| (e.time(), e.rank(), format!("{e:?}"));
+        back.events.sort_by_key(key);
+        reference.events.sort_by_key(key);
+        assert_eq!(
+            back, reference,
+            "store round trip under faults, seed {seed}"
+        );
+
+        let from_store = Profile::from_store(&mut r, ProfileOptions::default()).unwrap();
+        let from_trace = Profile::from_trace(&trace);
+        assert_eq!(
+            from_store.per_rank, from_trace.per_rank,
+            "streaming profile under faults, seed {seed}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,476 @@
+//! Integration tests of the chunk-indexed `VGVS` trace store: seeded
+//! round-trip properties, byte-identical determinism, index-driven chunk
+//! skipping at 1k-rank scale with bounded-memory witnesses, compaction,
+//! corruption boundaries, obs counters, and golden `vgv` report outputs.
+//!
+//! Goldens live in `tests/golden/`; regenerate intentional changes with
+//! `UPDATE_GOLDENS=1 cargo test --test trace_store golden_`.
+
+use std::sync::Mutex;
+
+use dynprof::analysis::store::{
+    compact, event_overlaps, write_store_from_trace, StoreOptions, StoreReader, StoreWriter,
+};
+use dynprof::analysis::{slice_report, top_report, CommStats, Profile, ProfileOptions, TraceError};
+use dynprof::obs;
+use dynprof::sim::rng::SimRng;
+use dynprof::sim::SimTime;
+use dynprof::vt::{Event, Trace, VtFuncId};
+
+/// The obs registry is process-global; tests that flip the recording flag
+/// must not overlap each other.
+static OBS_GATE: Mutex<()> = Mutex::new(());
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("dynprof-store-it");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}.vgvs", std::process::id()))
+}
+
+/// A seeded synthetic trace: per-rank causal event streams mixing every
+/// span-carrying event kind, concatenated rank-major (the order a
+/// [`StoreWriter`] receives them from per-rank buffers).
+fn synth_trace(seed: u64, ranks: u32, steps: u64) -> Trace {
+    let mut events = Vec::new();
+    for rank in 0..ranks {
+        let mut rng = SimRng::new(seed, rank as u64);
+        let mut t = rng.gen_range_u64(0..=5_000);
+        for _ in 0..steps {
+            t += 1_000 + rng.gen_range_u64(0..=2_000);
+            let t0 = SimTime::from_nanos(t);
+            match rng.gen_range_u64(0..=4) {
+                0 => {
+                    let dur = 500 + rng.gen_range_u64(0..=1_500);
+                    let func = VtFuncId(rng.gen_range_u64(0..=2) as u32);
+                    events.push(Event::FuncEnter {
+                        t: t0,
+                        rank,
+                        thread: 0,
+                        func,
+                    });
+                    t += dur;
+                    events.push(Event::FuncExit {
+                        t: SimTime::from_nanos(t),
+                        rank,
+                        thread: 0,
+                        func,
+                    });
+                }
+                1 => {
+                    let dur = rng.gen_range_u64(100..=3_000);
+                    events.push(Event::MpiCall {
+                        t: t0,
+                        t_end: SimTime::from_nanos(t + dur),
+                        rank,
+                        op: 2,
+                        peer: ((rank + 1) % ranks.max(2)) as i32,
+                        bytes: rng.gen_range_u64(8..=4_096),
+                    });
+                    t += dur;
+                }
+                2 => {
+                    let span = rng.gen_range_u64(200..=2_000);
+                    events.push(Event::FuncBatch {
+                        t: t0,
+                        rank,
+                        thread: 0,
+                        func: VtFuncId(rng.gen_range_u64(0..=2) as u32),
+                        count: rng.gen_range_u64(1..=50),
+                        span: SimTime::from_nanos(span),
+                    });
+                    t += span;
+                }
+                3 => {
+                    let dur = rng.gen_range_u64(100..=1_000);
+                    events.push(Event::OmpThread {
+                        t: t0,
+                        t_end: SimTime::from_nanos(t + dur),
+                        rank,
+                        thread: rng.gen_range_u64(0..=3) as u16,
+                        region: 0,
+                    });
+                    t += dur;
+                }
+                _ => {
+                    let dur = rng.gen_range_u64(100..=800);
+                    events.push(Event::Suspended {
+                        t: t0,
+                        t_end: SimTime::from_nanos(t + dur),
+                        rank,
+                    });
+                    t += dur;
+                }
+            }
+        }
+    }
+    Trace {
+        program: "synth".into(),
+        functions: vec!["alpha".into(), "beta".into(), "gamma".into()],
+        events,
+    }
+}
+
+/// The reference ordering [`StoreReader::read_all`] promises: stable
+/// `(time, rank)` sort over the writer's input order.
+fn reference_sorted(trace: &Trace) -> Trace {
+    let mut t = trace.clone();
+    t.events.sort_by_key(|e| (e.time(), e.rank()));
+    t
+}
+
+#[test]
+fn seeded_round_trip_matches_reference() {
+    for seed in [1u64, 7, 42] {
+        let trace = synth_trace(seed, 8, 200);
+        let path = tmp(&format!("rt-{seed}"));
+        let stats =
+            write_store_from_trace(&trace, &path, StoreOptions { chunk_events: 64 }).unwrap();
+        assert_eq!(stats.events as usize, trace.events.len());
+        assert!(stats.chunks > 8, "chunking actually happened (seed {seed})");
+
+        let mut r = StoreReader::open(&path).unwrap();
+        assert_eq!(
+            r.read_all().unwrap(),
+            reference_sorted(&trace),
+            "seed {seed}"
+        );
+
+        // Streaming analyses agree with the in-memory reference.
+        let from_store = Profile::from_store(&mut r, ProfileOptions::default()).unwrap();
+        let from_trace = Profile::from_trace(&trace);
+        assert_eq!(from_store.per_rank, from_trace.per_rank, "seed {seed}");
+        let comm_store = CommStats::from_store(&mut r).unwrap();
+        let comm_trace = CommStats::from_trace(&trace);
+        assert_eq!(comm_store.bytes, comm_trace.bytes, "seed {seed}");
+        assert_eq!(comm_store.mpi_time, comm_trace.mpi_time, "seed {seed}");
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn suspension_exclusion_agrees_between_paths() {
+    let trace = synth_trace(5, 6, 150);
+    let path = tmp("suspend");
+    write_store_from_trace(&trace, &path, StoreOptions { chunk_events: 32 }).unwrap();
+    let opts = ProfileOptions {
+        exclude_suspensions: true,
+    };
+    let mut r = StoreReader::open(&path).unwrap();
+    let from_store = Profile::from_store(&mut r, opts).unwrap();
+    let from_trace = Profile::from_trace_opts(&trace, opts);
+    assert_eq!(from_store.per_rank, from_trace.per_rank);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn store_files_are_byte_identical_for_same_seed() {
+    let opts = StoreOptions { chunk_events: 48 };
+    let (a, b, c) = (tmp("det-a"), tmp("det-b"), tmp("det-c"));
+    write_store_from_trace(&synth_trace(9, 10, 120), &a, opts).unwrap();
+    write_store_from_trace(&synth_trace(9, 10, 120), &b, opts).unwrap();
+    write_store_from_trace(&synth_trace(10, 10, 120), &c, opts).unwrap();
+    let (ba, bb, bc) = (
+        std::fs::read(&a).unwrap(),
+        std::fs::read(&b).unwrap(),
+        std::fs::read(&c).unwrap(),
+    );
+    assert_eq!(ba, bb, "same seed must produce byte-identical stores");
+    assert_ne!(ba, bc, "different seed must differ");
+    for p in [a, b, c] {
+        std::fs::remove_file(&p).ok();
+    }
+}
+
+/// The acceptance-criteria test: on a 1k-rank synthetic trace, a narrow
+/// `slice` decodes only the chunks overlapping the window — witnessed by
+/// `chunks_skipped`, by the reader's peak chunk allocation, and by the
+/// writer's peak buffer — and returns exactly what the in-memory
+/// reference computes.
+#[test]
+fn thousand_rank_slice_decodes_only_overlapping_chunks() {
+    let ranks = 1_000u32;
+    let trace = synth_trace(42, ranks, 40);
+    let path = tmp("kilo");
+    let opts = StoreOptions { chunk_events: 16 };
+    let stats = write_store_from_trace(&trace, &path, opts).unwrap();
+
+    // Writer memory: one open chunk per rank, not the whole trace.
+    // 16 events at ≤ ~40 encoded bytes each per rank.
+    assert!(
+        stats.peak_buffered_bytes <= ranks as usize * opts.chunk_events * 40,
+        "writer buffer must be O(ranks x chunk): {}",
+        stats.peak_buffered_bytes
+    );
+    assert!(
+        (stats.peak_buffered_bytes as u64) < stats.bytes / 2,
+        "writer never held anything close to the whole file: {} of {}",
+        stats.peak_buffered_bytes,
+        stats.bytes
+    );
+
+    let mut r = StoreReader::open(&path).unwrap();
+    let info = r.info();
+    assert_eq!(info.ranks as u32, ranks);
+
+    // A window around the middle fifth of the trace.
+    let span = info.t_end.saturating_sub(info.t_min);
+    let t0 = info.t_min + span * 2 / 5;
+    let t1 = info.t_min + span * 3 / 5;
+    let mut streamed: Vec<Event> = Vec::new();
+    let q = r
+        .for_each_query(Some((t0, t1)), None, |ev| streamed.push(ev.clone()))
+        .unwrap();
+    assert!(
+        q.chunks_skipped > 0,
+        "index must prune non-overlapping chunks: {q:?}"
+    );
+    assert_eq!(q.chunks_considered, info.chunks);
+    assert_eq!(
+        q.chunks_decoded + q.chunks_skipped,
+        q.chunks_considered,
+        "{q:?}"
+    );
+    assert!(q.chunks_decoded < info.chunks, "{q:?}");
+
+    // Reader memory: one chunk at a time, never the trace.
+    assert!(
+        r.peak_chunk_bytes() <= opts.chunk_events * 64,
+        "reader decode buffer must be O(chunk): {}",
+        r.peak_chunk_bytes()
+    );
+    assert!(
+        (r.peak_chunk_bytes() as u64) < info.file_bytes / 100,
+        "peak chunk {} vs file {}",
+        r.peak_chunk_bytes(),
+        info.file_bytes
+    );
+
+    // Identical results to the in-memory reference.
+    let mut reference: Vec<Event> = trace
+        .events
+        .iter()
+        .filter(|ev| event_overlaps(ev, t0, t1))
+        .cloned()
+        .collect();
+    let key = |e: &Event| (e.time(), e.rank(), format!("{e:?}"));
+    reference.sort_by_key(key);
+    streamed.sort_by_key(key);
+    assert_eq!(streamed, reference, "windowed query differs from reference");
+
+    // Rank filter composes with the window.
+    let mut only_7 = 0u64;
+    let q7 = r
+        .for_each_query(Some((t0, t1)), Some(7), |ev| {
+            assert_eq!(ev.rank(), 7);
+            only_7 += 1;
+        })
+        .unwrap();
+    assert_eq!(q7.events, only_7);
+    let expected_7 = reference.iter().filter(|e| e.rank() == 7).count() as u64;
+    assert_eq!(only_7, expected_7);
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn compaction_merges_segments_and_remaps_dictionaries() {
+    // Three per-rank-group segments with different dictionary orders.
+    let mut paths = Vec::new();
+    for (i, names) in [
+        vec!["alpha", "beta"],
+        vec!["beta", "gamma"],
+        vec!["gamma", "alpha"],
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let path = tmp(&format!("seg-{i}"));
+        let mut w =
+            StoreWriter::create(&path, "segmented", StoreOptions { chunk_events: 8 }).unwrap();
+        w.set_functions(names.iter().map(|s| s.to_string()).collect());
+        for k in 0..20u64 {
+            let t = SimTime::from_micros(100 * k + i as u64);
+            let rank = i as u32;
+            w.append(&Event::FuncEnter {
+                t,
+                rank,
+                thread: 0,
+                func: VtFuncId((k % 2) as u32),
+            });
+            w.append(&Event::FuncExit {
+                t: t + SimTime::from_micros(30),
+                rank,
+                thread: 0,
+                func: VtFuncId((k % 2) as u32),
+            });
+        }
+        w.finish().unwrap();
+        paths.push(path);
+    }
+    let out = tmp("compacted");
+    let stats = compact(&paths, &out, StoreOptions { chunk_events: 32 }).unwrap();
+    assert_eq!(stats.events, 3 * 40);
+
+    let mut r = StoreReader::open(&out).unwrap();
+    assert_eq!(r.ranks(), vec![0, 1, 2]);
+    // Every segment called its dictionary's functions 10 times each; after
+    // remapping, per-name call counts must survive.
+    let profile = Profile::from_store(&mut r, ProfileOptions::default()).unwrap();
+    for name in ["alpha", "beta", "gamma"] {
+        let id = VtFuncId(
+            r.functions()
+                .iter()
+                .position(|n| n == name)
+                .unwrap_or_else(|| panic!("{name} missing from union dictionary"))
+                as u32,
+        );
+        assert_eq!(
+            profile.aggregate(id).count,
+            20,
+            "{name}: two segments x 10 calls"
+        );
+    }
+    for p in paths.iter().chain([&out]) {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn corrupt_stores_fail_with_typed_errors() {
+    let trace = synth_trace(3, 2, 40);
+    let path = tmp("corrupt");
+    write_store_from_trace(&trace, &path, StoreOptions { chunk_events: 16 }).unwrap();
+    let good = std::fs::read(&path).unwrap();
+
+    // Shorter than the 8-byte header.
+    std::fs::write(&path, &good[..4]).unwrap();
+    assert!(matches!(
+        StoreReader::open(&path),
+        Err(TraceError::TruncatedHeader)
+    ));
+
+    // Wrong magic.
+    let mut bad = good.clone();
+    bad[..4].copy_from_slice(b"NOPE");
+    std::fs::write(&path, &bad).unwrap();
+    assert!(matches!(
+        StoreReader::open(&path),
+        Err(TraceError::BadMagic)
+    ));
+
+    // Unsupported version.
+    let mut bad = good.clone();
+    bad[4] = 0xff;
+    bad[5] = 0xff;
+    std::fs::write(&path, &bad).unwrap();
+    assert!(matches!(
+        StoreReader::open(&path),
+        Err(TraceError::UnsupportedVersion(0xffff))
+    ));
+
+    // Footer cut off (e.g. the writer died before finish()).
+    std::fs::write(&path, &good[..good.len() - 10]).unwrap();
+    assert!(matches!(
+        StoreReader::open(&path),
+        Err(TraceError::TruncatedFooter)
+    ));
+
+    // Chunk disk header disagrees with the footer index: open succeeds
+    // (the index parses), but reading the chunk is a typed ShortChunk.
+    let mut bad = good.clone();
+    // First chunk starts right after the file header; corrupt its count.
+    bad[8 + 4] ^= 0xff;
+    std::fs::write(&path, &bad).unwrap();
+    let mut r = StoreReader::open(&path).unwrap();
+    assert!(matches!(
+        r.for_each_query(None, None, |_| {}),
+        Err(TraceError::ShortChunk { index: 0 })
+    ));
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn obs_counters_track_store_traffic() {
+    let _gate = OBS_GATE.lock().unwrap();
+    obs::reset();
+    obs::set_enabled(true);
+    let trace = synth_trace(11, 6, 100);
+    let path = tmp("obs");
+    write_store_from_trace(&trace, &path, StoreOptions { chunk_events: 16 }).unwrap();
+    let written = obs::counter("analysis.chunks_written").get();
+    let bytes = obs::counter("analysis.store_bytes").get();
+    assert!(written > 0, "chunks_written not recorded");
+    assert_eq!(
+        bytes,
+        std::fs::metadata(&path).unwrap().len(),
+        "store_bytes must equal the file size"
+    );
+
+    let mut r = StoreReader::open(&path).unwrap();
+    let info = r.info();
+    let mid = info.t_min + info.t_end.saturating_sub(info.t_min) / 2;
+    r.for_each_query(Some((info.t_min, mid)), None, |_| {})
+        .unwrap();
+    assert!(obs::counter("analysis.chunks_read").get() > 0);
+    assert!(
+        obs::counter("analysis.chunks_skipped").get() > 0,
+        "half-trace window must skip chunks via the index"
+    );
+    obs::set_enabled(false);
+    obs::reset();
+    std::fs::remove_file(&path).ok();
+}
+
+// ---- golden `vgv` report outputs ------------------------------------
+
+/// Compare `actual` byte-for-byte against `tests/golden/<name>`, or
+/// rewrite the file when `UPDATE_GOLDENS` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden {path}: {e} (regenerate with UPDATE_GOLDENS=1)")
+    });
+    assert_eq!(
+        actual, expected,
+        "golden {name} drifted; regenerate with UPDATE_GOLDENS=1 if intended"
+    );
+}
+
+fn golden_store() -> std::path::PathBuf {
+    let path = tmp("golden");
+    write_store_from_trace(
+        &synth_trace(42, 4, 60),
+        &path,
+        StoreOptions { chunk_events: 32 },
+    )
+    .unwrap();
+    path
+}
+
+#[test]
+fn golden_vgv_top() {
+    let path = golden_store();
+    let mut r = StoreReader::open(&path).unwrap();
+    let report = top_report(&mut r, 10, ProfileOptions::default()).unwrap();
+    check_golden("vgv_top.txt", &report);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn golden_vgv_slice() {
+    let path = golden_store();
+    let mut r = StoreReader::open(&path).unwrap();
+    let info = r.info();
+    let span = info.t_end.saturating_sub(info.t_min);
+    let t0 = info.t_min + span / 4;
+    let t1 = info.t_min + span / 2;
+    let (report, stats) = slice_report(&mut r, t0, t1, None, 64).unwrap();
+    assert!(stats.chunks_skipped > 0, "{stats:?}");
+    check_golden("vgv_slice.txt", &report);
+    std::fs::remove_file(&path).ok();
+}
