@@ -143,7 +143,19 @@ impl ProfileBuilder {
                     }
                 }
             }
+            // A suppressed-count record carries exactly the cumulative
+            // wall time of its elided entry/exit pairs, so it is accounted
+            // like a batch: profiles from a suppressed trace match the
+            // unsuppressed ones in inclusive/exclusive time.
             Event::FuncBatch {
+                t,
+                rank,
+                thread,
+                func,
+                count,
+                span,
+            }
+            | Event::FuncSuppressed {
                 t,
                 rank,
                 thread,

@@ -60,7 +60,7 @@ pub fn event_end(ev: &Event) -> SimTime {
         Event::MpiCall { t_end, .. }
         | Event::OmpThread { t_end, .. }
         | Event::Suspended { t_end, .. } => t_end,
-        Event::FuncBatch { t, span, .. } => t + span,
+        Event::FuncBatch { t, span, .. } | Event::FuncSuppressed { t, span, .. } => t + span,
         _ => ev.time(),
     }
 }
@@ -81,6 +81,7 @@ fn kind_of(ev: &Event) -> u8 {
         Event::OmpThread { .. } => 7,
         Event::ConfSync { .. } => 8,
         Event::Suspended { .. } => 9,
+        Event::FuncSuppressed { .. } => 10,
     }
 }
 
@@ -97,6 +98,13 @@ pub fn encode_event(buf: &mut BytesMut, ev: &Event, prev_t: &mut u64) {
             put_varint(buf, func.0 as u64);
         }
         Event::FuncBatch {
+            thread,
+            func,
+            count,
+            span,
+            ..
+        }
+        | Event::FuncSuppressed {
             thread,
             func,
             count,
@@ -243,6 +251,14 @@ pub fn decode_event(buf: &mut Bytes, rank: u32, prev_t: &mut u64) -> Option<Even
                 rank,
             }
         }
+        10 => Event::FuncSuppressed {
+            t,
+            rank,
+            thread: get_varint(buf)? as u16,
+            func: VtFuncId(get_varint(buf)? as u32),
+            count: get_varint(buf)?,
+            span: SimTime::from_nanos(get_varint(buf)?),
+        },
         _ => return None,
     })
 }
@@ -344,6 +360,14 @@ mod tests {
                 t: us(171),
                 t_end: us(180),
                 rank: 7,
+            },
+            Event::FuncSuppressed {
+                t: us(181),
+                rank: 7,
+                thread: 3,
+                func: VtFuncId(5),
+                count: 42,
+                span: us(9),
             },
             Event::FuncExit {
                 t: us(200),

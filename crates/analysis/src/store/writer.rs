@@ -358,7 +358,8 @@ pub fn compact(
 fn remap_func(ev: &mut Event, remap: &[u32]) {
     if let Event::FuncEnter { func, .. }
     | Event::FuncExit { func, .. }
-    | Event::FuncBatch { func, .. } = ev
+    | Event::FuncBatch { func, .. }
+    | Event::FuncSuppressed { func, .. } = ev
     {
         if let Some(&to) = remap.get(func.0 as usize) {
             *func = VtFuncId(to);

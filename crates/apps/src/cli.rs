@@ -27,8 +27,8 @@
 use std::io::Read;
 use std::sync::Arc;
 
-use dynprof_core::{run_session, AppSpec, Command, SessionConfig, SessionReport};
-use dynprof_sim::Machine;
+use dynprof_core::{run_session, AdaptiveSettings, AppSpec, Command, SessionConfig, SessionReport};
+use dynprof_sim::{Machine, SimTime};
 use dynprof_vt::Policy;
 
 use crate::workload::Outputs;
@@ -56,6 +56,11 @@ pub struct CliArgs {
     pub policy: Policy,
     /// Optional trace-file output path.
     pub trace: Option<String>,
+    /// Overhead budget (percent) for closed-loop adaptive
+    /// instrumentation; `None` = no controller.
+    pub budget: Option<f64>,
+    /// Redundancy-suppression floor in microseconds (0 = off).
+    pub floor_us: u64,
 }
 
 /// Everything one invocation produced.
@@ -77,6 +82,8 @@ usage: dynprof <script|-> <stdout-file|-> <timefile|-> <app> [key=value ...]
   options:  cpus=N scale=X machine=ibm|ia32|test seed=N
             policy=dynamic|full|full-off|subset|none
             trace=FILE (.vgvs = chunk-indexed store, else legacy VGVT)
+            budget=PCT (adaptive: keep probe overhead under PCT%)
+            floor=US (suppress entry/exit pairs shorter than US microseconds)
 ";
 
 impl CliArgs {
@@ -96,6 +103,8 @@ impl CliArgs {
             seed: 42,
             policy: Policy::Dynamic,
             trace: None,
+            budget: None,
+            floor_us: 0,
         };
         for kv in &args[4..] {
             let (k, v) = kv
@@ -110,6 +119,14 @@ impl CliArgs {
                     out.policy = Policy::parse(v).ok_or_else(|| format!("unknown policy {v:?}"))?
                 }
                 "trace" => out.trace = Some(v.to_string()),
+                "budget" => {
+                    let pct: f64 = v.parse().map_err(|_| format!("bad budget {v:?}"))?;
+                    if pct.is_nan() || pct < 0.0 {
+                        return Err(format!("bad budget {v:?} (percent, >= 0)"));
+                    }
+                    out.budget = Some(pct);
+                }
+                "floor" => out.floor_us = v.parse().map_err(|_| format!("bad floor {v:?}"))?,
                 other => return Err(format!("unknown option {other:?}\n{USAGE}")),
             }
         }
@@ -175,6 +192,12 @@ pub fn run_cli(args: &CliArgs) -> Result<CliOutput, String> {
     if args.policy == Policy::Dynamic {
         cfg = cfg.with_script(script);
     }
+    if let Some(pct) = args.budget {
+        cfg = cfg.with_adaptive(AdaptiveSettings::budget(pct));
+    }
+    if args.floor_us > 0 {
+        cfg = cfg.with_suppress_floor(SimTime::from_micros(args.floor_us));
+    }
     let report = run_session(&app, cfg);
 
     let mut summary = String::new();
@@ -193,6 +216,22 @@ pub fn run_cli(args: &CliArgs) -> Result<CliOutput, String> {
         "trace volume     : {} bytes\n",
         report.trace_bytes
     ));
+    if let Some(ctrl) = &report.controller {
+        let series = ctrl.measured_series();
+        summary.push_str(&format!(
+            "overhead budget  : {:.2}% ({} confsync rounds, final overhead {:.2}%, {} probes off)\n",
+            args.budget.unwrap_or(f64::INFINITY),
+            series.len(),
+            series.last().copied().unwrap_or(0.0),
+            ctrl.deactivated_now().len(),
+        ));
+    }
+    if args.floor_us > 0 {
+        let suppressed: u64 = (0..app.mode.processes())
+            .map(|r| report.vt.suppressed_pairs(r))
+            .sum();
+        summary.push_str(&format!("suppressed pairs : {suppressed}\n"));
+    }
     for w in &report.warnings {
         summary.push_str(&format!("warning          : {w}\n"));
     }
@@ -357,6 +396,45 @@ mod tests {
         assert_eq!(r.read_all().unwrap().events.len(), trace.events.len());
         std::fs::remove_file(&script).ok();
         std::fs::remove_file(&store).ok();
+    }
+
+    #[test]
+    fn adaptive_invocation_reports_controller_and_suppression() {
+        let dir = std::env::temp_dir().join("dynprof-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let script = dir.join(format!("a-{}.dp", std::process::id()));
+        std::fs::write(&script, "insert-file subset\nstart\nquit\n").unwrap();
+        let args = CliArgs::parse(&strs(&[
+            script.to_str().unwrap(),
+            "-",
+            "-",
+            "sweep3d",
+            "cpus=2",
+            "seed=5",
+            "machine=test",
+            "budget=5",
+            "floor=10",
+        ]))
+        .unwrap();
+        assert_eq!(args.budget, Some(5.0));
+        assert_eq!(args.floor_us, 10);
+        let out = run_cli(&args).unwrap();
+        // Same pins as the plain invocation: the adaptive knobs change
+        // neither the install path nor the probe count.
+        assert!(
+            out.summary.contains("probe pairs      : 42"),
+            "{}",
+            out.summary
+        );
+        assert!(out.summary.contains("overhead budget  : 5.00%"));
+        assert!(out.summary.contains("confsync rounds"));
+        assert!(out.summary.contains("suppressed pairs :"));
+        assert!(out.report.controller.is_some());
+        // Bad values are rejected at parse time.
+        assert!(CliArgs::parse(&strs(&["a", "b", "c", "smg98", "budget=-1"])).is_err());
+        assert!(CliArgs::parse(&strs(&["a", "b", "c", "smg98", "budget=x"])).is_err());
+        assert!(CliArgs::parse(&strs(&["a", "b", "c", "smg98", "floor=x"])).is_err());
+        std::fs::remove_file(&script).ok();
     }
 
     #[test]

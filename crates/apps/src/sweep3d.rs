@@ -287,6 +287,9 @@ fn run_rank(ctx: &AppCtx<'_>, params: &Sweep3dParams) {
             let err = comm.allreduce(ctx.p, local, |a: f64, b: f64| a.max(b));
             debug_assert!(err.is_finite());
         });
+        // All ranks are between collectives here — a VT_confsync safe
+        // point (live only in adaptive sessions; a no-op otherwise).
+        ctx.safe_point();
     }
     if let Some(rt) = &omp {
         rt.shutdown(ctx.p);

@@ -1,14 +1,18 @@
 //! engine_bench — raw throughput of the virtual-time discrete-event
 //! engine, in events per second of host time.
 //!
-//! Three workloads stress the scheduler hot loop in different shapes:
+//! Four workloads stress the scheduler hot loop in different shapes:
 //!
 //! * **pingpong** — two processes exchanging messages through a pair of
 //!   channels: the pure handoff cost, one blocking receive per event;
 //! * **alltoall** — 16 processes each sending to every other with
 //!   jittered latencies: deep event queue, cross-process wakes;
 //! * **barrier_storm** — 32 processes spinning on a cyclic barrier:
-//!   bursts of simultaneous wakes at one release time.
+//!   bursts of simultaneous wakes at one release time;
+//! * **reconfig_wave** — 16 processes riding confsync-style epochs: rank
+//!   0 fans a table out through per-rank channels, gathers acks, and a
+//!   barrier releases the next epoch — the shape the adaptive
+//!   controller's activation broadcasts travel on.
 //!
 //! Every workload is a fixed-size simulation (so its event count is
 //! deterministic); the best wall-clock of five samples divides it into
@@ -145,6 +149,38 @@ fn barrier_storm(n: usize, rounds: usize) -> (u64, u64, Duration) {
     timed_run(sim)
 }
 
+/// `n` processes sweeping `rounds` confsync-style reconfiguration waves:
+/// rank 0 broadcasts through per-rank channels, drains one ack per peer,
+/// and a barrier releases everyone into the next epoch.
+fn reconfig_wave(n: usize, rounds: usize) -> (u64, u64, Duration) {
+    let sim = Sim::virtual_time(Machine::test_machine(), 4);
+    let down: Vec<Arc<SimChannel<u32>>> = (0..n).map(|_| Arc::new(SimChannel::new())).collect();
+    let up: Arc<SimChannel<u32>> = Arc::new(SimChannel::new());
+    let bar = Arc::new(SimBarrier::new(n, SimTime::from_nanos(200)));
+    for i in 0..n {
+        let down = down.clone();
+        let up = Arc::clone(&up);
+        let bar = Arc::clone(&bar);
+        sim.spawn(format!("wave{i}"), i % 4, move |p| {
+            for round in 0..rounds {
+                if i == 0 {
+                    for ch in down.iter().skip(1) {
+                        ch.send(p, round as u32, SimTime::from_micros(1));
+                    }
+                    for _ in 1..n {
+                        let _ = up.recv(p);
+                    }
+                } else {
+                    let v = down[i].recv(p);
+                    up.send(p, v, SimTime::from_micros(1));
+                }
+                bar.wait(p);
+            }
+        });
+    }
+    timed_run(sim)
+}
+
 fn out_path() -> String {
     std::env::var("BENCH_ENGINE_OUT")
         .unwrap_or_else(|_| format!("{}/../../BENCH_engine.json", env!("CARGO_MANIFEST_DIR")))
@@ -196,6 +232,7 @@ fn main() {
         sample("pingpong", || pingpong(20_000)),
         sample("alltoall", || alltoall(16, 60)),
         sample("barrier_storm", || barrier_storm(32, 1_500)),
+        sample("reconfig_wave", || reconfig_wave(16, 600)),
     ];
     for m in &measures {
         println!(

@@ -376,6 +376,32 @@ fn bench_runtimes() {
         }
         t.elapsed()
     });
+    // Host cost of one controller decision at 64 ranks × 32 functions:
+    // the per-epoch bookkeeping VT_confsync pays when an overhead budget
+    // is set (scan every rank's stat table, compute deltas, score, sort).
+    bench("controller/decide_64ranks", |iters| {
+        in_real_proc(move |p| {
+            let vt = VtLib::new("b", 64, VtConfig::all_on(), ProbeCosts::power3());
+            for r in 0..64 {
+                vt.init(p, r);
+            }
+            let funcs: Vec<_> = (0..32).map(|i| vt.funcdef(p, &format!("fn_{i}"))).collect();
+            for r in 0..64 {
+                for (i, &f) in funcs.iter().enumerate() {
+                    for _ in 0..(i % 7 + 1) {
+                        vt.begin(p, r, 0, f, 1);
+                        vt.end(p, r, 0, f);
+                    }
+                }
+            }
+            let ctl = dynprof_vt::OverheadController::budgeted(5.0);
+            let t = Instant::now();
+            for round in 0..iters {
+                black_box(ctl.decide(&vt, SimTime::from_micros(round + 1), round));
+            }
+            t.elapsed()
+        })
+    });
     // Host cost of one full VT_confsync safe point at 64 ranks.
     bench("sim/confsync_64ranks", |iters| {
         let t = Instant::now();

@@ -4,7 +4,8 @@
 //! Usage: `fig7 [--app smg98|sppm|sweep3d|umt98] [--json]
 //!              [--parallel [N]] [--metrics out.json]
 //!              [--faults seed[:profile]] [--txn]
-//!              [--degraded-policy abort-txn|exclude-node]`
+//!              [--degraded-policy abort-txn|exclude-node]
+//!              [--overhead-budget pct]`
 //!
 //! `--parallel` fans the independent (app, policy, P) runs across a
 //! worker-thread pool (N workers; default = available cores). Output is
@@ -15,9 +16,13 @@
 //! epochs, lossy (default). `--txn` routes instrumentation through the
 //! two-phase-commit control plane; `--degraded-policy` (implies `--txn`)
 //! picks the reaction to failed participants — series that committed with
-//! excluded nodes are labelled `[degraded]`.
+//! excluded nodes are labelled `[degraded]`. `--overhead-budget pct`
+//! attaches the closed-loop overhead controller to every session; 100 or
+//! more is inert (byte-identical output).
 
-use dynprof_bench::{fig7_with_workers, parallel, set_txn_policy, write_metrics};
+use dynprof_bench::{
+    fig7_with_workers, parallel, set_overhead_budget, set_txn_policy, write_metrics,
+};
 use dynprof_dpcl::DegradedPolicy;
 
 fn main() {
@@ -32,6 +37,17 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--txn" => txn = true,
+            "--overhead-budget" => {
+                i += 1;
+                let pct = args.get(i).expect("--overhead-budget needs a percent");
+                match pct.parse::<f64>() {
+                    Ok(p) if p >= 0.0 => set_overhead_budget(Some(p)),
+                    _ => {
+                        eprintln!("bad --overhead-budget value {pct:?} (percent, >= 0)");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--degraded-policy" => {
                 i += 1;
                 let p = args.get(i).expect("--degraded-policy needs a value");

@@ -3,7 +3,8 @@
 //!
 //! Usage: `fig8 [--part a|b|c] [--runs N] [--json] [--parallel [N]]
 //!              [--metrics out.json] [--faults seed[:profile]] [--txn]
-//!              [--degraded-policy abort-txn|exclude-node]`
+//!              [--degraded-policy abort-txn|exclude-node]
+//!              [--overhead-budget pct]`
 //! (default: all parts, 16 runs per point — the paper's averaging).
 //! `--parallel` fans the independent (proc count, seed) runs across a
 //! worker-thread pool (N workers; default = available cores); output is
@@ -12,11 +13,12 @@
 //! none, drop, dup, delay, slow, crash, epochs, lossy (default).
 //! `--txn`/`--degraded-policy` configure the two-phase-commit control
 //! plane for sweep-script uniformity with fig7/fig9; the confsync
-//! experiments install no probes, so the knobs change nothing here.
+//! experiments install no probes, so the knobs (and `--overhead-budget`)
+//! change nothing here.
 
 use dynprof_bench::{
-    fig8a_with_workers, fig8b_with_workers, fig8c_with_workers, parallel, set_txn_policy,
-    write_metrics, Figure,
+    fig8a_with_workers, fig8b_with_workers, fig8c_with_workers, parallel, set_overhead_budget,
+    set_txn_policy, write_metrics, Figure,
 };
 use dynprof_dpcl::DegradedPolicy;
 
@@ -33,6 +35,17 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--txn" => txn = true,
+            "--overhead-budget" => {
+                i += 1;
+                let pct = args.get(i).expect("--overhead-budget needs a percent");
+                match pct.parse::<f64>() {
+                    Ok(p) if p >= 0.0 => set_overhead_budget(Some(p)),
+                    _ => {
+                        eprintln!("bad --overhead-budget value {pct:?} (percent, >= 0)");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--degraded-policy" => {
                 i += 1;
                 let p = args.get(i).expect("--degraded-policy needs a value");

@@ -4,7 +4,8 @@
 //!
 //! Usage: `fig9 [--json] [--parallel [N]] [--metrics out.json]
 //!              [--faults seed[:profile]] [--txn]
-//!              [--degraded-policy abort-txn|exclude-node]`
+//!              [--degraded-policy abort-txn|exclude-node]
+//!              [--overhead-budget pct]`
 //!
 //! `--parallel` fans the independent (app, P) instrumentation sessions
 //! across a worker-thread pool (N workers; default = available cores);
@@ -16,7 +17,9 @@
 //! failed participants — series that committed with excluded nodes are
 //! labelled `[degraded]`.
 
-use dynprof_bench::{fig9_with_workers, parallel, set_txn_policy, write_metrics};
+use dynprof_bench::{
+    fig9_with_workers, parallel, set_overhead_budget, set_txn_policy, write_metrics,
+};
 use dynprof_dpcl::DegradedPolicy;
 
 fn main() {
@@ -40,6 +43,16 @@ fn main() {
     });
     if txn || policy.is_some() {
         set_txn_policy(Some(policy.unwrap_or(DegradedPolicy::AbortTxn)));
+    }
+    if let Some(i) = args.iter().position(|a| a == "--overhead-budget") {
+        let pct = args.get(i + 1).expect("--overhead-budget needs a percent");
+        match pct.parse::<f64>() {
+            Ok(p) if p >= 0.0 => set_overhead_budget(Some(p)),
+            _ => {
+                eprintln!("bad --overhead-budget value {pct:?} (percent, >= 0)");
+                std::process::exit(2);
+            }
+        }
     }
     let metrics = args
         .iter()

@@ -1,0 +1,32 @@
+//! Regenerate the adaptive-controller convergence figure (beyond the
+//! paper): measured instrumentation overhead per `VT_confsync` epoch on
+//! sweep3d at 4 ranks, one series per overhead budget plus the
+//! unbudgeted observer.
+//!
+//! Usage: `figctl [--epochs N] [--json]` (default: 8 epochs).
+
+use dynprof_bench::fig_controller;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let epochs = match args.iter().position(|a| a == "--epochs") {
+        Some(i) => {
+            let v = args.get(i + 1).expect("--epochs needs a value");
+            match v.parse::<usize>() {
+                Ok(n) if n > 0 => n,
+                _ => {
+                    eprintln!("bad --epochs value {v:?} (positive integer)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => 8,
+    };
+    let fig = fig_controller(epochs);
+    if json {
+        println!("{}", fig.to_json());
+    } else {
+        println!("{}", fig.render());
+    }
+}

@@ -19,14 +19,14 @@
 
 pub mod parallel;
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use dynprof_apps::paper_app;
 use dynprof_check::analyzer::{analyze, Budget, ProbePlan};
-use dynprof_core::{run_session, AppSpec, SessionConfig, TxnSettings};
+use dynprof_core::{run_session, AdaptiveSettings, AppSpec, SessionConfig, TxnSettings};
 use dynprof_dpcl::DegradedPolicy;
 use dynprof_mpi::{launch, JobSpec};
 use dynprof_obs::{self as obs, Json};
@@ -80,6 +80,44 @@ fn txn_settings(app: &AppSpec) -> Option<TxnSettings> {
     Some(settings)
 }
 
+// ---------------------------------------------------------------------------
+// Overhead-budget mode (`--overhead-budget`)
+// ---------------------------------------------------------------------------
+
+/// Process-global overhead budget in hundredths of a percent, set by the
+/// figure binaries; `u64::MAX` means no budget. Same lock-free shape as
+/// [`TXN_MODE`] so parallel sweep workers can read it without contention.
+static BUDGET_PCT_X100: AtomicU64 = AtomicU64::new(u64::MAX);
+
+/// Set (or clear) the overhead budget applied to every subsequent
+/// session: the `vt::controller` closed loop deactivates probes at each
+/// `VT_confsync` epoch until measured instrumentation overhead fits in
+/// `pct` percent of application time. A budget of 100% or more is inert —
+/// no controller is attached at all, so output stays byte-identical to an
+/// unbudgeted run (the CI identity check relies on this).
+pub fn set_overhead_budget(pct: Option<f64>) {
+    let v = match pct {
+        Some(p) if p >= 0.0 => (p * 100.0).round() as u64,
+        _ => u64::MAX,
+    };
+    BUDGET_PCT_X100.store(v, Ordering::SeqCst);
+}
+
+/// The currently configured overhead budget (percent), if any.
+pub fn overhead_budget() -> Option<f64> {
+    match BUDGET_PCT_X100.load(Ordering::SeqCst) {
+        u64::MAX => None,
+        v => Some(v as f64 / 100.0),
+    }
+}
+
+/// The session-level adaptive settings implied by the budget; `None` when
+/// unset or inert (≥ 100%).
+fn adaptive_settings() -> Option<AdaptiveSettings> {
+    let pct = overhead_budget()?;
+    (pct < 100.0).then(|| AdaptiveSettings::budget(pct))
+}
+
 /// Suffix a series label when any of its runs committed degraded
 /// (exclude-node policy dropped participants), so figure output is never
 /// silently mixed-provenance. Inert runs keep their exact labels, which
@@ -118,6 +156,9 @@ pub struct Figure {
     pub title: String,
     /// Unit of the y axis.
     pub unit: &'static str,
+    /// X-axis column label ("CPUs" for the paper figures, "Epoch" for
+    /// the controller-convergence figure).
+    pub xaxis: &'static str,
     /// The measured series.
     pub series: Vec<Series>,
 }
@@ -138,7 +179,7 @@ impl Figure {
         cpus.sort_unstable();
         cpus.dedup();
         let mut out = format!("## {} ({})\n", self.title, self.unit);
-        out.push_str(&format!("{:>6}", "CPUs"));
+        out.push_str(&format!("{:>6}", self.xaxis));
         for s in &self.series {
             out.push_str(&format!(" {:>12}", s.label));
         }
@@ -247,6 +288,9 @@ pub fn fig7_run_outcome(app_name: &str, cpus: usize, policy: Policy) -> (f64, bo
     if let Some(settings) = txn_settings(&app) {
         cfg = cfg.with_txn(settings);
     }
+    if let Some(settings) = adaptive_settings() {
+        cfg = cfg.with_adaptive(settings);
+    }
     let report = run_session(&app, cfg);
     (report.app_time.as_secs_f64(), report.vt.is_degraded())
 }
@@ -297,6 +341,7 @@ pub fn fig7_with_workers(app_name: &str, workers: usize) -> Figure {
     Figure {
         title: format!("Fig 7({sub}) {app_name}: execution time of instrumented versions"),
         unit: "seconds",
+        xaxis: "CPUs",
         series,
     }
 }
@@ -426,6 +471,7 @@ pub fn fig8a_with_workers(runs: usize, workers: usize) -> Figure {
     Figure {
         title: "Fig 8(a) VT_confsync on IBM (no change vs changes)".into(),
         unit: "seconds",
+        xaxis: "CPUs",
         series: vec![
             confsync_cost_with_workers(&m, &procs, ConfsyncExperiment::NoChange, runs, workers),
             confsync_cost_with_workers(&m, &procs, ConfsyncExperiment::WithChange, runs, workers),
@@ -446,6 +492,7 @@ pub fn fig8b_with_workers(runs: usize, workers: usize) -> Figure {
     Figure {
         title: "Fig 8(b) VT_confsync writing statistics on IBM".into(),
         unit: "seconds",
+        xaxis: "CPUs",
         series: vec![confsync_cost_with_workers(
             &m,
             &procs,
@@ -469,6 +516,7 @@ pub fn fig8c_with_workers(runs: usize, workers: usize) -> Figure {
     Figure {
         title: "Fig 8(c) VT_confsync on IA32 (no change)".into(),
         unit: "seconds",
+        xaxis: "CPUs",
         series: vec![confsync_cost_with_workers(
             &m,
             &procs,
@@ -510,6 +558,9 @@ pub fn fig9_with_workers(workers: usize) -> Figure {
         if let Some(settings) = txn_settings(&app) {
             cfg = cfg.with_txn(settings);
         }
+        if let Some(settings) = adaptive_settings() {
+            cfg = cfg.with_adaptive(settings);
+        }
         let report = run_session(&app, cfg);
         (
             c,
@@ -536,6 +587,77 @@ pub fn fig9_with_workers(workers: usize) -> Figure {
     Figure {
         title: "Fig 9 Time to create and instrument".into(),
         unit: "seconds",
+        xaxis: "CPUs",
+        series,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Controller convergence (overhead vs budget)
+// ---------------------------------------------------------------------------
+
+/// The budgets swept by [`fig_controller`]; `INFINITY` is the unbudgeted
+/// observer baseline.
+pub const CONTROLLER_BUDGETS: [f64; 4] = [2.0, 5.0, 10.0, f64::INFINITY];
+
+/// One adaptive sweep3d session for the convergence figure: 4 ranks on
+/// the test machine, probe-dense scaling (tiny per-cell work, one KBA
+/// plane per block), one confsync epoch per flux iteration. Returns the
+/// controller's measured-overhead series, one point per epoch.
+pub fn controller_convergence_run(budget_pct: f64, epochs: usize) -> Vec<f64> {
+    let params = dynprof_apps::Sweep3dParams {
+        global_n: 16,
+        k_block: 1,
+        angle_groups: 4,
+        iterations: epochs,
+        omp_threads: 1,
+        scale: 0.001,
+        outputs: dynprof_apps::workload::Outputs::new(),
+    };
+    let settings = if budget_pct.is_finite() {
+        AdaptiveSettings::budget(budget_pct)
+    } else {
+        AdaptiveSettings::observer()
+    };
+    let cfg = SessionConfig::new(Machine::test_machine(), Policy::Full)
+        .with_seed(42)
+        .with_adaptive(settings);
+    let report = run_session(&dynprof_apps::sweep3d(4, params), cfg);
+    report
+        .controller
+        .expect("adaptive session attaches a controller")
+        .measured_series()
+}
+
+/// The closed-loop figure: measured instrumentation overhead per confsync
+/// epoch for each budget in [`CONTROLLER_BUDGETS`], on the probe-dense
+/// sweep3d scaling. The unbudgeted series holds its ~12% plateau; every
+/// budgeted series steps down as the controller deactivates hot-cheap
+/// probes, converging within a few epochs (re-probe excursions show as
+/// one-epoch spikes that are immediately re-suppressed).
+pub fn fig_controller(epochs: usize) -> Figure {
+    let series = CONTROLLER_BUDGETS
+        .iter()
+        .map(|&b| {
+            let label = if b.is_finite() {
+                format!("budget {b}%")
+            } else {
+                "unbudgeted".to_string()
+            };
+            Series {
+                label,
+                points: controller_convergence_run(b, epochs)
+                    .into_iter()
+                    .enumerate()
+                    .collect(),
+            }
+        })
+        .collect();
+    Figure {
+        title: "Adaptive controller: measured overhead per confsync epoch (sweep3d, 4 ranks)"
+            .into(),
+        unit: "% of application time",
+        xaxis: "Epoch",
         series,
     }
 }

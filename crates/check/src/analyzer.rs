@@ -188,6 +188,65 @@ pub fn analyze(
     out
 }
 
+/// Epoch-safety check for an activation-table delta — the changes an
+/// adaptive controller (or a manual safe-point edit) wants to broadcast
+/// as `(symbol, activate)` pairs. Flags:
+///
+/// * contradictory entries (a symbol both activated and deactivated in
+///   the same delta) — an error: the applied table would depend on entry
+///   order;
+/// * duplicate consistent entries — a warning (harmless but suspicious);
+/// * a delta that deactivates every named symbol while activating none —
+///   a warning: usually a sign the controller's budget is unreachably low
+///   and coverage is collapsing;
+/// * symbols not present in `known` (when a registry is supplied) — a
+///   warning: the entry will never match anything.
+pub fn check_activation_delta(
+    changes: &[(String, bool)],
+    known: Option<&[String]>,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut states: BTreeMap<&str, bool> = BTreeMap::new();
+    for (name, on) in changes {
+        match states.insert(name.as_str(), *on) {
+            Some(prev) if prev != *on => out.push(finding(
+                Severity::Error,
+                "analyzer:contradictory-delta",
+                format!("activation delta sets {name:?} both on and off"),
+            )),
+            Some(_) => out.push(finding(
+                Severity::Warning,
+                "analyzer:duplicate-delta-entry",
+                format!("activation delta names {name:?} more than once"),
+            )),
+            None => {}
+        }
+    }
+    if !changes.is_empty() && changes.iter().all(|(_, on)| !*on) {
+        out.push(finding(
+            Severity::Warning,
+            "analyzer:coverage-collapse",
+            format!(
+                "activation delta deactivates all {} named symbols and activates none",
+                states.len()
+            ),
+        ));
+    }
+    if let Some(known) = known {
+        for name in states.keys() {
+            if !known.iter().any(|k| k == name) {
+                out.push(finding(
+                    Severity::Warning,
+                    "analyzer:unknown-symbol",
+                    format!("activation delta names {name:?}, not in the function registry"),
+                ));
+            }
+        }
+    }
+    out.sort_by_key(|f| std::cmp::Reverse(f.severity));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,6 +311,33 @@ mod tests {
         assert!(f
             .iter()
             .any(|x| x.severity == Severity::Error && x.detector == "analyzer:cost-budget"));
+    }
+
+    #[test]
+    fn activation_delta_checks() {
+        let known = vec!["hot".to_string(), "rare".to_string()];
+        // Clean delta.
+        let f = check_activation_delta(
+            &[("hot".into(), false), ("rare".into(), true)],
+            Some(&known),
+        );
+        assert!(f.is_empty(), "{f:?}");
+        // Contradiction is an error.
+        let f =
+            check_activation_delta(&[("hot".into(), false), ("hot".into(), true)], Some(&known));
+        assert!(
+            f.iter()
+                .any(|x| x.severity == Severity::Error
+                    && x.detector == "analyzer:contradictory-delta")
+        );
+        // All-off collapse and unknown symbols warn.
+        let f = check_activation_delta(
+            &[("hot".into(), false), ("nonesuch".into(), false)],
+            Some(&known),
+        );
+        assert!(f.iter().any(|x| x.detector == "analyzer:coverage-collapse"));
+        assert!(f.iter().any(|x| x.detector == "analyzer:unknown-symbol"));
+        assert!(f.iter().all(|x| x.severity == Severity::Warning));
     }
 
     #[test]

@@ -48,6 +48,19 @@ impl AppMode {
     }
 }
 
+/// The session-side state behind [`AppCtx::safe_point`]: the monitoring
+/// link that `VT_confsync` polls (carrying any attached
+/// [`dynprof_vt::OverheadController`]) plus the per-epoch statistics
+/// switch. Present only when the session enabled adaptive
+/// instrumentation — bodies of unadaptive runs see `None` and their safe
+/// points are no-ops, so those runs stay byte-identical.
+pub struct AdaptiveRuntime {
+    /// Change feed polled by rank 0 at every safe point.
+    pub monitor: Arc<dynprof_vt::MonitorLink>,
+    /// Write runtime statistics at each safe point (Fig 8 Experiment 3).
+    pub write_stats: bool,
+}
+
 /// Per-process execution context handed to the application body.
 pub struct AppCtx<'a> {
     /// The executing simulated process.
@@ -64,6 +77,8 @@ pub struct AppCtx<'a> {
     pub nranks: usize,
     /// OpenMP team size (1 for pure MPI apps).
     pub omp_threads: usize,
+    /// Adaptive-instrumentation hooks (None outside adaptive sessions).
+    pub adaptive: Option<Arc<AdaptiveRuntime>>,
 }
 
 impl<'a> AppCtx<'a> {
@@ -144,6 +159,18 @@ impl<'a> AppCtx<'a> {
             reps,
             body,
         )
+    }
+
+    /// A `VT_confsync` safe point (paper §5): in an adaptive MPI session,
+    /// collectively synchronize the activation table — applying any
+    /// pending configuration change or controller decision. Outside
+    /// adaptive sessions (or in non-MPI apps) this is a no-op, so
+    /// sprinkling safe points through an application body cannot move a
+    /// byte of an unadaptive run.
+    pub fn safe_point(&self) {
+        if let (Some(ar), Some(comm)) = (&self.adaptive, self.comm) {
+            dynprof_vt::confsync(self.vt, &ar.monitor, self.p, comm, ar.write_stats);
+        }
     }
 
     /// Create this process's OpenMP runtime with Guidetrace logging wired

@@ -25,9 +25,12 @@ use dynprof_mpi::{launch_from, JobSpec, MpiHooks};
 use dynprof_sim::hb::Finding;
 use dynprof_sim::sync::SimGate;
 use dynprof_sim::{Machine, Proc, Sim, SimTime};
-use dynprof_vt::{vt_begin_snippet, vt_end_snippet, Policy, VtLib, VtMpiHooks, VtStaticHooks};
+use dynprof_vt::{
+    vt_begin_snippet, vt_end_snippet, ControllerConfig, MonitorLink, OverheadController, Policy,
+    VtLib, VtMpiHooks, VtStaticHooks,
+};
 
-use crate::app::{AppCtx, AppMode, AppSpec};
+use crate::app::{AdaptiveRuntime, AppCtx, AppMode, AppSpec};
 use crate::command::Command;
 use crate::initsync::InitSync;
 use crate::timefile::Timefile;
@@ -65,6 +68,44 @@ pub struct SessionConfig {
     /// Run multi-node instrumentation changes as 2PC transactions
     /// (`None`: the classic multicast path).
     pub txn: Option<TxnSettings>,
+    /// Redundancy-suppression floor: entry/exit pairs shorter than this
+    /// are elided from the trace (coalesced into per-function
+    /// suppressed-count events; profiles stay exact). `ZERO` disables
+    /// suppression and is byte-identical to not setting it at all.
+    pub suppress_floor: SimTime,
+    /// Closed-loop adaptive instrumentation (`None`: no controller, no
+    /// confsync at safe points — byte-identical to earlier sessions).
+    pub adaptive: Option<AdaptiveSettings>,
+}
+
+/// Settings of the closed-loop overhead controller attached to an
+/// adaptive session. The controller observes per-probe cost at each
+/// `VT_confsync` safe point and rewrites the activation table to keep
+/// measured instrumentation overhead under `budget_pct`.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveSettings {
+    /// Overhead budget in percent of application time
+    /// (`f64::INFINITY`: observe only, never reconfigure).
+    pub budget_pct: f64,
+    /// Re-probe one deactivated function every this many under-budget
+    /// decisions (0 disables re-probing).
+    pub reprobe_every: u64,
+}
+
+impl AdaptiveSettings {
+    /// A controller enforcing `budget_pct`, with the default re-probe
+    /// schedule.
+    pub fn budget(budget_pct: f64) -> AdaptiveSettings {
+        AdaptiveSettings {
+            budget_pct,
+            reprobe_every: ControllerConfig::default().reprobe_every,
+        }
+    }
+
+    /// Observe-only: record measured overhead per epoch, never deactivate.
+    pub fn observer() -> AdaptiveSettings {
+        AdaptiveSettings::budget(f64::INFINITY)
+    }
 }
 
 /// Transactional-epoch settings for the `Dynamic` policy.
@@ -111,6 +152,8 @@ impl SessionConfig {
             instrumenter_node,
             enable_pc_log: false,
             txn: None,
+            suppress_floor: SimTime::ZERO,
+            adaptive: None,
         }
     }
 
@@ -118,6 +161,19 @@ impl SessionConfig {
     /// plane.
     pub fn with_txn(mut self, settings: TxnSettings) -> SessionConfig {
         self.txn = Some(settings);
+        self
+    }
+
+    /// Attach a closed-loop overhead controller; the application's
+    /// [`AppCtx::safe_point`]s become live `VT_confsync` epochs.
+    pub fn with_adaptive(mut self, settings: AdaptiveSettings) -> SessionConfig {
+        self.adaptive = Some(settings);
+        self
+    }
+
+    /// Elide entry/exit pairs shorter than `floor` from the trace.
+    pub fn with_suppress_floor(mut self, floor: SimTime) -> SessionConfig {
+        self.suppress_floor = floor;
         self
     }
 
@@ -176,6 +232,9 @@ pub struct SessionReport {
     pub warnings: Vec<String>,
     /// The per-process images (inspection: call counts, PC journals).
     pub images: Vec<Arc<dynprof_image::Image>>,
+    /// The overhead controller, when the session ran adaptively
+    /// (decision log, measured-overhead series).
+    pub controller: Option<Arc<OverheadController>>,
 }
 
 impl SessionReport {
@@ -212,6 +271,39 @@ impl BodyTimes {
             SimTime::ZERO
         } else {
             max - min
+        }
+    }
+}
+
+/// Instantiate the adaptive runtime of a session: set the trace library's
+/// suppression floor and, when a controller is configured, build the
+/// monitor link the application's safe points will poll. Returns `(None,
+/// None)` for unadaptive sessions — no link, no confsync, no new bytes.
+fn make_adaptive(
+    cfg: &SessionConfig,
+    vt: &Arc<VtLib>,
+) -> (
+    Option<Arc<AdaptiveRuntime>>,
+    Option<Arc<OverheadController>>,
+) {
+    if cfg.suppress_floor > SimTime::ZERO {
+        vt.set_suppress_floor(cfg.suppress_floor);
+    }
+    match &cfg.adaptive {
+        None => (None, None),
+        Some(s) => {
+            let ctrl = OverheadController::new(ControllerConfig {
+                budget_pct: s.budget_pct,
+                reprobe_every: s.reprobe_every,
+                ..ControllerConfig::default()
+            });
+            let monitor = MonitorLink::new();
+            monitor.attach_controller(Arc::clone(&ctrl));
+            let runtime = AdaptiveRuntime {
+                monitor,
+                write_stats: false,
+            };
+            (Some(Arc::new(runtime)), Some(ctrl))
         }
     }
 }
@@ -261,6 +353,7 @@ pub fn run_attach_session(
     let system = DpclSystem::new(["dynprof"]);
     let warnings: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
     let pairs_out: Arc<Mutex<usize>> = Arc::new(Mutex::new(0));
+    let (adaptive, controller) = make_adaptive(&cfg, &vt);
 
     // The application starts on its own — nobody is holding it.
     let nodes_of: Vec<usize> = match app.mode {
@@ -271,6 +364,7 @@ pub fn run_attach_session(
                 Arc::clone(&times),
                 Arc::clone(&app.body),
             );
+            let adaptive2 = adaptive.clone();
             let job = dynprof_mpi::launch(
                 &sim,
                 JobSpec::new(&app.name, ranks).on_node(cfg.app_base_node),
@@ -287,6 +381,7 @@ pub fn run_attach_session(
                         rank,
                         nranks: ranks,
                         omp_threads: 1,
+                        adaptive: adaptive2.clone(),
                     });
                     times3.record(rank, t0, p.now());
                     comm.finalize(p);
@@ -301,6 +396,7 @@ pub fn run_attach_session(
                 Arc::clone(&times),
                 Arc::clone(&app.body),
             );
+            let adaptive2 = adaptive.clone();
             let name = app.name.clone();
             let node = cfg.app_base_node;
             sim.spawn(name, node, move |p| {
@@ -314,6 +410,7 @@ pub fn run_attach_session(
                     rank: 0,
                     nranks: 1,
                     omp_threads: threads,
+                    adaptive: adaptive2.clone(),
                 });
                 times3.record(0, t0, p.now());
                 vt3.finalize(p, 0);
@@ -426,6 +523,7 @@ pub fn run_attach_session(
         vt,
         warnings,
         images: images.to_vec(),
+        controller,
     }
 }
 
@@ -469,6 +567,7 @@ fn run_static(app: &AppSpec, cfg: SessionConfig) -> SessionReport {
     );
     let sim = Sim::virtual_time(cfg.machine.clone(), cfg.seed);
     let times = BodyTimes::new(processes);
+    let (adaptive, controller) = make_adaptive(&cfg, &vt);
 
     match app.mode {
         AppMode::Mpi { ranks } => {
@@ -478,6 +577,7 @@ fn run_static(app: &AppSpec, cfg: SessionConfig) -> SessionReport {
                 Arc::clone(&times),
                 Arc::clone(&app.body),
             );
+            let adaptive2 = adaptive.clone();
             let omp_threads = 1;
             dynprof_mpi::launch(
                 &sim,
@@ -495,6 +595,7 @@ fn run_static(app: &AppSpec, cfg: SessionConfig) -> SessionReport {
                         rank,
                         nranks: ranks,
                         omp_threads,
+                        adaptive: adaptive2.clone(),
                     });
                     times2.record(rank, t0, p.now());
                     comm.finalize(p);
@@ -508,6 +609,7 @@ fn run_static(app: &AppSpec, cfg: SessionConfig) -> SessionReport {
                 Arc::clone(&times),
                 Arc::clone(&app.body),
             );
+            let adaptive2 = adaptive.clone();
             let name = app.name.clone();
             let node = cfg.app_base_node;
             sim.spawn(name, node, move |p| {
@@ -522,6 +624,7 @@ fn run_static(app: &AppSpec, cfg: SessionConfig) -> SessionReport {
                     rank: 0,
                     nranks: 1,
                     omp_threads: threads,
+                    adaptive: adaptive2.clone(),
                 });
                 times2.record(0, t0, p.now());
                 vt2.finalize(p, 0);
@@ -541,6 +644,7 @@ fn run_static(app: &AppSpec, cfg: SessionConfig) -> SessionReport {
         vt,
         warnings: Vec::new(),
         images: images.to_vec(),
+        controller,
     }
 }
 
@@ -794,6 +898,7 @@ fn run_dynamic(app: &AppSpec, cfg: SessionConfig) -> SessionReport {
     let start_gate = Arc::new(SimGate::new());
     let warnings: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
     let pairs_out: Arc<Mutex<usize>> = Arc::new(Mutex::new(0));
+    let (adaptive, controller) = make_adaptive(&cfg, &vt);
 
     {
         let vt = Arc::clone(&vt);
@@ -807,6 +912,7 @@ fn run_dynamic(app: &AppSpec, cfg: SessionConfig) -> SessionReport {
         let pairs_out2 = Arc::clone(&pairs_out);
         let app_base = cfg.app_base_node;
         let txn_settings = cfg.txn.clone();
+        let adaptive = adaptive.clone();
         sim.spawn("dynprof", cfg.instrumenter_node, move |p| {
             let client = DpclClient::new(system, "dynprof");
             let sync = InitSync::new(&client, processes);
@@ -824,6 +930,7 @@ fn run_dynamic(app: &AppSpec, cfg: SessionConfig) -> SessionReport {
                     );
                     let hooks: Vec<Arc<dyn MpiHooks>> =
                         vec![VtMpiHooks::new(Arc::clone(&vt)), sync.mpi_hook()];
+                    let adaptive2 = adaptive.clone();
                     let job = launch_from(
                         p,
                         JobSpec::new(&app.name, ranks)
@@ -842,6 +949,7 @@ fn run_dynamic(app: &AppSpec, cfg: SessionConfig) -> SessionReport {
                                 rank,
                                 nranks: ranks,
                                 omp_threads: 1,
+                                adaptive: adaptive2.clone(),
                             });
                             times3.record(rank, t0, ap.now());
                             comm.finalize(ap);
@@ -859,6 +967,7 @@ fn run_dynamic(app: &AppSpec, cfg: SessionConfig) -> SessionReport {
                     let sync2 = Arc::clone(&sync);
                     let gate = Arc::clone(&start_gate2);
                     let name = app.name.clone();
+                    let adaptive2 = adaptive.clone();
                     p.spawn_child(name, app_base, move |ap| {
                         gate.wait_open(ap);
                         // VT_init at the start of main (Guide), then the
@@ -875,6 +984,7 @@ fn run_dynamic(app: &AppSpec, cfg: SessionConfig) -> SessionReport {
                             rank: 0,
                             nranks: 1,
                             omp_threads: threads,
+                            adaptive: adaptive2.clone(),
                         });
                         times3.record(0, t0, ap.now());
                         vt3.finalize(ap, 0);
@@ -1018,5 +1128,6 @@ fn run_dynamic(app: &AppSpec, cfg: SessionConfig) -> SessionReport {
         vt,
         warnings,
         images: images.to_vec(),
+        controller,
     }
 }

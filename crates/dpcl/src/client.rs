@@ -402,6 +402,14 @@ impl DpclClient {
     /// byte-for-byte through this, so an inert-fault transactional run
     /// emits exactly the untransacted message sequence.
     pub(crate) fn install_raw(&self, p: &Proc, node: usize, op: StagedOp) -> ReqId {
+        let StagedOp::Install {
+            target,
+            point,
+            snippet,
+        } = op
+        else {
+            unreachable!("only install ops go over the fast-path wire");
+        };
         let req = self.req();
         self.note_issue(p, req, "dpcl.install_latency_ns");
         self.send_down(
@@ -409,9 +417,9 @@ impl DpclClient {
             node,
             DownMsg::Install {
                 req,
-                target: op.target,
-                point: op.point,
-                snippet: op.snippet,
+                target,
+                point,
+                snippet,
             },
         );
         req

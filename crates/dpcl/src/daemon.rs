@@ -24,7 +24,9 @@ use dynprof_sim::sync::SimChannel;
 use dynprof_sim::{hb, Proc, SimTime};
 
 use crate::journal::ProbeJournal;
-use crate::messages::{AckResult, DownMsg, DownMsgEnvelope, ReqId, SuperMsg, TargetId, UpMsg};
+use crate::messages::{
+    AckResult, DownMsg, DownMsgEnvelope, ReqId, StagedOp, SuperMsg, TargetId, UpMsg,
+};
 
 /// Cost of one super-daemon authentication check.
 pub const AUTH_COST: SimTime = SimTime::from_millis(4);
@@ -431,8 +433,8 @@ fn comm_daemon_loop(
                     )),
                     Some(ops) => ops
                         .iter()
-                        .find(|op| !targets.contains_key(&op.target))
-                        .map(|op| format!("vote abort: no attached target {:?}", op.target)),
+                        .find(|op| !targets.contains_key(&op.target()))
+                        .map(|op| format!("vote abort: no attached target {:?}", op.target())),
                 };
                 match vote {
                     None => {
@@ -454,20 +456,36 @@ fn comm_daemon_loop(
                         let mut applied: u64 = 0;
                         let mut first_err: Option<String> = None;
                         for op in ops {
-                            match targets.get(&op.target) {
-                                Some((img, _name)) => {
+                            let target = op.target();
+                            match (targets.get(&target), op) {
+                                (Some((img, _name)), StagedOp::Install { point, snippet, .. }) => {
                                     cp.advance(machine.daemon.patch_cost);
                                     note_unsafe(cp, img, "txn_commit");
-                                    match img.try_insert(op.point, op.snippet) {
+                                    match img.try_insert(point, snippet) {
                                         Ok(_) => applied += 1,
                                         Err(e) => {
                                             first_err.get_or_insert_with(|| e.to_string());
                                         }
                                     }
                                 }
-                                None => {
+                                (Some(_), StagedOp::Activation { apply, .. }) => {
+                                    // A table swap is a data write, not a
+                                    // code patch: charged like one patch,
+                                    // but no trampoline is minted and no
+                                    // quiesce hazard arises.
+                                    cp.advance(machine.daemon.patch_cost);
+                                    apply();
+                                    applied += 1;
+                                }
+                                (None, op) => {
+                                    let what = match &op {
+                                        StagedOp::Install { .. } => "install".to_string(),
+                                        StagedOp::Activation { label, .. } => {
+                                            format!("activation {label:?}")
+                                        }
+                                    };
                                     first_err.get_or_insert_with(|| {
-                                        format!("no attached target {:?}", op.target)
+                                        format!("no attached target {target:?} for {what}")
                                     });
                                 }
                             }

@@ -190,7 +190,7 @@ mod tests {
     use dynprof_image::{ProbePoint, Snippet};
 
     fn op() -> StagedOp {
-        StagedOp {
+        StagedOp::Install {
             target: crate::TargetId(1),
             point: ProbePoint::entry(dynprof_image::FuncId(0)),
             snippet: Snippet::noop("n"),

@@ -272,6 +272,64 @@ mod tests {
     }
 
     #[test]
+    fn activation_op_applies_on_fast_path_and_under_2pc() {
+        use dynprof_sim::{FaultPlan, FaultProfile, FaultSpec};
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        // `faulted = false` exercises the inert fast path (closures apply
+        // client-side, no wire traffic); `true` installs a delay-only
+        // fault plan so the full 2PC protocol runs and the closures fire
+        // at COMMIT on the daemons.
+        fn run(faulted: bool) -> (TxnReport, u64) {
+            let sim = Sim::virtual_time(Machine::test_machine(), 3);
+            if faulted {
+                let spec = FaultSpec {
+                    seed: 3,
+                    profile_name: "delay".to_string(),
+                    profile: FaultProfile::named("delay").unwrap(),
+                };
+                assert!(sim.set_fault_plan(FaultPlan::new(&spec, sim.machine())));
+            }
+            let system = DpclSystem::new(["u"]);
+            let swaps = Arc::new(AtomicU64::new(0));
+            let swaps2 = Arc::clone(&swaps);
+            let report = Arc::new(Mutex::new(None));
+            let report2 = Arc::clone(&report);
+            sim.spawn("instrumenter", 0, move |p| {
+                let client = DpclClient::new(system, "u");
+                let mut txn = InstrumentationTxn::new(TxnOptions::default());
+                for node in 1..3 {
+                    let h = client.attach(p, node, image_with(&["f"]), "t").unwrap();
+                    let s = Arc::clone(&swaps2);
+                    txn.stage_activation(
+                        &h,
+                        format!("table@node{node}"),
+                        Arc::new(move || {
+                            s.fetch_add(1, Ordering::Relaxed);
+                        }),
+                    );
+                }
+                *report2.lock() = Some(txn.execute(p, &client, None, None));
+                client.shutdown(p);
+            });
+            sim.run();
+            let r = report.lock().take().unwrap();
+            let n = swaps.load(Ordering::Relaxed);
+            (r, n)
+        }
+
+        let (fast, n_fast) = run(false);
+        assert!(!fast.two_phase);
+        assert_eq!(fast.outcome, TxnOutcome::Committed);
+        assert_eq!((fast.applied, n_fast), (2, 2));
+
+        let (full, n_full) = run(true);
+        assert!(full.two_phase);
+        assert!(full.is_committed(), "{:?}", full.outcome);
+        assert_eq!((full.applied, n_full), (2, 2), "{:?}", full.op_failures);
+    }
+
+    #[test]
     fn determinism_identical_seeds_identical_completion() {
         fn run(seed: u64) -> SimTime {
             let sim = Sim::virtual_time(Machine::test_machine(), seed);

@@ -19,13 +19,36 @@ pub struct TargetId(pub u32);
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TxnId(pub u64);
 
-/// One install operation staged by a transaction: apply `snippet` at
-/// `point` of `target` — but only when the COMMIT arrives.
+/// One operation staged by a transaction, applied only when the COMMIT
+/// arrives.
 #[derive(Clone)]
-pub(crate) struct StagedOp {
-    pub(crate) target: TargetId,
-    pub(crate) point: ProbePoint,
-    pub(crate) snippet: Snippet,
+pub(crate) enum StagedOp {
+    /// Apply `snippet` at `point` of `target`.
+    Install {
+        target: TargetId,
+        point: ProbePoint,
+        snippet: Snippet,
+    },
+    /// Swap a probe activation table on `target`. The swap itself is a
+    /// caller-supplied closure (dpcl stays ignorant of the trace
+    /// library's table types); `label` identifies the change in votes
+    /// and failure messages. Because the closure only runs at COMMIT,
+    /// a partially applied table is impossible: either every
+    /// participant's journal commits the epoch and swaps, or none does.
+    Activation {
+        target: TargetId,
+        label: String,
+        apply: Arc<dyn Fn() + Send + Sync>,
+    },
+}
+
+impl StagedOp {
+    /// The target process this op applies to.
+    pub(crate) fn target(&self) -> TargetId {
+        match self {
+            StagedOp::Install { target, .. } | StagedOp::Activation { target, .. } => *target,
+        }
+    }
 }
 
 /// Instrumenter → daemon messages.

@@ -194,10 +194,30 @@ impl InstrumentationTxn {
     pub fn stage_install(&mut self, h: &ProcessHandle, point: ProbePoint, snippet: Snippet) {
         self.staged.push((
             h.node,
-            StagedOp {
+            StagedOp::Install {
                 target: h.target,
                 point,
                 snippet,
+            },
+        ));
+    }
+
+    /// Queue an activation-table swap on `h`: `apply` runs at COMMIT on
+    /// the daemon owning the target (after its journal records the epoch),
+    /// so the table either changes everywhere the transaction commits or
+    /// nowhere. `label` names the change in votes and failure messages.
+    pub fn stage_activation(
+        &mut self,
+        h: &ProcessHandle,
+        label: impl Into<String>,
+        apply: std::sync::Arc<dyn Fn() + Send + Sync>,
+    ) {
+        self.staged.push((
+            h.node,
+            StagedOp::Activation {
+                target: h.target,
+                label: label.into(),
+                apply,
             },
         ));
     }
@@ -263,13 +283,24 @@ impl InstrumentationTxn {
         // untransacted client would: plain installs, then one wait.
         let inert = p.fault_plan().is_none_or(|plan| plan.is_inert());
         if inert {
-            let reqs: Vec<(usize, ReqId)> = self
-                .staged
-                .iter()
-                .map(|(node, op)| (*node, client.install_raw(p, *node, op.clone())))
-                .collect();
+            // Installs go over the wire exactly as the untransacted
+            // client would send them; activation swaps (pure data writes)
+            // apply directly — with no faults possible there is nothing
+            // for the daemon-side commit to protect.
             let mut applied = 0u64;
             let mut op_failures = Vec::new();
+            let mut reqs: Vec<(usize, ReqId)> = Vec::new();
+            for (node, op) in &self.staged {
+                match op {
+                    StagedOp::Install { .. } => {
+                        reqs.push((*node, client.install_raw(p, *node, op.clone())));
+                    }
+                    StagedOp::Activation { apply, .. } => {
+                        apply();
+                        applied += 1;
+                    }
+                }
+            }
             for (node, req) in reqs {
                 match client.wait_ack(p, req) {
                     AckResult::Ok { .. } => applied += 1,

@@ -62,7 +62,7 @@ mod registry;
 
 pub use json::Json;
 pub use registry::{
-    counter, dump_json, gauge, histogram, reset, snapshot, span, Counter, Gauge, Histogram,
+    counter, dump_json, gauge, histogram, read, reset, snapshot, span, Counter, Gauge, Histogram,
     HistogramSnapshot, Metric, MetricValue, Snapshot, Span,
 };
 

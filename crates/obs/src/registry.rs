@@ -246,6 +246,20 @@ pub fn histogram(name: &'static str) -> &'static Histogram {
     })
 }
 
+/// Read one metric by name without creating it: the per-probe cost
+/// readback API. Controllers and tests use this to inspect instruments
+/// registered by hot paths (fire counts, latency histograms) without
+/// materializing a full [`Snapshot`]. Returns `None` for unknown names.
+pub fn read(name: &str) -> Option<MetricValue> {
+    with_registry(|r| {
+        r.get(name).map(|slot| match slot {
+            Slot::Counter(c) => MetricValue::Counter(c.get()),
+            Slot::Gauge(g) => MetricValue::Gauge(g.get(), g.high_water()),
+            Slot::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+        })
+    })
+}
+
 /// Zero every registered instrument (instruments stay registered — handles
 /// cached by hot paths remain valid).
 pub fn reset() {
@@ -438,6 +452,17 @@ mod tests {
     fn kind_mismatch_panics() {
         counter("test.registry.mismatch");
         gauge("test.registry.mismatch");
+    }
+
+    #[test]
+    fn read_back_by_name_without_creating() {
+        assert_eq!(read("test.read.missing"), None);
+        counter("test.read.counter").add(7);
+        assert!(matches!(
+            read("test.read.counter"),
+            Some(MetricValue::Counter(n)) if n >= 7
+        ));
+        assert_eq!(read("test.read.missing"), None, "read never registers");
     }
 
     #[test]

@@ -18,6 +18,7 @@ use dynprof_mpi::{Comm, MpiData};
 use dynprof_sim::{hb, Proc, SimTime};
 
 use crate::config::ConfigDelta;
+use crate::controller::OverheadController;
 use crate::event::Event;
 use crate::vtlib::{FuncStatRow, VtLib};
 
@@ -53,6 +54,7 @@ impl StatsSnapshot {
 pub struct MonitorLink {
     pending: Mutex<Option<PendingChange>>,
     snapshots: Mutex<Vec<StatsSnapshot>>,
+    controller: Mutex<Option<Arc<OverheadController>>>,
 }
 
 impl MonitorLink {
@@ -81,6 +83,20 @@ impl MonitorLink {
     /// Statistics snapshots written so far.
     pub fn snapshots(&self) -> Vec<StatsSnapshot> {
         self.snapshots.lock().clone()
+    }
+
+    /// Attach a closed-loop overhead controller. From now on rank 0
+    /// consults it at every safe point where no manual change is pending;
+    /// its emitted deltas flow through the identical decision → broadcast
+    /// → apply path. A link without a controller behaves byte-for-byte as
+    /// before the feature existed.
+    pub fn attach_controller(&self, ctrl: Arc<OverheadController>) {
+        *self.controller.lock() = Some(ctrl);
+    }
+
+    /// The attached controller, if any.
+    pub fn controller(&self) -> Option<Arc<OverheadController>> {
+        self.controller.lock().clone()
     }
 }
 
@@ -154,7 +170,14 @@ pub fn confsync(
     // dominant constant of Fig 8(a).
     let delta = if rank == 0 {
         p.advance(p.machine().probe.confsync_poll);
-        match monitor.take() {
+        // A manually posted change wins; otherwise the attached overhead
+        // controller (if any) may decide one from this epoch's statistics.
+        let pending = monitor.take().or_else(|| {
+            monitor
+                .controller()
+                .and_then(|ctrl| ctrl.decide(vt, p.now(), round))
+        });
+        match pending {
             Some(pc) => {
                 // configuration_break(): the monitoring tool has trapped
                 // the no-op breakpoint and edits the configuration.

@@ -126,6 +126,25 @@ pub enum Event {
         /// MPI rank.
         rank: u32,
     },
+    /// `count` entry/exit pairs of `func` shorter than the redundancy
+    /// floor were elided from the trace. The pairs' cumulative wall time
+    /// is `span`, so profiles reconstructed from a suppressed trace carry
+    /// exactly the same inclusive/exclusive time as the unsuppressed one;
+    /// only the per-pair event records are gone.
+    FuncSuppressed {
+        /// Timestamp of the first elided pair.
+        t: SimTime,
+        /// MPI rank.
+        rank: u32,
+        /// OpenMP thread id.
+        thread: u16,
+        /// Registered function.
+        func: VtFuncId,
+        /// Number of elided entry/exit pairs.
+        count: u64,
+        /// Cumulative wall time of the elided pairs.
+        span: SimTime,
+    },
 }
 
 impl Event {
@@ -140,7 +159,8 @@ impl Event {
             | Event::OmpJoin { t, .. }
             | Event::OmpThread { t, .. }
             | Event::ConfSync { t, .. }
-            | Event::Suspended { t, .. } => t,
+            | Event::Suspended { t, .. }
+            | Event::FuncSuppressed { t, .. } => t,
         }
     }
 
@@ -155,7 +175,8 @@ impl Event {
             | Event::OmpJoin { rank, .. }
             | Event::OmpThread { rank, .. }
             | Event::ConfSync { rank, .. }
-            | Event::Suspended { rank, .. } => rank,
+            | Event::Suspended { rank, .. }
+            | Event::FuncSuppressed { rank, .. } => rank,
         }
     }
 
@@ -179,6 +200,7 @@ impl Event {
             Event::OmpThread { .. } => 7,
             Event::ConfSync { .. } => 8,
             Event::Suspended { .. } => 9,
+            Event::FuncSuppressed { .. } => 10,
         }
     }
 
@@ -273,6 +295,21 @@ impl Event {
                 buf.put_u64_le(t_end.as_nanos());
                 buf.put_u32_le(rank);
             }
+            Event::FuncSuppressed {
+                t,
+                rank,
+                thread,
+                func,
+                count,
+                span,
+            } => {
+                buf.put_u64_le(t.as_nanos());
+                buf.put_u32_le(rank);
+                buf.put_u16_le(thread);
+                buf.put_u32_le(func.0);
+                buf.put_u64_le(count);
+                buf.put_u64_le(span.as_nanos());
+            }
         }
     }
 
@@ -291,6 +328,7 @@ impl Event {
             7 => 26,
             8 => 16,
             9 => 20,
+            10 => 34,
             _ => return None,
         };
         if buf.remaining() < need {
@@ -371,6 +409,14 @@ impl Event {
                 t: SimTime::from_nanos(buf.get_u64_le()),
                 t_end: SimTime::from_nanos(buf.get_u64_le()),
                 rank: buf.get_u32_le(),
+            },
+            10 => Event::FuncSuppressed {
+                t: SimTime::from_nanos(buf.get_u64_le()),
+                rank: buf.get_u32_le(),
+                thread: buf.get_u16_le(),
+                func: VtFuncId(buf.get_u32_le()),
+                count: buf.get_u64_le(),
+                span: SimTime::from_nanos(buf.get_u64_le()),
             },
             _ => unreachable!(),
         })
@@ -534,6 +580,14 @@ mod tests {
                 t: SimTime::from_micros(55),
                 t_end: SimTime::from_micros(58),
                 rank: 1,
+            },
+            Event::FuncSuppressed {
+                t: SimTime::from_micros(59),
+                rank: 1,
+                thread: 2,
+                func: VtFuncId(7),
+                count: 12,
+                span: SimTime::from_micros(36),
             },
             Event::FuncExit {
                 t: SimTime::from_micros(60),

@@ -11,6 +11,9 @@
 //! * [`confsync`] — `VT_confsync`, the safe-point protocol for *dynamic
 //!   control of instrumentation* (paper §5): breakpoint check, delta
 //!   broadcast, optional runtime-statistics dump, re-synchronizing barrier.
+//! * [`OverheadController`] — closed-loop adaptive instrumentation: keeps
+//!   measured probe overhead inside a user budget by deactivating
+//!   overhead-dense probes at safe points and re-probing periodically.
 //! * [`VtStaticHooks`] / [`VtMpiHooks`] / [`VtOmpHooks`] — the attachment
 //!   points into Guide static instrumentation, the MPI wrapper interface,
 //!   and the Guidetrace OpenMP runtime.
@@ -24,6 +27,7 @@
 
 mod config;
 mod confsync;
+mod controller;
 mod event;
 mod hooks;
 mod policy;
@@ -32,6 +36,7 @@ mod vtlib;
 
 pub use config::{ConfigDelta, ConfigError, VtConfig};
 pub use confsync::{confsync, ConfsyncOutcome, MonitorLink, PendingChange, StatsSnapshot};
+pub use controller::{ControllerConfig, DecisionRecord, OverheadController};
 pub use event::{Event, Trace, VtFuncId};
 pub use hooks::{
     op_from_code, vt_begin_snippet, vt_end_snippet, VtImageObserver, VtMpiHooks, VtOmpHooks,

@@ -97,6 +97,14 @@ impl Policy {
             _ => &[],
         }
     }
+
+    /// Does the adaptive overhead controller have probes to manage under
+    /// this policy? `Full-Off` starts with every probe disabled and
+    /// `None` inserts no probes at all, so attaching a controller there
+    /// is legal but vacuous: it only ever observes a zero event rate.
+    pub fn controllable(self) -> bool {
+        matches!(self, Policy::Full | Policy::Subset | Policy::Dynamic)
+    }
 }
 
 impl std::fmt::Display for Policy {
@@ -151,6 +159,20 @@ mod tests {
             } else {
                 assert!(dynf.is_empty(), "{p}");
             }
+        }
+    }
+
+    #[test]
+    fn controllable_means_probes_start_active() {
+        let subset = vec!["solve".to_string()];
+        for p in ALL_POLICIES {
+            // A policy is controllable exactly when its initial state has
+            // at least one probe the controller could turn off: an active
+            // config over static probes, or dynamic probe requests.
+            let has_live_probes = (p.static_instrumentation()
+                && p.config(&subset).resolve("solve"))
+                || !p.dynamic_functions(&subset).is_empty();
+            assert_eq!(p.controllable(), has_live_probes, "{p}");
         }
     }
 

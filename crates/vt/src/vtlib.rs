@@ -47,6 +47,11 @@ struct Frame {
     reps: u64,
     active: bool,
     child: SimTime,
+    /// Index of this frame's `FuncEnter` in the rank's event buffer
+    /// (active single-invocation frames only) — the redundancy
+    /// suppressor may pop it again if the pair turns out shorter than
+    /// the duration floor and the enter is still the last event.
+    enter_idx: Option<usize>,
 }
 
 #[derive(Default)]
@@ -58,6 +63,13 @@ struct ProcBuf {
     trace_bytes: u64,
     deactivated_lookups: u64,
     stray_ends: u64,
+    /// Entry/exit pairs elided by the redundancy suppressor.
+    suppressed_pairs: u64,
+    /// Coalesced suppressed-count records: `(thread, func, parent func)`
+    /// → index of the `FuncSuppressed` event in `events`. Indices stay
+    /// valid because only a trailing `FuncEnter` is ever popped and
+    /// `FuncSuppressed` records are never removed.
+    suppressed_idx: HashMap<(u16, u32, Option<u32>), usize>,
     /// Pending MPI operations (op code, entry time), a stack because
     /// `MPI_Init`'s inserted snippet issues nested `MPI_Barrier`s.
     mpi_stack: Vec<(u8, SimTime)>,
@@ -103,6 +115,10 @@ pub struct VtLib {
     /// recorded by the 2PC control plane when it committed without the
     /// full node set. Figure output labels runs with a non-empty list.
     degraded: Mutex<Vec<(u64, Vec<usize>)>>,
+    /// Redundancy-suppression duration floor in nanoseconds (0 = off):
+    /// active entry/exit pairs shorter than this are elided into
+    /// per-function [`Event::FuncSuppressed`] records.
+    suppress_floor: AtomicU64,
     /// Identity of this library in happens-before reports (`check`).
     pub(crate) check_id: u64,
 }
@@ -138,6 +154,7 @@ impl VtLib {
             epoch: AtomicU32::new(0),
             partials: Mutex::new(Vec::new()),
             degraded: Mutex::new(Vec::new()),
+            suppress_floor: AtomicU64::new(0),
             check_id: dynprof_sim::hb::unique_id(),
         })
     }
@@ -218,6 +235,27 @@ impl VtLib {
     /// harnesses use this to label output rows.
     pub fn is_degraded(&self) -> bool {
         !self.degraded.lock().is_empty()
+    }
+
+    /// Set the redundancy-suppression duration floor. Pairs with
+    /// inclusive time strictly below `floor` (and with no recorded or
+    /// instrumented children) are elided into coalesced
+    /// [`Event::FuncSuppressed`] records. `SimTime::ZERO` disables
+    /// suppression and leaves the recording path byte-identical to a
+    /// library without the feature.
+    pub fn set_suppress_floor(&self, floor: SimTime) {
+        self.suppress_floor
+            .store(floor.as_nanos(), Ordering::Release);
+    }
+
+    /// Current redundancy-suppression floor (`ZERO` = off).
+    pub fn suppress_floor(&self) -> SimTime {
+        SimTime::from_nanos(self.suppress_floor.load(Ordering::Acquire))
+    }
+
+    /// Entry/exit pairs elided by the redundancy suppressor on `rank`.
+    pub fn suppressed_pairs(&self, rank: usize) -> u64 {
+        self.procs[rank].buf.lock().suppressed_pairs
     }
 
     /// `VT_init` on `rank`: reads the configuration file and sets up the
@@ -325,6 +363,7 @@ impl VtLib {
         self.assert_ready(rank);
         let active = self.is_active(rank, func);
         let mut buf = self.procs[rank].buf.lock();
+        let mut enter_idx = None;
         if active {
             p.advance(self.costs.vt_begin_active.mul_f64(reps as f64));
             if reps == 1 {
@@ -335,6 +374,7 @@ impl VtLib {
                     func,
                 };
                 buf.trace_bytes += ev.trace_bytes_of(self.costs.event_bytes);
+                enter_idx = Some(buf.events.len());
                 buf.events.push(ev);
                 if obs::enabled() {
                     note_events(1);
@@ -359,6 +399,7 @@ impl VtLib {
             reps,
             active,
             child: SimTime::ZERO,
+            enter_idx,
         });
     }
 
@@ -402,29 +443,87 @@ impl VtLib {
             p.advance(self.costs.vt_end_active.mul_f64(frame.reps as f64));
             let now = p.now();
             let span = now.saturating_sub(frame.t0);
-            let ev = if frame.reps == 1 {
-                Event::FuncExit {
-                    t: now,
-                    rank: rank as u32,
-                    thread,
-                    func,
+            // Redundancy suppression: a single pair shorter than the floor
+            // whose enter is still the newest event (so nothing — child
+            // events, MPI records — happened inside it) is popped again
+            // and folded into a coalesced suppressed-count record. The
+            // `child == ZERO` guard additionally excludes pairs whose
+            // instrumented children were themselves suppressed, keeping
+            // exclusive-time reconstruction from the trace exact.
+            let floor = self.suppress_floor();
+            let elide = frame.reps == 1
+                && floor > SimTime::ZERO
+                && span < floor
+                && frame.child == SimTime::ZERO
+                && frame.enter_idx.is_some_and(|i| i + 1 == buf.events.len());
+            if elide {
+                let parent_func = buf
+                    .stacks
+                    .get(&thread)
+                    .and_then(|s| s.last())
+                    .map(|f| f.func.0);
+                let enter = buf.events.pop().expect("enter checked to be last");
+                debug_assert!(matches!(enter, Event::FuncEnter { .. }));
+                buf.trace_bytes -= enter.trace_bytes_of(self.costs.event_bytes);
+                let key = (thread, func.0, parent_func);
+                match buf.suppressed_idx.get(&key).copied() {
+                    Some(i) => {
+                        if let Event::FuncSuppressed {
+                            count, span: total, ..
+                        } = &mut buf.events[i]
+                        {
+                            *count += 1;
+                            *total += span;
+                        }
+                    }
+                    None => {
+                        let ev = Event::FuncSuppressed {
+                            t: frame.t0,
+                            rank: rank as u32,
+                            thread,
+                            func,
+                            count: 1,
+                            span,
+                        };
+                        buf.trace_bytes += ev.trace_bytes_of(self.costs.event_bytes);
+                        let idx = buf.events.len();
+                        buf.events.push(ev);
+                        buf.suppressed_idx.insert(key, idx);
+                    }
+                }
+                buf.suppressed_pairs += 1;
+                if obs::enabled() {
+                    static SUPPRESSED: OnceLock<&'static obs::Counter> = OnceLock::new();
+                    SUPPRESSED
+                        .get_or_init(|| obs::counter("vt.suppressed_pairs"))
+                        .add(1);
                 }
             } else {
-                Event::FuncBatch {
-                    t: frame.t0,
-                    rank: rank as u32,
-                    thread,
-                    func,
-                    count: frame.reps,
-                    span,
+                let ev = if frame.reps == 1 {
+                    Event::FuncExit {
+                        t: now,
+                        rank: rank as u32,
+                        thread,
+                        func,
+                    }
+                } else {
+                    Event::FuncBatch {
+                        t: frame.t0,
+                        rank: rank as u32,
+                        thread,
+                        func,
+                        count: frame.reps,
+                        span,
+                    }
+                };
+                buf.trace_bytes += ev.trace_bytes_of(self.costs.event_bytes);
+                buf.events.push(ev);
+                if obs::enabled() {
+                    note_events(1);
                 }
-            };
-            buf.trace_bytes += ev.trace_bytes_of(self.costs.event_bytes);
-            buf.events.push(ev);
-            if obs::enabled() {
-                note_events(1);
             }
-            // Statistics.
+            // Statistics (identical whether or not the pair was elided —
+            // suppression changes the trace, never the runtime stats).
             let idx = func.0 as usize;
             if buf.stats.len() <= idx {
                 buf.stats.resize(idx + 1, FuncStat::default());
@@ -753,6 +852,92 @@ mod tests {
             vt2.begin(p, 0, 0, f, 1);
             vt2.end(p, 0, 0, f);
         });
+    }
+
+    #[test]
+    fn suppression_elides_and_coalesces_short_pairs() {
+        let vt = lib(VtConfig::all_on());
+        vt.set_suppress_floor(SimTime::from_micros(10));
+        let vt2 = Arc::clone(&vt);
+        in_sim(move |p| {
+            vt2.init(p, 0);
+            let f = vt2.funcdef(p, "tiny");
+            for _ in 0..3 {
+                vt2.begin(p, 0, 0, f, 1);
+                p.advance(SimTime::from_micros(1));
+                vt2.end(p, 0, 0, f);
+            }
+            // A pair above the floor is recorded normally.
+            vt2.begin(p, 0, 0, f, 1);
+            p.advance(SimTime::from_micros(50));
+            vt2.end(p, 0, 0, f);
+            assert_eq!(vt2.stat_of(0, f).count, 4, "stats are never suppressed");
+        });
+        assert_eq!(vt.suppressed_pairs(0), 3);
+        let trace = vt.build_trace();
+        let suppressed: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, Event::FuncSuppressed { .. }))
+            .collect();
+        assert_eq!(suppressed.len(), 1, "elided pairs coalesce into one record");
+        if let Event::FuncSuppressed { count, .. } = suppressed[0] {
+            assert_eq!(*count, 3);
+        }
+        // One coalesced record + the long pair's enter/exit.
+        assert_eq!(trace.events.len(), 3);
+        assert_eq!(vt.trace_bytes(0), 3 * 24);
+    }
+
+    #[test]
+    fn suppression_floor_zero_is_identical_to_off() {
+        fn run(floor: Option<SimTime>) -> (Trace, u64) {
+            let vt = lib(VtConfig::all_on());
+            if let Some(floor) = floor {
+                vt.set_suppress_floor(floor);
+            }
+            let vt2 = Arc::clone(&vt);
+            in_sim(move |p| {
+                vt2.init(p, 0);
+                let f = vt2.funcdef(p, "f");
+                for _ in 0..5 {
+                    vt2.begin(p, 0, 0, f, 1);
+                    p.advance(SimTime::from_nanos(100));
+                    vt2.end(p, 0, 0, f);
+                }
+            });
+            (vt.build_trace(), vt.trace_bytes(0))
+        }
+        let (off_trace, off_bytes) = run(None);
+        let (default_trace, default_bytes) = run(Some(SimTime::ZERO));
+        assert_eq!(off_trace, default_trace);
+        assert_eq!(off_bytes, default_bytes);
+        assert_eq!(off_trace.events.len(), 10, "nothing suppressed at floor 0");
+    }
+
+    #[test]
+    fn suppression_keeps_pairs_with_recorded_or_suppressed_children() {
+        let vt = lib(VtConfig::all_on());
+        vt.set_suppress_floor(SimTime::from_millis(1));
+        let vt2 = Arc::clone(&vt);
+        in_sim(move |p| {
+            vt2.init(p, 0);
+            let outer = vt2.funcdef(p, "outer");
+            let inner = vt2.funcdef(p, "inner");
+            vt2.begin(p, 0, 0, outer, 1);
+            vt2.begin(p, 0, 0, inner, 1);
+            p.advance(SimTime::from_micros(2));
+            vt2.end(p, 0, 0, inner); // short: elided
+            vt2.end(p, 0, 0, outer); // also short, but had an elided child
+        });
+        let trace = vt.build_trace();
+        // `outer` must keep its enter/exit (its child time would otherwise
+        // be unrecoverable), while `inner` collapses to one record.
+        assert_eq!(vt.suppressed_pairs(0), 1);
+        assert_eq!(trace.events.len(), 3);
+        assert!(matches!(trace.events[0], Event::FuncEnter { .. }));
+        assert!(matches!(trace.events[1], Event::FuncSuppressed { .. }));
+        assert!(matches!(trace.events[2], Event::FuncExit { .. }));
     }
 
     #[test]

@@ -709,6 +709,191 @@ fn txn_without_faults_is_identity() {
 }
 
 // ---------------------------------------------------------------------------
+// Overhead-budget controller under chaos
+// ---------------------------------------------------------------------------
+
+/// One adaptive (budget-controlled) sweep3d session under a global fault
+/// spec: probe-dense scaling, 4 ranks, one confsync epoch per iteration,
+/// 5% budget. Callers must hold the `OBS_GATE` write lock (the global
+/// fault spec is process-wide).
+fn adaptive_chaos_run(seed: u64, profile: &str) -> dynprof::core::SessionReport {
+    set_global_spec(Some(
+        FaultSpec::parse(&format!("{seed}:{profile}")).expect("spec"),
+    ));
+    let params = dynprof::apps::Sweep3dParams {
+        global_n: 16,
+        k_block: 1,
+        angle_groups: 4,
+        iterations: 4,
+        omp_threads: 1,
+        scale: 0.001,
+        outputs: dynprof::apps::workload::Outputs::new(),
+    };
+    let cfg = dynprof::core::SessionConfig::new(Machine::test_machine(), dynprof::vt::Policy::Full)
+        .with_seed(seed)
+        .with_adaptive(dynprof::core::AdaptiveSettings::budget(5.0));
+    let report = dynprof::core::run_session(&dynprof::apps::sweep3d(4, params), cfg);
+    set_global_spec(None);
+    report
+}
+
+/// The controller leg of the fault matrix: adaptive sessions complete
+/// under message delay/duplication, missed epochs, and the combined lossy
+/// profile; every decision's activation delta is well-formed (no
+/// contradictions, no unknown symbols); and the activation tables of all
+/// caught-up ranks agree with rank 0's — a rank may run behind while an
+/// epoch is deferred, but it may never hold a *different* table.
+#[test]
+fn adaptive_controller_survives_fault_matrix() {
+    let _g = OBS_GATE.write().unwrap();
+    set_global_spec(None);
+    for seed in seeds() {
+        for profile in ["delay", "dup", "epochs", "lossy"] {
+            let report = adaptive_chaos_run(seed, profile);
+            let ctx = format!("adaptive cell (seed {seed}, {profile})");
+            let ctrl = report.controller.as_ref().expect("controller attached");
+            assert!(!ctrl.decisions().is_empty(), "no decisions in {ctx}");
+
+            let functions = report.vt.build_trace().functions;
+            for d in ctrl.decisions() {
+                let delta: Vec<(String, bool)> = d
+                    .deactivated
+                    .iter()
+                    .map(|n| (n.clone(), false))
+                    .chain(d.reactivated.iter().map(|n| (n.clone(), true)))
+                    .collect();
+                let findings =
+                    dynprof_check::analyzer::check_activation_delta(&delta, Some(&functions));
+                assert!(
+                    findings.iter().all(|f| f.severity != hb::Severity::Error),
+                    "malformed activation delta at round {} in {ctx}: {findings:?}",
+                    d.round
+                );
+            }
+
+            for rank in 0..4usize {
+                if report.vt.deferred_count(rank) > 0 {
+                    continue; // legitimately behind; will catch up next epoch
+                }
+                for name in &functions {
+                    let f = report.vt.func_id(name).expect("traced function");
+                    assert_eq!(
+                        report.vt.is_active(rank, f),
+                        report.vt.is_active(0, f),
+                        "rank {rank} holds a divergent table for {name} in {ctx}"
+                    );
+                }
+            }
+        }
+    }
+    // Determinism: a chaotic cell replays to the identical decision log.
+    let a = adaptive_chaos_run(23, "lossy");
+    let b = adaptive_chaos_run(23, "lossy");
+    assert_eq!(
+        a.controller.unwrap().decision_log(),
+        b.controller.unwrap().decision_log(),
+        "same (seed, profile) must reproduce the same decisions"
+    );
+}
+
+/// Activation-table reconfigurations riding the transactional epoch path:
+/// over the full (seed × profile × policy) matrix, each daemon's table
+/// swap runs exactly once iff its journal committed the epoch — never
+/// twice (duplicate commits are deduped), never on an aborted or excluded
+/// node — and no journal is left open.
+#[test]
+fn activation_txn_matrix_swaps_atomically() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let _g = OBS_GATE.read().unwrap();
+    for seed in seeds() {
+        for profile in FaultProfile::all_names() {
+            for policy in [DegradedPolicy::AbortTxn, DegradedPolicy::ExcludeNode] {
+                let ctx = format!(
+                    "activation txn (seed {seed}, {profile}, {})",
+                    policy.label()
+                );
+                let sim = Sim::virtual_time(Machine::test_machine(), seed);
+                sim.enable_check();
+                let check = sim.check_handle();
+                assert!(sim.set_fault_plan(plan_for(&sim, seed, profile)));
+                let system = DpclSystem::new(["u"]);
+                let swaps: Vec<Arc<AtomicU64>> =
+                    (0..3).map(|_| Arc::new(AtomicU64::new(0))).collect();
+                let mut b = ImageBuilder::new("t");
+                b.add(FunctionInfo::new("hot"));
+                let image = Arc::new(b.build());
+
+                let report_slot = Arc::new(Mutex::new(None));
+                let attached_slot = Arc::new(Mutex::new(Vec::new()));
+                let (sys2, img2, swaps2) = (Arc::clone(&system), image, swaps.clone());
+                let (rep2, att2) = (Arc::clone(&report_slot), Arc::clone(&attached_slot));
+                sim.spawn("instrumenter", 0, move |p| {
+                    let client = DpclClient::new(sys2, "u");
+                    let mut handles = Vec::new();
+                    for (i, counter) in swaps2.iter().enumerate() {
+                        match client.attach(p, 1 + i, Arc::clone(&img2), format!("t:{i}")) {
+                            Ok(h) => handles.push((1 + i, h, Arc::clone(counter))),
+                            Err(msg) => assert!(!msg.is_empty()),
+                        }
+                    }
+                    let mut txn = InstrumentationTxn::new(TxnOptions {
+                        policy,
+                        ..TxnOptions::default()
+                    });
+                    for (node, h, counter) in &handles {
+                        let counter = Arc::clone(counter);
+                        txn.stage_activation(
+                            h,
+                            format!("table@node{node}"),
+                            Arc::new(move || {
+                                counter.fetch_add(1, Ordering::Relaxed);
+                            }),
+                        );
+                    }
+                    *att2.lock().unwrap() = handles.iter().map(|&(n, ..)| n).collect::<Vec<_>>();
+                    let report = txn.execute(p, &client, None, None);
+                    client.shutdown(p);
+                    *rep2.lock().unwrap() = Some(report);
+                });
+                sim.run();
+                assert_no_hb_errors(&check, &ctx);
+                let report = report_slot.lock().unwrap().take().expect("txn executed");
+                let attached: Vec<usize> = attached_slot.lock().unwrap().clone();
+
+                for j in system.journals() {
+                    assert!(
+                        j.open_txns().is_empty(),
+                        "node {} journal left open in {ctx}",
+                        j.node()
+                    );
+                }
+                for (i, counter) in swaps.iter().enumerate() {
+                    let node = 1 + i;
+                    let expect = if !attached.contains(&node) {
+                        0
+                    } else if report.two_phase {
+                        u64::from(
+                            system
+                                .journal(node, "u")
+                                .is_some_and(|j| j.committed_epochs().contains(&report.epoch)),
+                        )
+                    } else {
+                        u64::from(report.is_committed())
+                    };
+                    assert_eq!(
+                        counter.load(Ordering::Relaxed),
+                        expect,
+                        "node {node} table swap count in {ctx} (outcome {:?})",
+                        report.outcome
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Chunk-indexed trace store under chaos
 // ---------------------------------------------------------------------------
 

@@ -42,7 +42,7 @@ fn arb_event(r: &mut SimRng) -> Event {
     let rank = r.next_u64() as u32;
     let thread = r.next_u64() as u16;
     let func = VtFuncId(r.next_u64() as u32);
-    match r.gen_index(7) {
+    match r.gen_index(8) {
         0 => Event::FuncEnter {
             t,
             rank,
@@ -83,6 +83,14 @@ fn arb_event(r: &mut SimRng) -> Event {
             rank,
             thread,
             region: r.next_u64() as u32,
+        },
+        6 => Event::FuncSuppressed {
+            t,
+            rank,
+            thread,
+            func,
+            count: r.gen_range_u64(1..=1 << 40),
+            span: SimTime::from_nanos(r.gen_range_u64(0..=(1 << 40) - 1)),
         },
         _ => Event::ConfSync {
             t,
@@ -562,4 +570,81 @@ fn dispatch_order_matches_recorded_oracle() {
 fn dispatch_order_is_deterministic_across_runs() {
     assert_eq!(scheduler_trace(1), scheduler_trace(1));
     assert_ne!(scheduler_trace(1), scheduler_trace(2));
+}
+
+/// One adaptive sweep3d session for the overhead-controller properties:
+/// a probe-dense scaling of the workload (the regime where the controller
+/// has real work to do), 4 ranks, one confsync epoch per iteration.
+fn controller_session(
+    settings: dynprof::core::AdaptiveSettings,
+    seed: u64,
+    iterations: usize,
+) -> Arc<dynprof::vt::OverheadController> {
+    use dynprof::apps::{sweep3d, Sweep3dParams};
+    use dynprof::core::{run_session, SessionConfig};
+    let params = Sweep3dParams {
+        global_n: 16,
+        k_block: 1,
+        angle_groups: 4,
+        iterations,
+        omp_threads: 1,
+        scale: 0.001,
+        outputs: dynprof::apps::workload::Outputs::new(),
+    };
+    let cfg = SessionConfig::new(Machine::test_machine(), dynprof::vt::Policy::Full)
+        .with_seed(seed)
+        .with_adaptive(settings);
+    run_session(&sweep3d(4, params), cfg)
+        .controller
+        .expect("controller attached")
+}
+
+/// For any seed and any achievable budget, measured overhead converges to
+/// at most the budget within 4 confsync epochs and (with re-probing off)
+/// stays there for the rest of the run.
+#[test]
+fn controller_converges_for_any_seed_and_budget() {
+    for seed in [1u64, 5, 9] {
+        for budget in [4.0f64, 6.0, 12.0] {
+            let settings = dynprof::core::AdaptiveSettings {
+                budget_pct: budget,
+                reprobe_every: 0,
+            };
+            let ctrl = controller_session(settings, seed, 6);
+            let measured = ctrl.measured_series();
+            // Sustained convergence: from some epoch on, every measurement
+            // is within budget (a single early under-budget epoch before
+            // the workload's steady state kicks in does not count).
+            let converged_at = measured
+                .iter()
+                .rposition(|&pct| pct > budget)
+                .map_or(0, |last_over| last_over + 1);
+            assert!(
+                converged_at < 4 && converged_at < measured.len(),
+                "seed {seed} budget {budget}%: no sustained convergence within 4 epochs: \
+                 {measured:?}"
+            );
+        }
+    }
+}
+
+/// The deactivation order is a pure function of observed statistics: two
+/// runs with the same seed produce byte-identical decision logs, and a
+/// longer run's decisions are an exact prefix-extension of a shorter
+/// run's (the extra epochs cannot rewrite history).
+#[test]
+fn controller_deactivation_order_is_deterministic() {
+    let settings = dynprof::core::AdaptiveSettings {
+        budget_pct: 5.0,
+        reprobe_every: 4,
+    };
+    let log_a = controller_session(settings, 3, 6).decision_log();
+    let log_b = controller_session(settings, 3, 6).decision_log();
+    assert_eq!(log_a, log_b, "same seed must replay identically");
+    let log_long = controller_session(settings, 3, 8).decision_log();
+    assert!(
+        log_long.starts_with(&log_a),
+        "longer run must extend, not rewrite, the decision sequence:\n\
+         short:\n{log_a}\nlong:\n{log_long}"
+    );
 }
