@@ -14,7 +14,9 @@ use dynprof_core::{AppCtx, AppMode, AppSpec};
 use dynprof_image::{FuncId, FunctionInfo};
 use dynprof_mpi::{Sized, Source, Tag, TagSel};
 
-use crate::workload::{generate_names, leaf, scaled, work, Decomp3, Grid3, Outputs};
+use crate::workload::{
+    generate_names, leaf, scaled, synthetic_blocks, work, Decomp3, Grid3, Outputs,
+};
 
 /// Number of functions in the Smg98 manifest (paper §4.3).
 pub const FUNCTIONS: usize = 199;
@@ -146,7 +148,10 @@ pub fn manifest() -> Vec<FunctionInfo> {
         .enumerate()
         .map(|(i, n)| {
             let module = if i < SUBSET { "smg" } else { "struct_mv" };
-            FunctionInfo::new(n).in_module(module).with_size(192)
+            FunctionInfo::new(n)
+                .in_module(module)
+                .with_size(192)
+                .with_blocks(synthetic_blocks(192))
         })
         .collect()
 }

@@ -13,7 +13,7 @@ use dynprof_core::{AppCtx, AppMode, AppSpec};
 use dynprof_image::{FuncId, FunctionInfo};
 use dynprof_mpi::{Sized, Source, Tag, TagSel};
 
-use crate::workload::{leaf, scaled, work, Decomp3, Outputs};
+use crate::workload::{leaf, scaled, synthetic_blocks, work, Decomp3, Outputs};
 
 /// Number of functions in the Sppm manifest (paper §4.3).
 pub const FUNCTIONS: usize = 22;
@@ -84,7 +84,12 @@ impl SppmParams {
 pub fn manifest() -> Vec<FunctionInfo> {
     HOT.iter()
         .chain(REST.iter())
-        .map(|n| FunctionInfo::new(*n).in_module("sppm").with_size(640))
+        .map(|n| {
+            FunctionInfo::new(*n)
+                .in_module("sppm")
+                .with_size(640)
+                .with_blocks(synthetic_blocks(640))
+        })
         .collect()
 }
 

@@ -19,7 +19,7 @@ use dynprof_image::FunctionInfo;
 use dynprof_mpi::{Sized, Source, Tag, TagSel};
 use dynprof_omp::Schedule;
 
-use crate::workload::{decomp2, scaled, work, Outputs};
+use crate::workload::{decomp2, scaled, synthetic_blocks, work, Outputs};
 
 /// Number of functions in the Sweep3d manifest (paper §4.3).
 pub const FUNCTIONS: usize = 21;
@@ -105,7 +105,12 @@ impl Sweep3dParams {
 pub fn manifest() -> Vec<FunctionInfo> {
     NAMES
         .iter()
-        .map(|n| FunctionInfo::new(*n).in_module("sweep3d").with_size(2048))
+        .map(|n| {
+            FunctionInfo::new(*n)
+                .in_module("sweep3d")
+                .with_size(2048)
+                .with_blocks(synthetic_blocks(2048))
+        })
         .collect()
 }
 

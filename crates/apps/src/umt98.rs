@@ -20,7 +20,7 @@ use dynprof_core::{AppCtx, AppMode, AppSpec};
 use dynprof_image::FunctionInfo;
 use dynprof_omp::Schedule;
 
-use crate::workload::{generate_names, leaf_on_thread, scaled, work, Outputs};
+use crate::workload::{generate_names, leaf_on_thread, scaled, synthetic_blocks, work, Outputs};
 
 /// Number of functions in the Umt98 manifest (paper §4.3).
 pub const FUNCTIONS: usize = 44;
@@ -112,7 +112,12 @@ pub fn manifest() -> Vec<FunctionInfo> {
     ));
     names
         .into_iter()
-        .map(|n| FunctionInfo::new(n).in_module("umt").with_size(1024))
+        .map(|n| {
+            FunctionInfo::new(n)
+                .in_module("umt")
+                .with_size(1024)
+                .with_blocks(synthetic_blocks(1024))
+        })
         .collect()
 }
 

@@ -197,6 +197,24 @@ impl Grid3 {
     }
 }
 
+/// Synthetic basic-block layout for a function of `size` bytes, used by
+/// the app manifests so the patch-point CFG analysis has something to
+/// chew on. The layout is deliberately hazard-free: a prologue block
+/// falling through to a loop head that branches to the tail and back to
+/// offset 0 (the patched jump itself — a safe target). Functions too
+/// small to hold internal structure get a single straight-line block.
+pub fn synthetic_blocks(size: usize) -> Vec<dynprof_image::BasicBlock> {
+    use dynprof_image::BasicBlock;
+    if size < 32 {
+        return vec![BasicBlock::new(0, vec![])];
+    }
+    vec![
+        BasicBlock::new(0, vec![size / 2]),
+        BasicBlock::new(size / 2, vec![size / 2, size - 4]),
+        BasicBlock::new(size - 4, vec![0]),
+    ]
+}
+
 /// Execute a hot leaf function `reps` times (batched): the probe machinery
 /// fires once with full accounting, and the modelled per-call work is
 /// charged to the virtual clock.
@@ -389,5 +407,20 @@ mod tests {
     fn scaled_floors_at_one() {
         assert_eq!(scaled(1000, 0.5), 500);
         assert_eq!(scaled(10, 0.0001), 1);
+    }
+
+    #[test]
+    fn synthetic_blocks_are_hazard_free() {
+        use dynprof_image::{FunctionInfo, MIN_PATCHABLE_BYTES};
+        for size in [8, 31, 32, 192, 640, 1024, 2048] {
+            let f = FunctionInfo::new("f")
+                .with_size(size)
+                .with_blocks(synthetic_blocks(size));
+            assert_eq!(
+                f.branch_into_patch(MIN_PATCHABLE_BYTES),
+                None,
+                "size {size}"
+            );
+        }
     }
 }

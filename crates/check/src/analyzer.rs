@@ -127,6 +127,21 @@ pub fn analyze(
                 ),
             ));
         }
+        // Branch-into-patch hazard: a CFG branch targeting the prologue
+        // bytes the entry patch overwrites would execute half-relocated
+        // instructions (the image also rejects this at install time; the
+        // analyzer surfaces it before any daemon round-trip is wasted).
+        if let Some(target_off) = f.branch_into_patch(MIN_PATCHABLE_BYTES) {
+            out.push(finding(
+                Severity::Error,
+                "analyzer:branch-into-patch",
+                format!(
+                    "{program}: {target:?} has a branch target at offset {target_off}, inside \
+                     the {MIN_PATCHABLE_BYTES}-byte patched prologue — entry instrumentation \
+                     would be re-entered mid-jump"
+                ),
+            ));
+        }
         // Static + dynamic double instrumentation: both layers fire on
         // every call and the measurements double-count each other.
         if f.statically_instrumented {
@@ -298,6 +313,26 @@ mod tests {
         let f = analyze("app", &m, &plan, &Budget::default());
         assert!(f.iter().any(|x| x.detector == "analyzer:duplicate-symbol"));
         assert!(f.iter().any(|x| x.detector == "analyzer:unknown-target"));
+    }
+
+    #[test]
+    fn branch_into_patch_target_is_an_error() {
+        use dynprof_image::BasicBlock;
+        let mut m = manifest();
+        m.push(FunctionInfo::new("looper").with_size(512).with_blocks(vec![
+            BasicBlock::new(0, vec![64]),
+            BasicBlock::new(64, vec![8, 128]),
+        ]));
+        // Targeted: error.
+        let plan = ProbePlan::timer_pair(vec!["looper".into()]);
+        let f = analyze("app", &m, &plan, &Budget::default());
+        assert!(f
+            .iter()
+            .any(|x| x.severity == Severity::Error && x.detector == "analyzer:branch-into-patch"));
+        // Untargeted: silent (the hazard only matters when patched).
+        let plan = ProbePlan::timer_pair(vec!["solve".into()]);
+        let f = analyze("app", &m, &plan, &Budget::default());
+        assert!(!f.iter().any(|x| x.detector == "analyzer:branch-into-patch"));
     }
 
     #[test]

@@ -1,27 +1,33 @@
 //! `dynlint` — the workspace's correctness gate.
 //!
-//! With no arguments it runs three passes over the real tree and exits
+//! With no arguments it runs four passes over the real tree and exits
 //! nonzero if any produces an error-severity finding:
 //!
-//! 1. the determinism source lint over the simulation crates;
+//! 1. the determinism source lint (plus the lock-discipline scan) over
+//!    the simulation crates;
 //! 2. the probe-safety analyzer over the four ASCI benchmark images
 //!    (each app's `Dynamic`-policy subset as the probe plan);
-//! 3. a happens-before smoke run: a small MPI job under the `check`
+//! 3. the snippet-program verifier over the standard VT snippet set
+//!    (`VT_begin`, `VT_end`, counter, configuration break) under both
+//!    machine cost models;
+//! 4. a happens-before smoke run: a small MPI job under the `check`
 //!    feature whose report must contain no errors.
 //!
 //! `--fixture <name>` instead runs a seeded negative — an input
 //! deliberately constructed to trip one detector class — and therefore
 //! exits nonzero. Fixtures: `collective-mismatch`, `epoch-unsafe`,
-//! `unsafe-probe`, `banned-source`.
+//! `unsafe-probe`, `banned-source`, `unbalanced-timer`,
+//! `unbounded-loop`, `oob-write`, `branch-into-patch`.
 
 use std::path::Path;
 use std::process::ExitCode;
 
 use dynprof_check::analyzer::{analyze, Budget, ProbePlan};
 use dynprof_check::hb::{self, Finding, Severity};
-use dynprof_check::lint;
-use dynprof_image::FunctionInfo;
+use dynprof_check::{lint, verify};
+use dynprof_image::{BasicBlock, Expr, FunctionInfo, IntrinsicTable, SnippetProgram, Stmt};
 use dynprof_mpi::{launch, JobSpec};
+use dynprof_sim::ProbeCosts;
 use dynprof_sim::{Machine, Sim, SimTime};
 
 /// Crates whose sources must stay deterministic.
@@ -49,6 +55,10 @@ fn main() -> ExitCode {
             Some("epoch-unsafe") => fixture_epoch_unsafe(),
             Some("unsafe-probe") => fixture_unsafe_probe(),
             Some("banned-source") => fixture_banned_source(),
+            Some("unbalanced-timer") => fixture_unbalanced_timer(),
+            Some("unbounded-loop") => fixture_unbounded_loop(),
+            Some("oob-write") => fixture_oob_write(),
+            Some("branch-into-patch") => fixture_branch_into_patch(),
             other => {
                 eprintln!("dynlint: unknown fixture {other:?}");
                 return ExitCode::from(2);
@@ -117,6 +127,12 @@ fn real_tree() -> Vec<Finding> {
             &Budget::default(),
         ));
     }
+
+    // Snippet-program verification: the standard VT snippet set must
+    // verify clean under both machine cost models; a regression here
+    // means the daemons would reject every install.
+    findings.extend(verify::verify_standard_snippets(ProbeCosts::power3()));
+    findings.extend(verify::verify_standard_snippets(ProbeCosts::pentium3()));
 
     findings.extend(smoke_run());
     findings
@@ -211,6 +227,67 @@ fn fixture_banned_source() -> Vec<Finding> {
     let src = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
     lint::lint_source("crates/check/fixtures/bad_instant.rs", &src, &[])
+}
+
+/// A snippet program that stops a timer it never started: every path
+/// must keep the start/stop stack balanced.
+fn fixture_unbalanced_timer() -> Vec<Finding> {
+    let prog = SnippetProgram::new(
+        "fixture_unbalanced_timer",
+        0,
+        vec![Stmt::StartTimer, Stmt::StopTimer, Stmt::StopTimer],
+        IntrinsicTable::empty(),
+    );
+    verify::verify_program(&prog)
+}
+
+/// A loop whose trip count comes from a runtime slot: no static bound,
+/// so no worst-case cost can be derived.
+fn fixture_unbounded_loop() -> Vec<Finding> {
+    let prog = SnippetProgram::new(
+        "fixture_unbounded_loop",
+        1,
+        vec![Stmt::Loop {
+            trips: Expr::load(0),
+            body: vec![Stmt::Emit {
+                tag: 1,
+                value: Expr::Const(0),
+            }],
+        }],
+        IntrinsicTable::empty(),
+    );
+    verify::verify_program(&prog)
+}
+
+/// A store whose slot expression can land outside the declared data
+/// region.
+fn fixture_oob_write() -> Vec<Finding> {
+    let prog = SnippetProgram::new(
+        "fixture_oob_write",
+        2,
+        vec![Stmt::Store {
+            slot: Expr::Const(7),
+            value: Expr::Const(1),
+        }],
+        IntrinsicTable::empty(),
+    );
+    verify::verify_program(&prog)
+}
+
+/// A probe plan targeting a function whose CFG branches back into the
+/// bytes an entry patch would overwrite.
+fn fixture_branch_into_patch() -> Vec<Finding> {
+    let manifest = vec![
+        FunctionInfo::new("main").with_size(2048),
+        FunctionInfo::new("hot_loop")
+            .with_size(512)
+            .with_blocks(vec![
+                BasicBlock::new(0, vec![64]),
+                BasicBlock::new(64, vec![4, 128]),
+            ]),
+    ];
+    let plan = ProbePlan::timer_pair(vec!["hot_loop".into()]);
+    analyze("fixture", &manifest, &plan, &Budget::default())
 }
 
 fn synthetic_error() -> Finding {

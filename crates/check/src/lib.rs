@@ -1,6 +1,6 @@
 //! # dynprof-check — correctness analysis for the dynprof workspace
 //!
-//! Three layers of defence around the instrumentation machinery the paper
+//! Four layers of defence around the instrumentation machinery the paper
 //! (Thiffault et al., IPDPS 2003) describes:
 //!
 //! * **Happens-before checking** (`dynprof_sim::hb`, re-exported as
@@ -14,6 +14,11 @@
 //!   installed, flagging probe points that cannot legally hold a patch,
 //!   double instrumentation, duplicate symbols, and snippet chains that
 //!   blow a cost budget.
+//! * **Snippet-program verification** ([`verify`]): a finding-typed
+//!   facade over the abstract interpreter in `dynprof_image::ir`,
+//!   rejecting instrumentation programs with unbounded loops,
+//!   out-of-region accesses, or unbalanced timers before they reach a
+//!   daemon.
 //! * **Determinism source lint** ([`lint`]): a token-level scan of the
 //!   workspace sources for constructs that would break the simulator's
 //!   bit-for-bit reproducibility (wall clocks, unordered hash iteration
@@ -26,6 +31,7 @@
 
 pub mod analyzer;
 pub mod lint;
+pub mod verify;
 
 /// The happens-before layer (lives in `dynprof-sim` so the primitives can
 /// record into it); re-exported here as the natural home of its report

@@ -13,6 +13,17 @@
 //! * iterating a `HashMap`/`HashSet` in a file that produces figure/JSON
 //!   output, without sorting — nondeterministic output order.
 //!
+//! A second, scope-aware pass enforces the engine's locking discipline
+//! (see `crates/sim/src/engine.rs`):
+//!
+//! * `unpark-under-lock` — calling `.unpark()` while an `inner` or
+//!   `heaps` mutex guard is live wakes a thread that immediately blocks
+//!   on the mutex we still hold (an extra context switch plus a futex
+//!   round trip per event);
+//! * `heaps-before-inner` — acquiring `inner` while a `heaps` guard is
+//!   live inverts the one allowed nesting order (`inner` before `heaps`)
+//!   and can deadlock against the dispatch path.
+//!
 //! Audited exceptions live in an allowlist file (`dynlint.allow`), one
 //! `path-suffix rule` pair per line.
 
@@ -190,6 +201,173 @@ pub fn lint_source(path: &str, src: &str, allow: &[Allow]) -> Vec<Finding> {
         }
     }
     out.extend(lint_hash_iteration(path, &stripped, allow));
+    out.extend(lint_lock_discipline(path, &stripped, allow));
+    out
+}
+
+/// Which engine mutex a tracked guard holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum LockKind {
+    Inner,
+    Heaps,
+}
+
+/// One live mutex guard tracked by the lock-discipline scanner.
+struct Guard {
+    kind: LockKind,
+    name: String,
+    /// Brace depth where the guard was bound; the guard dies for good
+    /// when scanning exits this scope.
+    bind_depth: usize,
+    /// `Some(d)`: an explicit `drop(name)` was seen at depth `d`. The
+    /// guard is dead while depth stays `>= d`, but *revives* when the
+    /// scan leaves that block — a `drop` inside one `match` arm must not
+    /// absolve a sibling arm where the guard is still held.
+    suppressed_at: Option<usize>,
+}
+
+impl Guard {
+    fn live(&self) -> bool {
+        self.suppressed_at.is_none()
+    }
+}
+
+/// Identifier bound by `let [mut] name = ...` on this line, if the lock
+/// call at byte `pos` is part of such a binding. Temporaries
+/// (`self.inner.lock().field`) return `None` — their guard dies at the
+/// end of the statement and cannot overlap an `unpark`.
+fn binding_name(line: &str, pos: usize) -> Option<String> {
+    let trimmed = line.trim_start();
+    let rest = trimmed.strip_prefix("let ")?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    // The `=` must sit between the binding and the lock call.
+    let eq = line.find('=')?;
+    if name.is_empty() || eq > pos {
+        return None;
+    }
+    Some(name)
+}
+
+/// Scope-aware scan for the engine's locking discipline: `unpark` calls
+/// while an `inner`/`heaps` guard is held, and `inner` acquisition while
+/// a `heaps` guard is held (the reverse of the one allowed nesting
+/// order). Guards bound by `let` are tracked through nested blocks;
+/// `drop(guard)` releases them for the remainder of that block only, so
+/// a sibling `match` arm still sees the guard as held.
+fn lint_lock_discipline(path: &str, stripped: &str, allow: &[Allow]) -> Vec<Finding> {
+    let unpark_allowed = allowed(allow, path, "unpark-under-lock");
+    let order_allowed = allowed(allow, path, "heaps-before-inner");
+    let mut out = Vec::new();
+    let mut depth: usize = 0;
+    let mut guards: Vec<Guard> = Vec::new();
+    for (lineno, line) in stripped.lines().enumerate() {
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i] == b'{' {
+                depth += 1;
+                i += 1;
+                continue;
+            }
+            if bytes[i] == b'}' {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| depth >= g.bind_depth);
+                for g in &mut guards {
+                    if g.suppressed_at.is_some_and(|d| depth < d) {
+                        g.suppressed_at = None;
+                    }
+                }
+                i += 1;
+                continue;
+            }
+            let rest = &line[i..];
+            if rest.starts_with(".inner.lock()") {
+                if !order_allowed {
+                    if let Some(h) = guards
+                        .iter()
+                        .find(|g| g.kind == LockKind::Heaps && g.live())
+                    {
+                        out.push(Finding {
+                            severity: Severity::Error,
+                            detector: "lint:heaps-before-inner",
+                            message: format!(
+                                "{path}:{}: acquiring `inner` while heaps guard `{}` is \
+                                 held — the allowed nesting order is inner before heaps",
+                                lineno + 1,
+                                h.name
+                            ),
+                        });
+                    }
+                }
+                if let Some(name) = binding_name(line, i) {
+                    guards.push(Guard {
+                        kind: LockKind::Inner,
+                        name,
+                        bind_depth: depth,
+                        suppressed_at: None,
+                    });
+                }
+                i += ".inner.lock()".len();
+                continue;
+            }
+            if rest.starts_with(".heaps.lock()") {
+                if let Some(name) = binding_name(line, i) {
+                    guards.push(Guard {
+                        kind: LockKind::Heaps,
+                        name,
+                        bind_depth: depth,
+                        suppressed_at: None,
+                    });
+                }
+                i += ".heaps.lock()".len();
+                continue;
+            }
+            if rest.starts_with(".unpark()") {
+                if !unpark_allowed {
+                    if let Some(g) = guards.iter().find(|g| g.live()) {
+                        out.push(Finding {
+                            severity: Severity::Error,
+                            detector: "lint:unpark-under-lock",
+                            message: format!(
+                                "{path}:{}: `unpark` while mutex guard `{}` is held — \
+                                 the woken thread blocks straight back on the lock",
+                                lineno + 1,
+                                g.name
+                            ),
+                        });
+                    }
+                }
+                i += ".unpark()".len();
+                continue;
+            }
+            let drop_boundary = i == 0
+                || !line[..i]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            if rest.starts_with("drop(") && drop_boundary {
+                // `drop(name)` — release that guard for this block.
+                let inner = &rest["drop(".len()..];
+                let name: String = inner
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                for g in &mut guards {
+                    if g.name == name && g.live() {
+                        g.suppressed_at = Some(depth);
+                    }
+                }
+                i += "drop(".len();
+                continue;
+            }
+            i += 1;
+        }
+    }
     out
 }
 
@@ -328,6 +506,101 @@ mod tests {
         assert!(!token_match("operand::x", "rand::"));
         assert!(token_match("std::thread::sleep(d)", "thread::sleep"));
         assert!(token_match("std::time::Instant::now()", "Instant::now"));
+    }
+
+    #[test]
+    fn unpark_under_live_guard_flagged() {
+        let src = "fn f(&self) {\n    let mut g = self.inner.lock();\n    t.unpark();\n}\n";
+        let f = lint_source("x.rs", src, &[]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].detector, "lint:unpark-under-lock");
+        assert!(f[0].message.contains("x.rs:3"), "{}", f[0].message);
+        assert!(f[0].message.contains("`g`"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn unpark_after_drop_is_clean() {
+        let src =
+            "fn f(&self) {\n    let mut g = self.inner.lock();\n    drop(g);\n    t.unpark();\n}\n";
+        assert!(lint_source("x.rs", src, &[]).is_empty());
+        // A heaps guard counts too.
+        let src = "fn f(&self) {\n    let h = self.heaps.lock();\n    t.unpark();\n}\n";
+        let f = lint_source("x.rs", src, &[]);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn drop_in_one_match_arm_does_not_absolve_siblings() {
+        // Mirrors the engine's run() loop: `drop(g)` inside the `Some`
+        // arm, an unpark in the sibling `None` arm where `g` is still
+        // live. Only the second unpark is a violation.
+        let src = "fn f(&self) {\n\
+                   \x20   let mut g = self.inner.lock();\n\
+                   \x20   match x {\n\
+                   \x20       Some(t) => {\n\
+                   \x20           drop(g);\n\
+                   \x20           t.unpark();\n\
+                   \x20       }\n\
+                   \x20       None => {\n\
+                   \x20           t.unpark();\n\
+                   \x20       }\n\
+                   \x20   }\n\
+                   }\n";
+        let f = lint_source("x.rs", src, &[]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("x.rs:9"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn guard_dies_with_its_scope() {
+        let src = "fn f(&self) {\n\
+                   \x20   {\n\
+                   \x20       let mut g = self.inner.lock();\n\
+                   \x20   }\n\
+                   \x20   t.unpark();\n\
+                   }\n";
+        assert!(lint_source("x.rs", src, &[]).is_empty());
+    }
+
+    #[test]
+    fn heaps_before_inner_flagged_but_inner_before_heaps_allowed() {
+        let bad = "fn f(&self) {\n    let mut h = self.heaps.lock();\n    let mut g = self.inner.lock();\n}\n";
+        let f = lint_source("x.rs", bad, &[]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].detector, "lint:heaps-before-inner");
+        // The one allowed nesting order: inner, then heaps.
+        let good = "fn f(&self) {\n    let mut g = self.inner.lock();\n    let mut h = self.heaps.lock();\n}\n";
+        assert!(lint_source("x.rs", good, &[]).is_empty());
+    }
+
+    #[test]
+    fn lock_discipline_respects_allowlist() {
+        let src = "fn f(&self) {\n    let mut g = self.inner.lock();\n    t.unpark();\n}\n";
+        let allow = parse_allowlist("engine.rs unpark-under-lock # direct handoff\n");
+        assert!(lint_source("crates/sim/src/engine.rs", src, &allow).is_empty());
+        // Other files still flagged.
+        assert_eq!(lint_source("x.rs", src, &allow).len(), 1);
+    }
+
+    #[test]
+    fn engine_rs_has_exactly_the_two_audited_unpark_sites() {
+        // The allowlist entry for engine.rs covers two audited sites:
+        // `abort()`'s panic teardown and `run()`'s deadlock verdict.
+        // Lint the real source *without* the allowlist and pin that
+        // count — a third site must be a fresh audit, not a free pass.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../sim/src/engine.rs");
+        let src = std::fs::read_to_string(path).expect("engine.rs readable");
+        let f = lint_source("crates/sim/src/engine.rs", &src, &[]);
+        let unparks: Vec<_> = f
+            .iter()
+            .filter(|x| x.detector == "lint:unpark-under-lock")
+            .collect();
+        assert_eq!(unparks.len(), 2, "{unparks:?}");
+        // And the nesting order is never inverted, allowlist or not.
+        assert!(
+            !f.iter().any(|x| x.detector == "lint:heaps-before-inner"),
+            "{f:?}"
+        );
     }
 
     #[test]

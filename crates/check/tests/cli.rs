@@ -54,6 +54,34 @@ fn banned_source_fixture_fails() {
 }
 
 #[test]
+fn unbalanced_timer_fixture_fails() {
+    let (ok, text) = dynlint(&["--fixture", "unbalanced-timer"]);
+    assert!(!ok);
+    assert!(text.contains("verify:unbalanced-timer"), "{text}");
+}
+
+#[test]
+fn unbounded_loop_fixture_fails() {
+    let (ok, text) = dynlint(&["--fixture", "unbounded-loop"]);
+    assert!(!ok);
+    assert!(text.contains("verify:unbounded-loop"), "{text}");
+}
+
+#[test]
+fn oob_write_fixture_fails() {
+    let (ok, text) = dynlint(&["--fixture", "oob-write"]);
+    assert!(!ok);
+    assert!(text.contains("verify:oob-write"), "{text}");
+}
+
+#[test]
+fn branch_into_patch_fixture_fails() {
+    let (ok, text) = dynlint(&["--fixture", "branch-into-patch"]);
+    assert!(!ok);
+    assert!(text.contains("analyzer:branch-into-patch"), "{text}");
+}
+
+#[test]
 fn unknown_fixture_is_a_usage_error() {
     let (ok, text) = dynlint(&["--fixture", "nonesuch"]);
     assert!(!ok);

@@ -17,8 +17,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use dynprof_dpcl::{
-    DegradedPolicy, DpclClient, DpclSystem, HeartbeatConfig, HeartbeatMonitor, InstrumentationTxn,
-    ProcessHandle, TxnOptions, TxnOutcome,
+    AckResult, DegradedPolicy, DpclClient, DpclSystem, HeartbeatConfig, HeartbeatMonitor,
+    InstrumentationTxn, ProcessHandle, TxnOptions, TxnOutcome,
 };
 use dynprof_image::ProbePoint;
 use dynprof_mpi::{launch_from, JobSpec, MpiHooks};
@@ -482,7 +482,10 @@ pub fn run_attach_session(
                     pairs += 1;
                 }
             }
-            client.wait_all(p, &reqs);
+            let failures = install_failures(&client.wait_all(p, &reqs));
+            if !failures.is_empty() {
+                warnings2.lock().push(failures);
+            }
             *pairs2.lock() = pairs;
             let resumes: Vec<_> = handles.iter().map(|h| client.resume(p, h)).collect();
             client.wait_all(p, &resumes);
@@ -525,6 +528,29 @@ pub fn run_attach_session(
         images: images.to_vec(),
         controller,
     }
+}
+
+/// Summarize failed install acks: the count plus each distinct typed
+/// reason (verifier rejections, patch hazards, timeouts). Empty when
+/// every ack succeeded.
+fn install_failures(acks: &[(dynprof_dpcl::ReqId, AckResult)]) -> String {
+    let mut reasons: Vec<String> = acks
+        .iter()
+        .filter_map(|(_, r)| match r {
+            AckResult::Ok { .. } => None,
+            AckResult::Error { message } => Some(message.clone()),
+            AckResult::TimedOut { attempts } => {
+                Some(format!("timed out after {attempts} attempt(s)"))
+            }
+        })
+        .collect();
+    if reasons.is_empty() {
+        return String::new();
+    }
+    let n = reasons.len();
+    reasons.sort_unstable();
+    reasons.dedup();
+    format!("{n} probe installs failed: {}", reasons.join("; "))
 }
 
 fn make_function_files(app: &AppSpec, cfg: &SessionConfig) -> BTreeMap<String, Vec<String>> {
@@ -732,15 +758,9 @@ impl DynState {
             }
             self.pairs_installed += self.handles.len();
         }
-        let failures = self
-            .client
-            .wait_all(p, &reqs)
-            .iter()
-            .filter(|(_, r)| !r.is_ok())
-            .count();
-        if failures > 0 {
-            self.warnings
-                .push(format!("{failures} probe installs failed"));
+        let failures = install_failures(&self.client.wait_all(p, &reqs));
+        if !failures.is_empty() {
+            self.warnings.push(failures);
         }
     }
 

@@ -19,7 +19,7 @@ use std::sync::Arc;
 use dynprof_obs as obs;
 use parking_lot::Mutex;
 
-use dynprof_image::Image;
+use dynprof_image::{verify_snippet, Image};
 use dynprof_sim::sync::SimChannel;
 use dynprof_sim::{hb, Proc, SimTime};
 
@@ -363,14 +363,25 @@ fn comm_daemon_loop(
                 Some((img, _name)) => {
                     cp.advance(machine.daemon.patch_cost);
                     note_unsafe(cp, img, "install");
-                    match img.try_insert(point, snippet) {
-                        Ok(id) => (req, AckResult::Ok { detail: id.0 }),
-                        Err(e) => (
-                            req,
-                            AckResult::Error {
-                                message: e.to_string(),
-                            },
-                        ),
+                    // Snippets carrying a typed IR program must verify
+                    // before the patch is attempted (paper §5's "know what
+                    // the snippet can do before it runs" safety story).
+                    match verify_snippet(&snippet) {
+                        Err(message) => {
+                            if obs::enabled() {
+                                obs::counter("dpcl.installs_rejected").inc();
+                            }
+                            (req, AckResult::Error { message })
+                        }
+                        Ok(()) => match img.try_insert(point, snippet) {
+                            Ok(id) => (req, AckResult::Ok { detail: id.0 }),
+                            Err(e) => (
+                                req,
+                                AckResult::Error {
+                                    message: e.to_string(),
+                                },
+                            ),
+                        },
                     }
                 }
                 None => (req, missing(target)),
@@ -431,10 +442,25 @@ fn comm_daemon_loop(
                         "vote abort: nothing staged for {txn:?} on node {}",
                         cp.node()
                     )),
-                    Some(ops) => ops
-                        .iter()
-                        .find(|op| !targets.contains_key(&op.target()))
-                        .map(|op| format!("vote abort: no attached target {:?}", op.target())),
+                    // Validate every staged op before voting yes: the
+                    // target must be attached, and a staged install must
+                    // both verify (IR programs) and be a safe patch
+                    // (size, branch-into-patch CFG hazard) on its target.
+                    Some(ops) => ops.iter().find_map(|op| {
+                        let target = op.target();
+                        let Some((img, _name)) = targets.get(&target) else {
+                            return Some(format!("vote abort: no attached target {target:?}"));
+                        };
+                        if let StagedOp::Install { point, snippet, .. } = op {
+                            if let Err(e) = verify_snippet(snippet) {
+                                return Some(format!("vote abort: {e}"));
+                            }
+                            if let Err(e) = img.validate_patch(*point, snippet) {
+                                return Some(format!("vote abort: {e}"));
+                            }
+                        }
+                        None
+                    }),
                 };
                 match vote {
                     None => {

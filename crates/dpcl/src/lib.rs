@@ -231,8 +231,12 @@ mod tests {
         let system = DpclSystem::new(["u"]);
         let image = image_with(&["f"]);
         let f = image.func("f").unwrap();
-        image.insert(ProbePoint::entry(f), Snippet::noop("a"));
-        image.insert(ProbePoint::exit(f), Snippet::noop("b"));
+        image
+            .try_insert(ProbePoint::entry(f), Snippet::noop("a"))
+            .expect("patchable target");
+        image
+            .try_insert(ProbePoint::exit(f), Snippet::noop("b"))
+            .expect("patchable target");
         let img2 = Arc::clone(&image);
         sim.spawn("instrumenter", 0, move |p| {
             let client = DpclClient::new(system, "u");
@@ -269,6 +273,76 @@ mod tests {
             client.shutdown(p);
         });
         sim.run();
+    }
+
+    #[test]
+    fn daemon_rejects_unverifiable_snippet_program() {
+        use dynprof_image::ir::{IntrinsicTable, SnippetProgram, Stmt};
+        let sim = Sim::virtual_time(Machine::test_machine(), 5);
+        let system = DpclSystem::new(["u"]);
+        let image = image_with(&["f"]);
+        let f = image.func("f").unwrap();
+        let img2 = Arc::clone(&image);
+        sim.spawn("instrumenter", 0, move |p| {
+            let client = DpclClient::new(system, "u");
+            let h = client.attach(p, 1, Arc::clone(&img2), "t").unwrap();
+            // A stop without a start: verifiably unbalanced. Lowered
+            // without client-side checking, so the daemon must catch it.
+            let bad =
+                SnippetProgram::new("rogue", 0, vec![Stmt::StopTimer], IntrinsicTable::empty())
+                    .compile_unchecked();
+            let req = client.install_probe(p, &h, ProbePoint::entry(f), bad);
+            let r = client.wait_ack(p, req);
+            assert!(
+                matches!(&r, AckResult::Error { message } if message.contains("unbalanced timer")),
+                "{r:?}"
+            );
+            client.shutdown(p);
+        });
+        sim.run();
+        assert!(!image.occupied(ProbePoint::entry(f)), "nothing installed");
+    }
+
+    #[test]
+    fn txn_prepare_votes_abort_on_branch_into_patch_hazard() {
+        use dynprof_image::BasicBlock;
+        use dynprof_sim::{FaultPlan, FaultProfile, FaultSpec};
+
+        let sim = Sim::virtual_time(Machine::test_machine(), 3);
+        // A delay-only plan forces the full 2PC protocol (the inert fast
+        // path would bypass the PREPARE vote under test).
+        let spec = FaultSpec {
+            seed: 3,
+            profile_name: "delay".to_string(),
+            profile: FaultProfile::named("delay").unwrap(),
+        };
+        assert!(sim.set_fault_plan(FaultPlan::new(&spec, sim.machine())));
+        let system = DpclSystem::new(["u"]);
+        let mut b = ImageBuilder::new("target");
+        let f = b.add(FunctionInfo::new("f").with_blocks(vec![
+            BasicBlock::new(0, vec![64]),
+            BasicBlock::new(64, vec![4]), // target 4 is inside the patch
+        ]));
+        let image = Arc::new(b.build());
+        let report = Arc::new(Mutex::new(None));
+        let (img2, report2) = (Arc::clone(&image), Arc::clone(&report));
+        sim.spawn("instrumenter", 0, move |p| {
+            let client = DpclClient::new(system, "u");
+            let h = client.attach(p, 1, Arc::clone(&img2), "t").unwrap();
+            let mut txn = InstrumentationTxn::new(TxnOptions::default());
+            txn.stage_install(&h, ProbePoint::entry(f), Snippet::noop("n"));
+            *report2.lock() = Some(txn.execute(p, &client, None, None));
+            client.shutdown(p);
+        });
+        sim.run();
+        let r = report.lock().take().unwrap();
+        assert!(r.two_phase);
+        assert!(
+            matches!(&r.outcome, TxnOutcome::Aborted { reason } if reason.contains("branch-into-patch")),
+            "{:?}",
+            r.outcome
+        );
+        assert!(!image.occupied(ProbePoint::entry(f)), "rolled back");
     }
 
     #[test]

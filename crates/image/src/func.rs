@@ -19,6 +19,34 @@ impl FuncId {
     }
 }
 
+/// One synthetic basic block of a function's control-flow graph, as a
+/// binary analyzer would recover it. Offsets are byte offsets from the
+/// function's entry.
+///
+/// The manifest carries these so the patch-safety verifier can check for
+/// the classic *branch-into-patch* hazard: entry instrumentation
+/// overwrites the first [`crate::MIN_PATCHABLE_BYTES`] of the prologue
+/// with a jump to the base trampoline, so any branch whose target lands
+/// *strictly inside* that region (not at offset 0, which hits the
+/// patched jump itself and is safe) would execute half-relocated bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Byte offset of the block's first instruction.
+    pub offset: usize,
+    /// Byte offsets (within the same function) this block may branch to.
+    pub branch_targets: Vec<usize>,
+}
+
+impl BasicBlock {
+    /// A block at `offset` branching to `targets`.
+    pub fn new(offset: usize, targets: Vec<usize>) -> BasicBlock {
+        BasicBlock {
+            offset,
+            branch_targets: targets,
+        }
+    }
+}
+
 /// Static metadata about a function, as a symbol-table reader would see it.
 #[derive(Clone, Debug)]
 pub struct FunctionInfo {
@@ -33,6 +61,10 @@ pub struct FunctionInfo {
     /// instrumentation into this function (paper §3.1). Dynamic-only
     /// binaries have this `false` everywhere.
     pub statically_instrumented: bool,
+    /// Synthetic basic-block layout for patch-point CFG analysis. Empty
+    /// means "no CFG information", which the verifier treats as safe —
+    /// pre-CFG manifests keep working unchanged.
+    pub blocks: Vec<BasicBlock>,
 }
 
 impl FunctionInfo {
@@ -43,6 +75,7 @@ impl FunctionInfo {
             module: "main".to_string(),
             size_bytes: 256,
             statically_instrumented: false,
+            blocks: Vec::new(),
         }
     }
 
@@ -62,6 +95,23 @@ impl FunctionInfo {
     pub fn static_instr(mut self, yes: bool) -> FunctionInfo {
         self.statically_instrumented = yes;
         self
+    }
+
+    /// Attach a synthetic basic-block layout (see [`BasicBlock`]).
+    pub fn with_blocks(mut self, blocks: Vec<BasicBlock>) -> FunctionInfo {
+        self.blocks = blocks;
+        self
+    }
+
+    /// First branch target landing strictly inside the first `patch_len`
+    /// bytes of the prologue (the branch-into-patch hazard), if any.
+    /// Offset 0 is safe — it lands on the patched jump itself. A function
+    /// with no CFG information never reports a hazard.
+    pub fn branch_into_patch(&self, patch_len: usize) -> Option<usize> {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.branch_targets.iter().copied())
+            .find(|&t| t > 0 && t < patch_len)
     }
 }
 
@@ -114,6 +164,26 @@ mod tests {
         assert_eq!(f.module, "solver.c");
         assert_eq!(f.size_bytes, 1024);
         assert!(f.statically_instrumented);
+    }
+
+    #[test]
+    fn branch_into_patch_detection() {
+        // No CFG info: never a hazard.
+        assert_eq!(FunctionInfo::new("f").branch_into_patch(16), None);
+        // Target at 0 lands on the patched jump: safe.
+        let f = FunctionInfo::new("f").with_blocks(vec![
+            BasicBlock::new(0, vec![64]),
+            BasicBlock::new(64, vec![0, 128]),
+        ]);
+        assert_eq!(f.branch_into_patch(16), None);
+        // Target at 8 lands mid-patch: hazard.
+        let g = FunctionInfo::new("g").with_blocks(vec![
+            BasicBlock::new(0, vec![32]),
+            BasicBlock::new(32, vec![8]),
+        ]);
+        assert_eq!(g.branch_into_patch(16), Some(8));
+        // Same target is fine once the patch is shorter than it.
+        assert_eq!(g.branch_into_patch(8), None);
     }
 
     #[test]

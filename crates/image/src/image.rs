@@ -36,6 +36,17 @@ pub enum PatchError {
         /// The minimum patchable size ([`MIN_PATCHABLE_BYTES`]).
         required: usize,
     },
+    /// The function's CFG has a branch whose target lands strictly inside
+    /// the prologue bytes the entry patch overwrites — executing it would
+    /// land mid-jump on half-relocated instructions.
+    BranchIntoPatch {
+        /// Symbol that was targeted.
+        name: String,
+        /// Offending branch-target offset within the function.
+        target_offset: usize,
+        /// Patched prologue length ([`MIN_PATCHABLE_BYTES`]).
+        patch_len: usize,
+    },
 }
 
 impl std::fmt::Display for PatchError {
@@ -49,6 +60,16 @@ impl std::fmt::Display for PatchError {
                 f,
                 "function {name:?} is {size_bytes} bytes, smaller than the \
                  {required}-byte probe-point jump"
+            ),
+            PatchError::BranchIntoPatch {
+                name,
+                target_offset,
+                patch_len,
+            } => write!(
+                f,
+                "function {name:?} has a branch target at offset \
+                 {target_offset}, inside the {patch_len}-byte patched \
+                 prologue (branch-into-patch hazard)"
             ),
         }
     }
@@ -213,11 +234,12 @@ impl Image {
         }
     }
 
-    /// Insert `snippet` at `point` if the target can hold the patch.
-    ///
-    /// The caller is expected to have suspended the process (DPCL does);
-    /// the image itself only requires the instrumenter lock.
-    pub fn try_insert(&self, point: ProbePoint, snippet: Snippet) -> Result<SnippetId, PatchError> {
+    /// Would installing `snippet` at `point` be a safe patch? Checks the
+    /// target's size against the probe-point jump and, for entry points,
+    /// its CFG for the branch-into-patch hazard — without installing
+    /// anything. DPCL daemons run this (plus snippet-program
+    /// verification) when voting on a transaction's staged installs.
+    pub fn validate_patch(&self, point: ProbePoint, _snippet: &Snippet) -> Result<(), PatchError> {
         let info = &self.info[point.func.index()];
         if info.size_bytes < MIN_PATCHABLE_BYTES {
             return Err(PatchError::FunctionTooSmall {
@@ -226,6 +248,26 @@ impl Image {
                 required: MIN_PATCHABLE_BYTES,
             });
         }
+        // Only the entry patch overwrites prologue bytes a branch could
+        // re-enter; the exit patch rewrites return sites.
+        if point.kind == ProbePointKind::Entry {
+            if let Some(target) = info.branch_into_patch(MIN_PATCHABLE_BYTES) {
+                return Err(PatchError::BranchIntoPatch {
+                    name: info.name.clone(),
+                    target_offset: target,
+                    patch_len: MIN_PATCHABLE_BYTES,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Insert `snippet` at `point` if the target can hold the patch.
+    ///
+    /// The caller is expected to have suspended the process (DPCL does);
+    /// the image itself only requires the instrumenter lock.
+    pub fn try_insert(&self, point: ProbePoint, snippet: Snippet) -> Result<SnippetId, PatchError> {
+        self.validate_patch(point, &snippet)?;
         let id = SnippetId(self.next_snippet.fetch_add(1, Ordering::Relaxed));
         let mut probes = self.probes.write();
         let pair = &mut probes[point.func.index()];
@@ -456,8 +498,9 @@ impl Image {
     }
 
     fn fire_point(&self, p: &Proc, cc: CallerCtx, fid: FuncId, kind: ProbePointKind, reps: u64) {
-        // Fast path: clone the chain only if occupied.
-        let chain: Vec<Snippet> = {
+        // Fast path: clone the chain only if occupied (one Arc bump per
+        // chained snippet).
+        let chain: Vec<Arc<Snippet>> = {
             let probes = self.probes.read();
             let pair = &probes[fid.index()];
             let base = match kind {
@@ -762,6 +805,45 @@ mod tests {
         // The boundary size itself is accepted.
         assert!(img
             .try_insert(ProbePoint::entry(fits), Snippet::noop("n"))
+            .is_ok());
+    }
+
+    #[test]
+    fn branch_into_patch_rejects_entry_but_not_exit() {
+        use crate::func::BasicBlock;
+        let mut b = ImageBuilder::new("app");
+        let hazard = b.add(FunctionInfo::new("hazard").with_size(256).with_blocks(vec![
+            BasicBlock::new(0, vec![64]),
+            BasicBlock::new(64, vec![8, 128]), // 8 is inside the 16-byte patch
+        ]));
+        let clean = b.add(FunctionInfo::new("clean").with_size(256).with_blocks(vec![
+            BasicBlock::new(0, vec![64]),
+            BasicBlock::new(64, vec![0, 128]), // 0 hits the patched jump: safe
+        ]));
+        let img = b.build();
+        let err = img
+            .try_insert(ProbePoint::entry(hazard), Snippet::noop("n"))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PatchError::BranchIntoPatch {
+                name: "hazard".into(),
+                target_offset: 8,
+                patch_len: MIN_PATCHABLE_BYTES,
+            }
+        );
+        assert_eq!(img.patch_count(), 0);
+        // The exit patch does not touch the prologue: allowed.
+        assert!(img
+            .try_insert(ProbePoint::exit(hazard), Snippet::noop("n"))
+            .is_ok());
+        // A CFG whose targets avoid the patched region is fine at entry.
+        assert!(img
+            .try_insert(ProbePoint::entry(clean), Snippet::noop("n"))
+            .is_ok());
+        // validate_patch alone installs nothing.
+        assert!(img
+            .validate_patch(ProbePoint::entry(clean), &Snippet::noop("n"))
             .is_ok());
     }
 

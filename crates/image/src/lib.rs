@@ -35,13 +35,19 @@
 mod func;
 #[allow(clippy::module_inception)]
 mod image;
+pub mod ir;
 mod snippet;
 mod trampoline;
 
-pub use func::{FuncId, FunctionInfo, ProbePoint, ProbePointKind};
+pub use func::{BasicBlock, FuncId, FunctionInfo, ProbePoint, ProbePointKind};
 pub use image::{
     CallerCtx, Image, ImageBuilder, ImageObserver, PatchError, PcLog, StaticHooks,
     MAX_SAMPLED_THREADS,
+};
+pub use ir::{
+    verify_snippet, BinOp, ChargeMode, CtxField, Expr, Intrinsic, IntrinsicTable, ProgramState,
+    SnippetProgram, Stmt, VerifyError, VerifyReport, BRANCH_COST, EMIT_COST, LOOP_ITER_COST,
+    MAX_LOOP_TRIPS, STORE_COST, TIMER_COST,
 };
 pub use snippet::{ProbeCtx, Snippet, SnippetId};
 pub use trampoline::{

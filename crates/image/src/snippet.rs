@@ -6,6 +6,7 @@ use std::sync::Arc;
 use dynprof_sim::{Proc, SimTime};
 
 use crate::func::{FuncId, ProbePointKind};
+use crate::ir::SnippetProgram;
 
 /// Unique handle for an inserted snippet (for later removal).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -46,6 +47,15 @@ pub struct Snippet {
     /// Simulated cost of one execution of the snippet body (the closure's
     /// real cost is measured separately in real-clock mode).
     pub cost: SimTime,
+    /// The typed IR this snippet was compiled from, when it was built via
+    /// [`SnippetProgram::compile`]. Install-time verification
+    /// ([`crate::ir::verify_snippet`]) re-checks this program; opaque
+    /// legacy closures carry `None` and pass unverified.
+    pub program: Option<Arc<SnippetProgram>>,
+    /// The verifier's worst-case cost bound for one `reps = 1` firing,
+    /// stamped by [`SnippetProgram::compile`]. Unlike `cost` this is
+    /// *derived*, not trusted — the overhead controller prefers it.
+    pub derived_cost: Option<SimTime>,
 }
 
 impl Snippet {
@@ -59,6 +69,8 @@ impl Snippet {
             name: Arc::from(name.into()),
             code: Arc::new(code),
             cost,
+            program: None,
+            derived_cost: None,
         }
     }
 
@@ -74,6 +86,7 @@ impl fmt::Debug for Snippet {
         f.debug_struct("Snippet")
             .field("name", &self.name)
             .field("cost", &self.cost)
+            .field("derived_cost", &self.derived_cost)
             .finish()
     }
 }

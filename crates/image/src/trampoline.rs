@@ -15,6 +15,8 @@
 //! splices the chain; and (d) allocated trampoline bytes are tracked, as
 //! `dynprof` reports in its timefile.
 
+use std::sync::Arc;
+
 use dynprof_sim::SimTime;
 
 use crate::snippet::{Snippet, SnippetId};
@@ -34,8 +36,10 @@ pub const MIN_PATCHABLE_BYTES: usize = 16;
 pub struct MiniTrampoline {
     /// Removal handle.
     pub id: SnippetId,
-    /// The instrumentation primitive.
-    pub snippet: Snippet,
+    /// The instrumentation primitive, shared so the fire path clones a
+    /// single refcount per chained snippet (a `Snippet` holds several
+    /// `Arc`s — name, code, and optionally its IR program).
+    pub snippet: Arc<Snippet>,
 }
 
 /// A base trampoline with its chain of mini-trampolines.
@@ -67,7 +71,10 @@ impl BaseTrampoline {
     /// Append a mini-trampoline to the end of the chain (Dyninst appends;
     /// the last trampoline jumps back to the base).
     pub fn push(&mut self, id: SnippetId, snippet: Snippet) {
-        self.chain.push(MiniTrampoline { id, snippet });
+        self.chain.push(MiniTrampoline {
+            id,
+            snippet: Arc::new(snippet),
+        });
     }
 
     /// Remove the mini-trampoline with the given id, splicing the chain.

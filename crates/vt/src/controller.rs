@@ -160,7 +160,11 @@ impl OverheadController {
     pub fn decide(&self, vt: &VtLib, now: SimTime, round: u64) -> Option<PendingChange> {
         let ranks = vt.ranks();
         let costs = vt.costs();
-        let pair_ns = costs.active_pair().as_nanos() as u128;
+        // Prefer the verifier-derived worst-case pair bound (checked, not
+        // trusted) over the declared cost model; fall back to the declared
+        // pair when the snippet programs have not been built from the IR.
+        let pair = vt.derived_pair().unwrap_or_else(|| costs.active_pair());
+        let pair_ns = pair.as_nanos() as u128;
         let deact_ns = costs.vt_deactivated.as_nanos() as u128;
 
         let mut counts: BTreeMap<u32, u64> = BTreeMap::new();

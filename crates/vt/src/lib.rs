@@ -39,8 +39,8 @@ pub use confsync::{confsync, ConfsyncOutcome, MonitorLink, PendingChange, StatsS
 pub use controller::{ControllerConfig, DecisionRecord, OverheadController};
 pub use event::{Event, Trace, VtFuncId};
 pub use hooks::{
-    op_from_code, vt_begin_snippet, vt_end_snippet, VtImageObserver, VtMpiHooks, VtOmpHooks,
-    VtStaticHooks,
+    configuration_break_snippet, op_from_code, vt_begin_snippet, vt_count_snippet, vt_end_snippet,
+    VtImageObserver, VtMpiHooks, VtOmpHooks, VtStaticHooks,
 };
 pub use policy::{Policy, ALL_POLICIES};
 pub use sampling::{sample_image, SampleProfile, SAMPLE_INTERRUPT_COST};

@@ -119,6 +119,11 @@ pub struct VtLib {
     /// active entry/exit pairs shorter than this are elided into
     /// per-function [`Event::FuncSuppressed`] records.
     suppress_floor: AtomicU64,
+    /// Verifier-derived worst-case costs of the `VT_begin`/`VT_end`
+    /// snippet programs, stamped when the snippets are built from the IR.
+    /// The overhead controller prefers these over the declared
+    /// [`ProbeCosts`] pair — derived bounds are checked, not trusted.
+    derived_costs: Mutex<(Option<SimTime>, Option<SimTime>)>,
     /// Identity of this library in happens-before reports (`check`).
     pub(crate) check_id: u64,
 }
@@ -155,6 +160,7 @@ impl VtLib {
             partials: Mutex::new(Vec::new()),
             degraded: Mutex::new(Vec::new()),
             suppress_floor: AtomicU64::new(0),
+            derived_costs: Mutex::new((None, None)),
             check_id: dynprof_sim::hb::unique_id(),
         })
     }
@@ -256,6 +262,25 @@ impl VtLib {
     /// Entry/exit pairs elided by the redundancy suppressor on `rank`.
     pub fn suppressed_pairs(&self, rank: usize) -> u64 {
         self.procs[rank].buf.lock().suppressed_pairs
+    }
+
+    /// Record the verifier-derived bound of the `VT_begin` program.
+    pub(crate) fn register_derived_begin(&self, cost: Option<SimTime>) {
+        self.derived_costs.lock().0 = cost;
+    }
+
+    /// Record the verifier-derived bound of the `VT_end` program.
+    pub(crate) fn register_derived_end(&self, cost: Option<SimTime>) {
+        self.derived_costs.lock().1 = cost;
+    }
+
+    /// Verifier-derived worst-case cost of one active begin/end pair,
+    /// available once both snippet programs have been built and verified.
+    /// `None` until then (the controller falls back to the declared
+    /// [`ProbeCosts::active_pair`]).
+    pub fn derived_pair(&self) -> Option<SimTime> {
+        let (b, e) = *self.derived_costs.lock();
+        Some(b? + e?)
     }
 
     /// `VT_init` on `rank`: reads the configuration file and sets up the
