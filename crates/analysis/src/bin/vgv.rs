@@ -6,6 +6,7 @@
 //! $ vgv top run.vgvs [--top N] [--exclude-suspensions]
 //! $ vgv slice run.vgvs --t0 2ms --t1 5ms [--rank N] [--width N]
 //! $ vgv comm run.vgvs                 # rank x rank byte matrix
+//! $ vgv fsck run.vgvs [--repair [--out fixed.vgvs]]
 //! $ vgv convert run.vgvt run.vgvs [--chunk-events N]
 //! $ vgv view run.vgvt [--width N] [--per-thread] [--top N]
 //! $ vgv run.vgvt                      # same as `vgv view` (legacy)
@@ -13,9 +14,13 @@
 //!
 //! Subcommands other than `view`/`convert` operate on chunk-indexed
 //! `VGVS` stores and decode only what the query needs; `view` is the
-//! legacy load-everything path for flat `VGVT` traces.
+//! legacy load-everything path for flat `VGVT` traces. A store argument
+//! names either one file or a rotated segment family (`run.vgvs` finds
+//! `run.0000.vgvs`, `run.0001.vgvs`, …); `--salvage` opens crashed
+//! captures without a footer, `--degraded` skips (and reports) corrupt
+//! chunks instead of failing.
 
-use dynprof_analysis::store::{StoreOptions, StoreReader};
+use dynprof_analysis::store::{fsck, repair, SegmentSet, StoreOptions};
 use dynprof_analysis::{
     comm_report, convert, info_report, ranks_report, read_trace, render, slice_report, top_report,
     trace_volume, Profile, ProfileOptions, TimelineOptions,
@@ -31,8 +36,12 @@ fn usage() -> ! {
          \x20 top <store.vgvs> [--top N] [--exclude-suspensions]\n\
          \x20 slice <store.vgvs> --t0 T --t1 T [--rank N] [--width N]\n\
          \x20 comm <store.vgvs>                    communication matrix\n\
+         \x20 fsck <store.vgvs> [--repair] [--out F]  verify chunks, footer; rebuild if asked\n\
          \x20 convert <in.vgvt> <out.vgvs> [--chunk-events N]\n\
          \x20 view <trace.vgvt> [--width N] [--per-thread] [--top N] [--exclude-suspensions]\n\
+         store commands also take --salvage (open footer-less captures) and\n\
+         --degraded (skip corrupt chunks, reporting the loss); a store path\n\
+         may name a rotated segment family (run.vgvs -> run.0000.vgvs, ...)\n\
          times accept ns (plain number), us, ms or s suffixes, e.g. --t0 2.5ms"
     );
     std::process::exit(2);
@@ -73,6 +82,10 @@ struct Flags {
     t0: Option<SimTime>,
     t1: Option<SimTime>,
     chunk_events: usize,
+    salvage: bool,
+    degraded: bool,
+    repair: bool,
+    out: Option<String>,
 }
 
 fn need<'a>(args: &'a [String], i: &mut usize) -> &'a str {
@@ -94,6 +107,10 @@ fn parse_flags(args: &[String]) -> Flags {
         t0: None,
         t1: None,
         chunk_events: StoreOptions::default().chunk_events,
+        salvage: false,
+        degraded: false,
+        repair: false,
+        out: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -130,6 +147,10 @@ fn parse_flags(args: &[String]) -> Flags {
                     .parse()
                     .unwrap_or_else(|e| fail("--chunk-events", e))
             }
+            "--salvage" => f.salvage = true,
+            "--degraded" => f.degraded = true,
+            "--repair" => f.repair = true,
+            "--out" => f.out = Some(need(args, &mut i).to_string()),
             flag if flag.starts_with("--") => {
                 eprintln!("vgv: unexpected flag {flag:?}");
                 usage();
@@ -141,8 +162,33 @@ fn parse_flags(args: &[String]) -> Flags {
     f
 }
 
-fn open_store(path: &str) -> StoreReader {
-    StoreReader::open(path).unwrap_or_else(|e| fail(path, e))
+/// Open `path` as an event source: a single store or a rotated segment
+/// family, optionally salvaging footer-less members and/or degrading
+/// (skip + report) around corrupt chunks.
+fn open_source(path: &str, f: &Flags) -> SegmentSet {
+    let mut set = if f.salvage {
+        SegmentSet::open_salvage(path)
+    } else {
+        SegmentSet::open(path)
+    }
+    .unwrap_or_else(|e| fail(path, e));
+    if f.degraded {
+        set.set_degraded(true);
+    }
+    set
+}
+
+/// After a degraded query, say what was dropped (on stderr, so report
+/// bytes stay golden-comparable).
+fn report_drops(set: &SegmentSet) {
+    if let Some(s) = set.salvage() {
+        if s.tail_bytes_dropped > 0 {
+            eprintln!(
+                "vgv: salvage dropped {} tail bytes (torn final write)",
+                s.tail_bytes_dropped
+            );
+        }
+    }
 }
 
 fn main() {
@@ -160,20 +206,22 @@ fn main() {
     match command {
         "info" => {
             let [path] = &f.positional[..] else { usage() };
-            print!("{}", info_report(&open_store(path)));
+            let set = open_source(path, &f);
+            print!("{}", info_report(&set));
         }
         "ranks" => {
             let [path] = &f.positional[..] else { usage() };
-            print!("{}", ranks_report(&open_store(path)));
+            print!("{}", ranks_report(&open_source(path, &f)));
         }
         "top" => {
             let [path] = &f.positional[..] else { usage() };
-            let mut r = open_store(path);
+            let mut r = open_source(path, &f);
             let opts = ProfileOptions {
                 exclude_suspensions: f.exclude,
             };
             let report = top_report(&mut r, f.top, opts).unwrap_or_else(|e| fail(path, e));
             print!("{report}");
+            report_drops(&r);
         }
         "slice" => {
             let [path] = &f.positional[..] else { usage() };
@@ -181,15 +229,32 @@ fn main() {
                 eprintln!("vgv slice: --t0 and --t1 are required");
                 usage();
             };
-            let mut r = open_store(path);
+            let mut r = open_source(path, &f);
             let (report, _) =
                 slice_report(&mut r, t0, t1, f.rank, f.width).unwrap_or_else(|e| fail(path, e));
             print!("{report}");
+            report_drops(&r);
         }
         "comm" => {
             let [path] = &f.positional[..] else { usage() };
-            let mut r = open_store(path);
+            let mut r = open_source(path, &f);
             print!("{}", comm_report(&mut r).unwrap_or_else(|e| fail(path, e)));
+            report_drops(&r);
+        }
+        "fsck" => {
+            let [path] = &f.positional[..] else { usage() };
+            if f.repair {
+                let out = f.out.clone().unwrap_or_else(|| format!("{path}.repaired"));
+                let report = repair(path, &out).unwrap_or_else(|e| fail(path, e));
+                print!("{}", report.render());
+                println!("repaired -> {out}");
+            } else {
+                let report = fsck(path).unwrap_or_else(|e| fail(path, e));
+                print!("{}", report.render());
+                if !report.is_clean() {
+                    std::process::exit(1);
+                }
+            }
         }
         "convert" => {
             let [from, to] = &f.positional[..] else {

@@ -66,11 +66,11 @@ impl CommStats {
 
     /// Compute the statistics from a chunk-indexed store, decoding one
     /// chunk at a time.
-    pub fn from_store(
-        reader: &mut crate::store::StoreReader,
+    pub fn from_store<S: crate::store::EventSource + ?Sized>(
+        reader: &mut S,
     ) -> Result<CommStats, crate::TraceError> {
         let mut out = CommStats::default();
-        reader.for_each_query(None, None, |ev| out.push(ev))?;
+        reader.query(None, None, &mut |ev| out.push(ev))?;
         Ok(out)
     }
 

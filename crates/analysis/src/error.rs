@@ -33,6 +33,14 @@ pub enum TraceError {
         /// Position of the offending chunk in the footer index.
         index: usize,
     },
+    /// Chunk `index` is the right shape but its CRC-32 does not match —
+    /// the payload (or its header) was corrupted after being written.
+    /// Degraded readers ([`crate::store::StoreReader::set_degraded`]) skip
+    /// such chunks and account for them instead of failing.
+    ChecksumMismatch {
+        /// Position of the offending chunk in the footer index.
+        index: usize,
+    },
     /// Event `index` within the current chunk (or legacy event stream)
     /// failed to decode.
     BadEvent {
@@ -53,6 +61,9 @@ impl fmt::Display for TraceError {
             TraceError::UnsupportedVersion(v) => write!(f, "unsupported trace version {v}"),
             TraceError::TruncatedFooter => write!(f, "truncated store footer (unfinished write?)"),
             TraceError::ShortChunk { index } => write!(f, "chunk {index} shorter than declared"),
+            TraceError::ChecksumMismatch { index } => {
+                write!(f, "chunk {index} failed its CRC-32 check (corrupted data)")
+            }
             TraceError::BadEvent { index } => write!(f, "malformed event {index}"),
             TraceError::BadString => write!(f, "truncated or non-UTF-8 string"),
         }

@@ -16,7 +16,7 @@ use dynprof_sim::SimTime;
 use dynprof_vt::{Event, Trace, VtFuncId};
 
 use crate::error::TraceError;
-use crate::store::StoreReader;
+use crate::store::EventSource;
 
 /// Aggregated statistics of one function on one rank.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -210,14 +210,14 @@ impl Profile {
     /// rank by rank, decoding one chunk at a time. When
     /// [`ProfileOptions::exclude_suspensions`] is set a pre-pass collects
     /// the suspension windows first (still `O(chunk)` memory).
-    pub fn from_store(
-        reader: &mut StoreReader,
+    pub fn from_store<S: EventSource + ?Sized>(
+        reader: &mut S,
         opts: ProfileOptions,
     ) -> Result<Profile, TraceError> {
         let mut b = ProfileBuilder::new(reader.functions().to_vec(), opts);
         if opts.exclude_suspensions {
             let mut windows: BTreeMap<u32, Vec<(SimTime, SimTime)>> = BTreeMap::new();
-            reader.for_each_query(None, None, |ev| {
+            reader.query(None, None, &mut |ev| {
                 if let Event::Suspended { t, t_end, rank } = *ev {
                     windows.entry(rank).or_default().push((t, t_end));
                 }
@@ -227,8 +227,8 @@ impl Profile {
             }
             b.set_suspensions(windows);
         }
-        for rank in reader.ranks() {
-            reader.for_each_rank_event(rank, |ev| b.push(ev))?;
+        for rank in reader.source_ranks() {
+            reader.rank_events(rank, &mut |ev| b.push(ev))?;
         }
         Ok(b.finish())
     }

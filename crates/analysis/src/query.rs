@@ -8,13 +8,15 @@
 use dynprof_sim::SimTime;
 
 use crate::error::TraceError;
-use crate::store::{QueryStats, StoreReader};
+use crate::store::{EventSource, QueryStats, STORE_VERSION};
 use crate::{CommStats, Profile, ProfileOptions, TimelineBuilder, TimelineOptions};
 
 /// `vgv info`: the store summary, computed from the footer index alone —
-/// no chunk payload is decoded.
-pub fn info_report(reader: &StoreReader) -> String {
-    let info = reader.info();
+/// no chunk payload is decoded. Works on a single store or a rotated
+/// segment family; salvaged sources additionally report what the
+/// recovery scan kept and dropped.
+pub fn info_report<S: EventSource + ?Sized>(reader: &S) -> String {
+    let info = reader.source_info();
     let mut out = String::new();
     out.push_str(&format!("store of {:?}\n", info.program));
     out.push_str(&format!("  events:    {}\n", info.events));
@@ -26,18 +28,36 @@ pub fn info_report(reader: &StoreReader) -> String {
         "  time:      {} .. {} (spans end {})\n",
         info.t_min, info.t_max, info.t_end
     ));
+    let checks = if info.version >= STORE_VERSION {
+        "crc32 per chunk"
+    } else {
+        "none (v1 legacy, read-only)"
+    };
+    out.push_str(&format!("  format:    v{} ({checks})\n", info.version));
+    if info.segments > 1 {
+        out.push_str(&format!("  segments:  {}\n", info.segments));
+    }
+    if let Some(s) = info.salvage {
+        out.push_str(&format!(
+            "  salvage:   {} chunks ({} events) recovered, {} tail bytes dropped\n",
+            s.chunks_recovered, s.events_recovered, s.tail_bytes_dropped
+        ));
+        if !s.dict_from_preamble {
+            out.push_str("  salvage:   function names synthesized (no preamble)\n");
+        }
+    }
     out
 }
 
 /// `vgv ranks`: per-rank event counts and time bounds, from the footer
 /// index alone.
-pub fn ranks_report(reader: &StoreReader) -> String {
+pub fn ranks_report<S: EventSource + ?Sized>(reader: &S) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<10} {:>12} {:>14} {:>14}\n",
         "rank", "events", "first", "last"
     ));
-    for (rank, (events, t0, t1)) in reader.rank_summary() {
+    for (rank, (events, t0, t1)) in reader.source_rank_summary() {
         out.push_str(&format!(
             "{:<10} {:>12} {:>14} {:>14}\n",
             format!("rank {rank}"),
@@ -51,8 +71,8 @@ pub fn ranks_report(reader: &StoreReader) -> String {
 
 /// `vgv top`: the hot-function table, streamed through a
 /// [`crate::ProfileBuilder`] one chunk at a time.
-pub fn top_report(
-    reader: &mut StoreReader,
+pub fn top_report<S: EventSource + ?Sized>(
+    reader: &mut S,
     top: usize,
     opts: ProfileOptions,
 ) -> Result<String, TraceError> {
@@ -63,8 +83,8 @@ pub fn top_report(
 /// `vgv slice`: render the time-line of a window, decoding only the
 /// chunks that overlap it. Returns the picture and what the query cost
 /// (`chunks_skipped` > 0 on any store larger than the window).
-pub fn slice_report(
-    reader: &mut StoreReader,
+pub fn slice_report<S: EventSource + ?Sized>(
+    reader: &mut S,
     t0: SimTime,
     t1: SimTime,
     rank: Option<u32>,
@@ -82,18 +102,26 @@ pub fn slice_report(
     // Enter/exit pairs split by the window edge stay unpainted; span
     // events (MpiCall/OmpThread/FuncBatch/Suspended) carry their own
     // extent and clamp to the window in the builder.
-    let stats = reader.for_each_query(Some((t0, t1)), rank, |ev| b.push(ev))?;
+    let stats = reader.query(Some((t0, t1)), rank, &mut |ev| b.push(ev))?;
     let mut out = b.finish();
     out.push_str(&format!(
         "query: {} of {} chunks decoded, {} skipped via index, {} events\n",
         stats.chunks_decoded, stats.chunks_considered, stats.chunks_skipped, stats.events
     ));
+    // Degraded reads must say what they dropped; clean reads keep the
+    // PR 8 golden bytes untouched.
+    if stats.chunks_bad > 0 {
+        out.push_str(&format!(
+            "degraded: {} corrupt chunks skipped, {} events lost\n",
+            stats.chunks_bad, stats.events_lost
+        ));
+    }
     Ok((out, stats))
 }
 
 /// `vgv comm` on a store: the rank×rank byte matrix plus per-rank MPI
 /// time, streamed one chunk at a time.
-pub fn comm_report(reader: &mut StoreReader) -> Result<String, TraceError> {
+pub fn comm_report<S: EventSource + ?Sized>(reader: &mut S) -> Result<String, TraceError> {
     let stats = CommStats::from_store(reader)?;
     let mut out = stats.render_matrix();
     if out.is_empty() {
@@ -108,7 +136,7 @@ pub fn comm_report(reader: &mut StoreReader) -> Result<String, TraceError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::store::{write_store_from_trace, StoreOptions};
+    use crate::store::{write_store_from_trace, StoreOptions, StoreReader};
     use dynprof_vt::{Event, Trace, VtFuncId};
 
     fn us(v: u64) -> SimTime {

@@ -1,0 +1,281 @@
+//! In-tree CRC-32 (IEEE 802.3, polynomial `0xEDB88320`).
+//!
+//! The store cannot pull a registry crate (the tree is self-contained —
+//! DESIGN §7), so the checksum lives here. Two engines:
+//!
+//! * slice-by-16: sixteen 256-entry tables built at compile time,
+//!   sixteen bytes per step — the portable baseline, and the reference
+//!   the SIMD path is differentially tested against;
+//! * PCLMULQDQ folding (x86-64 only, runtime-detected): the classic
+//!   carry-less-multiply reduction (Gopal et al., "Fast CRC Computation
+//!   for Generic Polynomials Using PCLMULQDQ", 2009) that zlib and
+//!   crc32fast use, folding 64 input bytes per step.
+//!
+//! The SIMD path is what keeps the per-chunk checksum under the <5%
+//! append-overhead budget pinned in `benches/micro.rs`.
+
+/// The reflected IEEE 802.3 generator polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// `TABLES[k][b]` advances a CRC whose next `k+1` input bytes start with
+/// byte value `b` followed by `k` zero bytes.
+static TABLES: [[u32; 256]; 16] = build_tables();
+
+const fn build_tables() -> [[u32; 256]; 16] {
+    let mut t = [[0u32; 256]; 16];
+    let mut b = 0usize;
+    while b < 256 {
+        let mut crc = b as u32;
+        let mut k = 0;
+        while k < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            k += 1;
+        }
+        t[0][b] = crc;
+        b += 1;
+    }
+    let mut i = 1usize;
+    while i < 16 {
+        let mut b = 0usize;
+        while b < 256 {
+            let prev = t[i - 1][b];
+            t[i][b] = (prev >> 8) ^ t[0][(prev & 0xff) as usize];
+            b += 1;
+        }
+        i += 1;
+    }
+    t
+}
+
+/// A streaming CRC-32 computation. [`Crc32::update`] may be called any
+/// number of times; the digest covers the concatenation of every slice
+/// fed in (the store hashes a chunk's header bytes then its payload).
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Crc32 {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// Start a fresh digest.
+    pub fn new() -> Crc32 {
+        Crc32 { state: !0 }
+    }
+
+    /// Feed `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) -> &mut Crc32 {
+        #[cfg(target_arch = "x86_64")]
+        if bytes.len() >= 128 && pclmul::available() {
+            // SAFETY: feature presence was just checked.
+            self.state = unsafe { pclmul::update(self.state, bytes) };
+            return self;
+        }
+        self.state = update_tables(self.state, bytes);
+        self
+    }
+
+    /// The final checksum value.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// The portable slice-by-16 engine: digest `bytes` into `state`.
+fn update_tables(state: u32, bytes: &[u8]) -> u32 {
+    let mut crc = state;
+    let mut chunks = bytes.chunks_exact(16);
+    for w in &mut chunks {
+        // Two register-wide loads; every table index is a shift of a
+        // register, which keeps the 16 lookups independent of each
+        // other (the serial dependency is only through `lo`).
+        let lo = u64::from_le_bytes(w[..8].try_into().unwrap()) ^ crc as u64;
+        let hi = u64::from_le_bytes(w[8..].try_into().unwrap());
+        crc = TABLES[15][(lo & 0xff) as usize]
+            ^ TABLES[14][((lo >> 8) & 0xff) as usize]
+            ^ TABLES[13][((lo >> 16) & 0xff) as usize]
+            ^ TABLES[12][((lo >> 24) & 0xff) as usize]
+            ^ TABLES[11][((lo >> 32) & 0xff) as usize]
+            ^ TABLES[10][((lo >> 40) & 0xff) as usize]
+            ^ TABLES[9][((lo >> 48) & 0xff) as usize]
+            ^ TABLES[8][(lo >> 56) as usize]
+            ^ TABLES[7][(hi & 0xff) as usize]
+            ^ TABLES[6][((hi >> 8) & 0xff) as usize]
+            ^ TABLES[5][((hi >> 16) & 0xff) as usize]
+            ^ TABLES[4][((hi >> 24) & 0xff) as usize]
+            ^ TABLES[3][((hi >> 32) & 0xff) as usize]
+            ^ TABLES[2][((hi >> 40) & 0xff) as usize]
+            ^ TABLES[1][((hi >> 48) & 0xff) as usize]
+            ^ TABLES[0][(hi >> 56) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ TABLES[0][((crc ^ b as u32) & 0xff) as usize];
+    }
+    crc
+}
+
+/// CRC-32 by PCLMULQDQ folding. The reduction constants are the
+/// standard precomputed powers of `x` modulo the (bit-reflected) IEEE
+/// polynomial from the Intel white paper; the structure follows the
+/// reference implementation every CRC library uses.
+#[cfg(target_arch = "x86_64")]
+mod pclmul {
+    use std::arch::x86_64::*;
+
+    /// `(x^(4·128+32) mod P, x^(4·128-32) mod P)`: folds a lane forward
+    /// across 64 bytes.
+    const K1K2: (i64, i64) = (0x01_5444_2bd4, 0x01_c6e4_1596);
+    /// `(x^(128+32) mod P, x^(128-32) mod P)`: folds a lane forward
+    /// across 16 bytes.
+    const K3K4: (i64, i64) = (0x01_7519_97d0, 0xccaa_009e);
+    /// `x^64 mod P`: reduces 128 bits to 96.
+    const K5: i64 = 0x01_63cd_6124;
+    /// Barrett reduction constants `(μ, P)`.
+    const MU_P: (i64, i64) = (0x01_f701_1641, 0x01_db71_0641);
+
+    pub fn available() -> bool {
+        is_x86_feature_detected!("pclmulqdq") && is_x86_feature_detected!("sse4.1")
+    }
+
+    /// Fold `lane` forward over the next 16 input bytes `data`.
+    #[inline]
+    #[target_feature(enable = "pclmulqdq,sse4.1")]
+    unsafe fn fold16(lane: __m128i, coeff: __m128i, data: __m128i) -> __m128i {
+        _mm_xor_si128(
+            _mm_xor_si128(_mm_clmulepi64_si128(lane, coeff, 0x00), data),
+            _mm_clmulepi64_si128(lane, coeff, 0x11),
+        )
+    }
+
+    /// Digest `bytes` (len ≥ 128) into `state`. Caller must have checked
+    /// [`available`].
+    #[target_feature(enable = "pclmulqdq,sse4.1")]
+    pub unsafe fn update(state: u32, bytes: &[u8]) -> u32 {
+        let mut p = bytes.as_ptr() as *const __m128i;
+        let mut len = bytes.len();
+
+        // Four independent 16-byte lanes, CRC xor'd into the first.
+        let mut x1 = _mm_xor_si128(_mm_loadu_si128(p), _mm_cvtsi32_si128(state as i32));
+        let mut x2 = _mm_loadu_si128(p.add(1));
+        let mut x3 = _mm_loadu_si128(p.add(2));
+        let mut x4 = _mm_loadu_si128(p.add(3));
+        p = p.add(4);
+        len -= 64;
+
+        // Main loop: fold all four lanes across each 64-byte block.
+        let k1k2 = _mm_set_epi64x(K1K2.1, K1K2.0);
+        while len >= 64 {
+            x1 = fold16(x1, k1k2, _mm_loadu_si128(p));
+            x2 = fold16(x2, k1k2, _mm_loadu_si128(p.add(1)));
+            x3 = fold16(x3, k1k2, _mm_loadu_si128(p.add(2)));
+            x4 = fold16(x4, k1k2, _mm_loadu_si128(p.add(3)));
+            p = p.add(4);
+            len -= 64;
+        }
+
+        // Fold the four lanes into one, then any remaining whole blocks.
+        let k3k4 = _mm_set_epi64x(K3K4.1, K3K4.0);
+        let mut x = fold16(x1, k3k4, x2);
+        x = fold16(x, k3k4, x3);
+        x = fold16(x, k3k4, x4);
+        while len >= 16 {
+            x = fold16(x, k3k4, _mm_loadu_si128(p));
+            p = p.add(1);
+            len -= 16;
+        }
+
+        // Reduce 128 bits to 64, then 96 to 64 with K5.
+        let x = _mm_xor_si128(_mm_clmulepi64_si128(x, k3k4, 0x10), _mm_srli_si128(x, 8));
+        let x = _mm_xor_si128(
+            _mm_clmulepi64_si128(
+                _mm_and_si128(x, _mm_set_epi64x(0, !0u32 as i64)),
+                _mm_set_epi64x(0, K5),
+                0x00,
+            ),
+            _mm_srli_si128(x, 4),
+        );
+
+        // Barrett reduction down to 32 bits.
+        let mu_p = _mm_set_epi64x(MU_P.1, MU_P.0);
+        let mask32 = _mm_set_epi64x(0, !0u32 as i64);
+        let t = _mm_clmulepi64_si128(_mm_and_si128(x, mask32), mu_p, 0x00);
+        let t = _mm_clmulepi64_si128(_mm_and_si128(t, mask32), mu_p, 0x10);
+        let crc = _mm_extract_epi32(_mm_xor_si128(x, t), 1) as u32;
+
+        // Table-finish the sub-16-byte tail.
+        super::update_tables(crc, &bytes[bytes.len() - len..])
+    }
+}
+
+/// One-shot CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // The canonical CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(&[0u8; 32]), 0x190A_55AD);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let data: Vec<u8> = (0..1024u32).map(|i| (i * 31 + 7) as u8).collect();
+        for split in [0, 1, 7, 8, 9, 511, 1023, 1024] {
+            let mut c = Crc32::new();
+            c.update(&data[..split]).update(&data[split..]);
+            assert_eq!(c.finish(), crc32(&data), "split {split}");
+        }
+    }
+
+    /// The SIMD engine must agree with the table engine on every input
+    /// length around its thresholds (lane setup, 64/16-byte folds, and
+    /// the table-finished tail all get exercised). On non-x86-64 hosts
+    /// this degenerates to a self-check of the table path.
+    #[test]
+    fn engines_agree_across_lengths() {
+        let data: Vec<u8> = (0..4096u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 7) as u8)
+            .collect();
+        for len in (0..256).chain([511, 512, 513, 1023, 1024, 4095, 4096]) {
+            let via_tables = !update_tables(!0, &data[..len]);
+            assert_eq!(crc32(&data[..len]), via_tables, "len {len}");
+            // Streaming split at an odd offset crosses the SIMD gate.
+            if len > 130 {
+                let mut c = Crc32::new();
+                c.update(&data[..67]).update(&data[67..len]);
+                assert_eq!(c.finish(), via_tables, "split len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data: Vec<u8> = (0..256u32).map(|i| i as u8).collect();
+        let good = crc32(&data);
+        for byte in [0usize, 100, 255] {
+            for bit in 0..8 {
+                let mut bad = data.clone();
+                bad[byte] ^= 1 << bit;
+                assert_ne!(crc32(&bad), good, "flip {byte}:{bit} undetected");
+            }
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Seeded fault injection for store I/O: a `Write + Seek` wrapper that
+//! tears, shortens, or kills writes at deterministic points.
+//!
+//! The crash-recovery chaos tests (`tests/crash_recovery.rs`) wrap the
+//! store writer's sink in a [`FaultyFile`] whose [`FaultScript`] is
+//! drawn from a [`SimRng`] stream, so every "the disk died at byte k"
+//! scenario is reproducible from a seed. A torn write delivers an exact
+//! prefix of the bytes and then fails forever — precisely the contract
+//! the salvage scanner's crash-consistency argument (DESIGN §17)
+//! assumes of a real crash.
+
+use std::io::{Seek, SeekFrom, Write};
+
+use dynprof_sim::rng::SimRng;
+
+/// Where and how the injected fault fires. The default script never
+/// faults.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultScript {
+    /// Accept bytes up to this absolute count, then fail every write —
+    /// a torn `write_all`: the prefix reaches the file, the rest never
+    /// does.
+    pub torn_at_byte: Option<u64>,
+    /// Deliver exactly one short write (half the buffer) before
+    /// behaving normally again — exercises callers' partial-write
+    /// handling without losing data.
+    pub short_write_once: bool,
+    /// Fail permanently after this many successful `write` calls.
+    pub fail_after_writes: Option<u64>,
+}
+
+impl FaultScript {
+    /// Tear the stream at absolute byte `k`.
+    pub fn torn_at(k: u64) -> FaultScript {
+        FaultScript {
+            torn_at_byte: Some(k),
+            ..FaultScript::default()
+        }
+    }
+
+    /// One short write, then normal service.
+    pub fn short_once() -> FaultScript {
+        FaultScript {
+            short_write_once: true,
+            ..FaultScript::default()
+        }
+    }
+
+    /// Die after `n` successful write calls.
+    pub fn fail_after(n: u64) -> FaultScript {
+        FaultScript {
+            fail_after_writes: Some(n),
+            ..FaultScript::default()
+        }
+    }
+
+    /// Draw a deterministic script from `rng`: a torn write somewhere in
+    /// `1..=max_bytes`, a fail-after-N, or a harmless short write —
+    /// the chaos matrix's per-(seed, kill-point) generator.
+    pub fn from_rng(rng: &mut SimRng, max_bytes: u64) -> FaultScript {
+        let max = max_bytes.max(2);
+        match rng.gen_index(3) {
+            0 => FaultScript::torn_at(rng.gen_range_u64(1..=max)),
+            1 => FaultScript::fail_after(rng.gen_range_u64(1..=64)),
+            _ => FaultScript::short_once(),
+        }
+    }
+
+    /// Does this script ever make data disappear? (A short write alone
+    /// does not — callers retry the remainder.)
+    pub fn is_lossy(&self) -> bool {
+        self.torn_at_byte.is_some() || self.fail_after_writes.is_some()
+    }
+}
+
+/// A `Write + Seek` adapter that executes a [`FaultScript`] against its
+/// inner sink. Once a lossy fault fires, every subsequent write (and
+/// flush) fails — the device is gone, like a kill -9 or a yanked disk.
+pub struct FaultyFile<W: Write + Seek> {
+    inner: W,
+    script: FaultScript,
+    accepted: u64,
+    writes: u64,
+    tripped: bool,
+    short_spent: bool,
+}
+
+impl<W: Write + Seek> FaultyFile<W> {
+    /// Wrap `inner` under `script`.
+    pub fn new(inner: W, script: FaultScript) -> FaultyFile<W> {
+        FaultyFile {
+            inner,
+            script,
+            accepted: 0,
+            writes: 0,
+            tripped: false,
+            short_spent: false,
+        }
+    }
+
+    /// Total payload bytes the inner sink actually received.
+    pub fn bytes_accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Has the lossy fault fired yet?
+    pub fn tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// Unwrap the inner sink (e.g. to fsync or inspect the file).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+
+    fn dead() -> std::io::Error {
+        std::io::Error::new(std::io::ErrorKind::BrokenPipe, "injected I/O fault")
+    }
+}
+
+impl<W: Write + Seek> Write for FaultyFile<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.tripped {
+            return Err(FaultyFile::<W>::dead());
+        }
+        if let Some(n) = self.script.fail_after_writes {
+            if self.writes >= n {
+                self.tripped = true;
+                return Err(FaultyFile::<W>::dead());
+            }
+        }
+        let mut take = buf.len();
+        if let Some(k) = self.script.torn_at_byte {
+            let room = k.saturating_sub(self.accepted);
+            if (take as u64) > room {
+                take = room as usize;
+                self.tripped = true;
+                if take == 0 {
+                    return Err(FaultyFile::<W>::dead());
+                }
+            }
+        }
+        if self.script.short_write_once && !self.short_spent && take > 1 {
+            self.short_spent = true;
+            take /= 2;
+        }
+        self.inner.write_all(&buf[..take])?;
+        self.accepted += take as u64;
+        self.writes += 1;
+        Ok(take)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        if self.tripped {
+            return Err(FaultyFile::<W>::dead());
+        }
+        self.inner.flush()
+    }
+}
+
+impl<W: Write + Seek> Seek for FaultyFile<W> {
+    fn seek(&mut self, pos: SeekFrom) -> std::io::Result<u64> {
+        self.inner.seek(pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn torn_write_delivers_exact_prefix() {
+        let mut f = FaultyFile::new(Cursor::new(Vec::new()), FaultScript::torn_at(10));
+        let err = f.write_all(&[7u8; 64]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
+        assert!(f.tripped());
+        let inner = f.into_inner().into_inner();
+        assert_eq!(inner, vec![7u8; 10]);
+    }
+
+    #[test]
+    fn short_write_loses_nothing() {
+        let mut f = FaultyFile::new(Cursor::new(Vec::new()), FaultScript::short_once());
+        f.write_all(&[1u8; 40]).unwrap();
+        f.write_all(&[2u8; 8]).unwrap();
+        let inner = f.into_inner().into_inner();
+        assert_eq!(inner.len(), 48);
+        assert_eq!(&inner[..40], &[1u8; 40][..]);
+    }
+
+    #[test]
+    fn fail_after_n_writes_then_dead_forever() {
+        let mut f = FaultyFile::new(Cursor::new(Vec::new()), FaultScript::fail_after(2));
+        f.write_all(b"aa").unwrap();
+        f.write_all(b"bb").unwrap();
+        assert!(f.write_all(b"cc").is_err());
+        assert!(f.write_all(b"dd").is_err());
+        assert!(f.flush().is_err());
+        assert_eq!(f.bytes_accepted(), 4);
+    }
+
+    #[test]
+    fn scripts_are_deterministic_per_seed() {
+        let mut a = SimRng::new(42, 7);
+        let mut b = SimRng::new(42, 7);
+        for _ in 0..32 {
+            assert_eq!(
+                FaultScript::from_rng(&mut a, 1 << 20),
+                FaultScript::from_rng(&mut b, 1 << 20)
+            );
+        }
+    }
+}

@@ -4,26 +4,37 @@
 //! means decoding *everything*, which dies at the paper's 144×8 scale and
 //! is hopeless at 10k+ ranks. The store replaces it with a seekable,
 //! chunk-compressed layout so every query touches only the bytes it
-//! needs:
+//! needs. Format **version 2** (this layout) is also crash-consistent:
+//! every chunk carries a CRC-32 and the file is salvageable without its
+//! footer (see [`StoreReader::open_salvage`] and DESIGN §17).
 //!
 //! ```text
 //! ┌────────────────────────────────────────────────────────────────────┐
 //! │ header (8B):  "VGVS" magic │ version u16 │ flags u16               │
 //! ├────────────────────────────────────────────────────────────────────┤
-//! │ chunk 0: ┌ disk header (36B) ───────────────────────────────┐      │
-//! │          │ rank u32 │ count u32 │ enc_len u32               │      │
+//! │ preamble: len u32 │ crc32 u32 │ program string │ function dict     │
+//! │           (written before the first chunk so a footer-less salvage │
+//! │            scan still knows the program + function names)          │
+//! ├────────────────────────────────────────────────────────────────────┤
+//! │ chunk 0: ┌ disk header (40B) ───────────────────────────────┐      │
+//! │          │ rank u32 │ count u32 │ enc_len u32 │ crc32 u32   │      │
 //! │          │ min_t u64 │ max_t u64 │ max_end u64              │      │
 //! │          └ payload: enc_len bytes, delta/varint events ─────┘      │
 //! │ chunk 1: …  (one rank per chunk; ≤ chunk_events events)            │
-//! │   ⋮                                                                │
+//! │   ⋮       crc32 covers the header's non-crc bytes + the payload    │
 //! ├────────────────────────────────────────────────────────────────────┤
 //! │ footer:  program string │ function dictionary │ chunk index        │
-//! │          (index entry = rank, offset, enc_len, count,              │
-//! │           min_t, max_t, max_end — 44B per chunk)                   │
+//! │          (index entry = rank, offset, enc_len, count, crc,         │
+//! │           min_t, max_t, max_end — 48B per chunk)                   │
 //! ├────────────────────────────────────────────────────────────────────┤
-//! │ trailer (14B): footer_len u64 │ "VGVS" │ version u16               │
+//! │ trailer (18B): footer_len u64 │ footer crc32 │ "VGVS" │ version    │
 //! └────────────────────────────────────────────────────────────────────┘
 //! ```
+//!
+//! Version-1 files (written before the CRC era: 36-byte chunk headers,
+//! 44-byte index entries, no preamble, 14-byte trailer) still open
+//! **read-only** through the same [`StoreReader`]; they simply have no
+//! checksums to verify.
 //!
 //! **Bounded memory.** The writer holds one open chunk per rank
 //! (`O(ranks × chunk_events)` events, never `O(trace)`); a chunk is
@@ -34,11 +45,22 @@
 //! chunk outside the window. Skip ratios are observable through the
 //! `analysis.chunks_{written,read,skipped}` counters.
 //!
+//! **Crash consistency.** A writer that dies before
+//! [`StoreWriter::finish`] leaves a file without a footer; the salvage
+//! scanner ([`StoreReader::open_salvage`], `vgv fsck [--repair]`) rebuilds
+//! the index by forward-scanning the self-describing chunk headers and
+//! recovers every chunk whose bytes were fully flushed — the CRC proves
+//! it. Long captures can additionally rotate segments
+//! ([`RotatingWriter`], [`SegmentSet`]) so a crash only ever risks the
+//! tail of the *newest* segment. Torn-write behaviour is tested through
+//! the seeded [`iofault::FaultyFile`] layer.
+//!
 //! **Writing.** [`StoreWriter`] streams events (see
 //! [`write_store_from_vt`] for the `VtLib` flush path and
 //! [`write_store_from_trace`] for legacy conversion); [`compact`] merges
 //! small per-rank segment files into one indexed store, re-mapping
-//! function ids when the segments' dictionaries differ.
+//! function ids when the segments' dictionaries differ and re-verifying
+//! every input CRC on the way through.
 //!
 //! ```
 //! use dynprof_analysis::store::{StoreOptions, StoreReader, StoreWriter};
@@ -86,26 +108,70 @@
 //! std::fs::remove_file(&path).ok();
 //! ```
 
-mod codec;
+pub mod codec;
+mod crc;
+pub mod iofault;
 mod reader;
+mod salvage;
+mod segment;
 mod writer;
 
+use std::collections::BTreeMap;
+
 pub use codec::{event_end, event_overlaps};
-pub use reader::{QueryStats, StoreInfo, StoreReader};
+pub use crc::{crc32, Crc32};
+pub use iofault::{FaultScript, FaultyFile};
+pub use reader::{QueryStats, SalvageSummary, StoreInfo, StoreReader};
+pub use salvage::{fsck, repair, ChunkFault, FooterState, FsckReport};
+pub use segment::{
+    write_store_from_vt_rotating, RetentionPolicy, RotatingWriter, RotationPolicy, SegmentSet,
+    SegmentStats,
+};
 pub use writer::{compact, write_store_from_trace, write_store_from_vt, StoreStats, StoreWriter};
 
 use dynprof_sim::SimTime;
+use dynprof_vt::Event;
+
+use crate::error::TraceError;
 
 /// File magic of the chunk-indexed store format.
 pub const STORE_MAGIC: &[u8; 4] = b"VGVS";
-/// Current store format version.
-pub const STORE_VERSION: u16 = 1;
+/// Current store format version (CRC-32 chunks, salvageable preamble).
+pub const STORE_VERSION: u16 = 2;
+/// The pre-CRC store format version; such files open read-only.
+pub const STORE_VERSION_V1: u16 = 1;
 /// Bytes of the fixed file header (magic + version + flags).
 pub(crate) const HEADER_BYTES: u64 = 8;
-/// Bytes of the per-chunk on-disk header.
-pub(crate) const CHUNK_HEADER_BYTES: usize = 36;
-/// Bytes of the trailing `footer_len | magic | version` trailer.
-pub(crate) const TRAILER_BYTES: u64 = 14;
+
+/// Bytes of the per-chunk on-disk header for format `version`.
+pub(crate) fn chunk_header_bytes(version: u16) -> usize {
+    match version {
+        STORE_VERSION_V1 => 36,
+        _ => 40,
+    }
+}
+
+/// Bytes of one footer-index entry for format `version`.
+pub(crate) fn index_entry_bytes(version: u16) -> usize {
+    match version {
+        STORE_VERSION_V1 => 44,
+        _ => 48,
+    }
+}
+
+/// Bytes of the trailing `footer_len | [footer crc] | magic | version`
+/// trailer for format `version`.
+pub(crate) fn trailer_bytes(version: u16) -> u64 {
+    match version {
+        STORE_VERSION_V1 => 14,
+        _ => 18,
+    }
+}
+
+/// Is `version` one this reader understands?
+pub(crate) fn version_supported(version: u16) -> bool {
+    version == STORE_VERSION_V1 || version == STORE_VERSION
+}
 
 /// Writer/reader tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -133,6 +199,9 @@ pub struct ChunkMeta {
     pub enc_len: u32,
     /// Number of events.
     pub count: u32,
+    /// CRC-32 over the chunk header's non-crc bytes followed by the
+    /// payload (0 in version-1 files, which carry no checksums).
+    pub crc: u32,
     /// Minimum event timestamp.
     pub min_t: SimTime,
     /// Maximum event *start* timestamp (the legacy trace's notion of the
@@ -149,4 +218,47 @@ impl ChunkMeta {
     pub fn overlaps(&self, t0: SimTime, t1: SimTime) -> bool {
         self.min_t <= t1 && self.max_end >= t0
     }
+
+    /// Total on-disk bytes of the chunk (header + payload) under format
+    /// `version`.
+    pub(crate) fn disk_bytes(&self, version: u16) -> u64 {
+        chunk_header_bytes(version) as u64 + self.enc_len as u64
+    }
+}
+
+/// Anything the streaming query layer can consume events from: a single
+/// [`StoreReader`] or a rotated [`SegmentSet`]. The `vgv` reports
+/// ([`crate::info_report`], [`crate::top_report`], …) and the streaming
+/// builders ([`crate::Profile::from_store`],
+/// [`crate::CommStats::from_store`]) are generic over this trait, so
+/// rotation is transparent to every analysis.
+pub trait EventSource {
+    /// Program name recorded by the writer.
+    fn program(&self) -> &str;
+
+    /// Function dictionary (names indexed by `VtFuncId`).
+    fn functions(&self) -> &[String];
+
+    /// Index-only summary (no chunk payload is read).
+    fn source_info(&self) -> StoreInfo;
+
+    /// Distinct ranks present, ascending.
+    fn source_ranks(&self) -> Vec<u32>;
+
+    /// Per-rank `(events, min_t, max_t)` drawn from the index alone.
+    fn source_rank_summary(&self) -> BTreeMap<u32, (u64, SimTime, SimTime)>;
+
+    /// Stream every event overlapping `window` (closed interval; `None` =
+    /// all time) on `rank` (`None` = all ranks) through `f`, decoding
+    /// only chunks whose index envelope overlaps. Returns what it cost.
+    fn query(
+        &mut self,
+        window: Option<(SimTime, SimTime)>,
+        rank: Option<u32>,
+        f: &mut dyn FnMut(&Event),
+    ) -> Result<QueryStats, TraceError>;
+
+    /// Stream all of one rank's events in recorded (causal) order —
+    /// what per-rank call-stack replay (profiles) consumes.
+    fn rank_events(&mut self, rank: u32, f: &mut dyn FnMut(&Event)) -> Result<(), TraceError>;
 }

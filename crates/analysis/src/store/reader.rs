@@ -1,5 +1,6 @@
 //! The seeking store reader: footer-index open, one-chunk-at-a-time
-//! decode, and windowed queries that never touch non-overlapping chunks.
+//! decode, CRC verification, and windowed queries that never touch
+//! non-overlapping chunks.
 
 use std::collections::BTreeMap;
 use std::io::{Read, Seek, SeekFrom};
@@ -12,8 +13,10 @@ use dynprof_sim::SimTime;
 use dynprof_vt::{Event, Trace};
 
 use super::codec::{decode_event, event_overlaps};
+use super::crc::{crc32, Crc32};
 use super::{
-    ChunkMeta, CHUNK_HEADER_BYTES, HEADER_BYTES, STORE_MAGIC, STORE_VERSION, TRAILER_BYTES,
+    chunk_header_bytes, index_entry_bytes, trailer_bytes, version_supported, ChunkMeta,
+    EventSource, HEADER_BYTES, STORE_MAGIC, STORE_VERSION,
 };
 use crate::error::TraceError;
 
@@ -29,7 +32,20 @@ fn obs_chunks_skipped(n: u64) {
         .add(n);
 }
 
-/// What one windowed query cost.
+fn obs_chunks_bad_crc(n: u64) {
+    static C: OnceLock<&'static obs::Counter> = OnceLock::new();
+    C.get_or_init(|| obs::counter("analysis.chunks_bad_crc"))
+        .add(n);
+}
+
+fn obs_events_lost(n: u64) {
+    static C: OnceLock<&'static obs::Counter> = OnceLock::new();
+    C.get_or_init(|| obs::counter("analysis.events_lost"))
+        .add(n);
+}
+
+/// What one windowed query cost — and, in degraded mode, exactly what it
+/// had to drop.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct QueryStats {
     /// Chunks in the store (after the rank filter).
@@ -38,8 +54,30 @@ pub struct QueryStats {
     pub chunks_decoded: usize,
     /// Chunks skipped purely from the footer index.
     pub chunks_skipped: usize,
+    /// Chunks dropped because they failed their CRC or shape checks
+    /// (only in degraded mode — strict readers error instead).
+    pub chunks_bad: usize,
+    /// Events lost with those dropped chunks, per the index's counts.
+    pub events_lost: u64,
     /// Events delivered to the callback.
     pub events: u64,
+}
+
+/// What a footer-less salvage scan recovered and what it had to leave
+/// behind (see [`StoreReader::open_salvage`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SalvageSummary {
+    /// Chunks recovered by the forward scan.
+    pub chunks_recovered: usize,
+    /// Events inside those chunks.
+    pub events_recovered: u64,
+    /// Trailing bytes that could not be validated as a complete chunk —
+    /// the torn tail the crash destroyed. 0 means the scan consumed the
+    /// file exactly.
+    pub tail_bytes_dropped: u64,
+    /// The dictionary came from the salvage preamble (`true`) or had to
+    /// be synthesized as placeholder names (`false`, version-1 files).
+    pub dict_from_preamble: bool,
 }
 
 /// Summary of a store file, computed from the footer index alone
@@ -64,17 +102,30 @@ pub struct StoreInfo {
     pub t_max: SimTime,
     /// Latest event *end* timestamp (spans included).
     pub t_end: SimTime,
+    /// Store format version (2 = CRC-32 chunks, 1 = pre-CRC read-only).
+    pub version: u16,
+    /// Segments backing this source (1 for a single file; rotated
+    /// [`SegmentSet`](super::SegmentSet)s report their member count).
+    pub segments: usize,
+    /// Salvage summary when the source was opened footer-less.
+    pub salvage: Option<SalvageSummary>,
 }
 
 /// Reader over a `VGVS` store file. Holds the footer index in memory
-/// (44 bytes per chunk); payloads are decoded one chunk at a time.
+/// (48 bytes per chunk); payloads are decoded one chunk at a time and
+/// verified against their CRC-32 (format version 2).
 pub struct StoreReader {
     file: std::fs::File,
+    version: u16,
     program: String,
     functions: Vec<String>,
     index: Vec<ChunkMeta>,
     file_bytes: u64,
     events: u64,
+    degraded: bool,
+    salvage: Option<SalvageSummary>,
+    dropped_chunks: usize,
+    dropped_events: u64,
     /// Largest single decoded-payload allocation so far — the reader's
     /// bounded-memory witness (`O(chunk)`, never `O(trace)`).
     peak_chunk_bytes: usize,
@@ -82,6 +133,10 @@ pub struct StoreReader {
 
 impl StoreReader {
     /// Open a store file: validate magic/version, read the footer index.
+    /// Accepts both current (version 2, checksummed) and legacy
+    /// (version 1, read-only) files; a missing or torn footer is the
+    /// typed [`TraceError::TruncatedFooter`] — reach for
+    /// [`StoreReader::open_salvage`] to recover such a capture.
     pub fn open(path: impl AsRef<Path>) -> Result<StoreReader, TraceError> {
         let mut file = std::fs::File::open(path)?;
         let file_bytes = file.seek(SeekFrom::End(0))?;
@@ -95,28 +150,43 @@ impl StoreReader {
             return Err(TraceError::BadMagic);
         }
         let version = u16::from_le_bytes([head[4], head[5]]);
-        if version != STORE_VERSION {
+        if !version_supported(version) {
             return Err(TraceError::UnsupportedVersion(version));
         }
-        if file_bytes < HEADER_BYTES + TRAILER_BYTES {
+        let tbytes = trailer_bytes(version);
+        if file_bytes < HEADER_BYTES + tbytes {
             return Err(TraceError::TruncatedFooter);
         }
-        // Trailer: footer_len u64 | magic | version.
-        let mut trailer = [0u8; TRAILER_BYTES as usize];
-        file.seek(SeekFrom::End(-(TRAILER_BYTES as i64)))?;
+        // Trailer: footer_len u64 | [footer crc u32] | magic | version.
+        let mut trailer = vec![0u8; tbytes as usize];
+        file.seek(SeekFrom::End(-(tbytes as i64)))?;
         file.read_exact(&mut trailer)?;
-        if &trailer[8..12] != STORE_MAGIC
-            || u16::from_le_bytes([trailer[12], trailer[13]]) != STORE_VERSION
+        let magic_at = trailer.len() - 6;
+        if &trailer[magic_at..magic_at + 4] != STORE_MAGIC
+            || u16::from_le_bytes([trailer[magic_at + 4], trailer[magic_at + 5]]) != version
         {
             return Err(TraceError::TruncatedFooter);
         }
         let footer_len = u64::from_le_bytes(trailer[..8].try_into().expect("8 bytes"));
-        if footer_len + TRAILER_BYTES + HEADER_BYTES > file_bytes {
+        // Checked arithmetic: a garbage footer_len near u64::MAX must be
+        // a typed error, not a wrapping add that sneaks past the bound.
+        let needed = footer_len
+            .checked_add(tbytes)
+            .and_then(|v| v.checked_add(HEADER_BYTES))
+            .ok_or(TraceError::TruncatedFooter)?;
+        if needed > file_bytes {
             return Err(TraceError::TruncatedFooter);
         }
-        file.seek(SeekFrom::End(-((TRAILER_BYTES + footer_len) as i64)))?;
+        let back = i64::try_from(tbytes + footer_len).map_err(|_| TraceError::TruncatedFooter)?;
+        file.seek(SeekFrom::End(-back))?;
         let mut footer = vec![0u8; footer_len as usize];
         file.read_exact(&mut footer)?;
+        if version >= STORE_VERSION {
+            let footer_crc = u32::from_le_bytes(trailer[8..12].try_into().expect("4 bytes"));
+            if crc32(&footer) != footer_crc {
+                return Err(TraceError::TruncatedFooter);
+            }
+        }
         let mut buf = Bytes::from(footer);
         let program = take_string(&mut buf)?;
         if buf.remaining() < 4 {
@@ -131,36 +201,93 @@ impl StoreReader {
             return Err(TraceError::TruncatedFooter);
         }
         let nc = buf.get_u32_le() as usize;
+        let entry = index_entry_bytes(version);
         let mut index = Vec::with_capacity(nc.min(1 << 24));
-        let mut events = 0u64;
         for i in 0..nc {
-            if buf.remaining() < 44 {
+            if buf.remaining() < entry {
                 return Err(TraceError::TruncatedFooter);
             }
+            let rank = buf.get_u32_le();
+            let offset = buf.get_u64_le();
+            let enc_len = buf.get_u32_le();
+            let count = buf.get_u32_le();
+            let crc = if version >= STORE_VERSION {
+                buf.get_u32_le()
+            } else {
+                0
+            };
             let meta = ChunkMeta {
-                rank: buf.get_u32_le(),
-                offset: buf.get_u64_le(),
-                enc_len: buf.get_u32_le(),
-                count: buf.get_u32_le(),
+                rank,
+                offset,
+                enc_len,
+                count,
+                crc,
                 min_t: SimTime::from_nanos(buf.get_u64_le()),
                 max_t: SimTime::from_nanos(buf.get_u64_le()),
                 max_end: SimTime::from_nanos(buf.get_u64_le()),
             };
-            if meta.offset + (CHUNK_HEADER_BYTES as u64) + (meta.enc_len as u64) > file_bytes {
+            let end = meta
+                .offset
+                .checked_add(meta.disk_bytes(version))
+                .ok_or(TraceError::ShortChunk { index: i })?;
+            if end > file_bytes {
                 return Err(TraceError::ShortChunk { index: i });
             }
-            events += meta.count as u64;
             index.push(meta);
         }
-        Ok(StoreReader {
+        Ok(StoreReader::from_parts(
+            file, version, program, functions, index, file_bytes, None,
+        ))
+    }
+
+    /// Assemble a reader from already-validated parts (the salvage
+    /// scanner builds its index without a footer).
+    pub(crate) fn from_parts(
+        file: std::fs::File,
+        version: u16,
+        program: String,
+        functions: Vec<String>,
+        index: Vec<ChunkMeta>,
+        file_bytes: u64,
+        salvage: Option<SalvageSummary>,
+    ) -> StoreReader {
+        let events = index.iter().map(|m| m.count as u64).sum();
+        StoreReader {
             file,
+            version,
             program,
             functions,
             index,
             file_bytes,
             events,
+            degraded: false,
+            salvage,
+            dropped_chunks: 0,
+            dropped_events: 0,
             peak_chunk_bytes: 0,
-        })
+        }
+    }
+
+    /// Attach a salvage summary (the salvage path's no-damage fast case
+    /// opens normally and then records what it found).
+    pub(crate) fn with_salvage(mut self, summary: SalvageSummary) -> StoreReader {
+        self.salvage = Some(summary);
+        self
+    }
+
+    /// Open a store whose footer is missing or torn (the writer died
+    /// before [`StoreWriter::finish`](super::StoreWriter::finish)) by
+    /// forward-scanning the self-describing chunk headers. Recovers every
+    /// chunk whose bytes were fully flushed — each one proves itself via
+    /// its CRC-32 — and reports the torn tail via
+    /// [`StoreReader::salvage`]. See `vgv fsck [--repair]`.
+    pub fn open_salvage(path: impl AsRef<Path>) -> Result<StoreReader, TraceError> {
+        super::salvage::open_salvage(path)
+    }
+
+    /// Store format version (2 = current, 1 = pre-CRC legacy).
+    pub fn version(&self) -> u16 {
+        self.version
     }
 
     /// Program name recorded by the writer.
@@ -176,6 +303,36 @@ impl StoreReader {
     /// The footer index: one entry per chunk, in file order.
     pub fn chunks(&self) -> &[ChunkMeta] {
         &self.index
+    }
+
+    /// Switch degraded mode on: queries skip chunks that fail their CRC
+    /// or shape checks instead of erroring, counting every dropped chunk
+    /// and event in [`QueryStats`] (and the session-level
+    /// [`StoreReader::dropped_chunks`]) — corruption is reported, never
+    /// silently absorbed.
+    pub fn set_degraded(&mut self, on: bool) {
+        self.degraded = on;
+    }
+
+    /// Is this reader in degraded (skip-bad-chunks) mode?
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// The salvage summary, when this reader was built by
+    /// [`StoreReader::open_salvage`].
+    pub fn salvage(&self) -> Option<SalvageSummary> {
+        self.salvage
+    }
+
+    /// Chunks dropped by degraded-mode queries since open.
+    pub fn dropped_chunks(&self) -> usize {
+        self.dropped_chunks
+    }
+
+    /// Events lost with those dropped chunks, per the index's counts.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped_events
     }
 
     /// Largest single chunk-payload allocation made so far — the
@@ -217,10 +374,14 @@ impl StoreReader {
             t_min,
             t_max,
             t_end,
+            version: self.version,
+            segments: 1,
+            salvage: self.salvage,
         }
     }
 
-    /// Decode chunk `i`'s events (exactly one chunk resident at a time).
+    /// Decode chunk `i`'s events (exactly one chunk resident at a time),
+    /// verifying its CRC-32 on version-2 files.
     pub fn read_chunk(&mut self, i: usize) -> Result<Vec<Event>, TraceError> {
         let meta = *self
             .index
@@ -231,8 +392,9 @@ impl StoreReader {
         } else {
             None
         };
+        let hbytes = chunk_header_bytes(self.version);
         self.file.seek(SeekFrom::Start(meta.offset))?;
-        let mut header = [0u8; CHUNK_HEADER_BYTES];
+        let mut header = vec![0u8; hbytes];
         self.file
             .read_exact(&mut header)
             .map_err(|_| TraceError::ShortChunk { index: i })?;
@@ -246,6 +408,20 @@ impl StoreReader {
         self.file
             .read_exact(&mut payload)
             .map_err(|_| TraceError::ShortChunk { index: i })?;
+        if self.version >= STORE_VERSION {
+            let header_crc = u32::from_le_bytes(header[12..16].try_into().expect("4 bytes"));
+            let mut crc = Crc32::new();
+            crc.update(&header[..12])
+                .update(&header[16..])
+                .update(&payload);
+            let actual = crc.finish();
+            if actual != header_crc || actual != meta.crc {
+                if obs::enabled() {
+                    obs_chunks_bad_crc(1);
+                }
+                return Err(TraceError::ChecksumMismatch { index: i });
+            }
+        }
         self.peak_chunk_bytes = self.peak_chunk_bytes.max(payload.len());
         let mut buf = Bytes::from(payload);
         let mut prev_t = 0u64;
@@ -263,14 +439,56 @@ impl StoreReader {
         Ok(events)
     }
 
+    /// In degraded mode, absorb a chunk-content error as an accounted
+    /// drop; strict mode propagates it. I/O errors always propagate.
+    fn degrade(
+        &mut self,
+        i: usize,
+        e: TraceError,
+        stats: Option<&mut QueryStats>,
+    ) -> Result<(), TraceError> {
+        let droppable = matches!(
+            e,
+            TraceError::ChecksumMismatch { .. }
+                | TraceError::ShortChunk { .. }
+                | TraceError::BadEvent { .. }
+        );
+        if !self.degraded || !droppable {
+            return Err(e);
+        }
+        let count = self.index.get(i).map(|m| m.count as u64).unwrap_or(0);
+        self.dropped_chunks += 1;
+        self.dropped_events += count;
+        if let Some(stats) = stats {
+            stats.chunks_bad += 1;
+            stats.events_lost += count;
+        }
+        if obs::enabled() {
+            obs_events_lost(count);
+        }
+        Ok(())
+    }
+
     /// Stream every event overlapping `window` (closed interval; `None` =
     /// all time) on `rank` (`None` = all ranks) through `f`, decoding
     /// only chunks whose index envelope overlaps. Returns what it cost.
+    /// In degraded mode ([`StoreReader::set_degraded`]) corrupt chunks
+    /// are skipped and accounted in [`QueryStats::chunks_bad`] /
+    /// [`QueryStats::events_lost`] instead of failing the query.
     pub fn for_each_query(
         &mut self,
         window: Option<(SimTime, SimTime)>,
         rank: Option<u32>,
         mut f: impl FnMut(&Event),
+    ) -> Result<QueryStats, TraceError> {
+        self.query_dyn(window, rank, &mut f)
+    }
+
+    fn query_dyn(
+        &mut self,
+        window: Option<(SimTime, SimTime)>,
+        rank: Option<u32>,
+        f: &mut dyn FnMut(&Event),
     ) -> Result<QueryStats, TraceError> {
         let mut stats = QueryStats::default();
         for i in 0..self.index.len() {
@@ -288,8 +506,15 @@ impl StoreReader {
                     continue;
                 }
             }
+            let events = match self.read_chunk(i) {
+                Ok(events) => events,
+                Err(e) => {
+                    self.degrade(i, e, Some(&mut stats))?;
+                    continue;
+                }
+            };
             stats.chunks_decoded += 1;
-            for ev in self.read_chunk(i)? {
+            for ev in events {
                 if let Some((t0, t1)) = window {
                     if !event_overlaps(&ev, t0, t1) {
                         continue;
@@ -303,7 +528,9 @@ impl StoreReader {
     }
 
     /// Stream all of one rank's events in recorded (causal) order —
-    /// what per-rank call-stack replay (profiles) consumes.
+    /// what per-rank call-stack replay (profiles) consumes. Degraded
+    /// mode skips (and accounts) corrupt chunks like
+    /// [`StoreReader::for_each_query`].
     pub fn for_each_rank_event(
         &mut self,
         rank: u32,
@@ -313,8 +540,15 @@ impl StoreReader {
             if self.index[i].rank != rank {
                 continue;
             }
-            for ev in self.read_chunk(i)? {
-                f(&ev);
+            let events = match self.read_chunk(i) {
+                Ok(events) => events,
+                Err(e) => {
+                    self.degrade(i, e, None)?;
+                    continue;
+                }
+            };
+            for ev in &events {
+                f(ev);
             }
         }
         Ok(())
@@ -347,7 +581,10 @@ impl StoreReader {
     pub fn read_all(&mut self) -> Result<Trace, TraceError> {
         let mut events = Vec::with_capacity(self.events as usize);
         for i in 0..self.index.len() {
-            events.extend(self.read_chunk(i)?);
+            match self.read_chunk(i) {
+                Ok(chunk) => events.extend(chunk),
+                Err(e) => self.degrade(i, e, None)?,
+            }
         }
         events.sort_by_key(|e| (e.time(), e.rank()));
         Ok(Trace {
@@ -358,7 +595,42 @@ impl StoreReader {
     }
 }
 
-fn take_string(buf: &mut Bytes) -> Result<String, TraceError> {
+impl EventSource for StoreReader {
+    fn program(&self) -> &str {
+        StoreReader::program(self)
+    }
+
+    fn functions(&self) -> &[String] {
+        StoreReader::functions(self)
+    }
+
+    fn source_info(&self) -> StoreInfo {
+        self.info()
+    }
+
+    fn source_ranks(&self) -> Vec<u32> {
+        self.ranks()
+    }
+
+    fn source_rank_summary(&self) -> BTreeMap<u32, (u64, SimTime, SimTime)> {
+        self.rank_summary()
+    }
+
+    fn query(
+        &mut self,
+        window: Option<(SimTime, SimTime)>,
+        rank: Option<u32>,
+        f: &mut dyn FnMut(&Event),
+    ) -> Result<QueryStats, TraceError> {
+        self.query_dyn(window, rank, f)
+    }
+
+    fn rank_events(&mut self, rank: u32, f: &mut dyn FnMut(&Event)) -> Result<(), TraceError> {
+        self.for_each_rank_event(rank, f)
+    }
+}
+
+pub(crate) fn take_string(buf: &mut Bytes) -> Result<String, TraceError> {
     if buf.remaining() < 4 {
         return Err(TraceError::BadString);
     }

@@ -1,0 +1,609 @@
+//! Footer-less salvage: recover every fully-flushed chunk from a store
+//! whose writer died before `finish()`, and the `vgv fsck [--repair]`
+//! machinery built on top of it.
+//!
+//! The store's crash-consistency argument (DESIGN §17) is that the file
+//! is *always a valid prefix*: header, then the CRC-framed preamble,
+//! then self-describing chunks each carrying its own CRC-32. The salvage
+//! scanner walks those chunks forward; a chunk is recovered iff every
+//! one of its bytes reached the disk — its checksum proves it. Whatever
+//! follows the last provable chunk (a torn write, a partial footer) is
+//! reported as the dropped tail, never silently absorbed.
+
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dynprof_obs as obs;
+use dynprof_sim::SimTime;
+use dynprof_vt::Event;
+
+use super::codec::decode_event;
+use super::crc::{crc32, Crc32};
+use super::reader::{take_string, SalvageSummary, StoreReader};
+use super::writer::{encode_preamble, put_string};
+use super::{
+    chunk_header_bytes, trailer_bytes, version_supported, ChunkMeta, HEADER_BYTES, STORE_MAGIC,
+    STORE_VERSION, STORE_VERSION_V1,
+};
+use crate::error::TraceError;
+
+fn obs_chunks_salvaged(n: u64) {
+    static C: OnceLock<&'static obs::Counter> = OnceLock::new();
+    C.get_or_init(|| obs::counter("analysis.chunks_salvaged"))
+        .add(n);
+}
+
+/// What `fsck` concluded about the store's footer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FooterState {
+    /// Footer and trailer parse and (version 2) the footer CRC matches.
+    Valid,
+    /// Trailer magic is present but the footer is unreadable — torn
+    /// mid-write or corrupted afterwards.
+    Torn,
+    /// No trailer magic at all: the writer never reached `finish()`.
+    Missing,
+}
+
+impl std::fmt::Display for FooterState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FooterState::Valid => write!(f, "valid"),
+            FooterState::Torn => write!(f, "torn"),
+            FooterState::Missing => write!(f, "missing"),
+        }
+    }
+}
+
+/// One chunk `fsck` could not vouch for.
+#[derive(Clone, Debug)]
+pub struct ChunkFault {
+    /// Position in the footer index (valid-footer files) or scan order.
+    pub index: usize,
+    /// File offset of the chunk's on-disk header.
+    pub offset: u64,
+    /// Human-readable cause (CRC mismatch, short chunk, torn tail…).
+    pub reason: String,
+}
+
+/// Everything `vgv fsck` learned about one store file.
+#[derive(Clone, Debug)]
+pub struct FsckReport {
+    /// The store that was checked.
+    pub path: PathBuf,
+    /// Store format version (2 = checksummed, 1 = pre-CRC legacy).
+    pub version: u16,
+    /// File size in bytes.
+    pub file_bytes: u64,
+    /// Footer verdict.
+    pub footer: FooterState,
+    /// Program name (from footer, preamble, or `"unknown"`).
+    pub program: String,
+    /// Chunks whose contents are provably intact.
+    pub chunks_ok: usize,
+    /// Events inside those chunks.
+    pub events_ok: u64,
+    /// Chunks that failed verification (bad CRC, short, undecodable).
+    pub faults: Vec<ChunkFault>,
+    /// Bytes past the last provable chunk that salvage would drop
+    /// (torn final chunk, partial footer). 0 on a clean file.
+    pub tail_bytes: u64,
+    /// Whether the function dictionary was recovered (preamble or
+    /// footer) rather than synthesized.
+    pub dict_recovered: bool,
+}
+
+impl FsckReport {
+    /// Nothing wrong: valid footer, every chunk verified, no stray tail.
+    pub fn is_clean(&self) -> bool {
+        self.footer == FooterState::Valid && self.faults.is_empty() && self.tail_bytes == 0
+    }
+
+    /// Is there anything worth writing to a repaired file?
+    pub fn is_salvageable(&self) -> bool {
+        self.chunks_ok > 0
+    }
+
+    /// The `vgv fsck` console rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let name = self.path.display();
+        out.push_str(&format!(
+            "fsck {name}: format v{}, {} bytes, program \"{}\"\n",
+            self.version, self.file_bytes, self.program
+        ));
+        out.push_str(&format!("  footer: {}\n", self.footer));
+        out.push_str(&format!(
+            "  chunks: {} ok ({} events), {} bad\n",
+            self.chunks_ok,
+            self.events_ok,
+            self.faults.len()
+        ));
+        for f in &self.faults {
+            out.push_str(&format!(
+                "    chunk {} @ offset {}: {}\n",
+                f.index, f.offset, f.reason
+            ));
+        }
+        if self.tail_bytes > 0 {
+            out.push_str(&format!(
+                "  tail:   {} bytes unrecoverable\n",
+                self.tail_bytes
+            ));
+        }
+        if self.is_clean() {
+            out.push_str("  verdict: clean\n");
+        } else if self.is_salvageable() {
+            out.push_str(&format!(
+                "  verdict: damaged — {} events recoverable, repair with `vgv fsck {name} --repair`\n",
+                self.events_ok
+            ));
+        } else {
+            out.push_str("  verdict: nothing recoverable\n");
+        }
+        out
+    }
+}
+
+/// What a forward scan recovered from a footer-less (or torn) store.
+struct ScanOutcome {
+    version: u16,
+    file_bytes: u64,
+    program: String,
+    functions: Vec<String>,
+    dict_recovered: bool,
+    chunks: Vec<ChunkMeta>,
+    /// Offset just past the last recovered chunk.
+    chunks_end: u64,
+    /// Why the scan stopped before end-of-file, if it did.
+    stop_reason: Option<String>,
+}
+
+/// Read the 8-byte file header, returning the format version.
+fn read_version(file: &mut std::fs::File, file_bytes: u64) -> Result<u16, TraceError> {
+    if file_bytes < HEADER_BYTES {
+        return Err(TraceError::TruncatedHeader);
+    }
+    let mut head = [0u8; HEADER_BYTES as usize];
+    file.seek(SeekFrom::Start(0))?;
+    file.read_exact(&mut head)?;
+    if &head[..4] != STORE_MAGIC {
+        return Err(TraceError::BadMagic);
+    }
+    let version = u16::from_le_bytes([head[4], head[5]]);
+    if !version_supported(version) {
+        return Err(TraceError::UnsupportedVersion(version));
+    }
+    Ok(version)
+}
+
+/// Forward-scan `file` for self-describing chunks, trusting nothing the
+/// bytes cannot prove: version-2 chunks must pass their CRC-32,
+/// version-1 chunks must decode event-by-event to exactly their declared
+/// length.
+fn forward_scan(file: &mut std::fs::File) -> Result<ScanOutcome, TraceError> {
+    let file_bytes = file.seek(SeekFrom::End(0))?;
+    let version = read_version(file, file_bytes)?;
+    let mut program = String::from("unknown");
+    let mut functions: Vec<String> = Vec::new();
+    let mut dict_recovered = false;
+    let mut pos = HEADER_BYTES;
+    let mut stop_reason: Option<String> = None;
+
+    if version >= STORE_VERSION {
+        // The CRC-framed preamble precedes the first chunk. If it cannot
+        // be validated we do not know where chunk data starts — which
+        // only happens when the writer died before flushing anything.
+        match read_preamble(file, file_bytes, pos) {
+            Ok((p, fns, end)) => {
+                program = p;
+                functions = fns;
+                dict_recovered = true;
+                pos = end;
+            }
+            Err(reason) => {
+                return Ok(ScanOutcome {
+                    version,
+                    file_bytes,
+                    program,
+                    functions,
+                    dict_recovered: false,
+                    chunks: Vec::new(),
+                    chunks_end: pos,
+                    stop_reason: Some(reason),
+                });
+            }
+        }
+    }
+
+    let hbytes = chunk_header_bytes(version) as u64;
+    let mut chunks: Vec<ChunkMeta> = Vec::new();
+    let mut max_func: Option<u32> = None;
+    loop {
+        let remaining = file_bytes - pos;
+        if remaining < hbytes {
+            if remaining > 0 {
+                stop_reason = Some(format!("{remaining} trailing bytes, no chunk header"));
+            }
+            break;
+        }
+        let mut header = vec![0u8; hbytes as usize];
+        file.seek(SeekFrom::Start(pos))?;
+        file.read_exact(&mut header)?;
+        let rank = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+        let count = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        let enc_len = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+        let times_at = hbytes as usize - 24;
+        let min_t = u64::from_le_bytes(header[times_at..times_at + 8].try_into().expect("8"));
+        let max_t = u64::from_le_bytes(header[times_at + 8..times_at + 16].try_into().expect("8"));
+        let max_end =
+            u64::from_le_bytes(header[times_at + 16..times_at + 24].try_into().expect("8"));
+        // A writer never flushes an empty chunk; zero fields mean we are
+        // looking at footer bytes or a torn header.
+        if count == 0 || enc_len == 0 {
+            stop_reason = Some("not a chunk header".to_string());
+            break;
+        }
+        let end = match pos
+            .checked_add(hbytes)
+            .and_then(|v| v.checked_add(enc_len as u64))
+        {
+            Some(end) if end <= file_bytes => end,
+            _ => {
+                stop_reason = Some(format!(
+                    "chunk declares {enc_len} payload bytes past end of file"
+                ));
+                break;
+            }
+        };
+        let mut payload = vec![0u8; enc_len as usize];
+        file.read_exact(&mut payload)?;
+        let crc_field;
+        if version >= STORE_VERSION {
+            crc_field = u32::from_le_bytes(header[12..16].try_into().expect("4 bytes"));
+            let mut crc = Crc32::new();
+            crc.update(&header[..12])
+                .update(&header[16..])
+                .update(&payload);
+            if crc.finish() != crc_field {
+                stop_reason = Some("chunk CRC-32 mismatch".to_string());
+                break;
+            }
+        } else {
+            // Version 1 has no checksum: prove the chunk by decoding it.
+            crc_field = 0;
+            let mut buf = Bytes::from(payload);
+            let mut prev_t = 0u64;
+            let mut ok = true;
+            for _ in 0..count {
+                match decode_event(&mut buf, rank, &mut prev_t) {
+                    Some(ev) => track_max_func(&ev, &mut max_func),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok || buf.remaining() > 0 {
+                stop_reason = Some("chunk does not decode".to_string());
+                break;
+            }
+        }
+        chunks.push(ChunkMeta {
+            rank,
+            offset: pos,
+            enc_len,
+            count,
+            crc: crc_field,
+            min_t: SimTime::from_nanos(min_t),
+            max_t: SimTime::from_nanos(max_t),
+            max_end: SimTime::from_nanos(max_end),
+        });
+        pos = end;
+    }
+
+    if version == STORE_VERSION_V1 && !dict_recovered {
+        // No preamble in version 1: synthesize placeholder names wide
+        // enough for every function id the recovered events reference.
+        if let Some(max) = max_func {
+            functions = (0..=max).map(|i| format!("fn#{i}")).collect();
+        }
+    }
+
+    Ok(ScanOutcome {
+        version,
+        file_bytes,
+        program,
+        functions,
+        dict_recovered,
+        chunks,
+        chunks_end: pos,
+        stop_reason,
+    })
+}
+
+fn track_max_func(ev: &Event, max_func: &mut Option<u32>) {
+    if let Event::FuncEnter { func, .. }
+    | Event::FuncExit { func, .. }
+    | Event::FuncBatch { func, .. }
+    | Event::FuncSuppressed { func, .. } = ev
+    {
+        *max_func = Some(max_func.map_or(func.0, |m| m.max(func.0)));
+    }
+}
+
+/// Parse the CRC-framed preamble at `pos`. Returns the program, the
+/// dictionary, and the offset just past the frame — or a reason string
+/// when the frame is absent or torn.
+fn read_preamble(
+    file: &mut std::fs::File,
+    file_bytes: u64,
+    pos: u64,
+) -> Result<(String, Vec<String>, u64), String> {
+    if file_bytes - pos < 8 {
+        return Err("file ends inside the preamble frame".to_string());
+    }
+    let mut frame = [0u8; 8];
+    file.seek(SeekFrom::Start(pos)).map_err(|e| e.to_string())?;
+    file.read_exact(&mut frame).map_err(|e| e.to_string())?;
+    let len = u32::from_le_bytes(frame[..4].try_into().expect("4 bytes")) as u64;
+    let crc = u32::from_le_bytes(frame[4..8].try_into().expect("4 bytes"));
+    let end = pos
+        .checked_add(8)
+        .and_then(|v| v.checked_add(len))
+        .filter(|&e| e <= file_bytes)
+        .ok_or_else(|| "preamble frame longer than the file".to_string())?;
+    let mut payload = vec![0u8; len as usize];
+    file.read_exact(&mut payload).map_err(|e| e.to_string())?;
+    if crc32(&payload) != crc {
+        return Err("preamble CRC-32 mismatch (torn first write?)".to_string());
+    }
+    let mut buf = Bytes::from(payload);
+    let program = take_string(&mut buf).map_err(|_| "bad preamble program string".to_string())?;
+    if buf.remaining() < 4 {
+        return Err("preamble dictionary truncated".to_string());
+    }
+    let nf = buf.get_u32_le() as usize;
+    let mut functions = Vec::with_capacity(nf.min(1 << 20));
+    for _ in 0..nf {
+        functions.push(take_string(&mut buf).map_err(|_| "bad preamble dictionary".to_string())?);
+    }
+    Ok((program, functions, end))
+}
+
+/// Open a store without trusting its footer: forward-scan the chunks and
+/// build the index from what the bytes prove. Files whose footer *is*
+/// intact open normally (salvage then reports zero drops). Called via
+/// [`StoreReader::open_salvage`].
+pub(crate) fn open_salvage(path: impl AsRef<Path>) -> Result<StoreReader, TraceError> {
+    let path = path.as_ref();
+    match StoreReader::open(path) {
+        Ok(r) => {
+            let events = r.chunks().iter().map(|m| m.count as u64).sum();
+            let summary = SalvageSummary {
+                chunks_recovered: r.chunks().len(),
+                events_recovered: events,
+                tail_bytes_dropped: 0,
+                dict_from_preamble: r.version() >= STORE_VERSION,
+            };
+            Ok(r.with_salvage(summary))
+        }
+        Err(TraceError::TruncatedFooter) => {
+            let mut file = std::fs::File::open(path)?;
+            let scan = forward_scan(&mut file)?;
+            let summary = SalvageSummary {
+                chunks_recovered: scan.chunks.len(),
+                events_recovered: scan.chunks.iter().map(|m| m.count as u64).sum(),
+                tail_bytes_dropped: scan.file_bytes - scan.chunks_end,
+                dict_from_preamble: scan.dict_recovered,
+            };
+            if obs::enabled() {
+                obs_chunks_salvaged(summary.chunks_recovered as u64);
+            }
+            Ok(StoreReader::from_parts(
+                file,
+                scan.version,
+                scan.program,
+                scan.functions,
+                scan.chunks,
+                scan.file_bytes,
+                Some(summary),
+            ))
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Classify a file that failed the normal footer parse: trailer magic
+/// present → [`FooterState::Torn`], absent → [`FooterState::Missing`].
+fn classify_footer(path: &Path, version: u16) -> FooterState {
+    let Ok(mut file) = std::fs::File::open(path) else {
+        return FooterState::Missing;
+    };
+    let Ok(file_bytes) = file.seek(SeekFrom::End(0)) else {
+        return FooterState::Missing;
+    };
+    if file_bytes < HEADER_BYTES + trailer_bytes(version) {
+        return FooterState::Missing;
+    }
+    let mut tail = [0u8; 6];
+    if file.seek(SeekFrom::End(-6)).is_err() || file.read_exact(&mut tail).is_err() {
+        return FooterState::Missing;
+    }
+    if &tail[..4] == STORE_MAGIC {
+        FooterState::Torn
+    } else {
+        FooterState::Missing
+    }
+}
+
+/// Check a store end to end: footer parse, then per-chunk verification
+/// (CRC on version 2, full decode on version 1); footer-less files get
+/// the forward salvage scan. Corruption is *reported*, not an error —
+/// `fsck` only fails on I/O problems or a file that is not a store at
+/// all.
+pub fn fsck(path: impl AsRef<Path>) -> Result<FsckReport, TraceError> {
+    let path = path.as_ref();
+    match StoreReader::open(path) {
+        Ok(mut r) => {
+            let mut faults = Vec::new();
+            let mut chunks_ok = 0usize;
+            let mut events_ok = 0u64;
+            for i in 0..r.chunks().len() {
+                let meta = r.chunks()[i];
+                match r.read_chunk(i) {
+                    Ok(events) => {
+                        chunks_ok += 1;
+                        events_ok += events.len() as u64;
+                    }
+                    Err(e) => faults.push(ChunkFault {
+                        index: i,
+                        offset: meta.offset,
+                        reason: e.to_string(),
+                    }),
+                }
+            }
+            let info = r.info();
+            Ok(FsckReport {
+                path: path.to_path_buf(),
+                version: r.version(),
+                file_bytes: info.file_bytes,
+                footer: FooterState::Valid,
+                program: r.program().to_string(),
+                chunks_ok,
+                events_ok,
+                faults,
+                tail_bytes: 0,
+                dict_recovered: true,
+            })
+        }
+        Err(TraceError::TruncatedFooter) => {
+            let mut file = std::fs::File::open(path)?;
+            let scan = forward_scan(&mut file)?;
+            let mut faults = Vec::new();
+            let tail_bytes = scan.file_bytes - scan.chunks_end;
+            if let Some(reason) = scan.stop_reason {
+                faults.push(ChunkFault {
+                    index: scan.chunks.len(),
+                    offset: scan.chunks_end,
+                    reason,
+                });
+            }
+            Ok(FsckReport {
+                path: path.to_path_buf(),
+                version: scan.version,
+                file_bytes: scan.file_bytes,
+                footer: classify_footer(path, scan.version),
+                program: scan.program.clone(),
+                chunks_ok: scan.chunks.len(),
+                events_ok: scan.chunks.iter().map(|m| m.count as u64).sum(),
+                faults,
+                tail_bytes,
+                dict_recovered: scan.dict_recovered,
+            })
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Write a repaired copy of `path` to `out`: every provably-intact chunk
+/// is copied **byte-for-byte** (headers are offset-free, so raw copy
+/// preserves CRCs and chunk boundaries — queries against the repaired
+/// file match the salvaged view exactly), then a fresh preamble, footer,
+/// and trailer are written so [`StoreReader::open`] accepts the result.
+/// Returns the pre-repair [`FsckReport`] describing what was recovered.
+pub fn repair(path: impl AsRef<Path>, out: impl AsRef<Path>) -> Result<FsckReport, TraceError> {
+    let path = path.as_ref();
+    let report = fsck(path)?;
+    // Collect the good chunks (index + metadata) the same way fsck did.
+    let (version, program, functions, good): (u16, String, Vec<String>, Vec<ChunkMeta>) =
+        match StoreReader::open(path) {
+            Ok(mut r) => {
+                let mut good = Vec::new();
+                for i in 0..r.chunks().len() {
+                    let meta = r.chunks()[i];
+                    if r.read_chunk(i).is_ok() {
+                        good.push(meta);
+                    }
+                }
+                (
+                    r.version(),
+                    r.program().to_string(),
+                    r.functions().to_vec(),
+                    good,
+                )
+            }
+            Err(TraceError::TruncatedFooter) => {
+                let mut file = std::fs::File::open(path)?;
+                let scan = forward_scan(&mut file)?;
+                (scan.version, scan.program, scan.functions, scan.chunks)
+            }
+            Err(e) => return Err(e),
+        };
+
+    let mut input = std::fs::File::open(path)?;
+    let mut sink = std::io::BufWriter::new(std::fs::File::create(out.as_ref())?);
+    let mut header = [0u8; HEADER_BYTES as usize];
+    header[..4].copy_from_slice(STORE_MAGIC);
+    header[4..6].copy_from_slice(&version.to_le_bytes());
+    sink.write_all(&header)?;
+    let mut pos = HEADER_BYTES;
+    if version >= STORE_VERSION {
+        let framed = encode_preamble(&program, &functions);
+        sink.write_all(&framed)?;
+        pos += framed.len() as u64;
+    }
+    let mut index = Vec::with_capacity(good.len());
+    for meta in &good {
+        let disk = meta.disk_bytes(version);
+        let mut raw = vec![0u8; disk as usize];
+        input.seek(SeekFrom::Start(meta.offset))?;
+        input.read_exact(&mut raw)?;
+        sink.write_all(&raw)?;
+        let mut moved = *meta;
+        moved.offset = pos;
+        index.push(moved);
+        pos += disk;
+    }
+    let footer = encode_footer_versioned(version, &program, &functions, &index);
+    sink.write_all(&footer)?;
+    sink.flush()?;
+    Ok(report)
+}
+
+/// Encode the footer + trailer in the given format version (repair must
+/// preserve the input's version so its raw-copied chunk headers stay
+/// self-consistent).
+fn encode_footer_versioned(
+    version: u16,
+    program: &str,
+    functions: &[String],
+    index: &[ChunkMeta],
+) -> BytesMut {
+    if version >= STORE_VERSION {
+        return super::writer::encode_footer_and_trailer(program, functions, index);
+    }
+    let mut footer = BytesMut::new();
+    put_string(&mut footer, program);
+    footer.put_u32_le(functions.len() as u32);
+    for f in functions {
+        put_string(&mut footer, f);
+    }
+    footer.put_u32_le(index.len() as u32);
+    for m in index {
+        footer.put_u32_le(m.rank);
+        footer.put_u64_le(m.offset);
+        footer.put_u32_le(m.enc_len);
+        footer.put_u32_le(m.count);
+        footer.put_u64_le(m.min_t.as_nanos());
+        footer.put_u64_le(m.max_t.as_nanos());
+        footer.put_u64_le(m.max_end.as_nanos());
+    }
+    let footer_len = footer.len() as u64;
+    footer.put_u64_le(footer_len);
+    footer.put_slice(STORE_MAGIC);
+    footer.put_u16_le(STORE_VERSION_V1);
+    footer
+}

@@ -1,0 +1,513 @@
+//! Segment rotation and multi-segment reading.
+//!
+//! Long captures should not bet everything on one file: the
+//! [`RotatingWriter`] rolls to a fresh segment (`name.0000.vgvs`,
+//! `name.0001.vgvs`, …) whenever the open one crosses its
+//! [`RotationPolicy`] byte/event caps, sealing each closed segment with
+//! a full footer. A crash therefore only ever risks the tail of the
+//! *newest* segment — everything older is a complete, footer-valid
+//! store. [`RetentionPolicy`] bounds disk by deleting the oldest
+//! segments past a keep-last-N budget (flight-recorder mode).
+//!
+//! [`SegmentSet`] is the read side: it discovers a base name's
+//! segments, unions their function dictionaries (re-mapping ids like
+//! [`compact`](super::compact)), and implements
+//! [`EventSource`](super::EventSource) so `vgv info/top/slice/comm` and
+//! the streaming profile/comm builders work across segments untouched.
+
+use std::collections::BTreeMap;
+use std::io::ErrorKind;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+use dynprof_obs as obs;
+use dynprof_sim::SimTime;
+use dynprof_vt::{Event, VtLib};
+
+use super::reader::{QueryStats, StoreInfo, StoreReader};
+use super::writer::{remap_func, StoreStats, StoreWriter};
+use super::{EventSource, StoreOptions};
+use crate::error::TraceError;
+
+fn obs_segments_rotated(n: u64) {
+    static C: OnceLock<&'static obs::Counter> = OnceLock::new();
+    C.get_or_init(|| obs::counter("analysis.segments_rotated"))
+        .add(n);
+}
+
+/// When to roll to a new segment. A cap of `None` never triggers; the
+/// default policy never rotates (single-file behaviour, byte-identical
+/// to a plain [`StoreWriter`](super::StoreWriter) run).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RotationPolicy {
+    /// Roll once the open segment holds at least this many bytes
+    /// (on-disk plus buffered).
+    pub max_bytes: Option<u64>,
+    /// Roll once the open segment holds at least this many events.
+    pub max_events: Option<u64>,
+}
+
+impl RotationPolicy {
+    /// Roll at `max_bytes` per segment.
+    pub fn by_bytes(max_bytes: u64) -> RotationPolicy {
+        RotationPolicy {
+            max_bytes: Some(max_bytes.max(1)),
+            max_events: None,
+        }
+    }
+
+    /// Roll at `max_events` per segment.
+    pub fn by_events(max_events: u64) -> RotationPolicy {
+        RotationPolicy {
+            max_bytes: None,
+            max_events: Some(max_events.max(1)),
+        }
+    }
+
+    fn should_roll(&self, bytes: u64, events: u64) -> bool {
+        self.max_bytes.is_some_and(|cap| bytes >= cap)
+            || self.max_events.is_some_and(|cap| events >= cap)
+    }
+}
+
+/// How many closed segments to keep on disk. The default keeps
+/// everything.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetentionPolicy {
+    /// Keep only the newest N segments (the open one counts); older
+    /// segments are deleted as rotation seals new ones.
+    pub keep_last: Option<usize>,
+}
+
+impl RetentionPolicy {
+    /// Keep the newest `n` segments (flight-recorder mode).
+    pub fn keep_last(n: usize) -> RetentionPolicy {
+        RetentionPolicy {
+            keep_last: Some(n.max(1)),
+        }
+    }
+}
+
+/// What one rotating capture produced.
+#[derive(Clone, Debug, Default)]
+pub struct SegmentStats {
+    /// Segments still on disk, in order.
+    pub segments: Vec<PathBuf>,
+    /// Segments rotated (sealed because a cap was hit).
+    pub rotated: usize,
+    /// Segments deleted by retention.
+    pub deleted: usize,
+    /// Events written across all segments (including deleted ones).
+    pub events: u64,
+    /// Chunks written across surviving segments.
+    pub chunks: usize,
+    /// Bytes across surviving segments.
+    pub bytes: u64,
+}
+
+/// A [`StoreWriter`](super::StoreWriter) that rolls across
+/// `name.NNNN.vgvs` segments per a [`RotationPolicy`], sealing each
+/// closed segment with a full footer and pruning old ones per a
+/// [`RetentionPolicy`].
+pub struct RotatingWriter {
+    base: PathBuf,
+    program: String,
+    functions: Vec<String>,
+    opts: StoreOptions,
+    rotation: RotationPolicy,
+    retention: RetentionPolicy,
+    current: Option<StoreWriter<std::io::BufWriter<std::fs::File>>>,
+    next_seg: usize,
+    live: Vec<PathBuf>,
+    sealed: Vec<StoreStats>,
+    rotated: usize,
+    deleted: usize,
+    events: u64,
+}
+
+/// `base` = `trace.vgvs`, `seg` = 3 → `trace.0003.vgvs`.
+pub(crate) fn segment_path(base: &Path, seg: usize) -> PathBuf {
+    let stem = base.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+    let ext = base.extension().and_then(|s| s.to_str()).unwrap_or("vgvs");
+    base.with_file_name(format!("{stem}.{seg:04}.{ext}"))
+}
+
+impl RotatingWriter {
+    /// Start a rotating capture. `base` names the segment family:
+    /// `trace.vgvs` produces `trace.0000.vgvs`, `trace.0001.vgvs`, ….
+    pub fn create(
+        base: impl AsRef<Path>,
+        program: impl Into<String>,
+        opts: StoreOptions,
+        rotation: RotationPolicy,
+        retention: RetentionPolicy,
+    ) -> Result<RotatingWriter, TraceError> {
+        let base = base.as_ref().to_path_buf();
+        let program = program.into();
+        let first = segment_path(&base, 0);
+        let writer = StoreWriter::create(&first, program.clone(), opts)?;
+        Ok(RotatingWriter {
+            base,
+            program,
+            functions: Vec::new(),
+            opts,
+            rotation,
+            retention,
+            current: Some(writer),
+            next_seg: 1,
+            live: vec![first],
+            sealed: Vec::new(),
+            rotated: 0,
+            deleted: 0,
+            events: 0,
+        })
+    }
+
+    /// Install the function dictionary (forwarded to every segment's
+    /// writer, so each segment is self-contained and salvageable).
+    pub fn set_functions(&mut self, names: Vec<String>) {
+        self.functions = names.clone();
+        if let Some(w) = self.current.as_mut() {
+            w.set_functions(names);
+        }
+    }
+
+    /// Segment files currently on disk, oldest first.
+    pub fn segments(&self) -> &[PathBuf] {
+        &self.live
+    }
+
+    /// Append one event, rolling to a new segment when the open one
+    /// crosses the rotation caps.
+    pub fn append(&mut self, ev: &Event) -> Result<(), TraceError> {
+        let w = self.current.as_mut().expect("writer present until finish");
+        w.append(ev);
+        self.events += 1;
+        if self
+            .rotation
+            .should_roll(w.bytes_written(), w.events_written())
+        {
+            self.roll()?;
+        }
+        Ok(())
+    }
+
+    /// Seal the open segment (full footer) and start the next one.
+    fn roll(&mut self) -> Result<(), TraceError> {
+        let w = self.current.take().expect("writer present until finish");
+        self.sealed.push(w.finish()?);
+        self.rotated += 1;
+        if obs::enabled() {
+            obs_segments_rotated(1);
+        }
+        self.prune()?;
+        let next = segment_path(&self.base, self.next_seg);
+        self.next_seg += 1;
+        let mut writer = StoreWriter::create(&next, self.program.clone(), self.opts)?;
+        writer.set_functions(self.functions.clone());
+        self.current = Some(writer);
+        self.live.push(next);
+        Ok(())
+    }
+
+    /// Delete the oldest segments past the retention budget. Runs after
+    /// a seal, just before the next segment opens — `keep_last` counts
+    /// that about-to-open segment, so sealed ones get `keep - 1` slots.
+    fn prune(&mut self) -> Result<(), TraceError> {
+        let Some(keep) = self.retention.keep_last else {
+            return Ok(());
+        };
+        while self.live.len() + 1 > keep {
+            let victim = self.live.remove(0);
+            std::fs::remove_file(&victim)?;
+            self.deleted += 1;
+            if !self.sealed.is_empty() {
+                self.sealed.remove(0);
+            }
+        }
+        Ok(())
+    }
+
+    /// Seal the final segment and report what the capture produced.
+    pub fn finish(mut self) -> Result<SegmentStats, TraceError> {
+        let w = self.current.take().expect("writer present until finish");
+        self.sealed.push(w.finish()?);
+        let chunks = self.sealed.iter().map(|s| s.chunks).sum();
+        let bytes = self.sealed.iter().map(|s| s.bytes).sum();
+        Ok(SegmentStats {
+            segments: self.live,
+            rotated: self.rotated,
+            deleted: self.deleted,
+            events: self.events,
+            chunks,
+            bytes,
+        })
+    }
+}
+
+/// Flush a [`VtLib`]'s per-rank buffers through a [`RotatingWriter`] —
+/// the rotating twin of
+/// [`write_store_from_vt`](super::write_store_from_vt).
+pub fn write_store_from_vt_rotating(
+    vt: &VtLib,
+    base: impl AsRef<Path>,
+    opts: StoreOptions,
+    rotation: RotationPolicy,
+    retention: RetentionPolicy,
+) -> Result<SegmentStats, TraceError> {
+    let mut w = RotatingWriter::create(base, vt.program(), opts, rotation, retention)?;
+    w.set_functions(vt.function_names());
+    for rank in 0..vt.ranks() {
+        let mut res: Result<(), TraceError> = Ok(());
+        vt.with_rank_events(rank, |events| {
+            for ev in events {
+                if res.is_ok() {
+                    res = w.append(ev);
+                }
+            }
+        });
+        res?;
+    }
+    w.finish()
+}
+
+/// One member of a [`SegmentSet`].
+struct Member {
+    reader: StoreReader,
+    /// Maps this member's function ids into the set's union dictionary.
+    remap: Vec<u32>,
+}
+
+/// A reader over a whole segment family that behaves like one store.
+/// Dictionaries are unioned by name (first-seen order) and events are
+/// re-mapped on the fly, exactly like [`compact`](super::compact) —
+/// so every [`EventSource`] consumer (reports, profiles, comm matrices)
+/// is rotation-agnostic.
+pub struct SegmentSet {
+    members: Vec<Member>,
+    paths: Vec<PathBuf>,
+    program: String,
+    functions: Vec<String>,
+}
+
+impl SegmentSet {
+    /// Segment files a base name resolves to: the base itself when it
+    /// exists, else its `name.NNNN.vgvs` siblings in order.
+    pub fn discover(base: impl AsRef<Path>) -> Vec<PathBuf> {
+        let base = base.as_ref();
+        if base.exists() {
+            return vec![base.to_path_buf()];
+        }
+        let mut found = Vec::new();
+        for seg in 0..10_000usize {
+            let p = segment_path(base, seg);
+            if p.exists() {
+                found.push(p);
+            } else if !found.is_empty() {
+                // Surviving segment numbers are contiguous (retention
+                // deletes from the front); the first gap past the run
+                // ends it. A leading gap just means old segments were
+                // retired, so keep scanning until the run starts.
+                break;
+            }
+        }
+        found
+    }
+
+    /// Open a base name's segments strictly: every member must have a
+    /// valid footer.
+    pub fn open(base: impl AsRef<Path>) -> Result<SegmentSet, TraceError> {
+        SegmentSet::open_inner(base.as_ref(), false)
+    }
+
+    /// Open leniently for post-crash analysis: sealed members open
+    /// normally, and a member with a missing/torn footer (at most the
+    /// newest segment, by the rotation discipline) is salvaged instead
+    /// of failing the whole set.
+    pub fn open_salvage(base: impl AsRef<Path>) -> Result<SegmentSet, TraceError> {
+        SegmentSet::open_inner(base.as_ref(), true)
+    }
+
+    fn open_inner(base: &Path, salvage: bool) -> Result<SegmentSet, TraceError> {
+        let paths = SegmentSet::discover(base);
+        if paths.is_empty() {
+            let seg0 = segment_path(base, 0);
+            return Err(TraceError::Io(std::io::Error::new(
+                ErrorKind::NotFound,
+                format!(
+                    "no store at {} (nor segments like {})",
+                    base.display(),
+                    seg0.display()
+                ),
+            )));
+        }
+        let mut readers = Vec::with_capacity(paths.len());
+        for p in &paths {
+            let r = if salvage {
+                StoreReader::open_salvage(p)?
+            } else {
+                StoreReader::open(p)?
+            };
+            readers.push(r);
+        }
+        let program = readers
+            .first()
+            .map(|r| r.program().to_string())
+            .unwrap_or_default();
+        // Union dictionary, preserving first-seen order (compact's rule).
+        let mut functions: Vec<String> = Vec::new();
+        let mut members = Vec::with_capacity(readers.len());
+        for reader in readers {
+            let mut remap = Vec::with_capacity(reader.functions().len());
+            for f in reader.functions() {
+                match functions.iter().position(|n| n == f) {
+                    Some(i) => remap.push(i as u32),
+                    None => {
+                        functions.push(f.clone());
+                        remap.push(functions.len() as u32 - 1);
+                    }
+                }
+            }
+            members.push(Member { reader, remap });
+        }
+        Ok(SegmentSet {
+            members,
+            paths,
+            program,
+            functions,
+        })
+    }
+
+    /// Paths of the member segments, oldest first.
+    pub fn paths(&self) -> &[PathBuf] {
+        &self.paths
+    }
+
+    /// Member count.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Is the set empty? (It never is after a successful open.)
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Forward degraded mode (skip-and-account bad chunks) to every
+    /// member.
+    pub fn set_degraded(&mut self, on: bool) {
+        for m in &mut self.members {
+            m.reader.set_degraded(on);
+        }
+    }
+
+    /// The newest member's salvage summary, if any member was salvaged.
+    pub fn salvage(&self) -> Option<super::SalvageSummary> {
+        self.members.iter().rev().find_map(|m| m.reader.salvage())
+    }
+}
+
+impl EventSource for SegmentSet {
+    fn program(&self) -> &str {
+        &self.program
+    }
+
+    fn functions(&self) -> &[String] {
+        &self.functions
+    }
+
+    fn source_info(&self) -> StoreInfo {
+        let mut out = StoreInfo {
+            program: self.program.clone(),
+            functions: self.functions.len(),
+            segments: self.members.len(),
+            salvage: self.salvage(),
+            ..StoreInfo::default()
+        };
+        let mut ranks: Vec<u32> = Vec::new();
+        let mut first = true;
+        for m in &self.members {
+            let info = m.reader.info();
+            out.chunks += info.chunks;
+            out.events += info.events;
+            out.file_bytes += info.file_bytes;
+            out.version = out.version.max(info.version);
+            ranks.extend(m.reader.ranks());
+            if info.chunks == 0 {
+                continue;
+            }
+            if first {
+                out.t_min = info.t_min;
+                out.t_max = info.t_max;
+                out.t_end = info.t_end;
+                first = false;
+            } else {
+                out.t_min = out.t_min.min(info.t_min);
+                out.t_max = out.t_max.max(info.t_max);
+                out.t_end = out.t_end.max(info.t_end);
+            }
+        }
+        ranks.sort_unstable();
+        ranks.dedup();
+        out.ranks = ranks.len();
+        out
+    }
+
+    fn source_ranks(&self) -> Vec<u32> {
+        let mut ranks: Vec<u32> = self.members.iter().flat_map(|m| m.reader.ranks()).collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        ranks
+    }
+
+    fn source_rank_summary(&self) -> BTreeMap<u32, (u64, SimTime, SimTime)> {
+        let mut out: BTreeMap<u32, (u64, SimTime, SimTime)> = BTreeMap::new();
+        for m in &self.members {
+            for (rank, (n, lo, hi)) in m.reader.rank_summary() {
+                let e = out.entry(rank).or_insert((0, lo, hi));
+                e.0 += n;
+                e.1 = e.1.min(lo);
+                e.2 = e.2.max(hi);
+            }
+        }
+        out
+    }
+
+    fn query(
+        &mut self,
+        window: Option<(SimTime, SimTime)>,
+        rank: Option<u32>,
+        f: &mut dyn FnMut(&Event),
+    ) -> Result<QueryStats, TraceError> {
+        let mut total = QueryStats::default();
+        for m in &mut self.members {
+            let remap = &m.remap;
+            let stats = m.reader.for_each_query(window, rank, |ev| {
+                let mut ev = ev.clone();
+                remap_func(&mut ev, remap);
+                f(&ev);
+            })?;
+            total.chunks_considered += stats.chunks_considered;
+            total.chunks_decoded += stats.chunks_decoded;
+            total.chunks_skipped += stats.chunks_skipped;
+            total.chunks_bad += stats.chunks_bad;
+            total.events_lost += stats.events_lost;
+            total.events += stats.events;
+        }
+        Ok(total)
+    }
+
+    fn rank_events(&mut self, rank: u32, f: &mut dyn FnMut(&Event)) -> Result<(), TraceError> {
+        // Segments are sealed in time order, so concatenating members in
+        // order preserves each rank's causal event order.
+        for m in &mut self.members {
+            let remap = &m.remap;
+            m.reader.for_each_rank_event(rank, |ev| {
+                let mut ev = ev.clone();
+                remap_func(&mut ev, remap);
+                f(&ev);
+            })?;
+        }
+        Ok(())
+    }
+}

@@ -1,5 +1,13 @@
 //! The streaming store writer: bounded memory per rank, chunks flushed
 //! the moment they fill, footer index written once at `finish()`.
+//!
+//! Crash-consistency discipline (DESIGN §17): the salvageable preamble
+//! (program + function dictionary) is written before the first chunk;
+//! every chunk carries a CRC-32 over its header and payload; the footer
+//! and trailer land last. At any kill point the file is therefore a
+//! valid prefix — every fully-flushed chunk is recoverable by
+//! [`StoreReader::open_salvage`](super::StoreReader::open_salvage), and
+//! only the unflushed tail is at risk.
 
 use std::collections::HashMap;
 use std::io::{BufWriter, Seek, SeekFrom, Write};
@@ -12,6 +20,7 @@ use dynprof_sim::SimTime;
 use dynprof_vt::{Event, Trace, VtFuncId, VtLib};
 
 use super::codec::{encode_event, event_end};
+use super::crc::{crc32, Crc32};
 use super::reader::StoreReader;
 use super::{ChunkMeta, StoreOptions, HEADER_BYTES, STORE_MAGIC, STORE_VERSION};
 use crate::error::TraceError;
@@ -66,24 +75,28 @@ impl ChunkBuf {
     }
 }
 
-/// Streaming writer of the `VGVS` chunk-indexed store format.
+/// Streaming writer of the `VGVS` chunk-indexed store format
+/// (version 2: CRC-32 chunks + salvageable preamble).
 ///
 /// Append events in any rank order; each rank accumulates into its own
 /// chunk, flushed to disk when [`StoreOptions::chunk_events`] is reached.
 /// Call [`StoreWriter::finish`] to flush partial chunks and write the
 /// footer index — a file without a footer is detected as
-/// [`TraceError::TruncatedFooter`] by the reader.
+/// [`TraceError::TruncatedFooter`] by the reader and remains salvageable
+/// chunk by chunk.
 pub struct StoreWriter<W: Write + Seek> {
     out: W,
     pos: u64,
     opts: StoreOptions,
     program: String,
     functions: Vec<String>,
+    preamble_written: bool,
     open: HashMap<u32, ChunkBuf>,
     index: Vec<ChunkMeta>,
     events: u64,
     buffered: usize,
     peak_buffered: usize,
+    obs_counted: u64,
     deferred_err: Option<std::io::Error>,
 }
 
@@ -118,16 +131,20 @@ impl<W: Write + Seek> StoreWriter<W> {
             },
             program: program.into(),
             functions: Vec::new(),
+            preamble_written: false,
             open: HashMap::new(),
             index: Vec::new(),
             events: 0,
             buffered: 0,
             peak_buffered: 0,
+            obs_counted: 0,
             deferred_err: None,
         })
     }
 
     /// Install the function dictionary (names indexed by `VtFuncId`).
+    /// Names installed before the first chunk is flushed land in the
+    /// salvageable preamble; later additions only reach the footer.
     pub fn set_functions(&mut self, names: Vec<String>) {
         self.functions = names;
     }
@@ -137,6 +154,18 @@ impl<W: Write + Seek> StoreWriter<W> {
     pub fn define_function(&mut self, name: impl Into<String>) -> VtFuncId {
         self.functions.push(name.into());
         VtFuncId(self.functions.len() as u32 - 1)
+    }
+
+    /// Events appended so far.
+    pub fn events_written(&self) -> u64 {
+        self.events
+    }
+
+    /// Bytes this store occupies right now: what is on disk plus the
+    /// open per-rank chunk buffers (the footer will add more at
+    /// [`StoreWriter::finish`]). Rotation policies poll this.
+    pub fn bytes_written(&self) -> u64 {
+        self.pos + self.buffered as u64
     }
 
     /// Append one event to its rank's open chunk, flushing the chunk to
@@ -160,6 +189,18 @@ impl<W: Write + Seek> StoreWriter<W> {
         }
     }
 
+    /// Write the salvage preamble (program + dictionary snapshot) if it
+    /// has not been written yet. Must precede the first chunk so a
+    /// footer-less scan can name what it recovers.
+    fn ensure_preamble(&mut self) -> std::io::Result<()> {
+        if self.preamble_written {
+            return Ok(());
+        }
+        self.preamble_written = true;
+        let framed = encode_preamble(&self.program, &self.functions);
+        self.write_all_tracked(&framed)
+    }
+
     /// Flush `rank`'s open chunk (no-op if empty). Errors are deferred to
     /// `finish()` so the hot path stays infallible.
     fn flush_rank(&mut self, rank: u32) {
@@ -174,25 +215,27 @@ impl<W: Write + Seek> StoreWriter<W> {
         } else {
             None
         };
-        let meta = ChunkMeta {
+        // Deferred error handling: remember the first failure, surface it
+        // from finish(). (A wedged disk mid-run must not panic the sim.)
+        if let Err(e) = self.ensure_preamble() {
+            self.buffered -= buf.payload.len();
+            if self.deferred_err.is_none() {
+                self.deferred_err = Some(e);
+            }
+            return;
+        }
+        let mut meta = ChunkMeta {
             rank,
             offset: self.pos,
             enc_len: buf.payload.len() as u32,
             count: buf.count,
+            crc: 0,
             min_t: buf.min_t,
             max_t: buf.max_t,
             max_end: buf.max_end,
         };
-        let mut header = BytesMut::with_capacity(super::CHUNK_HEADER_BYTES);
-        header.put_u32_le(meta.rank);
-        header.put_u32_le(meta.count);
-        header.put_u32_le(meta.enc_len);
-        header.put_u64_le(meta.min_t.as_nanos());
-        header.put_u64_le(meta.max_t.as_nanos());
-        header.put_u64_le(meta.max_end.as_nanos());
+        let header = encode_chunk_header(&mut meta, &buf.payload);
         self.buffered -= buf.payload.len();
-        // Deferred error handling: remember the first failure, surface it
-        // from finish(). (A wedged disk mid-run must not panic the sim.)
         let wrote = self
             .write_all_tracked(&header)
             .and_then(|()| self.write_all_tracked(&buf.payload));
@@ -206,7 +249,9 @@ impl<W: Write + Seek> StoreWriter<W> {
         if let Some(t0) = start {
             obs::histogram("analysis.encode_real_ns").record(t0.elapsed().as_nanos() as u64);
             obs_chunks_written(1);
-            obs_store_bytes(super::CHUNK_HEADER_BYTES as u64 + buf.payload.len() as u64);
+            let disk = header.len() as u64 + buf.payload.len() as u64;
+            obs_store_bytes(disk);
+            self.obs_counted += disk;
         }
     }
 
@@ -228,27 +273,9 @@ impl<W: Write + Seek> StoreWriter<W> {
         if let Some(e) = self.deferred_err.take() {
             return Err(TraceError::Io(e));
         }
-        // Footer: program, dictionary, index.
-        let mut footer = BytesMut::new();
-        put_string(&mut footer, &self.program);
-        footer.put_u32_le(self.functions.len() as u32);
-        for f in &self.functions {
-            put_string(&mut footer, f);
-        }
-        footer.put_u32_le(self.index.len() as u32);
-        for m in &self.index {
-            footer.put_u32_le(m.rank);
-            footer.put_u64_le(m.offset);
-            footer.put_u32_le(m.enc_len);
-            footer.put_u32_le(m.count);
-            footer.put_u64_le(m.min_t.as_nanos());
-            footer.put_u64_le(m.max_t.as_nanos());
-            footer.put_u64_le(m.max_end.as_nanos());
-        }
-        let footer_len = footer.len() as u64;
-        footer.put_u64_le(footer_len);
-        footer.put_slice(STORE_MAGIC);
-        footer.put_u16_le(STORE_VERSION);
+        // An empty store still carries its preamble.
+        self.ensure_preamble()?;
+        let footer = encode_footer_and_trailer(&self.program, &self.functions, &self.index);
         self.write_all_tracked(&footer)?;
         self.out.flush()?;
         // Verify nothing was silently lost to a deferred chunk-write
@@ -260,7 +287,9 @@ impl<W: Write + Seek> StoreWriter<W> {
             )));
         }
         if obs::enabled() {
-            obs_store_bytes(footer_len + super::TRAILER_BYTES + HEADER_BYTES);
+            // Everything not yet counted per-chunk: header, preamble,
+            // footer, trailer — so analysis.store_bytes == file length.
+            obs_store_bytes(self.pos - self.obs_counted);
         }
         Ok(StoreStats {
             chunks: self.index.len(),
@@ -271,7 +300,76 @@ impl<W: Write + Seek> StoreWriter<W> {
     }
 }
 
-fn put_string(buf: &mut BytesMut, s: &str) {
+/// Encode the version-2 chunk header for `meta`, computing and stamping
+/// `meta.crc` (CRC-32 over the header's non-crc bytes then the payload).
+pub(crate) fn encode_chunk_header(meta: &mut ChunkMeta, payload: &[u8]) -> BytesMut {
+    let mut header = BytesMut::with_capacity(super::chunk_header_bytes(STORE_VERSION));
+    header.put_u32_le(meta.rank);
+    header.put_u32_le(meta.count);
+    header.put_u32_le(meta.enc_len);
+    header.put_u32_le(0); // crc placeholder at bytes 12..16
+    header.put_u64_le(meta.min_t.as_nanos());
+    header.put_u64_le(meta.max_t.as_nanos());
+    header.put_u64_le(meta.max_end.as_nanos());
+    let mut crc = Crc32::new();
+    crc.update(&header[..12])
+        .update(&header[16..])
+        .update(payload);
+    meta.crc = crc.finish();
+    header[12..16].copy_from_slice(&meta.crc.to_le_bytes());
+    header
+}
+
+/// Encode the framed salvage preamble: `len | crc32 | program | dict`.
+pub(crate) fn encode_preamble(program: &str, functions: &[String]) -> BytesMut {
+    let mut p = BytesMut::new();
+    put_string(&mut p, program);
+    p.put_u32_le(functions.len() as u32);
+    for f in functions {
+        put_string(&mut p, f);
+    }
+    let crc = crc32(&p);
+    let mut framed = BytesMut::with_capacity(8 + p.len());
+    framed.put_u32_le(p.len() as u32);
+    framed.put_u32_le(crc);
+    framed.put_slice(&p);
+    framed
+}
+
+/// Encode the version-2 footer (program, dictionary, chunk index) plus
+/// the 18-byte trailer (`footer_len | footer crc | magic | version`).
+pub(crate) fn encode_footer_and_trailer(
+    program: &str,
+    functions: &[String],
+    index: &[ChunkMeta],
+) -> BytesMut {
+    let mut footer = BytesMut::new();
+    put_string(&mut footer, program);
+    footer.put_u32_le(functions.len() as u32);
+    for f in functions {
+        put_string(&mut footer, f);
+    }
+    footer.put_u32_le(index.len() as u32);
+    for m in index {
+        footer.put_u32_le(m.rank);
+        footer.put_u64_le(m.offset);
+        footer.put_u32_le(m.enc_len);
+        footer.put_u32_le(m.count);
+        footer.put_u32_le(m.crc);
+        footer.put_u64_le(m.min_t.as_nanos());
+        footer.put_u64_le(m.max_t.as_nanos());
+        footer.put_u64_le(m.max_end.as_nanos());
+    }
+    let footer_len = footer.len() as u64;
+    let footer_crc = crc32(&footer);
+    footer.put_u64_le(footer_len);
+    footer.put_u32_le(footer_crc);
+    footer.put_slice(STORE_MAGIC);
+    footer.put_u16_le(STORE_VERSION);
+    footer
+}
+
+pub(crate) fn put_string(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
     buf.put_slice(s.as_bytes());
 }
@@ -312,7 +410,10 @@ pub fn write_store_from_trace(
 
 /// Compact several store segments (e.g. one small file per rank group)
 /// into a single indexed store. Function dictionaries are unioned by
-/// name; events whose segment used different ids are re-mapped.
+/// name; events whose segment used different ids are re-mapped. Every
+/// input chunk's CRC is re-verified on the way through (a corrupt input
+/// fails compaction with a typed [`TraceError::ChecksumMismatch`]), and
+/// the output is freshly checksummed by the writer.
 pub fn compact(
     inputs: &[impl AsRef<Path>],
     out: impl AsRef<Path>,
@@ -355,7 +456,7 @@ pub fn compact(
     w.finish()
 }
 
-fn remap_func(ev: &mut Event, remap: &[u32]) {
+pub(crate) fn remap_func(ev: &mut Event, remap: &[u32]) {
     if let Event::FuncEnter { func, .. }
     | Event::FuncExit { func, .. }
     | Event::FuncBatch { func, .. }

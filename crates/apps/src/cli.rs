@@ -61,6 +61,11 @@ pub struct CliArgs {
     pub budget: Option<f64>,
     /// Redundancy-suppression floor in microseconds (0 = off).
     pub floor_us: u64,
+    /// Rotate `.vgvs` output into segments of at most this many bytes
+    /// (`None` = single file).
+    pub rotate_bytes: Option<u64>,
+    /// Keep only the newest N segments when rotating (`None` = all).
+    pub keep_segments: Option<usize>,
 }
 
 /// Everything one invocation produced.
@@ -82,6 +87,8 @@ usage: dynprof <script|-> <stdout-file|-> <timefile|-> <app> [key=value ...]
   options:  cpus=N scale=X machine=ibm|ia32|test seed=N
             policy=dynamic|full|full-off|subset|none
             trace=FILE (.vgvs = chunk-indexed store, else legacy VGVT)
+            rotate=BYTES (roll .vgvs output into FILE.0000.vgvs segments)
+            keep=N (with rotate: retain only the newest N segments)
             budget=PCT (adaptive: keep probe overhead under PCT%)
             floor=US (suppress entry/exit pairs shorter than US microseconds)
 ";
@@ -105,6 +112,8 @@ impl CliArgs {
             trace: None,
             budget: None,
             floor_us: 0,
+            rotate_bytes: None,
+            keep_segments: None,
         };
         for kv in &args[4..] {
             let (k, v) = kv
@@ -127,6 +136,20 @@ impl CliArgs {
                     out.budget = Some(pct);
                 }
                 "floor" => out.floor_us = v.parse().map_err(|_| format!("bad floor {v:?}"))?,
+                "rotate" => {
+                    let n: u64 = v.parse().map_err(|_| format!("bad rotate {v:?}"))?;
+                    if n == 0 {
+                        return Err(format!("bad rotate {v:?} (bytes, > 0)"));
+                    }
+                    out.rotate_bytes = Some(n);
+                }
+                "keep" => {
+                    let n: usize = v.parse().map_err(|_| format!("bad keep {v:?}"))?;
+                    if n == 0 {
+                        return Err(format!("bad keep {v:?} (segments, > 0)"));
+                    }
+                    out.keep_segments = Some(n);
+                }
                 other => return Err(format!("unknown option {other:?}\n{USAGE}")),
             }
         }
@@ -261,7 +284,32 @@ pub fn write_outputs(args: &CliArgs, out: &CliOutput) -> Result<(), String> {
     emit(&args.stdout_file, &out.summary)?;
     emit(&args.timefile, &out.timefile)?;
     if let Some(trace_path) = &args.trace {
-        if trace_path.ends_with(".vgvs") {
+        if trace_path.ends_with(".vgvs") && args.rotate_bytes.is_some() {
+            // Rotating capture: segments sealed at the byte cap, oldest
+            // pruned per keep=N; readable as one store via SegmentSet.
+            let rotation = dynprof_analysis::store::RotationPolicy {
+                max_bytes: args.rotate_bytes,
+                max_events: None,
+            };
+            let retention = dynprof_analysis::store::RetentionPolicy {
+                keep_last: args.keep_segments,
+            };
+            let stats = dynprof_analysis::store::write_store_from_vt_rotating(
+                &out.report.vt,
+                trace_path,
+                dynprof_analysis::store::StoreOptions::default(),
+                rotation,
+                retention,
+            )
+            .map_err(|e| format!("writing store {trace_path:?}: {e}"))?;
+            eprintln!(
+                "dynprof: {} segments on disk ({} rotated, {} retired), {} bytes",
+                stats.segments.len(),
+                stats.rotated,
+                stats.deleted,
+                stats.bytes
+            );
+        } else if trace_path.ends_with(".vgvs") {
             // Chunk-indexed store, streamed straight from the trace
             // buffers without materializing the merged event array.
             dynprof_analysis::store::write_store_from_vt(

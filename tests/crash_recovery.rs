@@ -1,0 +1,632 @@
+//! Crash-consistency suite for the `VGVS` store: truncation fuzzing,
+//! deferred writer I/O errors, a seeded kill-point chaos matrix against
+//! the fault-injectable I/O layer, `fsck --repair` round trips over the
+//! four canonical corruption fixtures, and rotation/retention.
+//!
+//! The invariant under test (DESIGN §17): for every seed × fault script
+//! × kill point, `open_salvage` recovers exactly the fully-flushed
+//! chunks, reports the torn tail (never silently absorbing it), and
+//! `repair` produces a file that plain `open` accepts whose queries
+//! match the salvaged view byte-for-byte.
+
+use std::io::Write as _;
+use std::sync::Mutex;
+
+use dynprof::analysis::store::{
+    fsck, repair, write_store_from_trace, EventSource, FaultScript, FaultyFile, FooterState,
+    RetentionPolicy, RotatingWriter, RotationPolicy, SegmentSet, StoreOptions, StoreReader,
+    StoreWriter,
+};
+use dynprof::analysis::{top_report, ProfileOptions};
+use dynprof::obs;
+use dynprof::sim::rng::SimRng;
+use dynprof::sim::SimTime;
+use dynprof::vt::{Event, Trace, VtFuncId};
+
+/// The obs registry is process-global; tests that flip the recording
+/// flag must not overlap each other.
+static OBS_GATE: Mutex<()> = Mutex::new(());
+
+/// v2 on-disk chunk header size (rank, count, enc_len, crc, min_t,
+/// max_t, max_end) — the bound `offset + CHUNK_HDR + enc_len` is a
+/// chunk's end-of-payload position.
+const CHUNK_HDR: u64 = 40;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("dynprof-crash-it");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}.vgvs", std::process::id()))
+}
+
+/// Small seeded trace: alternating function spans and MPI calls across
+/// `ranks`, rank-major (the order per-rank buffers reach a writer).
+fn synth_trace(seed: u64, ranks: u32, steps: u64) -> Trace {
+    let mut events = Vec::new();
+    for rank in 0..ranks {
+        let mut rng = SimRng::new(seed, rank as u64);
+        let mut t = rng.gen_range_u64(0..=3_000);
+        for _ in 0..steps {
+            t += 500 + rng.gen_range_u64(0..=1_500);
+            let t0 = SimTime::from_nanos(t);
+            if rng.gen_index(2) == 0 {
+                let dur = 200 + rng.gen_range_u64(0..=900);
+                let func = VtFuncId(rng.gen_index(3) as u32);
+                events.push(Event::FuncEnter {
+                    t: t0,
+                    rank,
+                    thread: 0,
+                    func,
+                });
+                t += dur;
+                events.push(Event::FuncExit {
+                    t: SimTime::from_nanos(t),
+                    rank,
+                    thread: 0,
+                    func,
+                });
+            } else {
+                let dur = rng.gen_range_u64(100..=2_000);
+                events.push(Event::MpiCall {
+                    t: t0,
+                    t_end: SimTime::from_nanos(t + dur),
+                    rank,
+                    op: 2,
+                    peer: ((rank + 1) % ranks.max(2)) as i32,
+                    bytes: rng.gen_range_u64(8..=1_024),
+                });
+                t += dur;
+            }
+        }
+    }
+    Trace {
+        program: "crash-synth".into(),
+        functions: vec!["alpha".into(), "beta".into(), "gamma".into()],
+        events,
+    }
+}
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("CHAOS_SEEDS") {
+        Ok(s) => s.split(',').filter_map(|t| t.trim().parse().ok()).collect(),
+        Err(_) => vec![11, 23, 37, 41],
+    }
+}
+
+/// Write `trace` through a [`FaultyFile`] with `script`. Returns the
+/// path, whether `finish()` succeeded, and the bytes that reached disk.
+fn faulty_capture(
+    trace: &Trace,
+    path: &std::path::Path,
+    opts: StoreOptions,
+    script: FaultScript,
+) -> (bool, u64) {
+    let file = std::fs::File::create(path).unwrap();
+    let mut w = StoreWriter::new(FaultyFile::new(file, script), &trace.program, opts).unwrap();
+    w.set_functions(trace.functions.clone());
+    for ev in &trace.events {
+        w.append(ev);
+    }
+    match w.finish() {
+        Ok(_) => (true, std::fs::metadata(path).unwrap().len()),
+        Err(_) => (false, std::fs::metadata(path).unwrap().len()),
+    }
+}
+
+/// Ground truth for a kill point: with the reference (fault-free) store
+/// bytes and its chunk index, which chunks fit entirely inside a
+/// `file_len`-byte prefix, and how many events they hold.
+fn expected_recovery(reference: &mut StoreReader, file_len: u64) -> (usize, u64, u64) {
+    let mut chunks = 0usize;
+    let mut events = 0u64;
+    let mut data_end = 0u64;
+    for m in reference.chunks() {
+        let end = m.offset + CHUNK_HDR + m.enc_len as u64;
+        if end <= file_len {
+            chunks += 1;
+            events += m.count as u64;
+            data_end = data_end.max(end);
+        }
+    }
+    (chunks, events, data_end)
+}
+
+// ---- satellite 1: truncation fuzzing --------------------------------
+
+/// Every byte-length prefix of a valid store either opens cleanly (full
+/// length only) or fails with a *typed* error — no panic, no garbage
+/// data. And salvage, on every prefix, returns only events that the
+/// fully-flushed chunks actually contain.
+#[test]
+fn every_prefix_fails_typed_and_salvage_never_fabricates() {
+    let trace = synth_trace(7, 2, 30);
+    let path = tmp("prefix-ref");
+    write_store_from_trace(&trace, &path, StoreOptions { chunk_events: 8 }).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    let mut reference = StoreReader::open(&path).unwrap();
+
+    // Per-chunk reference contents, for exact-recovery comparison.
+    let chunk_events: Vec<Vec<Event>> = (0..reference.chunks().len())
+        .map(|i| reference.read_chunk(i).unwrap())
+        .collect();
+
+    let prefix = tmp("prefix-cut");
+    for len in 0..=bytes.len() {
+        std::fs::write(&prefix, &bytes[..len]).unwrap();
+        match StoreReader::open(&prefix) {
+            Ok(_) => assert_eq!(len, bytes.len(), "short prefix must not open"),
+            Err(e) => {
+                assert_ne!(len, bytes.len(), "full file must open: {e}");
+                // Typed, displayable, and cheap to match on.
+                let _ = format!("{e}");
+            }
+        }
+        // Salvage must never invent data: whatever it recovers is
+        // exactly the set of chunks whose bytes are all present.
+        let (exp_chunks, exp_events, _) = expected_recovery(&mut reference, len as u64);
+        match StoreReader::open_salvage(&prefix) {
+            Ok(mut r) => {
+                let s = r.salvage().expect("salvage summary");
+                assert_eq!(s.chunks_recovered, exp_chunks, "prefix {len}");
+                assert_eq!(s.events_recovered, exp_events, "prefix {len}");
+                let mut expect: Vec<Event> = reference
+                    .chunks()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, m)| m.offset + CHUNK_HDR + m.enc_len as u64 <= len as u64)
+                    .flat_map(|(i, _)| chunk_events[i].iter().cloned())
+                    .collect();
+                expect.sort_by_key(|e| (e.time(), e.rank()));
+                assert_eq!(r.read_all().unwrap().events, expect, "prefix {len}");
+            }
+            Err(e) => {
+                // Only header-less prefixes are beyond salvage.
+                assert_eq!(exp_chunks, 0, "prefix {len} salvageable but errored: {e}");
+            }
+        }
+    }
+    for p in [path, prefix] {
+        std::fs::remove_file(&p).ok();
+    }
+}
+
+// ---- satellite 2: deferred writer I/O errors ------------------------
+
+/// A sink that starts failing mid-run must surface through `finish()`
+/// (appends are infallible by design), must not leave a valid footer
+/// behind, and the partial file must salvage.
+#[test]
+fn writer_surfaces_deferred_io_error_and_partial_file_salvages() {
+    let trace = synth_trace(13, 2, 60);
+    let path = tmp("deferred-io");
+    let (finished, _) = faulty_capture(
+        &trace,
+        &path,
+        StoreOptions { chunk_events: 16 },
+        FaultScript::fail_after(4),
+    );
+    assert!(!finished, "finish() must report the sink failure");
+    assert!(
+        StoreReader::open(&path).is_err(),
+        "no footer may be committed after a write failure"
+    );
+    let r = StoreReader::open_salvage(&path).unwrap();
+    let s = r.salvage().unwrap();
+    assert!(s.chunks_recovered > 0, "flushed chunks must survive");
+    assert!(
+        (s.events_recovered as usize) < trace.events.len(),
+        "the un-flushed tail was lost and must be reported as such"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// A short write (interrupted syscall) loses nothing: the writer's
+/// `write_all` retries, `finish()` succeeds, and the store is complete.
+#[test]
+fn short_writes_are_retried_losslessly() {
+    let trace = synth_trace(17, 2, 40);
+    let path = tmp("short-write");
+    let (finished, _) = faulty_capture(
+        &trace,
+        &path,
+        StoreOptions { chunk_events: 16 },
+        FaultScript::short_once(),
+    );
+    assert!(finished);
+    let mut r = StoreReader::open(&path).unwrap();
+    assert_eq!(r.read_all().unwrap().events.len(), trace.events.len());
+    std::fs::remove_file(&path).ok();
+}
+
+// ---- tentpole (d): seeded kill-point chaos matrix -------------------
+
+/// For every seed × fault script × kill point: salvage recovers exactly
+/// the fully-flushed chunks (no more, no fewer), accounts every missing
+/// byte as dropped tail, and `repair` produces a store that plain
+/// `open` accepts whose queries match the salvaged view byte-for-byte.
+#[test]
+fn chaos_matrix_salvage_recovers_every_flushed_chunk() {
+    for seed in seeds() {
+        let trace = synth_trace(seed, 3, 50);
+        let opts = StoreOptions { chunk_events: 16 };
+
+        // Fault-free reference run: the faulty file's bytes are always
+        // an exact prefix of these (torn writes deliver a prefix, then
+        // the sink is dead).
+        let ref_path = tmp(&format!("chaos-ref-{seed}"));
+        write_store_from_trace(&trace, &ref_path, opts).unwrap();
+        let ref_len = std::fs::metadata(&ref_path).unwrap().len();
+        let mut reference = StoreReader::open(&ref_path).unwrap();
+
+        // Kill points: structural boundaries (±1 around chunk ends) plus
+        // seeded draws from the fault-script RNG stream.
+        let mut scripts: Vec<FaultScript> = Vec::new();
+        for m in reference.chunks() {
+            let end = m.offset + CHUNK_HDR + m.enc_len as u64;
+            scripts.push(FaultScript::torn_at(end - 1));
+            scripts.push(FaultScript::torn_at(end));
+            scripts.push(FaultScript::torn_at(end + 1));
+        }
+        let mut rng = SimRng::new(seed, 99);
+        for _ in 0..6 {
+            scripts.push(FaultScript::from_rng(&mut rng, ref_len));
+        }
+
+        for (k, script) in scripts.into_iter().enumerate() {
+            let path = tmp(&format!("chaos-{seed}-{k}"));
+            let lossy = script.is_lossy();
+            let (finished, file_len) = faulty_capture(&trace, &path, opts, script);
+            let ctx = format!("seed {seed} cell {k}");
+
+            if finished {
+                // The script never tripped (or was lossless): the store
+                // must be complete and bit-exact with the reference.
+                assert!(!lossy || file_len == ref_len, "{ctx}");
+                assert_eq!(
+                    std::fs::read(&path).unwrap(),
+                    std::fs::read(&ref_path).unwrap(),
+                    "{ctx}: clean runs are byte-identical"
+                );
+                std::fs::remove_file(&path).ok();
+                continue;
+            }
+
+            let (exp_chunks, exp_events, data_end) = expected_recovery(&mut reference, file_len);
+            let mut r = StoreReader::open_salvage(&path).unwrap();
+            let s = r.salvage().expect("salvage summary");
+            assert_eq!(s.chunks_recovered, exp_chunks, "{ctx}");
+            assert_eq!(s.events_recovered, exp_events, "{ctx}");
+            if exp_chunks > 0 {
+                // Every byte past the last provable chunk is accounted
+                // for as dropped tail — nothing vanishes silently.
+                assert_eq!(s.tail_bytes_dropped, file_len - data_end, "{ctx}");
+            }
+            assert_eq!(r.read_all().unwrap().events.len(), exp_events as usize);
+
+            // fsck agrees, and repair round-trips: the repaired file
+            // opens plainly and reports exactly what salvage saw.
+            let report = fsck(&path).unwrap();
+            assert!(!report.is_clean(), "{ctx}");
+            assert_eq!(report.events_ok, exp_events, "{ctx}");
+            if exp_chunks > 0 {
+                let fixed = tmp(&format!("chaos-fix-{seed}-{k}"));
+                repair(&path, &fixed).unwrap();
+                let mut rep = StoreReader::open(&fixed).unwrap();
+                assert_eq!(
+                    rep.read_all().unwrap(),
+                    r.read_all().unwrap(),
+                    "{ctx}: repaired contents"
+                );
+                let opts = ProfileOptions::default();
+                assert_eq!(
+                    top_report(&mut rep, 10, opts).unwrap(),
+                    top_report(&mut r, 10, opts).unwrap(),
+                    "{ctx}: repaired queries must match the salvaged view"
+                );
+                std::fs::remove_file(&fixed).ok();
+            }
+            std::fs::remove_file(&path).ok();
+        }
+        std::fs::remove_file(&ref_path).ok();
+    }
+}
+
+// ---- tentpole (b): fsck fixtures ------------------------------------
+
+/// The four canonical corruptions — footer gone, torn mid-chunk, bad
+/// chunk CRC, truncated trailer — are each detected by `fsck`, repaired,
+/// and the repaired store re-opens and re-queries.
+#[test]
+fn fsck_repairs_all_four_corruption_fixtures() {
+    let trace = synth_trace(29, 3, 40);
+    let src = tmp("fsck-src");
+    write_store_from_trace(&trace, &src, StoreOptions { chunk_events: 16 }).unwrap();
+    let bytes = std::fs::read(&src).unwrap();
+    let reference = StoreReader::open(&src).unwrap();
+    let last_end = reference
+        .chunks()
+        .iter()
+        .map(|m| m.offset + CHUNK_HDR + m.enc_len as u64)
+        .max()
+        .unwrap() as usize;
+    let chunk0 = reference.chunks()[0];
+
+    // (name, corrupted bytes, expected footer verdict)
+    let no_footer = bytes[..last_end].to_vec();
+    let torn_mid_chunk = bytes[..last_end - chunk0.enc_len as usize / 2].to_vec();
+    let mut bad_crc = bytes.clone();
+    bad_crc[chunk0.offset as usize + CHUNK_HDR as usize] ^= 0xff;
+    let truncated_trailer = bytes[..bytes.len() - 10].to_vec();
+    let fixtures: [(&str, Vec<u8>, FooterState); 4] = [
+        ("no-footer", no_footer, FooterState::Missing),
+        ("torn-mid-chunk", torn_mid_chunk, FooterState::Missing),
+        ("bad-crc", bad_crc, FooterState::Valid),
+        ("truncated-trailer", truncated_trailer, FooterState::Missing),
+    ];
+
+    for (name, data, footer) in fixtures {
+        let path = tmp(&format!("fsck-{name}"));
+        std::fs::write(&path, &data).unwrap();
+        let report = fsck(&path).unwrap();
+        assert!(!report.is_clean(), "{name} must not pass fsck");
+        assert!(report.is_salvageable(), "{name} keeps its good chunks");
+        assert_eq!(report.footer, footer, "{name}");
+        let rendered = report.render();
+        assert!(rendered.contains("fsck"), "{name}: {rendered}");
+
+        let fixed = tmp(&format!("fsck-{name}-fixed"));
+        let rep_report = repair(&path, &fixed).unwrap();
+        assert_eq!(rep_report.chunks_ok, report.chunks_ok, "{name}");
+        let mut rep = StoreReader::open(&fixed).unwrap();
+        assert_eq!(
+            rep.read_all().unwrap().events.len() as u64,
+            report.events_ok,
+            "{name}: repaired store holds exactly the verified events"
+        );
+        // And the repaired file itself is now clean.
+        assert!(fsck(&fixed).unwrap().is_clean(), "{name}");
+        for p in [path, fixed] {
+            std::fs::remove_file(&p).ok();
+        }
+    }
+
+    // The bad-CRC repair view equals the degraded read of the original.
+    let bad = tmp("fsck-bad-degraded");
+    let mut data = bytes.clone();
+    data[chunk0.offset as usize + CHUNK_HDR as usize] ^= 0xff;
+    std::fs::write(&bad, &data).unwrap();
+    let fixed = tmp("fsck-bad-degraded-fixed");
+    repair(&bad, &fixed).unwrap();
+    let mut degraded = StoreReader::open(&bad).unwrap();
+    degraded.set_degraded(true);
+    let mut rep = StoreReader::open(&fixed).unwrap();
+    assert_eq!(rep.read_all().unwrap(), degraded.read_all().unwrap());
+    for p in [src, bad, fixed] {
+        std::fs::remove_file(&p).ok();
+    }
+}
+
+// ---- tentpole (c): rotation and retention ---------------------------
+
+/// Rotation by event count produces the `name.NNNN.vgvs` family, each
+/// segment independently valid, and a [`SegmentSet`] over the family
+/// returns exactly what one monolithic store would.
+#[test]
+fn rotation_produces_segments_that_query_as_one_store() {
+    let trace = synth_trace(31, 3, 60);
+    let base = tmp("rot");
+    let mut w = RotatingWriter::create(
+        &base,
+        &trace.program,
+        StoreOptions { chunk_events: 16 },
+        RotationPolicy::by_events(64),
+        RetentionPolicy::default(),
+    )
+    .unwrap();
+    w.set_functions(trace.functions.clone());
+    for ev in &trace.events {
+        w.append(ev).unwrap();
+    }
+    let stats = w.finish().unwrap();
+    assert!(stats.segments.len() > 1, "rotation must have happened");
+    assert_eq!(stats.rotated + 1, stats.segments.len());
+    assert_eq!(stats.events as usize, trace.events.len());
+    for (i, p) in stats.segments.iter().enumerate() {
+        let name = p.file_name().unwrap().to_str().unwrap();
+        assert!(name.contains(&format!(".{i:04}.")), "segment name {name}");
+        StoreReader::open(p).unwrap_or_else(|e| panic!("segment {name}: {e}"));
+    }
+
+    // Monolithic reference with the same inputs.
+    let mono = tmp("rot-mono");
+    write_store_from_trace(&trace, &mono, StoreOptions { chunk_events: 16 }).unwrap();
+    let mut mono_r = StoreReader::open(&mono).unwrap();
+    let mut set = SegmentSet::open(&base).unwrap();
+    assert_eq!(set.len(), stats.segments.len());
+    let opts = ProfileOptions::default();
+    assert_eq!(
+        top_report(&mut set, 10, opts).unwrap(),
+        top_report(&mut mono_r, 10, opts).unwrap(),
+        "segment family must be query-equivalent to one store"
+    );
+    for p in stats.segments.iter() {
+        std::fs::remove_file(p).ok();
+    }
+    std::fs::remove_file(&mono).ok();
+}
+
+/// Keep-last-N retention deletes the oldest segments as rotation
+/// proceeds, and discovery tolerates the resulting leading gap.
+#[test]
+fn retention_prunes_oldest_segments() {
+    let trace = synth_trace(33, 2, 80);
+    let base = tmp("keep");
+    let mut w = RotatingWriter::create(
+        &base,
+        &trace.program,
+        StoreOptions { chunk_events: 8 },
+        RotationPolicy::by_events(40),
+        RetentionPolicy::keep_last(2),
+    )
+    .unwrap();
+    w.set_functions(trace.functions.clone());
+    for ev in &trace.events {
+        w.append(ev).unwrap();
+    }
+    let stats = w.finish().unwrap();
+    assert!(stats.deleted > 0, "retention must have retired segments");
+    assert!(stats.segments.len() <= 2, "keep-last-2 on disk");
+    let discovered = SegmentSet::discover(&base);
+    assert_eq!(discovered, stats.segments);
+    let mut set = SegmentSet::open(&base).unwrap();
+    // Only the retained tail of the run is queryable; every retained
+    // event exists in the source trace.
+    let mut kept = 0usize;
+    set.query(None, None, &mut |ev| {
+        assert!(trace.events.contains(ev));
+        kept += 1;
+    })
+    .unwrap();
+    assert!(kept > 0 && kept < trace.events.len());
+    for p in stats.segments.iter() {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+/// A crash risks only the newest segment: sealed segments carry full
+/// footers, so tearing the open one loses nothing that was rotated out.
+#[test]
+fn crash_loses_only_the_newest_segments_tail() {
+    let trace = synth_trace(35, 2, 80);
+    let base = tmp("crash-seg");
+    let mut w = RotatingWriter::create(
+        &base,
+        &trace.program,
+        StoreOptions { chunk_events: 8 },
+        RotationPolicy::by_events(50),
+        RetentionPolicy::default(),
+    )
+    .unwrap();
+    w.set_functions(trace.functions.clone());
+    for ev in &trace.events {
+        w.append(ev).unwrap();
+    }
+    let stats = w.finish().unwrap();
+    assert!(stats.segments.len() >= 2);
+
+    // Tear the newest segment inside its last chunk's payload (as if
+    // the process died mid-flush): that chunk and the footer are lost.
+    let newest = stats.segments.last().unwrap();
+    let last_chunk_end = {
+        let r = StoreReader::open(newest).unwrap();
+        r.chunks()
+            .iter()
+            .map(|m| m.offset + CHUNK_HDR + m.enc_len as u64)
+            .max()
+            .unwrap()
+    };
+    let mut f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(newest)
+        .unwrap();
+    f.set_len(last_chunk_end - 5).unwrap();
+    f.flush().unwrap();
+    drop(f);
+
+    // Sealed segments open plainly; the family salvages as a whole.
+    for p in &stats.segments[..stats.segments.len() - 1] {
+        StoreReader::open(p).unwrap();
+    }
+    assert!(StoreReader::open(newest).is_err());
+    let mut newest_r = StoreReader::open_salvage(newest).unwrap();
+    let newest_events = newest_r.read_all().unwrap().events.len();
+
+    let mut set = SegmentSet::open_salvage(&base).unwrap();
+    let mut total = 0usize;
+    set.query(None, None, &mut |_| total += 1).unwrap();
+    let sealed_events: usize = stats.segments[..stats.segments.len() - 1]
+        .iter()
+        .map(|p| StoreReader::open(p).unwrap().info().events as usize)
+        .sum();
+    assert_eq!(total, sealed_events + newest_events);
+    assert!(total < trace.events.len(), "the torn tail was dropped");
+    assert!(
+        set.salvage().is_some(),
+        "the family reports the newest member's salvage"
+    );
+    for p in stats.segments.iter() {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+// ---- satellite 5 groundwork: obs counters ---------------------------
+
+/// The new observability counters fire: `chunks_salvaged` on salvage,
+/// `chunks_bad_crc` + `events_lost` on degraded reads, and
+/// `segments_rotated` on rotation.
+#[test]
+fn obs_counters_cover_salvage_corruption_and_rotation() {
+    let _gate = OBS_GATE.lock().unwrap();
+    obs::reset();
+    obs::set_enabled(true);
+
+    let trace = synth_trace(39, 2, 40);
+    let path = tmp("obs-salvage");
+    write_store_from_trace(&trace, &path, StoreOptions { chunk_events: 8 }).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    let reference = StoreReader::open(&path).unwrap();
+    let last_end = reference
+        .chunks()
+        .iter()
+        .map(|m| m.offset + CHUNK_HDR + m.enc_len as u64)
+        .max()
+        .unwrap() as usize;
+    let chunk0 = reference.chunks()[0];
+    drop(reference);
+
+    // Salvage a footer-less copy.
+    std::fs::write(&path, &bytes[..last_end]).unwrap();
+    let r = StoreReader::open_salvage(&path).unwrap();
+    assert!(obs::counter("analysis.chunks_salvaged").get() > 0);
+    drop(r);
+
+    // Degraded read over a corrupt chunk.
+    let mut bad = bytes.clone();
+    bad[chunk0.offset as usize + CHUNK_HDR as usize] ^= 0xff;
+    std::fs::write(&path, &bad).unwrap();
+    let mut r = StoreReader::open(&path).unwrap();
+    r.set_degraded(true);
+    r.read_all().unwrap();
+    assert_eq!(obs::counter("analysis.chunks_bad_crc").get(), 1);
+    assert_eq!(
+        obs::counter("analysis.events_lost").get(),
+        chunk0.count as u64
+    );
+    drop(r);
+    std::fs::remove_file(&path).ok();
+
+    // Rotation.
+    let base = tmp("obs-rot");
+    let mut w = RotatingWriter::create(
+        &base,
+        "obs",
+        StoreOptions { chunk_events: 8 },
+        RotationPolicy::by_events(30),
+        RetentionPolicy::default(),
+    )
+    .unwrap();
+    w.set_functions(trace.functions.clone());
+    for ev in &trace.events {
+        w.append(ev).unwrap();
+    }
+    let stats = w.finish().unwrap();
+    assert_eq!(
+        obs::counter("analysis.segments_rotated").get(),
+        stats.rotated as u64
+    );
+    for p in stats.segments.iter() {
+        std::fs::remove_file(p).ok();
+    }
+
+    obs::set_enabled(false);
+    obs::reset();
+}

@@ -377,15 +377,38 @@ fn corrupt_stores_fail_with_typed_errors() {
 
     // Chunk disk header disagrees with the footer index: open succeeds
     // (the index parses), but reading the chunk is a typed ShortChunk.
+    std::fs::write(&path, &good).unwrap();
+    let chunk0 = StoreReader::open(&path).unwrap().chunks()[0].offset as usize;
     let mut bad = good.clone();
-    // First chunk starts right after the file header; corrupt its count.
-    bad[8 + 4] ^= 0xff;
+    // Corrupt the first chunk's count field (header bytes 4..8).
+    bad[chunk0 + 4] ^= 0xff;
     std::fs::write(&path, &bad).unwrap();
     let mut r = StoreReader::open(&path).unwrap();
     assert!(matches!(
         r.for_each_query(None, None, |_| {}),
         Err(TraceError::ShortChunk { index: 0 })
     ));
+
+    // Payload corruption leaves header and index agreeing — only the
+    // CRC-32 can catch it, as a typed ChecksumMismatch.
+    let mut bad = good.clone();
+    bad[chunk0 + 40] ^= 0xff; // first payload byte (v2 header is 40B)
+    std::fs::write(&path, &bad).unwrap();
+    let mut r = StoreReader::open(&path).unwrap();
+    assert!(matches!(
+        r.for_each_query(None, None, |_| {}),
+        Err(TraceError::ChecksumMismatch { index: 0 })
+    ));
+
+    // Degraded mode turns that hard error into an accounted skip.
+    let mut r = StoreReader::open(&path).unwrap();
+    r.set_degraded(true);
+    let lost = r.chunks()[0].count as u64;
+    let stats = r.for_each_query(None, None, |_| {}).unwrap();
+    assert_eq!(stats.chunks_bad, 1, "{stats:?}");
+    assert_eq!(stats.events_lost, lost, "{stats:?}");
+    assert_eq!(r.dropped_chunks(), 1);
+    assert_eq!(r.dropped_events(), lost);
 
     std::fs::remove_file(&path).ok();
 }
@@ -473,4 +496,207 @@ fn golden_vgv_slice() {
     assert!(stats.chunks_skipped > 0, "{stats:?}");
     check_golden("vgv_slice.txt", &report);
     std::fs::remove_file(&path).ok();
+}
+
+// ---- format back-compat: version-1 (pre-CRC) stores ------------------
+
+/// Hand-encode a version-1 store: 36-byte chunk headers (no CRC field),
+/// no salvage preamble, 44-byte index entries, 14-byte trailer — the
+/// exact bytes every pre-CRC writer produced. Pinned as a binary golden
+/// so the v2 reader can never silently drop legacy compatibility.
+fn build_v1_store(trace: &Trace, chunk_events: usize) -> Vec<u8> {
+    use bytes::{BufMut, BytesMut};
+    use dynprof::analysis::store::codec::encode_event;
+    use dynprof::analysis::store::event_end;
+
+    fn put_string(b: &mut BytesMut, s: &str) {
+        b.put_u32_le(s.len() as u32);
+        b.put_slice(s.as_bytes());
+    }
+
+    struct Meta {
+        rank: u32,
+        offset: u64,
+        enc_len: u32,
+        count: u32,
+        min_t: u64,
+        max_t: u64,
+        max_end: u64,
+    }
+
+    let mut out = BytesMut::new();
+    out.put_slice(b"VGVS");
+    out.put_u16_le(1); // version 1
+    out.put_u16_le(0); // flags
+
+    let mut ranks: Vec<u32> = trace.events.iter().map(|e| e.rank()).collect();
+    ranks.sort_unstable();
+    ranks.dedup();
+    let mut index: Vec<Meta> = Vec::new();
+    for rank in ranks {
+        let evs: Vec<&Event> = trace.events.iter().filter(|e| e.rank() == rank).collect();
+        for chunk in evs.chunks(chunk_events) {
+            let mut payload = BytesMut::new();
+            let mut prev_t = 0u64;
+            let (mut min_t, mut max_t, mut max_end) = (u64::MAX, 0u64, 0u64);
+            for ev in chunk {
+                encode_event(&mut payload, ev, &mut prev_t);
+                let t = ev.time().as_nanos();
+                min_t = min_t.min(t);
+                max_t = max_t.max(t);
+                max_end = max_end.max(event_end(ev).as_nanos());
+            }
+            let meta = Meta {
+                rank,
+                offset: out.len() as u64,
+                enc_len: payload.len() as u32,
+                count: chunk.len() as u32,
+                min_t,
+                max_t,
+                max_end,
+            };
+            out.put_u32_le(meta.rank);
+            out.put_u32_le(meta.count);
+            out.put_u32_le(meta.enc_len);
+            out.put_u64_le(meta.min_t);
+            out.put_u64_le(meta.max_t);
+            out.put_u64_le(meta.max_end);
+            out.put_slice(&payload);
+            index.push(meta);
+        }
+    }
+    let footer_start = out.len();
+    put_string(&mut out, &trace.program);
+    out.put_u32_le(trace.functions.len() as u32);
+    for f in &trace.functions {
+        put_string(&mut out, f);
+    }
+    out.put_u32_le(index.len() as u32);
+    for m in &index {
+        out.put_u32_le(m.rank);
+        out.put_u64_le(m.offset);
+        out.put_u32_le(m.enc_len);
+        out.put_u32_le(m.count);
+        out.put_u64_le(m.min_t);
+        out.put_u64_le(m.max_t);
+        out.put_u64_le(m.max_end);
+    }
+    let footer_len = (out.len() - footer_start) as u64;
+    out.put_u64_le(footer_len);
+    out.put_slice(b"VGVS");
+    out.put_u16_le(1);
+    out.to_vec()
+}
+
+/// Binary golden: compare bytes against `tests/golden/<name>`, or write
+/// the file when `UPDATE_GOLDENS` is set.
+fn check_golden_bytes(name: &str, actual: &[u8]) {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!("missing golden {path}: {e} (regenerate with UPDATE_GOLDENS=1)")
+    });
+    assert_eq!(actual, &expected[..], "golden {name} drifted");
+}
+
+#[test]
+fn v1_stores_still_open_read_only() {
+    let trace = synth_trace(9, 3, 50);
+    let bytes = build_v1_store(&trace, 32);
+    check_golden_bytes("store_v1.vgvs", &bytes);
+
+    let path = tmp("v1-compat");
+    std::fs::write(&path, &bytes).unwrap();
+    let mut r = StoreReader::open(&path).unwrap();
+    assert_eq!(r.version(), 1);
+    assert_eq!(r.info().version, 1);
+    assert_eq!(r.info().events as usize, trace.events.len());
+    assert_eq!(r.functions(), &trace.functions[..]);
+
+    // Contents decode identically to the modern writer's view.
+    let v1_all = r.read_all().unwrap();
+    let mut expect = trace.events.clone();
+    expect.sort_by_key(|e| (e.time(), e.rank()));
+    assert_eq!(v1_all.events, expect);
+
+    // And the profile pipeline is version-agnostic.
+    let p = Profile::from_store(&mut r, ProfileOptions::default()).unwrap();
+    assert!(!p.per_rank.is_empty());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn v1_store_without_footer_salvages_by_decoding() {
+    let trace = synth_trace(10, 2, 40);
+    let bytes = build_v1_store(&trace, 16);
+    let path = tmp("v1-salvage");
+    // Chop the footer and trailer off entirely.
+    let full = StoreReader::open({
+        std::fs::write(&path, &bytes).unwrap();
+        &path
+    })
+    .unwrap();
+    let data_end = full
+        .chunks()
+        .iter()
+        .map(|m| m.offset + 36 + m.enc_len as u64)
+        .max()
+        .unwrap();
+    let n_chunks = full.chunks().len();
+    drop(full);
+    std::fs::write(&path, &bytes[..data_end as usize]).unwrap();
+
+    assert!(matches!(
+        StoreReader::open(&path),
+        Err(TraceError::TruncatedFooter)
+    ));
+    let mut r = StoreReader::open_salvage(&path).unwrap();
+    let s = r.salvage().unwrap();
+    assert_eq!(s.chunks_recovered, n_chunks);
+    assert_eq!(s.events_recovered as usize, trace.events.len());
+    assert_eq!(s.tail_bytes_dropped, 0);
+    assert!(!s.dict_from_preamble, "v1 has no preamble");
+    // Synthesized names cover every referenced function id.
+    assert!(!r.functions().is_empty());
+    assert!(r.functions().iter().all(|f| f.starts_with("fn#")));
+    assert_eq!(r.read_all().unwrap().events.len(), trace.events.len());
+    std::fs::remove_file(&path).ok();
+}
+
+// ---- compaction preserves checksums ---------------------------------
+
+#[test]
+fn compact_reverifies_and_rewrites_crcs() {
+    let t1 = synth_trace(21, 2, 40);
+    let t2 = synth_trace(22, 2, 40);
+    let (p1, p2, out) = (tmp("cmp-a"), tmp("cmp-b"), tmp("cmp-out"));
+    write_store_from_trace(&t1, &p1, StoreOptions { chunk_events: 16 }).unwrap();
+    write_store_from_trace(&t2, &p2, StoreOptions { chunk_events: 16 }).unwrap();
+
+    compact(&[&p1, &p2], &out, StoreOptions { chunk_events: 64 }).unwrap();
+    let mut r = StoreReader::open(&out).unwrap();
+    assert_eq!(r.version(), 2);
+    assert!(r.chunks().iter().all(|m| m.crc != 0));
+    // Every output chunk re-verifies against its fresh CRC.
+    for i in 0..r.chunks().len() {
+        r.read_chunk(i).unwrap();
+    }
+    assert_eq!(r.info().events as usize, t1.events.len() + t2.events.len());
+
+    // A corrupt input payload fails compaction with the typed error —
+    // corruption cannot flow silently into a compacted store.
+    let chunk0 = StoreReader::open(&p1).unwrap().chunks()[0];
+    let mut bad = std::fs::read(&p1).unwrap();
+    bad[chunk0.offset as usize + 40] ^= 0xff;
+    std::fs::write(&p1, &bad).unwrap();
+    assert!(matches!(
+        compact(&[&p1, &p2], &out, StoreOptions::default()),
+        Err(TraceError::ChecksumMismatch { index: 0 })
+    ));
+    for p in [p1, p2, out] {
+        std::fs::remove_file(&p).ok();
+    }
 }
