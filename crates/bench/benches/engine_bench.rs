@@ -1,7 +1,8 @@
 //! engine_bench — raw throughput of the virtual-time discrete-event
-//! engine, in events per second of host time.
+//! engine, in events per second of host time, measured on **both**
+//! process backends.
 //!
-//! Four workloads stress the scheduler hot loop in different shapes:
+//! Five workloads stress the scheduler hot loop in different shapes:
 //!
 //! * **pingpong** — two processes exchanging messages through a pair of
 //!   channels: the pure handoff cost, one blocking receive per event;
@@ -12,35 +13,48 @@
 //! * **reconfig_wave** — 16 processes riding confsync-style epochs: rank
 //!   0 fans a table out through per-rank channels, gathers acks, and a
 //!   barrier releases the next epoch — the shape the adaptive
-//!   controller's activation broadcasts travel on.
+//!   controller's activation broadcasts travel on;
+//! * **fig7_sweep3d_144x8** — the paper-scale shape (§6, Fig 7c): 1152
+//!   ranks on the 144-node × 8-CPU Power3 colony running KBA wavefront
+//!   sweeps (recv west/north, compute, send east/south, reverse, sync) —
+//!   the workload ROADMAP item 1 wants at interactive speed.
 //!
-//! Every workload is a fixed-size simulation (so its event count is
-//! deterministic); the best wall-clock of five samples divides it into
-//! events/sec. Results are written as machine-readable JSON to
-//! `BENCH_engine.json` at the workspace root (override with
-//! `BENCH_ENGINE_OUT=<path>`), seeding the repository's performance
-//! trajectory.
+//! Each workload runs once per backend: `threads` (one OS thread per sim
+//! process — the PR 5 engine, kept as the differential oracle) and
+//! `coroutine` (stack-swapped green tasks on the driving thread — the
+//! default since the threadless rewrite). Every workload is a fixed-size
+//! simulation (so its event count is deterministic); the best wall-clock
+//! of five samples divides it into events/sec. Results are written as
+//! machine-readable JSON to `BENCH_engine.json` at the workspace root
+//! (override with `BENCH_ENGINE_OUT=<path>`): bare-named rows are the
+//! threads backend (the schema-v1 names, so historical rows stay
+//! comparable), `<name>_coroutine` rows are the coroutine backend.
 //!
 //! Regression gate (the CI `perf-smoke` job): set
 //! `PERF_BASELINE=<path-to-committed-BENCH_engine.json>` and the bench
-//! exits nonzero if any workload's events/sec fell more than
-//! `PERF_SMOKE_TOLERANCE` (default `0.30`, i.e. 30%) below the baseline.
+//! exits nonzero if any **coroutine** workload's events/sec fell more
+//! than `PERF_SMOKE_TOLERANCE` (default `0.30`, i.e. 30%) below the
+//! baseline. Threads rows are compared and printed but never fail the
+//! gate — that backend is a correctness oracle, not a perf target, and
+//! gating it would make the job flaky on loaded runners.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dynprof_obs::Json;
 use dynprof_sim::sync::{SimBarrier, SimChannel};
-use dynprof_sim::{Machine, Sim, SimTime};
+use dynprof_sim::{Machine, ProcBackend, Sim, SimTime};
 
-/// One measured workload: deterministic event count, best host time.
+/// One measured workload on one backend.
 struct Measure {
     name: &'static str,
+    backend: ProcBackend,
     events: u64,
     best: Duration,
-    /// Handoffs actually paid: direct (one OS-thread switch) count one,
-    /// scheduler fallbacks (two switches, the hub-and-spoke price) count
-    /// two. The hub-and-spoke equivalent is `2 * events`.
+    /// Handoffs actually paid: direct (one switch — futex pair on
+    /// threads, stack swap on coroutine) count one, scheduler fallbacks
+    /// (two switches, the hub-and-spoke price) count two. The
+    /// hub-and-spoke equivalent is `2 * events`.
     handoffs: u64,
 }
 
@@ -48,23 +62,36 @@ impl Measure {
     fn events_per_sec(&self) -> f64 {
         self.events as f64 / self.best.as_secs_f64()
     }
+
+    /// Row key in the JSON output: bare name for threads (schema-v1
+    /// compatible), `_coroutine` suffix otherwise.
+    fn key(&self) -> String {
+        match self.backend {
+            ProcBackend::Threads => self.name.to_string(),
+            ProcBackend::Coroutine => format!("{}_coroutine", self.name),
+        }
+    }
 }
 
-/// Run `build` (which constructs and runs one simulation, returning its
-/// stats handle) five times; keep the deterministic event count and the
-/// best wall time.
-fn sample(name: &'static str, build: impl Fn() -> (u64, u64, Duration)) -> Measure {
+/// Run `build` five times on `backend`; keep the deterministic event
+/// count and the best wall time.
+fn sample(
+    name: &'static str,
+    backend: ProcBackend,
+    build: impl Fn(ProcBackend) -> (u64, u64, Duration),
+) -> Measure {
     let mut best = Duration::MAX;
     let mut events = 0;
     let mut handoffs = 0;
     for _ in 0..5 {
-        let (ev, ho, wall) = build();
+        let (ev, ho, wall) = build(backend);
         events = ev;
         handoffs = ho;
         best = best.min(wall);
     }
     Measure {
         name,
+        backend,
         events,
         best,
         handoffs,
@@ -85,8 +112,8 @@ fn timed_run(sim: Sim) -> (u64, u64, Duration) {
 }
 
 /// Two processes ping-ponging `rounds` messages through two channels.
-fn pingpong(rounds: u32) -> (u64, u64, Duration) {
-    let sim = Sim::virtual_time(Machine::test_machine(), 1);
+fn pingpong(rounds: u32, backend: ProcBackend) -> (u64, u64, Duration) {
+    let sim = Sim::virtual_time_with_backend(Machine::test_machine(), 1, backend);
     let ch_a: Arc<SimChannel<u32>> = Arc::new(SimChannel::new());
     let ch_b: Arc<SimChannel<u32>> = Arc::new(SimChannel::new());
     let (a1, b1) = (Arc::clone(&ch_a), Arc::clone(&ch_b));
@@ -108,8 +135,8 @@ fn pingpong(rounds: u32) -> (u64, u64, Duration) {
 
 /// `n` processes; every round each sends one jittered message to every
 /// other process's mailbox, then drains `n - 1` receipts.
-fn alltoall(n: usize, rounds: usize) -> (u64, u64, Duration) {
-    let sim = Sim::virtual_time(Machine::test_machine(), 2);
+fn alltoall(n: usize, rounds: usize, backend: ProcBackend) -> (u64, u64, Duration) {
+    let sim = Sim::virtual_time_with_backend(Machine::test_machine(), 2, backend);
     let chans: Vec<Arc<SimChannel<u32>>> = (0..n).map(|_| Arc::new(SimChannel::new())).collect();
     for i in 0..n {
         let chans = chans.clone();
@@ -133,8 +160,8 @@ fn alltoall(n: usize, rounds: usize) -> (u64, u64, Duration) {
 
 /// `n` processes hammering one cyclic barrier for `rounds` episodes with
 /// jittered arrival skew.
-fn barrier_storm(n: usize, rounds: usize) -> (u64, u64, Duration) {
-    let sim = Sim::virtual_time(Machine::test_machine(), 3);
+fn barrier_storm(n: usize, rounds: usize, backend: ProcBackend) -> (u64, u64, Duration) {
+    let sim = Sim::virtual_time_with_backend(Machine::test_machine(), 3, backend);
     let bar = Arc::new(SimBarrier::new(n, SimTime::from_nanos(200)));
     for i in 0..n {
         let bar = Arc::clone(&bar);
@@ -152,8 +179,8 @@ fn barrier_storm(n: usize, rounds: usize) -> (u64, u64, Duration) {
 /// `n` processes sweeping `rounds` confsync-style reconfiguration waves:
 /// rank 0 broadcasts through per-rank channels, drains one ack per peer,
 /// and a barrier releases everyone into the next epoch.
-fn reconfig_wave(n: usize, rounds: usize) -> (u64, u64, Duration) {
-    let sim = Sim::virtual_time(Machine::test_machine(), 4);
+fn reconfig_wave(n: usize, rounds: usize, backend: ProcBackend) -> (u64, u64, Duration) {
+    let sim = Sim::virtual_time_with_backend(Machine::test_machine(), 4, backend);
     let down: Vec<Arc<SimChannel<u32>>> = (0..n).map(|_| Arc::new(SimChannel::new())).collect();
     let up: Arc<SimChannel<u32>> = Arc::new(SimChannel::new());
     let bar = Arc::new(SimBarrier::new(n, SimTime::from_nanos(200)));
@@ -181,14 +208,119 @@ fn reconfig_wave(n: usize, rounds: usize) -> (u64, u64, Duration) {
     timed_run(sim)
 }
 
+/// The paper-scale workload: 1152 ranks (144 nodes × 8 CPUs, the §6
+/// Power3 colony) on a 36×32 KBA process grid, sweeping `iters`
+/// wavefront pairs. Each rank blocks on its west and north inflows,
+/// "computes" a plane (a virtual-time advance), forwards east and south,
+/// then the whole grid reverses direction — the dependency pattern of
+/// sweep3d's pipelined wavefronts, which serializes into long dependence
+/// chains and is exactly the shape where per-event scheduler overhead
+/// dominates a simulation at scale.
+fn fig7_sweep3d_144x8(iters: usize, backend: ProcBackend) -> (u64, u64, Duration) {
+    const PX: usize = 36;
+    const PY: usize = 32; // PX * PY = 1152 ranks on 144 nodes x 8 CPUs
+    let machine = Machine::ibm_power3_colony();
+    let nodes = machine.nodes;
+    let sim = Sim::virtual_time_with_backend(machine, 5, backend);
+    // chans[dir][rank]: dir 0 = eastward flow (recv from west), dir 1 =
+    // southward, dir 2/3 the reversed sweep.
+    let chans: Vec<Vec<Arc<SimChannel<u8>>>> = (0..4)
+        .map(|_| (0..PX * PY).map(|_| Arc::new(SimChannel::new())).collect())
+        .collect();
+    let bar = Arc::new(SimBarrier::new(PX * PY, SimTime::from_nanos(400)));
+    for py in 0..PY {
+        for px in 0..PX {
+            let rank = py * PX + px;
+            // Capture only this rank's own inflows and its neighbours'
+            // inflows (at most eight Arcs): the benchmark must measure
+            // the scheduler, not refcount churn on 4x1152 channel
+            // handles per process.
+            let in_w = (px > 0).then(|| Arc::clone(&chans[0][rank]));
+            let in_n = (py > 0).then(|| Arc::clone(&chans[1][rank]));
+            let out_e = (px + 1 < PX).then(|| Arc::clone(&chans[0][rank + 1]));
+            let out_s = (py + 1 < PY).then(|| Arc::clone(&chans[1][rank + PX]));
+            let rin_e = (px + 1 < PX).then(|| Arc::clone(&chans[2][rank]));
+            let rin_s = (py + 1 < PY).then(|| Arc::clone(&chans[3][rank]));
+            let rout_w = (px > 0).then(|| Arc::clone(&chans[2][rank - 1]));
+            let rout_n = (py > 0).then(|| Arc::clone(&chans[3][rank - PX]));
+            let bar = Arc::clone(&bar);
+            sim.spawn(format!("sweep{rank}"), rank / 8 % nodes, move |p| {
+                let lat = SimTime::from_nanos(1_500); // one KBA block face
+                let compute = SimTime::from_nanos(800 + (rank as u64 % 7) * 50);
+                for _ in 0..iters {
+                    // Forward octant: wavefront from the north-west corner.
+                    if let Some(ch) = &in_w {
+                        let _ = ch.recv(p);
+                    }
+                    if let Some(ch) = &in_n {
+                        let _ = ch.recv(p);
+                    }
+                    p.advance(compute);
+                    if let Some(ch) = &out_e {
+                        ch.send(p, 0, lat);
+                    }
+                    if let Some(ch) = &out_s {
+                        ch.send(p, 0, lat);
+                    }
+                    // Reverse octant: wavefront from the south-east corner.
+                    if let Some(ch) = &rin_e {
+                        let _ = ch.recv(p);
+                    }
+                    if let Some(ch) = &rin_s {
+                        let _ = ch.recv(p);
+                    }
+                    p.advance(compute);
+                    if let Some(ch) = &rout_w {
+                        ch.send(p, 0, lat);
+                    }
+                    if let Some(ch) = &rout_n {
+                        ch.send(p, 0, lat);
+                    }
+                    // Iteration boundary: the solver's convergence check.
+                    bar.wait(p);
+                }
+            });
+        }
+    }
+    timed_run(sim)
+}
+
 fn out_path() -> String {
     std::env::var("BENCH_ENGINE_OUT")
         .unwrap_or_else(|_| format!("{}/../../BENCH_engine.json", env!("CARGO_MANIFEST_DIR")))
 }
 
+/// Which backends to measure: `BENCH_ENGINE_BACKENDS` is a comma/space
+/// list of `threads`/`coroutine` (default: both). `scripts/profile_pipeline.sh`
+/// uses this to run one backend at a time under `perf`/`strace` so samples
+/// are attributable; the cross-backend event-count check and the JSON dump
+/// are skipped for restricted runs.
+fn backends_under_test() -> Vec<ProcBackend> {
+    let Ok(raw) = std::env::var("BENCH_ENGINE_BACKENDS") else {
+        return vec![ProcBackend::Threads, ProcBackend::Coroutine];
+    };
+    let picked: Vec<ProcBackend> = raw
+        .split([',', ' '])
+        .filter(|s| !s.is_empty())
+        .map(|s| match s {
+            "threads" => ProcBackend::Threads,
+            "coroutine" => ProcBackend::Coroutine,
+            other => {
+                eprintln!("BENCH_ENGINE_BACKENDS: unknown backend {other:?}");
+                std::process::exit(2);
+            }
+        })
+        .collect();
+    if picked.is_empty() {
+        eprintln!("BENCH_ENGINE_BACKENDS set but names no backend");
+        std::process::exit(2);
+    }
+    picked
+}
+
 fn to_json(measures: &[Measure]) -> String {
     Json::obj([
-        ("schema", "dynprof-engine-bench/v1".into()),
+        ("schema", "dynprof-engine-bench/v2".into()),
         (
             "workloads",
             Json::Obj(
@@ -196,8 +328,18 @@ fn to_json(measures: &[Measure]) -> String {
                     .iter()
                     .map(|m| {
                         (
-                            m.name.to_string(),
+                            m.key(),
                             Json::obj([
+                                (
+                                    "backend",
+                                    Json::Str(
+                                        match m.backend {
+                                            ProcBackend::Threads => "threads",
+                                            ProcBackend::Coroutine => "coroutine",
+                                        }
+                                        .into(),
+                                    ),
+                                ),
                                 ("events", Json::UInt(m.events)),
                                 ("handoffs", Json::UInt(m.handoffs)),
                                 ("best_ns", Json::UInt(m.best.as_nanos() as u64)),
@@ -227,23 +369,52 @@ fn baseline_events_per_sec(json: &str, name: &str) -> Option<f64> {
 }
 
 fn main() {
-    println!("engine_bench: virtual-time engine throughput (best of 5)\n");
-    let measures = [
-        sample("pingpong", || pingpong(20_000)),
-        sample("alltoall", || alltoall(16, 60)),
-        sample("barrier_storm", || barrier_storm(32, 1_500)),
-        sample("reconfig_wave", || reconfig_wave(16, 600)),
+    println!("engine_bench: virtual-time engine throughput (best of 5, both backends)\n");
+    type Workload = (&'static str, fn(ProcBackend) -> (u64, u64, Duration));
+    let workloads: [Workload; 5] = [
+        ("pingpong", |b| pingpong(20_000, b)),
+        ("alltoall", |b| alltoall(16, 60, b)),
+        ("barrier_storm", |b| barrier_storm(32, 1_500, b)),
+        ("reconfig_wave", |b| reconfig_wave(16, 600, b)),
+        ("fig7_sweep3d_144x8", |b| fig7_sweep3d_144x8(3, b)),
     ];
-    for m in &measures {
-        println!(
-            "{:<14} {:>9} events in {:>9.3} ms  ->  {:>12.0} events/sec  ({} handoffs, hub-equiv {})",
-            m.name,
-            m.events,
-            m.best.as_secs_f64() * 1e3,
-            m.events_per_sec(),
-            m.handoffs,
-            2 * m.events,
+    let backends = backends_under_test();
+    let restricted = backends.len() < 2;
+    let mut measures = Vec::new();
+    for &backend in &backends {
+        for &(name, f) in &workloads {
+            let m = sample(name, backend, f);
+            println!(
+                "{:<30} {:>9} events in {:>9.3} ms  ->  {:>12.0} events/sec  ({} handoffs, hub-equiv {})",
+                m.key(),
+                m.events,
+                m.best.as_secs_f64() * 1e3,
+                m.events_per_sec(),
+                m.handoffs,
+                2 * m.events,
+            );
+            measures.push(m);
+        }
+    }
+    // The backends simulate the same workloads, so their deterministic
+    // event counts must agree — a cheap in-bench differential check.
+    for w in &workloads {
+        let counts: Vec<u64> = measures
+            .iter()
+            .filter(|m| m.name == w.0)
+            .map(|m| m.events)
+            .collect();
+        assert!(
+            counts.windows(2).all(|c| c[0] == c[1]),
+            "{}: event counts diverged across backends: {counts:?}",
+            w.0
         );
+    }
+    if restricted {
+        // A single-backend profiling pass must not clobber the committed
+        // two-backend JSON or trip the gate against missing rows.
+        println!("\nrestricted backend set; skipping JSON dump and gate");
+        return;
     }
 
     let path = out_path();
@@ -256,7 +427,8 @@ fn main() {
         }
     }
 
-    // Soft regression gate against a committed baseline (CI perf-smoke).
+    // Regression gate against a committed baseline (CI perf-smoke).
+    // Coroutine rows gate hard; threads rows print verdicts only.
     if let Ok(baseline_path) = std::env::var("PERF_BASELINE") {
         let tolerance: f64 = std::env::var("PERF_SMOKE_TOLERANCE")
             .ok()
@@ -268,23 +440,29 @@ fn main() {
         });
         let mut failed = false;
         for m in &measures {
-            match baseline_events_per_sec(&baseline, m.name) {
+            let key = m.key();
+            match baseline_events_per_sec(&baseline, &key) {
                 Some(base) => {
                     let floor = base * (1.0 - tolerance);
                     let now = m.events_per_sec();
-                    let verdict = if now < floor { "REGRESSED" } else { "ok" };
+                    let gated = m.backend == ProcBackend::Coroutine;
+                    let verdict = match (now < floor, gated) {
+                        (false, _) => "ok",
+                        (true, true) => "REGRESSED",
+                        (true, false) => "below floor (oracle backend, not gated)",
+                    };
                     println!(
-                        "perf-smoke {:<14} baseline {:>12.0}  now {:>12.0}  floor {:>12.0}  {}",
-                        m.name, base, now, floor, verdict
+                        "perf-smoke {:<30} baseline {:>12.0}  now {:>12.0}  floor {:>12.0}  {}",
+                        key, base, now, floor, verdict
                     );
-                    failed |= now < floor;
+                    failed |= gated && now < floor;
                 }
-                None => println!("perf-smoke {:<14} no baseline entry; skipped", m.name),
+                None => println!("perf-smoke {:<30} no baseline entry; skipped", key),
             }
         }
         if failed {
             eprintln!(
-                "perf-smoke: events/sec regressed more than {:.0}% below baseline",
+                "perf-smoke: coroutine events/sec regressed more than {:.0}% below baseline",
                 tolerance * 100.0
             );
             std::process::exit(1);

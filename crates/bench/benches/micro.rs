@@ -13,10 +13,58 @@
 //! available in this build environment): each case is auto-calibrated so
 //! one sample lasts ≥ ~10 ms, five samples are taken, and the best is
 //! reported, criterion-style.
+//!
+//! Besides timing, this binary pins **per-operation allocation counts**
+//! on the engine's hot paths (`alloc/*` rows): a counting
+//! `#[global_allocator]` measures exactly how many heap allocations one
+//! steady-state operation performs — control-plane send, probe fire,
+//! trace append, coroutine handoff — and the run fails if a path gains
+//! an allocation. Timing rows tolerate noise; the allocation ledger is
+//! exact, so an accidental `clone()` or `Box::new` on a fast path is a
+//! deterministic failure rather than a 3%-slower shrug.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Counts every allocation (and reallocation) so fast paths can pin
+/// their exact per-op heap traffic. Frees are not counted: the pinned
+/// paths are judged on what they *acquire* per op.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers to `System` for every operation; only bookkeeping is
+// added, and the counter is a relaxed atomic (signal-safe, no locks).
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocations performed while running `f`.
+fn alloc_delta(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
 
 use parking_lot::Mutex;
 
@@ -25,7 +73,7 @@ use dynprof_image::{
     Snippet, SnippetProgram, Stmt,
 };
 use dynprof_obs as obs;
-use dynprof_sim::{hb, Machine, ProbeCosts, Proc, Sim, SimTime};
+use dynprof_sim::{hb, Machine, ProbeCosts, Proc, ProcBackend, Sim, SimTime};
 use dynprof_vt::{vt_begin_snippet, vt_end_snippet, Trace, VtConfig, VtLib};
 
 /// Run one benchmark: `f(iters)` must perform `iters` iterations and
@@ -647,6 +695,184 @@ fn bench_runtimes() {
     });
 }
 
+/// Print and pin one fast path's allocation ledger: `total` allocations
+/// over `ops` steady-state operations must floor-divide to exactly
+/// `expect_per_op`, and the amortized remainder (container doublings,
+/// chunk flushes) must stay under `max_amortized`. The remainder bound is
+/// what catches a fractional regression — a path that allocates every
+/// other op still floors to its old per-op count but blows the remainder.
+fn pinned_allocs(name: &str, total: u64, ops: u64, expect_per_op: u64, max_amortized: u64) {
+    let per_op = total / ops;
+    let amortized = total - per_op * ops;
+    println!("{name:<34} {per_op:>12} allocs/op  (+{amortized} amortized over {ops} ops)");
+    assert_eq!(
+        per_op, expect_per_op,
+        "{name}: per-op allocation count drifted (total {total} over {ops} ops)"
+    );
+    assert!(
+        amortized <= max_amortized,
+        "{name}: amortized allocations {amortized} exceed budget {max_amortized} \
+         (a fast path likely gained a conditional allocation)"
+    );
+}
+
+/// The control-plane send guard, now as an exact ledger: with no fault
+/// plan installed, `send_ctl` + `try_recv` of a pre-allocated boxed
+/// payload performs **zero** heap allocations per op — no speculative
+/// clone for the duplication path, no RNG draw, no queue churn.
+fn alloc_send_ctl_nofault() {
+    const OPS: u64 = 4096;
+    const WARM: u64 = 256;
+    let out = Arc::new(Mutex::new(0u64));
+    let out2 = Arc::clone(&out);
+    let sim = Sim::virtual_time(Machine::test_machine(), 1);
+    sim.spawn("ledger", 0, move |p| {
+        let ch: Arc<dynprof_sim::sync::SimChannel<Box<[u8]>>> =
+            Arc::new(dynprof_sim::sync::SimChannel::new());
+        let mut payloads: Vec<Box<[u8]>> = (0..WARM + OPS)
+            .map(|_| vec![0u8; 64].into_boxed_slice())
+            .collect();
+        for _ in 0..WARM {
+            ch.send_ctl(p, payloads.pop().expect("payload"), SimTime::ZERO);
+            black_box(ch.try_recv(p));
+        }
+        *out2.lock() = alloc_delta(|| {
+            for _ in 0..OPS {
+                ch.send_ctl(p, payloads.pop().expect("payload"), SimTime::ZERO);
+                black_box(ch.try_recv(p));
+            }
+        });
+    });
+    sim.run();
+    let total = *out.lock();
+    pinned_allocs("alloc/send_ctl_nofault", total, OPS, 0, 16);
+}
+
+/// A counting probe fired through a patched image: the whole dispatch —
+/// probe-table lookup, trampoline, snippet closure, cost charge — is
+/// allocation-free per fire.
+fn alloc_probe_fire() {
+    const OPS: u64 = 4096;
+    const WARM: u64 = 256;
+    let out = Arc::new(Mutex::new(0u64));
+    let out2 = Arc::clone(&out);
+    let sim = Sim::virtual_time(Machine::test_machine(), 1);
+    sim.spawn("ledger", 0, move |p| {
+        let mut bld = ImageBuilder::new("ledger");
+        let f = bld.add(FunctionInfo::new("f"));
+        let img = bld.build();
+        let data = Arc::new(Mutex::new(vec![0i64]));
+        img.try_insert(
+            ProbePoint::entry(f),
+            Snippet::new("count", dynprof_image::STORE_COST, move |ctx| {
+                let mut d = data.lock();
+                d[0] = d[0].wrapping_add(ctx.reps as i64);
+            }),
+        )
+        .expect("patchable target");
+        for _ in 0..WARM {
+            img.call(p, CallerCtx::default(), f, || black_box(1));
+        }
+        *out2.lock() = alloc_delta(|| {
+            for _ in 0..OPS {
+                img.call(p, CallerCtx::default(), f, || black_box(1));
+            }
+        });
+    });
+    sim.run();
+    let total = *out.lock();
+    pinned_allocs("alloc/probe_fire", total, OPS, 0, 16);
+}
+
+/// Appending events through the full chunked store writer (delta encode,
+/// varint, CRC, buffered sink): zero allocations per event, with an
+/// amortized remainder for the per-chunk flushes and buffer doublings.
+fn alloc_trace_append() {
+    use std::io::Cursor;
+
+    use dynprof_analysis::store::{StoreOptions, StoreWriter};
+
+    const OPS: u64 = 8192;
+    const WARM: u64 = 512;
+    let mut w = StoreWriter::new(
+        Cursor::new(Vec::new()),
+        "ledger".to_string(),
+        StoreOptions { chunk_events: 256 },
+    )
+    .expect("in-memory sink");
+    w.set_functions((0..199).map(|i| format!("fn_{i}")).collect());
+    let ev = |i: u64| dynprof_vt::Event::FuncEnter {
+        t: SimTime::from_nanos(i * 100),
+        rank: (i % 64) as u32,
+        thread: 0,
+        func: dynprof_vt::VtFuncId((i % 199) as u32),
+    };
+    for i in 0..WARM {
+        w.append(&ev(i));
+    }
+    let total = alloc_delta(|| {
+        for i in 0..OPS {
+            w.append(&ev(WARM + i));
+        }
+    });
+    black_box(w.finish().expect("in-memory finish"));
+    // ~32 chunk flushes land in the window; each may stage fresh chunk
+    // buffers, and the in-memory sink doubles a few times.
+    pinned_allocs("alloc/trace_append", total, OPS, 0, OPS / 4);
+}
+
+/// The headline ledger of the threadless engine: one steady-state
+/// coroutine handoff — block the receiver, pop the next event, pre-set
+/// its clock, swap stacks — performs **zero** heap allocations. (On the
+/// threads backend the same dispatch logic holds, but the park/unpark
+/// syscalls hide any such regression; the coroutine path makes it
+/// measurable and therefore pinnable.)
+fn alloc_coroutine_handoff() {
+    const ROUNDS: u64 = 2048; // two handoffs per round: ping->pong->ping
+    const WARM: u64 = 128;
+    let out = Arc::new(Mutex::new(0u64));
+    let out2 = Arc::clone(&out);
+    let sim = Sim::virtual_time_with_backend(Machine::test_machine(), 1, ProcBackend::Coroutine);
+    let ch_a: Arc<dynprof_sim::sync::SimChannel<u32>> =
+        Arc::new(dynprof_sim::sync::SimChannel::new());
+    let ch_b: Arc<dynprof_sim::sync::SimChannel<u32>> =
+        Arc::new(dynprof_sim::sync::SimChannel::new());
+    let (a1, b1) = (Arc::clone(&ch_a), Arc::clone(&ch_b));
+    sim.spawn("ping", 0, move |p| {
+        for i in 0..WARM {
+            a1.send(p, i as u32, SimTime::from_micros(1));
+            let _ = b1.recv(p);
+        }
+        // The window covers both sides' steady-state work: pong's sends
+        // and receives interleave with ours on the same counter.
+        *out2.lock() = alloc_delta(|| {
+            for i in 0..ROUNDS {
+                a1.send(p, i as u32, SimTime::from_micros(1));
+                let _ = b1.recv(p);
+            }
+        });
+    });
+    let (a2, b2) = (ch_a, ch_b);
+    sim.spawn("pong", 1, move |p| {
+        for _ in 0..WARM + ROUNDS {
+            let v = a2.recv(p);
+            b2.send(p, v, SimTime::from_micros(1));
+        }
+    });
+    sim.run();
+    let total = *out.lock();
+    pinned_allocs("alloc/coroutine_handoff", total, 2 * ROUNDS, 0, 16);
+}
+
+/// The allocation ledger: exact per-op heap traffic of the fast paths.
+fn bench_alloc_ledger() {
+    println!("\nallocation ledger (exact counts, pinned)\n");
+    alloc_send_ctl_nofault();
+    alloc_probe_fire();
+    alloc_trace_append();
+    alloc_coroutine_handoff();
+}
+
 fn main() {
     println!("micro-benchmarks (best of 5 calibrated samples)\n");
     bench_obs_primitives();
@@ -659,4 +885,5 @@ fn main() {
     bench_config_resolve();
     bench_des_engine();
     bench_runtimes();
+    bench_alloc_ledger();
 }

@@ -1,23 +1,41 @@
 //! The simulation engine: a deterministic sequential discrete-event
-//! scheduler with thread-backed processes, plus a real-time mode.
+//! scheduler with coroutine- or thread-backed processes, plus a
+//! real-time mode.
 //!
 //! # Virtual mode
 //!
-//! Every simulated process runs on its own OS thread, but **exactly one
-//! process thread executes at a time**. A process blocks whenever it
-//! performs a simulator operation ([`Proc::sleep`], a blocking receive, or
-//! any primitive in [`crate::sync`]); before sleeping it pops the
-//! globally-earliest pending wake event itself and notifies the successor
-//! directly (*direct handoff*: one OS-thread switch per event; popping
-//! one's own wake costs none). The [`Sim::run`] thread only performs the
-//! startup dispatch, detects deadlock, and tears the run down — it is not
-//! on the per-event path. Computation between simulator operations
-//! executes natively (results are real) while simulated time advances only
-//! through explicit charges. Ties in the event queue are broken by
+//! Exactly one simulated process executes at a time. A process blocks
+//! whenever it performs a simulator operation ([`Proc::sleep`], a
+//! blocking receive, or any primitive in [`crate::sync`]); before
+//! sleeping it pops the globally-earliest pending wake event itself and
+//! resumes the successor directly (*direct handoff*; popping one's own
+//! wake costs nothing). The [`Sim::run`] thread only performs the
+//! startup dispatch, detects deadlock, and tears the run down — it is
+//! not on the per-event path. Computation between simulator operations
+//! executes natively (results are real) while simulated time advances
+//! only through explicit charges. Ties in the event queue are broken by
 //! insertion sequence number, which makes every run with the same seed
-//! bit-for-bit deterministic; because the dispatch decision always happens
-//! under the same lock hold that blocked the yielding process, the event
-//! *order* is identical to the historical hub-and-spoke scheduler's.
+//! bit-for-bit deterministic; because the dispatch decision always
+//! happens under the same lock hold that blocked the yielding process,
+//! the event *order* is identical on every backend (and to the
+//! historical hub-and-spoke scheduler's).
+//!
+//! Two [`ProcBackend`]s carry the processes:
+//!
+//! * **`coroutine`** (default where supported) — every process is a
+//!   stack-swapped green task (see the `co` module) and all of them are
+//!   multiplexed on the thread inside [`Sim::run`]. A handoff is a
+//!   userspace context switch: save six registers, swap `rsp` —
+//!   no syscall anywhere on the per-event path.
+//! * **`threads`** — every process is an OS thread and a handoff is a
+//!   `park`/`unpark` futex pair. Kept as the differential oracle: the
+//!   dispatch decision is shared code, so dispatch logs, figures, and
+//!   metrics must be byte-identical across backends.
+//!
+//! Event storage is per *node* (one heap per simulated node plus a
+//! cross-node frontier heap), so a conservative parallel scheduler with
+//! topology-derived lookahead can partition nodes across workers later
+//! without changing the event order the sequential backends produce.
 //!
 //! # Real mode
 //!
@@ -27,9 +45,11 @@
 //! by the criterion micro-benchmarks to measure the genuine cost of the
 //! instrumentation fast paths.
 
+use core::ffi::c_void;
+use std::cell::UnsafeCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -37,6 +57,7 @@ use std::time::Instant;
 use dynprof_obs as obs;
 use parking_lot::{Condvar, Mutex};
 
+use crate::co;
 use crate::fault::FaultPlan;
 use crate::rng::SimRng;
 use crate::time::SimTime;
@@ -52,6 +73,97 @@ pub enum ClockMode {
     Virtual,
     /// Wall-clock time with truly concurrent threads.
     Real,
+}
+
+/// Which mechanism carries the simulated processes of a virtual-time
+/// simulation.
+///
+/// Both backends share the dispatch algorithm (one function, one lock
+/// discipline), so event order, dispatch logs, figure output, and every
+/// deterministic metric are byte-identical across them; only the cost of
+/// a handoff differs. `threads` is kept as the differential oracle for
+/// `coroutine` and for platforms without a coroutine implementation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProcBackend {
+    /// One OS thread per process; a handoff parks the yielder and
+    /// unparks the successor — a futex syscall pair per event.
+    Threads,
+    /// One stack-swapped coroutine per process (the `co` module), all
+    /// multiplexed on the thread driving [`Sim::run`]; a handoff is a
+    /// userspace context switch, roughly a function call. The default
+    /// where supported (x86-64 Linux).
+    Coroutine,
+}
+
+/// Process-global backend override: 0 = none, 1 = threads, 2 = coroutine.
+static BACKEND_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Force (or, with `None`, stop forcing) the [`ProcBackend`] of every
+/// virtual-time [`Sim`] created after this call, trumping both the
+/// `DYNPROF_PROC_BACKEND` environment variable and the platform default.
+///
+/// Intended for differential tests that replay a whole pipeline on both
+/// backends within one process; such tests must serialize themselves
+/// (the override is process-global state).
+pub fn set_backend_override(backend: Option<ProcBackend>) {
+    let v = match backend {
+        None => 0,
+        Some(ProcBackend::Threads) => 1,
+        Some(ProcBackend::Coroutine) => 2,
+    };
+    BACKEND_OVERRIDE.store(v, Ordering::SeqCst);
+}
+
+impl ProcBackend {
+    /// The backend a plain [`Sim::virtual_time`] resolves to: the
+    /// process-global override ([`set_backend_override`]) if set, else
+    /// `DYNPROF_PROC_BACKEND` (`threads` / `coroutine`; read once), else
+    /// coroutines where supported. A coroutine request on a platform
+    /// without the runtime falls back to threads.
+    pub fn default_backend() -> ProcBackend {
+        let resolved = match BACKEND_OVERRIDE.load(Ordering::SeqCst) {
+            1 => ProcBackend::Threads,
+            2 => ProcBackend::Coroutine,
+            _ => {
+                static ENV: OnceLock<Option<ProcBackend>> = OnceLock::new();
+                let env =
+                    *ENV.get_or_init(|| match std::env::var("DYNPROF_PROC_BACKEND").as_deref() {
+                        Ok("threads") => Some(ProcBackend::Threads),
+                        Ok("coroutine") => Some(ProcBackend::Coroutine),
+                        _ => None,
+                    });
+                env.unwrap_or({
+                    if co::supported() {
+                        ProcBackend::Coroutine
+                    } else {
+                        ProcBackend::Threads
+                    }
+                })
+            }
+        };
+        if resolved == ProcBackend::Coroutine && !co::supported() {
+            ProcBackend::Threads
+        } else {
+            resolved
+        }
+    }
+}
+
+/// Unwind payload used to tear suspended coroutines down: raised with
+/// `resume_unwind` (no panic-hook noise) at a resume point once the
+/// simulation is poisoned, caught by the coroutine's boot `catch_unwind`
+/// and classified as a poisoned — not panicked — exit. Destructors on
+/// the coroutine's stack run normally on the way out.
+struct CoPoison;
+
+/// How a coroutine's body ended, classified by its boot closure.
+enum CoExit {
+    /// The body returned normally.
+    Normal,
+    /// Unwound by [`CoPoison`] during teardown.
+    Poisoned,
+    /// The body panicked; the payload is re-raised from [`Sim::run`].
+    Panicked(Box<dyn std::any::Any + Send>),
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -84,25 +196,98 @@ struct ProcSlot {
 /// dispatcher holds `inner` and briefly takes `heaps` to pop; producers
 /// take `heaps` alone.
 struct Heaps {
-    /// Pending wake events `(at, seq, pid)`, min-first.
-    queue: BinaryHeap<Reverse<(SimTime, u64, Pid)>>,
-    /// Deadline timers `(at, seq, pid, gen)`. Kept apart from `queue` so a
-    /// timed wait whose timer never fires (the no-fault fast path) leaves
-    /// every queue metric — and thus the metrics dump — untouched.
+    /// Pending wake events `(at, seq, pid)`, min-first, **one heap per
+    /// simulated node** (indexed by the target pid's node). Partitioning
+    /// by node is the shape a conservative parallel scheduler needs —
+    /// workers own disjoint node sets and exchange lookahead bounds —
+    /// and the sequential backends pay only the `frontier` merge for it.
+    node_queues: Vec<BinaryHeap<Reverse<(SimTime, u64, Pid)>>>,
+    /// Cross-node merge heap: `(at, seq, node)` candidates, one valid
+    /// entry per nonempty node heap plus lazily-discarded stale ones. An
+    /// entry is valid iff it still equals its node heap's top (`(at,
+    /// seq)` pairs are unique, so equality is exact); staleness arises
+    /// when a smaller event arrived after the entry was pushed, or when
+    /// the entry's event was already popped. The valid minimum over this
+    /// heap equals the minimum over all node tops, so the pop order is
+    /// bit-for-bit the single-global-heap order.
+    frontier: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    /// Total pending wake events across `node_queues`.
+    queued: usize,
+    /// pid → node, for routing pushes to the right heap.
+    node_of: Vec<usize>,
+    /// Deadline timers `(at, seq, pid, gen)`. Kept apart from the wake
+    /// queues so a timed wait whose timer never fires (the no-fault fast
+    /// path) leaves every queue metric — and thus the metrics dump —
+    /// untouched. Timers stay global: they are rare (armed only by
+    /// deadline waits) and never on the hot path.
     timers: BinaryHeap<Reverse<(SimTime, u64, Pid, u64)>>,
-    /// Tie-break sequence number shared by both heaps (insertion order).
+    /// Tie-break sequence number shared by all heaps (insertion order).
     seq: u64,
     /// Per-pid timer generation: a timer entry fires only if its recorded
     /// generation still matches. Cancellation bumps the generation *and*
     /// eagerly removes the dead entries (the generation check remains as
     /// defense in depth).
     timer_gens: Vec<u64>,
-    /// Deepest the wake queue has grown (only tracked while observation
-    /// is enabled; deterministic, since pushes are serialized).
+    /// Deepest the wake queues have grown in total (only tracked while
+    /// observation is enabled; deterministic, since pushes are
+    /// serialized).
     queue_hw: usize,
     /// Cancelled timer entries removed from the heap at the cancellation
     /// site rather than lingering until they surface at the top.
     timers_cancelled: u64,
+}
+
+impl Heaps {
+    /// Push a wake event for `pid` at `at`, maintaining the frontier
+    /// invariant: if the event became its node's earliest, it becomes a
+    /// frontier candidate (the entry it supersedes goes stale and is
+    /// discarded lazily by [`Heaps::peek_wake`]).
+    fn push_wake(&mut self, at: SimTime, pid: Pid) {
+        self.seq += 1;
+        let seq = self.seq;
+        let node = self.node_of[pid];
+        let q = &mut self.node_queues[node];
+        q.push(Reverse((at, seq, pid)));
+        self.queued += 1;
+        if let Some(&Reverse((qt, qs, _))) = q.peek() {
+            if (qt, qs) == (at, seq) {
+                self.frontier.push(Reverse((at, seq, node)));
+            }
+        }
+        if obs::enabled() {
+            self.queue_hw = self.queue_hw.max(self.queued);
+        }
+    }
+
+    /// The earliest pending wake `(time, seq)` across all node heaps, or
+    /// `None` if no wake is pending. Pops stale frontier entries as it
+    /// encounters them; on `Some`, the frontier top is validated and
+    /// [`Heaps::pop_wake`] may be called.
+    fn peek_wake(&mut self) -> Option<(SimTime, u64)> {
+        while let Some(&Reverse((t, s, node))) = self.frontier.peek() {
+            match self.node_queues[node].peek() {
+                Some(&Reverse((qt, qs, _))) if (qt, qs) == (t, s) => return Some((t, s)),
+                _ => {
+                    self.frontier.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Pop the wake event a successful [`Heaps::peek_wake`] validated,
+    /// promoting its node's next event (if any) into the frontier.
+    fn pop_wake(&mut self) -> (SimTime, Pid) {
+        let Reverse((_, _, node)) = self.frontier.pop().expect("validated frontier entry");
+        let Reverse((t, _, pid)) = self.node_queues[node]
+            .pop()
+            .expect("frontier entry matched node top");
+        self.queued -= 1;
+        if let Some(&Reverse((nt, ns, _))) = self.node_queues[node].peek() {
+            self.frontier.push(Reverse((nt, ns, node)));
+        }
+        (t, pid)
+    }
 }
 
 /// Shared buffer behind [`DispatchLog`]: `(pid, resumed clock)` pairs.
@@ -133,16 +318,78 @@ struct EngineInner {
     /// straight to its successor (one OS-thread switch each; a process
     /// popping its own wake costs none and is also counted here as zero).
     direct_handoffs: u64,
-    /// Dispatches performed by the `run()` thread (two OS-thread switches
+    /// Dispatches performed by the `run()` thread (two context switches
     /// each: yielder -> scheduler -> successor). Startup only, by design.
     sched_fallbacks: u64,
     panicked: bool,
+    /// First real panic payload of a coroutine-backed process, re-raised
+    /// from [`Sim::run`] (the threads backend re-raises from its thread
+    /// join instead).
+    panic_payload: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// Engine-side per-process coroutine state (`coroutine` backend only).
+struct CoSlot {
+    raw: co::RawCo,
+    /// Has this coroutine been resumed at least once? An unstarted slot
+    /// still owns its boot closure (freed by `Drop`); a started one has
+    /// handed it to the coroutine.
+    started: bool,
+    /// The `Box<co::BootFn>` pointer parked in the fabricated r12 slot;
+    /// owned here until `started`.
+    boot_raw: *mut c_void,
+    /// Clock at resumption, written by the dispatcher just before the
+    /// switch so the resumed coroutine reads it without taking a lock.
+    resume_clock: SimTime,
+}
+
+impl Drop for CoSlot {
+    fn drop(&mut self) {
+        if !self.started && !self.boot_raw.is_null() {
+            // The coroutine never ran: the boot closure (and the process
+            // body inside it) is still ours to free.
+            unsafe { drop(Box::from_raw(self.boot_raw as *mut co::BootFn)) };
+        }
+    }
+}
+
+/// The coroutine pool: per-pid slots plus the saved scheduler context.
+///
+/// Wrapped in `UnsafeCell` with hand-written `Send`/`Sync` because
+/// `Engine` is shared through `Arc` (stats handles, process bodies) and
+/// must stay `Sync`, while the pool itself is never accessed
+/// concurrently: before `run()` only spawners touch it, serialized under
+/// the `inner` lock; from then on only the driving thread — `run()` and
+/// the coroutines it multiplexes are the same OS thread — ever does.
+struct CoPool(UnsafeCell<CoPoolInner>);
+
+// SAFETY: see the invariant on [`CoPool`]. Every access goes through an
+// `unsafe` engine method whose caller discharges it.
+unsafe impl Send for CoPool {}
+unsafe impl Sync for CoPool {}
+
+struct CoPoolInner {
+    /// Per-pid coroutine slots. Boxed so addresses stay stable while the
+    /// vector grows (`spawn_child` can push mid-run while pointers into
+    /// other slots are live across a suspension).
+    slots: Vec<Option<Box<CoSlot>>>,
+    /// Saved context of the `run()` thread while a coroutine runs.
+    sched_sp: *mut u8,
+    /// Finished pids whose stacks await reclamation at the next safe
+    /// point — a context that is provably not one of theirs (the
+    /// scheduler loop, or a just-resumed process).
+    retired: Vec<Pid>,
 }
 
 pub(crate) struct Engine {
     mode: ClockMode,
+    /// Process carrier in virtual mode; always `Threads` in real mode
+    /// (real concurrency is the point there).
+    backend: ProcBackend,
     inner: Mutex<EngineInner>,
     heaps: Mutex<Heaps>,
+    /// Coroutine state (`coroutine` backend only; empty otherwise).
+    co: CoPool,
     sched_cv: Condvar,
     /// Mirror of `inner.current` (usize::MAX = none), written by the
     /// dispatcher under the lock (release) and read lock-free (acquire)
@@ -171,9 +418,18 @@ pub(crate) struct Engine {
 }
 
 impl Engine {
-    fn new(mode: ClockMode, machine: Machine, seed: u64) -> Engine {
+    fn new(mode: ClockMode, machine: Machine, seed: u64, backend: ProcBackend) -> Engine {
+        // Real mode needs real concurrency; coroutine requests degrade
+        // to threads on platforms without the runtime.
+        let backend = if mode == ClockMode::Real || !co::supported() {
+            ProcBackend::Threads
+        } else {
+            backend
+        };
+        let nodes = machine.nodes;
         Engine {
             mode,
+            backend,
             inner: Mutex::new(EngineInner {
                 procs: Vec::new(),
                 current: None,
@@ -186,15 +442,24 @@ impl Engine {
                 direct_handoffs: 0,
                 sched_fallbacks: 0,
                 panicked: false,
+                panic_payload: None,
             }),
             heaps: Mutex::new(Heaps {
-                queue: BinaryHeap::new(),
+                node_queues: (0..nodes).map(|_| BinaryHeap::new()).collect(),
+                frontier: BinaryHeap::new(),
+                queued: 0,
+                node_of: Vec::new(),
                 timers: BinaryHeap::new(),
                 seq: 0,
                 timer_gens: Vec::new(),
                 queue_hw: 0,
                 timers_cancelled: 0,
             }),
+            co: CoPool(UnsafeCell::new(CoPoolInner {
+                slots: Vec::new(),
+                sched_sp: core::ptr::null_mut(),
+                retired: Vec::new(),
+            })),
             sched_cv: Condvar::new(),
             current_word: AtomicUsize::new(usize::MAX),
             panicked_word: AtomicBool::new(false),
@@ -224,13 +489,7 @@ impl Engine {
     /// mutex is the entire cost.
     pub(crate) fn schedule(&self, pid: Pid, at: SimTime) {
         debug_assert_eq!(self.mode, ClockMode::Virtual);
-        let mut h = self.heaps.lock();
-        h.seq += 1;
-        let seq = h.seq;
-        h.queue.push(Reverse((at, seq, pid)));
-        if obs::enabled() {
-            h.queue_hw = h.queue_hw.max(h.queue.len());
-        }
+        self.heaps.lock().push_wake(at, pid);
     }
 
     /// Arm a deadline timer waking `pid` at `at` unless cancelled first.
@@ -289,11 +548,12 @@ impl Engine {
                         break;
                     }
                 }
-                let take_timer = match (h.queue.peek(), h.timers.peek()) {
+                let wake = h.peek_wake();
+                let take_timer = match (wake, h.timers.peek()) {
                     (None, None) => return None,
                     (Some(_), None) => false,
                     (None, Some(_)) => true,
-                    (Some(&Reverse((qt, _, _))), Some(&Reverse((tt, _, _, _)))) => {
+                    (Some((qt, _)), Some(&Reverse((tt, _, _, _)))) => {
                         // Strict precedence only: at equal times the wake
                         // event wins, so a message arriving exactly at a
                         // receive deadline is delivered (and observed)
@@ -305,8 +565,7 @@ impl Engine {
                     let Reverse((t, _seq, pid, _gen)) = h.timers.pop().expect("peeked timer");
                     (t, pid)
                 } else {
-                    let Reverse((t, _seq, pid)) = h.queue.pop().expect("peeked wake");
-                    (t, pid)
+                    h.pop_wake()
                 }
             };
             match g.procs[pid].state {
@@ -342,14 +601,267 @@ impl Engine {
     /// own wake, or because another process will `schedule` it.
     ///
     /// This is the direct-handoff fast path: the yielder itself pops the
-    /// next runnable event and notifies the successor, all under the same
-    /// `inner` hold that marked it blocked — one OS-thread switch per
-    /// event instead of the hub-and-spoke two, and zero when the popped
-    /// event is the yielder's own wake (timed sleeps). Only when no event
-    /// is pending does it signal the `run()` thread, which owns the
-    /// deadlock verdict.
+    /// next runnable event and resumes the successor, all under the same
+    /// `inner` hold that marked it blocked — one context switch per event
+    /// instead of the hub-and-spoke two, and zero when the popped event
+    /// is the yielder's own wake (timed sleeps). Only when no event is
+    /// pending does it defer to the `run()` thread, which owns the
+    /// deadlock verdict. What a "context switch" costs is the backend's
+    /// business: a futex `park`/`unpark` pair on `threads`, a userspace
+    /// stack swap on `coroutine` — the dispatch decision is this shared
+    /// code either way.
     pub(crate) fn yield_and_wait(&self, pid: Pid) -> SimTime {
         debug_assert_eq!(self.mode, ClockMode::Virtual);
+        match self.backend {
+            ProcBackend::Threads => self.yield_and_wait_threads(pid),
+            ProcBackend::Coroutine => self.yield_and_wait_co(pid),
+        }
+    }
+
+    /// [`Engine::yield_and_wait`], coroutine backend: the successor is
+    /// resumed by swapping stacks in userspace. The dispatcher pre-marks
+    /// the successor `Running` and hands it its resumption clock through
+    /// its [`CoSlot`], so the resumed side re-acquires no lock at all.
+    fn yield_and_wait_co(&self, pid: Pid) -> SimTime {
+        let mut g = self.inner.lock();
+        debug_assert_eq!(g.current, Some(pid), "yield by non-running process");
+        g.procs[pid].state = PState::Blocked;
+        g.current = None;
+        self.current_word.store(usize::MAX, Ordering::Relaxed);
+        match self.dispatch_next(&mut g) {
+            Some((next, _)) if next == pid => {
+                // Popped our own wake (a timed sleep): no switch at all.
+                g.procs[pid].state = PState::Running;
+                return g.procs[pid].clock;
+            }
+            Some((next, _)) => {
+                g.direct_handoffs += 1;
+                g.procs[next].state = PState::Running;
+                let clock = g.procs[next].clock;
+                drop(g);
+                // SAFETY: we are the driving thread, the guard is
+                // dropped, and no reference into shared state is live
+                // across the switch.
+                unsafe { self.co_transfer(Some(pid), next, clock) };
+            }
+            None => {
+                // Nothing runnable: hand the verdict (deadlock or
+                // teardown) to the scheduler context in `run()`.
+                drop(g);
+                unsafe { self.co_yield_to_sched(pid) };
+            }
+        }
+        // Resumed. Teardown poison unwinds us before anything else;
+        // otherwise reclaim stacks that finished while we were
+        // suspended, then read the clock the dispatcher wrote (our state
+        // was pre-set to `Running` under the dispatcher's lock hold, so
+        // this path takes no lock).
+        if self.panicked_word.load(Ordering::Acquire) {
+            std::panic::resume_unwind(Box::new(CoPoison));
+        }
+        unsafe {
+            self.co_drain_retired();
+            let pool = &*self.co.0.get();
+            pool.slots[pid]
+                .as_deref()
+                .expect("own coroutine slot")
+                .resume_clock
+        }
+    }
+
+    /// Register a coroutine slot for the next pid. Must be called under
+    /// the `inner` lock (which serializes pre-run spawners) or from the
+    /// driving thread mid-run (`spawn_child`).
+    ///
+    /// # Safety
+    ///
+    /// Caller must hold one of the serializations above; `pid` must be
+    /// the slot index `register_proc` just assigned.
+    unsafe fn co_register(&self, pid: Pid, boot: co::BootFn) {
+        let pool = &mut *self.co.0.get();
+        debug_assert_eq!(pool.slots.len(), pid, "coroutine pids must be dense");
+        let boot_raw = Box::into_raw(Box::new(boot)) as *mut c_void;
+        pool.slots.push(Some(Box::new(CoSlot {
+            raw: co::RawCo::new(co::stack_bytes(), boot_raw),
+            started: false,
+            boot_raw,
+            resume_clock: SimTime::ZERO,
+        })));
+    }
+
+    /// Resume `next` (already marked `Running`, clock already lifted)
+    /// from the context `from` (`None` = the scheduler in `run()`).
+    /// Returns when something later switches back to the saved context.
+    ///
+    /// # Safety
+    ///
+    /// Driving thread only; no lock guard may be held and no reference
+    /// into engine state may be live across the call.
+    unsafe fn co_transfer(&self, from: Option<Pid>, next: Pid, clock: SimTime) {
+        debug_assert_ne!(from, Some(next), "self-transfer is the lock-held fast path");
+        let (save, to) = {
+            let p = &mut *self.co.0.get();
+            {
+                let slot = p.slots[next].as_deref_mut().expect("successor slot");
+                slot.resume_clock = clock;
+                slot.started = true;
+            }
+            let to = p.slots[next]
+                .as_deref()
+                .expect("successor slot")
+                .raw
+                .resume_sp;
+            let save: *mut *mut u8 = match from {
+                Some(y) => {
+                    &mut p.slots[y]
+                        .as_deref_mut()
+                        .expect("yielder slot")
+                        .raw
+                        .resume_sp
+                }
+                None => &mut p.sched_sp,
+            };
+            (save, to)
+        };
+        co::switch(save, to);
+    }
+
+    /// Switch from `pid`'s coroutine to the scheduler context in `run()`.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`Engine::co_transfer`].
+    unsafe fn co_yield_to_sched(&self, pid: Pid) {
+        let (save, to) = {
+            let p = &mut *self.co.0.get();
+            let save: *mut *mut u8 = &mut p.slots[pid]
+                .as_deref_mut()
+                .expect("yielder slot")
+                .raw
+                .resume_sp;
+            (save, p.sched_sp)
+        };
+        co::switch(save, to);
+    }
+
+    /// Unmap the stacks of coroutines that finished while the caller was
+    /// suspended.
+    ///
+    /// # Safety
+    ///
+    /// Driving thread only, and the current context must not be one of
+    /// the retired pids (guaranteed for the scheduler and for any
+    /// just-resumed — hence live — process).
+    unsafe fn co_drain_retired(&self) {
+        let pool = &mut *self.co.0.get();
+        while let Some(pid) = pool.retired.pop() {
+            pool.slots[pid] = None;
+        }
+    }
+
+    /// Finish `pid`'s coroutine: account the exit, pick a successor when
+    /// appropriate, retire the stack, and return the final switch that
+    /// [`crate::co`]'s entry point performs once the boot closure's
+    /// environment is gone. After a panic or during poison teardown no
+    /// successor is dispatched — control returns to the scheduler, which
+    /// owns teardown.
+    fn co_finish(&self, pid: Pid, exit: CoExit) -> co::FinalSwitch {
+        let mut g = self.inner.lock();
+        let teardown = match exit {
+            CoExit::Normal => false,
+            CoExit::Poisoned => true,
+            CoExit::Panicked(payload) => {
+                g.panicked = true;
+                self.panicked_word.store(true, Ordering::Release);
+                g.panic_payload.get_or_insert(payload);
+                true
+            }
+        };
+        g.procs[pid].state = PState::Done;
+        g.live -= 1;
+        let clock = g.procs[pid].clock;
+        g.horizon = g.horizon.max(clock);
+        g.current = None;
+        self.current_word.store(usize::MAX, Ordering::Relaxed);
+        let mut target = None;
+        if !teardown && !g.panicked && g.live > 0 {
+            if let Some((next, _)) = self.dispatch_next(&mut g) {
+                g.direct_handoffs += 1;
+                g.procs[next].state = PState::Running;
+                target = Some((next, g.procs[next].clock));
+            }
+        }
+        drop(g);
+        // SAFETY: driving thread, guard dropped. The returned pointers
+        // stay valid because slots are boxed and the pool lives in the
+        // engine, which `run()` keeps alive past the final switch.
+        unsafe {
+            let p = &mut *self.co.0.get();
+            p.retired.push(pid);
+            let save: *mut *mut u8 =
+                &mut p.slots[pid].as_deref_mut().expect("own slot").raw.resume_sp;
+            let to = match target {
+                Some((next, clock)) => {
+                    let slot = p.slots[next].as_deref_mut().expect("successor slot");
+                    slot.resume_clock = clock;
+                    slot.started = true;
+                    slot.raw.resume_sp
+                }
+                None => p.sched_sp,
+            };
+            co::FinalSwitch { save, to }
+        }
+    }
+
+    /// Poison-unwind every started-but-unfinished coroutine (their
+    /// destructors run normally), then free all coroutine state. Called
+    /// exactly once from `run()` after its dispatch loop; on a clean
+    /// completion there is nothing to unwind and this only reclaims
+    /// stacks.
+    ///
+    /// # Safety
+    ///
+    /// Driving thread, with no coroutine currently running. On the
+    /// unwind path `panicked_word` must already be set (the resumed
+    /// coroutines unwind off it).
+    unsafe fn co_teardown(&self) {
+        loop {
+            let pid = {
+                let g = self.inner.lock();
+                let pool = &*self.co.0.get();
+                pool.slots.iter().enumerate().find_map(|(i, s)| match s {
+                    Some(s) if s.started && g.procs[i].state != PState::Done => Some(i),
+                    _ => None,
+                })
+            };
+            let Some(pid) = pid else { break };
+            debug_assert!(
+                self.panicked_word.load(Ordering::Acquire),
+                "unfinished coroutine at teardown without poison"
+            );
+            let (save, to) = {
+                let p = &mut *self.co.0.get();
+                let to = p.slots[pid]
+                    .as_deref()
+                    .expect("poisoned slot")
+                    .raw
+                    .resume_sp;
+                (&mut p.sched_sp as *mut *mut u8, to)
+            };
+            // The coroutine resumes at its poison check, unwinds, and
+            // its `co_finish(Poisoned)` switches straight back here.
+            co::switch(save, to);
+        }
+        let pool = &mut *self.co.0.get();
+        pool.retired.clear();
+        pool.slots.clear();
+    }
+
+    /// [`Engine::yield_and_wait`], threads backend: the successor is
+    /// woken with `unpark` (after the lock drops — see
+    /// [`Engine::dispatch_next`]) and the yielder spins briefly, then
+    /// parks until its pid appears in the current-word mirror.
+    fn yield_and_wait_threads(&self, pid: Pid) -> SimTime {
         let mut g = self.inner.lock();
         debug_assert_eq!(g.current, Some(pid), "yield by non-running process");
         g.procs[pid].state = PState::Blocked;
@@ -400,6 +912,48 @@ impl Engine {
         debug_assert_eq!(g.current, Some(pid), "woken without being dispatched");
         g.procs[pid].state = PState::Running;
         g.procs[pid].clock
+    }
+
+    /// Push the bookkeeping for a new process — slot, liveness, heap
+    /// registration, start event, HB registration and (coroutine
+    /// backend) the coroutine slot — under one `inner` hold, and return
+    /// the pid. The single hold is what serializes concurrent pre-run
+    /// spawners, including their coroutine-pool pushes.
+    fn register_proc(
+        &self,
+        name: &str,
+        node: usize,
+        start: SimTime,
+        boot: Option<co::BootFn>,
+    ) -> Pid {
+        let mut g = self.inner.lock();
+        let pid = g.procs.len();
+        if crate::hb::compiled() {
+            self.hb.register(pid, name);
+        }
+        g.procs.push(ProcSlot {
+            name: name.to_string(),
+            node,
+            state: PState::Blocked,
+            clock: start,
+            thread: None,
+        });
+        g.live += 1;
+        {
+            // `inner` before `heaps` — the one allowed nesting order.
+            let mut h = self.heaps.lock();
+            h.timer_gens.push(0);
+            h.node_of.push(node);
+            if self.mode == ClockMode::Virtual {
+                h.push_wake(start, pid);
+            }
+        }
+        if let Some(boot) = boot {
+            // SAFETY: serialized by the `inner` hold above (pre-run
+            // spawners) or by being the driving thread (`spawn_child`).
+            unsafe { self.co_register(pid, boot) };
+        }
+        pid
     }
 
     /// Called by a process thread when its body returns. In virtual mode
@@ -497,14 +1051,23 @@ pub struct Sim {
 }
 
 impl Sim {
-    /// Create a simulation on `machine` with the given clock mode and seed.
+    /// Create a simulation on `machine` with the given clock mode and
+    /// seed, on the default [`ProcBackend`] (see
+    /// [`ProcBackend::default_backend`]).
     ///
     /// If a process-global fault spec is installed
     /// ([`crate::fault::set_global_spec`]) and the mode is virtual, the
     /// simulation instantiates its own deterministic [`FaultPlan`] from it.
     pub fn new(mode: ClockMode, machine: Machine, seed: u64) -> Sim {
+        Sim::with_backend(mode, machine, seed, ProcBackend::default_backend())
+    }
+
+    /// [`Sim::new`] with an explicit process backend. Real mode always
+    /// uses threads (real concurrency is its purpose); a coroutine
+    /// request on a platform without the runtime degrades to threads.
+    pub fn with_backend(mode: ClockMode, machine: Machine, seed: u64, backend: ProcBackend) -> Sim {
         let sim = Sim {
-            eng: Arc::new(Engine::new(mode, machine, seed)),
+            eng: Arc::new(Engine::new(mode, machine, seed, backend)),
         };
         if mode == ClockMode::Virtual {
             if let Some(spec) = crate::fault::global_spec() {
@@ -520,9 +1083,20 @@ impl Sim {
         Sim::new(ClockMode::Virtual, machine, seed)
     }
 
+    /// Shorthand: deterministic virtual-time simulation on an explicit
+    /// process backend (differential tests and benchmarks).
+    pub fn virtual_time_with_backend(machine: Machine, seed: u64, backend: ProcBackend) -> Sim {
+        Sim::with_backend(ClockMode::Virtual, machine, seed, backend)
+    }
+
     /// Shorthand: real-time simulation (for measurement).
     pub fn real_time(machine: Machine) -> Sim {
         Sim::new(ClockMode::Real, machine, 0)
+    }
+
+    /// The process backend actually in force (after platform fallback).
+    pub fn backend(&self) -> ProcBackend {
+        self.eng.backend
     }
 
     /// The machine this simulation models.
@@ -607,33 +1181,46 @@ impl Sim {
             self.eng.machine.nodes
         );
         let eng = Arc::clone(&self.eng);
-        let pid = {
-            let mut g = eng.inner.lock();
-            let pid = g.procs.len();
-            if crate::hb::compiled() {
-                eng.hb.register(pid, &name);
-            }
-            g.procs.push(ProcSlot {
-                name: name.clone(),
-                node,
-                state: PState::Blocked,
-                clock: start,
-                thread: None,
+        if eng.mode == ClockMode::Virtual && eng.backend == ProcBackend::Coroutine {
+            // Coroutine backend: no thread, no handshake. The body is
+            // wrapped in a boot closure that catches every unwind,
+            // classifies the exit, drops everything it owns (including
+            // its engine reference — `run()` keeps the engine alive),
+            // and returns the final switch for the coroutine entry point
+            // to perform from an owning-nothing frame.
+            let eng2 = Arc::clone(&self.eng);
+            let body: Box<dyn FnOnce(&Proc) + Send> = Box::new(f);
+            let boot: co::BootFn = Box::new(move || {
+                // First dispatch: we are the current process by
+                // definition, which is how the closure learns its pid
+                // (it is built before the pid is assigned).
+                let pid = eng2
+                    .inner
+                    .lock()
+                    .current
+                    .expect("started coroutine is current");
+                let proc_ = Proc {
+                    eng: Arc::clone(&eng2),
+                    pid,
+                    node,
+                    rng: Mutex::new(SimRng::for_process(eng2.seed, pid)),
+                };
+                let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&proc_)));
+                let exit = match res {
+                    Ok(()) => CoExit::Normal,
+                    Err(p) if p.is::<CoPoison>() => CoExit::Poisoned,
+                    Err(p) => CoExit::Panicked(p),
+                };
+                drop(proc_);
+                let eng_ptr: *const Engine = Arc::as_ptr(&eng2);
+                drop(eng2);
+                // SAFETY: a coroutine only finishes while `run()` drives
+                // it, and `run()` holds a strong engine reference.
+                unsafe { (*eng_ptr).co_finish(pid, exit) }
             });
-            g.live += 1;
-            // `inner` before `heaps` — the one allowed nesting order.
-            let mut h = eng.heaps.lock();
-            h.timer_gens.push(0);
-            if eng.mode == ClockMode::Virtual {
-                h.seq += 1;
-                let seq = h.seq;
-                h.queue.push(Reverse((start, seq, pid)));
-                if obs::enabled() {
-                    h.queue_hw = h.queue_hw.max(h.queue.len());
-                }
-            }
-            pid
-        };
+            return eng.register_proc(&name, node, start, Some(boot));
+        }
+        let pid = eng.register_proc(&name, node, start, None);
         let eng2 = Arc::clone(&self.eng);
         let handle = std::thread::Builder::new()
             .name(format!("sim-{name}"))
@@ -708,7 +1295,17 @@ impl Sim {
                 }
                 self.eng.real_now()
             }
-            ClockMode::Virtual => {
+            ClockMode::Virtual => match self.eng.backend {
+                ProcBackend::Threads => self.run_virtual_threads(),
+                ProcBackend::Coroutine => self.run_virtual_co(),
+            },
+        }
+    }
+
+    /// Virtual-mode run loop, threads backend.
+    fn run_virtual_threads(self) -> SimTime {
+        {
+            {
                 // With direct handoff, this thread is off the per-event
                 // path: it performs the startup dispatch, then sleeps
                 // until a yielder finds nothing runnable (deadlock
@@ -796,25 +1393,105 @@ impl Sim {
                     drop(g);
                     panic!("a simulated process panicked");
                 }
-                if obs::enabled() {
-                    // Flushed once per run, so nothing touches the
-                    // per-event hot path and nothing advances virtual time.
-                    let (queue_hw, timers_cancelled) = {
-                        let h = self.eng.heaps.lock();
-                        (h.queue_hw, h.timers_cancelled)
-                    };
-                    obs::counter("sim.events_dispatched").add(g.dispatched);
-                    obs::counter("sim.context_switches").add(g.ctx_switches);
-                    obs::counter("sim.direct_handoffs").add(g.direct_handoffs);
-                    obs::counter("sim.sched_fallbacks").add(g.sched_fallbacks);
-                    obs::counter("sim.timers_cancelled_eagerly").add(timers_cancelled);
-                    obs::gauge("sim.queue_depth_high_water").set(queue_hw as u64);
-                    obs::gauge("sim.virtual_horizon_ns").set(g.horizon.as_nanos());
-                    obs::gauge("sim.real_elapsed_ns")
-                        .set(self.eng.epoch.elapsed().as_nanos() as u64);
-                }
+                Self::flush_obs(&self.eng, &g);
                 g.horizon
             }
+        }
+    }
+
+    /// Virtual-mode run loop, coroutine backend. This thread IS the
+    /// worker pool: it performs the startup dispatch by switching onto
+    /// the first coroutine's stack, and from then on every handoff is a
+    /// userspace stack swap between process stacks. Control only comes
+    /// back here when a dispatch finds nothing runnable (teardown or
+    /// deadlock verdict) or a process panicked — never on the per-event
+    /// path.
+    fn run_virtual_co(self) -> SimTime {
+        loop {
+            let mut g = self.eng.inner.lock();
+            if g.panicked || g.live == 0 {
+                break;
+            }
+            debug_assert!(
+                g.current.is_none(),
+                "scheduler resumed while a process is running"
+            );
+            match self.eng.dispatch_next(&mut g) {
+                Some((next, _)) => {
+                    g.sched_fallbacks += 1;
+                    g.procs[next].state = PState::Running;
+                    let clock = g.procs[next].clock;
+                    drop(g);
+                    // SAFETY: this is the driving thread, the guard is
+                    // dropped, and no reference into engine state is live
+                    // across the switch. The drain runs with every
+                    // coroutine suspended, so no retired stack is current.
+                    unsafe {
+                        self.eng.co_transfer(None, next, clock);
+                        self.eng.co_drain_retired();
+                    }
+                }
+                None => {
+                    // live > 0 but no event: deadlock. Capture who is
+                    // stuck *before* teardown marks them done.
+                    let stuck: Vec<String> = g
+                        .procs
+                        .iter()
+                        .filter(|p| p.state == PState::Blocked)
+                        .map(|p| format!("{} (node {}, t={})", p.name, p.node, p.clock))
+                        .collect();
+                    g.panicked = true;
+                    self.eng.panicked_word.store(true, Ordering::Release);
+                    drop(g);
+                    // Poison-unwind the blocked coroutines so their
+                    // destructors run (the threads backend joins its
+                    // process threads here for the same reason).
+                    unsafe { self.eng.co_teardown() };
+                    panic!(
+                        "simulation deadlock: no pending events but {} process(es) blocked: {}",
+                        stuck.len(),
+                        stuck.join(", ")
+                    );
+                }
+            }
+        }
+        // Clean completion (nothing to unwind, frees the stacks) or a
+        // process panic (poison-unwinds the survivors first).
+        unsafe { self.eng.co_teardown() };
+        let mut g = self.eng.inner.lock();
+        if let Some(payload) = g.panic_payload.take() {
+            drop(g);
+            // Re-raise the original process panic so callers (and
+            // #[should_panic] tests) see the real message.
+            std::panic::resume_unwind(payload);
+        }
+        if g.panicked {
+            drop(g);
+            panic!("a simulated process panicked");
+        }
+        Self::flush_obs(&self.eng, &g);
+        g.horizon
+    }
+
+    /// Flush the per-run throughput counters and gauges. Called once at
+    /// the end of a successful virtual run, under the `inner` lock (the
+    /// `heaps` lock nests inside — the one allowed order).
+    fn flush_obs(eng: &Engine, g: &EngineInner) {
+        if obs::enabled() {
+            // Flushed once per run, so nothing touches the
+            // per-event hot path and nothing advances virtual time.
+            let (queue_hw, timers_cancelled) = {
+                let h = eng.heaps.lock();
+                (h.queue_hw, h.timers_cancelled)
+            };
+            obs::counter("sim.events_dispatched").add(g.dispatched);
+            obs::counter("sim.context_switches").add(g.ctx_switches);
+            obs::counter("sim.direct_handoffs").add(g.direct_handoffs);
+            obs::counter("sim.sched_fallbacks").add(g.sched_fallbacks);
+            obs::counter("sim.timers_cancelled_eagerly").add(timers_cancelled);
+            obs::gauge("sim.queue_depth_high_water").set(queue_hw as u64);
+            obs::gauge("sim.virtual_horizon_ns").set(g.horizon.as_nanos());
+            obs::gauge("sim.real_elapsed_ns").set(eng.epoch.elapsed().as_nanos() as u64);
         }
     }
 }

@@ -44,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+pub(crate) mod co;
 pub mod costs;
 pub mod engine;
 pub mod fault;
@@ -55,7 +56,7 @@ pub mod time;
 pub mod topology;
 
 pub use costs::ProbeCosts;
-pub use engine::{ClockMode, Pid, Proc, Sim};
+pub use engine::{ClockMode, Pid, Proc, ProcBackend, Sim};
 pub use fault::{FaultPlan, FaultProfile, FaultSpec};
 pub use stats::OnlineStats;
 pub use time::SimTime;

@@ -17,6 +17,14 @@
 //! discrete-event scheduler (one runnable process at a time, so the
 //! unlock-then-yield pattern is race-free by construction); in real mode
 //! the primitives are ordinary mutex/condvar constructions.
+//!
+//! No primitive here suspends a process on its own: every virtual-mode
+//! blocking path releases its internal lock and then calls the engine's
+//! `yield_and_wait`, which is the *only* suspension point in the crate
+//! (DESIGN §18's suspension-point inventory). The engine's process
+//! backend — OS threads or stackful coroutines — is therefore invisible
+//! at this layer: these primitives behave identically on both, and the
+//! differential suite in `tests/backend_diff.rs` holds them to that.
 
 use std::collections::VecDeque;
 

@@ -1,0 +1,252 @@
+//! Differential oracle for the process backends: everything observable —
+//! dispatch order, figure JSON, deterministic metrics, fault-injected and
+//! transactional runs, happens-before verdicts — must be byte-identical
+//! whether simulated processes are OS threads (`ProcBackend::Threads`,
+//! the original engine) or stack-swapped coroutines
+//! (`ProcBackend::Coroutine`, the default since the threadless rewrite).
+//!
+//! The threads backend is kept alive precisely to serve as this oracle:
+//! any scheduling divergence the coroutine fast paths introduce shows up
+//! here as a first-divergence diff rather than as a silent golden drift.
+
+use std::sync::{Arc, Mutex};
+
+use dynprof::core::{run_session, SessionConfig, SessionReport};
+use dynprof::obs;
+use dynprof::sim::engine::set_backend_override;
+use dynprof::sim::fault::set_global_spec;
+use dynprof::sim::{hb, FaultSpec, Machine, ProcBackend, Sim, SimTime};
+use dynprof::vt::Policy;
+
+/// The backend override and the obs registry are process-global, so every
+/// test in this binary serializes on one gate.
+static GATE: Mutex<()> = Mutex::new(());
+
+const BOTH: [ProcBackend; 2] = [ProcBackend::Threads, ProcBackend::Coroutine];
+
+/// Run `f` with the process-global backend override pinned to `backend`,
+/// restoring the default on exit.
+fn with_backend<T>(backend: ProcBackend, f: impl FnOnce() -> T) -> T {
+    set_backend_override(Some(backend));
+    let out = f();
+    set_backend_override(None);
+    out
+}
+
+/// The same mixed scheduler workload as `tests/properties.rs` (channels
+/// with jittered latencies, barrier storms, a gate broadcast, deadline
+/// receives, self-wakes), parameterized by backend. Returns the rendered
+/// golden-format trace.
+fn scheduler_trace(seed: u64, backend: ProcBackend) -> String {
+    use dynprof::sim::sync::{SimBarrier, SimChannel, SimGate};
+    use std::fmt::Write as _;
+    const N: usize = 8;
+    const ROUNDS: usize = 12;
+    let sim = Sim::virtual_time_with_backend(Machine::test_machine(), seed, backend);
+    let log = sim.record_dispatches();
+    let stats = sim.stats();
+    let chans: Vec<Arc<SimChannel<u32>>> = (0..N).map(|_| Arc::new(SimChannel::new())).collect();
+    let bar = Arc::new(SimBarrier::new(N, SimTime::from_nanos(300)));
+    let gate = Arc::new(SimGate::new());
+    for i in 0..N {
+        let chans = chans.clone();
+        let bar = Arc::clone(&bar);
+        let gate = Arc::clone(&gate);
+        sim.spawn(format!("mix{i}"), i % 4, move |p| {
+            if i == 0 {
+                p.advance(SimTime::from_micros(3));
+                gate.open(p, SimTime::from_nanos(500));
+            } else {
+                gate.wait_open(p);
+            }
+            for r in 0..ROUNDS {
+                p.advance(p.jitter(SimTime::from_micros(1)) + SimTime::from_nanos(10));
+                let lat = SimTime::from_nanos(200 + p.jitter(SimTime::from_micros(2)).as_nanos());
+                chans[(i + 1) % N].send(p, (i * ROUNDS + r) as u32, lat);
+                if r % 3 == 2 {
+                    bar.wait(p);
+                }
+                if r % 4 == 1 {
+                    let deadline = p.now() + p.jitter(SimTime::from_micros(3));
+                    let _ = chans[i].recv_match_deadline(p, |_| true, deadline);
+                } else {
+                    let _ = chans[i].recv(p);
+                }
+                if r % 5 == 0 {
+                    p.sleep(p.jitter(SimTime::from_micros(2)) + SimTime::from_nanos(1));
+                }
+            }
+        });
+    }
+    let horizon = sim.run();
+    let mut out = String::new();
+    let _ = writeln!(out, "events {}", stats.events_dispatched());
+    let _ = writeln!(out, "horizon_ns {}", horizon.as_nanos());
+    for &(pid, t) in log.entries().iter() {
+        let _ = writeln!(out, "{pid} {}", t.as_nanos());
+    }
+    out
+}
+
+/// Both backends replay the recorded dispatch goldens exactly: same
+/// `(pid, time)` sequence, same event count, same horizon. The goldens
+/// predate the coroutine backend (they were recorded under the threaded
+/// hub-and-spoke scheduler), so this is the strongest statement that the
+/// rewrite changed the cost of a handoff and nothing else.
+#[test]
+fn dispatch_goldens_replay_on_both_backends() {
+    let _g = GATE.lock().unwrap();
+    for seed in [1u64, 7, 42] {
+        let expected = std::fs::read_to_string(format!(
+            "{}/tests/golden/dispatch_seed{seed}.txt",
+            env!("CARGO_MANIFEST_DIR")
+        ))
+        .expect("recorded dispatch golden");
+        for backend in BOTH {
+            let actual = scheduler_trace(seed, backend);
+            assert_eq!(
+                actual, expected,
+                "dispatch trace diverged from golden (seed {seed}, {backend:?})"
+            );
+        }
+    }
+}
+
+fn session(app: &str, policy: Policy, seed: u64) -> SessionReport {
+    let spec = dynprof::apps::test_app(app, 4).unwrap();
+    run_session(
+        &spec,
+        SessionConfig::new(Machine::ibm_power3_colony(), policy).with_seed(seed),
+    )
+}
+
+/// Seeded session matrix: every deterministic field of a full dynprof
+/// session — timings, trace volume, the built VT trace bytes — is
+/// identical across backends, for MPI and OpenMP apps, static and
+/// dynamic policies, over several seeds.
+#[test]
+fn seeded_sessions_identical_across_backends() {
+    let _g = GATE.lock().unwrap();
+    for (app, policy) in [
+        ("smg98", Policy::Full),
+        ("sweep3d", Policy::Dynamic),
+        ("umt98", Policy::Dynamic),
+    ] {
+        for seed in [3u64, 11, 42] {
+            let t = with_backend(ProcBackend::Threads, || session(app, policy, seed));
+            let c = with_backend(ProcBackend::Coroutine, || session(app, policy, seed));
+            let ctx = format!("{app}/{policy}/seed {seed}");
+            assert_eq!(t.app_time, c.app_time, "app_time ({ctx})");
+            assert_eq!(t.total_time, c.total_time, "total_time ({ctx})");
+            assert_eq!(t.create_time, c.create_time, "create_time ({ctx})");
+            assert_eq!(
+                t.instrument_time, c.instrument_time,
+                "instrument_time ({ctx})"
+            );
+            assert_eq!(t.trace_bytes, c.trace_bytes, "trace_bytes ({ctx})");
+            assert_eq!(
+                t.vt.build_trace(),
+                c.vt.build_trace(),
+                "VT trace bytes ({ctx})"
+            );
+        }
+    }
+}
+
+/// Render figure JSON plus the full deterministic metrics snapshot
+/// (scheduler-transport counters *included* — the backends must agree
+/// even on direct-handoff and fallback counts, since the dispatch
+/// decisions are shared code) under one backend.
+fn figure_and_metrics(backend: ProcBackend) -> (String, String) {
+    with_backend(backend, || {
+        obs::reset();
+        obs::set_enabled(true);
+        let fig = dynprof_bench::fig9().to_json();
+        obs::set_enabled(false);
+        let snap = obs::snapshot().deterministic();
+        (fig, snap.to_json().pretty())
+    })
+}
+
+/// Figure JSON and deterministic metrics are byte-identical across
+/// backends, including the dispatch accounting the metrics goldens
+/// deliberately exclude.
+#[test]
+fn figures_and_metrics_identical_across_backends() {
+    let _g = GATE.lock().unwrap();
+    set_global_spec(None);
+    let (fig_t, met_t) = figure_and_metrics(ProcBackend::Threads);
+    let (fig_c, met_c) = figure_and_metrics(ProcBackend::Coroutine);
+    assert_eq!(fig_t, fig_c, "figure JSON must be byte-identical");
+    assert_eq!(met_t, met_c, "deterministic metrics must be byte-identical");
+}
+
+/// `--faults` byte-identity: with an *active* fault plan (the default
+/// `lossy` profile: drops, duplicates, delays), every fault decision
+/// derives from the seed, so the two backends must still produce
+/// byte-identical figures — and with the plan removed the output returns
+/// to the unfaulted baseline on both.
+#[test]
+fn faulted_runs_identical_across_backends() {
+    let _g = GATE.lock().unwrap();
+    set_global_spec(Some(FaultSpec::parse("7:lossy").expect("spec")));
+    let fig_t = with_backend(ProcBackend::Threads, || dynprof_bench::fig9().to_json());
+    let fig_c = with_backend(ProcBackend::Coroutine, || dynprof_bench::fig9().to_json());
+    set_global_spec(None);
+    assert_eq!(fig_t, fig_c, "faulted figure JSON must be byte-identical");
+}
+
+/// `--txn` byte-identity: the transactional control plane (2PC epochs,
+/// degraded-mode policy armed) behaves identically on both backends.
+#[test]
+fn txn_runs_identical_across_backends() {
+    let _g = GATE.lock().unwrap();
+    set_global_spec(None);
+    dynprof_bench::set_txn_policy(Some(dynprof::dpcl::DegradedPolicy::ExcludeNode));
+    let fig_t = with_backend(ProcBackend::Threads, || dynprof_bench::fig9().to_json());
+    let fig_c = with_backend(ProcBackend::Coroutine, || dynprof_bench::fig9().to_json());
+    dynprof_bench::set_txn_policy(None);
+    assert_eq!(fig_t, fig_c, "txn figure JSON must be byte-identical");
+}
+
+/// Happens-before clean on both backends (`--features check` builds):
+/// the detector sees the same event graph through the coroutine
+/// suspension points as through the threaded ones, and both runs are
+/// race-free with identical rendered reports.
+#[test]
+fn hb_check_clean_and_identical_across_backends() {
+    let _g = GATE.lock().unwrap();
+    if !hb::compiled() {
+        return; // detector not compiled in; covered by the check-feature CI leg
+    }
+    let run = |backend| {
+        with_backend(backend, || {
+            use dynprof::sim::sync::{SimBarrier, SimChannel};
+            let sim = Sim::virtual_time(Machine::test_machine(), 5);
+            sim.enable_check();
+            let check = sim.check_handle();
+            let chan = Arc::new(SimChannel::new());
+            let bar = Arc::new(SimBarrier::new(4, SimTime::from_nanos(250)));
+            for i in 0..4u64 {
+                let chan = Arc::clone(&chan);
+                let bar = Arc::clone(&bar);
+                sim.spawn(format!("p{i}"), (i % 2) as usize, move |p| {
+                    for r in 0..6u64 {
+                        p.advance(SimTime::from_nanos(100 * (i + 1)));
+                        chan.send(p, i * 10 + r, SimTime::from_nanos(300));
+                        let _ = chan.recv(p);
+                        bar.wait(p);
+                    }
+                });
+            }
+            let horizon = sim.run();
+            let report = check.report();
+            (horizon, report.is_clean(), report.render())
+        })
+    };
+    let (h_t, clean_t, rep_t) = run(ProcBackend::Threads);
+    let (h_c, clean_c, rep_c) = run(ProcBackend::Coroutine);
+    assert_eq!(h_t, h_c, "horizon must match");
+    assert_eq!(rep_t, rep_c, "HB reports must be byte-identical");
+    assert!(clean_t && clean_c, "HB run should be clean: {rep_t}");
+}

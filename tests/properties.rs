@@ -447,12 +447,13 @@ fn simtime_conversions() {
 /// release storms, a gate broadcast, deadline receives (some of which
 /// time out, arming and cancelling timers), and self-wakes via `sleep`.
 /// Returns the exact dispatch sequence `(pid, resumed-clock-ns)` plus the
-/// run's event count and horizon.
-fn scheduler_trace(seed: u64) -> (Vec<(usize, u64)>, u64, u64) {
+/// run's event count and horizon. Runs on `backend` so the recorded
+/// oracle pins both the threaded and the coroutine scheduler.
+fn scheduler_trace(seed: u64, backend: dynprof::sim::ProcBackend) -> (Vec<(usize, u64)>, u64, u64) {
     use dynprof::sim::sync::{SimBarrier, SimChannel, SimGate};
     const N: usize = 8;
     const ROUNDS: usize = 12;
-    let sim = Sim::virtual_time(Machine::test_machine(), seed);
+    let sim = Sim::virtual_time_with_backend(Machine::test_machine(), seed, backend);
     let log = sim.record_dispatches();
     let stats = sim.stats();
     let chans: Vec<Arc<SimChannel<u32>>> = (0..N).map(|_| Arc::new(SimChannel::new())).collect();
@@ -523,17 +524,15 @@ fn render_trace(entries: &[(usize, u64)], events: u64, horizon: u64) -> String {
 /// `UPDATE_GOLDENS=1 cargo test --test properties dispatch_order`.
 #[test]
 fn dispatch_order_matches_recorded_oracle() {
+    use dynprof::sim::ProcBackend;
     for seed in [1u64, 7, 42] {
-        let (entries, events, horizon) = scheduler_trace(seed);
-        assert_eq!(
-            entries.len() as u64,
-            events,
-            "dispatch log length vs events_dispatched (seed {seed})"
-        );
-        let actual = render_trace(&entries, events, horizon);
         let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
             .join(format!("tests/golden/dispatch_seed{seed}.txt"));
         if std::env::var("UPDATE_GOLDENS").is_ok() {
+            // Regenerate from the oracle backend (threads — the scheduler
+            // the goldens were first recorded under).
+            let (entries, events, horizon) = scheduler_trace(seed, ProcBackend::Threads);
+            let actual = render_trace(&entries, events, horizon);
             std::fs::write(&path, &actual).expect("write golden dispatch log");
             continue;
         }
@@ -543,33 +542,50 @@ fn dispatch_order_matches_recorded_oracle() {
                 path.display()
             )
         });
-        if actual != expected {
-            let a: Vec<&str> = actual.lines().collect();
-            let b: Vec<&str> = expected.lines().collect();
-            let first = a
-                .iter()
-                .zip(&b)
-                .position(|(x, y)| x != y)
-                .unwrap_or(a.len().min(b.len()));
-            panic!(
-                "dispatch order diverged from recorded oracle (seed {seed}) at line {}: \
-                 actual {:?} vs expected {:?} ({} vs {} lines)",
-                first + 1,
-                a.get(first),
-                b.get(first),
-                a.len(),
-                b.len()
+        for backend in [ProcBackend::Threads, ProcBackend::Coroutine] {
+            let (entries, events, horizon) = scheduler_trace(seed, backend);
+            assert_eq!(
+                entries.len() as u64,
+                events,
+                "dispatch log length vs events_dispatched (seed {seed}, {backend:?})"
             );
+            let actual = render_trace(&entries, events, horizon);
+            if actual != expected {
+                let a: Vec<&str> = actual.lines().collect();
+                let b: Vec<&str> = expected.lines().collect();
+                let first = a
+                    .iter()
+                    .zip(&b)
+                    .position(|(x, y)| x != y)
+                    .unwrap_or(a.len().min(b.len()));
+                panic!(
+                    "dispatch order diverged from recorded oracle (seed {seed}, {backend:?}) \
+                     at line {}: actual {:?} vs expected {:?} ({} vs {} lines)",
+                    first + 1,
+                    a.get(first),
+                    b.get(first),
+                    a.len(),
+                    b.len()
+                );
+            }
         }
     }
 }
 
 /// Scheduler determinism: two in-process runs of the same seeded workload
-/// produce identical dispatch sequences, and a different seed diverges.
+/// produce identical dispatch sequences (on either backend — and the
+/// backends agree with each other), and a different seed diverges.
 #[test]
 fn dispatch_order_is_deterministic_across_runs() {
-    assert_eq!(scheduler_trace(1), scheduler_trace(1));
-    assert_ne!(scheduler_trace(1), scheduler_trace(2));
+    use dynprof::sim::ProcBackend;
+    for backend in [ProcBackend::Threads, ProcBackend::Coroutine] {
+        assert_eq!(scheduler_trace(1, backend), scheduler_trace(1, backend));
+        assert_ne!(scheduler_trace(1, backend), scheduler_trace(2, backend));
+    }
+    assert_eq!(
+        scheduler_trace(3, ProcBackend::Threads),
+        scheduler_trace(3, ProcBackend::Coroutine)
+    );
 }
 
 /// One adaptive sweep3d session for the overhead-controller properties:
